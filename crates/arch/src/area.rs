@@ -1,0 +1,168 @@
+//! Area model (Tables III and IV).
+//!
+//! Per-structure area densities are derived directly from the paper's
+//! Table III (post-synthesis, TSMC 16nm): e.g. the 20KB IARAM+OARAM at
+//! 0.031mm² sets the RAM density, the 16-ALU multiplier array at 0.008mm²
+//! sets the ALU cost, and the 16x32 crossbar at 0.026mm² sets the per-
+//! crosspoint cost. Composition rules then scale to arbitrary
+//! configurations (the §VI-C granularity sweep) and to the dense DCNN
+//! (Table IV).
+
+use crate::config::{DcnnConfig, ScnnConfig};
+use std::fmt;
+
+/// mm² per KB of plain SRAM (from Table III: 20KB -> 0.031 mm²).
+pub const MM2_PER_KB_RAM: f64 = 0.031 / 20.0;
+/// mm² per 16-bit multiply-capable ALU (16 ALUs -> 0.008 mm²).
+pub const MM2_PER_ALU: f64 = 0.008 / 16.0;
+/// mm² per crossbar crosspoint (16x32 crossbar -> 0.026 mm²).
+pub const MM2_PER_XBAR_CROSS: f64 = 0.026 / (16.0 * 32.0);
+/// mm² per KB of heavily-banked accumulator storage (6KB -> 0.036 mm²;
+/// Table III notes the banking overhead makes these denser in area).
+pub const MM2_PER_KB_ACC: f64 = 0.036 / 6.0;
+/// mm² per KB of FIFO storage (0.5KB -> 0.004 mm²).
+pub const MM2_PER_KB_FIFO: f64 = 0.004 / 0.5;
+/// Fixed per-PE overhead for the sparse PE: coordinate computation,
+/// sequencing, PPU ("Other" in Table III).
+pub const MM2_SCNN_PE_OTHER: f64 = 0.019;
+/// Fixed per-PE overhead for a dense PE (no coordinate logic, simpler
+/// sequencing).
+pub const MM2_DCNN_PE_OTHER: f64 = 0.012;
+/// Dense PE accumulation storage in KB (single-buffered output registers
+/// plus drain buffer, vs. SCNN's double-buffered banked 6KB).
+pub const DCNN_ACC_KB: f64 = 3.0;
+
+/// Per-structure area of one SCNN PE, mm² (a Table III row set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeArea {
+    /// IARAM + OARAM.
+    pub act_ram: f64,
+    /// Weight FIFO.
+    pub weight_fifo: f64,
+    /// F x I multiplier array.
+    pub mult_array: f64,
+    /// Scatter crossbar (F*I -> A).
+    pub scatter: f64,
+    /// Accumulator buffers (double-buffered, banked).
+    pub accumulators: f64,
+    /// Everything else (coordinate computation, control, PPU).
+    pub other: f64,
+}
+
+impl PeArea {
+    /// Total PE area, mm².
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.act_ram + self.weight_fifo + self.mult_array + self.scatter + self.accumulators + self.other
+    }
+}
+
+impl fmt::Display for PeArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IARAM + OARAM        {:.3} mm2", self.act_ram)?;
+        writeln!(f, "Weight FIFO          {:.3} mm2", self.weight_fifo)?;
+        writeln!(f, "Multiplier array     {:.3} mm2", self.mult_array)?;
+        writeln!(f, "Scatter network      {:.3} mm2", self.scatter)?;
+        writeln!(f, "Accumulator buffers  {:.3} mm2", self.accumulators)?;
+        writeln!(f, "Other                {:.3} mm2", self.other)?;
+        write!(f, "Total                {:.3} mm2", self.total())
+    }
+}
+
+/// Computes the per-structure area of one SCNN PE under `cfg`.
+#[must_use]
+pub fn scnn_pe_area(cfg: &ScnnConfig) -> PeArea {
+    let act_ram_kb = (cfg.iaram_bytes + cfg.oaram_bytes) as f64 / 1024.0;
+    let fifo_kb = cfg.weight_fifo_bytes as f64 / 1024.0;
+    // Accumulators store 24-bit entries and are double-buffered (§IV).
+    let acc_kb = (cfg.acc_entries_total() * 3 * 2) as f64 / 1024.0;
+    PeArea {
+        act_ram: act_ram_kb * MM2_PER_KB_RAM,
+        weight_fifo: fifo_kb * MM2_PER_KB_FIFO,
+        mult_array: (cfg.multipliers_per_pe() as f64) * MM2_PER_ALU,
+        scatter: (cfg.multipliers_per_pe() * cfg.acc_banks) as f64 * MM2_PER_XBAR_CROSS,
+        accumulators: acc_kb * MM2_PER_KB_ACC,
+        other: MM2_SCNN_PE_OTHER,
+    }
+}
+
+/// Total SCNN accelerator area under `cfg`, mm² (Table IV: 7.9 mm² for the
+/// default 64-PE configuration).
+#[must_use]
+pub fn scnn_total_area(cfg: &ScnnConfig) -> f64 {
+    scnn_pe_area(cfg).total() * cfg.num_pes() as f64
+}
+
+/// Total DCNN/DCNN-opt accelerator area, mm² (Table IV: 5.9 mm²).
+///
+/// Composition: dense ALU arrays and weight buffers per PE, a simple
+/// (unbanked) accumulation structure per PE, shared 2MB activation SRAM.
+/// DCNN-opt adds only gating logic and DRAM codecs, which are negligible
+/// in area ("they have such a small effect on the design", §VI-A) — both
+/// variants report the same area.
+#[must_use]
+pub fn dcnn_total_area(cfg: &DcnnConfig) -> f64 {
+    let per_pe = cfg.multipliers_per_pe as f64 * MM2_PER_ALU
+        + 0.5 * MM2_PER_KB_FIFO // 0.5KB weight buffer, as SCNN's FIFO
+        + DCNN_ACC_KB * MM2_PER_KB_ACC
+        + MM2_DCNN_PE_OTHER;
+    let sram = (cfg.sram_bytes as f64 / 1024.0) * MM2_PER_KB_RAM;
+    per_pe * cfg.num_pes as f64 + sram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_pe_breakdown_reproduces() {
+        let pe = scnn_pe_area(&ScnnConfig::default());
+        // Table III rows (mm²): 0.031, 0.004, 0.008, 0.026, 0.036, 0.019.
+        assert!((pe.act_ram - 0.031).abs() < 0.001, "act_ram {}", pe.act_ram);
+        assert!((pe.weight_fifo - 0.004).abs() < 0.001);
+        assert!((pe.mult_array - 0.008).abs() < 0.001);
+        assert!((pe.scatter - 0.026).abs() < 0.001);
+        assert!((pe.accumulators - 0.036).abs() < 0.001);
+        assert!((pe.other - 0.019).abs() < 0.001);
+        // Table III total: 0.123 mm² (rounding of the rows).
+        assert!((pe.total() - 0.123).abs() < 0.002, "total {}", pe.total());
+    }
+
+    #[test]
+    fn table4_totals_reproduce() {
+        let scnn = scnn_total_area(&ScnnConfig::default());
+        assert!((scnn - 7.9).abs() < 0.2, "SCNN {scnn}");
+        let dcnn = dcnn_total_area(&DcnnConfig::default());
+        assert!((dcnn - 5.9).abs() < 0.4, "DCNN {dcnn}");
+        // The sparse overhead makes SCNN larger (§I).
+        assert!(scnn > dcnn);
+    }
+
+    #[test]
+    fn memories_dominate_pe_area() {
+        // §IV: memories (IARAM/OARAM + accumulators) consume 57% of PE area
+        // (adding the weight FIFO storage as "memories" too keeps it <65%).
+        let pe = scnn_pe_area(&ScnnConfig::default());
+        let mem_fraction = (pe.act_ram + pe.accumulators) / pe.total();
+        assert!((0.50..0.62).contains(&mem_fraction), "memory fraction {mem_fraction}");
+        // Multiplier array only ~6%.
+        let mult_fraction = pe.mult_array / pe.total();
+        assert!((0.04..0.09).contains(&mult_fraction), "mult fraction {mult_fraction}");
+    }
+
+    #[test]
+    fn granularity_sweep_grows_crossbar_area() {
+        // Fewer, larger PEs square the crossbar: a 2x2-PE chip (256 ALUs/PE,
+        // 512 banks) has far more crosspoints than 64 small PEs.
+        let small = scnn_total_area(&ScnnConfig::with_pe_grid(8));
+        let large = scnn_total_area(&ScnnConfig::with_pe_grid(2));
+        assert!(large > small, "coarse PEs should cost more area ({large} vs {small})");
+    }
+
+    #[test]
+    fn pe_area_display_lists_structures() {
+        let text = scnn_pe_area(&ScnnConfig::default()).to_string();
+        assert!(text.contains("IARAM"));
+        assert!(text.contains("Total"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Accelerator configurations (Table II / Table IV).
+
+/// How cross-tile convolution dependencies are resolved (§III-A).
+///
+/// * `Output` (the paper's choice): PEs fetch disjoint input tiles and
+///   accumulate partial sums for neighbour-owned outputs in a halo region
+///   of the accumulator, exchanged at output-channel-group boundaries.
+/// * `Input`: PEs fetch overlapping (replicated) input tiles sized to
+///   compute all of their own outputs locally; outputs are strictly
+///   private and no partial-sum exchange occurs, but Cartesian products
+///   whose outputs belong to neighbours are discarded, wasting multiplier
+///   slots in proportion to the halo-to-tile ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HaloStrategy {
+    /// Output halos: disjoint inputs, partial-sum exchange (paper §IV).
+    #[default]
+    Output,
+    /// Input halos: replicated inputs, private outputs.
+    Input,
+}
+
+/// SCNN design parameters — defaults are Table II of the paper.
+///
+/// The chip is a `pe_rows x pe_cols` array of PEs, each with an `f x i`
+/// multiplier array, `acc_banks` accumulator banks of `acc_bank_entries`
+/// each, and per-PE IARAM/OARAM for compressed activations.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_arch::ScnnConfig;
+///
+/// let cfg = ScnnConfig::default();
+/// assert_eq!(cfg.num_pes(), 64);
+/// assert_eq!(cfg.total_multipliers(), 1024);
+/// assert_eq!(cfg.acc_banks, 2 * cfg.f * cfg.i); // A = 2*F*I (§IV)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScnnConfig {
+    /// PE grid rows.
+    pub pe_rows: usize,
+    /// PE grid columns.
+    pub pe_cols: usize,
+    /// Weight-vector width `F` fetched per access.
+    pub f: usize,
+    /// Activation-vector width `I` fetched per access.
+    pub i: usize,
+    /// Number of accumulator banks `A` per PE.
+    pub acc_banks: usize,
+    /// Entries per accumulator bank.
+    pub acc_bank_entries: usize,
+    /// IARAM capacity per PE in bytes (compressed input activations).
+    pub iaram_bytes: usize,
+    /// OARAM capacity per PE in bytes (compressed output activations).
+    pub oaram_bytes: usize,
+    /// Weight FIFO capacity per PE in bytes.
+    pub weight_fifo_bytes: usize,
+    /// Upper bound on the output-channel group width `Kc`.
+    ///
+    /// The paper's worked example (§VI-B) uses `Kc = 8`; combined with the
+    /// accumulator-capacity bound this reproduces the reported utilization
+    /// behaviour.
+    pub kc_max: usize,
+    /// Halo resolution strategy (§III-A; the paper uses output halos).
+    pub halo: HaloStrategy,
+}
+
+impl Default for ScnnConfig {
+    fn default() -> Self {
+        Self {
+            pe_rows: 8,
+            pe_cols: 8,
+            f: 4,
+            i: 4,
+            acc_banks: 32,
+            acc_bank_entries: 32,
+            iaram_bytes: 10 * 1024,
+            oaram_bytes: 10 * 1024,
+            weight_fifo_bytes: 500,
+            kc_max: 8,
+            halo: HaloStrategy::Output,
+        }
+    }
+}
+
+impl ScnnConfig {
+    /// Number of PEs in the array.
+    #[must_use]
+    pub fn num_pes(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Multipliers per PE (`F x I`).
+    #[must_use]
+    pub fn multipliers_per_pe(&self) -> usize {
+        self.f * self.i
+    }
+
+    /// Total multipliers on chip.
+    #[must_use]
+    pub fn total_multipliers(&self) -> usize {
+        self.num_pes() * self.multipliers_per_pe()
+    }
+
+    /// Total accumulator entries per PE (`A x entries`).
+    #[must_use]
+    pub fn acc_entries_total(&self) -> usize {
+        self.acc_banks * self.acc_bank_entries
+    }
+
+    /// Total activation RAM on chip (IARAM + OARAM, all PEs), bytes.
+    #[must_use]
+    pub fn total_act_ram_bytes(&self) -> usize {
+        self.num_pes() * (self.iaram_bytes + self.oaram_bytes)
+    }
+
+    /// Weight FIFO capacity in compressed elements (16 data bits + 4 index
+    /// bits each): Table II's 500-byte FIFO holds 200 elements, i.e. 50
+    /// entries of `F = 4` values.
+    #[must_use]
+    pub fn weight_fifo_values(&self) -> usize {
+        self.weight_fifo_bytes * 8 / 20
+    }
+
+    /// Output-channel group width for a layer whose per-PE output halo tile
+    /// holds `halo_elems` positions and whose filter holds `filter_elems`
+    /// (`R x S`) weights per (channel, output channel):
+    /// `Kc = min(K, acc_entries / halo, fifo_values / filter, kc_max)`,
+    /// at least 1.
+    ///
+    /// The accumulator must hold `Kc x (Wt+R-1) x (Ht+S-1)` partial sums
+    /// (§III-A buffer inventory) and the weight FIFO must hold one
+    /// `Kc x R x S` compressed block per input channel (sized for the
+    /// dense worst case, a static decision), which bounds `Kc` twice.
+    #[must_use]
+    pub fn kc_for(&self, k: usize, halo_elems: usize, filter_elems: usize) -> usize {
+        let by_capacity = self.acc_entries_total().checked_div(halo_elems).unwrap_or(k);
+        let by_fifo = self.weight_fifo_values().checked_div(filter_elems).unwrap_or(k);
+        by_capacity.min(by_fifo).min(self.kc_max).min(k).max(1)
+    }
+
+    /// A configuration with an `n x n` PE grid holding the chip-wide
+    /// multiplier count at 1,024 by growing the per-PE array — the §VI-C
+    /// granularity study ("from 64 (8x8 PEs, 16 multipliers per PE) down
+    /// to 4 (2x2 PEs, 256 multipliers per PE)"). Accumulator banks stay at
+    /// `2*F*I` and per-PE RAM scales so chip totals are constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n*n` does not divide 1,024 into a square `F x I` array.
+    #[must_use]
+    pub fn with_pe_grid(n: usize) -> Self {
+        let base = Self::default();
+        let pes = n * n;
+        assert!(pes > 0 && 1024 % pes == 0, "PE grid {n}x{n} incompatible with 1024 multipliers");
+        let per_pe = 1024 / pes;
+        let side = (per_pe as f64).sqrt() as usize;
+        assert_eq!(side * side, per_pe, "multipliers per PE must form a square array");
+        Self {
+            pe_rows: n,
+            pe_cols: n,
+            f: side,
+            i: side,
+            acc_banks: 2 * per_pe,
+            acc_bank_entries: base.acc_bank_entries,
+            iaram_bytes: base.iaram_bytes * base.num_pes() / pes,
+            oaram_bytes: base.oaram_bytes * base.num_pes() / pes,
+            weight_fifo_bytes: base.weight_fifo_bytes * base.num_pes() / pes,
+            kc_max: base.kc_max,
+            halo: base.halo,
+        }
+    }
+}
+
+/// Dense baseline configuration (Table IV: DCNN / DCNN-opt).
+///
+/// Same multiplier provisioning as SCNN (64 PEs x 16 ALUs) but dense
+/// operand delivery, a 2MB activation SRAM, and no sparse overheads. The
+/// `optimized` variant (DCNN-opt) adds zero-operand ALU gating and
+/// DRAM activation compression; it shares DCNN's performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DcnnConfig {
+    /// Number of PEs.
+    pub num_pes: usize,
+    /// Multipliers per PE.
+    pub multipliers_per_pe: usize,
+    /// Activation SRAM capacity in bytes (2MB in Table IV).
+    pub sram_bytes: usize,
+    /// Whether the DCNN-opt energy optimizations are enabled.
+    pub optimized: bool,
+}
+
+impl Default for DcnnConfig {
+    fn default() -> Self {
+        Self { num_pes: 64, multipliers_per_pe: 16, sram_bytes: 2 * 1024 * 1024, optimized: false }
+    }
+}
+
+impl DcnnConfig {
+    /// The DCNN-opt configuration (§V).
+    #[must_use]
+    pub fn optimized() -> Self {
+        Self { optimized: true, ..Self::default() }
+    }
+
+    /// Total multipliers on chip.
+    #[must_use]
+    pub fn total_multipliers(&self) -> usize {
+        self.num_pes * self.multipliers_per_pe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let cfg = ScnnConfig::default();
+        assert_eq!(cfg.num_pes(), 64);
+        assert_eq!(cfg.multipliers_per_pe(), 16);
+        assert_eq!(cfg.total_multipliers(), 1024);
+        assert_eq!(cfg.acc_entries_total(), 1024);
+        // Table II: IARAM + OARAM data = 1MB chip-wide.
+        assert_eq!(cfg.total_act_ram_bytes(), 64 * 20 * 1024);
+    }
+
+    #[test]
+    fn kc_respects_capacity_bound() {
+        let cfg = ScnnConfig::default();
+        // Large halo tile (VGG 28x28 tile + 3x3 filter = 30x30 = 900):
+        // capacity only allows Kc = 1.
+        assert_eq!(cfg.kc_for(512, 900, 9), 1);
+        // Small halo: bounded by kc_max (paper's worked Kc = 8).
+        assert_eq!(cfg.kc_for(512, 1, 1), 8);
+        // Bounded by K itself.
+        assert_eq!(cfg.kc_for(3, 1, 1), 3);
+    }
+
+    #[test]
+    fn kc_respects_weight_fifo_bound() {
+        let cfg = ScnnConfig::default();
+        assert_eq!(cfg.weight_fifo_values(), 200);
+        // An 11x11 filter (121 weights) only fits one channel group.
+        assert_eq!(cfg.kc_for(96, 4, 121), 1);
+        // A 5x5 filter allows 200/25 = 8 channels.
+        assert_eq!(cfg.kc_for(256, 4, 25), 8);
+    }
+
+    #[test]
+    fn kc_never_zero() {
+        let cfg = ScnnConfig::default();
+        assert_eq!(cfg.kc_for(1, 100_000, 121), 1);
+    }
+
+    #[test]
+    fn pe_grid_sweep_preserves_chip_totals() {
+        for n in [2usize, 4, 8] {
+            let cfg = ScnnConfig::with_pe_grid(n);
+            assert_eq!(cfg.total_multipliers(), 1024, "grid {n}");
+            assert_eq!(cfg.acc_banks, 2 * cfg.f * cfg.i, "grid {n}");
+            assert_eq!(
+                cfg.total_act_ram_bytes(),
+                ScnnConfig::default().total_act_ram_bytes(),
+                "grid {n}"
+            );
+        }
+        let four = ScnnConfig::with_pe_grid(2);
+        assert_eq!((four.f, four.i), (16, 16));
+    }
+
+    #[test]
+    fn dcnn_matches_scnn_provisioning() {
+        let dcnn = DcnnConfig::default();
+        assert_eq!(dcnn.total_multipliers(), ScnnConfig::default().total_multipliers());
+        assert!(!dcnn.optimized);
+        assert!(DcnnConfig::optimized().optimized);
+    }
+}

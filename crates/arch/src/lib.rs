@@ -1,0 +1,37 @@
+//! Accelerator configurations, energy model and area model for the SCNN
+//! (ISCA 2017) reproduction.
+//!
+//! * [`ScnnConfig`] — the Table II design point (8x8 PEs, 4x4 multipliers,
+//!   32 accumulator banks, 10KB IARAM/OARAM) plus the §VI-C granularity
+//!   sweep constructor;
+//! * [`DcnnConfig`] — the comparably-provisioned dense baseline of
+//!   Table IV (DCNN and DCNN-opt);
+//! * [`EnergyModel`] / [`AccessCounts`] / [`EnergyBreakdown`] — the
+//!   event-based energy model applied to simulator or analytical counts;
+//! * [`scnn_pe_area`] / [`scnn_total_area`] / [`dcnn_total_area`] — the
+//!   Table III / Table IV area model with scaling rules.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_arch::{scnn_total_area, ScnnConfig};
+//!
+//! let cfg = ScnnConfig::default();
+//! let area = scnn_total_area(&cfg);
+//! assert!((area - 7.9).abs() < 0.2); // Table IV
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod area;
+mod config;
+mod energy;
+
+pub use area::{
+    dcnn_total_area, scnn_pe_area, scnn_total_area, PeArea, DCNN_ACC_KB, MM2_DCNN_PE_OTHER,
+    MM2_PER_ALU, MM2_PER_KB_ACC, MM2_PER_KB_FIFO, MM2_PER_KB_RAM, MM2_PER_XBAR_CROSS,
+    MM2_SCNN_PE_OTHER,
+};
+pub use config::{DcnnConfig, HaloStrategy, ScnnConfig};
+pub use energy::{AccessCounts, EnergyBreakdown, EnergyModel};

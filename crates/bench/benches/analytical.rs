@@ -1,0 +1,35 @@
+//! Criterion benches for the TimeLoop analytical model: per-layer
+//! estimates and the full Figure 7 design-space sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scnn::scnn_arch::{DcnnConfig, ScnnConfig};
+use scnn::scnn_model::zoo;
+use scnn::scnn_tensor::ConvShape;
+use scnn::scnn_timeloop::{density_sweep, figure7_densities, TimeLoop};
+
+fn bench_estimates(c: &mut Criterion) {
+    let tl = TimeLoop::new(ScnnConfig::default());
+    let shape = ConvShape::new(128, 96, 3, 3, 28, 28).with_pad(1);
+    c.bench_function("timeloop/estimate_scnn", |b| {
+        b.iter(|| tl.estimate_scnn(black_box(&shape), 0.33, 0.6, false))
+    });
+    let dcnn = DcnnConfig::default();
+    c.bench_function("timeloop/estimate_dcnn", |b| {
+        b.iter(|| tl.estimate_dcnn(black_box(&dcnn), black_box(&shape), 0.33, 0.6, false))
+    });
+}
+
+fn bench_fig7_sweep(c: &mut Criterion) {
+    let tl = TimeLoop::new(ScnnConfig::default());
+    let net = zoo::googlenet();
+    let densities = figure7_densities();
+    let mut group = c.benchmark_group("timeloop");
+    group.sample_size(10);
+    group.bench_function("figure7_sweep_googlenet", |b| {
+        b.iter(|| density_sweep(black_box(&tl), black_box(&net), black_box(&densities)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimates, bench_fig7_sweep);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the cycle-level machines: simulator throughput
+//! on representative layers of the paper's networks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scnn::scnn_arch::{DcnnConfig, ScnnConfig};
+use scnn::scnn_model::{synth_layer_input, synth_weights};
+use scnn::scnn_sim::{DcnnMachine, OperandProfile, RunOptions, ScnnMachine};
+use scnn::scnn_tensor::ConvShape;
+
+fn bench_scnn_layers(c: &mut Criterion) {
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let mut group = c.benchmark_group("scnn_machine");
+    group.sample_size(10);
+    let cases = [
+        // (name, shape, wd, ad) — representative evaluation layers.
+        ("googlenet_3a_3x3", ConvShape::new(128, 96, 3, 3, 28, 28).with_pad(1), 0.33, 0.60),
+        ("googlenet_5b_1x1", ConvShape::new(384, 832, 1, 1, 7, 7), 0.44, 0.32),
+        ("alexnet_conv3", ConvShape::new(384, 256, 3, 3, 13, 13).with_pad(1), 0.35, 0.35),
+    ];
+    for (name, shape, wd, ad) in cases {
+        let weights = synth_weights(&shape, wd, 1);
+        let input = synth_layer_input(&shape, ad, 2);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                machine.run_layer(
+                    black_box(&shape),
+                    black_box(&weights),
+                    black_box(&input),
+                    &RunOptions::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dcnn_layer(c: &mut Criterion) {
+    let machine = DcnnMachine::new(DcnnConfig::default());
+    let shape = ConvShape::new(128, 96, 3, 3, 28, 28).with_pad(1);
+    let input = synth_layer_input(&shape, 0.6, 3);
+    let profile = OperandProfile::measure(&input, 0.33, None);
+    c.bench_function("dcnn_machine/googlenet_3a_3x3", |b| {
+        b.iter(|| machine.run_layer(black_box(&shape), black_box(&profile), false))
+    });
+}
+
+criterion_group!(benches, bench_scnn_layers, bench_dcnn_layer);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches for the compressed-sparse encoding substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scnn::scnn_tensor::{CompressedWeights, Dense4, OcgPartition, RleVec};
+
+fn buffer(len: usize, density: f64, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| if rng.gen_bool(density) { rng.gen_range(0.1f32..1.0) } else { 0.0 })
+        .collect()
+}
+
+fn bench_rle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rle");
+    for density in [0.1, 0.35, 1.0] {
+        let dense = buffer(4096, density, 42);
+        group.bench_function(format!("encode_4096_d{density}"), |b| {
+            b.iter(|| RleVec::encode(black_box(&dense)))
+        });
+        let rle = RleVec::encode(&dense);
+        group.bench_function(format!("decode_4096_d{density}"), |b| {
+            b.iter(|| black_box(&rle).decode(4096))
+        });
+    }
+    group.finish();
+}
+
+fn bench_weight_compression(c: &mut Criterion) {
+    // GoogLeNet 5b/3x3-sized weight tensor at its paper density.
+    let data = buffer(384 * 192 * 9, 0.33, 7);
+    let w = Dense4::from_vec(384, 192, 3, 3, data);
+    let partition = OcgPartition::new(384, 8);
+    c.bench_function("compress_weights_5b_3x3", |b| {
+        b.iter(|| CompressedWeights::compress(black_box(&w), black_box(&partition)))
+    });
+}
+
+criterion_group!(benches, bench_rle, bench_weight_compression);
+criterion_main!(benches);

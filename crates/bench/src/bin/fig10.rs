@@ -1,0 +1,16 @@
+//! Regenerates Figure 10: per-layer energy relative to DCNN, from the
+//! cycle-level simulator and the event energy model.
+
+use scnn::experiments::render_fig10;
+
+fn main() {
+    for run in scnn_bench::paper_runs() {
+        scnn_bench::section(
+            &format!("Figure 10 — {} energy relative to DCNN", run.network.name()),
+            &render_fig10(&run),
+        );
+    }
+    println!("Paper reference: DCNN-opt 2.0x better than DCNN on average, SCNN 2.3x;");
+    println!("SCNN ranges 0.89x-4.7x vs DCNN and 0.76x-1.9x vs DCNN-opt; dense input");
+    println!("layers (AlexNet conv1, VGG conv1_1) are SCNN's worst case.");
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 7: GoogLeNet performance and energy vs density
+//! (TimeLoop analytical sweep, as in the paper).
+
+use scnn::scnn_model::zoo;
+
+fn main() {
+    let net = zoo::googlenet();
+    scnn_bench::section(
+        "Figure 7 — GoogLeNet latency & energy vs weight/activation density (normalized to DCNN)",
+        &scnn::experiments::render_fig7(&net),
+    );
+    println!("Paper reference: SCNN ~79% of DCNN performance at 1.0/1.0 (norm ~1.27),");
+    println!("performance crossover ~0.85, ~24x speedup at 0.1/0.1;");
+    println!("energy crossovers: SCNN beats DCNN below ~0.83, DCNN-opt below ~0.60;");
+    println!("DCNN-opt below DCNN at every density.");
+}

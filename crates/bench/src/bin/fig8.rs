@@ -1,0 +1,16 @@
+//! Regenerates Figure 8: per-layer and network speedups of SCNN and
+//! SCNN(oracle) over DCNN, from the cycle-level simulator.
+
+use scnn::experiments::render_fig8;
+
+fn main() {
+    for run in scnn_bench::paper_runs() {
+        scnn_bench::section(
+            &format!("Figure 8 — {} speedup over DCNN", run.network.name()),
+            &render_fig8(&run),
+        );
+    }
+    println!("Paper reference: network-wide SCNN speedups 2.37x (AlexNet),");
+    println!("2.19x (GoogLeNet), 3.52x (VGGNet); overall average 2.7x;");
+    println!("oracle gap widens toward late layers.");
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 9: multiplier utilization and PE idle fractions,
+//! from the cycle-level simulator.
+
+use scnn::experiments::render_fig9;
+
+fn main() {
+    for run in scnn_bench::paper_runs() {
+        scnn_bench::section(
+            &format!("Figure 9 — {} multiplier utilization / PE idle", run.network.name()),
+            &render_fig9(&run),
+        );
+    }
+    println!("Paper reference: utilization declines toward late layers, below 20%");
+    println!("for GoogLeNet's last two inception modules; idle fractions grow with");
+    println!("intra-PE fragmentation (Figure 9).");
+}

@@ -1,0 +1,51 @@
+//! Ablation of the §III-A halo design choice: output halos (the paper's
+//! pick) vs input halos.
+//!
+//! > "Halos can be resolved in two ways … Our PT-IS-CP-dense dataflow
+//! > uses output halos, though the efficiency difference between the two
+//! > approaches is minimal."
+//!
+//! The difference tracks the halo-to-tile ratio: on large planes (big
+//! per-PE tiles) the two are near-identical; on small planes the
+//! replicated-input Cartesian products waste multiplier slots and output
+//! halos win clearly — consistent with the paper picking output halos
+//! for a 64-PE design.
+
+use scnn::scnn_arch::{HaloStrategy, ScnnConfig};
+use scnn::scnn_model::{synth_layer_input, synth_weights};
+use scnn::scnn_sim::{RunOptions, ScnnMachine};
+use scnn::scnn_tensor::ConvShape;
+
+fn main() {
+    let out_m = ScnnMachine::new(ScnnConfig::default());
+    let in_m = ScnnMachine::new(ScnnConfig { halo: HaloStrategy::Input, ..ScnnConfig::default() });
+    let cases = [
+        ("VGG conv2_2 (112x112)", ConvShape::new(128, 128, 3, 3, 112, 112).with_pad(1), 0.42, 0.50),
+        ("VGG conv4_2 (28x28)", ConvShape::new(512, 512, 3, 3, 28, 28).with_pad(1), 0.35, 0.38),
+        ("GoogLeNet 3a 3x3 (28x28)", ConvShape::new(128, 96, 3, 3, 28, 28).with_pad(1), 0.33, 0.60),
+        ("GoogLeNet 4c 3x3 (14x14)", ConvShape::new(256, 128, 3, 3, 14, 14).with_pad(1), 0.33, 0.42),
+        ("GoogLeNet 5b 3x3 (7x7)", ConvShape::new(384, 192, 3, 3, 7, 7).with_pad(1), 0.33, 0.32),
+    ];
+    println!("== §III-A ablation — output halos vs input halos (cycles)");
+    println!("{:<28} {:>12} {:>12} {:>10} {:>14} {:>14}", "layer", "output-halo", "input-halo", "ratio", "halo values", "IARAM max (b)");
+    for (name, shape, wd, ad) in cases {
+        let weights = synth_weights(&shape, wd, 1);
+        let input = synth_layer_input(&shape, ad, 2);
+        let o = out_m.run_layer(&shape, &weights, &input, &RunOptions::default());
+        let i = in_m.run_layer(&shape, &weights, &input, &RunOptions::default());
+        println!(
+            "{:<28} {:>12} {:>12} {:>9.2}x {:>6}/{:<7} {:>6}/{:<7}",
+            name,
+            o.cycles,
+            i.cycles,
+            i.cycles as f64 / o.cycles as f64,
+            o.stats.halo_values,
+            i.stats.halo_values,
+            o.footprints.iaram_bits_max,
+            i.footprints.iaram_bits_max,
+        );
+    }
+    println!("\nPaper reference: \"the efficiency difference between the two approaches");
+    println!("is minimal\" — holds for large tiles; small tiles favour output halos,");
+    println!("matching the paper's design choice.");
+}

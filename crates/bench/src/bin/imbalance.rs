@@ -1,0 +1,53 @@
+//! Load-imbalance sensitivity study: uniform-random vs spatially-
+//! correlated activation sparsity.
+//!
+//! The paper's simulator "captures the effects of the sparsity of the
+//! data and its effect on load balancing within the SCNN architecture"
+//! (§V). Real post-ReLU feature maps are spatially correlated — zeros
+//! cluster where a feature is absent — which concentrates non-zero work
+//! on the PEs whose planar tiles hold the active regions and raises
+//! barrier idling beyond what uniform-random operands (the common
+//! simulator simplification) exhibit.
+
+use scnn::scnn_arch::ScnnConfig;
+use scnn::scnn_model::{synth_acts_correlated, synth_layer_input, synth_weights};
+use scnn::scnn_sim::{RunOptions, ScnnMachine};
+use scnn::scnn_tensor::ConvShape;
+
+fn main() {
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let shape = ConvShape::new(128, 96, 3, 3, 56, 56).with_pad(1);
+    let weights = synth_weights(&shape, 0.33, 1);
+    let density = 0.40;
+
+    println!("== Load imbalance vs activation clustering (GoogLeNet-like layer, IA density {density})");
+    println!("{:<22} {:>10} {:>12} {:>12} {:>10}", "activation pattern", "cycles", "idle frac", "mult util", "slowdown");
+    let uniform = synth_layer_input(&shape, density, 2);
+    let base = machine.run_layer(&shape, &weights, &uniform, &RunOptions::default());
+    println!(
+        "{:<22} {:>10} {:>12.3} {:>12.3} {:>9.2}x",
+        "uniform",
+        base.cycles,
+        base.stats.idle_fraction(),
+        base.stats.utilization(1024, base.cycles),
+        1.0
+    );
+    for blob in [4usize, 8, 14, 28] {
+        let acts = synth_acts_correlated(shape.c, shape.w, shape.h, density, blob, 3);
+        let r = machine.run_layer(&shape, &weights, &acts, &RunOptions::default());
+        println!(
+            "{:<22} {:>10} {:>12.3} {:>12.3} {:>9.2}x",
+            format!("blobs ~{blob}px"),
+            r.cycles,
+            r.stats.idle_fraction(),
+            r.stats.utilization(1024, r.cycles),
+            r.cycles as f64 / base.cycles as f64,
+        );
+    }
+    println!("\nBlobs near the per-PE tile scale (plane/8 = 7px here) hurt most: the same");
+    println!("total work concentrates on few PEs and barrier idling rises. Much larger");
+    println!("blobs partially recover — inside a blob the activations are locally dense,");
+    println!("so the loaded PEs pack full I-wide vectors with little ceil() waste.");
+    println!("Uniform operands sit near the best case for the planar tiling — worth");
+    println!("noting when comparing absolute speedups against trace-driven results.");
+}

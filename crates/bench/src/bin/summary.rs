@@ -1,0 +1,67 @@
+//! One-shot reproduction summary: every headline number of the paper in
+//! a single run (Tables III/IV, Figure 7 crossovers, Figure 8-10 network
+//! aggregates, §VI-C, §VI-D).
+
+use scnn::experiments;
+use scnn::scnn_model::zoo;
+
+fn main() {
+    println!("SCNN (ISCA 2017) reproduction — headline summary\n");
+
+    let (pe, total) = experiments::table3();
+    println!("area:        PE {:.3} mm2 (paper 0.123), chip {total:.1} mm2 (paper 7.9)", pe.total());
+    let t4 = experiments::table4();
+    println!("             DCNN {:.1} mm2 (paper 5.9)", t4[0].area_mm2);
+
+    let points = experiments::fig7(&zoo::googlenet());
+    let dense = points.last().unwrap();
+    let sparse = &points[0];
+    println!(
+        "figure 7:    SCNN at 1.0/1.0 = {:.0}% of DCNN (paper 79%), {:.1}x at 0.1/0.1 (paper ~24x)",
+        100.0 / dense.scnn_latency_norm(),
+        1.0 / sparse.scnn_latency_norm()
+    );
+    let e_cross = points
+        .windows(2)
+        .find(|w| w[0].scnn_energy_norm() <= 1.0 && w[1].scnn_energy_norm() > 1.0)
+        .map_or(1.0, |w| w[0].density);
+    println!("             energy crossover vs DCNN at density {e_cross:.1} (paper ~0.83)");
+
+    println!("figures 8-10 (cycle-level simulator, paper densities):");
+    let paper = [("AlexNet", 2.37), ("GoogLeNet", 2.19), ("VGGNet", 3.52)];
+    let mut speedups = Vec::new();
+    for run in scnn_bench::paper_runs() {
+        let reference = paper.iter().find(|(n, _)| *n == run.network.name()).unwrap().1;
+        println!(
+            "  {:<10} speedup {:.2}x (paper {reference}x)   energy: SCNN {:.2} / DCNN-opt {:.2} of DCNN",
+            run.network.name(),
+            run.scnn_speedup(),
+            run.scnn_energy_rel(),
+            run.dcnn_opt_energy_rel(),
+        );
+        speedups.push(run.scnn_speedup());
+    }
+    println!(
+        "  average    speedup {:.2}x (paper 2.7x)",
+        speedups.iter().sum::<f64>() / speedups.len() as f64
+    );
+
+    let g = experiments::pe_granularity();
+    let coarse = g.iter().find(|p| p.pes == 4).unwrap();
+    let fine = g.iter().find(|p| p.pes == 64).unwrap();
+    println!(
+        "VI-C:        64 PEs {:.0}% faster than 4 PEs (paper ~11%), util {:.0}% vs {:.0}%",
+        (coarse.cycles / fine.cycles - 1.0) * 100.0,
+        fine.utilization * 100.0,
+        coarse.utilization * 100.0
+    );
+
+    let t = experiments::tiling();
+    println!(
+        "VI-D:        {} of {} layers DRAM-tiled (paper 9 of 72), mean penalty {:.0}% (paper ~18%)",
+        t.tiled_layers,
+        t.total_layers,
+        t.mean_penalty * 100.0
+    );
+    println!("\nfull accounting: EXPERIMENTS.md");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table II: SCNN design parameters.
+
+fn main() {
+    scnn_bench::section("Table II — SCNN design parameters", &scnn::experiments::render_table2());
+    println!("Paper reference: 16-bit multipliers, 24-bit accumulators, 10KB IARAM/OARAM,");
+    println!("50-entry weight FIFO, 4x4 multiply array, 32 banks x 32 entries, 64 PEs,");
+    println!("1024 multipliers, 1MB activation RAM.");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table III: SCNN PE area breakdown.
+
+fn main() {
+    scnn_bench::section("Table III — SCNN PE area breakdown", &scnn::experiments::render_table3());
+    println!("Paper reference (mm2): 0.031 / 0.004 / 0.008 / 0.026 / 0.036 / 0.019;");
+    println!("PE total 0.123, accelerator total 7.9.");
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §VI-D large-network tiling study.
+
+fn main() {
+    scnn_bench::section("§VI-D — DRAM tiling of large layers", &scnn::experiments::render_tiling());
+    println!("Paper reference: 9 of the 72 evaluated layers require DRAM tiling");
+    println!("(all VGGNet); energy penalty 5%-62%, mean ~18%.");
+}

@@ -1,0 +1,24 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see `DESIGN.md` §3 for the full index) and prints the
+//! paper's reference values alongside, so `EXPERIMENTS.md` can be audited
+//! directly from the binary output.
+
+use scnn::runner::{NetworkRun, RunConfig};
+use scnn::scnn_model::zoo;
+
+/// Executes all three evaluation networks with the paper's density
+/// profiles on the default configuration (used by the Figure 8–10
+/// binaries).
+#[must_use]
+pub fn paper_runs() -> Vec<NetworkRun> {
+    let config = RunConfig::default();
+    zoo::all_networks().iter().map(|net| NetworkRun::execute_paper(net, &config)).collect()
+}
+
+/// Prints a titled section.
+pub fn section(title: &str, body: &str) {
+    println!("== {title}");
+    println!("{body}");
+}

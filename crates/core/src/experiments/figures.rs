@@ -1,0 +1,352 @@
+//! Figures 1, 7, 8, 9 and 10 of the paper.
+
+use crate::runner::{LayerRun, NetworkRun};
+use crate::textutil::fmt_table;
+use scnn_arch::ScnnConfig;
+use scnn_model::{DensityProfile, Network};
+use scnn_timeloop::{density_sweep, figure7_densities, DensityPoint, TimeLoop};
+
+/// One bar group of Figure 1: a layer's densities and ideal work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Row {
+    /// Layer name.
+    pub layer: String,
+    /// Input activation density.
+    pub act_density: f64,
+    /// Weight density.
+    pub weight_density: f64,
+    /// Work (# of multiplies) relative to dense — the triangles of
+    /// Figure 1, `weight_density * act_density`.
+    pub work: f64,
+}
+
+/// Regenerates Figure 1 for a network (per evaluated layer).
+///
+/// # Panics
+///
+/// Panics if the network has no published density profile.
+#[must_use]
+pub fn fig1(network: &Network) -> Vec<Fig1Row> {
+    let profile = DensityProfile::paper(network).expect("no paper profile");
+    network
+        .layers()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.evaluated)
+        .map(|(i, l)| {
+            let d = profile.layer(i);
+            Fig1Row {
+                layer: l.name.clone(),
+                act_density: d.act,
+                weight_density: d.weight,
+                work: d.work_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 1 for a network.
+#[must_use]
+pub fn render_fig1(network: &Network) -> String {
+    let rows: Vec<Vec<String>> = fig1(network)
+        .iter()
+        .map(|r| {
+            vec![
+                r.layer.clone(),
+                format!("{:.2}", r.act_density),
+                format!("{:.2}", r.weight_density),
+                format!("{:.3}", r.work),
+            ]
+        })
+        .collect();
+    fmt_table(&["Layer", "Density (IA)", "Density (W)", "Work (rel. multiplies)"], &rows)
+}
+
+/// Regenerates Figure 7: the GoogLeNet density sweep on the analytical
+/// model (both performance, 7a, and energy, 7b, live in the returned
+/// points).
+#[must_use]
+pub fn fig7(network: &Network) -> Vec<DensityPoint> {
+    let tl = TimeLoop::new(ScnnConfig::default());
+    density_sweep(&tl, network, &figure7_densities())
+}
+
+/// Renders Figure 7 (both panels).
+#[must_use]
+pub fn render_fig7(network: &Network) -> String {
+    let points = fig7(network);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{0:.1}/{0:.1}", p.density),
+                format!("{:.3}", 1.0),
+                format!("{:.3}", p.scnn_latency_norm()),
+                format!("{:.3}", 1.0),
+                format!("{:.3}", p.dcnn_opt_energy_norm()),
+                format!("{:.3}", p.scnn_energy_norm()),
+            ]
+        })
+        .collect();
+    fmt_table(
+        &[
+            "W/IA density",
+            "latency DCNN",
+            "latency SCNN",
+            "energy DCNN",
+            "energy DCNN-opt",
+            "energy SCNN",
+        ],
+        &rows,
+    )
+}
+
+/// The per-bar display units of Figures 8–10: GoogLeNet aggregates by
+/// inception module; the other networks report per layer.
+fn display_units(run: &NetworkRun) -> Vec<(String, Vec<&LayerRun>)> {
+    let labels = run.network.group_labels();
+    if labels.is_empty() {
+        run.layers.iter().map(|l| (l.name.clone(), vec![l])).collect()
+    } else {
+        labels.into_iter().map(|label| (label.clone(), run.group(&label))).collect()
+    }
+}
+
+fn sum<F: Fn(&LayerRun) -> u64>(layers: &[&LayerRun], f: F) -> u64 {
+    layers.iter().map(|l| f(l)).sum()
+}
+
+fn sum_f<F: Fn(&LayerRun) -> f64>(layers: &[&LayerRun], f: F) -> f64 {
+    layers.iter().map(|l| f(l)).sum()
+}
+
+/// One bar group of Figure 8: speedups over DCNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Row {
+    /// Layer / module label, or `all`.
+    pub label: String,
+    /// DCNN (and DCNN-opt) speedup: definitionally 1.
+    pub dcnn: f64,
+    /// SCNN speedup over DCNN.
+    pub scnn: f64,
+    /// SCNN(oracle) speedup over DCNN.
+    pub oracle: f64,
+}
+
+/// Regenerates Figure 8 for an executed network (per-unit bars plus the
+/// `all` network bar).
+#[must_use]
+pub fn fig8(run: &NetworkRun) -> Vec<Fig8Row> {
+    let mut rows: Vec<Fig8Row> = display_units(run)
+        .into_iter()
+        .map(|(label, layers)| {
+            let dcnn = sum(&layers, |l| l.dcnn.cycles) as f64;
+            Fig8Row {
+                label,
+                dcnn: 1.0,
+                scnn: dcnn / sum(&layers, |l| l.scnn.cycles).max(1) as f64,
+                oracle: dcnn / sum(&layers, |l| l.oracle_cycles).max(1) as f64,
+            }
+        })
+        .collect();
+    rows.push(Fig8Row {
+        label: "all".to_owned(),
+        dcnn: 1.0,
+        scnn: run.scnn_speedup(),
+        oracle: run.oracle_speedup(),
+    });
+    rows
+}
+
+/// Renders Figure 8 for an executed network.
+#[must_use]
+pub fn render_fig8(run: &NetworkRun) -> String {
+    let rows: Vec<Vec<String>> = fig8(run)
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.2}", r.dcnn),
+                format!("{:.2}", r.scnn),
+                format!("{:.2}", r.oracle),
+            ]
+        })
+        .collect();
+    fmt_table(&["Layer", "DCNN/DCNN-opt", "SCNN", "SCNN (oracle)"], &rows)
+}
+
+/// One bar group of Figure 9: utilization and idle fractions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// Layer / module label.
+    pub label: String,
+    /// Average multiplier-array utilization over the unit's execution.
+    pub utilization: f64,
+    /// Fraction of PE-cycles stalled at the inter-PE barrier.
+    pub idle_fraction: f64,
+}
+
+/// Regenerates Figure 9 for an executed network.
+#[must_use]
+pub fn fig9(run: &NetworkRun) -> Vec<Fig9Row> {
+    let total_mults = 1024u64;
+    display_units(run)
+        .into_iter()
+        .map(|(label, layers)| {
+            let products = sum(&layers, |l| l.scnn.stats.products);
+            let cycles = sum(&layers, |l| l.scnn.cycles).max(1);
+            let busy = sum(&layers, |l| l.scnn.stats.busy_cycles);
+            let idle = sum(&layers, |l| l.scnn.stats.idle_cycles);
+            Fig9Row {
+                label,
+                utilization: products as f64 / (total_mults * cycles) as f64,
+                idle_fraction: idle as f64 / (busy + idle).max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 9 for an executed network.
+#[must_use]
+pub fn render_fig9(run: &NetworkRun) -> String {
+    let rows: Vec<Vec<String>> = fig9(run)
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.2}", r.utilization),
+                format!("{:.2}", r.idle_fraction),
+            ]
+        })
+        .collect();
+    fmt_table(&["Layer", "Multiplier util.", "PE idle cycles"], &rows)
+}
+
+/// One bar group of Figure 10: energy relative to DCNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Row {
+    /// Layer / module label, or `all`.
+    pub label: String,
+    /// DCNN energy: definitionally 1.
+    pub dcnn: f64,
+    /// DCNN-opt energy relative to DCNN.
+    pub dcnn_opt: f64,
+    /// SCNN energy relative to DCNN.
+    pub scnn: f64,
+}
+
+/// Regenerates Figure 10 for an executed network.
+#[must_use]
+pub fn fig10(run: &NetworkRun) -> Vec<Fig10Row> {
+    let mut rows: Vec<Fig10Row> = display_units(run)
+        .into_iter()
+        .map(|(label, layers)| {
+            let dcnn = sum_f(&layers, |l| l.dcnn.energy_pj());
+            Fig10Row {
+                label,
+                dcnn: 1.0,
+                dcnn_opt: sum_f(&layers, |l| l.dcnn_opt.energy_pj()) / dcnn,
+                scnn: sum_f(&layers, |l| l.scnn.energy_pj()) / dcnn,
+            }
+        })
+        .collect();
+    rows.push(Fig10Row {
+        label: "all".to_owned(),
+        dcnn: 1.0,
+        dcnn_opt: run.dcnn_opt_energy_rel(),
+        scnn: run.scnn_energy_rel(),
+    });
+    rows
+}
+
+/// Renders Figure 10 for an executed network.
+#[must_use]
+pub fn render_fig10(run: &NetworkRun) -> String {
+    let rows: Vec<Vec<String>> = fig10(run)
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.2}", r.dcnn),
+                format!("{:.2}", r.dcnn_opt),
+                format!("{:.2}", r.scnn),
+            ]
+        })
+        .collect();
+    fmt_table(&["Layer", "DCNN", "DCNN-opt", "SCNN"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunConfig;
+    use scnn_model::{zoo, ConvLayer, LayerDensity};
+    use scnn_tensor::ConvShape;
+
+    fn tiny_run() -> NetworkRun {
+        let net = Network::new(
+            "tiny",
+            vec![
+                ConvLayer::new("a", ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1))
+                    .with_group_label("G1"),
+                ConvLayer::new("b", ConvShape::new(16, 8, 1, 1, 12, 12)).with_group_label("G1"),
+            ],
+        );
+        let profile = DensityProfile::from_layers(vec![
+            LayerDensity::new(0.4, 0.5),
+            LayerDensity::new(0.35, 0.45),
+        ]);
+        NetworkRun::execute(&net, &profile, &RunConfig::default())
+    }
+
+    #[test]
+    fn fig1_covers_eval_layers() {
+        let net = zoo::alexnet();
+        let rows = fig1(&net);
+        assert_eq!(rows.len(), 5);
+        assert!((rows[0].act_density - 1.0).abs() < 1e-9, "conv1 input is dense");
+        for r in &rows {
+            assert!((r.work - r.act_density * r.weight_density).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig8_groups_and_appends_all() {
+        let run = tiny_run();
+        let rows = fig8(&run);
+        assert_eq!(rows.len(), 2); // G1 + all
+        assert_eq!(rows[0].label, "G1");
+        assert_eq!(rows[1].label, "all");
+        for r in &rows {
+            assert!(r.oracle >= r.scnn, "{}", r.label);
+            assert_eq!(r.dcnn, 1.0);
+        }
+    }
+
+    #[test]
+    fn fig9_fractions_in_unit_range() {
+        let run = tiny_run();
+        for r in fig9(&run) {
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0, "{}", r.label);
+            assert!((0.0..=1.0).contains(&r.idle_fraction), "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn fig10_opt_never_exceeds_dcnn() {
+        let run = tiny_run();
+        for r in fig10(&run) {
+            assert!(r.dcnn_opt <= 1.0 + 1e-9, "{}", r.label);
+            assert!(r.scnn > 0.0);
+        }
+    }
+
+    #[test]
+    fn renderers_produce_tables() {
+        let run = tiny_run();
+        for text in [render_fig8(&run), render_fig9(&run), render_fig10(&run)] {
+            assert!(text.lines().count() >= 3);
+        }
+        assert!(render_fig1(&zoo::vggnet()).contains("conv1_1"));
+    }
+}

@@ -1,0 +1,33 @@
+//! The experiment registry: one entry point per table and figure of the
+//! paper's evaluation, each returning typed rows plus a rendered text
+//! table (the benchmark binaries in `scnn-bench` print these).
+//!
+//! | Paper artifact | Function(s) |
+//! |---|---|
+//! | Table I   | [`table1`] / [`render_table1`] |
+//! | Figure 1  | [`fig1`] / [`render_fig1`] |
+//! | Table II  | [`table2`] / [`render_table2`] |
+//! | Table III | [`table3`] / [`render_table3`] |
+//! | Table IV  | [`table4`] / [`render_table4`] |
+//! | Figure 7  | [`fig7`] / [`render_fig7`] |
+//! | Figure 8  | [`fig8`] / [`render_fig8`] |
+//! | Figure 9  | [`fig9`] / [`render_fig9`] |
+//! | Figure 10 | [`fig10`] / [`render_fig10`] |
+//! | §VI-C     | [`pe_granularity`] / [`render_pe_granularity`] |
+//! | §VI-D     | [`tiling`] / [`render_tiling`] |
+
+mod figures;
+mod studies;
+mod tables;
+
+pub use figures::{
+    fig1, fig10, fig7, fig8, fig9, render_fig1, render_fig10, render_fig7, render_fig8,
+    render_fig9, Fig10Row, Fig1Row, Fig8Row, Fig9Row,
+};
+pub use studies::{
+    pe_granularity, render_pe_granularity, render_tiling, tiling, TilingSummary,
+};
+pub use tables::{
+    render_table1, render_table2, render_table3, render_table4, table1, table2, table3, table4,
+    Table1Row, Table4Row,
+};

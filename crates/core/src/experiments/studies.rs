@@ -1,0 +1,142 @@
+//! The §VI-C PE-granularity study and the §VI-D large-network tiling
+//! study.
+
+use crate::textutil::fmt_table;
+use scnn_model::{zoo, DensityProfile};
+use scnn_timeloop::{pe_granularity_sweep, tiling_study, GranularityPoint, TilingRow};
+
+/// Regenerates the §VI-C study: GoogLeNet at fixed 1,024 multipliers with
+/// 4, 16 and 64 PEs.
+#[must_use]
+pub fn pe_granularity() -> Vec<GranularityPoint> {
+    let net = zoo::googlenet();
+    let profile = DensityProfile::paper(&net).expect("paper profile");
+    pe_granularity_sweep(&net, &profile, &[2, 4, 8])
+}
+
+/// Renders the granularity study.
+#[must_use]
+pub fn render_pe_granularity() -> String {
+    let points = pe_granularity();
+    let base = points.iter().find(|p| p.pes == 4).map_or(1.0, |p| p.cycles);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{0}x{0}", p.grid),
+                p.pes.to_string(),
+                p.multipliers_per_pe.to_string(),
+                format!("{:.3e}", p.cycles),
+                format!("{:.2}x", base / p.cycles),
+                format!("{:.0}%", p.utilization * 100.0),
+            ]
+        })
+        .collect();
+    fmt_table(
+        &["Grid", "# PEs", "MULs/PE", "Cycles", "Speedup vs 4 PEs", "Math util."],
+        &rows,
+    )
+}
+
+/// Aggregate of the §VI-D tiling study across all three networks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilingSummary {
+    /// Per-layer rows over all evaluated layers (72 total).
+    pub rows: Vec<TilingRow>,
+    /// Number of layers requiring DRAM tiling.
+    pub tiled_layers: usize,
+    /// Total evaluated layers.
+    pub total_layers: usize,
+    /// Minimum energy penalty among tiled layers.
+    pub min_penalty: f64,
+    /// Maximum energy penalty among tiled layers.
+    pub max_penalty: f64,
+    /// Mean energy penalty among tiled layers.
+    pub mean_penalty: f64,
+}
+
+/// Regenerates the §VI-D study over AlexNet, GoogLeNet and VGGNet.
+#[must_use]
+pub fn tiling() -> TilingSummary {
+    let mut rows = Vec::new();
+    for net in zoo::all_networks() {
+        let profile = DensityProfile::paper(&net).expect("paper profile");
+        rows.extend(tiling_study(&net, &profile));
+    }
+    let tiled: Vec<&TilingRow> = rows.iter().filter(|r| r.tiled).collect();
+    let penalties: Vec<f64> = tiled.iter().map(|r| r.penalty).collect();
+    let (min, max, mean) = if penalties.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        (
+            penalties.iter().cloned().fold(f64::INFINITY, f64::min),
+            penalties.iter().cloned().fold(0.0, f64::max),
+            penalties.iter().sum::<f64>() / penalties.len() as f64,
+        )
+    };
+    TilingSummary {
+        tiled_layers: tiled.len(),
+        total_layers: rows.len(),
+        rows,
+        min_penalty: min,
+        max_penalty: max,
+        mean_penalty: mean,
+    }
+}
+
+/// Renders the tiling study (tiled layers plus the summary line).
+#[must_use]
+pub fn render_tiling() -> String {
+    let summary = tiling();
+    let rows: Vec<Vec<String>> = summary
+        .rows
+        .iter()
+        .filter(|r| r.tiled)
+        .map(|r| vec![r.layer.clone(), format!("{:.0}%", r.penalty * 100.0)])
+        .collect();
+    let mut out = fmt_table(&["DRAM-tiled layer", "Energy penalty"], &rows);
+    out.push_str(&format!(
+        "\n{} of {} evaluated layers require DRAM tiling; penalty {:.0}%-{:.0}% (mean {:.0}%)\n",
+        summary.tiled_layers,
+        summary.total_layers,
+        summary.min_penalty * 100.0,
+        summary.max_penalty * 100.0,
+        summary.mean_penalty * 100.0,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_matches_paper_direction() {
+        let points = pe_granularity();
+        assert_eq!(points.len(), 3);
+        let coarse = points.iter().find(|p| p.pes == 4).unwrap();
+        let fine = points.iter().find(|p| p.pes == 64).unwrap();
+        // §VI-C: 64 PEs ~11% faster, 59% vs 35% utilization.
+        let speedup = coarse.cycles / fine.cycles;
+        assert!(speedup > 1.0, "speedup {speedup}");
+        assert!(fine.utilization > coarse.utilization);
+    }
+
+    #[test]
+    fn tiling_covers_72_layers() {
+        let s = tiling();
+        assert_eq!(s.total_layers, 72);
+        assert!(s.tiled_layers > 0);
+        // Only VGG layers may tile.
+        for r in s.rows.iter().filter(|r| r.tiled) {
+            assert!(r.layer.starts_with("conv"), "{}", r.layer);
+        }
+        assert!(s.max_penalty >= s.mean_penalty && s.mean_penalty >= s.min_penalty);
+    }
+
+    #[test]
+    fn renderers_are_nonempty() {
+        assert!(render_pe_granularity().contains("8x8"));
+        assert!(render_tiling().contains("require DRAM tiling"));
+    }
+}

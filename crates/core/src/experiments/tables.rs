@@ -1,0 +1,227 @@
+//! Tables I–IV of the paper.
+
+use crate::textutil::fmt_table;
+use scnn_arch::{dcnn_total_area, scnn_pe_area, scnn_total_area, DcnnConfig, PeArea, ScnnConfig};
+use scnn_model::zoo;
+
+/// One row of Table I (network characteristics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Network name.
+    pub network: String,
+    /// Evaluated convolutional layers.
+    pub conv_layers: usize,
+    /// Largest per-layer weight footprint, MB (10^6 bytes, 2-byte values).
+    pub max_weights_mb: f64,
+    /// Largest per-layer activation footprint, MB.
+    pub max_activations_mb: f64,
+    /// Total multiplies, billions.
+    pub total_multiplies_b: f64,
+}
+
+/// Regenerates Table I from the model zoo.
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    zoo::all_networks()
+        .iter()
+        .map(|net| {
+            let s = net.stats();
+            Table1Row {
+                network: net.name().to_owned(),
+                conv_layers: s.conv_layers,
+                max_weights_mb: s.max_weight_bytes as f64 / 1e6,
+                max_activations_mb: s.max_activation_bytes as f64 / 1e6,
+                total_multiplies_b: s.total_multiplies as f64 / 1e9,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table I.
+#[must_use]
+pub fn render_table1() -> String {
+    let rows: Vec<Vec<String>> = table1()
+        .iter()
+        .map(|r| {
+            vec![
+                r.network.clone(),
+                r.conv_layers.to_string(),
+                format!("{:.2} MB", r.max_weights_mb),
+                format!("{:.2} MB", r.max_activations_mb),
+                format!("{:.2} B", r.total_multiplies_b),
+            ]
+        })
+        .collect();
+    fmt_table(
+        &["Network", "# Conv. Layers", "Max. Weights", "Max. Activations", "Total # Multiplies"],
+        &rows,
+    )
+}
+
+/// Regenerates Table II (SCNN design parameters) as name/value pairs.
+#[must_use]
+pub fn table2() -> Vec<(String, String)> {
+    let c = ScnnConfig::default();
+    vec![
+        ("Multiplier width".into(), "16 bits".into()),
+        ("Accumulator width".into(), "24 bits".into()),
+        (
+            "IARAM/OARAM (each)".into(),
+            format!("{}KB", c.iaram_bytes / 1024),
+        ),
+        (
+            "Weight FIFO".into(),
+            format!("{} entries ({} B)", c.weight_fifo_values() / c.f, c.weight_fifo_bytes),
+        ),
+        ("Multiply array (F x I)".into(), format!("{}x{}", c.f, c.i)),
+        ("Accumulator banks".into(), c.acc_banks.to_string()),
+        ("Accumulator bank entries".into(), c.acc_bank_entries.to_string()),
+        ("# PEs".into(), c.num_pes().to_string()),
+        ("# Multipliers".into(), c.total_multipliers().to_string()),
+        (
+            "IARAM + OARAM data".into(),
+            format!("{}MB", c.total_act_ram_bytes() / (1024 * 1024)),
+        ),
+    ]
+}
+
+/// Renders Table II.
+#[must_use]
+pub fn render_table2() -> String {
+    let rows: Vec<Vec<String>> =
+        table2().into_iter().map(|(k, v)| vec![k, v]).collect();
+    fmt_table(&["Parameter", "Value"], &rows)
+}
+
+/// Regenerates Table III: the per-structure PE area breakdown plus the
+/// 64-PE accelerator total, `(pe_area, total_mm2)`.
+#[must_use]
+pub fn table3() -> (PeArea, f64) {
+    let cfg = ScnnConfig::default();
+    (scnn_pe_area(&cfg), scnn_total_area(&cfg))
+}
+
+/// Renders Table III.
+#[must_use]
+pub fn render_table3() -> String {
+    let (pe, total) = table3();
+    let rows = vec![
+        vec!["IARAM + OARAM".into(), "20 KB".into(), format!("{:.3}", pe.act_ram)],
+        vec!["Weight FIFO".into(), "0.5 KB".into(), format!("{:.3}", pe.weight_fifo)],
+        vec!["Multiplier array".into(), "16 ALUs".into(), format!("{:.3}", pe.mult_array)],
+        vec!["Scatter network".into(), "16x32 crossbar".into(), format!("{:.3}", pe.scatter)],
+        vec!["Accumulator buffers".into(), "6 KB".into(), format!("{:.3}", pe.accumulators)],
+        vec!["Other".into(), "-".into(), format!("{:.3}", pe.other)],
+        vec!["Total".into(), "-".into(), format!("{:.3}", pe.total())],
+        vec!["Accelerator total".into(), "64 PEs".into(), format!("{total:.1}")],
+    ];
+    fmt_table(&["PE Component", "Size", "Area (mm2)"], &rows)
+}
+
+/// One row of Table IV (accelerator configurations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Accelerator name.
+    pub name: String,
+    /// PE count.
+    pub pes: usize,
+    /// Multiplier count.
+    pub muls: usize,
+    /// On-chip activation storage, MB.
+    pub sram_mb: f64,
+    /// Area, mm².
+    pub area_mm2: f64,
+}
+
+/// Regenerates Table IV.
+#[must_use]
+pub fn table4() -> Vec<Table4Row> {
+    let scnn = ScnnConfig::default();
+    let dcnn = DcnnConfig::default();
+    let dense_row = |name: &str| Table4Row {
+        name: name.to_owned(),
+        pes: dcnn.num_pes,
+        muls: dcnn.total_multipliers(),
+        sram_mb: dcnn.sram_bytes as f64 / (1024.0 * 1024.0),
+        area_mm2: dcnn_total_area(&dcnn),
+    };
+    vec![
+        dense_row("DCNN"),
+        dense_row("DCNN-opt"),
+        Table4Row {
+            name: "SCNN".to_owned(),
+            pes: scnn.num_pes(),
+            muls: scnn.total_multipliers(),
+            sram_mb: scnn.total_act_ram_bytes() as f64 / (1024.0 * 1024.0),
+            area_mm2: scnn_total_area(&scnn),
+        },
+    ]
+}
+
+/// Renders Table IV.
+#[must_use]
+pub fn render_table4() -> String {
+    let rows: Vec<Vec<String>> = table4()
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.pes.to_string(),
+                r.muls.to_string(),
+                format!("{:.0}MB", r.sram_mb),
+                format!("{:.1}", r.area_mm2),
+            ]
+        })
+        .collect();
+    fmt_table(&["", "# PEs", "# MULs", "SRAM", "Area (mm2)"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_bands() {
+        let rows = table1();
+        assert_eq!(rows.len(), 3);
+        let by_name = |n: &str| rows.iter().find(|r| r.network == n).unwrap().clone();
+        let alex = by_name("AlexNet");
+        assert_eq!(alex.conv_layers, 5);
+        assert!((alex.total_multiplies_b - 0.69).abs() < 0.06, "{}", alex.total_multiplies_b);
+        let goog = by_name("GoogLeNet");
+        assert_eq!(goog.conv_layers, 54);
+        assert!((goog.total_multiplies_b - 1.1).abs() < 0.08);
+        let vgg = by_name("VGGNet");
+        assert_eq!(vgg.conv_layers, 13);
+        assert!((vgg.total_multiplies_b - 15.3).abs() < 0.4);
+        assert!((vgg.max_weights_mb - 4.49).abs() < 0.35);
+    }
+
+    #[test]
+    fn table2_lists_paper_parameters() {
+        let text = render_table2();
+        assert!(text.contains("4x4"));
+        assert!(text.contains("1024"));
+        assert!(text.contains("10KB"));
+        assert!(text.contains("32"));
+    }
+
+    #[test]
+    fn table3_total_matches_paper() {
+        let (pe, total) = table3();
+        assert!((pe.total() - 0.123).abs() < 0.002);
+        assert!((total - 7.9).abs() < 0.2);
+    }
+
+    #[test]
+    fn table4_rows_match_paper() {
+        let rows = table4();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.muls == 1024));
+        assert!((rows[0].area_mm2 - 5.9).abs() < 0.4);
+        assert!((rows[2].area_mm2 - 7.9).abs() < 0.2);
+        // SCNN has half the activation storage but more area.
+        assert!(rows[2].sram_mb < rows[0].sram_mb);
+        assert!(rows[2].area_mm2 > rows[0].area_mm2);
+    }
+}

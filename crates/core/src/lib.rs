@@ -1,0 +1,45 @@
+//! SCNN: An Accelerator for Compressed-sparse Convolutional Neural
+//! Networks (Parashar et al., ISCA 2017) — reproduction library.
+//!
+//! This facade crate ties the workspace together:
+//!
+//! * [`runner`] — [`NetworkRun`]: execute a whole network's evaluated
+//!   layers across the SCNN cycle-level simulator, the DCNN / DCNN-opt
+//!   dense baselines and the `SCNN(oracle)` bound, with synthesized
+//!   operands at the paper's measured densities;
+//! * [`experiments`] — one entry point per table and figure of the
+//!   paper's evaluation section;
+//! * re-exports of the member crates (`scnn_tensor`, `scnn_model`,
+//!   `scnn_arch`, `scnn_sim`, `scnn_timeloop`) for one-stop use.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scnn::runner::{NetworkRun, RunConfig};
+//! use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+//! use scnn::scnn_tensor::ConvShape;
+//!
+//! // A one-layer network at 40% weight / 50% activation density.
+//! let net = Network::new(
+//!     "demo",
+//!     vec![ConvLayer::new("conv", ConvShape::new(16, 8, 3, 3, 14, 14).with_pad(1))],
+//! );
+//! let profile = DensityProfile::from_layers(vec![LayerDensity::new(0.4, 0.5)]);
+//! let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
+//! assert!(run.scnn_speedup() > 1.0); // sparsity pays off
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod runner;
+pub mod textutil;
+
+pub use runner::{LayerRun, NetworkRun, RunConfig};
+
+pub use scnn_arch;
+pub use scnn_model;
+pub use scnn_sim;
+pub use scnn_tensor;
+pub use scnn_timeloop;

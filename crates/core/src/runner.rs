@@ -1,0 +1,288 @@
+//! Whole-network execution across the four machine models.
+//!
+//! [`NetworkRun::execute`] reproduces the paper's per-layer methodology
+//! (§V): for every evaluated layer, synthesize weights and input
+//! activations at the layer's measured densities, run the functional SCNN
+//! simulator, run the DCNN and DCNN-opt baselines against the *same*
+//! operands, and derive the `SCNN(oracle)` bound — yielding everything
+//! Figures 8, 9 and 10 plot.
+
+use scnn_arch::{DcnnConfig, EnergyModel, ScnnConfig};
+use scnn_model::{synth_layer_input, synth_weights, DensityProfile, Network};
+use scnn_sim::{oracle_cycles, DcnnMachine, LayerResult, OperandProfile, RunOptions, ScnnMachine};
+
+/// Per-layer results across the machine models.
+#[derive(Debug, Clone)]
+pub struct LayerRun {
+    /// Index into [`Network::layers`].
+    pub layer_index: usize,
+    /// Layer name.
+    pub name: String,
+    /// Figure aggregation label (e.g. `IC_3a`), when any.
+    pub group_label: Option<String>,
+    /// SCNN cycle-level result (output tensor dropped to save memory).
+    pub scnn: LayerResult,
+    /// Dense DCNN result.
+    pub dcnn: LayerResult,
+    /// DCNN-opt result (same cycles as DCNN, lower energy).
+    pub dcnn_opt: LayerResult,
+    /// `SCNN(oracle)` latency bound in cycles.
+    pub oracle_cycles: u64,
+}
+
+impl LayerRun {
+    /// SCNN speedup over DCNN for this layer.
+    #[must_use]
+    pub fn scnn_speedup(&self) -> f64 {
+        self.dcnn.cycles as f64 / self.scnn.cycles.max(1) as f64
+    }
+
+    /// Oracle speedup over DCNN for this layer.
+    #[must_use]
+    pub fn oracle_speedup(&self) -> f64 {
+        self.dcnn.cycles as f64 / self.oracle_cycles.max(1) as f64
+    }
+
+    /// SCNN energy relative to DCNN (lower is better).
+    #[must_use]
+    pub fn scnn_energy_rel(&self) -> f64 {
+        self.scnn.energy_pj() / self.dcnn.energy_pj()
+    }
+
+    /// DCNN-opt energy relative to DCNN.
+    #[must_use]
+    pub fn dcnn_opt_energy_rel(&self) -> f64 {
+        self.dcnn_opt.energy_pj() / self.dcnn.energy_pj()
+    }
+}
+
+/// A full evaluated-network execution.
+#[derive(Debug, Clone)]
+pub struct NetworkRun {
+    /// The network that was executed.
+    pub network: Network,
+    /// The density profile used.
+    pub profile: DensityProfile,
+    /// One entry per evaluated layer, in layer order.
+    pub layers: Vec<LayerRun>,
+}
+
+/// Configuration for a network execution.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// SCNN configuration (Table II defaults).
+    pub scnn: ScnnConfig,
+    /// Dense baseline configuration.
+    pub dcnn: DcnnConfig,
+    /// Energy model shared by all machines.
+    pub energy: EnergyModel,
+    /// Seed for the synthetic workload generator.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            scnn: ScnnConfig::default(),
+            dcnn: DcnnConfig::default(),
+            energy: EnergyModel::default(),
+            seed: 0x5C99,
+        }
+    }
+}
+
+impl NetworkRun {
+    /// Executes every evaluated layer of `network` at the profile's
+    /// densities on all machine models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is misaligned with the network.
+    #[must_use]
+    pub fn execute(network: &Network, profile: &DensityProfile, config: &RunConfig) -> Self {
+        assert_eq!(profile.len(), network.layers().len(), "profile misaligned");
+        let scnn = ScnnMachine::new(config.scnn).with_energy_model(config.energy);
+        let dcnn = DcnnMachine::new(DcnnConfig { optimized: false, ..config.dcnn })
+            .with_energy_model(config.energy);
+        let dcnn_opt = DcnnMachine::new(DcnnConfig { optimized: true, ..config.dcnn })
+            .with_energy_model(config.energy);
+        let total_mults = config.scnn.total_multipliers() as u64;
+
+        let first_eval = network.eval_indices().next();
+        let mut layers = Vec::new();
+        for (i, layer) in network.layers().iter().enumerate() {
+            if !layer.evaluated {
+                continue;
+            }
+            let d = profile.layer(i);
+            let seed = config.seed.wrapping_add(i as u64 * 7919);
+            let weights = synth_weights(&layer.shape, d.weight, seed);
+            let input = synth_layer_input(&layer.shape, d.act, seed.wrapping_add(1));
+            let opts = RunOptions { input_from_dram: Some(i) == first_eval, ..Default::default() };
+
+            let mut s = scnn.run_layer(&layer.shape, &weights, &input, &opts);
+            let operand =
+                OperandProfile::measure(&input, weights.density(), s.output.as_ref());
+            s.output = None; // keep the run lightweight
+            let p = dcnn.run_layer(&layer.shape, &operand, opts.input_from_dram);
+            let o = dcnn_opt.run_layer(&layer.shape, &operand, opts.input_from_dram);
+            let oracle = oracle_cycles(s.stats.products, total_mults);
+
+            layers.push(LayerRun {
+                layer_index: i,
+                name: layer.name.clone(),
+                group_label: layer.group_label.clone(),
+                scnn: s,
+                dcnn: p,
+                dcnn_opt: o,
+                oracle_cycles: oracle,
+            });
+        }
+        Self { network: network.clone(), profile: profile.clone(), layers }
+    }
+
+    /// Runs with the paper's density profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no published profile.
+    #[must_use]
+    pub fn execute_paper(network: &Network, config: &RunConfig) -> Self {
+        let profile = DensityProfile::paper(network).expect("no paper profile for this network");
+        Self::execute(network, &profile, config)
+    }
+
+    /// Sum of a per-layer cycle count over a set of layers.
+    fn sum_cycles<F: Fn(&LayerRun) -> u64>(&self, layers: &[&LayerRun], f: F) -> u64 {
+        layers.iter().map(|l| f(l)).sum()
+    }
+
+    /// All layer runs carrying the given aggregation label.
+    #[must_use]
+    pub fn group(&self, label: &str) -> Vec<&LayerRun> {
+        self.layers.iter().filter(|l| l.group_label.as_deref() == Some(label)).collect()
+    }
+
+    /// Network-level SCNN speedup over DCNN (total cycles).
+    #[must_use]
+    pub fn scnn_speedup(&self) -> f64 {
+        let all: Vec<&LayerRun> = self.layers.iter().collect();
+        self.sum_cycles(&all, |l| l.dcnn.cycles) as f64
+            / self.sum_cycles(&all, |l| l.scnn.cycles) as f64
+    }
+
+    /// Network-level oracle speedup over DCNN.
+    #[must_use]
+    pub fn oracle_speedup(&self) -> f64 {
+        let all: Vec<&LayerRun> = self.layers.iter().collect();
+        self.sum_cycles(&all, |l| l.dcnn.cycles) as f64
+            / self.sum_cycles(&all, |l| l.oracle_cycles) as f64
+    }
+
+    /// Network-level SCNN energy relative to DCNN.
+    #[must_use]
+    pub fn scnn_energy_rel(&self) -> f64 {
+        let scnn: f64 = self.layers.iter().map(|l| l.scnn.energy_pj()).sum();
+        let dcnn: f64 = self.layers.iter().map(|l| l.dcnn.energy_pj()).sum();
+        scnn / dcnn
+    }
+
+    /// Network-level DCNN-opt energy relative to DCNN.
+    #[must_use]
+    pub fn dcnn_opt_energy_rel(&self) -> f64 {
+        let opt: f64 = self.layers.iter().map(|l| l.dcnn_opt.energy_pj()).sum();
+        let dcnn: f64 = self.layers.iter().map(|l| l.dcnn.energy_pj()).sum();
+        opt / dcnn
+    }
+
+    /// Network-level average multiplier utilization of SCNN.
+    #[must_use]
+    pub fn scnn_utilization(&self, total_multipliers: u64) -> f64 {
+        let products: u64 = self.layers.iter().map(|l| l.scnn.stats.products).sum();
+        let cycles: u64 = self.layers.iter().map(|l| l.scnn.cycles).sum();
+        products as f64 / (total_multipliers * cycles.max(1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_model::{ConvLayer, LayerDensity};
+    use scnn_tensor::ConvShape;
+
+    fn tiny_network() -> (Network, DensityProfile) {
+        let net = Network::new(
+            "tiny",
+            vec![
+                ConvLayer::new("a", ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1))
+                    .with_group_label("G1"),
+                ConvLayer::new("b", ConvShape::new(16, 8, 1, 1, 12, 12)).with_group_label("G1"),
+                ConvLayer::new("c", ConvShape::new(8, 16, 3, 3, 6, 6).with_pad(1))
+                    .with_group_label("G2"),
+            ],
+        );
+        let profile = DensityProfile::from_layers(vec![
+            LayerDensity::new(0.4, 1.0),
+            LayerDensity::new(0.35, 0.45),
+            LayerDensity::new(0.3, 0.4),
+        ]);
+        (net, profile)
+    }
+
+    #[test]
+    fn run_covers_all_eval_layers() {
+        let (net, profile) = tiny_network();
+        let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
+        assert_eq!(run.layers.len(), 3);
+        assert_eq!(run.group("G1").len(), 2);
+        assert_eq!(run.group("G2").len(), 1);
+    }
+
+    #[test]
+    fn oracle_dominates_scnn() {
+        let (net, profile) = tiny_network();
+        let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
+        for l in &run.layers {
+            assert!(l.oracle_cycles <= l.scnn.cycles, "{}", l.name);
+            assert!(l.oracle_speedup() >= l.scnn_speedup(), "{}", l.name);
+        }
+        assert!(run.oracle_speedup() >= run.scnn_speedup());
+    }
+
+    #[test]
+    fn sparse_layers_beat_dcnn() {
+        let (net, profile) = tiny_network();
+        let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
+        // With ~0.15 work fraction the sparse machine should win overall.
+        assert!(run.scnn_speedup() > 1.0, "speedup {}", run.scnn_speedup());
+    }
+
+    #[test]
+    fn outputs_are_dropped_for_memory() {
+        let (net, profile) = tiny_network();
+        let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
+        assert!(run.layers.iter().all(|l| l.scnn.output.is_none()));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (net, profile) = tiny_network();
+        let a = NetworkRun::execute(&net, &profile, &RunConfig::default());
+        let b = NetworkRun::execute(&net, &profile, &RunConfig::default());
+        for (x, y) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(x.scnn.cycles, y.scnn.cycles);
+            assert_eq!(x.dcnn.cycles, y.dcnn.cycles);
+        }
+    }
+
+    #[test]
+    fn energy_ratios_are_positive() {
+        let (net, profile) = tiny_network();
+        let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
+        assert!(run.scnn_energy_rel() > 0.0);
+        assert!(run.dcnn_opt_energy_rel() > 0.0);
+        assert!(run.dcnn_opt_energy_rel() <= 1.0 + 1e-9);
+        let util = run.scnn_utilization(1024);
+        assert!(util > 0.0 && util <= 1.0);
+    }
+}

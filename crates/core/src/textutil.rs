@@ -1,0 +1,67 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// Renders rows as a fixed-width text table with a header rule.
+///
+/// # Examples
+///
+/// ```
+/// use scnn::textutil::fmt_table;
+///
+/// let text = fmt_table(
+///     &["layer", "speedup"],
+///     &[vec!["conv1".into(), "1.13".into()], vec!["conv2".into(), "2.94".into()]],
+/// );
+/// assert!(text.contains("conv1"));
+/// assert!(text.lines().count() == 4);
+/// ```
+#[must_use]
+pub fn fmt_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_owned()
+    };
+    out.push_str(&render_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let t = fmt_table(&["a", "bb"], &[vec!["xxxx".into(), "y".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_validated() {
+        let _ = fmt_table(&["a"], &[vec!["x".into(), "y".into()]]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Per-layer weight and activation density profiles.
+//!
+//! The paper measures density (fraction of non-zeros) per layer by pruning
+//! the networks with Han et al.'s algorithm and instrumenting Caffe
+//! (Figure 1). Those trained artifacts are not distributable, so this
+//! module encodes the densities digitized from Figure 1 (weight densities
+//! cross-checked against Han et al., NIPS 2015). The workload generator
+//! (`synth`) materializes tensors at exactly these densities, which is what
+//! the architecture actually observes.
+
+use crate::network::Network;
+
+/// Density (non-zero fraction) of one layer's operands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerDensity {
+    /// Weight density in `(0, 1]`.
+    pub weight: f64,
+    /// Input activation density in `(0, 1]`.
+    pub act: f64,
+}
+
+impl LayerDensity {
+    /// Creates a density pair, validating both are in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either density is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(weight: f64, act: f64) -> Self {
+        assert!(weight > 0.0 && weight <= 1.0, "weight density {weight} outside (0,1]");
+        assert!(act > 0.0 && act <= 1.0, "act density {act} outside (0,1]");
+        Self { weight, act }
+    }
+
+    /// The "ideal work" fraction of Figure 1: product of the densities —
+    /// the fraction of multiplies that have two non-zero operands.
+    #[must_use]
+    pub fn work_fraction(&self) -> f64 {
+        self.weight * self.act
+    }
+
+    /// The ideal speedup from maximally exploiting sparsity,
+    /// `1 / work_fraction`.
+    #[must_use]
+    pub fn work_reduction(&self) -> f64 {
+        1.0 / self.work_fraction()
+    }
+}
+
+/// Densities for every layer of a network, aligned with
+/// [`Network::layers`] order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityProfile {
+    densities: Vec<LayerDensity>,
+}
+
+impl DensityProfile {
+    /// Builds a profile from explicit per-layer densities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `densities` is empty.
+    #[must_use]
+    pub fn from_layers(densities: Vec<LayerDensity>) -> Self {
+        assert!(!densities.is_empty(), "profile needs at least one layer");
+        Self { densities }
+    }
+
+    /// A uniform profile: every layer at the same `(weight, act)` density.
+    /// Used by the Figure 7 sensitivity sweep and the synthetic benchmark.
+    #[must_use]
+    pub fn uniform(layers: usize, weight: f64, act: f64) -> Self {
+        Self::from_layers(vec![LayerDensity::new(weight, act); layers])
+    }
+
+    /// The paper's per-layer densities (digitized from Figure 1) for the
+    /// given network. Returns `None` for networks without published data.
+    #[must_use]
+    pub fn paper(network: &Network) -> Option<Self> {
+        let densities = match network.name() {
+            "AlexNet" => alexnet_densities(),
+            "GoogLeNet" => googlenet_densities(network),
+            "VGGNet" => vggnet_densities(),
+            _ => return None,
+        };
+        assert_eq!(densities.len(), network.layers().len(), "profile misaligned");
+        Some(Self::from_layers(densities))
+    }
+
+    /// Number of layers covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.densities.len()
+    }
+
+    /// Whether the profile is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.densities.is_empty()
+    }
+
+    /// Density of layer `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn layer(&self, idx: usize) -> LayerDensity {
+        self.densities[idx]
+    }
+
+    /// Iterates over all per-layer densities in layer order.
+    pub fn iter(&self) -> impl Iterator<Item = LayerDensity> + '_ {
+        self.densities.iter().copied()
+    }
+}
+
+/// AlexNet per-layer densities (Figure 1a). Weight densities follow Han et
+/// al.'s pruned AlexNet; conv1's input is the dense image.
+fn alexnet_densities() -> Vec<LayerDensity> {
+    vec![
+        LayerDensity::new(0.85, 1.00), // conv1
+        LayerDensity::new(0.38, 0.49), // conv2
+        LayerDensity::new(0.35, 0.35), // conv3
+        LayerDensity::new(0.37, 0.42), // conv4
+        LayerDensity::new(0.37, 0.39), // conv5
+    ]
+}
+
+/// VGGNet per-layer densities (Figure 1c). Weight densities start from
+/// Han et al.'s pruned VGG-16 and are digitized against Figure 1c, whose
+/// pruning is somewhat less aggressive than the published Deep-Compression
+/// point (the paper's network-wide 3.52x speedup pins the average work
+/// fraction near 0.15).
+fn vggnet_densities() -> Vec<LayerDensity> {
+    vec![
+        LayerDensity::new(0.58, 1.00), // conv1_1
+        LayerDensity::new(0.30, 0.55), // conv1_2
+        LayerDensity::new(0.42, 0.55), // conv2_1
+        LayerDensity::new(0.42, 0.50), // conv2_2
+        LayerDensity::new(0.55, 0.48), // conv3_1
+        LayerDensity::new(0.35, 0.43), // conv3_2
+        LayerDensity::new(0.45, 0.42), // conv3_3
+        LayerDensity::new(0.38, 0.41), // conv4_1
+        LayerDensity::new(0.35, 0.38), // conv4_2
+        LayerDensity::new(0.40, 0.37), // conv4_3
+        LayerDensity::new(0.35, 0.35), // conv5_1
+        LayerDensity::new(0.35, 0.32), // conv5_2
+        LayerDensity::new(0.36, 0.32), // conv5_3
+    ]
+}
+
+/// GoogLeNet densities: module-level activation densities declining with
+/// depth, sub-layer weight densities by convolution kind (Figure 1b shows
+/// modules 3a and 5b; intermediate modules are interpolated). The minimum
+/// weight density is 30%, matching §II "reaching a minimum of 30% for some
+/// of the GoogLeNet layers".
+fn googlenet_densities(network: &Network) -> Vec<LayerDensity> {
+    // Module input-activation density, 3a..5b.
+    const MODULE_ACT: [(&str, f64); 9] = [
+        ("IC_3a", 0.60),
+        ("IC_3b", 0.55),
+        ("IC_4a", 0.50),
+        ("IC_4b", 0.45),
+        ("IC_4c", 0.42),
+        ("IC_4d", 0.40),
+        ("IC_4e", 0.38),
+        ("IC_5a", 0.35),
+        ("IC_5b", 0.32),
+    ];
+    network
+        .layers()
+        .iter()
+        .map(|layer| {
+            let Some(label) = layer.group_label.as_deref() else {
+                // Stem layers: conv1 sees the dense image.
+                return if layer.name.starts_with("conv1") {
+                    LayerDensity::new(0.60, 1.00)
+                } else {
+                    LayerDensity::new(0.40, 0.60)
+                };
+            };
+            let act = MODULE_ACT
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, d)| *d)
+                .expect("unknown inception label");
+            let weight = match layer.name.rsplit('/').next().unwrap_or("") {
+                "pool_proj" => 0.45,
+                "1x1" => 0.44,
+                "3x3_reduce" => 0.39,
+                "3x3" => 0.33,
+                "5x5_reduce" => 0.40,
+                "5x5" => 0.30,
+                other => unreachable!("unknown sublayer {other}"),
+            };
+            LayerDensity::new(weight, act)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{alexnet, all_networks, googlenet, vggnet};
+
+    #[test]
+    fn paper_profiles_align_with_networks() {
+        for net in all_networks() {
+            let profile = DensityProfile::paper(&net).unwrap();
+            assert_eq!(profile.len(), net.layers().len(), "{}", net.name());
+            for d in profile.iter() {
+                assert!(d.weight >= 0.2 && d.weight <= 1.0);
+                assert!(d.act >= 0.2 && d.act <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_network_has_no_paper_profile() {
+        let net = Network::new(
+            "custom",
+            vec![crate::layer::ConvLayer::new(
+                "l",
+                scnn_tensor::ConvShape::new(1, 1, 1, 1, 2, 2),
+            )],
+        );
+        assert!(DensityProfile::paper(&net).is_none());
+    }
+
+    #[test]
+    fn work_reduction_band_matches_paper() {
+        // §II: "Typical layers can reduce work by a factor of 4, and can
+        // reach as high as a factor of ten" (conv1-style dense layers less).
+        for net in [alexnet(), vggnet(), googlenet()] {
+            let profile = DensityProfile::paper(&net).unwrap();
+            let reductions: Vec<f64> = net
+                .eval_indices()
+                .map(|i| profile.layer(i).work_reduction())
+                .collect();
+            let max = reductions.iter().cloned().fold(0.0, f64::max);
+            assert!(max >= 6.0, "{}: max work reduction {max:.1} too small", net.name());
+            let typical = reductions.iter().sum::<f64>() / reductions.len() as f64;
+            assert!(
+                (2.0..12.0).contains(&typical),
+                "{}: typical reduction {typical:.1} outside band",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn googlenet_minimum_weight_density_is_30_percent() {
+        let net = googlenet();
+        let profile = DensityProfile::paper(&net).unwrap();
+        let min = net
+            .eval_indices()
+            .map(|i| profile.layer(i).weight)
+            .fold(1.0, f64::min);
+        assert!((min - 0.30).abs() < 1e-9, "min weight density {min}");
+    }
+
+    #[test]
+    fn uniform_profile_is_uniform() {
+        let p = DensityProfile::uniform(4, 0.5, 0.25);
+        assert_eq!(p.len(), 4);
+        for d in p.iter() {
+            assert_eq!((d.weight, d.act), (0.5, 0.25));
+            assert!((d.work_fraction() - 0.125).abs() < 1e-12);
+            assert!((d.work_reduction() - 8.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1]")]
+    fn zero_density_rejected() {
+        let _ = LayerDensity::new(0.0, 0.5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Convolutional layer descriptors.
+
+use scnn_tensor::ConvShape;
+use std::fmt;
+
+/// A named convolutional layer within a network.
+///
+/// `group_label` carries the aggregation label used by the paper's figures
+/// (e.g. GoogLeNet layers are reported per inception module as `IC_3a` …
+/// `IC_5b`). `evaluated` marks layers included in the paper's evaluation
+/// (Table I counts 5 + 54 + 13 = 72 layers; GoogLeNet's three stem
+/// convolutions are modelled but excluded, per §V "we primarily focus on
+/// the convolutional layers that are within the inception modules").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvLayer {
+    /// Layer name, e.g. `conv3` or `inception_3a/5x5_reduce`.
+    pub name: String,
+    /// Geometry of the layer.
+    pub shape: ConvShape,
+    /// Figure-level aggregation label (e.g. `IC_3a`), when any.
+    pub group_label: Option<String>,
+    /// Whether the layer is part of the paper's evaluation set.
+    pub evaluated: bool,
+}
+
+impl ConvLayer {
+    /// Creates an evaluated, ungrouped-label layer.
+    #[must_use]
+    pub fn new(name: impl Into<String>, shape: ConvShape) -> Self {
+        Self { name: name.into(), shape, group_label: None, evaluated: true }
+    }
+
+    /// Attaches a figure aggregation label.
+    #[must_use]
+    pub fn with_group_label(mut self, label: impl Into<String>) -> Self {
+        self.group_label = Some(label.into());
+        self
+    }
+
+    /// Marks the layer as excluded from the paper's evaluation set.
+    #[must_use]
+    pub fn excluded(mut self) -> Self {
+        self.evaluated = false;
+        self
+    }
+
+    /// Dense multiply count of this layer (see [`ConvShape::macs`]).
+    #[must_use]
+    pub fn macs(&self) -> usize {
+        self.shape.macs()
+    }
+
+    /// Weight storage in bytes at the paper's 2-byte data type.
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        self.shape.weight_count() * 2
+    }
+
+    /// Input activation storage in bytes at 2 bytes per value.
+    #[must_use]
+    pub fn input_bytes(&self) -> usize {
+        self.shape.input_count() * 2
+    }
+
+    /// Output activation storage in bytes at 2 bytes per value.
+    #[must_use]
+    pub fn output_bytes(&self) -> usize {
+        self.shape.output_count() * 2
+    }
+}
+
+impl fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting_uses_two_byte_datatype() {
+        let layer = ConvLayer::new("l", ConvShape::new(2, 3, 1, 1, 4, 4));
+        assert_eq!(layer.weight_bytes(), 2 * 3 * 2);
+        assert_eq!(layer.input_bytes(), 3 * 4 * 4 * 2);
+        assert_eq!(layer.output_bytes(), 2 * 4 * 4 * 2);
+    }
+
+    #[test]
+    fn builder_flags() {
+        let layer = ConvLayer::new("x", ConvShape::new(1, 1, 1, 1, 2, 2))
+            .with_group_label("IC_3a")
+            .excluded();
+        assert_eq!(layer.group_label.as_deref(), Some("IC_3a"));
+        assert!(!layer.evaluated);
+    }
+}

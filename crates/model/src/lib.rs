@@ -1,0 +1,49 @@
+//! CNN network models, density profiles and synthetic workloads for the
+//! SCNN (ISCA 2017) reproduction.
+//!
+//! The paper evaluates SCNN on AlexNet, GoogLeNet and VGGNet (Table I),
+//! pruned with Han et al.'s algorithm and instrumented in Caffe to obtain
+//! per-layer weight/activation densities (Figure 1). This crate provides:
+//!
+//! * [`ConvLayer`] / [`Network`] — layer and network descriptors with the
+//!   Table-I aggregate statistics;
+//! * [`zoo`] — the three networks with exact Caffe BVLC shapes;
+//! * [`DensityProfile`] — the paper's per-layer densities (digitized from
+//!   Figure 1) plus uniform profiles for sensitivity sweeps;
+//! * [`synth_weights`] / [`synth_acts`] — seeded generators materializing
+//!   tensors at exact target densities;
+//! * [`conv_reference`] — the 7-loop dense convolution used as the
+//!   functional oracle for simulator validation.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_model::{zoo, DensityProfile};
+//!
+//! let net = zoo::googlenet();
+//! let profile = DensityProfile::paper(&net).unwrap();
+//! assert_eq!(net.stats().conv_layers, 54);
+//! // Ideal per-layer work reduction (Figure 1 triangles):
+//! let first = net.eval_indices().next().unwrap();
+//! assert!(profile.layer(first).work_reduction() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod density;
+mod layer;
+mod network;
+mod pool;
+mod pruning;
+mod reference;
+mod synth;
+pub mod zoo;
+
+pub use density::{DensityProfile, LayerDensity};
+pub use layer::ConvLayer;
+pub use network::{Network, NetworkStats};
+pub use reference::{assert_close, conv_reference};
+pub use pool::max_pool;
+pub use pruning::magnitude_prune;
+pub use synth::{synth_acts, synth_acts_correlated, synth_layer_input, synth_weights};

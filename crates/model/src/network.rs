@@ -1,0 +1,176 @@
+//! Whole-network descriptors and Table-I style aggregate statistics.
+
+use crate::layer::ConvLayer;
+use std::fmt;
+
+/// An ordered list of convolutional layers forming a network's conv stack.
+///
+/// Only convolutional layers are represented; pooling and non-linearities
+/// are folded into the inter-layer plane-size changes, exactly as the
+/// paper's evaluation does ("we focus on accelerating the convolutional
+/// layers as they constitute the majority of the computation", §II).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    name: String,
+    layers: Vec<ConvLayer>,
+}
+
+/// Aggregate characteristics of a network — one row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkStats {
+    /// Number of evaluated convolutional layers.
+    pub conv_layers: usize,
+    /// Largest per-layer weight footprint in bytes (2-byte values).
+    pub max_weight_bytes: usize,
+    /// Largest per-layer activation footprint in bytes: the maximum over
+    /// layers of max(input, output) volume at 2 bytes per value.
+    pub max_activation_bytes: usize,
+    /// Total dense multiplies over the evaluated layers.
+    pub total_multiplies: usize,
+}
+
+impl Network {
+    /// Creates a network from its ordered conv layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, layers: Vec<ConvLayer>) -> Self {
+        assert!(!layers.is_empty(), "a network needs at least one layer");
+        Self { name: name.into(), layers }
+    }
+
+    /// Network name (`AlexNet`, `GoogLeNet`, `VGGNet`, or custom).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All layers, including any the paper's evaluation excludes.
+    #[must_use]
+    pub fn layers(&self) -> &[ConvLayer] {
+        &self.layers
+    }
+
+    /// Layers included in the paper's evaluation set.
+    pub fn eval_layers(&self) -> impl Iterator<Item = &ConvLayer> {
+        self.layers.iter().filter(|l| l.evaluated)
+    }
+
+    /// Index positions of the evaluated layers within [`Network::layers`].
+    pub fn eval_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.layers.iter().enumerate().filter(|(_, l)| l.evaluated).map(|(i, _)| i)
+    }
+
+    /// Looks a layer up by name.
+    #[must_use]
+    pub fn layer(&self, name: &str) -> Option<&ConvLayer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Distinct figure aggregation labels in layer order (e.g. `IC_3a` …
+    /// `IC_5b` for GoogLeNet). Layers without a label are skipped.
+    #[must_use]
+    pub fn group_labels(&self) -> Vec<String> {
+        let mut labels = Vec::new();
+        for layer in &self.layers {
+            if let Some(label) = &layer.group_label {
+                if labels.last() != Some(label) {
+                    labels.push(label.clone());
+                }
+            }
+        }
+        labels
+    }
+
+    /// Indices of the evaluated layers carrying a given aggregation label.
+    #[must_use]
+    pub fn layers_in_group(&self, label: &str) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.evaluated && l.group_label.as_deref() == Some(label))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Table-I statistics: layer count and multiplies cover the evaluated
+    /// layers; the tensor-size maxima cover *all* layers (the paper's
+    /// GoogLeNet activation maximum, 1.52MB, is the stem conv1 output,
+    /// even though the stem is excluded from the 54-layer evaluation set).
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        let mut stats = NetworkStats {
+            conv_layers: 0,
+            max_weight_bytes: 0,
+            max_activation_bytes: 0,
+            total_multiplies: 0,
+        };
+        for layer in &self.layers {
+            if layer.evaluated {
+                stats.conv_layers += 1;
+                stats.total_multiplies += layer.macs();
+            }
+            stats.max_weight_bytes = stats.max_weight_bytes.max(layer.weight_bytes());
+            stats.max_activation_bytes = stats
+                .max_activation_bytes
+                .max(layer.input_bytes())
+                .max(layer.output_bytes());
+        }
+        stats
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} conv layers):", self.name, self.layers.len())?;
+        for layer in &self.layers {
+            writeln!(f, "  {layer}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_tensor::ConvShape;
+
+    fn tiny_net() -> Network {
+        Network::new(
+            "tiny",
+            vec![
+                ConvLayer::new("a", ConvShape::new(4, 2, 3, 3, 8, 8)).excluded(),
+                ConvLayer::new("b", ConvShape::new(8, 4, 3, 3, 6, 6)).with_group_label("G1"),
+                ConvLayer::new("c", ConvShape::new(8, 8, 1, 1, 4, 4)).with_group_label("G1"),
+            ],
+        )
+    }
+
+    #[test]
+    fn stats_cover_only_evaluated_layers() {
+        let net = tiny_net();
+        let stats = net.stats();
+        assert_eq!(stats.conv_layers, 2);
+        let b = &net.layers()[1];
+        let c = &net.layers()[2];
+        assert_eq!(stats.total_multiplies, b.macs() + c.macs());
+        assert_eq!(stats.max_weight_bytes, b.weight_bytes().max(c.weight_bytes()));
+    }
+
+    #[test]
+    fn group_labels_deduplicate_in_order() {
+        let net = tiny_net();
+        assert_eq!(net.group_labels(), vec!["G1".to_owned()]);
+        assert_eq!(net.layers_in_group("G1"), vec![1, 2]);
+        assert!(net.layers_in_group("G2").is_empty());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let net = tiny_net();
+        assert!(net.layer("b").is_some());
+        assert!(net.layer("zzz").is_none());
+    }
+}

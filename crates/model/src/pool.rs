@@ -1,0 +1,111 @@
+//! Max pooling — the inter-stage downsampling of the evaluation networks.
+//!
+//! The paper folds pooling into the plane-size changes between conv
+//! layers (§II). A functional implementation lets whole networks run
+//! end-to-end through the simulator with *emergent* activation sparsity:
+//! each layer's input is the previous layer's computed, ReLU-clamped,
+//! pooled output rather than a synthetically injected map.
+
+use scnn_tensor::Dense3;
+
+/// Max-pools every channel with a `k x k` window at the given stride
+/// (the Caffe convention: windows may overhang the edge, partial windows
+/// are allowed, output extent is `ceil((extent - k) / stride) + 1`).
+///
+/// # Panics
+///
+/// Panics if `k` or `stride` is zero, or `k` exceeds the plane.
+#[must_use]
+pub fn max_pool(acts: &Dense3, k: usize, stride: usize) -> Dense3 {
+    assert!(k > 0 && stride > 0, "window and stride must be non-zero");
+    assert!(k <= acts.w() && k <= acts.h(), "window exceeds plane");
+    let out_w = (acts.w() - k).div_ceil(stride) + 1;
+    let out_h = (acts.h() - k).div_ceil(stride) + 1;
+    let mut out = Dense3::zeros(acts.c(), out_w, out_h);
+    for c in 0..acts.c() {
+        for ox in 0..out_w {
+            for oy in 0..out_h {
+                let mut best = f32::NEG_INFINITY;
+                for dx in 0..k {
+                    let x = ox * stride + dx;
+                    if x >= acts.w() {
+                        continue;
+                    }
+                    for dy in 0..k {
+                        let y = oy * stride + dy;
+                        if y >= acts.h() {
+                            continue;
+                        }
+                        best = best.max(acts.get(c, x, y));
+                    }
+                }
+                out.set(c, ox, oy, best);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_2x2_stride_2() {
+        let a = Dense3::from_vec(1, 4, 4, (0..16).map(|v| v as f32).collect());
+        let p = max_pool(&a, 2, 2);
+        assert_eq!((p.w(), p.h()), (2, 2));
+        // Row-major (x*h + y) layout: max of each 2x2 block.
+        assert_eq!(p.get(0, 0, 0), 5.0);
+        assert_eq!(p.get(0, 1, 1), 15.0);
+    }
+
+    #[test]
+    fn alexnet_pool_sizes() {
+        // 3x3 stride-2 pooling: 55 -> 27, 27 -> 13 (Caffe convention).
+        let a = Dense3::zeros(1, 55, 55);
+        assert_eq!(max_pool(&a, 3, 2).w(), 27);
+        let a = Dense3::zeros(1, 27, 27);
+        assert_eq!(max_pool(&a, 3, 2).w(), 13);
+        // VGG 2x2/2: 224 -> 112.
+        let a = Dense3::zeros(1, 224, 224);
+        assert_eq!(max_pool(&a, 2, 2).w(), 112);
+        // GoogLeNet 112 -> 56 (3x3/2 with overhang).
+        let a = Dense3::zeros(1, 112, 112);
+        assert_eq!(max_pool(&a, 3, 2).w(), 56);
+    }
+
+    #[test]
+    fn pooling_never_decreases_density() {
+        // Max over a window of non-negative values is zero only when the
+        // whole window is zero.
+        use crate::synth::synth_acts;
+        let a = synth_acts(2, 16, 16, 0.3, 5);
+        let p = max_pool(&a, 2, 2);
+        assert!(p.density() >= a.density());
+    }
+
+    #[test]
+    fn stride_one_window_one_is_identity() {
+        let a = Dense3::from_vec(2, 3, 3, (0..18).map(|v| v as f32 - 4.0).collect());
+        assert_eq!(max_pool(&a, 1, 1), a);
+    }
+
+    #[test]
+    fn overhanging_window_uses_partial_extent() {
+        // 5-wide plane, 3x3/2: ceil((5-3)/2)+1 = 2 outputs; the second
+        // window covers columns 2..5.
+        let mut a = Dense3::zeros(1, 5, 5);
+        a.set(0, 4, 4, 9.0);
+        let p = max_pool(&a, 3, 2);
+        assert_eq!((p.w(), p.h()), (2, 2));
+        assert_eq!(p.get(0, 1, 1), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds plane")]
+    fn oversized_window_rejected() {
+        let a = Dense3::zeros(1, 2, 2);
+        let _ = max_pool(&a, 3, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Magnitude pruning (Han et al., NIPS 2015 — the paper's §II weight-
+//! sparsity source).
+//!
+//! > "First, any weight with an absolute value that is close to zero
+//! > (e.g. below a defined threshold) is set to zero. … Second, the
+//! > remaining network is retrained."
+//!
+//! This module implements the thresholding step against a *target
+//! density* (the retraining step only restores accuracy; it does not
+//! change the sparsity structure the architecture sees, so it is out of
+//! scope for an architecture study).
+
+use scnn_tensor::Dense4;
+
+/// Prunes `weights` in place to (at most) `target_density` non-zeros by
+/// zeroing the smallest-magnitude values, and returns the magnitude
+/// threshold that was applied.
+///
+/// Ties at the threshold are broken by position (earlier values survive),
+/// so the resulting non-zero count is exact.
+///
+/// # Panics
+///
+/// Panics if `target_density` is outside `(0, 1]`.
+pub fn magnitude_prune(weights: &mut Dense4, target_density: f64) -> f32 {
+    assert!(
+        target_density > 0.0 && target_density <= 1.0,
+        "target density {target_density} outside (0,1]"
+    );
+    let len = weights.len();
+    let keep = ((len as f64 * target_density).round() as usize).clamp(1, len);
+    let mut magnitudes: Vec<f32> = weights.as_slice().iter().map(|v| v.abs()).collect();
+    magnitudes.sort_unstable_by(f32::total_cmp);
+    let threshold = magnitudes[len - keep];
+
+    // Zero strictly-below-threshold values, then resolve ties in position
+    // order until exactly `keep` survive.
+    let mut survivors = 0usize;
+    for v in weights.as_mut_slice() {
+        if v.abs() < threshold {
+            *v = 0.0;
+        } else {
+            survivors += 1;
+        }
+    }
+    if survivors > keep {
+        let mut excess = survivors - keep;
+        for v in weights.as_mut_slice() {
+            if excess == 0 {
+                break;
+            }
+            if *v != 0.0 && v.abs() == threshold {
+                *v = 0.0;
+                excess -= 1;
+            }
+        }
+    }
+    threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synth_weights;
+    use scnn_tensor::ConvShape;
+
+    fn dense_weights(seed: u64) -> Dense4 {
+        let shape = ConvShape::new(8, 8, 3, 3, 10, 10);
+        synth_weights(&shape, 1.0, seed)
+    }
+
+    #[test]
+    fn hits_target_density_exactly() {
+        for target in [0.1, 0.35, 0.5, 0.9] {
+            let mut w = dense_weights(1);
+            magnitude_prune(&mut w, target);
+            let expected = (w.len() as f64 * target).round() as usize;
+            assert_eq!(w.nnz(), expected, "target {target}");
+        }
+    }
+
+    #[test]
+    fn keeps_the_largest_magnitudes() {
+        let mut w = dense_weights(2);
+        let before = w.clone();
+        let threshold = magnitude_prune(&mut w, 0.3);
+        assert!(threshold > 0.0);
+        for (kept, orig) in w.as_slice().iter().zip(before.as_slice()) {
+            if *kept != 0.0 {
+                assert!(kept.abs() >= threshold);
+                assert_eq!(kept, orig, "survivors keep their values");
+            }
+        }
+    }
+
+    #[test]
+    fn idempotent_at_same_target() {
+        let mut w = dense_weights(3);
+        magnitude_prune(&mut w, 0.4);
+        let once = w.clone();
+        magnitude_prune(&mut w, 0.4);
+        assert_eq!(w, once);
+    }
+
+    #[test]
+    fn iterative_pruning_monotone() {
+        // The paper: "The process can be iteratively repeated to reduce
+        // network size" — each round removes more, never resurrects.
+        let mut w = dense_weights(4);
+        let mut prev_mask: Vec<bool> = w.as_slice().iter().map(|v| *v != 0.0).collect();
+        for target in [0.7, 0.5, 0.3, 0.1] {
+            magnitude_prune(&mut w, target);
+            let mask: Vec<bool> = w.as_slice().iter().map(|v| *v != 0.0).collect();
+            for (now, before) in mask.iter().zip(&prev_mask) {
+                assert!(!now || *before, "a pruned weight came back");
+            }
+            prev_mask = mask;
+        }
+    }
+
+    #[test]
+    fn full_density_is_identity() {
+        let mut w = dense_weights(5);
+        let before = w.clone();
+        magnitude_prune(&mut w, 1.0);
+        assert_eq!(w, before);
+    }
+
+    #[test]
+    fn tie_heavy_tensor_still_exact() {
+        // All-equal magnitudes: the tie-break path must produce the exact
+        // count.
+        let mut w = Dense4::from_vec(2, 2, 2, 2, vec![0.5; 16]);
+        magnitude_prune(&mut w, 0.5);
+        assert_eq!(w.nnz(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0,1]")]
+    fn zero_target_rejected() {
+        let mut w = dense_weights(6);
+        magnitude_prune(&mut w, 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Reference dense convolution — the functional oracle.
+//!
+//! A direct implementation of the 7-dimensional loop nest of Figure 3
+//! (batch N = 1), with stride, padding and filter groups. The cycle-level
+//! simulator's functional mode is validated against this on every test
+//! layer: SCNN's sparse Cartesian-product dataflow must produce bit-equal
+//! sums for the same operand order-independent arithmetic (we use f32 and
+//! compare with a small epsilon to absorb reassociation).
+
+use scnn_tensor::{ConvShape, Dense3, Dense4};
+
+/// Computes the dense convolution `output[k][x][y] = sum over (c,r,s)` of
+/// `input[c][x*stride + r - pad][y*stride + s - pad] * weight[k][c][r][s]`,
+/// with optional ReLU applied to the result.
+///
+/// `input` is the unpadded `C x W x H` tensor; padding is applied
+/// internally according to `shape.pad`.
+///
+/// # Panics
+///
+/// Panics if the tensors do not match `shape`.
+#[must_use]
+pub fn conv_reference(shape: &ConvShape, weights: &Dense4, input: &Dense3, relu: bool) -> Dense3 {
+    assert_eq!(
+        (input.c(), input.w(), input.h()),
+        (shape.c, shape.w, shape.h),
+        "input tensor does not match shape"
+    );
+    assert_eq!(
+        (weights.k(), weights.c(), weights.r(), weights.s()),
+        (shape.k, shape.c_per_group(), shape.r, shape.s),
+        "weight tensor does not match shape"
+    );
+    let padded = input.padded(shape.pad);
+    let (out_w, out_h) = (shape.out_w(), shape.out_h());
+    let cpg = shape.c_per_group();
+    let kpg = shape.k_per_group();
+    let mut out = Dense3::zeros(shape.k, out_w, out_h);
+    for k in 0..shape.k {
+        let group = k / kpg;
+        for x in 0..out_w {
+            for y in 0..out_h {
+                let mut acc = 0.0f32;
+                for c_local in 0..cpg {
+                    let c = group * cpg + c_local;
+                    for r in 0..shape.r {
+                        for s in 0..shape.s {
+                            acc += padded.get(c, x * shape.stride + r, y * shape.stride + s)
+                                * weights.get(k, c_local, r, s);
+                        }
+                    }
+                }
+                out.set(k, x, y, if relu { acc.max(0.0) } else { acc });
+            }
+        }
+    }
+    out
+}
+
+/// Asserts two activation tensors are element-wise equal within `eps`,
+/// returning the largest absolute difference.
+///
+/// # Panics
+///
+/// Panics if shapes differ or any element differs by more than `eps`.
+pub fn assert_close(a: &Dense3, b: &Dense3, eps: f32) -> f32 {
+    assert_eq!((a.c(), a.w(), a.h()), (b.c(), b.w(), b.h()), "shape mismatch");
+    let mut max_diff = 0.0f32;
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        let diff = (x - y).abs();
+        assert!(
+            diff <= eps,
+            "element {i} differs: {x} vs {y} (|diff| = {diff} > {eps})"
+        );
+        max_diff = max_diff.max(diff);
+    }
+    max_diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_filter_passes_input_through() {
+        // 1x1 filter with weight 1 on the only channel: output == input.
+        let shape = ConvShape::new(1, 1, 1, 1, 4, 4);
+        let mut w = Dense4::zeros(1, 1, 1, 1);
+        w.set(0, 0, 0, 0, 1.0);
+        let mut input = Dense3::zeros(1, 4, 4);
+        input.set(0, 2, 3, 5.0);
+        input.set(0, 0, 0, -1.0);
+        let out = conv_reference(&shape, &w, &input, false);
+        assert_eq!(out, input);
+        let out_relu = conv_reference(&shape, &w, &input, true);
+        assert_eq!(out_relu.get(0, 0, 0), 0.0);
+        assert_eq!(out_relu.get(0, 2, 3), 5.0);
+    }
+
+    #[test]
+    fn box_filter_sums_window() {
+        // 2x2 all-ones filter over an all-ones 3x3 input: every output is 4.
+        let shape = ConvShape::new(1, 1, 2, 2, 3, 3);
+        let w = Dense4::from_vec(1, 1, 2, 2, vec![1.0; 4]);
+        let input = Dense3::from_vec(1, 3, 3, vec![1.0; 9]);
+        let out = conv_reference(&shape, &w, &input, false);
+        assert_eq!((out.w(), out.h()), (2, 2));
+        assert!(out.as_slice().iter().all(|v| *v == 4.0));
+    }
+
+    #[test]
+    fn padding_extends_plane_with_zeros() {
+        // Same-padding 3x3 over a single centred value spreads it to the
+        // 3x3 neighbourhood, staying within the original plane size.
+        let shape = ConvShape::new(1, 1, 3, 3, 3, 3).with_pad(1);
+        let w = Dense4::from_vec(1, 1, 3, 3, vec![1.0; 9]);
+        let mut input = Dense3::zeros(1, 3, 3);
+        input.set(0, 1, 1, 2.0);
+        let out = conv_reference(&shape, &w, &input, false);
+        assert_eq!((out.w(), out.h()), (3, 3));
+        assert!(out.as_slice().iter().all(|v| *v == 2.0));
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let shape = ConvShape::new(1, 1, 1, 1, 4, 4).with_stride(2);
+        let mut w = Dense4::zeros(1, 1, 1, 1);
+        w.set(0, 0, 0, 0, 1.0);
+        let mut input = Dense3::zeros(1, 4, 4);
+        input.set(0, 2, 2, 7.0);
+        let out = conv_reference(&shape, &w, &input, false);
+        assert_eq!((out.w(), out.h()), (2, 2));
+        assert_eq!(out.get(0, 1, 1), 7.0);
+    }
+
+    #[test]
+    fn groups_partition_channels() {
+        // 2 groups, 2 in / 2 out channels: k=0 sees only c=0, k=1 only c=1.
+        let shape = ConvShape::new(2, 2, 1, 1, 2, 2).with_groups(2);
+        let mut w = Dense4::zeros(2, 1, 1, 1);
+        w.set(0, 0, 0, 0, 1.0);
+        w.set(1, 0, 0, 0, 10.0);
+        let mut input = Dense3::zeros(2, 2, 2);
+        input.set(0, 0, 0, 1.0);
+        input.set(1, 0, 0, 1.0);
+        let out = conv_reference(&shape, &w, &input, false);
+        assert_eq!(out.get(0, 0, 0), 1.0);
+        assert_eq!(out.get(1, 0, 0), 10.0);
+    }
+
+    #[test]
+    fn multi_channel_accumulation() {
+        let shape = ConvShape::new(1, 3, 1, 1, 1, 1);
+        let w = Dense4::from_vec(1, 3, 1, 1, vec![1.0, 2.0, 3.0]);
+        let input = Dense3::from_vec(3, 1, 1, vec![1.0, 1.0, 1.0]);
+        let out = conv_reference(&shape, &w, &input, false);
+        assert_eq!(out.get(0, 0, 0), 6.0);
+    }
+
+    #[test]
+    fn assert_close_reports_max_diff() {
+        let a = Dense3::from_vec(1, 1, 2, vec![1.0, 2.0]);
+        let b = Dense3::from_vec(1, 1, 2, vec![1.0, 2.000_001]);
+        let diff = assert_close(&a, &b, 1e-4);
+        assert!(diff > 0.0 && diff < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs")]
+    fn assert_close_panics_on_mismatch() {
+        let a = Dense3::from_vec(1, 1, 1, vec![1.0]);
+        let b = Dense3::from_vec(1, 1, 1, vec![2.0]);
+        let _ = assert_close(&a, &b, 1e-3);
+    }
+}

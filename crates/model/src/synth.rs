@@ -1,0 +1,258 @@
+//! Seeded synthetic workload generation.
+//!
+//! The paper drives its simulator with "the pruned weights and sparse input
+//! activation maps extracted from the Caffe Python interface" (§V). Those
+//! artifacts are not distributable, so this module generates tensors with
+//! *exactly* the target per-layer densities: non-zero positions are chosen
+//! uniformly at random (seeded, reproducible), weight magnitudes follow a
+//! symmetric distribution around zero (post-pruning weights), and
+//! activations are non-negative (post-ReLU). The architecture's behaviour
+//! depends on the count and placement of non-zeros, which this preserves.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use scnn_tensor::{ConvShape, Dense3, Dense4};
+
+/// Number of non-zeros that realizes `density` over `len` elements,
+/// clamped to at least 1 so no layer degenerates to all-zero operands.
+fn target_nnz(len: usize, density: f64) -> usize {
+    assert!((0.0..=1.0).contains(&density), "density {density} outside [0,1]");
+    (((len as f64) * density).round() as usize).clamp(1, len)
+}
+
+/// Fills `len` slots with exactly `nnz` non-zero values drawn by `value`,
+/// at uniformly random positions.
+fn sparse_fill<F: FnMut(&mut StdRng) -> f32>(
+    len: usize,
+    nnz: usize,
+    rng: &mut StdRng,
+    mut value: F,
+) -> Vec<f32> {
+    let mut data = vec![0.0f32; len];
+    for slot in data.iter_mut().take(nnz) {
+        *slot = value(rng);
+    }
+    data.shuffle(rng);
+    data
+}
+
+/// Generates a pruned weight tensor for `shape` at the given density.
+///
+/// The tensor has the per-group input extent (`C / groups`), matching
+/// [`Dense4::zeros_for`]. Magnitudes are in `[0.05, 1.0)` with random
+/// sign — weights survive pruning only when their magnitude is
+/// significant, and both signs occur.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_model::synth_weights;
+/// use scnn_tensor::ConvShape;
+///
+/// let shape = ConvShape::new(8, 4, 3, 3, 16, 16);
+/// let w = synth_weights(&shape, 0.25, 42);
+/// assert!((w.density() - 0.25).abs() < 0.01);
+/// // Deterministic: the same seed reproduces the tensor.
+/// assert_eq!(w, synth_weights(&shape, 0.25, 42));
+/// ```
+#[must_use]
+pub fn synth_weights(shape: &ConvShape, density: f64, seed: u64) -> Dense4 {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1_ab1e_0000_0001);
+    let len = shape.weight_count();
+    let nnz = target_nnz(len, density);
+    let data = sparse_fill(len, nnz, &mut rng, |rng| {
+        let mag = rng.gen_range(0.05f32..1.0);
+        if rng.gen_bool(0.5) {
+            mag
+        } else {
+            -mag
+        }
+    });
+    Dense4::from_vec(shape.k, shape.c_per_group(), shape.r, shape.s, data)
+}
+
+/// Generates a post-ReLU activation tensor of extent `c x w x h` at the
+/// given density. Values are strictly positive in `[0.05, 1.0)`.
+#[must_use]
+pub fn synth_acts(c: usize, w: usize, h: usize, density: f64, seed: u64) -> Dense3 {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1_ab1e_0000_0002);
+    let len = c * w * h;
+    let nnz = target_nnz(len, density);
+    let data = sparse_fill(len, nnz, &mut rng, |rng| rng.gen_range(0.05f32..1.0));
+    Dense3::from_vec(c, w, h, data)
+}
+
+/// Generates the input activation tensor for a layer: extent
+/// `C x W x H` from the layer shape at the given density.
+#[must_use]
+pub fn synth_layer_input(shape: &ConvShape, density: f64, seed: u64) -> Dense3 {
+    synth_acts(shape.c, shape.w, shape.h, density, seed)
+}
+
+/// Generates a post-ReLU activation tensor with *spatially correlated*
+/// sparsity: non-zeros cluster into blobs of characteristic size
+/// `blob_scale` (in pixels), as real feature maps do (ReLU zeros entire
+/// regions where a feature is absent). The global density is exact.
+///
+/// Uniform-random sparsity (the [`synth_acts`] default) is the kindest
+/// case for SCNN's planar tiling; correlated sparsity concentrates work
+/// on the PEs whose tiles hold the blobs and raises barrier idling — the
+/// `imbalance` benchmark binary quantifies this.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]` or `blob_scale` is zero.
+#[must_use]
+pub fn synth_acts_correlated(
+    c: usize,
+    w: usize,
+    h: usize,
+    density: f64,
+    blob_scale: usize,
+    seed: u64,
+) -> Dense3 {
+    assert!((0.0..=1.0).contains(&density), "density {density} outside [0,1]");
+    assert!(blob_scale > 0, "blob scale must be non-zero");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1_ab1e_0000_0003);
+    let len = c * w * h;
+    let nnz = target_nnz(len, density);
+
+    // A low-resolution random field per channel, bilinearly upsampled,
+    // plus a little white noise; the top-`nnz` field positions become the
+    // non-zeros, so sparsity follows the smooth field's ridges.
+    let gw = w.div_ceil(blob_scale) + 1;
+    let gh = h.div_ceil(blob_scale) + 1;
+    let mut field = Vec::with_capacity(len);
+    for _ in 0..c {
+        let grid: Vec<f64> = (0..gw * gh).map(|_| rng.gen_range(0.0..1.0)).collect();
+        for x in 0..w {
+            let fx = x as f64 / blob_scale as f64;
+            let (x0, tx) = (fx as usize, fx.fract());
+            for y in 0..h {
+                let fy = y as f64 / blob_scale as f64;
+                let (y0, ty) = (fy as usize, fy.fract());
+                let at = |gx: usize, gy: usize| grid[gx.min(gw - 1) * gh + gy.min(gh - 1)];
+                let v = at(x0, y0) * (1.0 - tx) * (1.0 - ty)
+                    + at(x0 + 1, y0) * tx * (1.0 - ty)
+                    + at(x0, y0 + 1) * (1.0 - tx) * ty
+                    + at(x0 + 1, y0 + 1) * tx * ty;
+                field.push(v + rng.gen_range(0.0..0.05));
+            }
+        }
+    }
+    // Select the top-nnz positions.
+    let mut order: Vec<u32> = (0..len as u32).collect();
+    order.sort_unstable_by(|a, b| {
+        field[*b as usize].partial_cmp(&field[*a as usize]).expect("field is finite")
+    });
+    let mut data = vec![0.0f32; len];
+    for &idx in order.iter().take(nnz) {
+        data[idx as usize] = rng.gen_range(0.05f32..1.0);
+    }
+    Dense3::from_vec(c, w, h, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_hit_exact_density() {
+        let shape = ConvShape::new(16, 8, 3, 3, 10, 10);
+        let w = synth_weights(&shape, 0.5, 1);
+        let len = shape.weight_count();
+        assert_eq!(w.nnz(), (len as f64 * 0.5).round() as usize);
+    }
+
+    #[test]
+    fn acts_hit_exact_density_and_are_nonnegative() {
+        let a = synth_acts(4, 9, 9, 0.3, 7);
+        assert_eq!(a.nnz(), (4.0 * 81.0 * 0.3f64).round() as usize);
+        assert!(a.as_slice().iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let shape = ConvShape::new(4, 4, 3, 3, 8, 8);
+        assert_ne!(synth_weights(&shape, 0.4, 1), synth_weights(&shape, 0.4, 2));
+        assert_ne!(synth_acts(2, 8, 8, 0.4, 1), synth_acts(2, 8, 8, 0.4, 2));
+    }
+
+    #[test]
+    fn weight_and_act_streams_are_independent() {
+        // Same seed must not produce correlated weight/activation masks
+        // (different domain-separation constants).
+        let shape = ConvShape::new(1, 1, 4, 4, 4, 4);
+        let w = synth_weights(&shape, 0.5, 3);
+        let a = synth_acts(1, 4, 4, 0.5, 3);
+        let w_mask: Vec<bool> = w.as_slice().iter().map(|v| *v != 0.0).collect();
+        let a_mask: Vec<bool> = a.as_slice().iter().map(|v| *v != 0.0).collect();
+        assert_ne!(w_mask, a_mask);
+    }
+
+    #[test]
+    fn full_density_has_no_zeros() {
+        let shape = ConvShape::new(2, 2, 3, 3, 6, 6);
+        assert_eq!(synth_weights(&shape, 1.0, 9).nnz(), shape.weight_count());
+        assert_eq!(synth_layer_input(&shape, 1.0, 9).nnz(), shape.input_count());
+    }
+
+    #[test]
+    fn tiny_density_keeps_at_least_one_value() {
+        let shape = ConvShape::new(1, 1, 2, 2, 4, 4);
+        assert_eq!(synth_weights(&shape, 1e-9, 4).nnz(), 1);
+    }
+
+    #[test]
+    fn grouped_shape_generates_per_group_extent() {
+        let shape = ConvShape::new(8, 6, 3, 3, 10, 10).with_groups(2);
+        let w = synth_weights(&shape, 0.5, 5);
+        assert_eq!((w.k(), w.c()), (8, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn density_above_one_rejected() {
+        let shape = ConvShape::new(1, 1, 1, 1, 2, 2);
+        let _ = synth_weights(&shape, 1.5, 0);
+    }
+
+    #[test]
+    fn correlated_acts_hit_exact_density() {
+        let a = synth_acts_correlated(4, 20, 20, 0.3, 5, 7);
+        assert_eq!(a.nnz(), (4.0 * 400.0 * 0.3f64).round() as usize);
+        assert!(a.as_slice().iter().all(|v| *v >= 0.0));
+        // Deterministic.
+        assert_eq!(a, synth_acts_correlated(4, 20, 20, 0.3, 5, 7));
+    }
+
+    #[test]
+    fn correlated_acts_cluster_spatially() {
+        // Measure spatial autocorrelation: the probability a non-zero's
+        // right neighbour is also non-zero should exceed the density by a
+        // clear margin for blobs, and be ~density for uniform sampling.
+        fn neighbour_rate(a: &scnn_tensor::Dense3) -> f64 {
+            let (mut pairs, mut hits) = (0u32, 0u32);
+            for c in 0..a.c() {
+                for x in 0..a.w() - 1 {
+                    for y in 0..a.h() {
+                        if a.get(c, x, y) != 0.0 {
+                            pairs += 1;
+                            if a.get(c, x + 1, y) != 0.0 {
+                                hits += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            f64::from(hits) / f64::from(pairs.max(1))
+        }
+        let blobs = synth_acts_correlated(2, 40, 40, 0.3, 8, 11);
+        let uniform = synth_acts(2, 40, 40, 0.3, 11);
+        let rb = neighbour_rate(&blobs);
+        let ru = neighbour_rate(&uniform);
+        assert!(rb > 0.55, "blob neighbour rate {rb:.2} too low");
+        assert!(ru < 0.40, "uniform neighbour rate {ru:.2} too high");
+    }
+}

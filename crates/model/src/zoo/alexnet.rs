@@ -1,0 +1,84 @@
+//! AlexNet convolutional stack (Caffe BVLC reference model, 227x227 input).
+
+use crate::layer::ConvLayer;
+use crate::network::Network;
+use scnn_tensor::ConvShape;
+
+/// Builds the five-layer AlexNet conv stack of Table I.
+///
+/// Shapes follow the Caffe BVLC reference model the paper pulled from the
+/// Model Zoo: grouped convolutions in conv2/conv4/conv5 and max-pools
+/// between stages (pools are folded into the plane-size changes).
+#[must_use]
+pub fn alexnet() -> Network {
+    Network::new(
+        "AlexNet",
+        vec![
+            // 227x227x3, 11x11 stride 4 -> 55x55x96; pool1 3x3/2 -> 27x27.
+            ConvLayer::new("conv1", ConvShape::new(96, 3, 11, 11, 227, 227).with_stride(4)),
+            // 27x27x96, 5x5 pad 2, 2 groups -> 27x27x256; pool2 -> 13x13.
+            ConvLayer::new(
+                "conv2",
+                ConvShape::new(256, 96, 5, 5, 27, 27).with_pad(2).with_groups(2),
+            ),
+            ConvLayer::new("conv3", ConvShape::new(384, 256, 3, 3, 13, 13).with_pad(1)),
+            ConvLayer::new(
+                "conv4",
+                ConvShape::new(384, 384, 3, 3, 13, 13).with_pad(1).with_groups(2),
+            ),
+            ConvLayer::new(
+                "conv5",
+                ConvShape::new(256, 384, 3, 3, 13, 13).with_pad(1).with_groups(2),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_conv_layers() {
+        assert_eq!(alexnet().stats().conv_layers, 5);
+    }
+
+    #[test]
+    fn total_multiplies_matches_table1() {
+        // Table I: 0.69B multiplies. The Caffe BVLC shapes give ~0.67B
+        // (difference is padding bookkeeping); assert the band.
+        let total = alexnet().stats().total_multiplies as f64;
+        assert!(
+            (0.6e9..0.75e9).contains(&total),
+            "AlexNet multiplies {total:.3e} outside Table I band"
+        );
+    }
+
+    #[test]
+    fn max_weight_layer_is_conv3() {
+        // Table I: 1.73 MB max weights; conv3 has 384*256*3*3 weights.
+        let net = alexnet();
+        let conv3 = net.layer("conv3").unwrap();
+        assert_eq!(net.stats().max_weight_bytes, conv3.weight_bytes());
+        let mb = conv3.weight_bytes() as f64 / 1e6;
+        assert!((1.6..1.85).contains(&mb), "conv3 weights {mb:.2} MB outside band");
+    }
+
+    #[test]
+    fn conv1_output_plane_is_55() {
+        let net = alexnet();
+        let s = net.layer("conv1").unwrap().shape;
+        assert_eq!((s.out_w(), s.out_h()), (55, 55));
+    }
+
+    #[test]
+    fn grouped_layers_have_two_groups() {
+        let net = alexnet();
+        for name in ["conv2", "conv4", "conv5"] {
+            assert_eq!(net.layer(name).unwrap().shape.groups, 2, "{name}");
+        }
+        for name in ["conv1", "conv3"] {
+            assert_eq!(net.layer(name).unwrap().shape.groups, 1, "{name}");
+        }
+    }
+}

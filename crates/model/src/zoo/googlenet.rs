@@ -1,0 +1,134 @@
+//! GoogLeNet convolutional stack (Caffe BVLC model, 224x224 input).
+//!
+//! The stem (conv1, conv2 reduce, conv2) is modelled but excluded from the
+//! evaluation set; the paper evaluates the 9 x 6 = 54 convolutions inside
+//! the inception modules (§V: "we primarily focus on the convolutional
+//! layers that are within the inception modules"), which is also how
+//! Table I arrives at 54 layers and 1.1B multiplies.
+
+use crate::layer::ConvLayer;
+use crate::network::Network;
+use scnn_tensor::ConvShape;
+
+/// Parameters of one inception module: `(name, cin, plane, n1x1, n3x3r,
+/// n3x3, n5x5r, n5x5, pool_proj)` per the Caffe BVLC GoogLeNet.
+struct Inception {
+    name: &'static str,
+    cin: usize,
+    plane: usize,
+    n1x1: usize,
+    n3x3r: usize,
+    n3x3: usize,
+    n5x5r: usize,
+    n5x5: usize,
+    pool_proj: usize,
+}
+
+const INCEPTIONS: [Inception; 9] = [
+    Inception { name: "3a", cin: 192, plane: 28, n1x1: 64, n3x3r: 96, n3x3: 128, n5x5r: 16, n5x5: 32, pool_proj: 32 },
+    Inception { name: "3b", cin: 256, plane: 28, n1x1: 128, n3x3r: 128, n3x3: 192, n5x5r: 32, n5x5: 96, pool_proj: 64 },
+    Inception { name: "4a", cin: 480, plane: 14, n1x1: 192, n3x3r: 96, n3x3: 208, n5x5r: 16, n5x5: 48, pool_proj: 64 },
+    Inception { name: "4b", cin: 512, plane: 14, n1x1: 160, n3x3r: 112, n3x3: 224, n5x5r: 24, n5x5: 64, pool_proj: 64 },
+    Inception { name: "4c", cin: 512, plane: 14, n1x1: 128, n3x3r: 128, n3x3: 256, n5x5r: 24, n5x5: 64, pool_proj: 64 },
+    Inception { name: "4d", cin: 512, plane: 14, n1x1: 112, n3x3r: 144, n3x3: 288, n5x5r: 32, n5x5: 64, pool_proj: 64 },
+    Inception { name: "4e", cin: 528, plane: 14, n1x1: 256, n3x3r: 160, n3x3: 320, n5x5r: 32, n5x5: 128, pool_proj: 128 },
+    Inception { name: "5a", cin: 832, plane: 7, n1x1: 256, n3x3r: 160, n3x3: 320, n5x5r: 32, n5x5: 128, pool_proj: 128 },
+    Inception { name: "5b", cin: 832, plane: 7, n1x1: 384, n3x3r: 192, n3x3: 384, n5x5r: 48, n5x5: 128, pool_proj: 128 },
+];
+
+/// The six convolution kinds inside an inception module, in the order the
+/// paper's Figure 1b lists them.
+pub const INCEPTION_SUBLAYERS: [&str; 6] =
+    ["pool_proj", "1x1", "3x3_reduce", "3x3", "5x5_reduce", "5x5"];
+
+/// Builds the GoogLeNet conv stack: 3 stem layers (excluded from the
+/// evaluation set) + 54 inception convolutions labelled `IC_3a` … `IC_5b`.
+#[must_use]
+pub fn googlenet() -> Network {
+    let mut layers = Vec::with_capacity(57);
+    // Stem: conv1 7x7/2 (224 -> 112), pool (112 -> 56), conv2 reduce +
+    // conv2 3x3 at 56x56, pool (56 -> 28).
+    layers.push(
+        ConvLayer::new("conv1/7x7_s2", ConvShape::new(64, 3, 7, 7, 224, 224).with_stride(2).with_pad(3))
+            .excluded(),
+    );
+    layers.push(
+        ConvLayer::new("conv2/3x3_reduce", ConvShape::new(64, 64, 1, 1, 56, 56)).excluded(),
+    );
+    layers.push(
+        ConvLayer::new("conv2/3x3", ConvShape::new(192, 64, 3, 3, 56, 56).with_pad(1)).excluded(),
+    );
+    for m in &INCEPTIONS {
+        let label = format!("IC_{}", m.name);
+        let p = m.plane;
+        let mk = |suffix: &str, shape: ConvShape| {
+            ConvLayer::new(format!("inception_{}/{}", m.name, suffix), shape)
+                .with_group_label(label.clone())
+        };
+        // pool_proj sees the 3x3 max-pooled (stride 1, pad 1) input: same
+        // channel count and plane as the module input.
+        layers.push(mk("pool_proj", ConvShape::new(m.pool_proj, m.cin, 1, 1, p, p)));
+        layers.push(mk("1x1", ConvShape::new(m.n1x1, m.cin, 1, 1, p, p)));
+        layers.push(mk("3x3_reduce", ConvShape::new(m.n3x3r, m.cin, 1, 1, p, p)));
+        layers.push(mk("3x3", ConvShape::new(m.n3x3, m.n3x3r, 3, 3, p, p).with_pad(1)));
+        layers.push(mk("5x5_reduce", ConvShape::new(m.n5x5r, m.cin, 1, 1, p, p)));
+        layers.push(mk("5x5", ConvShape::new(m.n5x5, m.n5x5r, 5, 5, p, p).with_pad(2)));
+    }
+    Network::new("GoogLeNet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_four_evaluated_layers() {
+        let net = googlenet();
+        assert_eq!(net.stats().conv_layers, 54);
+        assert_eq!(net.layers().len(), 57);
+    }
+
+    #[test]
+    fn nine_inception_labels_in_order() {
+        let labels = googlenet().group_labels();
+        assert_eq!(
+            labels,
+            ["IC_3a", "IC_3b", "IC_4a", "IC_4b", "IC_4c", "IC_4d", "IC_4e", "IC_5a", "IC_5b"]
+        );
+        for label in &labels {
+            assert_eq!(googlenet().layers_in_group(label).len(), 6, "{label}");
+        }
+    }
+
+    #[test]
+    fn total_multiplies_matches_table1() {
+        // Table I: 1.1B multiplies over the inception convolutions.
+        let total = googlenet().stats().total_multiplies as f64;
+        assert!(
+            (1.0e9..1.2e9).contains(&total),
+            "GoogLeNet multiplies {total:.3e} outside Table I band"
+        );
+    }
+
+    #[test]
+    fn max_weight_layer_is_5b_3x3() {
+        // Table I: 1.32 MB; inception_5b/3x3 has 384*192*9 weights.
+        let net = googlenet();
+        let l = net.layer("inception_5b/3x3").unwrap();
+        assert_eq!(net.stats().max_weight_bytes, l.weight_bytes());
+        let mb = l.weight_bytes() as f64 / 1e6;
+        assert!((1.25..1.40).contains(&mb), "5b/3x3 weights {mb:.2} MB outside band");
+    }
+
+    #[test]
+    fn module_output_channels_match_concat() {
+        // Each module's four branch outputs concatenate to the next module's
+        // input channel count (module list is consecutive within a stage).
+        let outs: Vec<usize> =
+            INCEPTIONS.iter().map(|m| m.n1x1 + m.n3x3 + m.n5x5 + m.pool_proj).collect();
+        assert_eq!(outs[0], INCEPTIONS[1].cin); // 3a -> 3b
+        assert_eq!(outs[2], INCEPTIONS[3].cin); // 4a -> 4b
+        assert_eq!(outs[6], INCEPTIONS[7].cin); // 4e -> 5a (after pool)
+        assert_eq!(outs[8], 1024); // 5b output
+    }
+}

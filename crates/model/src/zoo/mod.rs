@@ -1,0 +1,35 @@
+//! The model zoo: the three networks of the paper's evaluation (Table I).
+
+mod alexnet;
+mod googlenet;
+mod vggnet;
+
+pub use alexnet::alexnet;
+pub use googlenet::{googlenet, INCEPTION_SUBLAYERS};
+pub use vggnet::vggnet;
+
+use crate::network::Network;
+
+/// All three evaluation networks, in Table I order.
+#[must_use]
+pub fn all_networks() -> Vec<Network> {
+    vec![alexnet(), googlenet(), vggnet()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventy_two_evaluated_layers_total() {
+        // §VI-D: "9 of the 72 total evaluated layers" — 5 + 54 + 13.
+        let total: usize = all_networks().iter().map(|n| n.stats().conv_layers).sum();
+        assert_eq!(total, 72);
+    }
+
+    #[test]
+    fn networks_are_named_as_in_table1() {
+        let names: Vec<_> = all_networks().iter().map(|n| n.name().to_owned()).collect();
+        assert_eq!(names, ["AlexNet", "GoogLeNet", "VGGNet"]);
+    }
+}

@@ -1,0 +1,83 @@
+//! VGGNet-16 convolutional stack (Caffe model, 224x224 input).
+
+use crate::layer::ConvLayer;
+use crate::network::Network;
+use scnn_tensor::ConvShape;
+
+/// Builds the 13-layer VGGNet-16 conv stack of Table I.
+///
+/// Every filter is 3x3 with pad 1; max-pools halve the plane between
+/// stages. The paper uses VGGNet "as a proxy for large input data … to
+/// explore the implications of tiling data" (§V).
+#[must_use]
+pub fn vggnet() -> Network {
+    // (name, K, C, plane)
+    const LAYERS: [(&str, usize, usize, usize); 13] = [
+        ("conv1_1", 64, 3, 224),
+        ("conv1_2", 64, 64, 224),
+        ("conv2_1", 128, 64, 112),
+        ("conv2_2", 128, 128, 112),
+        ("conv3_1", 256, 128, 56),
+        ("conv3_2", 256, 256, 56),
+        ("conv3_3", 256, 256, 56),
+        ("conv4_1", 512, 256, 28),
+        ("conv4_2", 512, 512, 28),
+        ("conv4_3", 512, 512, 28),
+        ("conv5_1", 512, 512, 14),
+        ("conv5_2", 512, 512, 14),
+        ("conv5_3", 512, 512, 14),
+    ];
+    Network::new(
+        "VGGNet",
+        LAYERS
+            .iter()
+            .map(|&(name, k, c, p)| {
+                ConvLayer::new(name, ConvShape::new(k, c, 3, 3, p, p).with_pad(1))
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_conv_layers() {
+        assert_eq!(vggnet().stats().conv_layers, 13);
+    }
+
+    #[test]
+    fn total_multiplies_matches_table1() {
+        // Table I: 15.3B multiplies.
+        let total = vggnet().stats().total_multiplies as f64;
+        assert!(
+            (14.8e9..15.8e9).contains(&total),
+            "VGGNet multiplies {total:.3e} outside Table I band"
+        );
+    }
+
+    #[test]
+    fn max_weights_is_512x512_3x3() {
+        // Table I: 4.49 MB (= 512*512*9 weights at 2 bytes, in MiB).
+        let net = vggnet();
+        let mb = net.stats().max_weight_bytes as f64 / 1e6;
+        assert!((4.4..4.9).contains(&mb), "max weights {mb:.2} MB outside band");
+    }
+
+    #[test]
+    fn max_activations_is_conv1_output() {
+        // Table I: 6.12 MB (= 64*224*224 values at 2 bytes, in MiB).
+        let net = vggnet();
+        let mb = net.stats().max_activation_bytes as f64 / 1e6;
+        assert!((6.0..6.6).contains(&mb), "max acts {mb:.2} MB outside band");
+    }
+
+    #[test]
+    fn planes_preserved_within_stage() {
+        for layer in vggnet().layers() {
+            let s = layer.shape;
+            assert_eq!((s.out_w(), s.out_h()), (s.w, s.h), "{}", layer.name);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The dense baseline machines: DCNN and DCNN-opt (§V, Table IV).
+//!
+//! DCNN executes PT-IS-DP-dense — the same planar tiling and provisioning
+//! as SCNN (64 PEs x 16 multipliers) but with dense operand delivery and a
+//! dot-product inner core: each ALU serially accumulates one output's
+//! reduction in a local register, so there is no scatter crossbar, no
+//! banked read-modify-write and no compression machinery. Cycle counts
+//! therefore depend only on the layer geometry, never on operand values.
+//!
+//! DCNN-opt shares DCNN's cycles and adds the two §V energy optimizations:
+//! zero-operand ALU gating, and compression of DRAM activation traffic.
+
+use crate::stats::{Footprints, LayerResult, LayerStats};
+use crate::tiling::PlaneTiling;
+use scnn_arch::{AccessCounts, DcnnConfig, EnergyModel};
+use scnn_tensor::{CompressedActivations, ConvShape, Dense3};
+
+/// Output-channel blocking factor of the dense dataflow: the dense weight
+/// buffer holds 64 output channels' filters at a time, so activations are
+/// re-read from the shared SRAM once per block.
+const DENSE_KC: usize = 64;
+
+/// Operand statistics the dense machine needs for energy accounting.
+///
+/// The dense baseline's *performance* is density-independent, but
+/// DCNN-opt's gating and DRAM compression depend on how sparse the
+/// operands actually are. These numbers come from the same tensors the
+/// SCNN machine executes (measured, not assumed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperandProfile {
+    /// Weight density (non-zero fraction).
+    pub weight_density: f64,
+    /// Input activation density.
+    pub act_density: f64,
+    /// Compressed size of the input activations in bits (RLE data +
+    /// indices), for DCNN-opt's DRAM compression.
+    pub input_stored_bits: usize,
+    /// Compressed size of the output activations in bits.
+    pub output_stored_bits: usize,
+}
+
+impl OperandProfile {
+    /// Builds a profile by measuring the actual layer tensors. `output`
+    /// is the layer's (post-ReLU) output — typically from the SCNN
+    /// functional run; when absent the output is assumed dense (no
+    /// compression benefit).
+    #[must_use]
+    pub fn measure(input: &Dense3, weight_density: f64, output: Option<&Dense3>) -> Self {
+        let input_stored_bits = CompressedActivations::compress(input).storage_bits();
+        let output_stored_bits = match output {
+            Some(out) => CompressedActivations::compress(out).storage_bits(),
+            None => 0, // unknown: treated as dense by the machine
+        };
+        Self {
+            weight_density,
+            act_density: input.density(),
+            input_stored_bits,
+            output_stored_bits,
+        }
+    }
+}
+
+/// The dense DCNN / DCNN-opt accelerator model.
+#[derive(Debug, Clone)]
+pub struct DcnnMachine {
+    config: DcnnConfig,
+    energy: EnergyModel,
+}
+
+impl DcnnMachine {
+    /// Creates a dense machine (plain DCNN or DCNN-opt per
+    /// [`DcnnConfig::optimized`]).
+    #[must_use]
+    pub fn new(config: DcnnConfig) -> Self {
+        Self { config, energy: EnergyModel::default() }
+    }
+
+    /// Replaces the energy model.
+    #[must_use]
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// The machine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DcnnConfig {
+        &self.config
+    }
+
+    /// Executes one layer. The dense machine computes no values (its
+    /// result is definitionally the reference convolution); it produces
+    /// cycles, counts and energy.
+    ///
+    /// `input_from_dram` marks a network's first layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is invalid.
+    pub fn run_layer(
+        &self,
+        shape: &ConvShape,
+        profile: &OperandProfile,
+        input_from_dram: bool,
+    ) -> LayerResult {
+        shape.validate().expect("invalid layer shape");
+        let cfg = &self.config;
+        // The dense array is organized as the same square grid as SCNN's.
+        let grid = (cfg.num_pes as f64).sqrt() as usize;
+        assert_eq!(grid * grid, cfg.num_pes, "dense machine expects a square PE grid");
+        let (out_w, out_h) = (shape.out_w(), shape.out_h());
+        // Dense PEs partition outputs directly (input-halo fetch, §III-A).
+        let tiling = PlaneTiling::new(out_w, out_h, grid, grid, 0, 0);
+
+        let kpg = shape.k_per_group();
+        let cpg = shape.c_per_group();
+        let reduction = cpg * shape.r * shape.s;
+        let alus = cfg.multipliers_per_pe as u64;
+
+        // Per-PE cycles: each ALU serially reduces one output; a PE
+        // processes its outputs in batches of `multipliers_per_pe`.
+        let mut pe_cycles = Vec::with_capacity(cfg.num_pes);
+        for tile in tiling.iter() {
+            let outputs = (shape.groups * kpg * tile.out_area()) as u64;
+            let batches = outputs.div_ceil(alus);
+            pe_cycles.push(batches * reduction as u64);
+        }
+        let cycles = pe_cycles.iter().copied().max().unwrap_or(0);
+
+        let macs = shape.macs() as f64;
+        let mut stats = LayerStats {
+            products: shape.macs() as u64,
+            valid_products: shape.macs() as u64,
+            ocg_count: 1,
+            ..Default::default()
+        };
+        for &pc in &pe_cycles {
+            stats.busy_cycles += pc;
+            stats.idle_cycles += cycles - pc;
+            stats.mult_slots += pc * alus;
+        }
+
+        let mut counts = AccessCounts::default();
+        // Gating split: DCNN-opt multiplies at full energy only when both
+        // operands are non-zero; plain DCNN burns full energy always.
+        if cfg.optimized {
+            let live = macs * profile.weight_density * profile.act_density;
+            counts.mults_live = live;
+            counts.mults_gated = macs - live;
+        } else {
+            counts.mults_live = macs;
+        }
+        // Dot-product accumulation: register adds per MAC, one buffered
+        // write per output.
+        counts.acc_reg_updates = macs;
+        counts.acc_updates = shape.output_count() as f64;
+        // Operand delivery: activations are staged in PE-local register
+        // tiles and re-read from the shared SRAM once per dense
+        // output-channel block (input-stationary with Kc = 64 blocking);
+        // weights stream from the per-PE weight buffer, shared across the
+        // four concurrent positions of the dot-product array.
+        let kc_blocks = shape.k.div_ceil(DENSE_KC) as f64;
+        counts.sram_words =
+            shape.input_count() as f64 * kc_blocks + shape.output_count() as f64;
+        counts.wbuf_words = macs / 4.0;
+
+        // DRAM: dense weights once per layer; activations only when the
+        // 2MB SRAM cannot hold the layer's input + output working set
+        // (VGGNet) or for the network's first layer.
+        let in_words = shape.input_count() as f64;
+        let out_words = shape.output_count() as f64;
+        let fits = (shape.input_count() + shape.output_count()) * 2 <= cfg.sram_bytes;
+        counts.dram_words += shape.weight_count() as f64;
+        let mut dram_tiled = false;
+        if !fits {
+            dram_tiled = true;
+            if cfg.optimized {
+                // DCNN-opt compresses activations at the DRAM boundary.
+                let in_c = compressed_or_dense(profile.input_stored_bits, in_words);
+                let out_c = compressed_or_dense(profile.output_stored_bits, out_words);
+                counts.dram_words += in_c + out_c;
+            } else {
+                counts.dram_words += in_words + out_words;
+            }
+        } else if input_from_dram {
+            counts.dram_words += if cfg.optimized {
+                compressed_or_dense(profile.input_stored_bits, in_words)
+            } else {
+                in_words
+            };
+        }
+
+        let energy = self.energy.energy(&counts);
+        LayerResult {
+            cycles,
+            counts,
+            energy,
+            stats,
+            footprints: Footprints {
+                iaram_bits_max: 0,
+                oaram_bits_max: 0,
+                weight_bits: shape.weight_count() * 16,
+                dram_tiled,
+            },
+            output: None,
+            output_density: 1.0,
+        }
+    }
+}
+
+/// Compressed word count when measured, dense words otherwise.
+fn compressed_or_dense(stored_bits: usize, dense_words: f64) -> f64 {
+    if stored_bits > 0 {
+        stored_bits as f64 / 16.0
+    } else {
+        dense_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_model::synth_acts;
+
+    fn profile_for(shape: &ConvShape, wd: f64, ad: f64) -> OperandProfile {
+        let input = synth_acts(shape.c, shape.w, shape.h, ad, 99);
+        OperandProfile::measure(&input, wd, None)
+    }
+
+    #[test]
+    fn cycles_are_density_independent() {
+        let shape = ConvShape::new(16, 16, 3, 3, 16, 16).with_pad(1);
+        let m = DcnnMachine::new(DcnnConfig::default());
+        let sparse = m.run_layer(&shape, &profile_for(&shape, 0.2, 0.2), false);
+        let dense = m.run_layer(&shape, &profile_for(&shape, 1.0, 1.0), false);
+        assert_eq!(sparse.cycles, dense.cycles);
+    }
+
+    #[test]
+    fn cycles_lower_bound_is_macs_over_alus() {
+        let shape = ConvShape::new(64, 32, 3, 3, 32, 32).with_pad(1);
+        let m = DcnnMachine::new(DcnnConfig::default());
+        let r = m.run_layer(&shape, &profile_for(&shape, 1.0, 1.0), false);
+        let ideal = shape.macs() as u64 / 1024;
+        assert!(r.cycles >= ideal);
+        // Large, even layer: utilization should be high.
+        let util = r.stats.products as f64 / (1024.0 * r.cycles as f64);
+        assert!(util > 0.8, "dense utilization {util}");
+    }
+
+    #[test]
+    fn optimized_variant_gates_multiplies() {
+        let shape = ConvShape::new(8, 8, 3, 3, 12, 12);
+        let plain = DcnnMachine::new(DcnnConfig::default());
+        let opt = DcnnMachine::new(DcnnConfig::optimized());
+        let profile = profile_for(&shape, 0.3, 0.4);
+        let rp = plain.run_layer(&shape, &profile, false);
+        let ro = opt.run_layer(&shape, &profile, false);
+        assert_eq!(rp.cycles, ro.cycles, "optimizations do not affect performance");
+        assert!(ro.energy.compute < rp.energy.compute);
+        assert_eq!(rp.counts.mults_gated, 0.0);
+        assert!(ro.counts.mults_gated > 0.0);
+    }
+
+    #[test]
+    fn vgg_sized_layer_spills_to_dram() {
+        // 64 x 224x224 in and out: 12.8MB dense >> 2MB SRAM.
+        let shape = ConvShape::new(64, 64, 3, 3, 224, 224).with_pad(1);
+        let m = DcnnMachine::new(DcnnConfig::default());
+        let r = m.run_layer(&shape, &profile_for(&shape, 0.25, 0.4), false);
+        assert!(r.footprints.dram_tiled);
+        assert!(r.counts.dram_words > shape.weight_count() as f64);
+    }
+
+    #[test]
+    fn opt_compresses_dram_activations() {
+        let shape = ConvShape::new(64, 64, 3, 3, 224, 224).with_pad(1);
+        let plain = DcnnMachine::new(DcnnConfig::default());
+        let opt = DcnnMachine::new(DcnnConfig::optimized());
+        let profile = profile_for(&shape, 0.25, 0.4);
+        let rp = plain.run_layer(&shape, &profile, false);
+        let ro = opt.run_layer(&shape, &profile, false);
+        assert!(ro.counts.dram_words < rp.counts.dram_words);
+    }
+
+    #[test]
+    fn small_plane_idles_dense_pes_too() {
+        // 7x7 plane over an 8x8 grid: 15 PEs idle, mirroring SCNN.
+        let shape = ConvShape::new(128, 32, 1, 1, 7, 7);
+        let m = DcnnMachine::new(DcnnConfig::default());
+        let r = m.run_layer(&shape, &profile_for(&shape, 0.4, 0.4), false);
+        assert!(r.stats.idle_cycles > 0);
+    }
+
+    #[test]
+    fn first_layer_reads_input_from_dram() {
+        let shape = ConvShape::new(8, 3, 3, 3, 32, 32);
+        let m = DcnnMachine::new(DcnnConfig::default());
+        let profile = profile_for(&shape, 0.8, 1.0);
+        let resident = m.run_layer(&shape, &profile, false);
+        let first = m.run_layer(&shape, &profile, true);
+        assert!(first.counts.dram_words > resident.counts.dram_words);
+    }
+}

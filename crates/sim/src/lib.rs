@@ -1,0 +1,56 @@
+//! Cycle-level simulator for the SCNN accelerator (ISCA 2017) and its
+//! dense baselines.
+//!
+//! The paper evaluates SCNN with "a custom-built cycle-level simulator …
+//! driven by the pruned weights and sparse input activation maps" (§V).
+//! This crate re-implements that simulator from the microarchitecture of
+//! §IV and the PT-IS-CP-sparse dataflow of §III:
+//!
+//! * [`ScnnMachine`] — the functional, cycle-level SCNN model (PE array,
+//!   compressed operand delivery, Cartesian-product multiplier arrays,
+//!   scatter crossbar + banked accumulators, PPU with output-halo
+//!   exchange, inter-PE barriers, DRAM/tiling accounting);
+//! * [`DcnnMachine`] — the comparably-provisioned dense baseline
+//!   (PT-IS-DP-dense), in plain and `-opt` variants;
+//! * [`oracle_cycles`] — the `SCNN(oracle)` packing lower bound;
+//! * [`PlaneTiling`], [`decompose`] — the planar tiling and the
+//!   stride-to-stride-1 decomposition substrate.
+//!
+//! The SCNN model computes real output values and is validated against
+//! the dense reference convolution in `scnn_model`.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_arch::ScnnConfig;
+//! use scnn_model::{synth_layer_input, synth_weights};
+//! use scnn_sim::{RunOptions, ScnnMachine};
+//! use scnn_tensor::ConvShape;
+//!
+//! let shape = ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1);
+//! let machine = ScnnMachine::new(ScnnConfig::default());
+//! let weights = synth_weights(&shape, 0.35, 1);
+//! let input = synth_layer_input(&shape, 0.45, 2);
+//! let result = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+//! assert!(result.cycles > 0);
+//! assert!(result.stats.utilization_busy() <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod dense;
+mod machine;
+mod oracle;
+mod phase;
+mod stats;
+mod subconv;
+mod tiling;
+
+pub use dense::{DcnnMachine, OperandProfile};
+pub use machine::{RunOptions, ScnnMachine};
+pub use oracle::oracle_cycles;
+pub use phase::{run_phase, ActEntry, PhaseGeom, PhaseOutcome, WtEntry};
+pub use stats::{Footprints, LayerResult, LayerStats};
+pub use subconv::{decompose, sub_acts, sub_weights, SubConv};
+pub use tiling::{PlaneTiling, Tile};

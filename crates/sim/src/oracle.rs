@@ -1,0 +1,57 @@
+//! The `SCNN(oracle)` upper bound (§VI-B).
+//!
+//! > "The performance of SCNN(oracle) is derived by dividing the number of
+//! > multiplication operations required for Cartesian product-based
+//! > convolution with the number of multipliers available on-chip."
+//!
+//! The oracle ignores fragmentation, load imbalance and bank contention:
+//! every non-zero product is perfectly packed onto the multiplier array.
+
+/// Oracle latency in cycles for `products` required multiplies on a chip
+/// with `total_multipliers` multipliers.
+///
+/// # Panics
+///
+/// Panics if `total_multipliers` is zero.
+#[must_use]
+pub fn oracle_cycles(products: u64, total_multipliers: u64) -> u64 {
+    assert!(total_multipliers > 0, "a chip needs at least one multiplier");
+    products.div_ceil(total_multipliers).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_packing() {
+        assert_eq!(oracle_cycles(2048, 1024), 2);
+        assert_eq!(oracle_cycles(1, 1024), 1);
+        assert_eq!(oracle_cycles(1025, 1024), 2);
+    }
+
+    #[test]
+    fn zero_products_still_take_a_cycle() {
+        assert_eq!(oracle_cycles(0, 1024), 1);
+    }
+
+    #[test]
+    fn oracle_never_exceeds_real_machine() {
+        use crate::machine::{RunOptions, ScnnMachine};
+        use scnn_arch::ScnnConfig;
+        use scnn_model::{synth_layer_input, synth_weights};
+        use scnn_tensor::ConvShape;
+
+        let shape = ConvShape::new(16, 8, 3, 3, 14, 14).with_pad(1);
+        let machine = ScnnMachine::new(ScnnConfig::default());
+        let weights = synth_weights(&shape, 0.4, 7);
+        let input = synth_layer_input(&shape, 0.4, 8);
+        let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+        let oracle = oracle_cycles(r.stats.products, 1024);
+        assert!(
+            oracle <= r.cycles,
+            "oracle {oracle} must lower-bound the machine {0}",
+            r.cycles
+        );
+    }
+}

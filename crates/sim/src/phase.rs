@@ -1,0 +1,292 @@
+//! One PE phase: the Cartesian product of an activation block and a
+//! weight block for a single (input channel, output-channel group) pair.
+//!
+//! Per Figure 4/6: vectors of `I` stationary activations are crossed with
+//! streams of `F` weights, producing `F x I` products per cycle. Products
+//! pass coordinate computation (`out = act - tap`), are scattered through
+//! the crossbar and accumulated in `A` banks. Each bank performs one
+//! read-add-write per cycle; small queues absorb transient collisions, so
+//! a phase's latency is the maximum of its issue slots and its busiest
+//! bank's demand (the paper sizes `A = 2*F*I` precisely so contention is
+//! rarely the bottleneck, §IV).
+
+/// One non-zero activation in sub-plane coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActEntry {
+    /// Sub-plane column.
+    pub x: u16,
+    /// Sub-plane row.
+    pub y: u16,
+    /// Value.
+    pub v: f32,
+}
+
+/// One non-zero weight within an output-channel group block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WtEntry {
+    /// Channel offset within the group (`k - k_start`).
+    pub k: u16,
+    /// Filter tap along `W`.
+    pub r: u16,
+    /// Filter tap along `H`.
+    pub s: u16,
+    /// Value.
+    pub v: f32,
+}
+
+/// Static geometry of a phase: the PE's accumulator window and the output
+/// plane used for bank hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseGeom {
+    /// Weight vector width `F`.
+    pub f: usize,
+    /// Activation vector width `I`.
+    pub i: usize,
+    /// Number of accumulator banks `A`.
+    pub banks: usize,
+    /// First accumulator column (own tile start minus halo, clamped to 0).
+    pub acc_x0: usize,
+    /// First accumulator row.
+    pub acc_y0: usize,
+    /// Accumulator window width.
+    pub acc_w: usize,
+    /// Accumulator window height.
+    pub acc_h: usize,
+    /// Exclusive upper bound of valid output columns for this PE.
+    pub x1: usize,
+    /// Exclusive upper bound of valid output rows.
+    pub y1: usize,
+    /// Full output plane width (bank hashing).
+    pub out_w: usize,
+    /// Full output plane height (bank hashing).
+    pub out_h: usize,
+    /// Absolute output channel of the group's first channel (bank hashing).
+    pub k_base: usize,
+}
+
+/// Dynamic outcome of one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseOutcome {
+    /// Cycles consumed (max of issue slots and busiest bank).
+    pub cycles: u64,
+    /// Vector-pair issue slots (`ceil(storedW/F) * ceil(storedA/I)`).
+    pub pairs: u64,
+    /// Non-zero products multiplied.
+    pub products: u64,
+    /// Products inside the output plane (accumulated).
+    pub valid: u64,
+    /// Cycles added because one bank saw more products than issue slots.
+    pub bank_stall: u64,
+}
+
+/// Maps a linear output coordinate to an accumulator bank.
+///
+/// The hardware's bank-index function must decorrelate from the
+/// power-of-two strides of the output volume, or Cartesian products would
+/// repeatedly collide on a fraction of the banks (the paper's `A = 2*F*I`
+/// sizing "sufficiently reduces accumulator bank contention", §IV, which
+/// presumes a well-spread index). We model it as a multiplicative bit mix
+/// of the linear coordinate.
+#[inline]
+#[must_use]
+pub fn bank_of(linear: usize, banks: usize) -> usize {
+    let mut h = linear as u64;
+    h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 32;
+    (h as usize) % banks
+}
+
+/// Executes one phase: multiplies every non-zero activation against every
+/// non-zero weight, accumulates in-window products into `acc` (laid out
+/// `[kc][acc_w][acc_h]`), tallies per-bank demand in `bank_hist`, and
+/// returns the cycle accounting.
+///
+/// `stored_acts` / `stored_wts` are the RAM-resident element counts
+/// (non-zeros plus zero placeholders) that determine vector slots.
+///
+/// # Panics
+///
+/// Debug builds panic if an in-window product indexes outside `acc`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_phase(
+    acts: &[ActEntry],
+    stored_acts: usize,
+    wts: &[WtEntry],
+    stored_wts: usize,
+    geom: &PhaseGeom,
+    acc: &mut [f32],
+    bank_hist: &mut [u32],
+) -> PhaseOutcome {
+    if stored_acts == 0 || stored_wts == 0 {
+        return PhaseOutcome::default();
+    }
+    let pairs = (stored_wts.div_ceil(geom.f) * stored_acts.div_ceil(geom.i)) as u64;
+    let products = (acts.len() * wts.len()) as u64;
+
+    let acc_x0 = geom.acc_x0 as i32;
+    let acc_y0 = geom.acc_y0 as i32;
+    let x_hi = geom.x1 as i32;
+    let y_hi = geom.y1 as i32;
+    let acc_w = geom.acc_w as i32;
+    let acc_h = geom.acc_h as i32;
+    let mut valid = 0u64;
+
+    for a in acts {
+        let ax = i32::from(a.x);
+        let ay = i32::from(a.y);
+        for w in wts {
+            let x = ax - i32::from(w.r);
+            let y = ay - i32::from(w.s);
+            if x >= acc_x0 && x < x_hi && y >= acc_y0 && y < y_hi {
+                let kl = i32::from(w.k);
+                let idx = ((kl * acc_w + (x - acc_x0)) * acc_h + (y - acc_y0)) as usize;
+                debug_assert!(idx < acc.len(), "acc index {idx} out of bounds");
+                acc[idx] += a.v * w.v;
+                let lin = ((geom.k_base + w.k as usize) * geom.out_w + x as usize) * geom.out_h
+                    + y as usize;
+                bank_hist[bank_of(lin, geom.banks)] += 1;
+                valid += 1;
+            }
+        }
+    }
+
+    let busiest = u64::from(bank_hist.iter().copied().max().unwrap_or(0));
+    let cycles = pairs.max(busiest);
+    PhaseOutcome { cycles, pairs, products, valid, bank_stall: cycles - pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom_1x1_plane(out: usize) -> PhaseGeom {
+        PhaseGeom {
+            f: 4,
+            i: 4,
+            banks: 32,
+            acc_x0: 0,
+            acc_y0: 0,
+            acc_w: out,
+            acc_h: out,
+            x1: out,
+            y1: out,
+            out_w: out,
+            out_h: out,
+            k_base: 0,
+        }
+    }
+
+    #[test]
+    fn empty_operands_cost_nothing() {
+        let geom = geom_1x1_plane(4);
+        let mut acc = vec![0.0; 16];
+        let mut hist = vec![0; 32];
+        let out = run_phase(&[], 0, &[], 0, &geom, &mut acc, &mut hist);
+        assert_eq!(out, PhaseOutcome::default());
+    }
+
+    #[test]
+    fn single_product_accumulates() {
+        let geom = geom_1x1_plane(4);
+        let mut acc = vec![0.0; 16];
+        let mut hist = vec![0; 32];
+        let acts = [ActEntry { x: 2, y: 3, v: 2.0 }];
+        let wts = [WtEntry { k: 0, r: 1, s: 1, v: 0.5 }];
+        let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &mut hist);
+        assert_eq!(out.products, 1);
+        assert_eq!(out.valid, 1);
+        assert_eq!(out.cycles, 1);
+        // Output lands at (2-1, 3-1) = (1, 2).
+        assert_eq!(acc[6], 1.0); // (x=1, y=2) in the 4x4 window
+    }
+
+    #[test]
+    fn out_of_plane_products_are_discarded() {
+        let geom = geom_1x1_plane(4);
+        let mut acc = vec![0.0; 16];
+        let mut hist = vec![0; 32];
+        // Activation at x=0 with tap r=2: output x = -2 (invalid).
+        let acts = [ActEntry { x: 0, y: 0, v: 1.0 }];
+        let wts = [WtEntry { k: 0, r: 2, s: 0, v: 1.0 }];
+        let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &mut hist);
+        assert_eq!(out.products, 1);
+        assert_eq!(out.valid, 0);
+        assert!(acc.iter().all(|v| *v == 0.0));
+        // The multiply still occupied a cycle.
+        assert_eq!(out.cycles, 1);
+    }
+
+    #[test]
+    fn vector_slots_follow_stored_counts() {
+        let geom = geom_1x1_plane(8);
+        // Accumulator spans kc = 5 output channels over the 8x8 window.
+        let mut acc = vec![0.0; 5 * 64];
+        let mut hist = vec![0; 32];
+        // 5 stored weights -> 2 F-vectors; 9 stored acts -> 3 I-vectors.
+        let acts: Vec<ActEntry> =
+            (0..9).map(|i| ActEntry { x: i as u16 % 8, y: i as u16 / 8, v: 1.0 }).collect();
+        let wts: Vec<WtEntry> = (0..5).map(|k| WtEntry { k, r: 0, s: 0, v: 1.0 }).collect();
+        let out = run_phase(&acts, 9, &wts, 5, &geom, &mut acc, &mut hist);
+        assert_eq!(out.pairs, 2 * 3);
+        assert_eq!(out.products, 45);
+        assert!(out.cycles >= out.pairs);
+    }
+
+    #[test]
+    fn bank_contention_extends_cycles() {
+        // One output position, many products: all products hash to one
+        // bank, so cycles = products rather than pairs.
+        let geom = PhaseGeom { acc_w: 1, acc_h: 1, x1: 1, y1: 1, out_w: 1, out_h: 1, ..geom_1x1_plane(1) };
+        let mut acc = vec![0.0; 1];
+        let mut hist = vec![0; 32];
+        let acts = [ActEntry { x: 0, y: 0, v: 1.0 }];
+        // 8 weights, all k=0 r=0 s=0 is impossible in one block; use k=0
+        // with 8 act copies instead.
+        let acts8: Vec<ActEntry> = (0..8).map(|_| acts[0]).collect();
+        let wts = [WtEntry { k: 0, r: 0, s: 0, v: 1.0 }];
+        let out = run_phase(&acts8, 8, &wts, 1, &geom, &mut acc, &mut hist);
+        assert_eq!(out.pairs, 2); // ceil(1/4)*ceil(8/4)
+        assert_eq!(out.valid, 8);
+        assert_eq!(out.cycles, 8, "all products serialize on one bank");
+        assert_eq!(out.bank_stall, 6);
+    }
+
+    #[test]
+    fn halo_products_accumulate_below_own_tile() {
+        // PE owns outputs [2,4) but accumulates halo [0,2).
+        let geom = PhaseGeom {
+            f: 4,
+            i: 4,
+            banks: 32,
+            acc_x0: 0,
+            acc_y0: 0,
+            acc_w: 4,
+            acc_h: 4,
+            x1: 4,
+            y1: 4,
+            out_w: 8,
+            out_h: 8,
+            k_base: 0,
+        };
+        let mut acc = vec![0.0; 16];
+        let mut hist = vec![0; 32];
+        let acts = [ActEntry { x: 2, y: 2, v: 3.0 }];
+        let wts = [WtEntry { k: 0, r: 2, s: 2, v: 1.0 }];
+        let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &mut hist);
+        assert_eq!(out.valid, 1);
+        assert_eq!(acc[0], 3.0); // halo position (0,0)
+    }
+
+    #[test]
+    fn placeholders_occupy_slots_but_multiply_nothing() {
+        let geom = geom_1x1_plane(8);
+        let mut acc = vec![0.0; 64];
+        let mut hist = vec![0; 32];
+        let acts = [ActEntry { x: 0, y: 0, v: 1.0 }];
+        let wts = [WtEntry { k: 0, r: 0, s: 0, v: 1.0 }];
+        // stored counts include placeholders: 5 stored but 1 non-zero.
+        let out = run_phase(&acts, 5, &wts, 8, &geom, &mut acc, &mut hist);
+        assert_eq!(out.products, 1);
+        assert_eq!(out.pairs, 2 * 2);
+    }
+}

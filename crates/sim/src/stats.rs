@@ -1,0 +1,160 @@
+//! Per-layer execution statistics and results.
+
+use scnn_arch::{AccessCounts, EnergyBreakdown};
+use scnn_tensor::Dense3;
+
+/// Microarchitectural statistics for one layer execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LayerStats {
+    /// Multiplies performed with two non-zero operands (Cartesian products
+    /// of non-zero vectors; includes products later discarded by the
+    /// output-coordinate bounds check).
+    pub products: u64,
+    /// Products whose output coordinate landed inside the plane
+    /// (accumulator updates).
+    pub valid_products: u64,
+    /// Multiplier-array issue slots across busy cycles (`F*I x` busy
+    /// cycles, summed over PEs).
+    pub mult_slots: u64,
+    /// Sum over PEs of cycles spent computing.
+    pub busy_cycles: u64,
+    /// Sum over PEs of cycles stalled at the inter-PE barrier waiting for
+    /// the slowest PE of each output-channel group (Figure 9 right axis).
+    pub idle_cycles: u64,
+    /// Extra cycles serialized behind the busiest accumulator bank.
+    pub bank_stall_cycles: u64,
+    /// Number of output-channel groups processed (barrier count).
+    pub ocg_count: u64,
+    /// Partial sums shipped to neighbour PEs (output halos).
+    pub halo_values: u64,
+}
+
+impl LayerStats {
+    /// Average multiplier-array utilization over the layer's execution:
+    /// useful products per multiplier per cycle, over *all* PEs and the
+    /// full layer latency (Figure 9 left axis).
+    #[must_use]
+    pub fn utilization(&self, total_multipliers: u64, layer_cycles: u64) -> f64 {
+        if total_multipliers == 0 || layer_cycles == 0 {
+            return 0.0;
+        }
+        self.products as f64 / (total_multipliers * layer_cycles) as f64
+    }
+
+    /// Utilization counting only busy cycles (excludes barrier idling).
+    #[must_use]
+    pub fn utilization_busy(&self) -> f64 {
+        if self.mult_slots == 0 {
+            return 0.0;
+        }
+        self.products as f64 / self.mult_slots as f64
+    }
+
+    /// Fraction of PE-cycles spent waiting at the inter-PE barrier.
+    #[must_use]
+    pub fn idle_fraction(&self) -> f64 {
+        let total = self.busy_cycles + self.idle_cycles;
+        if total == 0 {
+            return 0.0;
+        }
+        self.idle_cycles as f64 / total as f64
+    }
+}
+
+/// Storage footprints of a layer's compressed operands.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Footprints {
+    /// Largest per-PE compressed input footprint in bits (data + indices).
+    pub iaram_bits_max: usize,
+    /// Largest per-PE compressed output footprint in bits.
+    pub oaram_bits_max: usize,
+    /// Total compressed weight footprint in bits.
+    pub weight_bits: usize,
+    /// Whether activations had to spill to DRAM (§VI-D tiling path).
+    pub dram_tiled: bool,
+}
+
+/// Result of executing one layer on a machine model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerResult {
+    /// Layer latency in cycles (the maximum-PE critical path summed over
+    /// output-channel groups).
+    pub cycles: u64,
+    /// Event counts for the energy model.
+    pub counts: AccessCounts,
+    /// Energy breakdown (the machine's energy model applied to `counts`).
+    pub energy: EnergyBreakdown,
+    /// Microarchitectural statistics.
+    pub stats: LayerStats,
+    /// Compressed storage footprints.
+    pub footprints: Footprints,
+    /// Post-activation (ReLU) output tensor, when the machine computes
+    /// values (the SCNN functional machine always does; dense baselines
+    /// do not).
+    pub output: Option<Dense3>,
+    /// Density of the post-ReLU output activations.
+    pub output_density: f64,
+}
+
+impl LayerResult {
+    /// Total energy in picojoules.
+    #[must_use]
+    pub fn energy_pj(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// Average DRAM bandwidth this layer demands, in 16-bit words per
+    /// cycle. The paper hides DRAM latency by pipelining tiles (§IV);
+    /// this is the sustained rate that pipelining must deliver (at the
+    /// ~1GHz PE clock, 1 word/cycle = 2GB/s).
+    #[must_use]
+    pub fn dram_words_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.counts.dram_words / self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_products_over_slots() {
+        let stats = LayerStats { products: 8, mult_slots: 16, ..Default::default() };
+        assert!((stats.utilization_busy() - 0.5).abs() < 1e-12);
+        assert!((stats.utilization(16, 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_fraction_handles_zero() {
+        let stats = LayerStats::default();
+        assert_eq!(stats.idle_fraction(), 0.0);
+        assert_eq!(stats.utilization(0, 0), 0.0);
+        assert_eq!(stats.utilization_busy(), 0.0);
+    }
+
+    #[test]
+    fn idle_fraction_counts_barrier_waits() {
+        let stats = LayerStats { busy_cycles: 75, idle_cycles: 25, ..Default::default() };
+        assert!((stats.idle_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_bandwidth_is_words_over_cycles() {
+        use scnn_arch::AccessCounts;
+        let result = LayerResult {
+            cycles: 100,
+            counts: AccessCounts { dram_words: 250.0, ..Default::default() },
+            energy: EnergyBreakdown::default(),
+            stats: LayerStats::default(),
+            footprints: crate::Footprints::default(),
+            output: None,
+            output_density: 0.0,
+        };
+        assert!((result.dram_words_per_cycle() - 2.5).abs() < 1e-12);
+        let zero = LayerResult { cycles: 0, ..result };
+        assert_eq!(zero.dram_words_per_cycle(), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Stride decomposition: strided convolutions as sums of stride-1
+//! sub-convolutions.
+//!
+//! The Cartesian-product dataflow computes output coordinates as
+//! `out = act - weight` (§III-B), which is only meaningful for stride-1
+//! convolutions. A stride-`s` layer is therefore decomposed into `s x s`
+//! stride-1 *sub-convolutions*: sub-conv `(dx, dy)` convolves the input
+//! sub-plane at positions `ix ≡ dx, iy ≡ dy (mod s)` with the filter taps
+//! at `r ≡ dx, s ≡ dy (mod s)`, and all sub-convolutions accumulate into
+//! the same output plane. Non-zero counts are preserved exactly, so the
+//! sparse machine sees the same work. (This is the standard mapping of
+//! strided convolution onto stride-1 dataflows; AlexNet conv1 and the
+//! GoogLeNet stem are the only strided layers in the evaluation.)
+
+use scnn_tensor::{ConvShape, Dense3, Dense4};
+
+/// One stride-1 sub-convolution of a (possibly strided) layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubConv {
+    /// Input-plane phase along `W` (`ix ≡ dx mod stride`).
+    pub dx: usize,
+    /// Input-plane phase along `H`.
+    pub dy: usize,
+    /// Sub-filter extent along `W` (`ceil((R - dx) / stride)`).
+    pub r: usize,
+    /// Sub-filter extent along `H`.
+    pub s: usize,
+    /// Sub-plane extent along `W` that can contribute to outputs
+    /// (`out_w + r - 1`).
+    pub plane_w: usize,
+    /// Sub-plane extent along `H`.
+    pub plane_h: usize,
+}
+
+/// Decomposes a (group-view) layer shape into its stride-1 sub-convs.
+///
+/// For a stride-1 shape this returns a single identity sub-conv. Sub-convs
+/// whose sub-filter is empty (`dx >= R`) are omitted — those input phases
+/// never contribute.
+#[must_use]
+pub fn decompose(shape: &ConvShape) -> Vec<SubConv> {
+    let s = shape.stride;
+    let (out_w, out_h) = (shape.out_w(), shape.out_h());
+    let mut subs = Vec::with_capacity(s * s);
+    for dx in 0..s {
+        let r_sub = shape.r.saturating_sub(dx).div_ceil(s);
+        if r_sub == 0 {
+            continue;
+        }
+        for dy in 0..s {
+            let s_sub = shape.s.saturating_sub(dy).div_ceil(s);
+            if s_sub == 0 {
+                continue;
+            }
+            subs.push(SubConv {
+                dx,
+                dy,
+                r: r_sub,
+                s: s_sub,
+                plane_w: out_w + r_sub - 1,
+                plane_h: out_h + s_sub - 1,
+            });
+        }
+    }
+    subs
+}
+
+/// Extracts the sub-filter of `sub`: taps at `r = dx + stride*p`,
+/// `s = dy + stride*q` become tap `(p, q)`.
+#[must_use]
+pub fn sub_weights(shape: &ConvShape, weights: &Dense4, sub: &SubConv) -> Dense4 {
+    let st = shape.stride;
+    let mut out = Dense4::zeros(weights.k(), weights.c(), sub.r, sub.s);
+    for k in 0..weights.k() {
+        for c in 0..weights.c() {
+            for p in 0..sub.r {
+                for q in 0..sub.s {
+                    out.set(k, c, p, q, weights.get(k, c, sub.dx + st * p, sub.dy + st * q));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the input sub-plane of `sub` from the *padded* input: padded
+/// position `(dx + stride*u, dy + stride*v)` becomes sub-plane `(u, v)`.
+/// Positions beyond the contributing extent (`plane_w x plane_h`) are
+/// dropped — they can never align with an output and the layer sequencer
+/// does not load them.
+#[must_use]
+pub fn sub_acts(shape: &ConvShape, padded: &Dense3, sub: &SubConv) -> Dense3 {
+    let st = shape.stride;
+    let mut out = Dense3::zeros(padded.c(), sub.plane_w, sub.plane_h);
+    for c in 0..padded.c() {
+        for u in 0..sub.plane_w {
+            let ix = sub.dx + st * u;
+            if ix >= padded.w() {
+                continue;
+            }
+            for v in 0..sub.plane_h {
+                let iy = sub.dy + st * v;
+                if iy >= padded.h() {
+                    continue;
+                }
+                out.set(c, u, v, padded.get(c, ix, iy));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_model::conv_reference;
+
+    #[test]
+    fn stride_one_is_identity() {
+        let shape = ConvShape::new(2, 3, 3, 3, 8, 8).with_pad(1);
+        let subs = decompose(&shape);
+        assert_eq!(subs.len(), 1);
+        let sub = subs[0];
+        assert_eq!((sub.dx, sub.dy, sub.r, sub.s), (0, 0, 3, 3));
+        assert_eq!((sub.plane_w, sub.plane_h), (10, 10)); // padded extent
+    }
+
+    #[test]
+    fn alexnet_conv1_decomposition() {
+        // 11x11 stride 4: sub-filters 3,3,3,2 per dimension; 16 sub-convs.
+        let shape = ConvShape::new(96, 3, 11, 11, 227, 227).with_stride(4);
+        let subs = decompose(&shape);
+        assert_eq!(subs.len(), 16);
+        let r_sizes: Vec<usize> =
+            (0..4).map(|dx| subs.iter().find(|s| s.dx == dx && s.dy == 0).unwrap().r).collect();
+        assert_eq!(r_sizes, vec![3, 3, 3, 2]);
+        for sub in &subs {
+            assert_eq!(sub.plane_w, 55 + sub.r - 1);
+        }
+    }
+
+    #[test]
+    fn sub_tap_count_covers_filter_exactly() {
+        for (r, stride) in [(11usize, 4usize), (7, 2), (5, 3), (3, 2), (1, 2)] {
+            let total: usize =
+                (0..stride).map(|dx| r.saturating_sub(dx).div_ceil(stride)).sum();
+            assert_eq!(total, r, "taps lost for R={r} stride={stride}");
+        }
+    }
+
+    /// Reassembling all sub-convolution outputs must equal the strided
+    /// reference convolution.
+    #[test]
+    fn decomposition_is_functionally_exact() {
+        use scnn_model::{synth_layer_input, synth_weights};
+        for (stride, r, w, pad) in [(2usize, 3usize, 9usize, 1usize), (4, 11, 23, 0), (3, 5, 13, 2)]
+        {
+            let shape = ConvShape::new(3, 2, r, r, w, w).with_stride(stride).with_pad(pad);
+            let weights = synth_weights(&shape, 0.6, 11);
+            let input = synth_layer_input(&shape, 0.7, 13);
+            let expected = conv_reference(&shape, &weights, &input, false);
+
+            let padded = input.padded(shape.pad);
+            let mut got = Dense3::zeros(shape.k, shape.out_w(), shape.out_h());
+            for sub in decompose(&shape) {
+                let sw = sub_weights(&shape, &weights, &sub);
+                let sa = sub_acts(&shape, &padded, &sub);
+                // Stride-1 convolution of the sub-plane with the sub-filter,
+                // computed directly (out = act - tap).
+                for k in 0..shape.k {
+                    for c in 0..shape.c {
+                        for u in 0..sub.plane_w {
+                            for v in 0..sub.plane_h {
+                                let a = sa.get(c, u, v);
+                                if a == 0.0 {
+                                    continue;
+                                }
+                                for p in 0..sub.r {
+                                    for q in 0..sub.s {
+                                        let (Some(x), Some(y)) =
+                                            (u.checked_sub(p), v.checked_sub(q))
+                                        else {
+                                            continue;
+                                        };
+                                        if x < shape.out_w() && y < shape.out_h() {
+                                            let val = got.get(k, x, y)
+                                                + a * sw.get(k, c, p, q);
+                                            got.set(k, x, y, val);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            scnn_model::assert_close(&expected, &got, 1e-4);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Planar tiling of the activation plane across the PE array.
+//!
+//! PT-IS-CP partitions the `W x H` plane "into smaller Wt x Ht element
+//! tiles that are distributed across the PEs" (§III-A). The *input*
+//! (padded) plane is partitioned evenly — so per-PE work balances — and
+//! each output position is owned by the PE owning the like-positioned
+//! input. With the paper's output-halo choice a PE accumulates partial
+//! sums for up to `R-1` columns / `S-1` rows below its own range and
+//! ships them to neighbours at each output-channel-group boundary.
+
+/// One PE's share of the plane: an input range (in stride-1 sub-plane
+/// coordinates, fringe included) and the output range it owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// First input column fetched.
+    pub ix0: usize,
+    /// One-past-last input column fetched (in the widest sub-plane).
+    pub ix1: usize,
+    /// First input row fetched.
+    pub iy0: usize,
+    /// One-past-last input row fetched.
+    pub iy1: usize,
+    /// First output column owned.
+    pub ox0: usize,
+    /// One-past-last output column owned.
+    pub ox1: usize,
+    /// First output row owned.
+    pub oy0: usize,
+    /// One-past-last output row owned.
+    pub oy1: usize,
+}
+
+impl Tile {
+    /// Number of output positions owned.
+    #[must_use]
+    pub fn out_area(&self) -> usize {
+        (self.ox1 - self.ox0) * (self.oy1 - self.oy0)
+    }
+
+    /// Number of input positions fetched (widest sub-plane).
+    #[must_use]
+    pub fn input_area(&self) -> usize {
+        (self.ix1 - self.ix0) * (self.iy1 - self.iy0)
+    }
+
+    /// Whether the tile fetches no inputs (and therefore does no work).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.input_area() == 0
+    }
+
+    /// Owned output width.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        self.ox1 - self.ox0
+    }
+
+    /// Owned output height.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        self.oy1 - self.oy0
+    }
+}
+
+/// Partition of the plane across a `rows x cols` PE grid.
+///
+/// The padded input extent (`out + halo`) is split as evenly as possible;
+/// output ownership follows input ownership, clipped to the output plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaneTiling {
+    out_w: usize,
+    out_h: usize,
+    plane_w: usize,
+    plane_h: usize,
+    rows: usize,
+    cols: usize,
+    tiles: Vec<Tile>,
+}
+
+/// Splits `extent` into `parts` contiguous ranges differing by at most one.
+fn split(extent: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = extent / parts;
+    let rem = extent % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+impl PlaneTiling {
+    /// Tiles a plane across the grid. `halo_w`/`halo_h` are the output
+    /// halo extents (`R-1`, `S-1` of the widest stride-1 sub-filter), so
+    /// the partitioned input plane is `out_w + halo_w` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output plane or the grid is empty.
+    #[must_use]
+    pub fn new(
+        out_w: usize,
+        out_h: usize,
+        rows: usize,
+        cols: usize,
+        halo_w: usize,
+        halo_h: usize,
+    ) -> Self {
+        assert!(out_w > 0 && out_h > 0, "output plane must be non-empty");
+        assert!(rows > 0 && cols > 0, "PE grid must be non-empty");
+        let plane_w = out_w + halo_w;
+        let plane_h = out_h + halo_h;
+        let xs = split(plane_w, cols);
+        let ys = split(plane_h, rows);
+        let mut tiles = Vec::with_capacity(rows * cols);
+        for &(iy0, hl) in &ys {
+            for &(ix0, wl) in &xs {
+                let (ix1, iy1) = (ix0 + wl, iy0 + hl);
+                tiles.push(Tile {
+                    ix0,
+                    ix1,
+                    iy0,
+                    iy1,
+                    ox0: ix0.min(out_w),
+                    ox1: ix1.min(out_w),
+                    oy0: iy0.min(out_h),
+                    oy1: iy1.min(out_h),
+                });
+            }
+        }
+        Self { out_w, out_h, plane_w, plane_h, rows, cols, tiles }
+    }
+
+    /// Output plane width.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        self.out_w
+    }
+
+    /// Output plane height.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        self.out_h
+    }
+
+    /// Number of PEs (tiles), including empty ones.
+    #[must_use]
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Tile of PE `pe` (row-major over the grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    #[must_use]
+    pub fn tile(&self, pe: usize) -> Tile {
+        self.tiles[pe]
+    }
+
+    /// Iterates over all tiles in PE order.
+    pub fn iter(&self) -> impl Iterator<Item = Tile> + '_ {
+        self.tiles.iter().copied()
+    }
+
+    /// Number of PEs fetching at least one input.
+    #[must_use]
+    pub fn active_tiles(&self) -> usize {
+        self.tiles.iter().filter(|t| !t.is_empty()).count()
+    }
+
+    /// Largest owned output-tile area (for the Kc capacity bound).
+    #[must_use]
+    pub fn max_out_area(&self) -> usize {
+        self.tiles.iter().map(Tile::out_area).max().unwrap_or(0)
+    }
+
+    /// Largest owned output tile width and height across PEs.
+    #[must_use]
+    pub fn max_out_dims(&self) -> (usize, usize) {
+        let w = self.tiles.iter().map(Tile::out_w).max().unwrap_or(0);
+        let h = self.tiles.iter().map(Tile::out_h).max().unwrap_or(0);
+        (w, h)
+    }
+
+    /// The input columns a PE fetches in a sub-plane of width
+    /// `sub_plane_w` (≤ the widest plane): its range clipped to the
+    /// sub-plane. Returns `(start, len)`.
+    #[must_use]
+    pub fn input_x_range(&self, tile: Tile, sub_plane_w: usize) -> (usize, usize) {
+        let end = tile.ix1.min(sub_plane_w);
+        (tile.ix0, end.saturating_sub(tile.ix0))
+    }
+
+    /// As [`PlaneTiling::input_x_range`] for rows.
+    #[must_use]
+    pub fn input_y_range(&self, tile: Tile, sub_plane_h: usize) -> (usize, usize) {
+        let end = tile.iy1.min(sub_plane_h);
+        (tile.iy0, end.saturating_sub(tile.iy0))
+    }
+
+    /// The input columns a PE fetches under *input halos*
+    /// ([`scnn_arch::HaloStrategy::Input`]): its own output columns
+    /// extended right by `halo` (replicating values its right neighbour
+    /// also holds), clipped to the sub-plane. Returns `(start, len)`.
+    ///
+    /// [`scnn_arch::HaloStrategy::Input`]: scnn_arch::HaloStrategy
+    #[must_use]
+    pub fn input_x_range_extended(
+        &self,
+        tile: Tile,
+        sub_plane_w: usize,
+        halo: usize,
+    ) -> (usize, usize) {
+        if tile.ox1 == tile.ox0 {
+            return (tile.ox0, 0);
+        }
+        let end = (tile.ox1 + halo).min(sub_plane_w);
+        (tile.ox0, end.saturating_sub(tile.ox0))
+    }
+
+    /// As [`PlaneTiling::input_x_range_extended`] for rows.
+    #[must_use]
+    pub fn input_y_range_extended(
+        &self,
+        tile: Tile,
+        sub_plane_h: usize,
+        halo: usize,
+    ) -> (usize, usize) {
+        if tile.oy1 == tile.oy0 {
+            return (tile.oy0, 0);
+        }
+        let end = (tile.oy1 + halo).min(sub_plane_h);
+        (tile.oy0, end.saturating_sub(tile.oy0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_spreads_remainder() {
+        assert_eq!(split(10, 4), vec![(0, 3), (3, 3), (6, 2), (8, 2)]);
+        assert_eq!(split(7, 8).iter().filter(|(_, l)| *l == 0).count(), 1);
+        assert_eq!(split(8, 8), (0..8).map(|i| (i, 1)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn outputs_partition_the_plane() {
+        let t = PlaneTiling::new(13, 13, 8, 8, 2, 2);
+        let total: usize = t.iter().map(|tile| tile.out_area()).sum();
+        assert_eq!(total, 169);
+        let input_total: usize = t.iter().map(|tile| tile.input_area()).sum();
+        assert_eq!(input_total, 15 * 15);
+    }
+
+    #[test]
+    fn input_loads_are_balanced() {
+        // 14x14 plane + 2 halo = 16 wide over 8 columns: every PE fetches
+        // exactly 2 columns — no fringe pile-up on the edge PE.
+        let t = PlaneTiling::new(14, 14, 8, 8, 2, 2);
+        for tile in t.iter() {
+            assert_eq!(tile.ix1 - tile.ix0, 2);
+            assert_eq!(tile.iy1 - tile.iy0, 2);
+        }
+        // Input areas differ by at most ~2x anywhere (balance invariant).
+        let max = t.iter().map(|x| x.input_area()).max().unwrap();
+        let min = t.iter().map(|x| x.input_area()).min().unwrap();
+        assert!(max <= 2 * min.max(1), "imbalance {min}..{max}");
+    }
+
+    #[test]
+    fn small_plane_fills_more_pes_via_halo() {
+        // 7x7 outputs + 2 halo = 9 wide over 8 columns: all 64 PEs fetch
+        // inputs; the right/bottom PEs own fewer (or zero) outputs but
+        // contribute halo partial sums.
+        let t = PlaneTiling::new(7, 7, 8, 8, 2, 2);
+        assert_eq!(t.active_tiles(), 64);
+        let owned: usize = t.iter().map(|x| x.out_area()).sum();
+        assert_eq!(owned, 49);
+        assert!(t.iter().any(|x| x.out_area() == 0 && x.input_area() > 0));
+    }
+
+    #[test]
+    fn no_halo_means_input_equals_output() {
+        // 1x1 filters: halo 0; inputs == outputs per PE.
+        let t = PlaneTiling::new(14, 14, 8, 8, 0, 0);
+        for tile in t.iter() {
+            assert_eq!(tile.input_area(), tile.out_area());
+        }
+    }
+
+    #[test]
+    fn sub_plane_clipping() {
+        let t = PlaneTiling::new(8, 8, 2, 2, 3, 3);
+        // Widest plane is 11; a narrower sub-plane of 9 clips the last PE.
+        let last = t.tile(3);
+        let (x0, xl) = t.input_x_range(last, 9);
+        assert_eq!(x0 + xl, 9);
+        let (_, full) = t.input_x_range(last, 11);
+        assert!(full > xl);
+    }
+
+    #[test]
+    fn input_ranges_cover_each_subplane_disjointly() {
+        let t = PlaneTiling::new(13, 13, 8, 8, 2, 2);
+        for sub_w in [11usize, 13, 14, 15] {
+            let mut covered = vec![0u32; sub_w];
+            for pe in 0..8 {
+                let tile = t.tile(pe);
+                let (start, len) = t.input_x_range(tile, sub_w);
+                for slot in covered.iter_mut().skip(start).take(len) {
+                    *slot += 1;
+                }
+            }
+            assert!(covered.iter().all(|c| *c == 1), "sub_w {sub_w}: {covered:?}");
+        }
+    }
+
+    #[test]
+    fn max_out_dims_reflect_ownership() {
+        let t = PlaneTiling::new(16, 16, 8, 8, 2, 2);
+        let (w, h) = t.max_out_dims();
+        assert!(w >= 2 && h >= 2);
+        assert_eq!(t.max_out_area(), t.iter().map(|x| x.out_area()).max().unwrap());
+    }
+}

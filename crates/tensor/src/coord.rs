@@ -1,0 +1,134 @@
+//! Coordinate types for weights, activations and outputs.
+//!
+//! The PT-IS-CP-sparse dataflow (§III-B) decodes compressed blocks into
+//! `(value, coordinate)` pairs; output coordinates are then *computed* from
+//! the weight and activation coordinates rather than derived from loop
+//! indices. These small `Copy` types make those computations explicit and
+//! type-checked.
+
+/// Coordinate of a weight inside an output-channel group block.
+///
+/// `k` is the *absolute* output channel; `r`/`s` index the filter plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WeightCoord {
+    /// Absolute output channel.
+    pub k: usize,
+    /// Filter offset along the `W` dimension.
+    pub r: usize,
+    /// Filter offset along the `H` dimension.
+    pub s: usize,
+}
+
+/// Coordinate of an input activation inside its plane (or PE tile).
+///
+/// `x`/`y` are absolute positions in the (padded) input plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActCoord {
+    /// Position along the `W` dimension.
+    pub x: usize,
+    /// Position along the `H` dimension.
+    pub y: usize,
+}
+
+/// Coordinate of an output partial sum in the `K x out_W x out_H` volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OutCoord {
+    /// Output channel.
+    pub k: usize,
+    /// Output position along the `W` dimension.
+    pub x: usize,
+    /// Output position along the `H` dimension.
+    pub y: usize,
+}
+
+impl OutCoord {
+    /// Output coordinate produced by multiplying a weight at `w` with an
+    /// input activation at `a`, for a stride-1 convolution on a plane whose
+    /// coordinates already include padding.
+    ///
+    /// Returns `None` when the pair does not contribute to any output (the
+    /// sliding window never aligns them), which is exactly the bounds check
+    /// the SCNN coordinate-computation unit performs next to the multiplier
+    /// array (Figure 6).
+    #[must_use]
+    pub fn from_pair(w: WeightCoord, a: ActCoord, out_w: usize, out_h: usize) -> Option<OutCoord> {
+        // out_x = a.x - w.r, valid when 0 <= out_x < out_w (same for y/s).
+        let x = a.x.checked_sub(w.r)?;
+        let y = a.y.checked_sub(w.s)?;
+        if x < out_w && y < out_h {
+            Some(OutCoord { k: w.k, x, y })
+        } else {
+            None
+        }
+    }
+
+    /// Linearizes the coordinate into a dense `K x out_W x out_H` volume.
+    #[must_use]
+    pub fn linear(&self, out_w: usize, out_h: usize) -> usize {
+        (self.k * out_w + self.x) * out_h + self.y
+    }
+}
+
+/// Splits a linear index within a `Kc x R x S` weight block into its
+/// `(kc, r, s)` components (`kc` is the channel offset inside the group).
+#[must_use]
+pub fn delinearize_weight(linear: usize, r_dim: usize, s_dim: usize) -> (usize, usize, usize) {
+    let rs = r_dim * s_dim;
+    (linear / rs, (linear % rs) / s_dim, linear % s_dim)
+}
+
+/// Splits a linear index within a `Wt x Ht` activation block into `(x, y)`.
+#[must_use]
+pub fn delinearize_act(linear: usize, h_dim: usize) -> (usize, usize) {
+    (linear / h_dim, linear % h_dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_produces_output_inside_bounds() {
+        let w = WeightCoord { k: 3, r: 1, s: 2 };
+        let a = ActCoord { x: 4, y: 5 };
+        let out = OutCoord::from_pair(w, a, 8, 8).unwrap();
+        assert_eq!(out, OutCoord { k: 3, x: 3, y: 3 });
+    }
+
+    #[test]
+    fn pair_rejects_negative_offsets() {
+        let w = WeightCoord { k: 0, r: 3, s: 0 };
+        let a = ActCoord { x: 1, y: 0 };
+        assert!(OutCoord::from_pair(w, a, 8, 8).is_none());
+    }
+
+    #[test]
+    fn pair_rejects_overflow_positions() {
+        let w = WeightCoord { k: 0, r: 0, s: 0 };
+        let a = ActCoord { x: 7, y: 7 };
+        // Output plane is only 6x6 for an 8x8 input with a 3x3 filter.
+        assert!(OutCoord::from_pair(w, a, 6, 6).is_none());
+    }
+
+    #[test]
+    fn linearization_roundtrip() {
+        let out = OutCoord { k: 2, x: 3, y: 4 };
+        let lin = out.linear(5, 6);
+        assert_eq!(lin, (2 * 5 + 3) * 6 + 4);
+    }
+
+    #[test]
+    fn weight_delinearization() {
+        // Kc=4 block of 3x3 filters: linear 20 = kc 2, r 0, s 2.
+        assert_eq!(delinearize_weight(20, 3, 3), (2, 0, 2));
+        assert_eq!(delinearize_weight(0, 3, 3), (0, 0, 0));
+        // 1x1 filters: linear index is the channel offset.
+        assert_eq!(delinearize_weight(7, 1, 1), (7, 0, 0));
+    }
+
+    #[test]
+    fn act_delinearization() {
+        assert_eq!(delinearize_act(13, 5), (2, 3));
+        assert_eq!(delinearize_act(0, 5), (0, 0));
+    }
+}

@@ -1,0 +1,347 @@
+//! Dense activation and weight tensors.
+//!
+//! Values are `f32` for arithmetic convenience; storage accounting elsewhere
+//! in the workspace models the paper's 16-bit datapath (Table II), which is
+//! orthogonal to the value type used by the functional simulator.
+
+use crate::shape::ConvShape;
+
+/// Dense 3-D activation tensor laid out `C x W x H` (channel-major).
+///
+/// # Examples
+///
+/// ```
+/// use scnn_tensor::Dense3;
+///
+/// let mut acts = Dense3::zeros(2, 4, 4);
+/// acts.set(1, 2, 3, 5.0);
+/// assert_eq!(acts.get(1, 2, 3), 5.0);
+/// assert_eq!(acts.nnz(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense3 {
+    c: usize,
+    w: usize,
+    h: usize,
+    data: Vec<f32>,
+}
+
+impl Dense3 {
+    /// All-zero tensor of the given extents.
+    #[must_use]
+    pub fn zeros(c: usize, w: usize, h: usize) -> Self {
+        Self { c, w, h, data: vec![0.0; c * w * h] }
+    }
+
+    /// Builds a tensor from a flat `C x W x H` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != c * w * h`.
+    #[must_use]
+    pub fn from_vec(c: usize, w: usize, h: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), c * w * h, "buffer does not match extents");
+        Self { c, w, h, data }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Plane width.
+    #[must_use]
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Plane height.
+    #[must_use]
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Total number of values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn index(&self, c: usize, x: usize, y: usize) -> usize {
+        debug_assert!(c < self.c && x < self.w && y < self.h, "({c},{x},{y}) out of bounds");
+        (c * self.w + x) * self.h + y
+    }
+
+    /// Reads the value at `(c, x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the coordinate is out of bounds.
+    #[must_use]
+    pub fn get(&self, c: usize, x: usize, y: usize) -> f32 {
+        self.data[self.index(c, x, y)]
+    }
+
+    /// Writes the value at `(c, x, y)`.
+    pub fn set(&mut self, c: usize, x: usize, y: usize, value: f32) {
+        let idx = self.index(c, x, y);
+        self.data[idx] = value;
+    }
+
+    /// Borrows the contiguous `W x H` plane of one channel.
+    #[must_use]
+    pub fn channel(&self, c: usize) -> &[f32] {
+        let start = c * self.w * self.h;
+        &self.data[start..start + self.w * self.h]
+    }
+
+    /// Flat view of all values (channel-major).
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Number of non-zero values.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// Fraction of non-zero values (the paper's "density", complement of
+    /// sparsity). Returns 0 for an empty tensor.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Applies ReLU in place, clamping negatives to zero (§II).
+    pub fn relu_in_place(&mut self) {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Returns a zero-padded copy: the plane grows by `pad` on every side
+    /// and original value `(c, x, y)` moves to `(c, x+pad, y+pad)`.
+    #[must_use]
+    pub fn padded(&self, pad: usize) -> Dense3 {
+        if pad == 0 {
+            return self.clone();
+        }
+        let mut out = Dense3::zeros(self.c, self.w + 2 * pad, self.h + 2 * pad);
+        for c in 0..self.c {
+            for x in 0..self.w {
+                for y in 0..self.h {
+                    out.set(c, x + pad, y + pad, self.get(c, x, y));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Dense 4-D weight tensor laid out `K x Cg x R x S`, where `Cg` is the
+/// per-group input-channel extent (`C / groups`, the Caffe convention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense4 {
+    k: usize,
+    c: usize,
+    r: usize,
+    s: usize,
+    data: Vec<f32>,
+}
+
+impl Dense4 {
+    /// All-zero weight tensor.
+    #[must_use]
+    pub fn zeros(k: usize, c: usize, r: usize, s: usize) -> Self {
+        Self { k, c, r, s, data: vec![0.0; k * c * r * s] }
+    }
+
+    /// Weight tensor shaped for `shape` (per-group input extent).
+    #[must_use]
+    pub fn zeros_for(shape: &ConvShape) -> Self {
+        Self::zeros(shape.k, shape.c_per_group(), shape.r, shape.s)
+    }
+
+    /// Builds a tensor from a flat `K x Cg x R x S` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match the extents.
+    #[must_use]
+    pub fn from_vec(k: usize, c: usize, r: usize, s: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), k * c * r * s, "buffer does not match extents");
+        Self { k, c, r, s, data }
+    }
+
+    /// Output-channel extent.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Input-channel extent (per group).
+    #[must_use]
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Filter extent along `W`.
+    #[must_use]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Filter extent along `H`.
+    #[must_use]
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Total number of values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn index(&self, k: usize, c: usize, r: usize, s: usize) -> usize {
+        debug_assert!(
+            k < self.k && c < self.c && r < self.r && s < self.s,
+            "({k},{c},{r},{s}) out of bounds"
+        );
+        ((k * self.c + c) * self.r + r) * self.s + s
+    }
+
+    /// Reads the weight at `(k, c, r, s)`.
+    #[must_use]
+    pub fn get(&self, k: usize, c: usize, r: usize, s: usize) -> f32 {
+        self.data[self.index(k, c, r, s)]
+    }
+
+    /// Writes the weight at `(k, c, r, s)`.
+    pub fn set(&mut self, k: usize, c: usize, r: usize, s: usize, value: f32) {
+        let idx = self.index(k, c, r, s);
+        self.data[idx] = value;
+    }
+
+    /// Flat view of all values.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view (used by the pruning generator).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Number of non-zero weights.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// Fraction of non-zero weights.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.data.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense3_set_get_roundtrip() {
+        let mut t = Dense3::zeros(3, 5, 7);
+        t.set(2, 4, 6, -1.5);
+        assert_eq!(t.get(2, 4, 6), -1.5);
+        assert_eq!(t.len(), 3 * 5 * 7);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn dense3_channel_slice_is_contiguous_plane() {
+        let mut t = Dense3::zeros(2, 3, 4);
+        t.set(1, 0, 0, 9.0);
+        let plane = t.channel(1);
+        assert_eq!(plane.len(), 12);
+        assert_eq!(plane[0], 9.0);
+        assert_eq!(t.channel(0).iter().sum::<f32>(), 0.0);
+    }
+
+    #[test]
+    fn dense3_density_counts_nonzeros() {
+        let mut t = Dense3::zeros(1, 2, 2);
+        assert_eq!(t.density(), 0.0);
+        t.set(0, 0, 0, 1.0);
+        t.set(0, 1, 1, 2.0);
+        assert_eq!(t.nnz(), 2);
+        assert!((t.density() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let mut t = Dense3::from_vec(1, 2, 2, vec![-1.0, 0.0, 2.0, -0.5]);
+        t.relu_in_place();
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn padding_relocates_values() {
+        let mut t = Dense3::zeros(1, 2, 2);
+        t.set(0, 0, 0, 3.0);
+        let p = t.padded(2);
+        assert_eq!((p.w(), p.h()), (6, 6));
+        assert_eq!(p.get(0, 2, 2), 3.0);
+        assert_eq!(p.nnz(), 1);
+        // pad=0 is the identity.
+        assert_eq!(t.padded(0), t);
+    }
+
+    #[test]
+    fn dense4_set_get_roundtrip() {
+        let mut t = Dense4::zeros(2, 3, 4, 5);
+        t.set(1, 2, 3, 4, 7.0);
+        assert_eq!(t.get(1, 2, 3, 4), 7.0);
+        assert_eq!(t.nnz(), 1);
+    }
+
+    #[test]
+    fn dense4_for_grouped_shape_uses_per_group_extent() {
+        let shape = ConvShape::new(4, 6, 3, 3, 8, 8).with_groups(2);
+        let t = Dense4::zeros_for(&shape);
+        assert_eq!((t.k(), t.c()), (4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match")]
+    fn dense3_from_vec_validates_length() {
+        let _ = Dense3::from_vec(1, 2, 2, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Alternative compressed-sparse encodings.
+//!
+//! §III-B: "While prior work has proposed a number of compressed-sparse
+//! representations [13], [1], [30], the specific format used is
+//! orthogonal to the sparse architecture itself. What is key is that
+//! decoding a sparse format ultimately yields a non-zero data value and
+//! an index indicating the coordinates of the value."
+//!
+//! Besides the paper's 4-bit zero-run [`RleVec`](crate::RleVec), this
+//! module implements two alternatives with the same decode contract —
+//! a dense bitmask (one presence bit per position, as in Cambricon-X-
+//! style designs) and an explicit coordinate list (EIE-style) — so the
+//! storage trade-off can be measured (see the `encoding_ablation`
+//! benchmark binary).
+
+/// Bitmask-compressed vector: one presence bit per dense position plus
+/// the packed non-zero values.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_tensor::BitmaskVec;
+///
+/// let dense = [0.0, 3.0, 0.0, 0.0, 4.0];
+/// let enc = BitmaskVec::encode(&dense);
+/// assert_eq!(enc.decode(), dense);
+/// assert_eq!(enc.nnz(), 2);
+/// // 2 values * 16 bits + 5 mask bits.
+/// assert_eq!(enc.storage_bits(), 37);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitmaskVec {
+    mask: Vec<u64>,
+    len: usize,
+    values: Vec<f32>,
+}
+
+impl BitmaskVec {
+    /// Encodes a dense slice.
+    #[must_use]
+    pub fn encode(dense: &[f32]) -> Self {
+        let mut mask = vec![0u64; dense.len().div_ceil(64)];
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                mask[i / 64] |= 1 << (i % 64);
+                values.push(v);
+            }
+        }
+        Self { mask, len: dense.len(), values }
+    }
+
+    /// Reconstructs the dense buffer.
+    #[must_use]
+    pub fn decode(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.len];
+        let mut next = 0usize;
+        for (i, slot) in out.iter_mut().enumerate() {
+            if self.mask[i / 64] >> (i % 64) & 1 == 1 {
+                *slot = self.values[next];
+                next += 1;
+            }
+        }
+        out
+    }
+
+    /// Iterates `(dense_position, value)` over the non-zeros.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let mut next = 0usize;
+        (0..self.len).filter_map(move |i| {
+            if self.mask[i / 64] >> (i % 64) & 1 == 1 {
+                let v = self.values[next];
+                next += 1;
+                Some((i, v))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Number of non-zero values.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Storage in bits: 16 per value + 1 mask bit per dense position.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.values.len() * crate::DATA_BITS + self.len
+    }
+}
+
+/// Coordinate-list compressed vector: each non-zero stores its absolute
+/// position with `ceil(log2(extent))` index bits (EIE-style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordVec {
+    extent: usize,
+    coords: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CoordVec {
+    /// Encodes a dense slice.
+    #[must_use]
+    pub fn encode(dense: &[f32]) -> Self {
+        let mut coords = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                coords.push(i as u32);
+                values.push(v);
+            }
+        }
+        Self { extent: dense.len(), coords, values }
+    }
+
+    /// Reconstructs the dense buffer.
+    #[must_use]
+    pub fn decode(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.extent];
+        for (&c, &v) in self.coords.iter().zip(&self.values) {
+            out[c as usize] = v;
+        }
+        out
+    }
+
+    /// Iterates `(dense_position, value)` over the non-zeros.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        self.coords.iter().zip(&self.values).map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Number of non-zero values.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Bits per coordinate: `ceil(log2(extent))`, at least 1.
+    #[must_use]
+    pub fn index_bits_per_value(&self) -> usize {
+        usize::BITS as usize - self.extent.max(2).next_power_of_two().leading_zeros() as usize - 1
+    }
+
+    /// Storage in bits: `(16 + ceil(log2(extent)))` per non-zero.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.values.len() * (crate::DATA_BITS + self.index_bits_per_value())
+    }
+}
+
+/// Storage comparison of the three formats on one dense block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncodingComparison {
+    /// Dense extent of the block.
+    pub extent: usize,
+    /// Non-zero count.
+    pub nnz: usize,
+    /// Paper's 4-bit zero-run RLE, total bits.
+    pub rle_bits: usize,
+    /// Bitmask format, total bits.
+    pub bitmask_bits: usize,
+    /// Coordinate list, total bits.
+    pub coord_bits: usize,
+    /// Uncompressed 16-bit dense storage, bits.
+    pub dense_bits: usize,
+}
+
+/// Compares the three compressed formats (and dense storage) on a block.
+#[must_use]
+pub fn compare_encodings(dense: &[f32]) -> EncodingComparison {
+    let rle = crate::RleVec::encode(dense);
+    let bm = BitmaskVec::encode(dense);
+    let cl = CoordVec::encode(dense);
+    EncodingComparison {
+        extent: dense.len(),
+        nnz: bm.nnz(),
+        rle_bits: rle.storage_bits(),
+        bitmask_bits: bm.storage_bits(),
+        coord_bits: cl.storage_bits(),
+        dense_bits: dense.len() * crate::DATA_BITS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterns() -> Vec<Vec<f32>> {
+        vec![
+            vec![],
+            vec![0.0; 100],
+            vec![1.0; 100],
+            vec![0.0, 1.0, 0.0, 2.0, 0.0, 0.0, 3.0],
+            {
+                let mut v = vec![0.0; 200];
+                v[0] = 1.0;
+                v[199] = 2.0;
+                v[64] = 3.0; // word boundary
+                v[63] = 4.0;
+                v
+            },
+        ]
+    }
+
+    #[test]
+    fn bitmask_roundtrip() {
+        for p in patterns() {
+            let enc = BitmaskVec::encode(&p);
+            assert_eq!(enc.decode(), p);
+            assert_eq!(enc.nnz(), p.iter().filter(|v| **v != 0.0).count());
+        }
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        for p in patterns() {
+            let enc = CoordVec::encode(&p);
+            assert_eq!(enc.decode(), p);
+        }
+    }
+
+    #[test]
+    fn iterators_agree_across_formats() {
+        let dense = {
+            let mut v = vec![0.0; 90];
+            for i in (0..90).step_by(7) {
+                v[i] = i as f32 + 1.0;
+            }
+            v
+        };
+        let rle: Vec<_> = crate::RleVec::encode(&dense).iter_nonzero().collect();
+        let bm: Vec<_> = BitmaskVec::encode(&dense).iter_nonzero().collect();
+        let cl: Vec<_> = CoordVec::encode(&dense).iter_nonzero().collect();
+        assert_eq!(rle, bm);
+        assert_eq!(bm, cl);
+    }
+
+    #[test]
+    fn coord_index_width_is_log2() {
+        assert_eq!(CoordVec::encode(&[1.0; 2]).index_bits_per_value(), 1);
+        assert_eq!(CoordVec::encode(&vec![1.0; 256]).index_bits_per_value(), 8);
+        assert_eq!(CoordVec::encode(&vec![1.0; 257]).index_bits_per_value(), 9);
+    }
+
+    #[test]
+    fn format_crossovers_match_theory() {
+        // At high density the bitmask wins (1 bit/position beats 4
+        // bits/value); at low density RLE wins (no per-position cost).
+        let dense_block: Vec<f32> = (0..1024).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let c = compare_encodings(&dense_block);
+        assert!(c.bitmask_bits < c.rle_bits, "50% density: bitmask {0} vs rle {1}", c.bitmask_bits, c.rle_bits);
+
+        // At the paper's typical 10-35% densities RLE wins: 4 index bits
+        // per value beat one mask bit per position.
+        let sparse_block: Vec<f32> =
+            (0..1024).map(|i| if i % 10 == 0 { 1.0 } else { 0.0 }).collect();
+        let c = compare_encodings(&sparse_block);
+        assert!(c.rle_bits < c.bitmask_bits, "10% density: rle {0} vs bitmask {1}", c.rle_bits, c.bitmask_bits);
+        assert!(c.rle_bits < c.dense_bits && c.coord_bits < c.dense_bits);
+
+        // At extreme sparsity with long runs, RLE pays placeholder chains
+        // and the explicit coordinate list becomes cheapest.
+        let very_sparse: Vec<f32> =
+            (0..1024).map(|i| if i % 256 == 0 { 1.0 } else { 0.0 }).collect();
+        let c = compare_encodings(&very_sparse);
+        assert!(c.coord_bits < c.rle_bits, "0.4% density: coord {0} vs rle {1}", c.coord_bits, c.rle_bits);
+    }
+
+    #[test]
+    fn empty_and_full_blocks() {
+        let c = compare_encodings(&[]);
+        assert_eq!((c.nnz, c.rle_bits, c.coord_bits), (0, 0, 0));
+        let c = compare_encodings(&[1.0; 64]);
+        assert_eq!(c.nnz, 64);
+        // Full block: dense is strictly cheapest.
+        assert!(c.dense_bits < c.rle_bits);
+        assert!(c.dense_bits < c.bitmask_bits);
+    }
+}

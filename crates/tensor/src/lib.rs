@@ -1,0 +1,47 @@
+//! Dense and compressed-sparse tensor substrate for the SCNN reproduction.
+//!
+//! This crate implements the data representations of *SCNN: An Accelerator
+//! for Compressed-sparse Convolutional Neural Networks* (Parashar et al.,
+//! ISCA 2017):
+//!
+//! * [`ConvShape`] — the seven-variable layer geometry of §III/Figure 2;
+//! * [`Dense3`]/[`Dense4`] — dense activation and weight tensors;
+//! * [`RleVec`] — the paper's run-length, 4-bit zero-count compressed
+//!   encoding with zero-value placeholders (§IV);
+//! * [`SparseBlock`], [`CompressedWeights`], [`CompressedActivations`] —
+//!   block-compressed tensors at the granularities the PT-IS-CP-sparse
+//!   dataflow consumes (§III-B);
+//! * coordinate types ([`WeightCoord`], [`ActCoord`], [`OutCoord`]) used by
+//!   the coordinate-computation path of the PE (Figure 6).
+//!
+//! # Examples
+//!
+//! Compress a weight tensor at output-channel-group granularity and walk
+//! the non-zeros the multiplier array would receive:
+//!
+//! ```
+//! use scnn_tensor::{CompressedWeights, Dense4, OcgPartition};
+//!
+//! let mut w = Dense4::zeros(8, 4, 3, 3);
+//! w.set(5, 2, 1, 1, 0.25);
+//! let cw = CompressedWeights::compress(&w, &OcgPartition::new(8, 4));
+//! let (coord, value) = cw.iter_block(1, 2).next().unwrap();
+//! assert_eq!((coord.k, coord.r, coord.s, value), (5, 1, 1, 0.25));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod coord;
+mod dense;
+mod encoding;
+mod rle;
+mod shape;
+mod sparse;
+
+pub use coord::{delinearize_act, delinearize_weight, ActCoord, OutCoord, WeightCoord};
+pub use encoding::{compare_encodings, BitmaskVec, CoordVec, EncodingComparison};
+pub use dense::{Dense3, Dense4};
+pub use rle::{RleVec, DATA_BITS, INDEX_BITS, MAX_ZERO_RUN};
+pub use shape::ConvShape;
+pub use sparse::{CompressedActivations, CompressedWeights, OcgPartition, SparseBlock};

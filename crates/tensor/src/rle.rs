@@ -1,0 +1,246 @@
+//! The paper's compressed-sparse run-length encoding (§IV).
+//!
+//! > "SCNN uses a simple compressed-sparse encoding approach based on
+//! > run-length encoding scheme. The index vector encodes the number of
+//! > zeros between each element in the compressed-sparse data vector. Four
+//! > bits per index allows for up to 15 zeros to appear between any two
+//! > non-zero elements. Non-zero elements that are further apart can have a
+//! > zero-value placeholder without incurring any noticeable degradation in
+//! > compression efficiency."
+//!
+//! [`RleVec`] is that encoding for a single block: a data vector (non-zero
+//! values plus any zero placeholders) and an index vector of 4-bit
+//! zero-run counts, one per data element. Storage accounting assumes the
+//! paper's 16-bit values (Table II) and 4-bit indices.
+
+/// Number of bits used to store one data element (Table II: 16-bit
+/// multiplier datapath).
+pub const DATA_BITS: usize = 16;
+
+/// Number of bits used to store one zero-run index (§IV).
+pub const INDEX_BITS: usize = 4;
+
+/// Largest zero run expressible by one 4-bit index.
+pub const MAX_ZERO_RUN: u8 = 15;
+
+/// A run-length encoded block of values.
+///
+/// Invariant: `values.len() == zero_runs.len()`, every `zero_runs[i] <=`
+/// [`MAX_ZERO_RUN`], and a zero *value* only appears as a run-extension
+/// placeholder (its run count is always [`MAX_ZERO_RUN`]).
+///
+/// # Examples
+///
+/// ```
+/// use scnn_tensor::RleVec;
+///
+/// let dense = [0.0, 0.0, 3.0, 0.0, 4.0];
+/// let rle = RleVec::encode(&dense);
+/// assert_eq!(rle.decode(dense.len()), dense);
+/// assert_eq!(rle.data_len(), 2); // two non-zeros, no placeholder needed
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RleVec {
+    values: Vec<f32>,
+    zero_runs: Vec<u8>,
+}
+
+impl RleVec {
+    /// Encodes a dense slice.
+    ///
+    /// Zero runs longer than 15 are broken with zero-value placeholders, as
+    /// in the paper. Trailing zeros after the last non-zero are *not*
+    /// materialized; [`RleVec::decode`] restores them from the target
+    /// length, mirroring hardware that knows each block's dense extent.
+    #[must_use]
+    pub fn encode(dense: &[f32]) -> Self {
+        let mut values = Vec::new();
+        let mut zero_runs = Vec::new();
+        let mut run: usize = 0;
+        for &v in dense {
+            if v == 0.0 {
+                run += 1;
+            } else {
+                while run > usize::from(MAX_ZERO_RUN) {
+                    values.push(0.0);
+                    zero_runs.push(MAX_ZERO_RUN);
+                    run -= usize::from(MAX_ZERO_RUN) + 1;
+                }
+                values.push(v);
+                zero_runs.push(run as u8);
+                run = 0;
+            }
+        }
+        Self { values, zero_runs }
+    }
+
+    /// Reconstructs the dense block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded content does not fit in `len` elements.
+    #[must_use]
+    pub fn decode(&self, len: usize) -> Vec<f32> {
+        let mut out = vec![0.0; len];
+        let mut pos = 0usize;
+        for (&v, &run) in self.values.iter().zip(&self.zero_runs) {
+            pos += usize::from(run);
+            assert!(pos < len, "encoded block overflows dense extent {len}");
+            out[pos] = v;
+            pos += 1;
+        }
+        out
+    }
+
+    /// Iterates over `(dense_position, value)` pairs of the *stored* data
+    /// elements, including zero placeholders.
+    pub fn iter_stored(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let mut pos = 0usize;
+        self.values.iter().zip(&self.zero_runs).map(move |(&v, &run)| {
+            pos += usize::from(run);
+            let here = pos;
+            pos += 1;
+            (here, v)
+        })
+    }
+
+    /// Iterates over `(dense_position, value)` pairs of the non-zero values
+    /// only — what the multiplier array actually receives.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        self.iter_stored().filter(|(_, v)| *v != 0.0)
+    }
+
+    /// Number of stored data elements (non-zeros plus placeholders). This is
+    /// what occupies RAM/FIFO slots and DRAM bandwidth.
+    #[must_use]
+    pub fn data_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of genuinely non-zero values.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// Total storage footprint in bits: 16 data bits + 4 index bits per
+    /// stored element.
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.data_len() * (DATA_BITS + INDEX_BITS)
+    }
+
+    /// Storage footprint of the data vector alone, in bits.
+    #[must_use]
+    pub fn data_bits(&self) -> usize {
+        self.data_len() * DATA_BITS
+    }
+
+    /// Storage footprint of the index vector alone, in bits.
+    #[must_use]
+    pub fn index_bits(&self) -> usize {
+        self.data_len() * INDEX_BITS
+    }
+
+    /// Whether the block stores no elements at all (an all-zero block).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(dense: &[f32]) {
+        let rle = RleVec::encode(dense);
+        assert_eq!(rle.decode(dense.len()), dense, "roundtrip failed for {dense:?}");
+    }
+
+    #[test]
+    fn roundtrip_simple_patterns() {
+        roundtrip(&[]);
+        roundtrip(&[0.0]);
+        roundtrip(&[1.0]);
+        roundtrip(&[0.0, 0.0, 0.0]);
+        roundtrip(&[1.0, 2.0, 3.0]);
+        roundtrip(&[0.0, 1.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn long_zero_run_inserts_placeholder() {
+        // 20 zeros then a value: one placeholder (run 15) + value (run 4).
+        let mut dense = vec![0.0; 20];
+        dense.push(7.0);
+        let rle = RleVec::encode(&dense);
+        assert_eq!(rle.data_len(), 2);
+        assert_eq!(rle.nnz(), 1);
+        assert_eq!(rle.decode(dense.len()), dense);
+    }
+
+    #[test]
+    fn exactly_fifteen_zeros_needs_no_placeholder() {
+        let mut dense = vec![0.0; 15];
+        dense.push(7.0);
+        let rle = RleVec::encode(&dense);
+        assert_eq!(rle.data_len(), 1);
+    }
+
+    #[test]
+    fn sixteen_zeros_needs_placeholder() {
+        let mut dense = vec![0.0; 16];
+        dense.push(7.0);
+        let rle = RleVec::encode(&dense);
+        assert_eq!(rle.data_len(), 2);
+        assert_eq!(rle.decode(dense.len()), dense);
+    }
+
+    #[test]
+    fn very_long_run_inserts_multiple_placeholders() {
+        // 47 zeros: placeholders consume 16 dense positions each (15 zeros +
+        // the placeholder slot), so 47 zeros -> 2 placeholders + value.
+        let mut dense = vec![0.0; 47];
+        dense.push(1.0);
+        let rle = RleVec::encode(&dense);
+        assert_eq!(rle.data_len(), 3);
+        assert_eq!(rle.nnz(), 1);
+        assert_eq!(rle.decode(dense.len()), dense);
+    }
+
+    #[test]
+    fn trailing_zeros_restored_by_decode() {
+        let dense = [5.0, 0.0, 0.0, 0.0];
+        let rle = RleVec::encode(&dense);
+        assert_eq!(rle.data_len(), 1);
+        assert_eq!(rle.decode(4), dense);
+    }
+
+    #[test]
+    fn iter_nonzero_skips_placeholders() {
+        let mut dense = vec![0.0; 16];
+        dense.push(7.0);
+        dense.push(8.0);
+        let rle = RleVec::encode(&dense);
+        let nz: Vec<_> = rle.iter_nonzero().collect();
+        assert_eq!(nz, vec![(16, 7.0), (17, 8.0)]);
+        assert_eq!(rle.iter_stored().count(), 3);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let dense = [0.0, 1.0, 0.0, 2.0];
+        let rle = RleVec::encode(&dense);
+        assert_eq!(rle.storage_bits(), 2 * 20);
+        assert_eq!(rle.data_bits(), 32);
+        assert_eq!(rle.index_bits(), 8);
+    }
+
+    #[test]
+    fn all_zero_block_is_free() {
+        let rle = RleVec::encode(&[0.0; 64]);
+        assert!(rle.is_empty());
+        assert_eq!(rle.storage_bits(), 0);
+        assert_eq!(rle.decode(64), vec![0.0; 64]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Convolutional layer geometry.
+//!
+//! The paper (§III, Figure 2) parameterizes a convolutional layer by seven
+//! variables: `N` (batch), `K` (output channels), `C` (input channels),
+//! `W`/`H` (input plane), `R`/`S` (filter plane). Following the paper we fix
+//! `N = 1` (inference) and pair `R` with `W` and `S` with `H`, so a
+//! stride-1, pad-0 layer produces a `(W-R+1) x (H-S+1)` output plane.
+
+use std::fmt;
+
+/// Geometry of a single convolutional layer.
+///
+/// `groups` models grouped convolutions (AlexNet conv2/4/5): each output
+/// channel only consumes `c / groups` input channels, and weight tensors are
+/// stored with a per-group input-channel extent (the Caffe convention).
+///
+/// # Examples
+///
+/// ```
+/// use scnn_tensor::ConvShape;
+///
+/// // AlexNet conv3: 3x3 filter over a 13x13 plane, 256 -> 384 channels.
+/// let shape = ConvShape::new(384, 256, 3, 3, 15, 15).with_pad(0);
+/// assert_eq!(shape.out_w(), 13);
+/// assert_eq!(shape.out_h(), 13);
+/// assert_eq!(shape.macs(), 384 * 256 * 3 * 3 * 13 * 13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Number of output channels (`K`).
+    pub k: usize,
+    /// Number of input channels (`C`), counted across all groups.
+    pub c: usize,
+    /// Filter extent paired with the `W` dimension (`R`).
+    pub r: usize,
+    /// Filter extent paired with the `H` dimension (`S`).
+    pub s: usize,
+    /// Input activation plane width (`W`), before padding.
+    pub w: usize,
+    /// Input activation plane height (`H`), before padding.
+    pub h: usize,
+    /// Convolution stride (same in both plane dimensions).
+    pub stride: usize,
+    /// Zero padding applied symmetrically to both plane dimensions.
+    pub pad: usize,
+    /// Number of filter groups; `1` for an ordinary convolution.
+    pub groups: usize,
+}
+
+impl ConvShape {
+    /// Creates a stride-1, pad-0, ungrouped layer shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the filter exceeds the padded
+    /// input plane (delegated to [`ConvShape::validate`] at use sites that
+    /// need a `Result`).
+    #[must_use]
+    pub fn new(k: usize, c: usize, r: usize, s: usize, w: usize, h: usize) -> Self {
+        let shape = Self { k, c, r, s, w, h, stride: 1, pad: 0, groups: 1 };
+        assert!(shape.validate().is_ok(), "invalid conv shape {shape:?}");
+        shape
+    }
+
+    /// Returns the same shape with a different stride.
+    #[must_use]
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be non-zero");
+        self.stride = stride;
+        self
+    }
+
+    /// Returns the same shape with symmetric zero padding.
+    #[must_use]
+    pub fn with_pad(mut self, pad: usize) -> Self {
+        self.pad = pad;
+        self
+    }
+
+    /// Returns the same shape split into `groups` filter groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not divide both `k` and `c`.
+    #[must_use]
+    pub fn with_groups(mut self, groups: usize) -> Self {
+        assert!(groups > 0, "groups must be non-zero");
+        assert_eq!(self.k % groups, 0, "groups must divide K");
+        assert_eq!(self.c % groups, 0, "groups must divide C");
+        self.groups = groups;
+        self
+    }
+
+    /// Checks internal consistency of the shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint: zero dimensions, a filter larger than the padded input,
+    /// or a group count that does not divide `K`/`C`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 || self.c == 0 || self.r == 0 || self.s == 0 || self.w == 0 || self.h == 0 {
+            return Err(format!("all dimensions must be non-zero: {self:?}"));
+        }
+        if self.stride == 0 {
+            return Err("stride must be non-zero".to_owned());
+        }
+        if self.r > self.w + 2 * self.pad || self.s > self.h + 2 * self.pad {
+            return Err(format!("filter {}x{} exceeds padded input {}x{}", self.r, self.s, self.w + 2 * self.pad, self.h + 2 * self.pad));
+        }
+        if self.groups == 0 || !self.k.is_multiple_of(self.groups) || !self.c.is_multiple_of(self.groups) {
+            return Err(format!("groups {} must divide K={} and C={}", self.groups, self.k, self.c));
+        }
+        Ok(())
+    }
+
+    /// Output plane width: `(W + 2*pad - R) / stride + 1`.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.r) / self.stride + 1
+    }
+
+    /// Output plane height: `(H + 2*pad - S) / stride + 1`.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.s) / self.stride + 1
+    }
+
+    /// Input channels visible to a single group (`C / groups`).
+    #[must_use]
+    pub fn c_per_group(&self) -> usize {
+        self.c / self.groups
+    }
+
+    /// Output channels produced by a single group (`K / groups`).
+    #[must_use]
+    pub fn k_per_group(&self) -> usize {
+        self.k / self.groups
+    }
+
+    /// Total number of weight values: `K * (C/groups) * R * S`.
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        self.k * self.c_per_group() * self.r * self.s
+    }
+
+    /// Total number of input activation values: `C * W * H`.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.c * self.w * self.h
+    }
+
+    /// Total number of output activation values: `K * out_w * out_h`.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.k * self.out_w() * self.out_h()
+    }
+
+    /// Dense multiply count for one inference pass of this layer:
+    /// `K * (C/groups) * R * S * out_w * out_h`.
+    #[must_use]
+    pub fn macs(&self) -> usize {
+        self.weight_count() * self.out_w() * self.out_h()
+    }
+
+    /// The shape a single group presents to a dataflow that processes groups
+    /// as independent sub-layers (`K/groups` outputs over `C/groups` inputs).
+    #[must_use]
+    pub fn group_view(&self) -> ConvShape {
+        ConvShape {
+            k: self.k_per_group(),
+            c: self.c_per_group(),
+            groups: 1,
+            ..*self
+        }
+    }
+}
+
+impl fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "K{}xC{}xR{}xS{} over {}x{} (stride {}, pad {}, groups {})",
+            self.k, self.c, self.r, self.s, self.w, self.h, self.stride, self.pad, self.groups
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_plane_no_pad_unit_stride() {
+        let s = ConvShape::new(8, 4, 3, 3, 10, 12);
+        assert_eq!(s.out_w(), 8);
+        assert_eq!(s.out_h(), 10);
+    }
+
+    #[test]
+    fn output_plane_with_pad_and_stride() {
+        // AlexNet conv1: 11x11, stride 4 over 227x227 (pad 0) -> 55x55.
+        let s = ConvShape::new(96, 3, 11, 11, 227, 227).with_stride(4);
+        assert_eq!(s.out_w(), 55);
+        assert_eq!(s.out_h(), 55);
+        // Same-padding 3x3 keeps the plane size.
+        let s = ConvShape::new(8, 8, 3, 3, 14, 14).with_pad(1);
+        assert_eq!((s.out_w(), s.out_h()), (14, 14));
+    }
+
+    #[test]
+    fn grouped_counts() {
+        // AlexNet conv2: K=256, C=96, groups=2, 5x5.
+        let s = ConvShape::new(256, 96, 5, 5, 31, 31).with_groups(2).with_pad(2);
+        assert_eq!(s.c_per_group(), 48);
+        assert_eq!(s.k_per_group(), 128);
+        assert_eq!(s.weight_count(), 256 * 48 * 25);
+        let g = s.group_view();
+        assert_eq!((g.k, g.c, g.groups), (128, 48, 1));
+    }
+
+    #[test]
+    fn macs_counts_grouping() {
+        let dense = ConvShape::new(16, 8, 3, 3, 10, 10);
+        let grouped = ConvShape::new(16, 8, 3, 3, 10, 10).with_groups(2);
+        assert_eq!(grouped.macs() * 2, dense.macs());
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        let mut s = ConvShape::new(2, 2, 2, 2, 4, 4);
+        s.k = 0;
+        assert!(s.validate().is_err());
+        let mut s = ConvShape::new(2, 2, 2, 2, 4, 4);
+        s.r = 9;
+        assert!(s.validate().is_err());
+        let mut s = ConvShape::new(4, 4, 2, 2, 4, 4);
+        s.groups = 3;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = ConvShape::new(2, 3, 1, 1, 7, 7);
+        let text = s.to_string();
+        assert!(text.contains("K2"));
+        assert!(text.contains("7x7"));
+    }
+}

@@ -1,0 +1,456 @@
+//! Compressed-sparse weight and activation containers (§III-B, §IV).
+//!
+//! * Weights are compressed "at the granularity of an output-channel group,
+//!   with `Kc x R x S` weights encoded into one compressed block" — one
+//!   block per (output-channel group, input channel) pair.
+//! * Input activations are compressed "at the granularity of input
+//!   channels, with a block of `Wt x Ht` encoded into one compressed block"
+//!   — one block per (input channel, PE tile) pair; this module compresses
+//!   whole planes or arbitrary tile rectangles so the simulator can choose
+//!   the tiling.
+
+use crate::coord::{delinearize_act, delinearize_weight, ActCoord, WeightCoord};
+use crate::dense::{Dense3, Dense4};
+use crate::rle::RleVec;
+
+/// One run-length-encoded block plus its dense extent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseBlock {
+    rle: RleVec,
+    extent: usize,
+}
+
+impl SparseBlock {
+    /// Compresses a dense slice into a block.
+    #[must_use]
+    pub fn from_dense(dense: &[f32]) -> Self {
+        Self { rle: RleVec::encode(dense), extent: dense.len() }
+    }
+
+    /// Dense extent of the region this block covers.
+    #[must_use]
+    pub fn extent(&self) -> usize {
+        self.extent
+    }
+
+    /// Number of non-zero values delivered to the multipliers.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.rle.nnz()
+    }
+
+    /// Stored elements (non-zeros + placeholders) occupying RAM slots.
+    #[must_use]
+    pub fn data_len(&self) -> usize {
+        self.rle.data_len()
+    }
+
+    /// Storage footprint in bits (data + indices).
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.rle.storage_bits()
+    }
+
+    /// Storage footprint of the index vector alone, in bits.
+    #[must_use]
+    pub fn index_bits(&self) -> usize {
+        self.rle.index_bits()
+    }
+
+    /// Storage footprint of the data vector alone, in bits.
+    #[must_use]
+    pub fn data_bits(&self) -> usize {
+        self.rle.data_bits()
+    }
+
+    /// Iterates over `(linear_position, value)` for each non-zero.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        self.rle.iter_nonzero()
+    }
+
+    /// Decompresses back to a dense buffer of the original extent.
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<f32> {
+        self.rle.decode(self.extent)
+    }
+}
+
+/// Partition of `K` output channels into output-channel groups of (at most)
+/// `Kc` channels (§III-A: "we factor the output channel variable (K) into
+/// Kc ... and K/Kc").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OcgPartition {
+    k: usize,
+    kc: usize,
+}
+
+impl OcgPartition {
+    /// Creates a partition of `k` channels into groups of `kc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    #[must_use]
+    pub fn new(k: usize, kc: usize) -> Self {
+        assert!(k > 0 && kc > 0, "K and Kc must be non-zero");
+        Self { k, kc }
+    }
+
+    /// Number of groups, `ceil(K / Kc)`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.k.div_ceil(self.kc)
+    }
+
+    /// Always false: a partition covers at least one group.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Nominal group width `Kc` (the final group may be narrower).
+    #[must_use]
+    pub fn kc(&self) -> usize {
+        self.kc
+    }
+
+    /// `(first_channel, width)` of group `ocg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ocg >= self.len()`.
+    #[must_use]
+    pub fn group(&self, ocg: usize) -> (usize, usize) {
+        assert!(ocg < self.len(), "group {ocg} out of range");
+        let start = ocg * self.kc;
+        (start, self.kc.min(self.k - start))
+    }
+
+    /// Iterates over `(first_channel, width)` of every group.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.len()).map(|g| self.group(g))
+    }
+}
+
+/// Compressed-sparse weights for one layer (or one group of a grouped
+/// layer): one [`SparseBlock`] per (output-channel group, input channel).
+///
+/// # Examples
+///
+/// ```
+/// use scnn_tensor::{CompressedWeights, Dense4, OcgPartition};
+///
+/// let mut w = Dense4::zeros(4, 2, 3, 3);
+/// w.set(3, 1, 2, 2, 1.5);
+/// let cw = CompressedWeights::compress(&w, &OcgPartition::new(4, 2));
+/// let nz: Vec<_> = cw.block(1, 1).iter_nonzero().collect();
+/// assert_eq!(nz.len(), 1);
+/// assert_eq!(cw.total_nnz(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedWeights {
+    partition: OcgPartition,
+    c: usize,
+    r: usize,
+    s: usize,
+    /// Indexed `[ocg * c + channel]`.
+    blocks: Vec<SparseBlock>,
+}
+
+impl CompressedWeights {
+    /// Compresses a dense weight tensor under the given output-channel-group
+    /// partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition's `K` does not match the tensor.
+    #[must_use]
+    pub fn compress(weights: &Dense4, partition: &OcgPartition) -> Self {
+        assert_eq!(partition.k, weights.k(), "partition K mismatch");
+        let (c, r, s) = (weights.c(), weights.r(), weights.s());
+        let mut blocks = Vec::with_capacity(partition.len() * c);
+        for (k_start, kc) in partition.iter() {
+            for ch in 0..c {
+                // Gather the Kc x R x S region for this (ocg, channel) in
+                // (kc, r, s) linear order — the block-local coordinate space.
+                let mut dense = Vec::with_capacity(kc * r * s);
+                for k in k_start..k_start + kc {
+                    for rr in 0..r {
+                        for ss in 0..s {
+                            dense.push(weights.get(k, ch, rr, ss));
+                        }
+                    }
+                }
+                blocks.push(SparseBlock::from_dense(&dense));
+            }
+        }
+        Self { partition: partition.clone(), c, r, s, blocks }
+    }
+
+    /// The output-channel-group partition used at compression time.
+    #[must_use]
+    pub fn partition(&self) -> &OcgPartition {
+        &self.partition
+    }
+
+    /// Input-channel extent.
+    #[must_use]
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Block for `(ocg, channel)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn block(&self, ocg: usize, channel: usize) -> &SparseBlock {
+        assert!(channel < self.c, "channel {channel} out of range");
+        &self.blocks[ocg * self.c + channel]
+    }
+
+    /// Iterates over the non-zero weights of one `(ocg, channel)` block as
+    /// absolute [`WeightCoord`]s with values.
+    pub fn iter_block(
+        &self,
+        ocg: usize,
+        channel: usize,
+    ) -> impl Iterator<Item = (WeightCoord, f32)> + '_ {
+        let (k_start, _) = self.partition.group(ocg);
+        let (r, s) = (self.r, self.s);
+        self.block(ocg, channel).iter_nonzero().map(move |(lin, v)| {
+            let (kc, rr, ss) = delinearize_weight(lin, r, s);
+            (WeightCoord { k: k_start + kc, r: rr, s: ss }, v)
+        })
+    }
+
+    /// Total non-zero weights across all blocks.
+    #[must_use]
+    pub fn total_nnz(&self) -> usize {
+        self.blocks.iter().map(SparseBlock::nnz).sum()
+    }
+
+    /// Total storage footprint in bits (data + indices).
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.blocks.iter().map(SparseBlock::storage_bits).sum()
+    }
+
+    /// Reconstructs the dense tensor (for round-trip validation).
+    #[must_use]
+    pub fn to_dense(&self) -> Dense4 {
+        let mut out = Dense4::zeros(self.partition.k, self.c, self.r, self.s);
+        for ocg in 0..self.partition.len() {
+            for ch in 0..self.c {
+                for (coord, v) in self.iter_block(ocg, ch) {
+                    out.set(coord.k, ch, coord.r, coord.s, v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compressed-sparse activations: one [`SparseBlock`] per input channel
+/// covering a rectangular tile `[x0, x0+wt) x [y0, y0+ht)` of the plane.
+///
+/// A whole-plane compression is just the tile `(0, 0, W, H)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedActivations {
+    x0: usize,
+    y0: usize,
+    wt: usize,
+    ht: usize,
+    blocks: Vec<SparseBlock>,
+}
+
+impl CompressedActivations {
+    /// Compresses the full plane of every channel.
+    #[must_use]
+    pub fn compress(acts: &Dense3) -> Self {
+        Self::compress_tile(acts, 0, 0, acts.w(), acts.h())
+    }
+
+    /// Compresses the tile `[x0, x0+wt) x [y0, y0+ht)` of every channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile exceeds the plane.
+    #[must_use]
+    pub fn compress_tile(acts: &Dense3, x0: usize, y0: usize, wt: usize, ht: usize) -> Self {
+        assert!(x0 + wt <= acts.w() && y0 + ht <= acts.h(), "tile exceeds plane");
+        let mut blocks = Vec::with_capacity(acts.c());
+        let mut dense = Vec::with_capacity(wt * ht);
+        for c in 0..acts.c() {
+            dense.clear();
+            for x in x0..x0 + wt {
+                for y in y0..y0 + ht {
+                    dense.push(acts.get(c, x, y));
+                }
+            }
+            blocks.push(SparseBlock::from_dense(&dense));
+        }
+        Self { x0, y0, wt, ht, blocks }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn c(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Tile width.
+    #[must_use]
+    pub fn wt(&self) -> usize {
+        self.wt
+    }
+
+    /// Tile height.
+    #[must_use]
+    pub fn ht(&self) -> usize {
+        self.ht
+    }
+
+    /// Tile origin `(x0, y0)` in plane coordinates.
+    #[must_use]
+    pub fn origin(&self) -> (usize, usize) {
+        (self.x0, self.y0)
+    }
+
+    /// Block for one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    #[must_use]
+    pub fn block(&self, channel: usize) -> &SparseBlock {
+        &self.blocks[channel]
+    }
+
+    /// Iterates over non-zero activations of one channel as absolute
+    /// plane [`ActCoord`]s with values.
+    pub fn iter_channel(&self, channel: usize) -> impl Iterator<Item = (ActCoord, f32)> + '_ {
+        let (x0, y0, ht) = (self.x0, self.y0, self.ht);
+        self.block(channel).iter_nonzero().map(move |(lin, v)| {
+            let (dx, dy) = delinearize_act(lin, ht);
+            (ActCoord { x: x0 + dx, y: y0 + dy }, v)
+        })
+    }
+
+    /// Total non-zero activations across channels.
+    #[must_use]
+    pub fn total_nnz(&self) -> usize {
+        self.blocks.iter().map(SparseBlock::nnz).sum()
+    }
+
+    /// Total storage footprint in bits (data + indices).
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        self.blocks.iter().map(SparseBlock::storage_bits).sum()
+    }
+
+    /// Reconstructs a dense tensor covering just the tile (channel-major,
+    /// tile-local coordinates).
+    #[must_use]
+    pub fn to_dense_tile(&self) -> Dense3 {
+        let mut out = Dense3::zeros(self.c(), self.wt, self.ht);
+        for ch in 0..self.c() {
+            for (lin, v) in self.block(ch).iter_nonzero() {
+                let (dx, dy) = delinearize_act(lin, self.ht);
+                out.set(ch, dx, dy, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ocg_partition_covers_all_channels() {
+        let p = OcgPartition::new(10, 4);
+        let groups: Vec<_> = p.iter().collect();
+        assert_eq!(groups, vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(groups.iter().map(|(_, w)| w).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn ocg_partition_exact_division() {
+        let p = OcgPartition::new(8, 4);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.group(1), (4, 4));
+    }
+
+    #[test]
+    fn weight_roundtrip_through_blocks() {
+        let mut w = Dense4::zeros(5, 3, 2, 2);
+        // A scattering of values, including in the ragged final group.
+        w.set(0, 0, 0, 0, 1.0);
+        w.set(2, 1, 1, 0, -2.0);
+        w.set(4, 2, 1, 1, 3.0);
+        let cw = CompressedWeights::compress(&w, &OcgPartition::new(5, 2));
+        assert_eq!(cw.to_dense(), w);
+        assert_eq!(cw.total_nnz(), 3);
+    }
+
+    #[test]
+    fn weight_block_coordinates_are_absolute() {
+        let mut w = Dense4::zeros(4, 1, 3, 3);
+        w.set(3, 0, 2, 1, 9.0);
+        let cw = CompressedWeights::compress(&w, &OcgPartition::new(4, 2));
+        let items: Vec<_> = cw.iter_block(1, 0).collect();
+        assert_eq!(items, vec![(WeightCoord { k: 3, r: 2, s: 1 }, 9.0)]);
+        // The other group's block is empty.
+        assert_eq!(cw.iter_block(0, 0).count(), 0);
+    }
+
+    #[test]
+    fn activation_roundtrip_whole_plane() {
+        let mut a = Dense3::zeros(2, 4, 5);
+        a.set(0, 3, 4, 1.0);
+        a.set(1, 0, 0, 2.0);
+        let ca = CompressedActivations::compress(&a);
+        assert_eq!(ca.to_dense_tile(), a);
+        assert_eq!(ca.total_nnz(), 2);
+    }
+
+    #[test]
+    fn activation_tile_coordinates_are_absolute() {
+        let mut a = Dense3::zeros(1, 6, 6);
+        a.set(0, 3, 4, 7.0);
+        let ca = CompressedActivations::compress_tile(&a, 2, 2, 3, 3);
+        let items: Vec<_> = ca.iter_channel(0).collect();
+        assert_eq!(items, vec![(ActCoord { x: 3, y: 4 }, 7.0)]);
+        assert_eq!(ca.origin(), (2, 2));
+    }
+
+    #[test]
+    fn tile_excludes_outside_values() {
+        let mut a = Dense3::zeros(1, 6, 6);
+        a.set(0, 0, 0, 1.0);
+        a.set(0, 5, 5, 2.0);
+        let ca = CompressedActivations::compress_tile(&a, 2, 2, 3, 3);
+        assert_eq!(ca.total_nnz(), 0);
+    }
+
+    #[test]
+    fn storage_bits_sum_blocks() {
+        let mut a = Dense3::zeros(2, 4, 4);
+        a.set(0, 0, 0, 1.0);
+        a.set(1, 3, 3, 2.0);
+        let ca = CompressedActivations::compress(&a);
+        // Each channel stores one element at 20 bits.
+        assert_eq!(ca.storage_bits(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile exceeds plane")]
+    fn tile_bounds_are_checked() {
+        let a = Dense3::zeros(1, 4, 4);
+        let _ = CompressedActivations::compress_tile(&a, 2, 2, 3, 3);
+    }
+}

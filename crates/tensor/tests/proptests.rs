@@ -1,0 +1,133 @@
+//! Property-based tests for the compressed-sparse encoding invariants.
+
+use proptest::prelude::*;
+use scnn_tensor::{
+    CompressedActivations, CompressedWeights, Dense3, Dense4, OcgPartition, RleVec, SparseBlock,
+};
+
+/// Strategy producing sparse-ish f32 buffers: each element is zero with
+/// probability ~70% to exercise runs, otherwise a small non-zero value.
+fn sparse_buffer(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            7 => Just(0.0f32),
+            3 => (1i32..1000).prop_map(|v| v as f32 / 16.0),
+        ],
+        0..max_len,
+    )
+}
+
+proptest! {
+    #[test]
+    fn rle_roundtrip(dense in sparse_buffer(256)) {
+        let rle = RleVec::encode(&dense);
+        prop_assert_eq!(rle.decode(dense.len()), dense);
+    }
+
+    #[test]
+    fn rle_nnz_matches_dense(dense in sparse_buffer(256)) {
+        let rle = RleVec::encode(&dense);
+        let expected = dense.iter().filter(|v| **v != 0.0).count();
+        prop_assert_eq!(rle.nnz(), expected);
+    }
+
+    #[test]
+    fn rle_storage_never_below_nnz(dense in sparse_buffer(256)) {
+        // Placeholders can only add storage, never remove values.
+        let rle = RleVec::encode(&dense);
+        prop_assert!(rle.data_len() >= rle.nnz());
+        // And the placeholder overhead is bounded: one placeholder per 16
+        // dense positions in the worst case.
+        prop_assert!(rle.data_len() <= rle.nnz() + dense.len() / 16 + 1);
+    }
+
+    #[test]
+    fn sparse_block_roundtrip(dense in sparse_buffer(512)) {
+        let block = SparseBlock::from_dense(&dense);
+        prop_assert_eq!(block.to_dense(), dense);
+    }
+
+    #[test]
+    fn weight_compression_roundtrip(
+        k in 1usize..9,
+        c in 1usize..5,
+        r in 1usize..4,
+        s in 1usize..4,
+        kc in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic pseudo-random sparse fill from the seed.
+        let mut w = Dense4::zeros(k, c, r, s);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for kk in 0..k {
+            for cc in 0..c {
+                for rr in 0..r {
+                    for ss in 0..s {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        if state >> 62 == 0 {
+                            w.set(kk, cc, rr, ss, ((state >> 32) as u32 % 100 + 1) as f32);
+                        }
+                    }
+                }
+            }
+        }
+        let cw = CompressedWeights::compress(&w, &OcgPartition::new(k, kc.min(k)));
+        prop_assert_eq!(cw.to_dense(), w.clone());
+        prop_assert_eq!(cw.total_nnz(), w.nnz());
+    }
+
+    #[test]
+    fn activation_tile_partition_reconstructs_plane(
+        c in 1usize..4,
+        w in 1usize..13,
+        h in 1usize..13,
+        tile_w in 1usize..7,
+        tile_h in 1usize..7,
+        values in sparse_buffer(3 * 12 * 12),
+    ) {
+        // Fill the plane from the value pool (pool may be empty).
+        let mut acts = Dense3::zeros(c, w, h);
+        let pool = if values.is_empty() { vec![0.0] } else { values };
+        let mut it = pool.into_iter().cycle();
+        for cc in 0..c {
+            for xx in 0..w {
+                for yy in 0..h {
+                    acts.set(cc, xx, yy, it.next().unwrap());
+                }
+            }
+        }
+        // Compress every tile of a grid partition and reassemble.
+        let mut reassembled = Dense3::zeros(c, w, h);
+        let mut x0 = 0;
+        while x0 < w {
+            let wt = tile_w.min(w - x0);
+            let mut y0 = 0;
+            while y0 < h {
+                let ht = tile_h.min(h - y0);
+                let ca = CompressedActivations::compress_tile(&acts, x0, y0, wt, ht);
+                for ch in 0..c {
+                    for (coord, v) in ca.iter_channel(ch) {
+                        reassembled.set(ch, coord.x, coord.y, v);
+                    }
+                }
+                y0 += ht;
+            }
+            x0 += wt;
+        }
+        prop_assert_eq!(reassembled, acts);
+    }
+
+    #[test]
+    fn ocg_partition_is_exact_cover(k in 1usize..200, kc in 1usize..40) {
+        let p = OcgPartition::new(k, kc);
+        let mut covered = 0usize;
+        let mut next = 0usize;
+        for (start, width) in p.iter() {
+            prop_assert_eq!(start, next);
+            prop_assert!(width >= 1 && width <= kc);
+            covered += width;
+            next = start + width;
+        }
+        prop_assert_eq!(covered, k);
+    }
+}

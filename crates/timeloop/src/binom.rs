@@ -1,0 +1,133 @@
+//! Expectation helpers for the analytical model.
+//!
+//! Compressed blocks contain binomially-distributed non-zero counts; the
+//! vector fetch datapath pays `ceil(count / width)` slots. These helpers
+//! compute the relevant expectations exactly for small blocks (where the
+//! discreteness drives the paper's fragmentation effects) and by normal
+//! approximation for large ones.
+
+/// `E[ceil(X / div)]` for `X ~ Binomial(n, p)`.
+///
+/// Exact for `n <= 64` (iterated pmf); for larger `n` the continuity
+/// approximation `mean/div + (div-1)/(2*div)` is used — the probability of
+/// an empty block is negligible there.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `div` is zero.
+#[must_use]
+pub fn expected_ceil_div(n: usize, p: f64, div: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p {p} outside [0,1]");
+    assert!(div > 0, "div must be non-zero");
+    if n == 0 || p == 0.0 {
+        return 0.0;
+    }
+    if n <= 64 {
+        // Iterate the binomial pmf.
+        let q = 1.0 - p;
+        let mut pmf = q.powi(n as i32);
+        let mut acc = 0.0;
+        for x in 0..=n {
+            if x > 0 {
+                acc += pmf * x.div_ceil(div) as f64;
+            }
+            // advance pmf(x) -> pmf(x+1)
+            if x < n {
+                pmf *= (n - x) as f64 / (x + 1) as f64;
+                if q > 0.0 {
+                    pmf *= p / q;
+                } else {
+                    pmf = if x + 1 == n { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        acc
+    } else {
+        let mean = n as f64 * p;
+        mean / div as f64 + (div - 1) as f64 / (2.0 * div as f64)
+    }
+}
+
+/// Expected number of stored elements (non-zeros + zero placeholders) when
+/// RLE-encoding `n` iid elements of density `d` with 4-bit zero runs:
+/// gaps are geometric, and each gap of length `g` inserts `floor(g/16)`
+/// placeholders, giving `stored ≈ nnz / (1 - (1-d)^16)`.
+#[must_use]
+pub fn expected_rle_stored(n: usize, d: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&d), "density {d} outside [0,1]");
+    if n == 0 || d == 0.0 {
+        return 0.0;
+    }
+    let survive = 1.0 - (1.0 - d).powi(16);
+    (n as f64 * d / survive).min(n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(expected_ceil_div(0, 0.5, 4), 0.0);
+        assert_eq!(expected_ceil_div(10, 0.0, 4), 0.0);
+        // p = 1: X = n surely.
+        assert!((expected_ceil_div(10, 1.0, 4) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_small_case_matches_enumeration() {
+        // X ~ Binomial(2, 0.5): P(0)=.25, P(1)=.5, P(2)=.25.
+        // ceil(X/4): 0, 1, 1 -> E = 0.75.
+        assert!((expected_ceil_div(2, 0.5, 4) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_matches_monte_carlo_shape() {
+        // E[ceil(X/4)] for X ~ B(8, 0.3): compute by direct enumeration.
+        let n: usize = 8;
+        let p: f64 = 0.3;
+        let mut expect = 0.0;
+        for x in 0..=n {
+            let comb = (0..x).fold(1.0, |a, i| a * (n - i) as f64 / (i + 1) as f64);
+            let prob = comb * p.powi(x as i32) * (1.0 - p).powi((n - x) as i32);
+            expect += prob * x.div_ceil(4) as f64;
+        }
+        assert!((expected_ceil_div(n, p, 4) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_n_approximation_is_sane() {
+        // n=784, p=0.4, div=4: mean/4 + 3/8 = 78.4 + 0.375.
+        let v = expected_ceil_div(784, 0.4, 4);
+        assert!((v - 78.775).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approximation_continuous_at_boundary() {
+        // At n=64 exact and at n=65 approximate: values must be close.
+        let exact = expected_ceil_div(64, 0.5, 4);
+        let approx = expected_ceil_div(65, 0.5, 4);
+        assert!((approx - exact).abs() < 0.6, "exact {exact} vs approx {approx}");
+    }
+
+    #[test]
+    fn rle_stored_limits() {
+        // Full density: everything stored.
+        assert!((expected_rle_stored(100, 1.0) - 100.0).abs() < 1e-9);
+        // Zero density: nothing stored.
+        assert_eq!(expected_rle_stored(100, 0.0), 0.0);
+        // Very sparse: placeholder chains dominate, bounded by n/16 + nnz.
+        let v = expected_rle_stored(1600, 0.001);
+        assert!(v > 1.0 && v < 110.0, "stored {v}");
+    }
+
+    #[test]
+    fn rle_stored_monotone_in_density() {
+        let mut prev = 0.0;
+        for d in [0.05, 0.1, 0.3, 0.6, 1.0] {
+            let v = expected_rle_stored(1000, d);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+}

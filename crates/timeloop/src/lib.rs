@@ -1,0 +1,41 @@
+//! TimeLoop — the analytical CNN-accelerator model of the SCNN paper (§V).
+//!
+//! > "We also developed TimeLoop, a detailed analytical model for CNN
+//! > accelerators to enable an exploration of the design space of dense
+//! > and sparse architectures."
+//!
+//! [`TimeLoop`] computes expected cycles, buffer access counts, energy and
+//! DRAM behaviour for the PT-IS-CP-sparse (SCNN) and PT-IS-DP-dense
+//! (DCNN/DCNN-opt) dataflows from layer geometry and operand densities —
+//! no tensors required — and is validated against the cycle-level
+//! simulator. The [`sweep`] helpers drive the paper's design-space
+//! studies: the Figure 7 density sensitivity sweep, the §VI-C PE
+//! granularity study, and the §VI-D large-network tiling study.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_arch::ScnnConfig;
+//! use scnn_tensor::ConvShape;
+//! use scnn_timeloop::TimeLoop;
+//!
+//! let tl = TimeLoop::new(ScnnConfig::default());
+//! let layer = ConvShape::new(128, 96, 3, 3, 28, 28).with_pad(1);
+//! let dense = tl.estimate_scnn(&layer, 1.0, 1.0, false);
+//! let sparse = tl.estimate_scnn(&layer, 0.35, 0.45, false);
+//! assert!(sparse.cycles < dense.cycles);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod binom;
+mod model;
+pub mod sweep;
+
+pub use binom::{expected_ceil_div, expected_rle_stored};
+pub use model::{LayerEstimate, TimeLoop};
+pub use sweep::{
+    density_sweep, figure7_densities, pe_granularity_sweep, tiling_study, DensityPoint,
+    GranularityPoint, TilingRow,
+};

@@ -1,0 +1,464 @@
+//! The TimeLoop analytical model (§V).
+//!
+//! > "TimeLoop analyzes the input data parameters, the architecture, and
+//! > the dataflows, and computes the number of cycles to process the layer
+//! > based on a bottleneck analysis and the counts of ALU operations and
+//! > accesses to different buffers in the memory hierarchy."
+//!
+//! This model mirrors the cycle-level simulator's event structure with
+//! closed-form expectations over operand densities, so whole design-space
+//! sweeps (Figure 7, §VI-C) evaluate in microseconds per layer. Agreement
+//! with the cycle-level simulator is enforced by tests.
+
+use crate::binom::{expected_ceil_div, expected_rle_stored};
+use scnn_arch::{AccessCounts, DcnnConfig, EnergyBreakdown, EnergyModel, ScnnConfig};
+use scnn_sim::{decompose, DcnnMachine, OperandProfile, PlaneTiling};
+use scnn_tensor::{ConvShape, OcgPartition};
+
+/// Ratio of moved words to data words in the compressed format (16-bit
+/// data + 4-bit index per element).
+const INDEX_OVERHEAD: f64 = 1.25;
+
+/// Fraction of pre-activation non-zero outputs surviving ReLU (§II: "50-70%
+/// of the activations are clamped to zero"; outputs are near-dense before
+/// ReLU, so the surviving density is dominated by the sign distribution).
+const RELU_SURVIVAL: f64 = 0.45;
+
+/// Analytical estimate for one layer on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerEstimate {
+    /// Expected latency in cycles.
+    pub cycles: f64,
+    /// Expected non-zero multiplies (Cartesian products).
+    pub products: f64,
+    /// Expected products inside the output plane.
+    pub valid_products: f64,
+    /// Expected multiplier utilization over the layer's execution.
+    pub utilization: f64,
+    /// Expected event counts.
+    pub counts: AccessCounts,
+    /// Energy under the model's [`EnergyModel`].
+    pub energy: EnergyBreakdown,
+    /// Whether activations spill to DRAM (§VI-D tiling path).
+    pub dram_tiled: bool,
+}
+
+impl LayerEstimate {
+    /// Total energy in picojoules.
+    #[must_use]
+    pub fn energy_pj(&self) -> f64 {
+        self.energy.total()
+    }
+}
+
+/// Number of *true* (non-padding) input positions of a stride-`stride`
+/// sub-plane with phase `dx`, within the sub-plane range `[t0, t0+tl)`,
+/// for an unpadded extent `w` padded by `pad` on each side. Padding
+/// positions are zero and never stored in the compressed format, so only
+/// true positions carry density.
+fn true_overlap(dx: usize, stride: usize, pad: usize, w: usize, t0: usize, tl: usize) -> usize {
+    if tl == 0 || pad + w <= dx {
+        return 0;
+    }
+    let lo = pad.saturating_sub(dx).div_ceil(stride);
+    let hi = (pad + w - 1 - dx) / stride; // inclusive
+    let a = lo.max(t0);
+    let b = hi.min(t0 + tl - 1);
+    if b < a {
+        0
+    } else {
+        b - a + 1
+    }
+}
+
+/// Fraction of (true activation, filter tap) pairs along one dimension
+/// whose output coordinate falls inside the plane.
+fn valid_fraction_dim(
+    dx: usize,
+    stride: usize,
+    pad: usize,
+    w: usize,
+    r_sub: usize,
+    out_w: usize,
+    plane_w: usize,
+) -> f64 {
+    let mut true_count = 0usize;
+    let mut valid = 0usize;
+    for u in 0..plane_w {
+        let ix = dx + stride * u;
+        if ix < pad || ix >= pad + w {
+            continue;
+        }
+        true_count += 1;
+        let hi = u.min(r_sub - 1);
+        let lo = (u + 1).saturating_sub(out_w);
+        if hi >= lo {
+            valid += hi - lo + 1;
+        }
+    }
+    if true_count == 0 {
+        0.0
+    } else {
+        valid as f64 / (true_count * r_sub) as f64
+    }
+}
+
+/// The analytical accelerator model.
+#[derive(Debug, Clone)]
+pub struct TimeLoop {
+    scnn: ScnnConfig,
+    energy: EnergyModel,
+}
+
+impl TimeLoop {
+    /// Creates a model for an SCNN configuration with the default energy
+    /// model.
+    #[must_use]
+    pub fn new(scnn: ScnnConfig) -> Self {
+        Self { scnn, energy: EnergyModel::default() }
+    }
+
+    /// Replaces the energy model.
+    #[must_use]
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// The SCNN configuration being modelled.
+    #[must_use]
+    pub fn config(&self) -> &ScnnConfig {
+        &self.scnn
+    }
+
+    /// Expected post-ReLU output density for a layer with the given
+    /// operand densities: the probability an output accumulated at least
+    /// one non-zero product, times the ReLU survival fraction.
+    #[must_use]
+    pub fn output_density(&self, shape: &ConvShape, wd: f64, ad: f64) -> f64 {
+        let contributions = (shape.c_per_group() * shape.r * shape.s) as f64;
+        let p_nonzero = 1.0 - (1.0 - wd * ad).powf(contributions);
+        (p_nonzero * RELU_SURVIVAL).clamp(0.0, 1.0)
+    }
+
+    /// Analytical PT-IS-CP-sparse estimate (the SCNN machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is invalid or densities are outside `(0, 1]`.
+    pub fn estimate_scnn(
+        &self,
+        shape: &ConvShape,
+        wd: f64,
+        ad: f64,
+        input_from_dram: bool,
+    ) -> LayerEstimate {
+        shape.validate().expect("invalid layer shape");
+        assert!(wd > 0.0 && wd <= 1.0 && ad > 0.0 && ad <= 1.0, "densities outside (0,1]");
+        let cfg = &self.scnn;
+        let (out_w, out_h) = (shape.out_w(), shape.out_h());
+        let pes = cfg.num_pes() as f64;
+        let fi = cfg.multipliers_per_pe() as f64;
+
+        let gshape = shape.group_view();
+        let (kpg, cpg, groups) = (shape.k_per_group(), shape.c_per_group(), shape.groups as f64);
+        let subs = decompose(&gshape);
+        let r_max = subs.iter().map(|s| s.r).max().expect("sub-convs");
+        let s_max = subs.iter().map(|s| s.s).max().expect("sub-convs");
+        let tiling =
+            PlaneTiling::new(out_w, out_h, cfg.pe_rows, cfg.pe_cols, r_max - 1, s_max - 1);
+        let (mtw, mth) = tiling.max_out_dims();
+        let halo_elems = (mtw + r_max - 1) * (mth + s_max - 1);
+        let kc = cfg.kc_for(kpg, halo_elems, r_max * s_max);
+        let partition = OcgPartition::new(kpg, kc);
+
+        let mut cycles = 0.0f64;
+        let mut busy_total = 0.0f64;
+        let mut products = 0.0f64;
+        let mut valid = 0.0f64;
+        let mut iaram_words = 0.0f64;
+        let mut wbuf_words = 0.0f64;
+        let mut halo_values = 0.0f64;
+        let mut weight_stored = 0.0f64;
+
+        // The probability an accumulator position is touched, for halo
+        // traffic estimation.
+        let p_touched = 1.0 - (1.0 - wd * ad).powf((cpg * shape.r * shape.s) as f64);
+
+        for (_, kc_g) in partition.iter() {
+            // Per-tile expected busy cycles for this output-channel group.
+            let mut tile_busy: Vec<f64> = Vec::with_capacity(tiling.num_tiles());
+            for tile in tiling.iter() {
+                if tile.is_empty() {
+                    tile_busy.push(0.0);
+                    continue;
+                }
+                let acc_area = (tile.ix1.min(out_w) - tile.ix0.saturating_sub(r_max - 1))
+                    * (tile.iy1.min(out_h) - tile.iy0.saturating_sub(s_max - 1));
+                let positions = (kc_g * acc_area).max(1);
+                let mut busy = 0.0;
+                for sub in &subs {
+                    let (x0, xl) = tiling.input_x_range(tile, sub.plane_w);
+                    let (y0, yl) = tiling.input_y_range(tile, sub.plane_h);
+                    // Only true (non-padding) positions carry density.
+                    let tw = true_overlap(sub.dx, shape.stride, shape.pad, shape.w, x0, xl);
+                    let th = true_overlap(sub.dy, shape.stride, shape.pad, shape.h, y0, yl);
+                    let area = tw * th;
+                    if area == 0 {
+                        continue;
+                    }
+                    let n_wt = kc_g * sub.r * sub.s;
+                    let e_wt_vecs = expected_ceil_div(n_wt, wd, cfg.f);
+                    let e_act_vecs = expected_ceil_div(area, ad, cfg.i);
+                    let pairs = e_wt_vecs * e_act_vecs;
+                    let vf = valid_fraction_dim(
+                        sub.dx, shape.stride, shape.pad, shape.w, sub.r, out_w, sub.plane_w,
+                    ) * valid_fraction_dim(
+                        sub.dy, shape.stride, shape.pad, shape.h, sub.s, out_h, sub.plane_h,
+                    );
+                    let prod = n_wt as f64 * wd * area as f64 * ad;
+                    let v = prod * vf;
+                    let busiest = v / (positions.min(cfg.acc_banks) as f64);
+                    busy += cpg as f64 * pairs.max(busiest);
+
+                    products += groups * cpg as f64 * prod;
+                    valid += groups * cpg as f64 * v;
+                    // IARAM re-read per OCG; weight FIFO restream per
+                    // activation vector.
+                    iaram_words += groups
+                        * cpg as f64
+                        * expected_rle_stored(area, ad)
+                        * INDEX_OVERHEAD;
+                    wbuf_words += groups
+                        * cpg as f64
+                        * expected_rle_stored(n_wt, wd)
+                        * INDEX_OVERHEAD
+                        * e_act_vecs;
+                }
+                // Halo traffic at OCG drain.
+                let own = tile.out_area();
+                halo_values +=
+                    groups * acc_area.saturating_sub(own) as f64 * kc_g as f64 * p_touched;
+                tile_busy.push(busy);
+            }
+            // Barrier latency: the expected maximum over PEs exceeds the
+            // maximum of expectations when per-PE work is small. Model
+            // per-PE busy as mean mu_i with variance ~mu (the phase cycle
+            // counts are sums of small near-Poisson terms) and apply the
+            // Gaussian extreme-value correction over the PEs whose means
+            // are within reach of the leader.
+            let mu_max = tile_busy.iter().cloned().fold(0.0, f64::max);
+            // Variance shrinks as the operands approach full density (the
+            // binomial counts become degenerate).
+            let sigma = (mu_max * (1.0 - wd * ad)).sqrt();
+            let contenders = tile_busy.iter().filter(|&&m| m >= mu_max - 2.0 * sigma).count();
+            let c = (2.0 * (contenders.max(2) as f64).ln()).sqrt().max(0.5);
+            let correction = if contenders > 1 { c * sigma } else { 0.5 * sigma };
+            cycles += groups * (mu_max + correction);
+            busy_total += groups * tile_busy.iter().sum::<f64>();
+        }
+
+        // Compressed weight footprint: one block per (sub, ocg, channel).
+        for sub in &subs {
+            for (_, kc_g) in partition.iter() {
+                weight_stored +=
+                    groups * cpg as f64 * expected_rle_stored(kc_g * sub.r * sub.s, wd);
+            }
+        }
+
+        let od = self.output_density(shape, wd, ad);
+        let out_stored = expected_rle_stored(shape.output_count(), od);
+        let in_stored: f64 = subs
+            .iter()
+            .map(|s| {
+                let tw = true_overlap(s.dx, shape.stride, shape.pad, shape.w, 0, s.plane_w);
+                let th = true_overlap(s.dy, shape.stride, shape.pad, shape.h, 0, s.plane_h);
+                groups * cpg as f64 * expected_rle_stored(tw * th, ad)
+            })
+            .sum();
+
+        let mut counts = AccessCounts {
+            mults_live: products,
+            acc_updates: valid,
+            xbar_products: valid,
+            iaram_words: iaram_words + out_stored * INDEX_OVERHEAD,
+            wbuf_words,
+            dram_words: weight_stored * INDEX_OVERHEAD,
+            halo_values,
+            ppu_values: shape.output_count() as f64,
+            ..Default::default()
+        };
+
+        // Capacity check for the §VI-D tiling path (largest-tile PE).
+        let max_tile_area = tiling.max_out_area();
+        let iaram_bits_max: f64 = subs
+            .iter()
+            .map(|s| {
+                // The largest PE input tile per sub-plane (true positions
+                // only, fringe included).
+                let max_area = tiling
+                    .iter()
+                    .map(|t| {
+                        let (x0, xl) = tiling.input_x_range(t, s.plane_w);
+                        let (y0, yl) = tiling.input_y_range(t, s.plane_h);
+                        true_overlap(s.dx, shape.stride, shape.pad, shape.w, x0, xl)
+                            * true_overlap(s.dy, shape.stride, shape.pad, shape.h, y0, yl)
+                    })
+                    .max()
+                    .unwrap_or(0);
+                groups * cpg as f64 * expected_rle_stored(max_area, ad) * 20.0
+            })
+            .sum();
+        let oaram_bits_max =
+            expected_rle_stored(shape.k * max_tile_area, od) * 20.0;
+        let fits = iaram_bits_max <= (cfg.iaram_bytes * 8) as f64
+            && oaram_bits_max <= (cfg.oaram_bytes * 8) as f64;
+        let dram_tiled = !fits;
+        if dram_tiled {
+            counts.dram_words += (in_stored + out_stored) * INDEX_OVERHEAD;
+            counts.iaram_words += in_stored * INDEX_OVERHEAD;
+        } else if input_from_dram {
+            counts.dram_words += in_stored * INDEX_OVERHEAD;
+            counts.iaram_words += in_stored * INDEX_OVERHEAD;
+        }
+
+        let total_mults = pes * fi;
+        let utilization = if cycles > 0.0 { products / (total_mults * cycles) } else { 0.0 };
+        let _ = busy_total;
+        let energy = self.energy.energy(&counts);
+        LayerEstimate { cycles, products, valid_products: valid, utilization, counts, energy, dram_tiled }
+    }
+
+    /// Analytical dense estimate (DCNN or DCNN-opt): delegates to the
+    /// dense machine, which is already closed-form, with analytically
+    /// estimated compressed activation sizes.
+    pub fn estimate_dcnn(
+        &self,
+        cfg: &DcnnConfig,
+        shape: &ConvShape,
+        wd: f64,
+        ad: f64,
+        input_from_dram: bool,
+    ) -> LayerEstimate {
+        let od = self.output_density(shape, wd, ad);
+        let profile = OperandProfile {
+            weight_density: wd,
+            act_density: ad,
+            input_stored_bits: (expected_rle_stored(shape.input_count(), ad) * 20.0) as usize,
+            output_stored_bits: (expected_rle_stored(shape.output_count(), od) * 20.0) as usize,
+        };
+        let machine = DcnnMachine::new(*cfg).with_energy_model(self.energy);
+        let r = machine.run_layer(shape, &profile, input_from_dram);
+        let total_mults = cfg.total_multipliers() as f64;
+        LayerEstimate {
+            cycles: r.cycles as f64,
+            products: shape.macs() as f64,
+            valid_products: shape.macs() as f64,
+            utilization: shape.macs() as f64 / (total_mults * r.cycles as f64),
+            counts: r.counts,
+            energy: r.energy,
+            dram_tiled: r.footprints.dram_tiled,
+        }
+    }
+
+    /// Oracle cycles: required Cartesian products over total multipliers.
+    pub fn estimate_oracle(&self, shape: &ConvShape, wd: f64, ad: f64) -> f64 {
+        let est = self.estimate_scnn(shape, wd, ad, false);
+        (est.products / self.scnn.total_multipliers() as f64).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_model::{synth_layer_input, synth_weights};
+    use scnn_sim::{RunOptions, ScnnMachine};
+
+    /// The analytical model must track the cycle-level simulator.
+    #[test]
+    fn agrees_with_simulator_on_cycles() {
+        let cases = [
+            (ConvShape::new(16, 16, 3, 3, 16, 16).with_pad(1), 0.35, 0.45),
+            (ConvShape::new(32, 8, 1, 1, 14, 14), 0.4, 0.4),
+            (ConvShape::new(8, 8, 5, 5, 18, 18).with_pad(2), 0.3, 0.5),
+            (ConvShape::new(16, 4, 3, 3, 24, 24).with_pad(1), 1.0, 1.0),
+        ];
+        let tl = TimeLoop::new(ScnnConfig::default());
+        let sim = ScnnMachine::new(ScnnConfig::default());
+        for (i, (shape, wd, ad)) in cases.iter().enumerate() {
+            let est = tl.estimate_scnn(shape, *wd, *ad, false);
+            let weights = synth_weights(shape, *wd, 100 + i as u64);
+            let input = synth_layer_input(shape, *ad, 200 + i as u64);
+            let r = sim.run_layer(shape, &weights, &input, &RunOptions::default());
+            let ratio = est.cycles / r.cycles as f64;
+            assert!(
+                (0.75..1.35).contains(&ratio),
+                "case {i}: analytic {:.0} vs sim {} (ratio {ratio:.2})",
+                est.cycles,
+                r.cycles
+            );
+            let prod_ratio = est.products / r.stats.products as f64;
+            assert!(
+                (0.9..1.1).contains(&prod_ratio),
+                "case {i}: products ratio {prod_ratio:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycles_scale_down_with_density() {
+        let tl = TimeLoop::new(ScnnConfig::default());
+        let shape = ConvShape::new(64, 64, 3, 3, 28, 28).with_pad(1);
+        let dense = tl.estimate_scnn(&shape, 1.0, 1.0, false);
+        let sparse = tl.estimate_scnn(&shape, 0.3, 0.3, false);
+        assert!(sparse.cycles < dense.cycles * 0.25, "sparse should be >4x faster");
+    }
+
+    #[test]
+    fn dcnn_is_density_insensitive_in_cycles() {
+        let tl = TimeLoop::new(ScnnConfig::default());
+        let shape = ConvShape::new(64, 64, 3, 3, 28, 28).with_pad(1);
+        let cfg = DcnnConfig::default();
+        let a = tl.estimate_dcnn(&cfg, &shape, 1.0, 1.0, false);
+        let b = tl.estimate_dcnn(&cfg, &shape, 0.2, 0.2, false);
+        assert_eq!(a.cycles, b.cycles);
+        // But DCNN-opt energy falls with density.
+        let opt = DcnnConfig::optimized();
+        let eo_dense = tl.estimate_dcnn(&opt, &shape, 1.0, 1.0, false);
+        let eo_sparse = tl.estimate_dcnn(&opt, &shape, 0.2, 0.2, false);
+        assert!(eo_sparse.energy_pj() < eo_dense.energy_pj());
+    }
+
+    #[test]
+    fn oracle_lower_bounds_scnn() {
+        let tl = TimeLoop::new(ScnnConfig::default());
+        let shape = ConvShape::new(48, 32, 3, 3, 14, 14).with_pad(1);
+        for d in [0.2, 0.5, 1.0] {
+            let est = tl.estimate_scnn(&shape, d, d, false);
+            let oracle = tl.estimate_oracle(&shape, d, d);
+            assert!(oracle <= est.cycles * 1.001, "d={d}: oracle {oracle} vs {0}", est.cycles);
+        }
+    }
+
+    #[test]
+    fn output_density_behaviour() {
+        let tl = TimeLoop::new(ScnnConfig::default());
+        let big = ConvShape::new(64, 256, 3, 3, 14, 14).with_pad(1);
+        // Many contributions: output density ~ RELU_SURVIVAL.
+        let od = tl.output_density(&big, 0.3, 0.3);
+        assert!((od - RELU_SURVIVAL).abs() < 0.05, "od {od}");
+        // Single 1x1 contribution at low density: very sparse outputs.
+        let tiny = ConvShape::new(8, 1, 1, 1, 8, 8);
+        assert!(tl.output_density(&tiny, 0.2, 0.2) < 0.05);
+    }
+
+    #[test]
+    fn vgg_layer_is_dram_tiled() {
+        let tl = TimeLoop::new(ScnnConfig::default());
+        let conv1_2 = ConvShape::new(64, 64, 3, 3, 224, 224).with_pad(1);
+        let est = tl.estimate_scnn(&conv1_2, 0.22, 0.49, false);
+        assert!(est.dram_tiled, "VGG conv1_2 must spill");
+        let small = ConvShape::new(64, 64, 3, 3, 14, 14).with_pad(1);
+        assert!(!tl.estimate_scnn(&small, 0.3, 0.3, false).dram_tiled);
+    }
+}

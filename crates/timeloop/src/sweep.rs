@@ -1,0 +1,247 @@
+//! Design-space sweeps built on the analytical model: the Figure 7
+//! density sensitivity study, the §VI-C PE-granularity study and the
+//! §VI-D large-network tiling study.
+
+use crate::model::TimeLoop;
+use scnn_arch::{DcnnConfig, ScnnConfig};
+use scnn_model::{DensityProfile, Network};
+
+/// One point of the Figure 7 sweep: uniform weight/activation density and
+/// the resulting whole-network latency and energy for the three machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityPoint {
+    /// Weight density == activation density at this point.
+    pub density: f64,
+    /// SCNN network latency in cycles.
+    pub scnn_cycles: f64,
+    /// DCNN (== DCNN-opt) network latency in cycles.
+    pub dcnn_cycles: f64,
+    /// SCNN network energy (pJ).
+    pub scnn_energy: f64,
+    /// DCNN network energy (pJ).
+    pub dcnn_energy: f64,
+    /// DCNN-opt network energy (pJ).
+    pub dcnn_opt_energy: f64,
+}
+
+impl DensityPoint {
+    /// SCNN latency normalized to DCNN (Figure 7a's y-axis).
+    #[must_use]
+    pub fn scnn_latency_norm(&self) -> f64 {
+        self.scnn_cycles / self.dcnn_cycles
+    }
+
+    /// SCNN energy normalized to DCNN (Figure 7b's y-axis).
+    #[must_use]
+    pub fn scnn_energy_norm(&self) -> f64 {
+        self.scnn_energy / self.dcnn_energy
+    }
+
+    /// DCNN-opt energy normalized to DCNN.
+    #[must_use]
+    pub fn dcnn_opt_energy_norm(&self) -> f64 {
+        self.dcnn_opt_energy / self.dcnn_energy
+    }
+}
+
+/// Sweeps uniform weight/activation density over a network's evaluated
+/// layers (Figure 7: GoogLeNet, densities 1.0 down to 0.1).
+#[must_use]
+pub fn density_sweep(tl: &TimeLoop, network: &Network, densities: &[f64]) -> Vec<DensityPoint> {
+    let dcnn = DcnnConfig::default();
+    let dcnn_opt = DcnnConfig::optimized();
+    densities
+        .iter()
+        .map(|&d| {
+            let mut point = DensityPoint {
+                density: d,
+                scnn_cycles: 0.0,
+                dcnn_cycles: 0.0,
+                scnn_energy: 0.0,
+                dcnn_energy: 0.0,
+                dcnn_opt_energy: 0.0,
+            };
+            for (i, layer) in network.layers().iter().enumerate() {
+                if !layer.evaluated {
+                    continue;
+                }
+                let first = i == 0;
+                let s = tl.estimate_scnn(&layer.shape, d, d, first);
+                let p = tl.estimate_dcnn(&dcnn, &layer.shape, d, d, first);
+                let o = tl.estimate_dcnn(&dcnn_opt, &layer.shape, d, d, first);
+                point.scnn_cycles += s.cycles;
+                point.dcnn_cycles += p.cycles;
+                point.scnn_energy += s.energy_pj();
+                point.dcnn_energy += p.energy_pj();
+                point.dcnn_opt_energy += o.energy_pj();
+            }
+            point
+        })
+        .collect()
+}
+
+/// The canonical Figure 7 density grid: 0.1/0.1 through 1.0/1.0.
+#[must_use]
+pub fn figure7_densities() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// One point of the §VI-C granularity study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GranularityPoint {
+    /// PE grid side (`grid x grid` PEs).
+    pub grid: usize,
+    /// Number of PEs.
+    pub pes: usize,
+    /// Multipliers per PE (chip total fixed at 1,024).
+    pub multipliers_per_pe: usize,
+    /// Network latency in cycles.
+    pub cycles: f64,
+    /// Average math (multiplier) utilization.
+    pub utilization: f64,
+}
+
+/// Sweeps the PE grid at fixed chip-wide multiplier count (§VI-C: 64 PEs
+/// of 16 multipliers down to 4 PEs of 256).
+#[must_use]
+pub fn pe_granularity_sweep(
+    network: &Network,
+    profile: &DensityProfile,
+    grids: &[usize],
+) -> Vec<GranularityPoint> {
+    grids
+        .iter()
+        .map(|&grid| {
+            let cfg = ScnnConfig::with_pe_grid(grid);
+            let tl = TimeLoop::new(cfg);
+            let mut cycles = 0.0;
+            let mut products = 0.0;
+            for (i, layer) in network.layers().iter().enumerate() {
+                if !layer.evaluated {
+                    continue;
+                }
+                let d = profile.layer(i);
+                let est = tl.estimate_scnn(&layer.shape, d.weight, d.act, i == 0);
+                cycles += est.cycles;
+                products += est.products;
+            }
+            GranularityPoint {
+                grid,
+                pes: grid * grid,
+                multipliers_per_pe: 1024 / (grid * grid),
+                cycles,
+                utilization: products / (1024.0 * cycles),
+            }
+        })
+        .collect()
+}
+
+/// One row of the §VI-D tiling study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilingRow {
+    /// Layer name.
+    pub layer: String,
+    /// Whether the layer's activations spill to DRAM.
+    pub tiled: bool,
+    /// Relative energy penalty of the spill (0 when not tiled).
+    pub penalty: f64,
+}
+
+/// Evaluates which layers require DRAM tiling and the energy penalty of
+/// doing so, by comparing against a hypothetical spill-free configuration
+/// with unbounded activation RAM.
+#[must_use]
+pub fn tiling_study(network: &Network, profile: &DensityProfile) -> Vec<TilingRow> {
+    let real = TimeLoop::new(ScnnConfig::default());
+    let unbounded = TimeLoop::new(ScnnConfig {
+        iaram_bytes: usize::MAX / 16,
+        oaram_bytes: usize::MAX / 16,
+        ..ScnnConfig::default()
+    });
+    network
+        .layers()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.evaluated)
+        .map(|(i, layer)| {
+            let d = profile.layer(i);
+            let with = real.estimate_scnn(&layer.shape, d.weight, d.act, i == 0);
+            let without = unbounded.estimate_scnn(&layer.shape, d.weight, d.act, i == 0);
+            let penalty = if with.dram_tiled {
+                with.energy_pj() / without.energy_pj() - 1.0
+            } else {
+                0.0
+            };
+            TilingRow { layer: layer.name.clone(), tiled: with.dram_tiled, penalty }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_model::zoo;
+
+    #[test]
+    fn figure7_grid_is_ten_points() {
+        let d = figure7_densities();
+        assert_eq!(d.len(), 10);
+        assert!((d[0] - 0.1).abs() < 1e-12);
+        assert!((d[9] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_sweep_shape_matches_figure7() {
+        let tl = TimeLoop::new(ScnnConfig::default());
+        let net = zoo::googlenet();
+        let points = density_sweep(&tl, &net, &[0.1, 0.5, 1.0]);
+        // DCNN latency is flat.
+        assert!((points[0].dcnn_cycles - points[2].dcnn_cycles).abs() < 1.0);
+        // SCNN latency falls monotonically with density.
+        assert!(points[0].scnn_cycles < points[1].scnn_cycles);
+        assert!(points[1].scnn_cycles < points[2].scnn_cycles);
+        // At full density SCNN is slower than DCNN; at 0.1 far faster.
+        assert!(points[2].scnn_latency_norm() > 1.0);
+        assert!(points[0].scnn_latency_norm() < 0.2);
+        // DCNN-opt saves energy at every density below full (at 1.0/1.0
+        // with on-chip-resident activations there is nothing to gate or
+        // compress, so the variants coincide).
+        for p in &points {
+            assert!(p.dcnn_opt_energy_norm() <= 1.0 + 1e-9, "at {}", p.density);
+        }
+        assert!(points[0].dcnn_opt_energy_norm() < 0.7);
+        assert!(points[1].dcnn_opt_energy_norm() < 0.85);
+    }
+
+    #[test]
+    fn granularity_sweep_prefers_finer_pes() {
+        let net = zoo::googlenet();
+        let profile = DensityProfile::paper(&net).unwrap();
+        let points = pe_granularity_sweep(&net, &profile, &[2, 8]);
+        let coarse = &points[0];
+        let fine = &points[1];
+        assert_eq!(coarse.pes, 4);
+        assert_eq!(fine.pes, 64);
+        // §VI-C: 64 PEs outperform 4 PEs and utilize the math better.
+        assert!(fine.cycles < coarse.cycles, "fine {} coarse {}", fine.cycles, coarse.cycles);
+        assert!(fine.utilization > coarse.utilization);
+    }
+
+    #[test]
+    fn tiling_study_flags_only_vgg_layers() {
+        let vgg = zoo::vggnet();
+        let profile = DensityProfile::paper(&vgg).unwrap();
+        let rows = tiling_study(&vgg, &profile);
+        let tiled: Vec<_> = rows.iter().filter(|r| r.tiled).collect();
+        assert!(!tiled.is_empty(), "some VGG layers must spill");
+        for row in &tiled {
+            assert!(row.penalty > 0.0, "{} penalty {}", row.layer, row.penalty);
+        }
+        // AlexNet and GoogLeNet never spill (§V: activations fit on-chip).
+        for net in [zoo::alexnet(), zoo::googlenet()] {
+            let p = DensityProfile::paper(&net).unwrap();
+            let rows = tiling_study(&net, &p);
+            assert!(rows.iter().all(|r| !r.tiled), "{} must not spill", net.name());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! End-to-end AlexNet evaluation: the paper's headline comparison
+//! (Figures 8–10) for one network, printed layer by layer.
+//!
+//! ```text
+//! cargo run --release --example alexnet_inference
+//! ```
+
+use scnn::experiments::{render_fig10, render_fig8, render_fig9};
+use scnn::runner::{NetworkRun, RunConfig};
+use scnn::scnn_model::{zoo, DensityProfile};
+
+fn main() {
+    let net = zoo::alexnet();
+    let profile = DensityProfile::paper(&net).expect("AlexNet has a paper profile");
+
+    println!("executing {} ({} conv layers) on SCNN / DCNN / DCNN-opt / oracle ...", net.name(), net.stats().conv_layers);
+    let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
+
+    println!("\n{}", render_fig8(&run));
+    println!("{}", render_fig9(&run));
+    println!("{}", render_fig10(&run));
+
+    println!("network summary:");
+    println!("  SCNN speedup over DCNN      {:.2}x (paper: 2.37x)", run.scnn_speedup());
+    println!("  SCNN(oracle) speedup        {:.2}x", run.oracle_speedup());
+    println!(
+        "  SCNN energy vs DCNN         {:.2}x better",
+        1.0 / run.scnn_energy_rel()
+    );
+    println!(
+        "  DCNN-opt energy vs DCNN     {:.2}x better",
+        1.0 / run.dcnn_opt_energy_rel()
+    );
+    for layer in &run.layers {
+        if layer.scnn.footprints.dram_tiled {
+            println!("  note: {} spilled activations to DRAM", layer.name);
+        }
+    }
+}

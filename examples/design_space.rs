@@ -1,0 +1,50 @@
+//! Architecture design-space exploration: vary the PE granularity and the
+//! accumulator banking of the SCNN design at fixed chip-wide multiplier
+//! count, and inspect area and performance (the §VI-C study plus an
+//! ablation the paper calls out in §IV: accumulator banks A = 2*F*I).
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use scnn::scnn_arch::{scnn_pe_area, scnn_total_area, ScnnConfig};
+use scnn::scnn_model::{synth_layer_input, synth_weights};
+use scnn::scnn_sim::{RunOptions, ScnnMachine};
+use scnn::scnn_tensor::ConvShape;
+
+fn main() {
+    // §VI-C: 1024 multipliers arranged as 4 / 16 / 64 PEs.
+    println!("PE granularity at 1024 multipliers (GoogLeNet-like 3x3 layer):");
+    println!("grid   PEs  MUL/PE  cycles   util    area mm2");
+    let shape = ConvShape::new(128, 96, 3, 3, 28, 28).with_pad(1);
+    let weights = synth_weights(&shape, 0.33, 7);
+    let input = synth_layer_input(&shape, 0.60, 8);
+    for grid in [2usize, 4, 8] {
+        let cfg = ScnnConfig::with_pe_grid(grid);
+        let machine = ScnnMachine::new(cfg);
+        let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+        println!(
+            "{grid}x{grid}   {:>3}  {:>6}  {:>7}  {:>5.2}  {:>9.1}",
+            cfg.num_pes(),
+            cfg.multipliers_per_pe(),
+            r.cycles,
+            r.stats.utilization(1024, r.cycles),
+            scnn_total_area(&cfg),
+        );
+    }
+
+    // Ablation: accumulator banking A relative to F*I. The paper sizes
+    // A = 2*F*I to keep scatter contention low (§IV).
+    println!("\naccumulator banking ablation (A vs F*I = 16):");
+    println!("banks  cycles   bank-stall cycles");
+    for banks in [8usize, 16, 32, 64] {
+        let cfg = ScnnConfig { acc_banks: banks, ..ScnnConfig::default() };
+        let machine = ScnnMachine::new(cfg);
+        let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+        println!("{banks:>5}  {:>7}  {:>17}", r.cycles, r.stats.bank_stall_cycles);
+    }
+
+    // Where the PE area goes (Table III) for the default design.
+    println!("\nTable III PE area breakdown (default 8x8 config):");
+    println!("{}", scnn_pe_area(&ScnnConfig::default()));
+}

@@ -1,0 +1,82 @@
+//! End-to-end AlexNet forward pass with *emergent* activation sparsity.
+//!
+//! The paper's §II observation — "Activation sparsity occurs dynamically
+//! during inference and is highly dependent on the data being processed"
+//! — is usually approximated by injecting measured per-layer densities.
+//! This example instead *propagates real values*: each conv layer's input
+//! is the previous layer's computed, ReLU-clamped, max-pooled output, so
+//! the activation sparsity the accelerator sees emerges from the
+//! arithmetic. Weights are dense random tensors magnitude-pruned to the
+//! Figure-1 densities (Han et al.'s thresholding step).
+//!
+//! ```text
+//! cargo run --release --example end_to_end
+//! ```
+//!
+//! Note: with random (untrained) weights the emergent densities hover
+//! near 50% — real trained filters correlate with their inputs and clamp
+//! more aggressively (Figure 1's 35-49%). The point here is the
+//! machinery: dynamic sparsity measurement through the full compressed
+//! pipeline.
+
+use scnn::scnn_arch::{DcnnConfig, ScnnConfig};
+use scnn::scnn_model::{
+    magnitude_prune, max_pool, synth_acts, synth_weights, zoo, DensityProfile,
+};
+use scnn::scnn_sim::{DcnnMachine, OperandProfile, RunOptions, ScnnMachine};
+
+fn main() {
+    let net = zoo::alexnet();
+    let profile = DensityProfile::paper(&net).expect("paper profile");
+    let scnn = ScnnMachine::new(ScnnConfig::default());
+    let dcnn = DcnnMachine::new(DcnnConfig::default());
+
+    // Pooling between AlexNet stages: after conv1 and conv2 (3x3/2); the
+    // 13x13 stages chain directly.
+    let pool_after = [Some((3usize, 2usize)), Some((3, 2)), None, None, None];
+
+    // The input "image": dense, as the paper notes for first layers.
+    let first = net.layers()[0].shape;
+    let mut acts = synth_acts(first.c, first.w, first.h, 1.0, 7);
+
+    println!("AlexNet end-to-end (values propagate through every layer):");
+    println!(
+        "{:<7} {:>9} {:>9} {:>10} {:>10} {:>9}",
+        "layer", "IA dens.", "Fig.1 IA", "SCNN cyc", "DCNN cyc", "speedup"
+    );
+    let (mut total_s, mut total_d) = (0u64, 0u64);
+    for (i, layer) in net.layers().iter().enumerate() {
+        // Dense random weights, magnitude-pruned to the layer's density.
+        let mut weights = synth_weights(&layer.shape, 1.0, 100 + i as u64);
+        magnitude_prune(&mut weights, profile.layer(i).weight);
+
+        let opts = RunOptions { input_from_dram: i == 0, ..Default::default() };
+        let r = scnn.run_layer(&layer.shape, &weights, &acts, &opts);
+        let operands = OperandProfile::measure(&acts, weights.density(), r.output.as_ref());
+        let d = dcnn.run_layer(&layer.shape, &operands, i == 0);
+        println!(
+            "{:<7} {:>9.2} {:>9.2} {:>10} {:>10} {:>8.2}x",
+            layer.name,
+            acts.density(),
+            profile.layer(i).act,
+            r.cycles,
+            d.cycles,
+            d.cycles as f64 / r.cycles as f64,
+        );
+        total_s += r.cycles;
+        total_d += d.cycles;
+
+        // The computed output becomes the next layer's input.
+        let mut out = r.output.expect("functional run");
+        if let Some((k, s)) = pool_after[i] {
+            out = max_pool(&out, k, s);
+        }
+        acts = out;
+    }
+    println!(
+        "\nnetwork: SCNN {total_s} cycles vs DCNN {total_d} -> {:.2}x speedup",
+        total_d as f64 / total_s as f64
+    );
+    println!("(random weights leave activations ~50% dense, so the end-to-end");
+    println!(" speedup sits below the Figure-8 number measured at trained densities)");
+}

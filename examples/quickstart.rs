@@ -1,0 +1,60 @@
+//! Quickstart: run one sparse convolutional layer through the SCNN
+//! cycle-level simulator and compare it against the dense baseline and
+//! the oracle bound.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use scnn::scnn_arch::{DcnnConfig, ScnnConfig};
+use scnn::scnn_model::{conv_reference, synth_layer_input, synth_weights};
+use scnn::scnn_sim::{oracle_cycles, DcnnMachine, OperandProfile, RunOptions, ScnnMachine};
+use scnn::scnn_tensor::ConvShape;
+
+fn main() {
+    // A GoogLeNet-like layer: 128 filters of 3x3 over 96 channels of
+    // 28x28, pruned to 33% weight density with 60% dense activations.
+    let shape = ConvShape::new(128, 96, 3, 3, 28, 28).with_pad(1);
+    let weights = synth_weights(&shape, 0.33, 42);
+    let input = synth_layer_input(&shape, 0.60, 43);
+
+    // SCNN: functional, cycle-level.
+    let scnn = ScnnMachine::new(ScnnConfig::default());
+    let result = scnn.run_layer(&shape, &weights, &input, &RunOptions::default());
+
+    // The simulator computes real values — check them against the
+    // 7-loop reference convolution.
+    let reference = conv_reference(&shape, &weights, &input, true);
+    scnn::scnn_model::assert_close(result.output.as_ref().unwrap(), &reference, 1e-2);
+    println!("functional check: SCNN output matches the reference convolution");
+
+    // Dense baseline on the same operands.
+    let dcnn = DcnnMachine::new(DcnnConfig::default());
+    let operands = OperandProfile::measure(&input, weights.density(), result.output.as_ref());
+    let dense = dcnn.run_layer(&shape, &operands, false);
+    let oracle = oracle_cycles(result.stats.products, 1024);
+
+    println!("\nlayer: {shape}");
+    println!("  weight density   {:.2}", weights.density());
+    println!("  act density      {:.2}", input.density());
+    println!("  output density   {:.2} (post-ReLU)", result.output_density);
+    println!("\n               cycles      speedup   energy (pJ)");
+    println!("  DCNN       {:>9}      1.00x   {:.3e}", dense.cycles, dense.energy_pj());
+    println!(
+        "  SCNN       {:>9}     {:.2}x   {:.3e}",
+        result.cycles,
+        dense.cycles as f64 / result.cycles as f64,
+        result.energy_pj()
+    );
+    println!(
+        "  oracle     {:>9}     {:.2}x   -",
+        oracle,
+        dense.cycles as f64 / oracle as f64
+    );
+    println!(
+        "\n  SCNN multiplier utilization {:.0}%, PE idle {:.0}%, energy {:.2}x of DCNN",
+        result.stats.utilization(1024, result.cycles) * 100.0,
+        result.stats.idle_fraction() * 100.0,
+        result.energy_pj() / dense.energy_pj()
+    );
+}

@@ -1,0 +1,47 @@
+//! Design-space exploration with the TimeLoop analytical model: sweep
+//! weight/activation density on a layer of your choice and find where the
+//! sparse architecture starts to win (the Figure 7 experiment, but for a
+//! single layer, in microseconds).
+//!
+//! ```text
+//! cargo run --release --example sparsity_sweep
+//! ```
+
+use scnn::scnn_arch::{DcnnConfig, ScnnConfig};
+use scnn::scnn_tensor::ConvShape;
+use scnn::scnn_timeloop::TimeLoop;
+
+fn main() {
+    let tl = TimeLoop::new(ScnnConfig::default());
+    let dcnn = DcnnConfig::default();
+    let dcnn_opt = DcnnConfig::optimized();
+    // VGG-style mid-network layer.
+    let layer = ConvShape::new(256, 256, 3, 3, 56, 56).with_pad(1);
+
+    println!("layer: {layer}");
+    println!("density   SCNN/DCNN latency   SCNN/DCNN energy   SCNN/DCNN-opt energy");
+    let mut perf_cross = None;
+    let mut energy_cross = None;
+    for i in (1..=20).rev() {
+        let d = i as f64 / 20.0;
+        let s = tl.estimate_scnn(&layer, d, d, false);
+        let p = tl.estimate_dcnn(&dcnn, &layer, d, d, false);
+        let o = tl.estimate_dcnn(&dcnn_opt, &layer, d, d, false);
+        let lat = s.cycles / p.cycles;
+        let e_p = s.energy_pj() / p.energy_pj();
+        let e_o = s.energy_pj() / o.energy_pj();
+        if lat < 1.0 && perf_cross.is_none() {
+            perf_cross = Some(d);
+        }
+        if e_p < 1.0 && energy_cross.is_none() {
+            energy_cross = Some(d);
+        }
+        println!("{d:>6.2}   {lat:>17.3}   {e_p:>16.3}   {e_o:>20.3}");
+    }
+    println!(
+        "\nSCNN wins on performance below density {:.2} and on energy below {:.2}",
+        perf_cross.unwrap_or(1.0),
+        energy_cross.unwrap_or(1.0)
+    );
+    println!("(paper, GoogLeNet-wide: performance ~0.85, energy ~0.83 vs DCNN, ~0.60 vs DCNN-opt)");
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the SCNN (ISCA 2017) reproduction workspace.
+//!
+//! This crate exists to host the workspace-level runnable [examples] and the
+//! cross-crate integration tests; the actual functionality lives in the
+//! member crates, re-exported here for convenience:
+//!
+//! * [`scnn`] — high-level accelerator API and experiment registry
+//! * [`scnn_tensor`] — dense and compressed-sparse tensor substrate
+//! * [`scnn_model`] — network zoo, density profiles, synthetic workloads
+//! * [`scnn_arch`] — accelerator configurations, energy and area models
+//! * [`scnn_sim`] — cycle-level SCNN / DCNN / oracle simulators
+//! * [`scnn_timeloop`] — TimeLoop-style analytical model and sweeps
+//!
+//! [examples]: https://example.invalid/scnn-repro
+
+pub use scnn;
+pub use scnn_arch;
+pub use scnn_model;
+pub use scnn_sim;
+pub use scnn_tensor;
+pub use scnn_timeloop;

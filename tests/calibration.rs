@@ -1,0 +1,178 @@
+//! Calibration bands: every headline number of the paper's evaluation,
+//! asserted against this reproduction.
+//!
+//! The whole-network simulations are expensive, so these tests are
+//! ignored in debug builds (`cargo test` skips them; run them with
+//! `cargo test --release -- --include-ignored`). The quick, analytic
+//! checks always run.
+
+use scnn::experiments;
+use scnn::runner::{NetworkRun, RunConfig};
+use scnn::scnn_model::zoo;
+
+/// Ignore marker for tests that need optimized builds.
+macro_rules! heavy {
+    () => {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped in debug builds; run with --release -- --include-ignored");
+            return;
+        }
+    };
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "whole-network simulation; run in release")]
+fn fig8_network_speedups_match_paper() {
+    heavy!();
+    let config = RunConfig::default();
+    // (network, paper speedup, tolerance)
+    let expected = [("AlexNet", 2.37, 0.45), ("GoogLeNet", 2.19, 0.45), ("VGGNet", 3.52, 0.75)];
+    let mut total = 0.0;
+    for (name, paper, tol) in expected {
+        let net = zoo::all_networks().into_iter().find(|n| n.name() == name).unwrap();
+        let run = NetworkRun::execute_paper(&net, &config);
+        let speedup = run.scnn_speedup();
+        assert!(
+            (speedup - paper).abs() <= tol,
+            "{name}: speedup {speedup:.2} vs paper {paper} (tol {tol})"
+        );
+        assert!(run.oracle_speedup() > speedup, "{name}: oracle must exceed SCNN");
+        total += speedup;
+    }
+    // Paper: 2.7x average across the three networks.
+    let avg = total / 3.0;
+    assert!((avg - 2.7).abs() < 0.5, "average speedup {avg:.2} vs paper 2.7");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "whole-network simulation; run in release")]
+fn fig9_late_googlenet_modules_fragment() {
+    heavy!();
+    let net = zoo::googlenet();
+    let run = NetworkRun::execute_paper(&net, &RunConfig::default());
+    let rows = experiments::fig9(&run);
+    // §VI-B: "For the last two inception modules of GoogLeNet, the
+    // fragmentation issue becomes noticeably severe, with less than an
+    // average 20% multiplier utilization."
+    for label in ["IC_5a", "IC_5b"] {
+        let row = rows.iter().find(|r| r.label == label).unwrap();
+        assert!(row.utilization < 0.20, "{label}: util {:.2}", row.utilization);
+    }
+    // Early modules utilize far better.
+    let early = rows.iter().find(|r| r.label == "IC_3a").unwrap();
+    assert!(early.utilization > 0.35, "IC_3a util {:.2}", early.utilization);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "whole-network simulation; run in release")]
+fn fig10_energy_ratios_match_paper() {
+    heavy!();
+    let config = RunConfig::default();
+    let mut opt_ratios = Vec::new();
+    let mut scnn_ratios = Vec::new();
+    for net in zoo::all_networks() {
+        let run = NetworkRun::execute_paper(&net, &config);
+        opt_ratios.push(1.0 / run.dcnn_opt_energy_rel());
+        scnn_ratios.push(1.0 / run.scnn_energy_rel());
+        // Dense first layers are SCNN's worst case (paper: down to 0.89x).
+        let first = &run.layers[0];
+        if first.name.starts_with("conv1") {
+            assert!(
+                first.scnn_energy_rel() > 0.7,
+                "{}: dense input layer should not be an SCNN energy win ({:.2})",
+                first.name,
+                first.scnn_energy_rel()
+            );
+        }
+    }
+    // Paper: DCNN-opt 2.0x, SCNN 2.3x better than DCNN on average.
+    let opt_avg = opt_ratios.iter().sum::<f64>() / 3.0;
+    let scnn_avg = scnn_ratios.iter().sum::<f64>() / 3.0;
+    assert!((opt_avg - 2.0).abs() < 0.4, "DCNN-opt avg {opt_avg:.2} vs paper 2.0");
+    assert!((scnn_avg - 2.3).abs() < 0.8, "SCNN avg {scnn_avg:.2} vs paper 2.3");
+    // SCNN beats DCNN-opt on average (paper's ordering).
+    assert!(scnn_avg > opt_avg);
+}
+
+#[test]
+fn fig7_crossovers_match_paper() {
+    // Analytical — fast enough for debug builds.
+    let points = experiments::fig7(&zoo::googlenet());
+    assert_eq!(points.len(), 10);
+    // 7a: SCNN slower than DCNN at full density (paper: 79% of DCNN,
+    // i.e. normalized latency ~1.27; band 1.15-1.65).
+    let dense = points.last().unwrap();
+    let lat = dense.scnn_latency_norm();
+    assert!((1.15..1.65).contains(&lat), "dense latency norm {lat:.2}");
+    // 7a: large speedup at 0.1/0.1 (paper 24x; band >= 10x).
+    let sparse = &points[0];
+    let speedup = 1.0 / sparse.scnn_latency_norm();
+    assert!(speedup >= 10.0, "0.1/0.1 speedup {speedup:.1}");
+    // 7a: performance crossover between 0.6 and 0.9 (paper ~0.85).
+    let cross = points
+        .windows(2)
+        .find(|w| w[0].scnn_latency_norm() <= 1.0 && w[1].scnn_latency_norm() > 1.0)
+        .map(|w| w[0].density);
+    let cross = cross.expect("no performance crossover found");
+    assert!((0.6..0.9).contains(&cross), "perf crossover at {cross}");
+    // 7b: energy crossover vs DCNN between 0.7 and 0.9 (paper ~0.83).
+    let e_cross = points
+        .windows(2)
+        .find(|w| w[0].scnn_energy_norm() <= 1.0 && w[1].scnn_energy_norm() > 1.0)
+        .map(|w| w[0].density)
+        .expect("no energy crossover found");
+    assert!((0.7..0.9).contains(&e_cross), "energy crossover at {e_cross}");
+    // 7b: energy crossover vs DCNN-opt between 0.5 and 0.75 (paper ~0.60).
+    let o_cross = points
+        .windows(2)
+        .find(|w| {
+            w[0].scnn_energy < w[0].dcnn_opt_energy && w[1].scnn_energy >= w[1].dcnn_opt_energy
+        })
+        .map(|w| w[0].density)
+        .expect("no DCNN-opt crossover found");
+    assert!((0.5..0.75).contains(&o_cross), "DCNN-opt crossover at {o_cross}");
+    // 7b: DCNN-opt's optimizations are "surprisingly effective": at low
+    // density it halves DCNN energy.
+    assert!(points[0].dcnn_opt_energy_norm() < 0.6);
+}
+
+#[test]
+fn vi_c_granularity_matches_paper() {
+    let points = experiments::pe_granularity();
+    let coarse = points.iter().find(|p| p.pes == 4).unwrap();
+    let fine = points.iter().find(|p| p.pes == 64).unwrap();
+    // Paper: 64 PEs ~11% faster than 4 PEs on GoogLeNet (band 5-35%).
+    let speedup = coarse.cycles / fine.cycles;
+    assert!((1.05..1.35).contains(&speedup), "64-vs-4 speedup {speedup:.2}");
+    // Paper: better math utilization with finer PEs (59% vs 35%).
+    assert!(fine.utilization > coarse.utilization * 1.1);
+}
+
+#[test]
+fn vi_d_tiling_matches_paper() {
+    let summary = experiments::tiling();
+    assert_eq!(summary.total_layers, 72, "5 + 54 + 13 evaluated layers");
+    // Paper: 9 of 72 layers require tiling (band 5-11), all in VGGNet.
+    assert!(
+        (5..=11).contains(&summary.tiled_layers),
+        "{} tiled layers vs paper 9",
+        summary.tiled_layers
+    );
+    for row in summary.rows.iter().filter(|r| r.tiled) {
+        assert!(row.layer.starts_with("conv"), "unexpected tiled layer {}", row.layer);
+    }
+    // Paper: penalties 5-62%, mean ~18%. Allow a generous band — the
+    // baseline definition differs (see EXPERIMENTS.md).
+    assert!(summary.mean_penalty > 0.05 && summary.mean_penalty < 0.6);
+}
+
+#[test]
+fn table_values_match_paper() {
+    // Table III / IV reproduce directly from the area model.
+    let (pe, total) = experiments::table3();
+    assert!((pe.total() - 0.123).abs() < 0.002);
+    assert!((total - 7.9).abs() < 0.2);
+    let rows = experiments::table4();
+    assert!((rows[0].area_mm2 - 5.9).abs() < 0.4);
+    assert!(rows[2].area_mm2 > rows[0].area_mm2);
+}

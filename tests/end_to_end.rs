@@ -1,0 +1,68 @@
+//! End-to-end chained inference: values propagate conv -> ReLU -> pool ->
+//! conv through the simulator, and the whole chain must equal the same
+//! chain computed by the dense reference.
+
+use scnn::scnn_arch::ScnnConfig;
+use scnn::scnn_model::{
+    assert_close, conv_reference, magnitude_prune, max_pool, synth_acts, synth_weights,
+};
+use scnn::scnn_sim::{RunOptions, ScnnMachine};
+use scnn::scnn_tensor::{ConvShape, Dense3};
+
+#[test]
+fn two_stage_chain_matches_reference_chain() {
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let l1 = ConvShape::new(8, 3, 3, 3, 20, 20).with_pad(1); // 20x20 out
+    let l2 = ConvShape::new(12, 8, 3, 3, 10, 10).with_pad(1); // after 2x2/2 pool
+
+    let mut w1 = synth_weights(&l1, 1.0, 1);
+    magnitude_prune(&mut w1, 0.5);
+    let mut w2 = synth_weights(&l2, 1.0, 2);
+    magnitude_prune(&mut w2, 0.4);
+    let input = synth_acts(3, 20, 20, 1.0, 3);
+
+    // Simulator chain.
+    let r1 = machine.run_layer(&l1, &w1, &input, &RunOptions::default());
+    let mid_sim = max_pool(r1.output.as_ref().unwrap(), 2, 2);
+    let r2 = machine.run_layer(&l2, &w2, &mid_sim, &RunOptions::default());
+
+    // Reference chain.
+    let ref1 = conv_reference(&l1, &w1, &input, true);
+    let mid_ref = max_pool(&ref1, 2, 2);
+    let ref2 = conv_reference(&l2, &w2, &mid_ref, true);
+
+    assert_close(r2.output.as_ref().unwrap(), &ref2, 1e-2);
+    // Sparsity emerged dynamically at both stages.
+    assert!(r1.output_density < 1.0, "ReLU must clamp something");
+    assert!(r2.output_density < 1.0);
+}
+
+#[test]
+fn emergent_density_feeds_cycle_counts() {
+    // The second layer's cycles must respond to the first layer's
+    // *computed* sparsity: an input producing denser intermediates costs
+    // more downstream cycles than one producing sparser intermediates.
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let l1 = ConvShape::new(8, 2, 3, 3, 16, 16).with_pad(1);
+    let l2 = ConvShape::new(8, 8, 3, 3, 16, 16).with_pad(1);
+    let mut w1 = synth_weights(&l1, 1.0, 10);
+    magnitude_prune(&mut w1, 0.5);
+    let w2 = {
+        let mut w = synth_weights(&l2, 1.0, 11);
+        magnitude_prune(&mut w, 0.5);
+        w
+    };
+
+    let run_chain = |input: &Dense3| {
+        let r1 = machine.run_layer(&l1, &w1, input, &RunOptions::default());
+        let mid = r1.output.unwrap();
+        let density = mid.density();
+        let r2 = machine.run_layer(&l2, &w2, &mid, &RunOptions::default());
+        (density, r2.cycles)
+    };
+
+    let (d_dense, c_dense) = run_chain(&synth_acts(2, 16, 16, 1.0, 12));
+    let (d_sparse, c_sparse) = run_chain(&synth_acts(2, 16, 16, 0.1, 13));
+    assert!(d_sparse < d_dense, "sparser input -> sparser intermediate");
+    assert!(c_sparse < c_dense, "sparser intermediate -> fewer cycles downstream");
+}

@@ -1,0 +1,82 @@
+//! Smoke tests for the experiment registry: every table/figure entry
+//! point produces well-formed rows and renders.
+
+use scnn::experiments;
+use scnn::runner::{NetworkRun, RunConfig};
+use scnn::scnn_model::{zoo, ConvLayer, DensityProfile, LayerDensity, Network};
+use scnn::scnn_tensor::ConvShape;
+
+#[test]
+fn table_renders_are_nonempty() {
+    for text in [
+        experiments::render_table1(),
+        experiments::render_table2(),
+        experiments::render_table3(),
+        experiments::render_table4(),
+    ] {
+        assert!(text.lines().count() >= 4, "short table:\n{text}");
+    }
+}
+
+#[test]
+fn fig1_rows_cover_all_networks() {
+    let mut total = 0;
+    for net in zoo::all_networks() {
+        let rows = experiments::fig1(&net);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.work > 0.0 && r.work <= 1.0);
+            assert!(r.act_density <= 1.0 && r.weight_density <= 1.0);
+        }
+        total += rows.len();
+    }
+    assert_eq!(total, 72);
+}
+
+#[test]
+fn fig7_renders_ten_density_points() {
+    let text = experiments::render_fig7(&zoo::googlenet());
+    assert!(text.contains("0.1/0.1"));
+    assert!(text.contains("1.0/1.0"));
+    assert_eq!(text.lines().count(), 12); // header + rule + 10 points
+}
+
+#[test]
+fn fig8_to_10_on_a_small_network() {
+    // A miniature network exercises the full runner + figure pipeline in
+    // debug-build time budgets.
+    let net = Network::new(
+        "mini",
+        vec![
+            ConvLayer::new("c1", ConvShape::new(8, 3, 3, 3, 16, 16).with_pad(1)),
+            ConvLayer::new("c2", ConvShape::new(16, 8, 3, 3, 8, 8).with_pad(1)),
+            ConvLayer::new("c3", ConvShape::new(16, 16, 1, 1, 8, 8)),
+        ],
+    );
+    let profile = DensityProfile::from_layers(vec![
+        LayerDensity::new(0.6, 1.0),
+        LayerDensity::new(0.4, 0.5),
+        LayerDensity::new(0.4, 0.4),
+    ]);
+    let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
+
+    let f8 = experiments::fig8(&run);
+    assert_eq!(f8.len(), 4); // three layers + all
+    assert_eq!(f8.last().unwrap().label, "all");
+    let f9 = experiments::fig9(&run);
+    assert_eq!(f9.len(), 3);
+    let f10 = experiments::fig10(&run);
+    assert_eq!(f10.len(), 4);
+    for r in &f10 {
+        assert!(r.scnn > 0.0 && r.dcnn_opt > 0.0);
+    }
+    assert!(experiments::render_fig8(&run).contains("all"));
+    assert!(experiments::render_fig9(&run).contains("c2"));
+    assert!(experiments::render_fig10(&run).contains("DCNN-opt"));
+}
+
+#[test]
+fn studies_render() {
+    assert!(experiments::render_pe_granularity().contains("# PEs"));
+    assert!(experiments::render_tiling().contains("DRAM"));
+}

@@ -1,0 +1,108 @@
+//! Cross-crate functional validation: the SCNN cycle-level machine must
+//! compute exactly the same convolutions as the dense reference, across
+//! the full space of layer geometries (padding, stride, groups, filter
+//! sizes, plane sizes) and operand densities.
+
+use proptest::prelude::*;
+use scnn::scnn_arch::ScnnConfig;
+use scnn::scnn_model::{assert_close, conv_reference, synth_layer_input, synth_weights};
+use scnn::scnn_sim::{RunOptions, ScnnMachine};
+use scnn::scnn_tensor::ConvShape;
+
+fn check(shape: ConvShape, wd: f64, ad: f64, seed: u64) {
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let weights = synth_weights(&shape, wd, seed);
+    let input = synth_layer_input(&shape, ad, seed.wrapping_add(1));
+    let result = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+    let expected = conv_reference(&shape, &weights, &input, true);
+    assert_close(result.output.as_ref().unwrap(), &expected, 1e-2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random stride-1 layers with padding.
+    #[test]
+    fn scnn_matches_reference_random_layers(
+        k in 1usize..12,
+        c in 1usize..6,
+        rs in 1usize..4,
+        plane in 4usize..20,
+        pad in 0usize..2,
+        wd in 1u32..10,
+        ad in 1u32..10,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(plane + 2 * pad >= rs);
+        let shape = ConvShape::new(k, c, rs, rs, plane, plane).with_pad(pad);
+        check(shape, f64::from(wd) / 10.0, f64::from(ad) / 10.0, seed);
+    }
+
+    /// Random strided layers (sub-convolution decomposition path).
+    #[test]
+    fn scnn_matches_reference_strided_layers(
+        k in 1usize..6,
+        c in 1usize..4,
+        rs in 2usize..8,
+        stride in 2usize..4,
+        plane in 10usize..24,
+        wd in 2u32..10,
+        ad in 2u32..10,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(plane >= rs);
+        let shape = ConvShape::new(k, c, rs, rs, plane, plane).with_stride(stride);
+        check(shape, f64::from(wd) / 10.0, f64::from(ad) / 10.0, seed);
+    }
+
+    /// Random grouped layers.
+    #[test]
+    fn scnn_matches_reference_grouped_layers(
+        kg in 1usize..5,
+        cg in 1usize..4,
+        groups in 2usize..4,
+        plane in 5usize..14,
+        seed in 0u64..500,
+    ) {
+        let shape = ConvShape::new(kg * groups, cg * groups, 3, 3, plane, plane)
+            .with_pad(1)
+            .with_groups(groups);
+        check(shape, 0.4, 0.4, seed);
+    }
+}
+
+/// Non-square planes and filters, asymmetric geometry.
+#[test]
+fn scnn_matches_reference_asymmetric() {
+    check(ConvShape::new(6, 3, 1, 3, 9, 17), 0.5, 0.5, 11);
+    check(ConvShape::new(6, 3, 3, 1, 17, 9), 0.5, 0.5, 12);
+    check(ConvShape::new(4, 2, 2, 5, 8, 21).with_pad(2), 0.4, 0.6, 13);
+}
+
+/// A plane smaller than the PE grid: most PEs idle, halos still correct.
+#[test]
+fn scnn_matches_reference_tiny_plane() {
+    check(ConvShape::new(32, 16, 3, 3, 4, 4).with_pad(1), 0.4, 0.4, 21);
+    check(ConvShape::new(16, 8, 1, 1, 3, 3), 0.5, 0.5, 22);
+}
+
+/// Single-channel, single-filter degenerate layers.
+#[test]
+fn scnn_matches_reference_degenerate() {
+    check(ConvShape::new(1, 1, 1, 1, 8, 8), 1.0, 1.0, 31);
+    check(ConvShape::new(1, 1, 3, 3, 8, 8), 0.2, 0.2, 32);
+}
+
+/// A layer large enough that every PE holds a multi-element tile.
+#[test]
+fn scnn_matches_reference_large_plane() {
+    check(ConvShape::new(8, 8, 3, 3, 40, 40).with_pad(1), 0.35, 0.45, 41);
+}
+
+/// Strided AND padded at once (AlexNet conv1 uses pad 0, but the general
+/// case must hold).
+#[test]
+fn scnn_matches_reference_strided_padded() {
+    check(ConvShape::new(4, 3, 5, 5, 19, 19).with_stride(2).with_pad(2), 0.6, 0.8, 51);
+    check(ConvShape::new(3, 2, 7, 7, 29, 29).with_stride(3).with_pad(1), 0.7, 0.9, 52);
+}

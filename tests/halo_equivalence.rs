@@ -1,0 +1,104 @@
+//! The two §III-A halo strategies must be *functionally* interchangeable:
+//! identical outputs, identical valid work — they only differ in where
+//! partial sums travel and how inputs are replicated.
+
+use proptest::prelude::*;
+use scnn::scnn_arch::{HaloStrategy, ScnnConfig};
+use scnn::scnn_model::{assert_close, synth_acts_correlated, synth_layer_input, synth_weights};
+use scnn::scnn_sim::{RunOptions, ScnnMachine};
+use scnn::scnn_tensor::{ConvShape, Dense3};
+
+fn machines() -> (ScnnMachine, ScnnMachine) {
+    (
+        ScnnMachine::new(ScnnConfig::default()),
+        ScnnMachine::new(ScnnConfig { halo: HaloStrategy::Input, ..ScnnConfig::default() }),
+    )
+}
+
+fn check_equivalence(shape: ConvShape, input: &Dense3, wd: f64, seed: u64) {
+    let (out_m, in_m) = machines();
+    let weights = synth_weights(&shape, wd, seed);
+    let opts = RunOptions::default();
+    let o = out_m.run_layer(&shape, &weights, input, &opts);
+    let i = in_m.run_layer(&shape, &weights, input, &opts);
+    assert_close(o.output.as_ref().unwrap(), i.output.as_ref().unwrap(), 1e-3);
+    // Exactly the same useful work lands in accumulators.
+    assert_eq!(o.stats.valid_products, i.stats.valid_products);
+    // Input halos never exchange partial sums; output halos do (whenever
+    // the filter is wider than 1x1 and the plane spans multiple tiles).
+    assert_eq!(i.stats.halo_values, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn halo_strategies_compute_identical_outputs(
+        k in 1usize..10,
+        c in 1usize..5,
+        rs in 1usize..4,
+        plane in 4usize..18,
+        pad in 0usize..2,
+        wd in 2u32..10,
+        ad in 2u32..10,
+        seed in 0u64..300,
+    ) {
+        prop_assume!(plane + 2 * pad >= rs);
+        let shape = ConvShape::new(k, c, rs, rs, plane, plane).with_pad(pad);
+        let input = synth_layer_input(&shape, f64::from(ad) / 10.0, seed);
+        check_equivalence(shape, &input, f64::from(wd) / 10.0, seed + 1);
+    }
+}
+
+#[test]
+fn halo_strategies_agree_on_strided_and_grouped_layers() {
+    let cases = [
+        ConvShape::new(4, 3, 11, 11, 27, 27).with_stride(4),
+        ConvShape::new(6, 4, 5, 5, 15, 15).with_stride(2).with_pad(2),
+        ConvShape::new(8, 8, 3, 3, 10, 10).with_pad(1).with_groups(2),
+    ];
+    for (i, shape) in cases.into_iter().enumerate() {
+        let input = synth_layer_input(&shape, 0.5, 900 + i as u64);
+        check_equivalence(shape, &input, 0.45, 910 + i as u64);
+    }
+}
+
+#[test]
+fn halo_strategies_agree_on_correlated_activations() {
+    let shape = ConvShape::new(8, 4, 3, 3, 24, 24).with_pad(1);
+    let input = synth_acts_correlated(shape.c, shape.w, shape.h, 0.35, 6, 77);
+    check_equivalence(shape, &input, 0.4, 78);
+}
+
+#[test]
+fn correlated_activations_compute_correctly() {
+    // The simulator's functional path must not depend on the sparsity
+    // pattern's statistics.
+    use scnn::scnn_model::conv_reference;
+    let shape = ConvShape::new(8, 4, 3, 3, 24, 24).with_pad(1);
+    let weights = synth_weights(&shape, 0.4, 5);
+    let input = synth_acts_correlated(shape.c, shape.w, shape.h, 0.35, 8, 6);
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+    let expected = conv_reference(&shape, &weights, &input, true);
+    assert_close(r.output.as_ref().unwrap(), &expected, 1e-3);
+}
+
+#[test]
+fn fully_connected_shaped_layer_runs_but_fragments() {
+    // FC layers are 1x1 convolutions over a 1x1 plane. SCNN targets conv
+    // layers (the paper defers FC to EIE, §VII): the machine handles the
+    // shape correctly but only one PE can own the single output position,
+    // so utilization collapses — the architectural reason for the paper's
+    // scoping.
+    use scnn::scnn_model::conv_reference;
+    let shape = ConvShape::new(64, 256, 1, 1, 1, 1);
+    let weights = synth_weights(&shape, 0.3, 21);
+    let input = synth_layer_input(&shape, 0.4, 22);
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+    let expected = conv_reference(&shape, &weights, &input, true);
+    assert_close(r.output.as_ref().unwrap(), &expected, 1e-3);
+    let util = r.stats.utilization(1024, r.cycles);
+    assert!(util < 0.05, "FC-shaped layers must fragment ({util:.3})");
+}

@@ -1,0 +1,179 @@
+//! Architectural invariants that must hold across the machine models,
+//! independent of calibration.
+
+use scnn::scnn_arch::{DcnnConfig, ScnnConfig};
+use scnn::scnn_model::{synth_layer_input, synth_weights};
+use scnn::scnn_sim::{oracle_cycles, DcnnMachine, OperandProfile, RunOptions, ScnnMachine};
+use scnn::scnn_tensor::ConvShape;
+use scnn::scnn_timeloop::TimeLoop;
+
+fn test_shape() -> ConvShape {
+    ConvShape::new(32, 16, 3, 3, 20, 20).with_pad(1)
+}
+
+#[test]
+fn oracle_lower_bounds_scnn_across_densities() {
+    let shape = test_shape();
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    for (i, d) in [0.1, 0.3, 0.6, 1.0].iter().enumerate() {
+        let weights = synth_weights(&shape, *d, i as u64);
+        let input = synth_layer_input(&shape, *d, 100 + i as u64);
+        let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+        let oracle = oracle_cycles(r.stats.products, 1024);
+        assert!(oracle <= r.cycles, "d={d}: oracle {oracle} > machine {}", r.cycles);
+    }
+}
+
+#[test]
+fn scnn_cycles_monotone_in_each_operand_density() {
+    let shape = test_shape();
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let input = synth_layer_input(&shape, 0.5, 7);
+    let mut prev = 0u64;
+    for wd in [0.2, 0.5, 0.9] {
+        let weights = synth_weights(&shape, wd, 8);
+        let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+        assert!(r.cycles > prev, "wd={wd}");
+        prev = r.cycles;
+    }
+    let weights = synth_weights(&shape, 0.5, 9);
+    let mut prev = 0u64;
+    for ad in [0.2, 0.5, 0.9] {
+        let input = synth_layer_input(&shape, ad, 10);
+        let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+        assert!(r.cycles > prev, "ad={ad}");
+        prev = r.cycles;
+    }
+}
+
+#[test]
+fn dense_machine_ignores_density_for_cycles_but_not_energy() {
+    let shape = test_shape();
+    let machine = DcnnMachine::new(DcnnConfig::optimized());
+    let sparse_in = synth_layer_input(&shape, 0.2, 1);
+    let dense_in = synth_layer_input(&shape, 1.0, 2);
+    let sparse = machine.run_layer(&shape, &OperandProfile::measure(&sparse_in, 0.2, None), false);
+    let dense = machine.run_layer(&shape, &OperandProfile::measure(&dense_in, 1.0, None), false);
+    assert_eq!(sparse.cycles, dense.cycles);
+    assert!(sparse.energy_pj() < dense.energy_pj());
+}
+
+#[test]
+fn more_accumulator_banks_reduce_stalls() {
+    let shape = test_shape();
+    let weights = synth_weights(&shape, 0.6, 3);
+    let input = synth_layer_input(&shape, 0.6, 4);
+    let mut prev_stalls = u64::MAX;
+    for banks in [8usize, 16, 32] {
+        let cfg = ScnnConfig { acc_banks: banks, ..ScnnConfig::default() };
+        let r = ScnnMachine::new(cfg).run_layer(&shape, &weights, &input, &RunOptions::default());
+        assert!(
+            r.stats.bank_stall_cycles <= prev_stalls,
+            "banks={banks}: stalls went up ({} > {prev_stalls})",
+            r.stats.bank_stall_cycles
+        );
+        prev_stalls = r.stats.bank_stall_cycles;
+    }
+    // The paper's sizing A = 2*F*I keeps contention marginal: stalls are
+    // a small fraction of total busy cycles.
+    let r = ScnnMachine::new(ScnnConfig::default()).run_layer(
+        &shape,
+        &weights,
+        &input,
+        &RunOptions::default(),
+    );
+    let stall_frac = r.stats.bank_stall_cycles as f64 / r.stats.busy_cycles as f64;
+    assert!(stall_frac < 0.1, "stall fraction {stall_frac}");
+}
+
+#[test]
+fn utilization_and_idle_are_fractions() {
+    let shape = ConvShape::new(48, 8, 1, 1, 7, 7); // worst-case fragmentation
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let weights = synth_weights(&shape, 0.4, 5);
+    let input = synth_layer_input(&shape, 0.35, 6);
+    let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+    let util = r.stats.utilization(1024, r.cycles);
+    assert!(util > 0.0 && util <= 1.0, "util {util}");
+    assert!(r.stats.utilization_busy() <= 1.0);
+    let idle = r.stats.idle_fraction();
+    assert!((0.0..1.0).contains(&idle), "idle {idle}");
+    // A 7x7 plane over 64 PEs must fragment badly (paper: <20% util for
+    // GoogLeNet's 1x1-dominated late modules).
+    assert!(util < 0.35, "expected heavy fragmentation, got {util}");
+}
+
+#[test]
+fn sparse_storage_shrinks_with_density() {
+    let shape = test_shape();
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let mut prev = usize::MAX;
+    for d in [1.0, 0.5, 0.2] {
+        let weights = synth_weights(&shape, d, 11);
+        let input = synth_layer_input(&shape, d, 12);
+        let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+        let bits = r.footprints.weight_bits + r.footprints.iaram_bits_max;
+        assert!(bits < prev, "d={d}");
+        prev = bits;
+    }
+}
+
+#[test]
+fn energy_breakdown_categories_sum_to_total() {
+    let shape = test_shape();
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let weights = synth_weights(&shape, 0.4, 13);
+    let input = synth_layer_input(&shape, 0.4, 14);
+    let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+    let e = r.energy;
+    let sum = e.compute + e.accumulate + e.xbar + e.act_ram + e.weight_buf + e.dram + e.halo + e.ppu;
+    assert!((sum - e.total()).abs() < 1e-6);
+    assert!(e.compute > 0.0 && e.act_ram > 0.0 && e.dram > 0.0);
+}
+
+#[test]
+fn timeloop_tracks_simulator_over_densities() {
+    let shape = test_shape();
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let tl = TimeLoop::new(ScnnConfig::default());
+    for (i, d) in [0.2, 0.5, 1.0].iter().enumerate() {
+        let weights = synth_weights(&shape, *d, 20 + i as u64);
+        let input = synth_layer_input(&shape, *d, 30 + i as u64);
+        let sim = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+        let est = tl.estimate_scnn(&shape, *d, *d, false);
+        let ratio = est.cycles / sim.cycles as f64;
+        assert!((0.7..1.4).contains(&ratio), "d={d}: ratio {ratio:.2}");
+        let e_ratio = est.energy_pj() / sim.energy_pj();
+        assert!((0.6..1.6).contains(&e_ratio), "d={d}: energy ratio {e_ratio:.2}");
+    }
+}
+
+#[test]
+fn larger_pes_have_fewer_barriers_but_worse_packing() {
+    // §VI-C direction on a single mid-size layer.
+    let shape = ConvShape::new(64, 64, 3, 3, 14, 14).with_pad(1);
+    let weights = synth_weights(&shape, 0.35, 40);
+    let input = synth_layer_input(&shape, 0.40, 41);
+    let fine = ScnnMachine::new(ScnnConfig::with_pe_grid(8)).run_layer(
+        &shape,
+        &weights,
+        &input,
+        &RunOptions::default(),
+    );
+    let coarse = ScnnMachine::new(ScnnConfig::with_pe_grid(2)).run_layer(
+        &shape,
+        &weights,
+        &input,
+        &RunOptions::default(),
+    );
+    // Same work either way.
+    assert_eq!(fine.stats.products, coarse.stats.products);
+    // The fine-grained machine should not be slower on a layer with
+    // enough spatial parallelism (the paper's overall conclusion).
+    assert!(
+        fine.cycles <= coarse.cycles * 11 / 10,
+        "fine {} vs coarse {}",
+        fine.cycles,
+        coarse.cycles
+    );
+}
