@@ -53,7 +53,12 @@ impl PeArea {
     /// Total PE area, mm².
     #[must_use]
     pub fn total(&self) -> f64 {
-        self.act_ram + self.weight_fifo + self.mult_array + self.scatter + self.accumulators + self.other
+        self.act_ram
+            + self.weight_fifo
+            + self.mult_array
+            + self.scatter
+            + self.accumulators
+            + self.other
     }
 }
 

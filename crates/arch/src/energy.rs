@@ -255,7 +255,8 @@ mod tests {
         };
         let m = EnergyModel::default();
         let e = m.energy(&counts);
-        let manual = e.compute + e.accumulate + e.xbar + e.act_ram + e.weight_buf + e.dram + e.halo + e.ppu;
+        let manual =
+            e.compute + e.accumulate + e.xbar + e.act_ram + e.weight_buf + e.dram + e.halo + e.ppu;
         assert!((e.total() - manual).abs() < 1e-9);
         assert!(e.total() > 0.0);
     }

@@ -7,9 +7,7 @@ use scnn::scnn_tensor::{CompressedWeights, Dense4, OcgPartition, RleVec};
 
 fn buffer(len: usize, density: f64, seed: u64) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..len)
-        .map(|_| if rng.gen_bool(density) { rng.gen_range(0.1f32..1.0) } else { 0.0 })
-        .collect()
+    (0..len).map(|_| if rng.gen_bool(density) { rng.gen_range(0.1f32..1.0) } else { 0.0 }).collect()
 }
 
 fn bench_rle(c: &mut Criterion) {

@@ -6,26 +6,32 @@
 //! synthetic blocks across densities and on the evaluation networks'
 //! actual tensors at their Figure-1 densities.
 
-use scnn::scnn_model::{synth_weights, zoo, DensityProfile};
-use scnn::scnn_tensor::compare_encodings;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use scnn::scnn_model::{synth_weights, zoo, DensityProfile};
+use scnn::scnn_tensor::compare_encodings;
 
 fn synth_block(len: usize, density: f64, seed: u64) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..len)
-        .map(|_| if rng.gen_bool(density) { rng.gen_range(0.1f32..1.0) } else { 0.0 })
-        .collect()
+    (0..len).map(|_| if rng.gen_bool(density) { rng.gen_range(0.1f32..1.0) } else { 0.0 }).collect()
 }
 
 fn main() {
     println!("== §III-B ablation — compressed format storage (bits/non-zero, 4096-element blocks)");
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10}  winner", "density", "RLE-4", "bitmask", "coord", "dense");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}  winner",
+        "density", "RLE-4", "bitmask", "coord", "dense"
+    );
     for density in [0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0] {
         let block = synth_block(4096, density, 42);
         let c = compare_encodings(&block);
         let per = |bits: usize| bits as f64 / c.nnz.max(1) as f64;
-        let all = [("RLE-4", c.rle_bits), ("bitmask", c.bitmask_bits), ("coord", c.coord_bits), ("dense", c.dense_bits)];
+        let all = [
+            ("RLE-4", c.rle_bits),
+            ("bitmask", c.bitmask_bits),
+            ("coord", c.coord_bits),
+            ("dense", c.dense_bits),
+        ];
         let winner = all.iter().min_by_key(|(_, b)| *b).unwrap().0;
         println!(
             "{density:>8.2} {:>10.1} {:>10.1} {:>10.1} {:>10.1}  {winner}",

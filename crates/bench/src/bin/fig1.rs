@@ -5,7 +5,10 @@ use scnn::scnn_model::zoo;
 
 fn main() {
     for net in zoo::all_networks() {
-        scnn_bench::section(&format!("Figure 1 — {} density and work", net.name()), &render_fig1(&net));
+        scnn_bench::section(
+            &format!("Figure 1 — {} density and work", net.name()),
+            &render_fig1(&net),
+        );
     }
     println!("Paper reference: weight density 0.3-0.85, activation density 0.3-1.0,");
     println!("typical work reduction ~4x, reaching ~10x (Figure 1 triangles).");

@@ -23,11 +23,19 @@ fn main() {
         ("VGG conv2_2 (112x112)", ConvShape::new(128, 128, 3, 3, 112, 112).with_pad(1), 0.42, 0.50),
         ("VGG conv4_2 (28x28)", ConvShape::new(512, 512, 3, 3, 28, 28).with_pad(1), 0.35, 0.38),
         ("GoogLeNet 3a 3x3 (28x28)", ConvShape::new(128, 96, 3, 3, 28, 28).with_pad(1), 0.33, 0.60),
-        ("GoogLeNet 4c 3x3 (14x14)", ConvShape::new(256, 128, 3, 3, 14, 14).with_pad(1), 0.33, 0.42),
+        (
+            "GoogLeNet 4c 3x3 (14x14)",
+            ConvShape::new(256, 128, 3, 3, 14, 14).with_pad(1),
+            0.33,
+            0.42,
+        ),
         ("GoogLeNet 5b 3x3 (7x7)", ConvShape::new(384, 192, 3, 3, 7, 7).with_pad(1), 0.33, 0.32),
     ];
     println!("== §III-A ablation — output halos vs input halos (cycles)");
-    println!("{:<28} {:>12} {:>12} {:>10} {:>14} {:>14}", "layer", "output-halo", "input-halo", "ratio", "halo values", "IARAM max (b)");
+    println!(
+        "{:<28} {:>12} {:>12} {:>10} {:>14} {:>14}",
+        "layer", "output-halo", "input-halo", "ratio", "halo values", "IARAM max (b)"
+    );
     for (name, shape, wd, ad) in cases {
         let weights = synth_weights(&shape, wd, 1);
         let input = synth_layer_input(&shape, ad, 2);

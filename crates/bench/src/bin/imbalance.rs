@@ -20,8 +20,13 @@ fn main() {
     let weights = synth_weights(&shape, 0.33, 1);
     let density = 0.40;
 
-    println!("== Load imbalance vs activation clustering (GoogLeNet-like layer, IA density {density})");
-    println!("{:<22} {:>10} {:>12} {:>12} {:>10}", "activation pattern", "cycles", "idle frac", "mult util", "slowdown");
+    println!(
+        "== Load imbalance vs activation clustering (GoogLeNet-like layer, IA density {density})"
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "activation pattern", "cycles", "idle frac", "mult util", "slowdown"
+    );
     let uniform = synth_layer_input(&shape, density, 2);
     let base = machine.run_layer(&shape, &weights, &uniform, &RunOptions::default());
     println!(

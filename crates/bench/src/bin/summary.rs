@@ -9,7 +9,10 @@ fn main() {
     println!("SCNN (ISCA 2017) reproduction — headline summary\n");
 
     let (pe, total) = experiments::table3();
-    println!("area:        PE {:.3} mm2 (paper 0.123), chip {total:.1} mm2 (paper 7.9)", pe.total());
+    println!(
+        "area:        PE {:.3} mm2 (paper 0.123), chip {total:.1} mm2 (paper 7.9)",
+        pe.total()
+    );
     let t4 = experiments::table4();
     println!("             DCNN {:.1} mm2 (paper 5.9)", t4[0].area_mm2);
 

@@ -1,7 +1,10 @@
 //! Regenerates Table I: network characteristics.
 
 fn main() {
-    scnn_bench::section("Table I — Network characteristics (2-byte data type)", &scnn::experiments::render_table1());
+    scnn_bench::section(
+        "Table I — Network characteristics (2-byte data type)",
+        &scnn::experiments::render_table1(),
+    );
     println!("Paper reference: AlexNet 5 / 1.73MB / 0.31MB / 0.69B;");
     println!("                 GoogLeNet 54 / 1.32MB / 1.52MB / 1.1B;");
     println!("                 VGGNet 13 / 4.49MB / 6.12MB / 15.3B.");

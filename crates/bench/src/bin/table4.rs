@@ -1,7 +1,10 @@
 //! Regenerates Table IV: accelerator configurations.
 
 fn main() {
-    scnn_bench::section("Table IV — CNN accelerator configurations", &scnn::experiments::render_table4());
+    scnn_bench::section(
+        "Table IV — CNN accelerator configurations",
+        &scnn::experiments::render_table4(),
+    );
     println!("Paper reference: DCNN/DCNN-opt 64 PEs, 1024 MULs, 2MB, 5.9mm2;");
     println!("SCNN 64 PEs, 1024 MULs, 1MB, 7.9mm2.");
 }

@@ -9,12 +9,25 @@ use scnn::runner::{NetworkRun, RunConfig};
 use scnn::scnn_model::zoo;
 
 /// Executes all three evaluation networks with the paper's density
-/// profiles on the default configuration (used by the Figure 8–10
-/// binaries).
+/// profiles on the default configuration (used by the Figure 8–10 and
+/// summary binaries).
+///
+/// Layers fan out across worker threads (`SCNN_THREADS` overrides the
+/// machine default; results are identical at any thread count). A
+/// wall-clock note goes to stderr so figure output stays clean.
 #[must_use]
 pub fn paper_runs() -> Vec<NetworkRun> {
     let config = RunConfig::default();
-    zoo::all_networks().iter().map(|net| NetworkRun::execute_paper(net, &config)).collect()
+    let threads = scnn::scnn_par::resolve_threads(config.threads);
+    let start = std::time::Instant::now();
+    let runs: Vec<NetworkRun> =
+        zoo::all_networks().iter().map(|net| NetworkRun::execute_paper(net, &config)).collect();
+    eprintln!(
+        "[scnn_bench] simulated {} networks on {threads} thread(s) in {:.2}s",
+        runs.len(),
+        start.elapsed().as_secs_f64()
+    );
+    runs
 }
 
 /// Prints a titled section.

@@ -24,9 +24,7 @@ pub use figures::{
     fig1, fig10, fig7, fig8, fig9, render_fig1, render_fig10, render_fig7, render_fig8,
     render_fig9, Fig10Row, Fig1Row, Fig8Row, Fig9Row,
 };
-pub use studies::{
-    pe_granularity, render_pe_granularity, render_tiling, tiling, TilingSummary,
-};
+pub use studies::{pe_granularity, render_pe_granularity, render_tiling, tiling, TilingSummary};
 pub use tables::{
     render_table1, render_table2, render_table3, render_table4, table1, table2, table3, table4,
     Table1Row, Table4Row,

@@ -32,10 +32,7 @@ pub fn render_pe_granularity() -> String {
             ]
         })
         .collect();
-    fmt_table(
-        &["Grid", "# PEs", "MULs/PE", "Cycles", "Speedup vs 4 PEs", "Math util."],
-        &rows,
-    )
+    fmt_table(&["Grid", "# PEs", "MULs/PE", "Cycles", "Speedup vs 4 PEs", "Math util."], &rows)
 }
 
 /// Aggregate of the §VI-D tiling study across all three networks.

@@ -65,10 +65,7 @@ pub fn table2() -> Vec<(String, String)> {
     vec![
         ("Multiplier width".into(), "16 bits".into()),
         ("Accumulator width".into(), "24 bits".into()),
-        (
-            "IARAM/OARAM (each)".into(),
-            format!("{}KB", c.iaram_bytes / 1024),
-        ),
+        ("IARAM/OARAM (each)".into(), format!("{}KB", c.iaram_bytes / 1024)),
         (
             "Weight FIFO".into(),
             format!("{} entries ({} B)", c.weight_fifo_values() / c.f, c.weight_fifo_bytes),
@@ -78,18 +75,14 @@ pub fn table2() -> Vec<(String, String)> {
         ("Accumulator bank entries".into(), c.acc_bank_entries.to_string()),
         ("# PEs".into(), c.num_pes().to_string()),
         ("# Multipliers".into(), c.total_multipliers().to_string()),
-        (
-            "IARAM + OARAM data".into(),
-            format!("{}MB", c.total_act_ram_bytes() / (1024 * 1024)),
-        ),
+        ("IARAM + OARAM data".into(), format!("{}MB", c.total_act_ram_bytes() / (1024 * 1024))),
     ]
 }
 
 /// Renders Table II.
 #[must_use]
 pub fn render_table2() -> String {
-    let rows: Vec<Vec<String>> =
-        table2().into_iter().map(|(k, v)| vec![k, v]).collect();
+    let rows: Vec<Vec<String>> = table2().into_iter().map(|(k, v)| vec![k, v]).collect();
     fmt_table(&["Parameter", "Value"], &rows)
 }
 

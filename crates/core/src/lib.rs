@@ -40,6 +40,7 @@ pub use runner::{LayerRun, NetworkRun, RunConfig};
 
 pub use scnn_arch;
 pub use scnn_model;
+pub use scnn_par;
 pub use scnn_sim;
 pub use scnn_tensor;
 pub use scnn_timeloop;

@@ -6,6 +6,12 @@
 //! simulator, run the DCNN and DCNN-opt baselines against the *same*
 //! operands, and derive the `SCNN(oracle)` bound — yielding everything
 //! Figures 8, 9 and 10 plot.
+//!
+//! Layer executions are independent by construction — every layer's
+//! operands come from its own seed (`RunConfig::seed` mixed with the
+//! layer index), never from a shared stream — so the runner fans them out
+//! across threads ([`RunConfig::threads`]) and reassembles results in
+//! layer order. Parallel and serial runs are bit-identical.
 
 use scnn_arch::{DcnnConfig, EnergyModel, ScnnConfig};
 use scnn_model::{synth_layer_input, synth_weights, DensityProfile, Network};
@@ -78,6 +84,11 @@ pub struct RunConfig {
     pub energy: EnergyModel,
     /// Seed for the synthetic workload generator.
     pub seed: u64,
+    /// Worker threads for layer execution: `0` resolves through
+    /// [`scnn_par::resolve_threads`] (the `SCNN_THREADS` environment
+    /// variable, then available parallelism). Results do not depend on
+    /// this value, only wall-clock time does.
+    pub threads: usize,
 }
 
 impl Default for RunConfig {
@@ -87,7 +98,17 @@ impl Default for RunConfig {
             dcnn: DcnnConfig::default(),
             energy: EnergyModel::default(),
             seed: 0x5C99,
+            threads: 0,
         }
+    }
+}
+
+impl RunConfig {
+    /// This configuration with an explicit worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -109,11 +130,12 @@ impl NetworkRun {
         let total_mults = config.scnn.total_multipliers() as u64;
 
         let first_eval = network.eval_indices().next();
-        let mut layers = Vec::new();
-        for (i, layer) in network.layers().iter().enumerate() {
-            if !layer.evaluated {
-                continue;
-            }
+        let evaluated: Vec<usize> = network.eval_indices().collect();
+        // Each layer's operands derive from its own seed, so layers fan
+        // out across threads; `par_map` returns them in layer order,
+        // making the parallel run bit-identical to the serial one.
+        let layers = scnn_par::par_map(&evaluated, config.threads, |&i| {
+            let layer = &network.layers()[i];
             let d = profile.layer(i);
             let seed = config.seed.wrapping_add(i as u64 * 7919);
             let weights = synth_weights(&layer.shape, d.weight, seed);
@@ -121,14 +143,13 @@ impl NetworkRun {
             let opts = RunOptions { input_from_dram: Some(i) == first_eval, ..Default::default() };
 
             let mut s = scnn.run_layer(&layer.shape, &weights, &input, &opts);
-            let operand =
-                OperandProfile::measure(&input, weights.density(), s.output.as_ref());
+            let operand = OperandProfile::measure(&input, weights.density(), s.output.as_ref());
             s.output = None; // keep the run lightweight
             let p = dcnn.run_layer(&layer.shape, &operand, opts.input_from_dram);
             let o = dcnn_opt.run_layer(&layer.shape, &operand, opts.input_from_dram);
             let oracle = oracle_cycles(s.stats.products, total_mults);
 
-            layers.push(LayerRun {
+            LayerRun {
                 layer_index: i,
                 name: layer.name.clone(),
                 group_label: layer.group_label.clone(),
@@ -136,8 +157,8 @@ impl NetworkRun {
                 dcnn: p,
                 dcnn_opt: o,
                 oracle_cycles: oracle,
-            });
-        }
+            }
+        });
         Self { network: network.clone(), profile: profile.clone(), layers }
     }
 

@@ -220,10 +220,7 @@ mod tests {
     fn unknown_network_has_no_paper_profile() {
         let net = Network::new(
             "custom",
-            vec![crate::layer::ConvLayer::new(
-                "l",
-                scnn_tensor::ConvShape::new(1, 1, 1, 1, 2, 2),
-            )],
+            vec![crate::layer::ConvLayer::new("l", scnn_tensor::ConvShape::new(1, 1, 1, 1, 2, 2))],
         );
         assert!(DensityProfile::paper(&net).is_none());
     }
@@ -234,10 +231,8 @@ mod tests {
         // reach as high as a factor of ten" (conv1-style dense layers less).
         for net in [alexnet(), vggnet(), googlenet()] {
             let profile = DensityProfile::paper(&net).unwrap();
-            let reductions: Vec<f64> = net
-                .eval_indices()
-                .map(|i| profile.layer(i).work_reduction())
-                .collect();
+            let reductions: Vec<f64> =
+                net.eval_indices().map(|i| profile.layer(i).work_reduction()).collect();
             let max = reductions.iter().cloned().fold(0.0, f64::max);
             assert!(max >= 6.0, "{}: max work reduction {max:.1} too small", net.name());
             let typical = reductions.iter().sum::<f64>() / reductions.len() as f64;
@@ -253,10 +248,7 @@ mod tests {
     fn googlenet_minimum_weight_density_is_30_percent() {
         let net = googlenet();
         let profile = DensityProfile::paper(&net).unwrap();
-        let min = net
-            .eval_indices()
-            .map(|i| profile.layer(i).weight)
-            .fold(1.0, f64::min);
+        let min = net.eval_indices().map(|i| profile.layer(i).weight).fold(1.0, f64::min);
         assert!((min - 0.30).abs() < 1e-9, "min weight density {min}");
     }
 

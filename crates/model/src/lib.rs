@@ -43,7 +43,7 @@ pub mod zoo;
 pub use density::{DensityProfile, LayerDensity};
 pub use layer::ConvLayer;
 pub use network::{Network, NetworkStats};
-pub use reference::{assert_close, conv_reference};
 pub use pool::max_pool;
 pub use pruning::magnitude_prune;
+pub use reference::{assert_close, conv_reference};
 pub use synth::{synth_acts, synth_acts_correlated, synth_layer_input, synth_weights};

@@ -113,10 +113,8 @@ impl Network {
                 stats.total_multiplies += layer.macs();
             }
             stats.max_weight_bytes = stats.max_weight_bytes.max(layer.weight_bytes());
-            stats.max_activation_bytes = stats
-                .max_activation_bytes
-                .max(layer.input_bytes())
-                .max(layer.output_bytes());
+            stats.max_activation_bytes =
+                stats.max_activation_bytes.max(layer.input_bytes()).max(layer.output_bytes());
         }
         stats
     }

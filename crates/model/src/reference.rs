@@ -68,10 +68,7 @@ pub fn assert_close(a: &Dense3, b: &Dense3, eps: f32) -> f32 {
     let mut max_diff = 0.0f32;
     for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
         let diff = (x - y).abs();
-        assert!(
-            diff <= eps,
-            "element {i} differs: {x} vs {y} (|diff| = {diff} > {eps})"
-        );
+        assert!(diff <= eps, "element {i} differs: {x} vs {y} (|diff| = {diff} > {eps})");
         max_diff = max_diff.max(diff);
     }
     max_diff

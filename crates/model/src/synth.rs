@@ -123,7 +123,7 @@ pub fn synth_acts_correlated(
     // non-zeros, so sparsity follows the smooth field's ridges.
     let gw = w.div_ceil(blob_scale) + 1;
     let gh = h.div_ceil(blob_scale) + 1;
-    let mut field = Vec::with_capacity(len);
+    let mut field: Vec<f64> = Vec::with_capacity(len);
     for _ in 0..c {
         let grid: Vec<f64> = (0..gw * gh).map(|_| rng.gen_range(0.0..1.0)).collect();
         for x in 0..w {

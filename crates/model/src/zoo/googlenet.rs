@@ -25,15 +25,105 @@ struct Inception {
 }
 
 const INCEPTIONS: [Inception; 9] = [
-    Inception { name: "3a", cin: 192, plane: 28, n1x1: 64, n3x3r: 96, n3x3: 128, n5x5r: 16, n5x5: 32, pool_proj: 32 },
-    Inception { name: "3b", cin: 256, plane: 28, n1x1: 128, n3x3r: 128, n3x3: 192, n5x5r: 32, n5x5: 96, pool_proj: 64 },
-    Inception { name: "4a", cin: 480, plane: 14, n1x1: 192, n3x3r: 96, n3x3: 208, n5x5r: 16, n5x5: 48, pool_proj: 64 },
-    Inception { name: "4b", cin: 512, plane: 14, n1x1: 160, n3x3r: 112, n3x3: 224, n5x5r: 24, n5x5: 64, pool_proj: 64 },
-    Inception { name: "4c", cin: 512, plane: 14, n1x1: 128, n3x3r: 128, n3x3: 256, n5x5r: 24, n5x5: 64, pool_proj: 64 },
-    Inception { name: "4d", cin: 512, plane: 14, n1x1: 112, n3x3r: 144, n3x3: 288, n5x5r: 32, n5x5: 64, pool_proj: 64 },
-    Inception { name: "4e", cin: 528, plane: 14, n1x1: 256, n3x3r: 160, n3x3: 320, n5x5r: 32, n5x5: 128, pool_proj: 128 },
-    Inception { name: "5a", cin: 832, plane: 7, n1x1: 256, n3x3r: 160, n3x3: 320, n5x5r: 32, n5x5: 128, pool_proj: 128 },
-    Inception { name: "5b", cin: 832, plane: 7, n1x1: 384, n3x3r: 192, n3x3: 384, n5x5r: 48, n5x5: 128, pool_proj: 128 },
+    Inception {
+        name: "3a",
+        cin: 192,
+        plane: 28,
+        n1x1: 64,
+        n3x3r: 96,
+        n3x3: 128,
+        n5x5r: 16,
+        n5x5: 32,
+        pool_proj: 32,
+    },
+    Inception {
+        name: "3b",
+        cin: 256,
+        plane: 28,
+        n1x1: 128,
+        n3x3r: 128,
+        n3x3: 192,
+        n5x5r: 32,
+        n5x5: 96,
+        pool_proj: 64,
+    },
+    Inception {
+        name: "4a",
+        cin: 480,
+        plane: 14,
+        n1x1: 192,
+        n3x3r: 96,
+        n3x3: 208,
+        n5x5r: 16,
+        n5x5: 48,
+        pool_proj: 64,
+    },
+    Inception {
+        name: "4b",
+        cin: 512,
+        plane: 14,
+        n1x1: 160,
+        n3x3r: 112,
+        n3x3: 224,
+        n5x5r: 24,
+        n5x5: 64,
+        pool_proj: 64,
+    },
+    Inception {
+        name: "4c",
+        cin: 512,
+        plane: 14,
+        n1x1: 128,
+        n3x3r: 128,
+        n3x3: 256,
+        n5x5r: 24,
+        n5x5: 64,
+        pool_proj: 64,
+    },
+    Inception {
+        name: "4d",
+        cin: 512,
+        plane: 14,
+        n1x1: 112,
+        n3x3r: 144,
+        n3x3: 288,
+        n5x5r: 32,
+        n5x5: 64,
+        pool_proj: 64,
+    },
+    Inception {
+        name: "4e",
+        cin: 528,
+        plane: 14,
+        n1x1: 256,
+        n3x3r: 160,
+        n3x3: 320,
+        n5x5r: 32,
+        n5x5: 128,
+        pool_proj: 128,
+    },
+    Inception {
+        name: "5a",
+        cin: 832,
+        plane: 7,
+        n1x1: 256,
+        n3x3r: 160,
+        n3x3: 320,
+        n5x5r: 32,
+        n5x5: 128,
+        pool_proj: 128,
+    },
+    Inception {
+        name: "5b",
+        cin: 832,
+        plane: 7,
+        n1x1: 384,
+        n3x3r: 192,
+        n3x3: 384,
+        n5x5r: 48,
+        n5x5: 128,
+        pool_proj: 128,
+    },
 ];
 
 /// The six convolution kinds inside an inception module, in the order the
@@ -49,12 +139,14 @@ pub fn googlenet() -> Network {
     // Stem: conv1 7x7/2 (224 -> 112), pool (112 -> 56), conv2 reduce +
     // conv2 3x3 at 56x56, pool (56 -> 28).
     layers.push(
-        ConvLayer::new("conv1/7x7_s2", ConvShape::new(64, 3, 7, 7, 224, 224).with_stride(2).with_pad(3))
-            .excluded(),
+        ConvLayer::new(
+            "conv1/7x7_s2",
+            ConvShape::new(64, 3, 7, 7, 224, 224).with_stride(2).with_pad(3),
+        )
+        .excluded(),
     );
-    layers.push(
-        ConvLayer::new("conv2/3x3_reduce", ConvShape::new(64, 64, 1, 1, 56, 56)).excluded(),
-    );
+    layers
+        .push(ConvLayer::new("conv2/3x3_reduce", ConvShape::new(64, 64, 1, 1, 56, 56)).excluded());
     layers.push(
         ConvLayer::new("conv2/3x3", ConvShape::new(192, 64, 3, 3, 56, 56).with_pad(1)).excluded(),
     );

@@ -1,0 +1,162 @@
+//! Deterministic fork-join parallelism for the reproduction's whole-network
+//! runner and design-space sweeps.
+//!
+//! The paper's methodology (§V) evaluates every layer of a network
+//! independently: operands are synthesized per layer from per-layer seeds,
+//! so layer executions share no state and can fan out across OS threads.
+//! [`par_map`] / [`par_map_indexed`] provide exactly that: a scoped
+//! work-stealing map whose output order is the input order, so parallel
+//! and serial runs are **bit-identical** — threads only change wall-clock
+//! time, never results.
+//!
+//! Thread counts resolve through [`resolve_threads`]: an explicit request
+//! wins, then the `SCNN_THREADS` environment variable, then the machine's
+//! available parallelism.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = scnn_par::par_map(&[1u64, 2, 3, 4], 2, |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested worker count: `requested` if non-zero, else the
+/// `SCNN_THREADS` environment variable if set to a positive integer, else
+/// the machine's available parallelism (1 when unknown).
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("SCNN_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` workers (0 = auto, see
+/// [`resolve_threads`]), returning results in input order.
+///
+/// Work is distributed dynamically (an atomic cursor), so stragglers do
+/// not serialize the tail; because every result is keyed by its input
+/// index, the output is identical to the serial map regardless of the
+/// worker count or scheduling.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` on any worker.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items, threads, |_, item| f(item))
+}
+
+/// [`par_map`] variant whose closure also receives the item's index.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` on any worker.
+pub fn par_map_indexed<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
+    });
+
+    let mut indexed: Vec<(usize, U)> = buckets.into_iter().flatten().collect();
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_order_matches_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map_indexed(&items, threads, |i, item| {
+                assert_eq!(i, *item);
+                i * 3
+            });
+            assert_eq!(out, (0..257).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // A float pipeline sensitive to evaluation order if the
+        // implementation were to reassociate anything.
+        let items: Vec<u64> = (1..100).collect();
+        let work = |x: &u64| {
+            let mut acc = 0.1f64;
+            for k in 1..*x {
+                acc += (k as f64).sqrt() / (*x as f64);
+            }
+            acc
+        };
+        let serial = par_map(&items, 1, work);
+        let parallel = par_map(&items, 7, work);
+        assert!(serial.iter().zip(&parallel).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(par_map(&[9u32], 4, |x| *x + 1), vec![10]);
+    }
+
+    #[test]
+    fn explicit_request_beats_auto() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, 4, |x| {
+            assert!(*x < 60, "boom");
+            *x
+        });
+    }
+}

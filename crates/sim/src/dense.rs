@@ -51,12 +51,7 @@ impl OperandProfile {
             Some(out) => CompressedActivations::compress(out).storage_bits(),
             None => 0, // unknown: treated as dense by the machine
         };
-        Self {
-            weight_density,
-            act_density: input.density(),
-            input_stored_bits,
-            output_stored_bits,
-        }
+        Self { weight_density, act_density: input.density(), input_stored_bits, output_stored_bits }
     }
 }
 
@@ -160,8 +155,7 @@ impl DcnnMachine {
         // weights stream from the per-PE weight buffer, shared across the
         // four concurrent positions of the dot-product array.
         let kc_blocks = shape.k.div_ceil(DENSE_KC) as f64;
-        counts.sram_words =
-            shape.input_count() as f64 * kc_blocks + shape.output_count() as f64;
+        counts.sram_words = shape.input_count() as f64 * kc_blocks + shape.output_count() as f64;
         counts.wbuf_words = macs / 4.0;
 
         // DRAM: dense weights once per layer; activations only when the

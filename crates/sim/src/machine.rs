@@ -19,7 +19,9 @@ use crate::stats::{Footprints, LayerResult, LayerStats};
 use crate::subconv::{decompose, sub_acts, sub_weights};
 use crate::tiling::PlaneTiling;
 use scnn_arch::{AccessCounts, EnergyModel, HaloStrategy, ScnnConfig};
-use scnn_tensor::{CompressedActivations, CompressedWeights, ConvShape, Dense3, Dense4, OcgPartition};
+use scnn_tensor::{
+    CompressedActivations, CompressedWeights, ConvShape, Dense3, Dense4, OcgPartition,
+};
 
 /// Extracted non-zero entries plus the RAM-resident (stored) element
 /// count of one compressed block.
@@ -143,11 +145,8 @@ impl ScnnMachine {
             let (mtw, mth) = tiling.max_out_dims();
             // The accumulator covers own outputs plus the halo region
             // under output halos, and own outputs only under input halos.
-            let acc_elems = if input_halos {
-                mtw * mth
-            } else {
-                (mtw + r_max - 1) * (mth + s_max - 1)
-            };
+            let acc_elems =
+                if input_halos { mtw * mth } else { (mtw + r_max - 1) * (mth + s_max - 1) };
             let kc = cfg.kc_for(kpg, acc_elems, r_max * s_max);
             let partition = OcgPartition::new(kpg, kc);
 
@@ -155,7 +154,9 @@ impl ScnnMachine {
             // extract the non-zero entry lists the FIFO will deliver.
             let cws: Vec<CompressedWeights> = subs
                 .iter()
-                .map(|sub| CompressedWeights::compress(&sub_weights(&gshape, &gweights, sub), &partition))
+                .map(|sub| {
+                    CompressedWeights::compress(&sub_weights(&gshape, &gweights, sub), &partition)
+                })
                 .collect();
             weight_bits_total += cws.iter().map(CompressedWeights::storage_bits).sum::<usize>();
             // wt[sub][ocg][c] = (entries, stored_count)
@@ -214,7 +215,11 @@ impl ScnnMachine {
                         .map(|c| {
                             let entries: Vec<ActEntry> = ca
                                 .iter_channel(c)
-                                .map(|(coord, v)| ActEntry { x: coord.x as u16, y: coord.y as u16, v })
+                                .map(|(coord, v)| ActEntry {
+                                    x: coord.x as u16,
+                                    y: coord.y as u16,
+                                    v,
+                                })
                                 .collect();
                             (entries, ca.block(c).data_len())
                         })
@@ -277,7 +282,12 @@ impl ScnnMachine {
                             }
                             bank_hist.fill(0);
                             let out = run_phase(
-                                a_entries, *a_stored, w_entries, *w_stored, &geom, &mut acc,
+                                a_entries,
+                                *a_stored,
+                                w_entries,
+                                *w_stored,
+                                &geom,
+                                &mut acc,
                                 &mut bank_hist,
                             );
                             busy += out.cycles;
@@ -569,8 +579,8 @@ mod tests {
         let weights = synth_weights(&shape, 0.5, 90);
         let input = synth_layer_input(&shape, 0.5, 91);
         let opts = RunOptions { input_from_dram: true, ..Default::default() };
-        let out = ScnnMachine::new(ScnnConfig::default())
-            .run_layer(&shape, &weights, &input, &opts);
+        let out =
+            ScnnMachine::new(ScnnConfig::default()).run_layer(&shape, &weights, &input, &opts);
         let inp = ScnnMachine::new(ScnnConfig {
             halo: scnn_arch::HaloStrategy::Input,
             ..ScnnConfig::default()

@@ -48,10 +48,6 @@ mod tests {
         let input = synth_layer_input(&shape, 0.4, 8);
         let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
         let oracle = oracle_cycles(r.stats.products, 1024);
-        assert!(
-            oracle <= r.cycles,
-            "oracle {oracle} must lower-bound the machine {0}",
-            r.cycles
-        );
+        assert!(oracle <= r.cycles, "oracle {oracle} must lower-bound the machine {0}", r.cycles);
     }
 }

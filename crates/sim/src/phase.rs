@@ -236,7 +236,8 @@ mod tests {
     fn bank_contention_extends_cycles() {
         // One output position, many products: all products hash to one
         // bank, so cycles = products rather than pairs.
-        let geom = PhaseGeom { acc_w: 1, acc_h: 1, x1: 1, y1: 1, out_w: 1, out_h: 1, ..geom_1x1_plane(1) };
+        let geom =
+            PhaseGeom { acc_w: 1, acc_h: 1, x1: 1, y1: 1, out_w: 1, out_h: 1, ..geom_1x1_plane(1) };
         let mut acc = vec![0.0; 1];
         let mut hist = vec![0; 32];
         let acts = [ActEntry { x: 0, y: 0, v: 1.0 }];

@@ -142,8 +142,7 @@ mod tests {
     #[test]
     fn sub_tap_count_covers_filter_exactly() {
         for (r, stride) in [(11usize, 4usize), (7, 2), (5, 3), (3, 2), (1, 2)] {
-            let total: usize =
-                (0..stride).map(|dx| r.saturating_sub(dx).div_ceil(stride)).sum();
+            let total: usize = (0..stride).map(|dx| r.saturating_sub(dx).div_ceil(stride)).sum();
             assert_eq!(total, r, "taps lost for R={r} stride={stride}");
         }
     }
@@ -183,8 +182,7 @@ mod tests {
                                             continue;
                                         };
                                         if x < shape.out_w() && y < shape.out_h() {
-                                            let val = got.get(k, x, y)
-                                                + a * sw.get(k, c, p, q);
+                                            let val = got.get(k, x, y) + a * sw.get(k, c, p, q);
                                             got.set(k, x, y, val);
                                         }
                                     }

@@ -187,20 +187,14 @@ mod tests {
     use super::*;
 
     fn patterns() -> Vec<Vec<f32>> {
-        vec![
-            vec![],
-            vec![0.0; 100],
-            vec![1.0; 100],
-            vec![0.0, 1.0, 0.0, 2.0, 0.0, 0.0, 3.0],
-            {
-                let mut v = vec![0.0; 200];
-                v[0] = 1.0;
-                v[199] = 2.0;
-                v[64] = 3.0; // word boundary
-                v[63] = 4.0;
-                v
-            },
-        ]
+        vec![vec![], vec![0.0; 100], vec![1.0; 100], vec![0.0, 1.0, 0.0, 2.0, 0.0, 0.0, 3.0], {
+            let mut v = vec![0.0; 200];
+            v[0] = 1.0;
+            v[199] = 2.0;
+            v[64] = 3.0; // word boundary
+            v[63] = 4.0;
+            v
+        }]
     }
 
     #[test]
@@ -249,14 +243,24 @@ mod tests {
         // bits/value); at low density RLE wins (no per-position cost).
         let dense_block: Vec<f32> = (0..1024).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
         let c = compare_encodings(&dense_block);
-        assert!(c.bitmask_bits < c.rle_bits, "50% density: bitmask {0} vs rle {1}", c.bitmask_bits, c.rle_bits);
+        assert!(
+            c.bitmask_bits < c.rle_bits,
+            "50% density: bitmask {0} vs rle {1}",
+            c.bitmask_bits,
+            c.rle_bits
+        );
 
         // At the paper's typical 10-35% densities RLE wins: 4 index bits
         // per value beat one mask bit per position.
         let sparse_block: Vec<f32> =
             (0..1024).map(|i| if i % 10 == 0 { 1.0 } else { 0.0 }).collect();
         let c = compare_encodings(&sparse_block);
-        assert!(c.rle_bits < c.bitmask_bits, "10% density: rle {0} vs bitmask {1}", c.rle_bits, c.bitmask_bits);
+        assert!(
+            c.rle_bits < c.bitmask_bits,
+            "10% density: rle {0} vs bitmask {1}",
+            c.rle_bits,
+            c.bitmask_bits
+        );
         assert!(c.rle_bits < c.dense_bits && c.coord_bits < c.dense_bits);
 
         // At extreme sparsity with long runs, RLE pays placeholder chains
@@ -264,7 +268,12 @@ mod tests {
         let very_sparse: Vec<f32> =
             (0..1024).map(|i| if i % 256 == 0 { 1.0 } else { 0.0 }).collect();
         let c = compare_encodings(&very_sparse);
-        assert!(c.coord_bits < c.rle_bits, "0.4% density: coord {0} vs rle {1}", c.coord_bits, c.rle_bits);
+        assert!(
+            c.coord_bits < c.rle_bits,
+            "0.4% density: coord {0} vs rle {1}",
+            c.coord_bits,
+            c.rle_bits
+        );
     }
 
     #[test]

@@ -40,8 +40,8 @@ mod shape;
 mod sparse;
 
 pub use coord::{delinearize_act, delinearize_weight, ActCoord, OutCoord, WeightCoord};
-pub use encoding::{compare_encodings, BitmaskVec, CoordVec, EncodingComparison};
 pub use dense::{Dense3, Dense4};
+pub use encoding::{compare_encodings, BitmaskVec, CoordVec, EncodingComparison};
 pub use rle::{RleVec, DATA_BITS, INDEX_BITS, MAX_ZERO_RUN};
 pub use shape::ConvShape;
 pub use sparse::{CompressedActivations, CompressedWeights, OcgPartition, SparseBlock};

@@ -106,10 +106,22 @@ impl ConvShape {
             return Err("stride must be non-zero".to_owned());
         }
         if self.r > self.w + 2 * self.pad || self.s > self.h + 2 * self.pad {
-            return Err(format!("filter {}x{} exceeds padded input {}x{}", self.r, self.s, self.w + 2 * self.pad, self.h + 2 * self.pad));
+            return Err(format!(
+                "filter {}x{} exceeds padded input {}x{}",
+                self.r,
+                self.s,
+                self.w + 2 * self.pad,
+                self.h + 2 * self.pad
+            ));
         }
-        if self.groups == 0 || !self.k.is_multiple_of(self.groups) || !self.c.is_multiple_of(self.groups) {
-            return Err(format!("groups {} must divide K={} and C={}", self.groups, self.k, self.c));
+        if self.groups == 0
+            || !self.k.is_multiple_of(self.groups)
+            || !self.c.is_multiple_of(self.groups)
+        {
+            return Err(format!(
+                "groups {} must divide K={} and C={}",
+                self.groups, self.k, self.c
+            ));
         }
         Ok(())
     }
@@ -167,12 +179,7 @@ impl ConvShape {
     /// as independent sub-layers (`K/groups` outputs over `C/groups` inputs).
     #[must_use]
     pub fn group_view(&self) -> ConvShape {
-        ConvShape {
-            k: self.k_per_group(),
-            c: self.c_per_group(),
-            groups: 1,
-            ..*self
-        }
+        ConvShape { k: self.k_per_group(), c: self.c_per_group(), groups: 1, ..*self }
     }
 }
 

@@ -165,8 +165,7 @@ impl TimeLoop {
         let subs = decompose(&gshape);
         let r_max = subs.iter().map(|s| s.r).max().expect("sub-convs");
         let s_max = subs.iter().map(|s| s.s).max().expect("sub-convs");
-        let tiling =
-            PlaneTiling::new(out_w, out_h, cfg.pe_rows, cfg.pe_cols, r_max - 1, s_max - 1);
+        let tiling = PlaneTiling::new(out_w, out_h, cfg.pe_rows, cfg.pe_cols, r_max - 1, s_max - 1);
         let (mtw, mth) = tiling.max_out_dims();
         let halo_elems = (mtw + r_max - 1) * (mth + s_max - 1);
         let kc = cfg.kc_for(kpg, halo_elems, r_max * s_max);
@@ -212,9 +211,21 @@ impl TimeLoop {
                     let e_act_vecs = expected_ceil_div(area, ad, cfg.i);
                     let pairs = e_wt_vecs * e_act_vecs;
                     let vf = valid_fraction_dim(
-                        sub.dx, shape.stride, shape.pad, shape.w, sub.r, out_w, sub.plane_w,
+                        sub.dx,
+                        shape.stride,
+                        shape.pad,
+                        shape.w,
+                        sub.r,
+                        out_w,
+                        sub.plane_w,
                     ) * valid_fraction_dim(
-                        sub.dy, shape.stride, shape.pad, shape.h, sub.s, out_h, sub.plane_h,
+                        sub.dy,
+                        shape.stride,
+                        shape.pad,
+                        shape.h,
+                        sub.s,
+                        out_h,
+                        sub.plane_h,
                     );
                     let prod = n_wt as f64 * wd * area as f64 * ad;
                     let v = prod * vf;
@@ -225,10 +236,8 @@ impl TimeLoop {
                     valid += groups * cpg as f64 * v;
                     // IARAM re-read per OCG; weight FIFO restream per
                     // activation vector.
-                    iaram_words += groups
-                        * cpg as f64
-                        * expected_rle_stored(area, ad)
-                        * INDEX_OVERHEAD;
+                    iaram_words +=
+                        groups * cpg as f64 * expected_rle_stored(area, ad) * INDEX_OVERHEAD;
                     wbuf_words += groups
                         * cpg as f64
                         * expected_rle_stored(n_wt, wd)
@@ -309,8 +318,7 @@ impl TimeLoop {
                 groups * cpg as f64 * expected_rle_stored(max_area, ad) * 20.0
             })
             .sum();
-        let oaram_bits_max =
-            expected_rle_stored(shape.k * max_tile_area, od) * 20.0;
+        let oaram_bits_max = expected_rle_stored(shape.k * max_tile_area, od) * 20.0;
         let fits = iaram_bits_max <= (cfg.iaram_bytes * 8) as f64
             && oaram_bits_max <= (cfg.oaram_bytes * 8) as f64;
         let dram_tiled = !fits;
@@ -326,7 +334,15 @@ impl TimeLoop {
         let utilization = if cycles > 0.0 { products / (total_mults * cycles) } else { 0.0 };
         let _ = busy_total;
         let energy = self.energy.energy(&counts);
-        LayerEstimate { cycles, products, valid_products: valid, utilization, counts, energy, dram_tiled }
+        LayerEstimate {
+            cycles,
+            products,
+            valid_products: valid,
+            utilization,
+            counts,
+            energy,
+            dram_tiled,
+        }
     }
 
     /// Analytical dense estimate (DCNN or DCNN-opt): delegates to the
@@ -398,10 +414,7 @@ mod tests {
                 r.cycles
             );
             let prod_ratio = est.products / r.stats.products as f64;
-            assert!(
-                (0.9..1.1).contains(&prod_ratio),
-                "case {i}: products ratio {prod_ratio:.2}"
-            );
+            assert!((0.9..1.1).contains(&prod_ratio), "case {i}: products ratio {prod_ratio:.2}");
         }
     }
 

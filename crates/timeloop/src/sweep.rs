@@ -1,6 +1,12 @@
 //! Design-space sweeps built on the analytical model: the Figure 7
 //! density sensitivity study, the §VI-C PE-granularity study and the
 //! §VI-D large-network tiling study.
+//!
+//! Every sweep point is an independent, pure evaluation of the
+//! analytical model, so the sweeps fan their points out across threads
+//! via [`scnn_par::par_map`] (thread count from `SCNN_THREADS` or the
+//! machine); results come back in input order and are bit-identical to a
+//! serial evaluation.
 
 use crate::model::TimeLoop;
 use scnn_arch::{DcnnConfig, ScnnConfig};
@@ -50,34 +56,31 @@ impl DensityPoint {
 pub fn density_sweep(tl: &TimeLoop, network: &Network, densities: &[f64]) -> Vec<DensityPoint> {
     let dcnn = DcnnConfig::default();
     let dcnn_opt = DcnnConfig::optimized();
-    densities
-        .iter()
-        .map(|&d| {
-            let mut point = DensityPoint {
-                density: d,
-                scnn_cycles: 0.0,
-                dcnn_cycles: 0.0,
-                scnn_energy: 0.0,
-                dcnn_energy: 0.0,
-                dcnn_opt_energy: 0.0,
-            };
-            for (i, layer) in network.layers().iter().enumerate() {
-                if !layer.evaluated {
-                    continue;
-                }
-                let first = i == 0;
-                let s = tl.estimate_scnn(&layer.shape, d, d, first);
-                let p = tl.estimate_dcnn(&dcnn, &layer.shape, d, d, first);
-                let o = tl.estimate_dcnn(&dcnn_opt, &layer.shape, d, d, first);
-                point.scnn_cycles += s.cycles;
-                point.dcnn_cycles += p.cycles;
-                point.scnn_energy += s.energy_pj();
-                point.dcnn_energy += p.energy_pj();
-                point.dcnn_opt_energy += o.energy_pj();
+    scnn_par::par_map(densities, 0, |&d| {
+        let mut point = DensityPoint {
+            density: d,
+            scnn_cycles: 0.0,
+            dcnn_cycles: 0.0,
+            scnn_energy: 0.0,
+            dcnn_energy: 0.0,
+            dcnn_opt_energy: 0.0,
+        };
+        for (i, layer) in network.layers().iter().enumerate() {
+            if !layer.evaluated {
+                continue;
             }
-            point
-        })
-        .collect()
+            let first = i == 0;
+            let s = tl.estimate_scnn(&layer.shape, d, d, first);
+            let p = tl.estimate_dcnn(&dcnn, &layer.shape, d, d, first);
+            let o = tl.estimate_dcnn(&dcnn_opt, &layer.shape, d, d, first);
+            point.scnn_cycles += s.cycles;
+            point.dcnn_cycles += p.cycles;
+            point.scnn_energy += s.energy_pj();
+            point.dcnn_energy += p.energy_pj();
+            point.dcnn_opt_energy += o.energy_pj();
+        }
+        point
+    })
 }
 
 /// The canonical Figure 7 density grid: 0.1/0.1 through 1.0/1.0.
@@ -109,31 +112,28 @@ pub fn pe_granularity_sweep(
     profile: &DensityProfile,
     grids: &[usize],
 ) -> Vec<GranularityPoint> {
-    grids
-        .iter()
-        .map(|&grid| {
-            let cfg = ScnnConfig::with_pe_grid(grid);
-            let tl = TimeLoop::new(cfg);
-            let mut cycles = 0.0;
-            let mut products = 0.0;
-            for (i, layer) in network.layers().iter().enumerate() {
-                if !layer.evaluated {
-                    continue;
-                }
-                let d = profile.layer(i);
-                let est = tl.estimate_scnn(&layer.shape, d.weight, d.act, i == 0);
-                cycles += est.cycles;
-                products += est.products;
+    scnn_par::par_map(grids, 0, |&grid| {
+        let cfg = ScnnConfig::with_pe_grid(grid);
+        let tl = TimeLoop::new(cfg);
+        let mut cycles = 0.0;
+        let mut products = 0.0;
+        for (i, layer) in network.layers().iter().enumerate() {
+            if !layer.evaluated {
+                continue;
             }
-            GranularityPoint {
-                grid,
-                pes: grid * grid,
-                multipliers_per_pe: 1024 / (grid * grid),
-                cycles,
-                utilization: products / (1024.0 * cycles),
-            }
-        })
-        .collect()
+            let d = profile.layer(i);
+            let est = tl.estimate_scnn(&layer.shape, d.weight, d.act, i == 0);
+            cycles += est.cycles;
+            products += est.products;
+        }
+        GranularityPoint {
+            grid,
+            pes: grid * grid,
+            multipliers_per_pe: 1024 / (grid * grid),
+            cycles,
+            utilization: products / (1024.0 * cycles),
+        }
+    })
 }
 
 /// One row of the §VI-D tiling study.
@@ -158,23 +158,16 @@ pub fn tiling_study(network: &Network, profile: &DensityProfile) -> Vec<TilingRo
         oaram_bytes: usize::MAX / 16,
         ..ScnnConfig::default()
     });
-    network
-        .layers()
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| l.evaluated)
-        .map(|(i, layer)| {
-            let d = profile.layer(i);
-            let with = real.estimate_scnn(&layer.shape, d.weight, d.act, i == 0);
-            let without = unbounded.estimate_scnn(&layer.shape, d.weight, d.act, i == 0);
-            let penalty = if with.dram_tiled {
-                with.energy_pj() / without.energy_pj() - 1.0
-            } else {
-                0.0
-            };
-            TilingRow { layer: layer.name.clone(), tiled: with.dram_tiled, penalty }
-        })
-        .collect()
+    let evaluated: Vec<usize> = network.eval_indices().collect();
+    scnn_par::par_map(&evaluated, 0, |&i| {
+        let layer = &network.layers()[i];
+        let d = profile.layer(i);
+        let with = real.estimate_scnn(&layer.shape, d.weight, d.act, i == 0);
+        let without = unbounded.estimate_scnn(&layer.shape, d.weight, d.act, i == 0);
+        let penalty =
+            if with.dram_tiled { with.energy_pj() / without.energy_pj() - 1.0 } else { 0.0 };
+        TilingRow { layer: layer.name.clone(), tiled: with.dram_tiled, penalty }
+    })
 }
 
 #[cfg(test)]

@@ -13,7 +13,11 @@ fn main() {
     let net = zoo::alexnet();
     let profile = DensityProfile::paper(&net).expect("AlexNet has a paper profile");
 
-    println!("executing {} ({} conv layers) on SCNN / DCNN / DCNN-opt / oracle ...", net.name(), net.stats().conv_layers);
+    println!(
+        "executing {} ({} conv layers) on SCNN / DCNN / DCNN-opt / oracle ...",
+        net.name(),
+        net.stats().conv_layers
+    );
     let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
 
     println!("\n{}", render_fig8(&run));
@@ -23,14 +27,8 @@ fn main() {
     println!("network summary:");
     println!("  SCNN speedup over DCNN      {:.2}x (paper: 2.37x)", run.scnn_speedup());
     println!("  SCNN(oracle) speedup        {:.2}x", run.oracle_speedup());
-    println!(
-        "  SCNN energy vs DCNN         {:.2}x better",
-        1.0 / run.scnn_energy_rel()
-    );
-    println!(
-        "  DCNN-opt energy vs DCNN     {:.2}x better",
-        1.0 / run.dcnn_opt_energy_rel()
-    );
+    println!("  SCNN energy vs DCNN         {:.2}x better", 1.0 / run.scnn_energy_rel());
+    println!("  DCNN-opt energy vs DCNN     {:.2}x better", 1.0 / run.dcnn_opt_energy_rel());
     for layer in &run.layers {
         if layer.scnn.footprints.dram_tiled {
             println!("  note: {} spilled activations to DRAM", layer.name);

@@ -20,9 +20,7 @@
 //! pipeline.
 
 use scnn::scnn_arch::{DcnnConfig, ScnnConfig};
-use scnn::scnn_model::{
-    magnitude_prune, max_pool, synth_acts, synth_weights, zoo, DensityProfile,
-};
+use scnn::scnn_model::{magnitude_prune, max_pool, synth_acts, synth_weights, zoo, DensityProfile};
 use scnn::scnn_sim::{DcnnMachine, OperandProfile, RunOptions, ScnnMachine};
 
 fn main() {

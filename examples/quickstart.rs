@@ -46,11 +46,7 @@ fn main() {
         dense.cycles as f64 / result.cycles as f64,
         result.energy_pj()
     );
-    println!(
-        "  oracle     {:>9}     {:.2}x   -",
-        oracle,
-        dense.cycles as f64 / oracle as f64
-    );
+    println!("  oracle     {:>9}     {:.2}x   -", oracle, dense.cycles as f64 / oracle as f64);
     println!(
         "\n  SCNN multiplier utilization {:.0}%, PE idle {:.0}%, energy {:.2}x of DCNN",
         result.stats.utilization(1024, result.cycles) * 100.0,

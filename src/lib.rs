@@ -1,8 +1,10 @@
 //! Umbrella crate for the SCNN (ISCA 2017) reproduction workspace.
 //!
-//! This crate exists to host the workspace-level runnable [examples] and the
-//! cross-crate integration tests; the actual functionality lives in the
-//! member crates, re-exported here for convenience:
+//! This crate exists to host the workspace-level runnable examples (the
+//! `examples/` directory at the repository root — start with
+//! `cargo run --example quickstart`) and the cross-crate integration
+//! tests; the actual functionality lives in the member crates,
+//! re-exported here for convenience:
 //!
 //! * [`scnn`] — high-level accelerator API and experiment registry
 //! * [`scnn_tensor`] — dense and compressed-sparse tensor substrate
@@ -10,12 +12,13 @@
 //! * [`scnn_arch`] — accelerator configurations, energy and area models
 //! * [`scnn_sim`] — cycle-level SCNN / DCNN / oracle simulators
 //! * [`scnn_timeloop`] — TimeLoop-style analytical model and sweeps
-//!
-//! [examples]: https://example.invalid/scnn-repro
+//! * [`scnn_par`] — deterministic fork-join helpers behind the parallel
+//!   whole-network runner and sweeps
 
 pub use scnn;
 pub use scnn_arch;
 pub use scnn_model;
+pub use scnn_par;
 pub use scnn_sim;
 pub use scnn_tensor;
 pub use scnn_timeloop;

@@ -126,7 +126,8 @@ fn energy_breakdown_categories_sum_to_total() {
     let input = synth_layer_input(&shape, 0.4, 14);
     let r = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
     let e = r.energy;
-    let sum = e.compute + e.accumulate + e.xbar + e.act_ram + e.weight_buf + e.dram + e.halo + e.ppu;
+    let sum =
+        e.compute + e.accumulate + e.xbar + e.act_ram + e.weight_buf + e.dram + e.halo + e.ppu;
     assert!((sum - e.total()).abs() < 1e-6);
     assert!(e.compute > 0.0 && e.act_ram > 0.0 && e.dram > 0.0);
 }

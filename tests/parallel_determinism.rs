@@ -1,0 +1,97 @@
+//! Regression tests for the parallel whole-network runner: executing a
+//! network with 1 worker thread and with N worker threads must produce
+//! bit-identical per-layer cycles, energy and statistics, in identical
+//! layer order. Per-layer seeding (not thread scheduling) is the only
+//! source of operand randomness, so any divergence here is a bug in the
+//! fan-out, not an acceptable numerical wobble.
+
+use scnn::runner::{NetworkRun, RunConfig};
+use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+use scnn::scnn_tensor::ConvShape;
+use scnn::scnn_timeloop::{density_sweep, pe_granularity_sweep, TimeLoop};
+
+/// A small synthetic network with enough layers to occupy several
+/// workers and heterogeneous shapes so layers finish out of order.
+fn synthetic_network() -> (Network, DensityProfile) {
+    let mut layers = Vec::new();
+    let mut densities = Vec::new();
+    for i in 0..8 {
+        let k = 4 + 2 * (i % 3);
+        let c = 3 + (i % 4);
+        let plane = 8 + 2 * (i % 5);
+        layers.push(ConvLayer::new(
+            format!("conv{i}"),
+            ConvShape::new(k, c, 3, 3, plane, plane).with_pad(1),
+        ));
+        densities.push(LayerDensity::new(0.25 + 0.05 * i as f64, 0.9 - 0.05 * i as f64));
+    }
+    (Network::new("synthetic8", layers), DensityProfile::from_layers(densities))
+}
+
+fn assert_runs_identical(a: &NetworkRun, b: &NetworkRun) {
+    assert_eq!(a.layers.len(), b.layers.len());
+    for (x, y) in a.layers.iter().zip(&b.layers) {
+        assert_eq!(x.layer_index, y.layer_index, "layer order diverged");
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.scnn.cycles, y.scnn.cycles, "{}: scnn cycles", x.name);
+        assert_eq!(x.dcnn.cycles, y.dcnn.cycles, "{}: dcnn cycles", x.name);
+        assert_eq!(x.dcnn_opt.cycles, y.dcnn_opt.cycles, "{}: dcnn-opt cycles", x.name);
+        assert_eq!(x.oracle_cycles, y.oracle_cycles, "{}: oracle cycles", x.name);
+        assert_eq!(
+            x.scnn.energy_pj().to_bits(),
+            y.scnn.energy_pj().to_bits(),
+            "{}: scnn energy",
+            x.name
+        );
+        assert_eq!(
+            x.dcnn.energy_pj().to_bits(),
+            y.dcnn.energy_pj().to_bits(),
+            "{}: dcnn energy",
+            x.name
+        );
+        assert_eq!(x.scnn.stats.products, y.scnn.stats.products, "{}: products", x.name);
+        assert_eq!(x.scnn.stats.idle_cycles, y.scnn.stats.idle_cycles, "{}: idle", x.name);
+    }
+}
+
+#[test]
+fn serial_and_parallel_runs_are_bit_identical() {
+    let (net, profile) = synthetic_network();
+    let serial = NetworkRun::execute(&net, &profile, &RunConfig::default().with_threads(1));
+    for threads in [2, 4, 7] {
+        let parallel =
+            NetworkRun::execute(&net, &profile, &RunConfig::default().with_threads(threads));
+        assert_runs_identical(&serial, &parallel);
+    }
+}
+
+#[test]
+fn network_aggregates_match_across_thread_counts() {
+    let (net, profile) = synthetic_network();
+    let serial = NetworkRun::execute(&net, &profile, &RunConfig::default().with_threads(1));
+    let parallel = NetworkRun::execute(&net, &profile, &RunConfig::default().with_threads(4));
+    assert_eq!(serial.scnn_speedup().to_bits(), parallel.scnn_speedup().to_bits());
+    assert_eq!(serial.scnn_energy_rel().to_bits(), parallel.scnn_energy_rel().to_bits());
+    assert_eq!(serial.oracle_speedup().to_bits(), parallel.oracle_speedup().to_bits());
+}
+
+#[test]
+fn sweeps_are_deterministic_under_parallel_fan_out() {
+    // The sweeps parallelize internally (thread count from the machine),
+    // so two invocations exercise two different schedules; results must
+    // not depend on either.
+    let (net, profile) = synthetic_network();
+    let tl = TimeLoop::new(scnn::scnn_arch::ScnnConfig::default());
+    let densities: Vec<f64> = (1..=10).map(|i| f64::from(i) / 10.0).collect();
+    let a = density_sweep(&tl, &net, &densities);
+    let b = density_sweep(&tl, &net, &densities);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.scnn_cycles.to_bits(), y.scnn_cycles.to_bits());
+        assert_eq!(x.scnn_energy.to_bits(), y.scnn_energy.to_bits());
+    }
+    let g1 = pe_granularity_sweep(&net, &profile, &[2, 4, 8]);
+    let g2 = pe_granularity_sweep(&net, &profile, &[2, 4, 8]);
+    assert_eq!(g1, g2);
+    assert_eq!(g1.iter().map(|p| p.grid).collect::<Vec<_>>(), vec![2, 4, 8]);
+}

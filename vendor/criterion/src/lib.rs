@@ -1,0 +1,179 @@
+//! Vendored, dependency-free stand-in for the subset of `criterion` this
+//! workspace uses. The build environment has no access to crates.io, so
+//! the workspace ships a miniature wall-clock bench harness instead (see
+//! `vendor/README.md`).
+//!
+//! Each `bench_function` warms up, then times batches until a fixed
+//! measurement window elapses and prints the mean iteration time. When
+//! the binary is invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets), every benchmark body runs exactly
+//! once so the suite stays fast.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { test_mode: std::env::args().any(|a| a == "--test"), sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Runs (and times) one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.test_mode, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs (and times) one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&id, self.criterion.test_mode, samples, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    iters_hint: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // Warm-up, untimed.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            // Stop at the sample budget, or once a 200ms window has
+            // elapsed with at least 3 samples (slow routines).
+            if iters >= self.iters_hint
+                || (iters >= 3 && start.elapsed() >= Duration::from_millis(200))
+            {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, test_mode: bool, sample_size: usize, mut f: F) {
+    let mut bencher =
+        Bencher { test_mode, iters_hint: sample_size as u64, elapsed: Duration::ZERO, iters: 0 };
+    f(&mut bencher);
+    assert!(bencher.iters > 0, "benchmark {id} never called Bencher::iter");
+    if test_mode {
+        println!("test {id} ... ok");
+    } else {
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+        println!("{id:<40} time: [{} per iter, {} iters]", fmt_time(mean), bencher.iters);
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_function_times_and_counts() {
+        let mut c = super::Criterion { test_mode: false, sample_size: 5 };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls >= 5);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = super::Criterion { test_mode: true, sample_size: 100 };
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).bench_function("one", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Vendored, dependency-free stand-in for the subset of `proptest` this
+//! workspace uses. The build environment has no access to crates.io, so
+//! the workspace ships a miniature property-testing harness instead (see
+//! `vendor/README.md`).
+//!
+//! Supported surface: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), range and [`Just`] strategies,
+//! [`Strategy::prop_map`], [`prop_oneof!`] with weights,
+//! `prop::collection::vec`, and the `prop_assert*` / [`prop_assume!`]
+//! macros. Unlike real proptest there is no shrinking: a failing case
+//! panics with its generated inputs via the standard assert messages.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    //! Namespace mirror of `proptest::prop`.
+    pub mod collection {
+        //! Collection strategies.
+        pub use crate::strategy::vec;
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Runs one property-test function: `cases` iterations of generate + body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+     $($(#[$meta:meta])* fn $name:ident ($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Expands to a `continue` of the enclosing case loop, so it must appear
+/// at the top level of the test body (the only place it is meaningful).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Weighted union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}

@@ -1,0 +1,183 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + draw) as $ty
+            }
+        }
+    )*};
+}
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Weighted union of same-typed strategies (built by `prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> OneOf<T> {
+    /// A union of the given `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no arm has positive weight.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut draw = rng.next_u64() % self.total;
+        for (weight, strat) in &self.arms {
+            let weight = u64::from(*weight);
+            if draw < weight {
+                return strat.generate(rng);
+            }
+            draw -= weight;
+        }
+        unreachable!("weighted draw out of bounds")
+    }
+}
+
+/// Vectors of `elem` values with a length drawn from `len` (mirrors
+/// `proptest::collection::vec`).
+pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+/// The [`vec`] strategy.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.len.clone().generate(rng);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_map() {
+        let mut rng = TestRng::for_test("ranges_and_map");
+        for _ in 0..200 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (1i32..1000).prop_map(|v| v as f32 / 16.0).generate(&mut rng);
+            assert!(f > 0.0 && f < 62.5);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights() {
+        let strat = crate::prop_oneof![
+            7 => Just(0.0f32),
+            3 => (1i32..1000).prop_map(|v| v as f32 / 16.0),
+        ];
+        let mut rng = TestRng::for_test("oneof_respects_weights");
+        let zeros = (0..10_000).filter(|_| strat.generate(&mut rng) == 0.0).count();
+        assert!((6_500..7_500).contains(&zeros), "zeros={zeros}");
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let strat = vec(0u8..10, 2..6);
+        let mut rng = TestRng::for_test("vec_lengths_in_range");
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 10));
+        }
+    }
+}

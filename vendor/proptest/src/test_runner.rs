@@ -1,0 +1,68 @@
+//! Test configuration and the deterministic case generator.
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic generator driving the strategies (SplitMix64).
+///
+/// Each test gets a stream derived from its own name, so adding or
+/// reordering sibling tests never changes the cases a test sees.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Stream for the named test.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let mut state = 0x5CA1_AB1E_F00D_D00Du64;
+        for b in name.bytes() {
+            state = state.wrapping_mul(0x100_0000_01B3).wrapping_add(u64::from(b));
+        }
+        Self { state }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty bound");
+        (self.next_u64() % bound as u64) as usize
+    }
+}

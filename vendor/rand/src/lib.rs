@@ -1,0 +1,228 @@
+//! Vendored, dependency-free stand-in for the subset of the `rand` 0.8
+//! API this workspace uses. The build environment has no access to
+//! crates.io, so the workspace ships its own seeded generator instead
+//! (see `vendor/README.md`).
+//!
+//! The API mirrors `rand` 0.8: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over half-open ranges, [`Rng::gen_bool`], and
+//! [`seq::SliceRandom::shuffle`]. The generator behind [`rngs::StdRng`]
+//! is xoshiro256** seeded through SplitMix64 — high-quality and, most
+//! importantly for the reproduction, fully deterministic per seed.
+
+#![warn(missing_docs)]
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples uniformly from a half-open `low..high` range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        f64_from_bits(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+fn f64_from_bits(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can produce a uniform sample; mirrors
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_float_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let unit = f64_from_bits(rng.next_u64()) as $ty;
+                let v = self.start + unit * (self.end - self.start);
+                // Narrowing the [0,1) unit (f64→f32) or the affine map
+                // itself can round up to exactly `end`; keep the
+                // half-open contract.
+                if v < self.end { v } else { self.end.next_down() }
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+macro_rules! impl_int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + draw) as $ty
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use crate::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256** with
+    /// SplitMix64 seeding (the reference initialization procedure).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            Self { s: core::array::from_fn(|_| splitmix64(&mut sm)) }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers.
+
+    use crate::RngCore;
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        #[allow(clippy::cast_possible_truncation)]
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(0.05f32..1.0);
+            assert!((0.05..1.0).contains(&x));
+            let y = rng.gen_range(0.0f64..0.05);
+            assert!((0.0..0.05).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        for _ in 0..100 {
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits={hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut data: Vec<u32> = (0..100).collect();
+        data.shuffle(&mut rng);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(data, sorted, "shuffle left the slice untouched");
+    }
+}
