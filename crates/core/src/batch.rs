@@ -1,0 +1,385 @@
+//! Compile-once batched inference: one weight compilation, many images.
+//!
+//! SCNN holds compressed weights stationary in the PEs so that "multiple
+//! images can be processed sequentially to amortize the cost of loading
+//! the weights" (§IV). [`CompiledNetwork`] is the compile phase — every
+//! evaluated layer's weights synthesized, compressed and partitioned
+//! exactly once — and [`BatchRun`] is the execute phase: a batch of `B`
+//! images, each with its own synthesized input activations, fanned over
+//! the `(layer x image)` grid through [`scnn_par::par_map`].
+//!
+//! Two costs amortize across the batch:
+//!
+//! * **compilation** (weight synthesis + compression + OCG partitioning)
+//!   is paid once, not once per image — a real single-core speedup;
+//! * **weight DRAM traffic** is charged to the first image only; later
+//!   images execute against the resident compressed weights
+//!   ([`RunOptions::weights_from_dram`] cleared), so per-image weight
+//!   traffic falls as `1/B`.
+//!
+//! Every `(layer, image)` cell derives its operands from its own seed, so
+//! serial and parallel batch executions are bit-identical, and image 0 of
+//! any batch is bit-identical to [`NetworkRun::execute`] on the same
+//! configuration.
+
+use crate::runner::{input_seed, layer_seed, LayerRun, NetworkRun, RunConfig};
+use scnn_arch::DcnnConfig;
+use scnn_model::{synth_layer_input, synth_weights, DensityProfile, LayerDensity, Network};
+use scnn_sim::{
+    oracle_cycles, CompiledLayer, DcnnMachine, OperandProfile, RunOptions, ScnnMachine,
+};
+
+/// One evaluated layer's compile-phase output: the compressed-weight
+/// machine state plus the metadata the execute phase needs.
+#[derive(Debug, Clone)]
+pub struct CompiledNetworkLayer {
+    /// Index into [`Network::layers`].
+    pub layer_index: usize,
+    /// Layer name.
+    pub name: String,
+    /// Figure aggregation label (e.g. `IC_3a`), when any.
+    pub group_label: Option<String>,
+    /// The layer's density profile entry (weights synthesized at
+    /// `density.weight`; each image's input at `density.act`).
+    pub density: LayerDensity,
+    /// Measured density of the synthesized weight tensor (for the dense
+    /// baselines' operand profile).
+    pub weight_density: f64,
+    /// The compiled weight-stationary state.
+    pub compiled: CompiledLayer,
+}
+
+/// A network compiled against one set of synthesized weights: the compile
+/// phase of batched inference.
+///
+/// Build once with [`CompiledNetwork::compile`], then execute any number
+/// of images with [`CompiledNetwork::run_image`] or whole batches with
+/// [`BatchRun::execute`].
+#[derive(Debug, Clone)]
+pub struct CompiledNetwork {
+    /// The network that was compiled.
+    pub network: Network,
+    /// The density profile used.
+    pub profile: DensityProfile,
+    /// The run configuration (machines, seed, threads).
+    pub config: RunConfig,
+    /// One entry per evaluated layer, in layer order.
+    pub layers: Vec<CompiledNetworkLayer>,
+}
+
+impl CompiledNetwork {
+    /// Compiles every evaluated layer of `network`: weights are
+    /// synthesized at the profile's densities and block-compressed once.
+    /// Layers fan out across [`RunConfig::threads`] workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is misaligned with the network.
+    #[must_use]
+    pub fn compile(network: &Network, profile: &DensityProfile, config: &RunConfig) -> Self {
+        assert_eq!(profile.len(), network.layers().len(), "profile misaligned");
+        let scnn = ScnnMachine::new(config.scnn).with_energy_model(config.energy);
+        let evaluated: Vec<usize> = network.eval_indices().collect();
+        let layers = scnn_par::par_map(&evaluated, config.threads, |&i| {
+            let layer = &network.layers()[i];
+            let d = profile.layer(i);
+            let weights = synth_weights(&layer.shape, d.weight, layer_seed(config.seed, i));
+            CompiledNetworkLayer {
+                layer_index: i,
+                name: layer.name.clone(),
+                group_label: layer.group_label.clone(),
+                density: d,
+                weight_density: weights.density(),
+                compiled: scnn.compile_layer(&layer.shape, &weights),
+            }
+        });
+        Self { network: network.clone(), profile: profile.clone(), config: config.clone(), layers }
+    }
+
+    /// Compiles with the paper's density profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no published profile.
+    #[must_use]
+    pub fn compile_paper(network: &Network, config: &RunConfig) -> Self {
+        let profile = DensityProfile::paper(network).expect("no paper profile for this network");
+        Self::compile(network, &profile, config)
+    }
+
+    /// Total compressed weight footprint across evaluated layers, in
+    /// 16-bit DRAM words — the fetch the *first* image of a batch pays.
+    #[must_use]
+    pub fn weight_dram_words(&self) -> f64 {
+        self.layers.iter().map(|l| l.compiled.weight_dram_words()).sum()
+    }
+
+    /// Executes one `(layer-slot, image)` cell of the batch grid.
+    ///
+    /// `slot` indexes [`CompiledNetwork::layers`]; each image's *first*
+    /// evaluated layer pays the DRAM input fetch, and only image 0 pays
+    /// the weight fetch (later images hit the resident FIFO, §IV).
+    fn execute_cell(&self, machines: &Machines, slot: usize, image: usize) -> LayerRun {
+        let cl = &self.layers[slot];
+        let shape = cl.compiled.shape();
+        let input = synth_layer_input(
+            shape,
+            cl.density.act,
+            input_seed(self.config.seed, cl.layer_index, image),
+        );
+        let opts = RunOptions {
+            input_from_dram: slot == 0,
+            weights_from_dram: image == 0,
+            ..Default::default()
+        };
+
+        let mut s = machines.scnn.execute_layer(&cl.compiled, &input, &opts);
+        let operand = OperandProfile::measure(&input, cl.weight_density, s.output.as_ref());
+        s.output = None; // keep the run lightweight
+        let p = machines.dcnn.run_layer(shape, &operand, opts.input_from_dram);
+        let o = machines.dcnn_opt.run_layer(shape, &operand, opts.input_from_dram);
+        let oracle = oracle_cycles(s.stats.products, machines.total_mults);
+
+        LayerRun {
+            layer_index: cl.layer_index,
+            name: cl.name.clone(),
+            group_label: cl.group_label.clone(),
+            scnn: s,
+            dcnn: p,
+            dcnn_opt: o,
+            oracle_cycles: oracle,
+        }
+    }
+
+    /// Executes one image (layers fan out across workers) and returns its
+    /// [`NetworkRun`]. Image 0 reproduces [`NetworkRun::execute`]
+    /// bit-for-bit; later images draw fresh input activations and skip
+    /// the weight DRAM fetch.
+    #[must_use]
+    pub fn run_image(&self, image: usize) -> NetworkRun {
+        let machines = Machines::new(&self.config);
+        let slots: Vec<usize> = (0..self.layers.len()).collect();
+        let layers = scnn_par::par_map(&slots, self.config.threads, |&slot| {
+            self.execute_cell(&machines, slot, image)
+        });
+        NetworkRun {
+            network: self.network.clone(),
+            profile: self.profile.clone(),
+            config: self.config.clone(),
+            layers,
+        }
+    }
+}
+
+/// The three machine models an execution needs, built once per batch.
+struct Machines {
+    scnn: ScnnMachine,
+    dcnn: DcnnMachine,
+    dcnn_opt: DcnnMachine,
+    total_mults: u64,
+}
+
+impl Machines {
+    fn new(config: &RunConfig) -> Self {
+        Self {
+            scnn: ScnnMachine::new(config.scnn).with_energy_model(config.energy),
+            dcnn: DcnnMachine::new(DcnnConfig { optimized: false, ..config.dcnn })
+                .with_energy_model(config.energy),
+            dcnn_opt: DcnnMachine::new(DcnnConfig { optimized: true, ..config.dcnn })
+                .with_energy_model(config.energy),
+            total_mults: config.scnn.total_multipliers() as u64,
+        }
+    }
+}
+
+/// A batch of `B` images executed against one [`CompiledNetwork`]: the
+/// execute phase of batched inference.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Total compressed weight DRAM words, paid once by image 0.
+    pub weight_dram_words: f64,
+    /// One [`NetworkRun`] per image, in image order.
+    pub images: Vec<NetworkRun>,
+}
+
+impl BatchRun {
+    /// Executes `batch` images against `compiled`, fanning the whole
+    /// `(layer x image)` grid through [`scnn_par::par_map`] at once so
+    /// stragglers in one image overlap with work from another. Results
+    /// are bit-identical at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn execute(compiled: &CompiledNetwork, batch: usize) -> Self {
+        assert!(batch > 0, "a batch needs at least one image");
+        let machines = Machines::new(&compiled.config);
+        let slots = compiled.layers.len();
+        let cells: Vec<(usize, usize)> =
+            (0..batch).flat_map(|b| (0..slots).map(move |s| (b, s))).collect();
+        let results = scnn_par::par_map(&cells, compiled.config.threads, |&(image, slot)| {
+            compiled.execute_cell(&machines, slot, image)
+        });
+
+        let mut results = results.into_iter();
+        let images = (0..batch)
+            .map(|_| NetworkRun {
+                network: compiled.network.clone(),
+                profile: compiled.profile.clone(),
+                config: compiled.config.clone(),
+                layers: results.by_ref().take(slots).collect(),
+            })
+            .collect();
+        Self { weight_dram_words: compiled.weight_dram_words(), images }
+    }
+
+    /// Number of images in the batch.
+    #[must_use]
+    pub fn batch_size(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Total SCNN cycles across all images (sequential-image latency).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.images.iter().map(|img| img.layers.iter().map(|l| l.scnn.cycles).sum::<u64>()).sum()
+    }
+
+    /// Mean SCNN cycles per image.
+    #[must_use]
+    pub fn cycles_per_image(&self) -> f64 {
+        self.total_cycles() as f64 / self.batch_size().max(1) as f64
+    }
+
+    /// Total SCNN energy across all images, in picojoules.
+    #[must_use]
+    pub fn total_energy_pj(&self) -> f64 {
+        self.images
+            .iter()
+            .map(|img| img.layers.iter().map(|l| l.scnn.energy_pj()).sum::<f64>())
+            .sum()
+    }
+
+    /// Mean SCNN energy per image in picojoules (the weight-fetch energy
+    /// image 0 paid is spread across the batch by construction).
+    #[must_use]
+    pub fn energy_pj_per_image(&self) -> f64 {
+        self.total_energy_pj() / self.batch_size().max(1) as f64
+    }
+
+    /// Total SCNN DRAM traffic across all images, in 16-bit words.
+    #[must_use]
+    pub fn total_dram_words(&self) -> f64 {
+        self.images
+            .iter()
+            .map(|img| img.layers.iter().map(|l| l.scnn.counts.dram_words).sum::<f64>())
+            .sum()
+    }
+
+    /// Mean SCNN DRAM words per image.
+    #[must_use]
+    pub fn dram_words_per_image(&self) -> f64 {
+        self.total_dram_words() / self.batch_size().max(1) as f64
+    }
+
+    /// Weight DRAM words amortized per image: the whole-network weight
+    /// fetch divided by the batch size (`1/B` scaling, §IV).
+    #[must_use]
+    pub fn weight_dram_words_per_image(&self) -> f64 {
+        self.weight_dram_words / self.batch_size().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_model::ConvLayer;
+    use scnn_tensor::ConvShape;
+
+    fn tiny_network() -> (Network, DensityProfile) {
+        let net = Network::new(
+            "tiny",
+            vec![
+                ConvLayer::new("a", ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1)),
+                ConvLayer::new("b", ConvShape::new(16, 8, 1, 1, 12, 12)),
+            ],
+        );
+        let profile = DensityProfile::from_layers(vec![
+            LayerDensity::new(0.4, 1.0),
+            LayerDensity::new(0.35, 0.45),
+        ]);
+        (net, profile)
+    }
+
+    #[test]
+    fn image_zero_matches_network_run() {
+        let (net, profile) = tiny_network();
+        let config = RunConfig::default();
+        let run = NetworkRun::execute(&net, &profile, &config);
+        let compiled = CompiledNetwork::compile(&net, &profile, &config);
+        let batch = BatchRun::execute(&compiled, 1);
+        assert_eq!(batch.batch_size(), 1);
+        let img0 = &batch.images[0];
+        assert_eq!(img0.layers.len(), run.layers.len());
+        for (x, y) in img0.layers.iter().zip(&run.layers) {
+            assert_eq!(x.scnn.cycles, y.scnn.cycles, "{}", x.name);
+            assert_eq!(x.scnn.counts, y.scnn.counts, "{}", x.name);
+            assert_eq!(x.dcnn.cycles, y.dcnn.cycles, "{}", x.name);
+            assert_eq!(x.oracle_cycles, y.oracle_cycles, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn later_images_draw_fresh_inputs() {
+        let (net, profile) = tiny_network();
+        let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
+        let batch = BatchRun::execute(&compiled, 3);
+        // Layer "b" has act density < 1, so independent draws differ.
+        let cycles: Vec<u64> = batch.images.iter().map(|i| i.layers[1].scnn.cycles).collect();
+        assert!(cycles.windows(2).any(|w| w[0] != w[1]), "images should not be clones: {cycles:?}");
+    }
+
+    #[test]
+    fn weight_dram_amortizes_across_batch() {
+        let (net, profile) = tiny_network();
+        let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
+        let weight_words = compiled.weight_dram_words();
+        assert!(weight_words > 0.0);
+        let b1 = BatchRun::execute(&compiled, 1);
+        let b4 = BatchRun::execute(&compiled, 4);
+        assert!(b4.weight_dram_words_per_image() < b1.weight_dram_words_per_image());
+        assert!((b4.weight_dram_words_per_image() - weight_words / 4.0).abs() < 1e-9);
+        // Images past the first skip the weight fetch entirely: their
+        // non-first resident layers touch DRAM not at all, and their
+        // first layer pays only the input fetch.
+        for img in &b4.images[1..] {
+            assert_eq!(img.layers[1].scnn.counts.dram_words, 0.0, "resident layer hit DRAM");
+            let first = img.layers[0].scnn.counts.dram_words;
+            assert!(first > 0.0, "first layer must pay the input fetch");
+            assert!(
+                first < b4.images[0].layers[0].scnn.counts.dram_words,
+                "weight fetch should be gone for image > 0"
+            );
+        }
+    }
+
+    #[test]
+    fn run_image_matches_batch_cell() {
+        let (net, profile) = tiny_network();
+        let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
+        let batch = BatchRun::execute(&compiled, 2);
+        for image in 0..2 {
+            let solo = compiled.run_image(image);
+            for (x, y) in solo.layers.iter().zip(&batch.images[image].layers) {
+                assert_eq!(x.scnn.cycles, y.scnn.cycles);
+                assert_eq!(
+                    x.scnn.energy_pj().to_bits(),
+                    y.scnn.energy_pj().to_bits(),
+                    "image {image}, layer {}",
+                    x.name
+                );
+            }
+        }
+    }
+}

@@ -186,10 +186,12 @@ pub struct Fig9Row {
     pub idle_fraction: f64,
 }
 
-/// Regenerates Figure 9 for an executed network.
+/// Regenerates Figure 9 for an executed network. The multiplier count
+/// comes from the configuration the run executed with, so off-default
+/// configs (e.g. the PE-granularity sweep) report true utilization.
 #[must_use]
 pub fn fig9(run: &NetworkRun) -> Vec<Fig9Row> {
-    let total_mults = 1024u64;
+    let total_mults = run.config.scnn.total_multipliers() as u64;
     display_units(run)
         .into_iter()
         .map(|(label, layers)| {

@@ -7,6 +7,9 @@
 //!   layers across the SCNN cycle-level simulator, the DCNN / DCNN-opt
 //!   dense baselines and the `SCNN(oracle)` bound, with synthesized
 //!   operands at the paper's measured densities;
+//! * [`batch`] — [`CompiledNetwork`] / [`BatchRun`]: compile each layer's
+//!   weights once and execute batches of images against the resident
+//!   state, amortizing weight compression and weight DRAM traffic;
 //! * [`experiments`] — one entry point per table and figure of the
 //!   paper's evaluation section;
 //! * re-exports of the member crates (`scnn_tensor`, `scnn_model`,
@@ -32,10 +35,12 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod experiments;
 pub mod runner;
 pub mod textutil;
 
+pub use batch::{BatchRun, CompiledNetwork, CompiledNetworkLayer};
 pub use runner::{LayerRun, NetworkRun, RunConfig};
 
 pub use scnn_arch;

@@ -7,15 +7,42 @@
 //! operands, and derive the `SCNN(oracle)` bound — yielding everything
 //! Figures 8, 9 and 10 plot.
 //!
+//! Since the compile/execute split, `execute` is literally a batch of
+//! one: weights are synthesized and compressed once per layer by
+//! [`CompiledNetwork::compile`], and image 0 is executed against the
+//! compiled state. [`crate::batch::BatchRun`] runs more images against
+//! the same compilation.
+//!
 //! Layer executions are independent by construction — every layer's
 //! operands come from its own seed (`RunConfig::seed` mixed with the
 //! layer index), never from a shared stream — so the runner fans them out
 //! across threads ([`RunConfig::threads`]) and reassembles results in
 //! layer order. Parallel and serial runs are bit-identical.
 
+use crate::batch::CompiledNetwork;
 use scnn_arch::{DcnnConfig, EnergyModel, ScnnConfig};
-use scnn_model::{synth_layer_input, synth_weights, DensityProfile, Network};
-use scnn_sim::{oracle_cycles, DcnnMachine, LayerResult, OperandProfile, RunOptions, ScnnMachine};
+use scnn_model::{DensityProfile, Network};
+use scnn_sim::LayerResult;
+
+/// Multiplicative stride separating per-layer operand seeds.
+const LAYER_SEED_STRIDE: u64 = 7919;
+/// Additive stride separating per-image input seeds within a batch.
+const IMAGE_SEED_STRIDE: u64 = 104_729;
+
+/// The weight-synthesis seed of layer `i` (independent of the image, so a
+/// whole batch shares one compiled weight set).
+#[must_use]
+pub(crate) fn layer_seed(base: u64, layer_index: usize) -> u64 {
+    base.wrapping_add(layer_index as u64 * LAYER_SEED_STRIDE)
+}
+
+/// The input-synthesis seed of layer `i` for batch image `image`. Image 0
+/// reproduces the single-image [`NetworkRun::execute`] stream exactly;
+/// later images draw independent activations.
+#[must_use]
+pub(crate) fn input_seed(base: u64, layer_index: usize, image: usize) -> u64 {
+    layer_seed(base, layer_index).wrapping_add(1).wrapping_add(image as u64 * IMAGE_SEED_STRIDE)
+}
 
 /// Per-layer results across the machine models.
 #[derive(Debug, Clone)]
@@ -69,6 +96,8 @@ pub struct NetworkRun {
     pub network: Network,
     /// The density profile used.
     pub profile: DensityProfile,
+    /// The configuration the run executed under (machine models, seed).
+    pub config: RunConfig,
     /// One entry per evaluated layer, in layer order.
     pub layers: Vec<LayerRun>,
 }
@@ -116,50 +145,18 @@ impl NetworkRun {
     /// Executes every evaluated layer of `network` at the profile's
     /// densities on all machine models.
     ///
+    /// This is exactly a batch of one: the network is compiled once
+    /// ([`CompiledNetwork::compile`]) and image 0 is executed against it.
+    /// Process more images against the same compilation with
+    /// [`crate::batch::BatchRun`] to amortize the compile work and the
+    /// weight DRAM fetch.
+    ///
     /// # Panics
     ///
     /// Panics if the profile is misaligned with the network.
     #[must_use]
     pub fn execute(network: &Network, profile: &DensityProfile, config: &RunConfig) -> Self {
-        assert_eq!(profile.len(), network.layers().len(), "profile misaligned");
-        let scnn = ScnnMachine::new(config.scnn).with_energy_model(config.energy);
-        let dcnn = DcnnMachine::new(DcnnConfig { optimized: false, ..config.dcnn })
-            .with_energy_model(config.energy);
-        let dcnn_opt = DcnnMachine::new(DcnnConfig { optimized: true, ..config.dcnn })
-            .with_energy_model(config.energy);
-        let total_mults = config.scnn.total_multipliers() as u64;
-
-        let first_eval = network.eval_indices().next();
-        let evaluated: Vec<usize> = network.eval_indices().collect();
-        // Each layer's operands derive from its own seed, so layers fan
-        // out across threads; `par_map` returns them in layer order,
-        // making the parallel run bit-identical to the serial one.
-        let layers = scnn_par::par_map(&evaluated, config.threads, |&i| {
-            let layer = &network.layers()[i];
-            let d = profile.layer(i);
-            let seed = config.seed.wrapping_add(i as u64 * 7919);
-            let weights = synth_weights(&layer.shape, d.weight, seed);
-            let input = synth_layer_input(&layer.shape, d.act, seed.wrapping_add(1));
-            let opts = RunOptions { input_from_dram: Some(i) == first_eval, ..Default::default() };
-
-            let mut s = scnn.run_layer(&layer.shape, &weights, &input, &opts);
-            let operand = OperandProfile::measure(&input, weights.density(), s.output.as_ref());
-            s.output = None; // keep the run lightweight
-            let p = dcnn.run_layer(&layer.shape, &operand, opts.input_from_dram);
-            let o = dcnn_opt.run_layer(&layer.shape, &operand, opts.input_from_dram);
-            let oracle = oracle_cycles(s.stats.products, total_mults);
-
-            LayerRun {
-                layer_index: i,
-                name: layer.name.clone(),
-                group_label: layer.group_label.clone(),
-                scnn: s,
-                dcnn: p,
-                dcnn_opt: o,
-                oracle_cycles: oracle,
-            }
-        });
-        Self { network: network.clone(), profile: profile.clone(), layers }
+        CompiledNetwork::compile(network, profile, config).run_image(0)
     }
 
     /// Runs with the paper's density profile.
@@ -185,19 +182,24 @@ impl NetworkRun {
     }
 
     /// Network-level SCNN speedup over DCNN (total cycles).
+    ///
+    /// Guarded like the per-layer [`LayerRun::scnn_speedup`]: a zero
+    /// cycle total (e.g. a network whose layers are all excluded from
+    /// evaluation) yields `0.0`, never `NaN`.
     #[must_use]
     pub fn scnn_speedup(&self) -> f64 {
         let all: Vec<&LayerRun> = self.layers.iter().collect();
         self.sum_cycles(&all, |l| l.dcnn.cycles) as f64
-            / self.sum_cycles(&all, |l| l.scnn.cycles) as f64
+            / self.sum_cycles(&all, |l| l.scnn.cycles).max(1) as f64
     }
 
-    /// Network-level oracle speedup over DCNN.
+    /// Network-level oracle speedup over DCNN (same guard as
+    /// [`NetworkRun::scnn_speedup`]).
     #[must_use]
     pub fn oracle_speedup(&self) -> f64 {
         let all: Vec<&LayerRun> = self.layers.iter().collect();
         self.sum_cycles(&all, |l| l.dcnn.cycles) as f64
-            / self.sum_cycles(&all, |l| l.oracle_cycles) as f64
+            / self.sum_cycles(&all, |l| l.oracle_cycles).max(1) as f64
     }
 
     /// Network-level SCNN energy relative to DCNN.
@@ -216,12 +218,26 @@ impl NetworkRun {
         opt / dcnn
     }
 
-    /// Network-level average multiplier utilization of SCNN.
+    /// Network-level average multiplier utilization of SCNN, over the
+    /// multiplier count of the configuration the run actually executed
+    /// with ([`RunConfig::scnn`]).
     #[must_use]
-    pub fn scnn_utilization(&self, total_multipliers: u64) -> f64 {
+    pub fn scnn_utilization(&self) -> f64 {
+        #[allow(deprecated)]
+        self.scnn_utilization_with(self.config.scnn.total_multipliers() as u64)
+    }
+
+    /// Network-level utilization over a caller-supplied multiplier count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `scnn_utilization()`; a caller-supplied multiplier count can disagree \
+                with the configuration the run executed with"
+    )]
+    #[must_use]
+    pub fn scnn_utilization_with(&self, total_multipliers: u64) -> f64 {
         let products: u64 = self.layers.iter().map(|l| l.scnn.stats.products).sum();
         let cycles: u64 = self.layers.iter().map(|l| l.scnn.cycles).sum();
-        products as f64 / (total_multipliers * cycles.max(1)) as f64
+        products as f64 / (total_multipliers.max(1) * cycles.max(1)) as f64
     }
 }
 
@@ -303,7 +319,44 @@ mod tests {
         assert!(run.scnn_energy_rel() > 0.0);
         assert!(run.dcnn_opt_energy_rel() > 0.0);
         assert!(run.dcnn_opt_energy_rel() <= 1.0 + 1e-9);
-        let util = run.scnn_utilization(1024);
+        let util = run.scnn_utilization();
         assert!(util > 0.0 && util <= 1.0);
+    }
+
+    #[test]
+    fn utilization_derives_from_the_run_config() {
+        let (net, profile) = tiny_network();
+        let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
+        // The argument form, fed the configured multiplier count, must
+        // agree with the derived form exactly.
+        let mults = run.config.scnn.total_multipliers() as u64;
+        assert_eq!(mults, 1024);
+        #[allow(deprecated)]
+        let explicit = run.scnn_utilization_with(mults);
+        assert_eq!(run.scnn_utilization().to_bits(), explicit.to_bits());
+        // A disagreeing caller-supplied count is exactly the bug the
+        // derived form closes: it scales the answer, silently.
+        #[allow(deprecated)]
+        let wrong = run.scnn_utilization_with(2 * mults);
+        assert!((wrong - run.scnn_utilization() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_evaluated_layers_yield_finite_ratios() {
+        // A network whose only layer is excluded from the evaluation set
+        // produces an empty run; the aggregates must stay finite (the
+        // unguarded 0/0 returned NaN).
+        let net = Network::new(
+            "empty",
+            vec![ConvLayer::new("skip", ConvShape::new(4, 4, 3, 3, 8, 8)).excluded()],
+        );
+        let profile = DensityProfile::from_layers(vec![LayerDensity::new(0.5, 0.5)]);
+        let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
+        assert!(run.layers.is_empty());
+        assert!(!run.scnn_speedup().is_nan(), "scnn_speedup must not be NaN");
+        assert!(!run.oracle_speedup().is_nan(), "oracle_speedup must not be NaN");
+        assert_eq!(run.scnn_speedup(), 0.0);
+        assert_eq!(run.oracle_speedup(), 0.0);
+        assert!(!run.scnn_utilization().is_nan());
     }
 }

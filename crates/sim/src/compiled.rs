@@ -1,0 +1,109 @@
+//! Compile-once layer state: everything [`ScnnMachine::run_layer`] derives
+//! from the *weights* and the *geometry* alone, hoisted out of the
+//! per-image hot loop.
+//!
+//! SCNN's dataflow holds compressed weights stationary in the PEs so that
+//! "multiple images can be processed sequentially to amortize the cost of
+//! loading the weights" (§IV). [`CompiledLayer`] is the software analogue
+//! of that resident state: the planar tiling, the stride-1 sub-convolution
+//! decomposition, the output-channel-group partition and the compressed
+//! weight blocks — built once by [`ScnnMachine::compile_layer`] and reused
+//! by [`ScnnMachine::execute_layer`] for every image in a batch.
+//!
+//! [`ScnnMachine::run_layer`]: crate::ScnnMachine::run_layer
+//! [`ScnnMachine::compile_layer`]: crate::ScnnMachine::compile_layer
+//! [`ScnnMachine::execute_layer`]: crate::ScnnMachine::execute_layer
+
+use crate::phase::WtEntry;
+use crate::subconv::SubConv;
+use crate::tiling::PlaneTiling;
+use scnn_arch::ScnnConfig;
+use scnn_tensor::{ConvShape, OcgPartition};
+
+/// Extracted non-zero entries plus the RAM-resident (stored) element
+/// count of one compressed block.
+pub(crate) type Block<T> = (Vec<T>, usize);
+/// Blocks indexed `[outer][middle][channel]`.
+pub(crate) type BlockGrid<T> = Vec<Vec<Vec<Block<T>>>>;
+
+/// One filter group's compiled state: its sub-convolution decomposition,
+/// output-channel-group partition and compressed weight blocks.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledGroup {
+    /// Stride-1 sub-convolutions of the (group-view) layer shape.
+    pub(crate) subs: Vec<SubConv>,
+    /// Widest sub-filter extent along `W` across sub-convolutions.
+    pub(crate) r_max: usize,
+    /// Widest sub-filter extent along `H`.
+    pub(crate) s_max: usize,
+    /// Output-channel-group partition (`Kc` sizing per §III-A).
+    pub(crate) partition: OcgPartition,
+    /// Compressed weight entries `wt[sub][ocg][c] = (entries, stored)`.
+    pub(crate) wt: BlockGrid<WtEntry>,
+}
+
+/// A layer compiled against one weight tensor: the weight-stationary
+/// state a batch of images executes against.
+///
+/// Build with [`ScnnMachine::compile_layer`], execute with
+/// [`ScnnMachine::execute_layer`]. The compiled form is tied to the
+/// machine configuration that built it (tiling and `Kc` both depend on
+/// it), so executing it on a differently-configured machine is a logic
+/// error.
+///
+/// [`ScnnMachine::compile_layer`]: crate::ScnnMachine::compile_layer
+/// [`ScnnMachine::execute_layer`]: crate::ScnnMachine::execute_layer
+#[derive(Debug, Clone)]
+pub struct CompiledLayer {
+    /// The machine configuration the layer was compiled for; execution
+    /// asserts it matches the executing machine's.
+    pub(crate) config: ScnnConfig,
+    /// The layer geometry the weights were compiled for.
+    pub(crate) shape: ConvShape,
+    /// Planar tiling of the activation plane across the PE array.
+    pub(crate) tiling: PlaneTiling,
+    /// Per-filter-group compiled state.
+    pub(crate) groups: Vec<CompiledGroup>,
+    /// Total compressed weight footprint in bits (data + indices).
+    pub(crate) weight_bits: usize,
+}
+
+impl CompiledLayer {
+    /// The machine configuration this compilation targets.
+    #[must_use]
+    pub fn config(&self) -> &ScnnConfig {
+        &self.config
+    }
+
+    /// The layer geometry this compilation targets.
+    #[must_use]
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// Total compressed weight footprint in bits — the DRAM traffic the
+    /// *first* image of a batch pays to stream the weights in.
+    #[must_use]
+    pub fn weight_bits(&self) -> usize {
+        self.weight_bits
+    }
+
+    /// Compressed weight footprint in 16-bit DRAM words.
+    #[must_use]
+    pub fn weight_dram_words(&self) -> f64 {
+        self.weight_bits as f64 / 16.0
+    }
+
+    /// Total stride-1 sub-convolutions across filter groups.
+    #[must_use]
+    pub fn sub_conv_count(&self) -> usize {
+        self.groups.iter().map(|g| g.subs.len()).sum()
+    }
+
+    /// Total output-channel groups (inter-PE barriers) across filter
+    /// groups.
+    #[must_use]
+    pub fn ocg_count(&self) -> usize {
+        self.groups.iter().map(|g| g.partition.len()).sum()
+    }
+}

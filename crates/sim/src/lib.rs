@@ -9,7 +9,9 @@
 //! * [`ScnnMachine`] — the functional, cycle-level SCNN model (PE array,
 //!   compressed operand delivery, Cartesian-product multiplier arrays,
 //!   scatter crossbar + banked accumulators, PPU with output-halo
-//!   exchange, inter-PE barriers, DRAM/tiling accounting);
+//!   exchange, inter-PE barriers, DRAM/tiling accounting), with a
+//!   compile/execute split ([`CompiledLayer`]) so one weight compression
+//!   serves a whole batch of images;
 //! * [`DcnnMachine`] — the comparably-provisioned dense baseline
 //!   (PT-IS-DP-dense), in plain and `-opt` variants;
 //! * [`oracle_cycles`] — the `SCNN(oracle)` packing lower bound;
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod compiled;
 mod dense;
 mod machine;
 mod oracle;
@@ -47,6 +50,7 @@ mod stats;
 mod subconv;
 mod tiling;
 
+pub use compiled::CompiledLayer;
 pub use dense::{DcnnMachine, OperandProfile};
 pub use machine::{RunOptions, ScnnMachine};
 pub use oracle::oracle_cycles;

@@ -14,6 +14,7 @@
 //! The model is *functional*: it computes real output values, which the
 //! test-suite validates against the dense reference convolution.
 
+use crate::compiled::{BlockGrid, CompiledGroup, CompiledLayer};
 use crate::phase::{run_phase, ActEntry, PhaseGeom, WtEntry};
 use crate::stats::{Footprints, LayerResult, LayerStats};
 use crate::subconv::{decompose, sub_acts, sub_weights};
@@ -22,12 +23,6 @@ use scnn_arch::{AccessCounts, EnergyModel, HaloStrategy, ScnnConfig};
 use scnn_tensor::{
     CompressedActivations, CompressedWeights, ConvShape, Dense3, Dense4, OcgPartition,
 };
-
-/// Extracted non-zero entries plus the RAM-resident (stored) element
-/// count of one compressed block.
-type Block<T> = (Vec<T>, usize);
-/// Blocks indexed `[outer][middle][channel]`.
-type BlockGrid<T> = Vec<Vec<Vec<Block<T>>>>;
 
 /// Ratio of stored words (16-bit data + 4-bit index) to data words in the
 /// compressed format — every counted access moves the index too.
@@ -39,6 +34,10 @@ pub struct RunOptions {
     /// Whether the input activations stream in from DRAM (true for a
     /// network's first layer; resident layers read the swapped OARAM).
     pub input_from_dram: bool,
+    /// Whether the compressed weights stream in from DRAM (true for the
+    /// first image of a batch; later images reuse the resident weight
+    /// FIFO contents, amortizing the fetch across the batch per §IV).
+    pub weights_from_dram: bool,
     /// Whether the PPU applies ReLU to the outputs (§IV; the paper's
     /// layers all do).
     pub relu: bool,
@@ -46,7 +45,7 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { input_from_dram: false, relu: true }
+        Self { input_from_dram: false, weights_from_dram: true, relu: true }
     }
 }
 
@@ -78,25 +77,21 @@ impl ScnnMachine {
         &self.config
     }
 
-    /// Executes one layer and returns cycles, energy, statistics and the
-    /// computed output activations.
+    /// Compiles one layer's weight-stationary state: the planar tiling,
+    /// the stride-1 sub-convolution decomposition, the output-channel
+    /// -group partition and the compressed weight blocks.
+    ///
+    /// This is everything [`ScnnMachine::run_layer`] derives from the
+    /// weights and the geometry alone; hoist it out of a per-image loop
+    /// and hand the result to [`ScnnMachine::execute_layer`] once per
+    /// image.
     ///
     /// # Panics
     ///
-    /// Panics if `weights` / `input` do not match `shape`.
-    pub fn run_layer(
-        &self,
-        shape: &ConvShape,
-        weights: &Dense4,
-        input: &Dense3,
-        opts: &RunOptions,
-    ) -> LayerResult {
+    /// Panics if `weights` does not match `shape`.
+    #[must_use]
+    pub fn compile_layer(&self, shape: &ConvShape, weights: &Dense4) -> CompiledLayer {
         shape.validate().expect("invalid layer shape");
-        assert_eq!(
-            (input.c(), input.w(), input.h()),
-            (shape.c, shape.w, shape.h),
-            "input tensor does not match shape"
-        );
         assert_eq!(
             (weights.k(), weights.c(), weights.r(), weights.s()),
             (shape.k, shape.c_per_group(), shape.r, shape.s),
@@ -104,8 +99,6 @@ impl ScnnMachine {
         );
 
         let cfg = &self.config;
-        let pes = cfg.num_pes();
-        let fi = cfg.multipliers_per_pe() as u64;
         let (out_w, out_h) = (shape.out_w(), shape.out_h());
         // Halo extents of the widest stride-1 sub-filter.
         let halo_w = shape.r.div_ceil(shape.stride) - 1;
@@ -117,27 +110,14 @@ impl ScnnMachine {
         let (th_w, th_h) = if input_halos { (0, 0) } else { (halo_w, halo_h) };
         let tiling = PlaneTiling::new(out_w, out_h, cfg.pe_rows, cfg.pe_cols, th_w, th_h);
 
-        let mut output = Dense3::zeros(shape.k, out_w, out_h);
-        let mut counts = AccessCounts::default();
-        let mut stats = LayerStats::default();
-        let mut cycles_total = 0u64;
-        let mut iaram_bits = vec![0usize; pes];
-        let mut weight_bits_total = 0usize;
-        // Unique (un-replicated) compressed input size: DRAM reads are
-        // multicast under input halos, so replication costs IARAM
-        // capacity but not DRAM traffic (§III-A).
-        let mut input_unique_bits = 0usize;
-
         let kpg = shape.k_per_group();
         let cpg = shape.c_per_group();
-        let mut acc: Vec<f32> = Vec::new();
-        let mut bank_hist = vec![0u32; cfg.acc_banks];
+        let mut weight_bits = 0usize;
+        let mut groups = Vec::with_capacity(shape.groups);
 
         for g in 0..shape.groups {
             let gshape = shape.group_view();
             let gweights = slice_weights_k(weights, g * kpg, kpg);
-            let ginput = slice_channels(input, g * cpg, cpg);
-            let padded = ginput.padded(shape.pad);
 
             let subs = decompose(&gshape);
             let r_max = subs.iter().map(|s| s.r).max().expect("at least one sub-conv");
@@ -158,7 +138,7 @@ impl ScnnMachine {
                     CompressedWeights::compress(&sub_weights(&gshape, &gweights, sub), &partition)
                 })
                 .collect();
-            weight_bits_total += cws.iter().map(CompressedWeights::storage_bits).sum::<usize>();
+            weight_bits += cws.iter().map(CompressedWeights::storage_bits).sum::<usize>();
             // wt[sub][ocg][c] = (entries, stored_count)
             let wt: BlockGrid<WtEntry> = cws
                 .iter()
@@ -186,11 +166,97 @@ impl ScnnMachine {
                 })
                 .collect();
 
+            groups.push(CompiledGroup { subs, r_max, s_max, partition, wt });
+        }
+
+        CompiledLayer { config: self.config, shape: *shape, tiling, groups, weight_bits }
+    }
+
+    /// Executes one layer and returns cycles, energy, statistics and the
+    /// computed output activations.
+    ///
+    /// Equivalent to [`ScnnMachine::compile_layer`] followed by
+    /// [`ScnnMachine::execute_layer`] — use that pair directly when the
+    /// same weights process more than one image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` / `input` do not match `shape`.
+    pub fn run_layer(
+        &self,
+        shape: &ConvShape,
+        weights: &Dense4,
+        input: &Dense3,
+        opts: &RunOptions,
+    ) -> LayerResult {
+        let compiled = self.compile_layer(shape, weights);
+        self.execute_layer(&compiled, input, opts)
+    }
+
+    /// Executes one image's activations against a compiled layer.
+    ///
+    /// Bit-identical to [`ScnnMachine::run_layer`] on the same operands;
+    /// only the weight-compression work is skipped. The weight DRAM fetch
+    /// is charged only when [`RunOptions::weights_from_dram`] is set —
+    /// clear it for the second and later images of a batch, whose weights
+    /// are already resident (§IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the compiled layer's shape, or if
+    /// `layer` was compiled by a machine with a different configuration
+    /// (the tiling, halo strategy, `Kc` partition and capacity checks are
+    /// all baked in at compile time, so any mismatch would silently
+    /// corrupt results).
+    pub fn execute_layer(
+        &self,
+        layer: &CompiledLayer,
+        input: &Dense3,
+        opts: &RunOptions,
+    ) -> LayerResult {
+        let shape = &layer.shape;
+        assert_eq!(
+            (input.c(), input.w(), input.h()),
+            (shape.c, shape.w, shape.h),
+            "input tensor does not match shape"
+        );
+
+        let cfg = &self.config;
+        assert_eq!(layer.config, *cfg, "layer compiled for a different machine configuration");
+        let pes = cfg.num_pes();
+        let fi = cfg.multipliers_per_pe() as u64;
+        let (out_w, out_h) = (shape.out_w(), shape.out_h());
+        let input_halos = matches!(cfg.halo, HaloStrategy::Input);
+        let tiling = &layer.tiling;
+
+        let mut output = Dense3::zeros(shape.k, out_w, out_h);
+        let mut counts = AccessCounts::default();
+        let mut stats = LayerStats::default();
+        let mut cycles_total = 0u64;
+        let mut iaram_bits = vec![0usize; pes];
+        // Unique (un-replicated) compressed input size: DRAM reads are
+        // multicast under input halos, so replication costs IARAM
+        // capacity but not DRAM traffic (§III-A).
+        let mut input_unique_bits = 0usize;
+
+        let kpg = shape.k_per_group();
+        let cpg = shape.c_per_group();
+        let mut acc: Vec<f32> = Vec::new();
+        let mut bank_hist = vec![0u32; cfg.acc_banks];
+
+        for (g, compiled) in layer.groups.iter().enumerate() {
+            let gshape = shape.group_view();
+            let ginput = slice_channels(input, g * cpg, cpg);
+            let padded = ginput.padded(shape.pad);
+
+            let CompiledGroup { subs, r_max, s_max, partition, wt } = compiled;
+            let (r_max, s_max) = (*r_max, *s_max);
+
             // Compress each PE's activation tile per sub-conv and channel.
             // pe_acts[pe][sub][c] = (entries, stored_count)
             let mut pe_acts: BlockGrid<ActEntry> =
                 (0..pes).map(|_| Vec::with_capacity(subs.len())).collect();
-            for sub in &subs {
+            for sub in subs {
                 let sa = sub_acts(&gshape, &padded, sub);
                 input_unique_bits += CompressedActivations::compress(&sa).storage_bits();
                 for (pe, slots) in pe_acts.iter_mut().enumerate() {
@@ -371,8 +437,11 @@ impl ScnnMachine {
         let fits = iaram_max <= cfg.iaram_bytes * 8 && oaram_max <= cfg.oaram_bytes * 8;
         let dram_tiled = !fits;
 
-        // Weights always stream from DRAM once per layer (compressed).
-        counts.dram_words += weight_bits_total as f64 / 16.0;
+        // Weights stream from DRAM once per layer (compressed) — unless
+        // they are already resident from a previous image of the batch.
+        if opts.weights_from_dram {
+            counts.dram_words += layer.weight_bits as f64 / 16.0;
+        }
         if dram_tiled {
             // §VI-D: activations shuttle to and from DRAM, compressed.
             // DRAM reads are multicast (unique data); IARAM fill writes
@@ -393,7 +462,7 @@ impl ScnnMachine {
             footprints: Footprints {
                 iaram_bits_max: iaram_max,
                 oaram_bits_max: oaram_max,
-                weight_bits: weight_bits_total,
+                weight_bits: layer.weight_bits,
                 dram_tiled,
             },
             output: Some(output),
@@ -595,6 +664,98 @@ mod tests {
         // so DRAM traffic differs only by the output-side compression.
         let dram_ratio = inp.counts.dram_words / out.counts.dram_words;
         assert!((0.95..1.05).contains(&dram_ratio), "dram ratio {dram_ratio}");
+    }
+
+    #[test]
+    fn compile_execute_split_is_bit_identical_to_run_layer() {
+        // The compile/execute split must not change a single bit of the
+        // result — same cycles, same counts, same energy, same outputs —
+        // across halo strategies, strides, groups and padding.
+        for (i, (cfg, shape)) in [
+            (ScnnConfig::default(), ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1)),
+            (ScnnConfig::default(), ConvShape::new(16, 8, 1, 1, 7, 7)),
+            (ScnnConfig::default(), ConvShape::new(4, 3, 11, 11, 27, 27).with_stride(4)),
+            (ScnnConfig::default(), ConvShape::new(8, 8, 3, 3, 9, 9).with_pad(1).with_groups(2)),
+            (
+                ScnnConfig { halo: scnn_arch::HaloStrategy::Input, ..ScnnConfig::default() },
+                ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1),
+            ),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let machine = ScnnMachine::new(cfg);
+            let weights = synth_weights(&shape, 0.4, 100 + i as u64);
+            let input = synth_layer_input(&shape, 0.5, 200 + i as u64);
+            for opts in
+                [RunOptions::default(), RunOptions { input_from_dram: true, ..Default::default() }]
+            {
+                let fused = machine.run_layer(&shape, &weights, &input, &opts);
+                let compiled = machine.compile_layer(&shape, &weights);
+                let split = machine.execute_layer(&compiled, &input, &opts);
+                assert_eq!(fused, split, "case {i}: split diverged from fused run");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_layer_reuses_across_images() {
+        // One compilation, many images: each execution must match its own
+        // fused run exactly.
+        let shape = ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1);
+        let machine = ScnnMachine::new(ScnnConfig::default());
+        let weights = synth_weights(&shape, 0.4, 300);
+        let compiled = machine.compile_layer(&shape, &weights);
+        assert!(compiled.weight_bits() > 0);
+        assert_eq!(compiled.shape(), &shape);
+        assert!(compiled.sub_conv_count() >= 1);
+        assert!(compiled.ocg_count() >= 1);
+        for img in 0..3u64 {
+            let input = synth_layer_input(&shape, 0.5, 400 + img);
+            let split = machine.execute_layer(&compiled, &input, &RunOptions::default());
+            let fused = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
+            assert_eq!(fused, split, "image {img}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine configuration")]
+    fn executing_on_a_mismatched_machine_panics() {
+        // Same PE count, different halo strategy: the tiling and
+        // accumulator windows baked in at compile time are wrong for the
+        // executing machine, so this must refuse loudly, not corrupt.
+        let shape = ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1);
+        let weights = synth_weights(&shape, 0.4, 600);
+        let input = synth_layer_input(&shape, 0.5, 601);
+        let compiled = ScnnMachine::new(ScnnConfig::default()).compile_layer(&shape, &weights);
+        let other = ScnnMachine::new(ScnnConfig {
+            halo: scnn_arch::HaloStrategy::Input,
+            ..ScnnConfig::default()
+        });
+        let _ = other.execute_layer(&compiled, &input, &RunOptions::default());
+    }
+
+    #[test]
+    fn resident_weights_skip_the_dram_fetch() {
+        let shape = ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1);
+        let machine = ScnnMachine::new(ScnnConfig::default());
+        let weights = synth_weights(&shape, 0.4, 500);
+        let input = synth_layer_input(&shape, 0.5, 501);
+        let compiled = machine.compile_layer(&shape, &weights);
+        let first = machine.execute_layer(&compiled, &input, &RunOptions { ..Default::default() });
+        let resident = machine.execute_layer(
+            &compiled,
+            &input,
+            &RunOptions { weights_from_dram: false, ..Default::default() },
+        );
+        // Later images of a batch skip exactly the weight fetch …
+        let delta = first.counts.dram_words - resident.counts.dram_words;
+        assert!((delta - compiled.weight_dram_words()).abs() < 1e-9);
+        // … and nothing else changes: cycles, stats and outputs identical.
+        assert_eq!(first.cycles, resident.cycles);
+        assert_eq!(first.stats, resident.stats);
+        assert_eq!(first.output, resident.output);
+        assert_eq!(first.footprints, resident.footprints);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Batched inference: compile a network once, then stream a batch of
+//! images through the resident compressed weights.
+//!
+//! SCNN holds weights stationary in the PEs precisely so that "multiple
+//! images can be processed sequentially to amortize the cost of loading
+//! the weights" (§IV). The compile phase ([`CompiledNetwork::compile`])
+//! synthesizes, compresses and partitions every layer's weights exactly
+//! once; the execute phase ([`BatchRun::execute`]) fans the whole
+//! `(layer x image)` grid across worker threads, with image 0 paying the
+//! weight DRAM fetch and later images hitting the resident FIFO.
+//!
+//! ```text
+//! cargo run --release --example batched_inference
+//! ```
+
+use scnn::batch::{BatchRun, CompiledNetwork};
+use scnn::runner::RunConfig;
+use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+use scnn::scnn_tensor::ConvShape;
+
+fn main() {
+    // A small three-layer network pruned to ~1/3 weight density.
+    let net = Network::new(
+        "demo",
+        vec![
+            ConvLayer::new("conv1", ConvShape::new(16, 3, 3, 3, 32, 32).with_pad(1)),
+            ConvLayer::new("conv2", ConvShape::new(32, 16, 3, 3, 16, 16).with_pad(1)),
+            ConvLayer::new("conv3", ConvShape::new(32, 32, 3, 3, 8, 8).with_pad(1)),
+        ],
+    );
+    let profile = DensityProfile::from_layers(vec![
+        LayerDensity::new(0.35, 1.0),
+        LayerDensity::new(0.35, 0.5),
+        LayerDensity::new(0.35, 0.45),
+    ]);
+    let config = RunConfig::default();
+
+    // Compile once: weight synthesis + compression + OCG partitioning.
+    let compiled = CompiledNetwork::compile(&net, &profile, &config);
+    println!(
+        "compiled {} layers, {:.1} KB compressed weights (paid once per batch)",
+        compiled.layers.len(),
+        compiled.weight_dram_words() * 2.0 / 1e3
+    );
+
+    // Execute a batch of 4 images against the resident weights.
+    let batch = BatchRun::execute(&compiled, 4);
+    println!("\nper-image results (batch of {}):", batch.batch_size());
+    for (i, img) in batch.images.iter().enumerate() {
+        let cycles: u64 = img.layers.iter().map(|l| l.scnn.cycles).sum();
+        let dram: f64 = img.layers.iter().map(|l| l.scnn.counts.dram_words).sum();
+        println!(
+            "  image {i}: {cycles:>8} cycles, {dram:>7.0} DRAM words{}",
+            if i == 0 { "  (includes the weight fetch)" } else { "" }
+        );
+    }
+
+    println!("\nbatch aggregates:");
+    println!("  cycles/image          {:>12.0}", batch.cycles_per_image());
+    println!("  energy/image          {:>12.2} uJ", batch.energy_pj_per_image() / 1e6);
+    println!("  DRAM words/image      {:>12.0}", batch.dram_words_per_image());
+    println!(
+        "  weight DRAM words/img {:>12.0}  ({:.0} paid once / B={})",
+        batch.weight_dram_words_per_image(),
+        batch.weight_dram_words,
+        batch.batch_size()
+    );
+}

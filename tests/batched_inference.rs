@@ -1,0 +1,119 @@
+//! Regression tests for the compile-once batched inference pipeline:
+//! weight-DRAM amortization across a batch, per-image DRAM input
+//! accounting, and the compiled-state footprints every image shares.
+
+use scnn::batch::{BatchRun, CompiledNetwork};
+use scnn::runner::{NetworkRun, RunConfig};
+use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+use scnn::scnn_tensor::ConvShape;
+
+fn small_network() -> (Network, DensityProfile) {
+    let net = Network::new(
+        "batch-small",
+        vec![
+            ConvLayer::new("conv1", ConvShape::new(8, 4, 3, 3, 14, 14).with_pad(1)),
+            ConvLayer::new("conv2", ConvShape::new(16, 8, 3, 3, 14, 14).with_pad(1)),
+            ConvLayer::new("conv3", ConvShape::new(8, 16, 1, 1, 14, 14)),
+        ],
+    );
+    let profile = DensityProfile::from_layers(vec![
+        LayerDensity::new(0.4, 1.0),
+        LayerDensity::new(0.35, 0.5),
+        LayerDensity::new(0.3, 0.45),
+    ]);
+    (net, profile)
+}
+
+/// Satellite regression: every image of a batch shares the compiled
+/// weight footprints, image 0 alone pays the weight DRAM fetch, and every
+/// image's *first* layer pays its own DRAM input fetch.
+#[test]
+fn footprints_and_dram_accounting_are_consistent_across_the_batch() {
+    let (net, profile) = small_network();
+    let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
+    let batch = BatchRun::execute(&compiled, 3);
+
+    for (image, img) in batch.images.iter().enumerate() {
+        for (slot, l) in img.layers.iter().enumerate() {
+            // The compiled weight state is shared: identical footprints.
+            assert_eq!(
+                l.scnn.footprints.weight_bits,
+                compiled.layers[slot].compiled.weight_bits(),
+                "image {image}, layer {}",
+                l.name
+            );
+            assert!(!l.scnn.footprints.dram_tiled, "small layers must stay on-chip");
+            assert!(l.scnn.footprints.iaram_bits_max > 0);
+        }
+    }
+
+    // Image 0 pays the weight fetch on every layer.
+    for (slot, l) in batch.images[0].layers.iter().enumerate() {
+        assert!(
+            l.scnn.counts.dram_words >= compiled.layers[slot].compiled.weight_dram_words(),
+            "image 0, layer {} must stream its weights from DRAM",
+            l.name
+        );
+    }
+    // Later images: the first layer pays only its input fetch; resident
+    // layers (inputs handed over via the OARAM swap) touch DRAM not at
+    // all.
+    for (image, img) in batch.images.iter().enumerate().skip(1) {
+        assert!(
+            img.layers[0].scnn.counts.dram_words > 0.0,
+            "image {image}: first layer must fetch its input from DRAM"
+        );
+        assert!(
+            img.layers[0].scnn.counts.dram_words < batch.images[0].layers[0].scnn.counts.dram_words,
+            "image {image}: weight fetch should be amortized away"
+        );
+        for l in &img.layers[1..] {
+            assert_eq!(
+                l.scnn.counts.dram_words, 0.0,
+                "image {image}, layer {}: resident layer hit DRAM",
+                l.name
+            );
+        }
+    }
+}
+
+/// Per-image weight DRAM traffic falls strictly as 1/B — the §IV
+/// amortization the throughput binary sweeps on AlexNet.
+#[test]
+fn per_image_weight_dram_strictly_decreases_with_batch_size() {
+    let (net, profile) = small_network();
+    let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
+    let mut prev_weight = f64::INFINITY;
+    let mut prev_total = f64::INFINITY;
+    for b in [1usize, 2, 4, 8] {
+        let batch = BatchRun::execute(&compiled, b);
+        let w = batch.weight_dram_words_per_image();
+        let t = batch.dram_words_per_image();
+        assert!(w < prev_weight, "B={b}: weight words/image {w} !< {prev_weight}");
+        assert!(t < prev_total, "B={b}: total words/image {t} !< {prev_total}");
+        prev_weight = w;
+        prev_total = t;
+    }
+}
+
+/// The batched aggregates are self-consistent and sane.
+#[test]
+fn batch_aggregates_are_consistent() {
+    let (net, profile) = small_network();
+    let config = RunConfig::default();
+    let compiled = CompiledNetwork::compile(&net, &profile, &config);
+    let batch = BatchRun::execute(&compiled, 4);
+
+    assert_eq!(batch.batch_size(), 4);
+    let per_image: u64 =
+        batch.images.iter().map(|i| i.layers.iter().map(|l| l.scnn.cycles).sum::<u64>()).sum();
+    assert_eq!(batch.total_cycles(), per_image);
+    assert!((batch.cycles_per_image() - batch.total_cycles() as f64 / 4.0).abs() < 1e-9);
+    assert!(batch.energy_pj_per_image() > 0.0);
+
+    // Amortized energy per image must not exceed the single-image cost
+    // (later images skip the weight-fetch energy).
+    let single = NetworkRun::execute(&net, &profile, &config);
+    let single_energy: f64 = single.layers.iter().map(|l| l.scnn.energy_pj()).sum();
+    assert!(batch.energy_pj_per_image() < single_energy);
+}

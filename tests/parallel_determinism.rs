@@ -5,6 +5,7 @@
 //! source of operand randomness, so any divergence here is a bug in the
 //! fan-out, not an acceptable numerical wobble.
 
+use scnn::batch::{BatchRun, CompiledNetwork};
 use scnn::runner::{NetworkRun, RunConfig};
 use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
 use scnn::scnn_tensor::ConvShape;
@@ -73,6 +74,56 @@ fn network_aggregates_match_across_thread_counts() {
     assert_eq!(serial.scnn_speedup().to_bits(), parallel.scnn_speedup().to_bits());
     assert_eq!(serial.scnn_energy_rel().to_bits(), parallel.scnn_energy_rel().to_bits());
     assert_eq!(serial.oracle_speedup().to_bits(), parallel.oracle_speedup().to_bits());
+}
+
+#[test]
+fn batch_grid_is_bit_identical_across_thread_counts() {
+    // The batched runner fans the whole (layer x image) grid through
+    // par_map; like the single-image runner, every cell derives its
+    // operands from its own seed, so any thread count must reproduce the
+    // serial grid bit-for-bit — compilation included.
+    let (net, profile) = synthetic_network();
+    let serial_net =
+        CompiledNetwork::compile(&net, &profile, &RunConfig::default().with_threads(1));
+    let serial = BatchRun::execute(&serial_net, 3);
+    for threads in [2, 4, 7] {
+        let compiled =
+            CompiledNetwork::compile(&net, &profile, &RunConfig::default().with_threads(threads));
+        let parallel = BatchRun::execute(&compiled, 3);
+        assert_eq!(parallel.batch_size(), serial.batch_size());
+        assert_eq!(
+            parallel.weight_dram_words.to_bits(),
+            serial.weight_dram_words.to_bits(),
+            "{threads} threads: compiled weight footprint diverged"
+        );
+        for (image, (a, b)) in serial.images.iter().zip(&parallel.images).enumerate() {
+            assert_runs_identical(a, b);
+            assert_eq!(
+                a.scnn_energy_rel().to_bits(),
+                b.scnn_energy_rel().to_bits(),
+                "image {image} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_of_one_matches_network_run_cycle_for_cycle() {
+    // NetworkRun::execute is definitionally a batch of one: B=1 through
+    // the batched path must be bit-identical to the single-image runner.
+    let (net, profile) = synthetic_network();
+    for threads in [1, 4] {
+        let config = RunConfig::default().with_threads(threads);
+        let single = NetworkRun::execute(&net, &profile, &config);
+        let batch = BatchRun::execute(&CompiledNetwork::compile(&net, &profile, &config), 1);
+        assert_eq!(batch.batch_size(), 1);
+        assert_runs_identical(&single, &batch.images[0]);
+        assert_eq!(
+            single.scnn_speedup().to_bits(),
+            batch.images[0].scnn_speedup().to_bits(),
+            "{threads} threads"
+        );
+    }
 }
 
 #[test]
