@@ -15,7 +15,9 @@ use scnn::scnn_sim::{RunOptions, ScnnMachine};
 use scnn::scnn_tensor::ConvShape;
 
 fn main() {
-    let machine = ScnnMachine::new(ScnnConfig::default());
+    let cfg = ScnnConfig::default();
+    let mults = cfg.total_multipliers() as u64;
+    let machine = ScnnMachine::new(cfg);
     let shape = ConvShape::new(128, 96, 3, 3, 56, 56).with_pad(1);
     let weights = synth_weights(&shape, 0.33, 1);
     let density = 0.40;
@@ -34,7 +36,7 @@ fn main() {
         "uniform",
         base.cycles,
         base.stats.idle_fraction(),
-        base.stats.utilization(1024, base.cycles),
+        base.stats.utilization(mults, base.cycles),
         1.0
     );
     for blob in [4usize, 8, 14, 28] {
@@ -45,7 +47,7 @@ fn main() {
             format!("blobs ~{blob}px"),
             r.cycles,
             r.stats.idle_fraction(),
-            r.stats.utilization(1024, r.cycles),
+            r.stats.utilization(mults, r.cycles),
             r.cycles as f64 / base.cycles as f64,
         );
     }

@@ -33,12 +33,8 @@ fn main() {
         args.next().map_or(8, |a| a.parse().expect("max_batch must be a number"));
     assert!(max_batch >= 1, "need at least one image");
     let name = args.next().unwrap_or_else(|| "alexnet".to_owned());
-    let net = match name.as_str() {
-        "alexnet" => zoo::alexnet(),
-        "googlenet" => zoo::googlenet(),
-        "vggnet" => zoo::vggnet(),
-        other => panic!("unknown network {other:?} (alexnet | googlenet | vggnet)"),
-    };
+    let net = zoo::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown network {name:?} (alexnet | googlenet | vggnet)"));
     let config = RunConfig::default();
 
     // Compile phase: weights synthesized + compressed exactly once.

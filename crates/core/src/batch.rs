@@ -208,12 +208,15 @@ impl BatchRun {
     /// stragglers in one image overlap with work from another. Results
     /// are bit-identical at any worker count.
     ///
-    /// # Panics
-    ///
-    /// Panics if `batch` is zero.
+    /// A batch of zero is legal and executes nothing: no image pays the
+    /// weight fetch, so `weight_dram_words` is `0.0` and every
+    /// `*_per_image` accessor reports `0.0` (dynamic batchers sometimes
+    /// flush empty windows).
     #[must_use]
     pub fn execute(compiled: &CompiledNetwork, batch: usize) -> Self {
-        assert!(batch > 0, "a batch needs at least one image");
+        if batch == 0 {
+            return Self { weight_dram_words: 0.0, images: Vec::new() };
+        }
         let machines = Machines::new(&compiled.config);
         let slots = compiled.layers.len();
         let cells: Vec<(usize, usize)> =
@@ -361,6 +364,30 @@ mod tests {
                 first < b4.images[0].layers[0].scnn.counts.dram_words,
                 "weight fetch should be gone for image > 0"
             );
+        }
+    }
+
+    #[test]
+    fn empty_batch_reports_zeroes_not_nan() {
+        // Regression: execute(_, 0) used to panic, and the `*_per_image`
+        // accessors would otherwise divide by zero. An empty batch is a
+        // no-op: nothing executed, nothing fetched, every per-image
+        // aggregate exactly 0.0.
+        let (net, profile) = tiny_network();
+        let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
+        let batch = BatchRun::execute(&compiled, 0);
+        assert_eq!(batch.batch_size(), 0);
+        assert!(batch.images.is_empty());
+        assert_eq!(batch.weight_dram_words, 0.0);
+        assert_eq!(batch.total_cycles(), 0);
+        for v in [
+            batch.cycles_per_image(),
+            batch.energy_pj_per_image(),
+            batch.dram_words_per_image(),
+            batch.weight_dram_words_per_image(),
+        ] {
+            assert!(!v.is_nan());
+            assert_eq!(v, 0.0);
         }
     }
 

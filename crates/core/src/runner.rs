@@ -223,8 +223,7 @@ impl NetworkRun {
     /// with ([`RunConfig::scnn`]).
     #[must_use]
     pub fn scnn_utilization(&self) -> f64 {
-        #[allow(deprecated)]
-        self.scnn_utilization_with(self.config.scnn.total_multipliers() as u64)
+        self.utilization_over(self.config.scnn.total_multipliers() as u64)
     }
 
     /// Network-level utilization over a caller-supplied multiplier count.
@@ -235,6 +234,11 @@ impl NetworkRun {
     )]
     #[must_use]
     pub fn scnn_utilization_with(&self, total_multipliers: u64) -> f64 {
+        self.utilization_over(total_multipliers)
+    }
+
+    /// Shared utilization arithmetic behind the public accessors.
+    fn utilization_over(&self, total_multipliers: u64) -> f64 {
         let products: u64 = self.layers.iter().map(|l| l.scnn.stats.products).sum();
         let cycles: u64 = self.layers.iter().map(|l| l.scnn.cycles).sum();
         products as f64 / (total_multipliers.max(1) * cycles.max(1)) as f64

@@ -16,6 +16,28 @@ pub fn all_networks() -> Vec<Network> {
     vec![alexnet(), googlenet(), vggnet()]
 }
 
+/// Looks a zoo network up by name, case-insensitively: `"alexnet"`,
+/// `"googlenet"` and `"vggnet"` (the Table I names `AlexNet` etc. work
+/// too). Returns `None` for anything else.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_model::zoo;
+///
+/// assert_eq!(zoo::by_name("AlexNet").unwrap().name(), "AlexNet");
+/// assert!(zoo::by_name("resnet").is_none());
+/// ```
+#[must_use]
+pub fn by_name(name: &str) -> Option<Network> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Some(alexnet()),
+        "googlenet" => Some(googlenet()),
+        "vggnet" => Some(vggnet()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -31,5 +53,17 @@ mod tests {
     fn networks_are_named_as_in_table1() {
         let names: Vec<_> = all_networks().iter().map(|n| n.name().to_owned()).collect();
         assert_eq!(names, ["AlexNet", "GoogLeNet", "VGGNet"]);
+    }
+
+    #[test]
+    fn by_name_covers_the_whole_zoo() {
+        for net in all_networks() {
+            let looked_up = by_name(net.name()).expect("every zoo network resolves by name");
+            assert_eq!(looked_up, net);
+            // The lowercase CLI spelling resolves to the same network.
+            assert_eq!(by_name(&net.name().to_ascii_lowercase()), Some(net));
+        }
+        assert_eq!(by_name("resnet"), None);
+        assert_eq!(by_name(""), None);
     }
 }

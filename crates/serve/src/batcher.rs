@@ -1,0 +1,235 @@
+//! Dynamic batching: coalesce queued requests for the same model.
+//!
+//! The batcher keeps one FIFO queue per model and forms batches *at
+//! dispatch time*, the way production serving tiers do: when a device
+//! is free, the scheduler pops up to `max_batch` requests from a *ripe*
+//! queue. A queue is ripe once either bound of [`BatcherConfig`] is
+//! met — it holds `max_batch` requests, or its oldest request has
+//! waited `max_wait_cycles` (the batching window, anchored at the head
+//! arrival). Sealing lazily means a backlog that builds while every
+//! device is busy coalesces into *full* batches the moment a device
+//! frees, instead of shipping as a convoy of undersized ones; the
+//! window only bounds how long a lone request can sit waiting for
+//! company. `max_batch = 1` degenerates to no batching.
+//!
+//! Among ripe queues, the one whose head has waited longest pops first
+//! (model-name order breaks exact ties), so no model starves.
+//!
+//! Larger batches amortize the per-dispatch costs downstream (the §IV
+//! weight reload when a device switches models, and the fixed dispatch
+//! overhead) at the price of up to `max_wait_cycles` of added latency
+//! for the earliest request of a window — exactly the knob the `serve`
+//! sweep turns.
+
+use crate::trace::Request;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Batching policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Dispatch at most this many requests per batch; a queue this long
+    /// is ripe immediately.
+    pub max_batch: usize,
+    /// A queue is ripe once its oldest request has waited this long.
+    pub max_wait_cycles: u64,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self { max_batch: 4, max_wait_cycles: 50_000 }
+    }
+}
+
+/// A group of same-model requests sealed for dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// The model every request in the batch targets.
+    pub model: String,
+    /// The coalesced requests, in arrival order.
+    pub requests: Vec<Request>,
+    /// Virtual cycle the batch was sealed (popped) at.
+    pub sealed_at: u64,
+}
+
+impl Batch {
+    /// Number of requests (images) in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch is empty (never produced by the batcher).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// Per-model request coalescing with a count bound and a time bound.
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    cfg: BatcherConfig,
+    queues: BTreeMap<String, VecDeque<Request>>,
+}
+
+impl Batcher {
+    /// Creates a batcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    #[must_use]
+    pub fn new(cfg: BatcherConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        Self { cfg, queues: BTreeMap::new() }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> BatcherConfig {
+        self.cfg
+    }
+
+    /// Enqueues `req` on its model's queue.
+    pub fn push(&mut self, req: Request) {
+        self.queues.entry(req.model.clone()).or_default().push_back(req);
+    }
+
+    /// The cycle at which a queue ripens when its head arrived at
+    /// `head_arrival` holding `len` requests.
+    fn ripe_at(&self, head_arrival: u64, len: usize) -> u64 {
+        if len >= self.cfg.max_batch {
+            head_arrival // full: ripe since the filling arrival
+        } else {
+            head_arrival + self.cfg.max_wait_cycles
+        }
+    }
+
+    /// The earliest cycle at which some queue is (or was) ripe, `None`
+    /// when nothing is queued. A value `<= now` means a batch is
+    /// poppable right now.
+    #[must_use]
+    pub fn next_ripe(&self) -> Option<u64> {
+        self.queues
+            .values()
+            .filter_map(|q| q.front().map(|head| self.ripe_at(head.arrival, q.len())))
+            .min()
+    }
+
+    /// Pops up to `max_batch` requests from the ripe queue whose head
+    /// has waited longest (model-name order breaks ties), or `None` if
+    /// no queue is ripe at `now`.
+    pub fn pop_ripe(&mut self, now: u64) -> Option<Batch> {
+        let model = self
+            .queues
+            .iter()
+            .filter(|(_, q)| {
+                q.front().is_some_and(|head| self.ripe_at(head.arrival, q.len()) <= now)
+            })
+            .min_by(|(am, aq), (bm, bq)| {
+                (aq.front().expect("non-empty").arrival, am)
+                    .cmp(&(bq.front().expect("non-empty").arrival, bm))
+            })
+            .map(|(model, _)| model.clone())?;
+        let queue = self.queues.get_mut(&model).expect("selected above");
+        let take = queue.len().min(self.cfg.max_batch);
+        let requests: Vec<Request> = queue.drain(..take).collect();
+        Some(Batch { model, requests, sealed_at: now })
+    }
+
+    /// Total requests currently queued across models.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::DeadlineClass;
+
+    fn req(id: u64, model: &str, arrival: u64) -> Request {
+        Request { id, tenant: 0, model: model.into(), arrival, deadline: DeadlineClass::Standard }
+    }
+
+    fn batcher(max_batch: usize, max_wait: u64) -> Batcher {
+        Batcher::new(BatcherConfig { max_batch, max_wait_cycles: max_wait })
+    }
+
+    #[test]
+    fn full_queues_are_ripe_immediately() {
+        let mut b = batcher(2, 1_000);
+        b.push(req(0, "m", 10));
+        assert_eq!(b.next_ripe(), Some(1_010), "partial queue waits out the window");
+        assert!(b.pop_ripe(20).is_none());
+        b.push(req(1, "m", 20));
+        assert_eq!(b.next_ripe(), Some(10), "full queue is ripe at its head arrival");
+        let batch = b.pop_ripe(20).expect("ripe");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.sealed_at, 20);
+        assert_eq!(batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(b.pending(), 0);
+        assert_eq!(b.next_ripe(), None);
+    }
+
+    #[test]
+    fn windows_anchor_at_the_head_arrival() {
+        let mut b = batcher(8, 100);
+        b.push(req(0, "m", 10));
+        b.push(req(1, "m", 60));
+        assert_eq!(b.next_ripe(), Some(110));
+        assert!(b.pop_ripe(109).is_none());
+        let batch = b.pop_ripe(110).expect("window expired");
+        assert_eq!(batch.len(), 2, "the window ships everything queued so far");
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn backlog_coalesces_to_full_batches_at_dispatch_time() {
+        // Six requests accumulate while the (virtual) device is busy;
+        // when it frees, they ship as 4 + 2 — not as six singletons.
+        let mut b = batcher(4, 50);
+        for i in 0..6 {
+            b.push(req(i, "m", 10 + i));
+        }
+        let first = b.pop_ripe(5_000).expect("ripe");
+        assert_eq!(first.len(), 4);
+        let second = b.pop_ripe(5_000).expect("remainder is past its window");
+        assert_eq!(second.len(), 2);
+        assert!(b.pop_ripe(5_000).is_none());
+    }
+
+    #[test]
+    fn models_queue_independently_and_oldest_head_pops_first() {
+        let mut b = batcher(4, 100);
+        b.push(req(0, "young", 50));
+        b.push(req(1, "old", 10));
+        b.push(req(2, "old", 20));
+        // Both queues are ripe at 300; "old" has the older head.
+        let first = b.pop_ripe(300).expect("ripe");
+        assert_eq!(first.model, "old");
+        assert_eq!(first.len(), 2);
+        let second = b.pop_ripe(300).expect("ripe");
+        assert_eq!(second.model, "young");
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn equal_head_arrivals_break_ties_by_model_name() {
+        let mut b = batcher(4, 10);
+        b.push(req(0, "zebra", 5));
+        b.push(req(1, "ant", 5));
+        assert_eq!(b.pop_ripe(100).expect("ripe").model, "ant");
+        assert_eq!(b.pop_ripe(100).expect("ripe").model, "zebra");
+    }
+
+    #[test]
+    fn max_batch_one_ships_immediately() {
+        let mut b = batcher(1, 1_000_000);
+        b.push(req(0, "m", 5));
+        assert_eq!(b.next_ripe(), Some(5));
+        let batch = b.pop_ripe(5).expect("no batching at max_batch=1");
+        assert_eq!(batch.len(), 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! Capacity-bounded LRU cache for compiled models.
+//!
+//! Serving shares one [`scnn::batch::CompiledNetwork::compile`] cost
+//! across every tenant requesting the same model: entries are keyed by
+//! [`ModelKey`] — network, density-profile tag and a fingerprint of the
+//! [`scnn::runner::RunConfig`] — so two tenants hitting `alexnet` at the
+//! paper densities under the same configuration share one entry, while a
+//! retuned configuration compiles its own. Recency is *virtual time*
+//! (the serving clock, not the wall clock), with an insertion-order
+//! sequence number breaking same-cycle ties, so eviction order is
+//! bit-reproducible run to run.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identity of a compiled model in the serving tier.
+///
+/// Ordering is derived (model, then profile tag, then config fingerprint)
+/// so the cache can live in a [`BTreeMap`] and iterate deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ModelKey {
+    /// Registered model name (e.g. `AlexNet`).
+    pub model: String,
+    /// Density-profile tag (e.g. `paper`).
+    pub profile: String,
+    /// Fingerprint of the run configuration the model compiles under
+    /// (machine geometry, energy model, seed — *not* the thread count;
+    /// see `Engine::fingerprint`).
+    pub config: u64,
+}
+
+/// Hit/miss/eviction counters for a [`ModelCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the key resident.
+    pub hits: u64,
+    /// Lookups that had to load (compile) the value.
+    pub misses: u64,
+    /// Misses on keys never seen before (compulsory / cold misses; the
+    /// remainder are capacity misses on evicted keys).
+    pub compulsory_misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate over all lookups (`1.0` when there were none).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / self.lookups() as f64
+    }
+
+    /// Hit rate excluding compulsory misses — the post-warmup rate: of
+    /// the lookups that *could* have hit (the key had been loaded
+    /// before), the fraction that did. `1.0` when every miss was cold.
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        let warm = self.lookups() - self.compulsory_misses;
+        if warm == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / warm as f64
+    }
+}
+
+/// One resident entry: the value plus its last-touched virtual time.
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    value: V,
+    /// `(virtual cycle, touch sequence)` — the sequence breaks ties when
+    /// several touches land on the same cycle.
+    last_used: (u64, u64),
+}
+
+/// A capacity-bounded, LRU-by-virtual-time model cache.
+///
+/// Generic over the cached value so unit tests can exercise the policy
+/// with cheap values while the serving simulator caches compiled-model
+/// profiles.
+///
+/// # Examples
+///
+/// ```
+/// use scnn_serve::cache::{ModelCache, ModelKey};
+///
+/// let key = |m: &str| ModelKey { model: m.into(), profile: "paper".into(), config: 1 };
+/// let mut cache: ModelCache<u32> = ModelCache::new(1);
+/// let (_, hit) = cache.get_or_insert_with(&key("a"), 0, || 10);
+/// assert!(!hit);
+/// let (v, hit) = cache.get_or_insert_with(&key("a"), 1, || unreachable!());
+/// assert!(hit && *v == 10);
+/// cache.get_or_insert_with(&key("b"), 2, || 20); // evicts "a"
+/// assert_eq!(cache.stats().evictions, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelCache<V> {
+    capacity: usize,
+    seq: u64,
+    entries: BTreeMap<ModelKey, Entry<V>>,
+    seen: BTreeSet<ModelKey>,
+    stats: CacheStats,
+}
+
+impl<V> ModelCache<V> {
+    /// Creates a cache holding at most `capacity` compiled models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a model cache needs room for at least one model");
+        Self {
+            capacity,
+            seq: 0,
+            entries: BTreeMap::new(),
+            seen: BTreeSet::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks `key` up at virtual time `now`, invoking `load` on a miss
+    /// (evicting the least-recently-used entry if at capacity). Returns
+    /// the resident value and whether the lookup hit.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: &ModelKey,
+        now: u64,
+        load: impl FnOnce() -> V,
+    ) -> (&V, bool) {
+        self.seq += 1;
+        let stamp = (now, self.seq);
+        let hit = self.entries.contains_key(key);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            if self.seen.insert(key.clone()) {
+                self.stats.compulsory_misses += 1;
+            }
+            if self.entries.len() == self.capacity {
+                self.evict_lru();
+            }
+            self.entries.insert(key.clone(), Entry { value: load(), last_used: stamp });
+        }
+        let entry = self.entries.get_mut(key).expect("entry resident after insert");
+        entry.last_used = stamp;
+        (&entry.value, hit)
+    }
+
+    /// Whether `key` is currently resident (does not touch recency).
+    #[must_use]
+    pub fn contains(&self, key: &ModelKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of resident entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resident keys ordered most-recently-used first (eviction order is
+    /// the reverse) — the hook the LRU tests observe.
+    #[must_use]
+    pub fn keys_by_recency(&self) -> Vec<ModelKey> {
+        let mut keys: Vec<(&ModelKey, (u64, u64))> =
+            self.entries.iter().map(|(k, e)| (k, e.last_used)).collect();
+        keys.sort_by_key(|&(_, stamp)| std::cmp::Reverse(stamp));
+        keys.into_iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+            .expect("eviction requested on an empty cache");
+        self.entries.remove(&victim);
+        self.stats.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(model: &str) -> ModelKey {
+        ModelKey { model: model.into(), profile: "paper".into(), config: 0xC0FFEE }
+    }
+
+    #[test]
+    fn hits_misses_and_evictions_are_counted() {
+        let mut cache: ModelCache<u32> = ModelCache::new(2);
+        cache.get_or_insert_with(&key("a"), 0, || 1);
+        cache.get_or_insert_with(&key("b"), 1, || 2);
+        cache.get_or_insert_with(&key("a"), 2, || unreachable!());
+        cache.get_or_insert_with(&key("c"), 3, || 3); // evicts b (LRU)
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.compulsory_misses), (1, 3, 1, 3));
+        assert!(cache.contains(&key("a")));
+        assert!(!cache.contains(&key("b")));
+        // b re-misses: a capacity miss, not a compulsory one.
+        cache.get_or_insert_with(&key("b"), 4, || 2);
+        let s = cache.stats();
+        assert_eq!((s.misses, s.compulsory_misses), (4, 3));
+    }
+
+    #[test]
+    fn lru_order_follows_virtual_time_touches() {
+        let mut cache: ModelCache<u32> = ModelCache::new(3);
+        cache.get_or_insert_with(&key("a"), 0, || 1);
+        cache.get_or_insert_with(&key("b"), 1, || 2);
+        cache.get_or_insert_with(&key("c"), 2, || 3);
+        assert_eq!(cache.keys_by_recency(), vec![key("c"), key("b"), key("a")]);
+        // Touching "a" promotes it; "b" becomes the victim.
+        cache.get_or_insert_with(&key("a"), 3, || unreachable!());
+        cache.get_or_insert_with(&key("d"), 4, || 4);
+        assert!(!cache.contains(&key("b")), "LRU victim should be b");
+        assert!(cache.contains(&key("a")) && cache.contains(&key("c")));
+    }
+
+    #[test]
+    fn same_cycle_touches_break_ties_by_sequence() {
+        let mut cache: ModelCache<u32> = ModelCache::new(2);
+        // Both inserted at virtual time 0: the earlier insertion is older.
+        cache.get_or_insert_with(&key("a"), 0, || 1);
+        cache.get_or_insert_with(&key("b"), 0, || 2);
+        cache.get_or_insert_with(&key("c"), 0, || 3);
+        assert!(!cache.contains(&key("a")));
+        assert!(cache.contains(&key("b")) && cache.contains(&key("c")));
+    }
+
+    #[test]
+    fn hit_rates_handle_warmup() {
+        let mut cache: ModelCache<u32> = ModelCache::new(2);
+        assert_eq!(cache.stats().hit_rate(), 1.0);
+        assert_eq!(cache.stats().warm_hit_rate(), 1.0);
+        cache.get_or_insert_with(&key("a"), 0, || 1);
+        // One cold miss, then nine hits: 90% raw, 100% warm.
+        for t in 1..=9 {
+            cache.get_or_insert_with(&key("a"), t, || unreachable!());
+        }
+        let s = cache.stats();
+        assert!((s.hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(s.warm_hit_rate(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "room for at least one")]
+    fn zero_capacity_is_rejected() {
+        let _ = ModelCache::<u32>::new(0);
+    }
+}

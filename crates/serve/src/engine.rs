@@ -1,0 +1,363 @@
+//! The serving engine: registered models, shared compilation, and
+//! calibrated per-model service profiles.
+//!
+//! Serving decisions (batching, placement, deadlines) need each model's
+//! steady-state cost, not a fresh cycle-level simulation per request —
+//! FSCNN-style pipelines measure the kernel once and schedule against
+//! the measurement. [`Engine::profile`] does exactly that, once per
+//! registered model: compile the network against one weight set
+//! ([`CompiledNetwork::compile`] — the cost every tenant of the model
+//! shares), execute one steady-state image through the cycle-level
+//! simulator ([`CompiledNetwork::run_image`] with image index 1, so the
+//! weight fetch that image 0 pays is excluded), and distill the
+//! [`ModelProfile`] the virtual-time scheduler charges per batch.
+//! Profiles are memoized host-side; the *virtual-time* residency of
+//! compiled models is the [`crate::cache::ModelCache`]'s concern.
+//!
+//! Everything the profile depends on — geometry, energy model, seed —
+//! is folded into the [`ModelKey`] fingerprint, but the worker-thread
+//! count deliberately is not: threads change wall-clock time only, never
+//! simulated results, so serving runs are bit-identical at any
+//! `SCNN_THREADS`.
+
+use crate::cache::ModelKey;
+use scnn::batch::CompiledNetwork;
+use scnn::runner::RunConfig;
+use scnn_arch::HaloStrategy;
+use scnn_model::{zoo, DensityProfile, Network};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Calibrated steady-state serving costs of one compiled model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// Registered model name.
+    pub name: String,
+    /// Cycles to execute one image with weights resident (whole-network
+    /// SCNN latency of a steady-state batch image).
+    pub image_cycles: u64,
+    /// Energy of one steady-state image, in picojoules.
+    pub image_energy_pj: f64,
+    /// DRAM words one steady-state image moves (its first-layer input
+    /// fetch; resident layers touch DRAM not at all).
+    pub image_dram_words: f64,
+    /// Compressed weight footprint in 16-bit DRAM words — the §IV fetch
+    /// a device pays when the model becomes resident.
+    pub weight_dram_words: f64,
+    /// Cycles to stream the compressed weights in at the configured DRAM
+    /// bandwidth (charged on every device model switch).
+    pub weight_load_cycles: u64,
+    /// Energy of that weight stream, in picojoules.
+    pub weight_energy_pj: f64,
+    /// Virtual-time penalty for compiling the model on a cache miss.
+    pub compile_cycles: u64,
+}
+
+/// One registered model: a network plus the density profile it serves at.
+#[derive(Debug, Clone)]
+struct ModelSpec {
+    network: Network,
+    profile: DensityProfile,
+    profile_tag: String,
+}
+
+/// The model registry and calibration memo behind a serving simulation.
+#[derive(Debug)]
+pub struct Engine {
+    config: RunConfig,
+    dram_words_per_cycle: f64,
+    compile_factor: u64,
+    models: BTreeMap<String, ModelSpec>,
+    calibrated: BTreeMap<String, Rc<ModelProfile>>,
+}
+
+impl Engine {
+    /// Creates an empty engine executing under `config`.
+    #[must_use]
+    pub fn new(config: RunConfig) -> Self {
+        Self {
+            config,
+            dram_words_per_cycle: 8.0,
+            compile_factor: 4,
+            models: BTreeMap::new(),
+            calibrated: BTreeMap::new(),
+        }
+    }
+
+    /// An engine with the paper's three networks registered at their
+    /// published densities, under their Table I names (resolved through
+    /// [`zoo::by_name`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the zoo loses a paper profile (a bug).
+    #[must_use]
+    pub fn with_zoo(config: RunConfig) -> Self {
+        let mut engine = Self::new(config);
+        for name in ["alexnet", "googlenet", "vggnet"] {
+            let network = zoo::by_name(name).expect("zoo network");
+            let profile = DensityProfile::paper(&network).expect("paper density profile");
+            engine.register(network.name().to_owned(), network, profile, "paper");
+        }
+        engine
+    }
+
+    /// Sets the DRAM bandwidth the weight-load model charges against, in
+    /// 16-bit words per cycle (at the ~1GHz PE clock, 1 word/cycle =
+    /// 2GB/s). Invalidates prior calibrations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not positive.
+    #[must_use]
+    pub fn with_dram_words_per_cycle(mut self, words: f64) -> Self {
+        assert!(words > 0.0, "DRAM bandwidth must be positive");
+        self.dram_words_per_cycle = words;
+        self.calibrated.clear();
+        self
+    }
+
+    /// Sets the compile penalty as a multiple of the weight-load time
+    /// (the host passes over the weights a few times to compress and
+    /// partition them). Invalidates prior calibrations.
+    #[must_use]
+    pub fn with_compile_factor(mut self, factor: u64) -> Self {
+        self.compile_factor = factor;
+        self.calibrated.clear();
+        self
+    }
+
+    /// Registers `network` under `name`, serving at `profile` densities.
+    /// `profile_tag` names the density choice inside the [`ModelKey`]
+    /// (e.g. `paper`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is misaligned with the network or `name` is
+    /// already registered.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        network: Network,
+        profile: DensityProfile,
+        profile_tag: impl Into<String>,
+    ) {
+        let name = name.into();
+        assert_eq!(profile.len(), network.layers().len(), "profile misaligned with network");
+        let previous = self
+            .models
+            .insert(name.clone(), ModelSpec { network, profile, profile_tag: profile_tag.into() });
+        assert!(previous.is_none(), "model {name:?} registered twice");
+    }
+
+    /// Registered model names, sorted.
+    #[must_use]
+    pub fn model_names(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// Whether `name` is registered.
+    #[must_use]
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.models.contains_key(name)
+    }
+
+    /// The run configuration the engine executes under.
+    #[must_use]
+    pub fn run_config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// The cache key of a registered model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not registered.
+    #[must_use]
+    pub fn key_for(&self, name: &str) -> ModelKey {
+        let spec = self.models.get(name).unwrap_or_else(|| panic!("model {name:?} unregistered"));
+        ModelKey {
+            model: name.to_owned(),
+            profile: spec.profile_tag.clone(),
+            config: fingerprint(&self.config),
+        }
+    }
+
+    /// The calibrated service profile of a registered model, compiling
+    /// and calibrating on first use (memoized thereafter — every tenant
+    /// of the model shares the one compilation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not registered.
+    pub fn profile(&mut self, name: &str) -> Rc<ModelProfile> {
+        if let Some(p) = self.calibrated.get(name) {
+            return Rc::clone(p);
+        }
+        let spec = self.models.get(name).unwrap_or_else(|| panic!("model {name:?} unregistered"));
+        let compiled = CompiledNetwork::compile(&spec.network, &spec.profile, &self.config);
+        // Image 1, not image 0: image 0 pays the weight DRAM fetch, which
+        // the serving model charges separately on residency changes.
+        let steady = compiled.run_image(1);
+        let weight_dram_words = compiled.weight_dram_words();
+        let weight_load_cycles = (weight_dram_words / self.dram_words_per_cycle).ceil() as u64;
+        let profile = Rc::new(ModelProfile {
+            name: name.to_owned(),
+            image_cycles: steady.layers.iter().map(|l| l.scnn.cycles).sum(),
+            image_energy_pj: steady.layers.iter().map(|l| l.scnn.energy_pj()).sum(),
+            image_dram_words: steady.layers.iter().map(|l| l.scnn.counts.dram_words).sum(),
+            weight_dram_words,
+            weight_load_cycles,
+            weight_energy_pj: weight_dram_words * self.config.energy.e_dram,
+            compile_cycles: self.compile_factor * weight_load_cycles,
+        });
+        self.calibrated.insert(name.to_owned(), Rc::clone(&profile));
+        profile
+    }
+}
+
+/// FNV-1a fingerprint of everything a compiled model depends on:
+/// machine geometry, energy model and operand seed — excluding the
+/// worker-thread count, which never changes simulated results.
+#[must_use]
+pub fn fingerprint(config: &RunConfig) -> u64 {
+    let mut fnv = crate::hash::Fnv64::new();
+    let mut eat = |v: u64| fnv.eat(v);
+    let s = &config.scnn;
+    for v in [
+        s.pe_rows,
+        s.pe_cols,
+        s.f,
+        s.i,
+        s.acc_banks,
+        s.acc_bank_entries,
+        s.iaram_bytes,
+        s.oaram_bytes,
+        s.weight_fifo_bytes,
+        s.kc_max,
+    ] {
+        eat(v as u64);
+    }
+    eat(match s.halo {
+        HaloStrategy::Output => 0,
+        HaloStrategy::Input => 1,
+    });
+    let d = &config.dcnn;
+    for v in
+        [d.num_pes as u64, d.multipliers_per_pe as u64, d.sram_bytes as u64, d.optimized as u64]
+    {
+        eat(v);
+    }
+    let e = &config.energy;
+    for v in [
+        e.e_mult,
+        e.gate_factor,
+        e.e_acc_rmw,
+        e.e_acc_reg,
+        e.e_xbar,
+        e.e_iaram,
+        e.e_sram,
+        e.e_wbuf,
+        e.e_dram,
+        e.e_halo,
+        e.e_ppu,
+    ] {
+        eat(v.to_bits());
+    }
+    eat(config.seed);
+    fnv.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn::scnn_tensor::ConvShape;
+    use scnn_model::{ConvLayer, LayerDensity};
+
+    fn tiny() -> (Network, DensityProfile) {
+        let net = Network::new(
+            "tiny",
+            vec![
+                ConvLayer::new("a", ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1)),
+                ConvLayer::new("b", ConvShape::new(16, 8, 1, 1, 12, 12)),
+            ],
+        );
+        let profile = DensityProfile::from_layers(vec![
+            LayerDensity::new(0.4, 1.0),
+            LayerDensity::new(0.35, 0.45),
+        ]);
+        (net, profile)
+    }
+
+    fn engine_with_tiny() -> Engine {
+        let (net, profile) = tiny();
+        let mut engine = Engine::new(RunConfig::default());
+        engine.register("tiny", net, profile, "test");
+        engine
+    }
+
+    #[test]
+    fn profiles_are_memoized_and_consistent() {
+        let mut engine = engine_with_tiny();
+        let a = engine.profile("tiny");
+        let b = engine.profile("tiny");
+        assert!(Rc::ptr_eq(&a, &b), "second call must reuse the calibration");
+        assert!(a.image_cycles > 0);
+        assert!(a.image_energy_pj > 0.0);
+        assert!(a.weight_dram_words > 0.0);
+        assert!(a.weight_load_cycles > 0);
+        assert_eq!(a.compile_cycles, 4 * a.weight_load_cycles);
+        assert!(a.image_dram_words > 0.0, "steady images still pay their input fetch");
+    }
+
+    #[test]
+    fn steady_image_excludes_the_weight_fetch() {
+        let (net, profile) = tiny();
+        let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
+        let img0: f64 = compiled.run_image(0).layers.iter().map(|l| l.scnn.counts.dram_words).sum();
+        let mut engine = engine_with_tiny();
+        let p = engine.profile("tiny");
+        assert!(
+            p.image_dram_words < img0,
+            "steady image {} should move less DRAM than image 0 {img0}",
+            p.image_dram_words
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_but_not_seed() {
+        let base = RunConfig::default();
+        let threaded = RunConfig { threads: 7, ..base.clone() };
+        assert_eq!(fingerprint(&base), fingerprint(&threaded), "threads must not matter");
+        let reseeded = RunConfig { seed: base.seed + 1, ..base.clone() };
+        assert_ne!(fingerprint(&base), fingerprint(&reseeded));
+        let regeared = RunConfig { scnn: scnn_arch::ScnnConfig::with_pe_grid(4), ..base.clone() };
+        assert_ne!(fingerprint(&base), fingerprint(&regeared));
+    }
+
+    #[test]
+    fn keys_carry_the_profile_tag() {
+        let engine = engine_with_tiny();
+        let key = engine.key_for("tiny");
+        assert_eq!(key.model, "tiny");
+        assert_eq!(key.profile, "test");
+        assert_eq!(key.config, fingerprint(engine.run_config()));
+    }
+
+    #[test]
+    fn dram_bandwidth_scales_the_load_time() {
+        let mut slow = engine_with_tiny().with_dram_words_per_cycle(1.0);
+        let mut fast = engine_with_tiny().with_dram_words_per_cycle(8.0);
+        let ps = slow.profile("tiny");
+        let pf = fast.profile("tiny");
+        assert_eq!(ps.weight_dram_words, pf.weight_dram_words);
+        assert!(ps.weight_load_cycles > pf.weight_load_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn unknown_models_are_rejected() {
+        let mut engine = engine_with_tiny();
+        let _ = engine.profile("resnet");
+    }
+}

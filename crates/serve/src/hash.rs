@@ -1,0 +1,26 @@
+//! The 64-bit FNV-1a fold shared by the configuration fingerprint
+//! ([`crate::engine::fingerprint`]) and the report digest
+//! ([`crate::metrics::ServeReport::digest`]).
+
+/// Incremental FNV-1a over a stream of `u64` words (f64s fold in via
+/// `to_bits`).
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub(crate) fn new() -> Self {
+        Self(0xCBF2_9CE4_8422_2325)
+    }
+
+    /// Folds one word in.
+    pub(crate) fn eat(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    /// The digest so far.
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}

@@ -1,0 +1,78 @@
+//! `scnn_serve`: a deterministic virtual-time inference-serving
+//! simulator over the SCNN batched pipeline.
+//!
+//! The paper evaluates one layer of one image at a time; a production
+//! deployment serves many tenants' request streams across a pool of
+//! accelerators. This crate simulates that traffic-facing tier in
+//! **virtual time** — a `u64` cycle clock driven by an event loop, no
+//! wall clock anywhere — so a simulation is a pure function of its
+//! inputs: bit-identical across repetitions and across worker-thread
+//! counts, like everything else in the workspace.
+//!
+//! The pieces, front to back:
+//!
+//! * [`trace`] — seeded multi-tenant arrival generator: per-tenant
+//!   Poisson-like streams, model choice from the registered zoo, and a
+//!   deadline class per tenant;
+//! * [`batcher`] — dynamic batching: per-model queues sealed at
+//!   `max_batch` requests or after `max_wait_cycles`;
+//! * [`cache`] — the capacity-bounded, LRU-by-virtual-time
+//!   compiled-model cache with hit/miss/eviction counters;
+//! * [`engine`] — model registry plus calibration: each model is
+//!   compiled once ([`scnn::batch::CompiledNetwork`]) and one
+//!   steady-state image is executed through the cycle-level simulator to
+//!   obtain the [`engine::ModelProfile`] the scheduler charges against;
+//! * [`sim`] — the event loop mapping sealed batches onto `N` simulated
+//!   SCNN devices (weight-residency aware: a model switch pays the §IV
+//!   weight reload);
+//! * [`metrics`] — per-tenant and global percentiles, deadline-miss
+//!   rates, energy and DRAM per request, and the plain-text report.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scnn::runner::RunConfig;
+//! use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+//! use scnn::scnn_tensor::ConvShape;
+//! use scnn_serve::engine::Engine;
+//! use scnn_serve::sim::{simulate, ServeConfig};
+//! use scnn_serve::trace::{generate, DeadlineClass, TenantSpec};
+//!
+//! // Register a small model with the engine.
+//! let net = Network::new(
+//!     "demo",
+//!     vec![ConvLayer::new("conv", ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1))],
+//! );
+//! let profile = DensityProfile::from_layers(vec![LayerDensity::new(0.4, 0.6)]);
+//! let mut engine = Engine::new(RunConfig::default());
+//! engine.register("demo", net, profile, "test");
+//!
+//! // Two tenants share the model; simulate a short trace.
+//! let tenants = vec![
+//!     TenantSpec::new("web", "demo", 40_000, DeadlineClass::Interactive),
+//!     TenantSpec::new("batch", "demo", 80_000, DeadlineClass::Relaxed),
+//! ];
+//! let trace = generate(&tenants, 400_000, 1);
+//! let report = simulate(&mut engine, &trace, &ServeConfig::default());
+//! assert_eq!(report.global.requests as usize, trace.len());
+//! assert_eq!(report.cache.misses, 1); // one shared compilation
+//! println!("{}", report.render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batcher;
+pub mod cache;
+pub mod engine;
+mod hash;
+pub mod metrics;
+pub mod sim;
+pub mod trace;
+
+pub use batcher::{Batch, Batcher, BatcherConfig};
+pub use cache::{CacheStats, ModelCache, ModelKey};
+pub use engine::{Engine, ModelProfile};
+pub use metrics::{GroupMetrics, LatencySummary, ServeReport, TenantReport};
+pub use sim::{simulate, ServeConfig};
+pub use trace::{generate, DeadlineClass, Request, TenantSpec, Trace};

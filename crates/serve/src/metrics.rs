@@ -1,0 +1,291 @@
+//! Serving metrics: latency percentiles, deadline misses, per-request
+//! energy and DRAM traffic — per tenant and global.
+//!
+//! SparseNN-style evaluation tracks end-to-end latency and energy *per
+//! request*, not per layer; this module is that sink for the serving
+//! simulator. All latencies are virtual cycles; percentiles use the
+//! nearest-rank method on exact sorted samples, so every number is
+//! bit-reproducible.
+
+use crate::cache::CacheStats;
+use scnn::textutil::fmt_table;
+
+/// Order statistics of a latency sample, in virtual cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Median (50th percentile, nearest-rank).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample (sorted internally). All zeros when empty.
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        Self {
+            p50: nearest_rank(&samples, 50.0),
+            p95: nearest_rank(&samples, 95.0),
+            p99: nearest_rank(&samples, 99.0),
+            max: *samples.last().expect("non-empty"),
+            mean,
+        }
+    }
+}
+
+/// Nearest-rank percentile of a sorted, non-empty sample.
+fn nearest_rank(sorted: &[u64], pct: f64) -> u64 {
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregated request metrics for one group (a tenant, or everything).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupMetrics {
+    /// Requests completed.
+    pub requests: u64,
+    /// Requests that finished after their deadline.
+    pub deadline_misses: u64,
+    /// Queueing latency: arrival to dispatch (includes the batching
+    /// window).
+    pub queue: LatencySummary,
+    /// End-to-end latency: arrival to batch completion.
+    pub e2e: LatencySummary,
+    /// Mean SCNN energy per request, in picojoules (steady-state image
+    /// plus this request's share of any weight reload its batch paid).
+    pub energy_pj_per_request: f64,
+    /// Mean DRAM words per request (same attribution).
+    pub dram_words_per_request: f64,
+}
+
+impl GroupMetrics {
+    /// Fraction of requests that missed their deadline.
+    #[must_use]
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.deadline_misses as f64 / self.requests as f64
+    }
+}
+
+/// One tenant's report row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Model the tenant requests.
+    pub model: String,
+    /// Deadline class name.
+    pub deadline: &'static str,
+    /// The tenant's aggregated metrics.
+    pub metrics: GroupMetrics,
+}
+
+/// One simulated device's accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceReport {
+    /// Batches executed.
+    pub batches: u64,
+    /// Images executed.
+    pub images: u64,
+    /// Cycles spent executing (the rest of the horizon is idle).
+    pub busy_cycles: u64,
+    /// Times the device streamed a new model's weights in (model
+    /// switches, §IV reloads).
+    pub weight_loads: u64,
+}
+
+/// The full result of a serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Cycle the last batch completed at.
+    pub end_cycle: u64,
+    /// Mean images per dispatched batch.
+    pub mean_batch_size: f64,
+    /// Global metrics over every request.
+    pub global: GroupMetrics,
+    /// Per-tenant metrics, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Per-device accounting, in device order.
+    pub devices: Vec<DeviceReport>,
+    /// Compiled-model cache counters.
+    pub cache: CacheStats,
+}
+
+impl ServeReport {
+    /// Completed requests per million virtual cycles.
+    #[must_use]
+    pub fn throughput_per_mcycle(&self) -> f64 {
+        if self.end_cycle == 0 {
+            return 0.0;
+        }
+        self.global.requests as f64 * 1e6 / self.end_cycle as f64
+    }
+
+    /// Mean device busy fraction over the simulated horizon.
+    #[must_use]
+    pub fn device_utilization(&self) -> f64 {
+        if self.end_cycle == 0 || self.devices.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.devices.iter().map(|d| d.busy_cycles).sum();
+        busy as f64 / (self.end_cycle * self.devices.len() as u64) as f64
+    }
+
+    /// An order-sensitive digest of every number in the report (f64s by
+    /// bit pattern) — the determinism tests' one-line comparator.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut fnv = crate::hash::Fnv64::new();
+        let eat_group = |fnv: &mut crate::hash::Fnv64, g: &GroupMetrics| {
+            fnv.eat(g.requests);
+            fnv.eat(g.deadline_misses);
+            for s in [&g.queue, &g.e2e] {
+                fnv.eat(s.p50);
+                fnv.eat(s.p95);
+                fnv.eat(s.p99);
+                fnv.eat(s.max);
+                fnv.eat(s.mean.to_bits());
+            }
+            fnv.eat(g.energy_pj_per_request.to_bits());
+            fnv.eat(g.dram_words_per_request.to_bits());
+        };
+        fnv.eat(self.end_cycle);
+        fnv.eat(self.mean_batch_size.to_bits());
+        eat_group(&mut fnv, &self.global);
+        for t in &self.tenants {
+            fnv.eat(t.name.len() as u64);
+            eat_group(&mut fnv, &t.metrics);
+        }
+        for d in &self.devices {
+            fnv.eat(d.batches);
+            fnv.eat(d.images);
+            fnv.eat(d.busy_cycles);
+            fnv.eat(d.weight_loads);
+        }
+        fnv.eat(self.cache.hits);
+        fnv.eat(self.cache.misses);
+        fnv.eat(self.cache.compulsory_misses);
+        fnv.eat(self.cache.evictions);
+        fnv.finish()
+    }
+
+    /// Renders the plain-text report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "served {} requests in {} virtual cycles ({:.2} req/Mcycle, mean batch {:.2})\n",
+            self.global.requests,
+            self.end_cycle,
+            self.throughput_per_mcycle(),
+            self.mean_batch_size,
+        ));
+        out.push_str(&format!(
+            "deadline misses {:.1}%  |  energy/req {:.1} uJ  |  DRAM/req {:.0} words\n",
+            self.global.deadline_miss_rate() * 100.0,
+            self.global.energy_pj_per_request / 1e6,
+            self.global.dram_words_per_request,
+        ));
+        out.push_str(&format!(
+            "model cache: {} hits / {} misses ({} cold, {} evictions), hit rate {:.1}% \
+             (warm {:.1}%)\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.compulsory_misses,
+            self.cache.evictions,
+            self.cache.hit_rate() * 100.0,
+            self.cache.warm_hit_rate() * 100.0,
+        ));
+        out.push_str(&format!(
+            "devices: {:.1}% busy — {}\n\n",
+            self.device_utilization() * 100.0,
+            self.devices
+                .iter()
+                .enumerate()
+                .map(|(i, d)| format!(
+                    "dev{i} {} batches / {} images / {} loads",
+                    d.batches, d.images, d.weight_loads
+                ))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+        let rows: Vec<Vec<String>> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let m = &t.metrics;
+                vec![
+                    t.name.clone(),
+                    t.model.clone(),
+                    t.deadline.to_owned(),
+                    m.requests.to_string(),
+                    m.queue.p50.to_string(),
+                    m.e2e.p50.to_string(),
+                    m.e2e.p95.to_string(),
+                    m.e2e.p99.to_string(),
+                    format!("{:.1}", m.deadline_miss_rate() * 100.0),
+                    format!("{:.1}", m.energy_pj_per_request / 1e6),
+                ]
+            })
+            .collect();
+        out.push_str(&fmt_table(
+            &[
+                "tenant", "model", "class", "reqs", "q p50", "e2e p50", "e2e p95", "e2e p99",
+                "miss%", "uJ/req",
+            ],
+            &rows,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let s = LatencySummary::from_samples((1..=100).collect());
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (50, 95, 99, 100));
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        let one = LatencySummary::from_samples(vec![42]);
+        assert_eq!((one.p50, one.p99, one.max), (42, 42, 42));
+        assert_eq!(LatencySummary::from_samples(Vec::new()), LatencySummary::default());
+    }
+
+    #[test]
+    fn miss_rate_handles_empty_groups() {
+        assert_eq!(GroupMetrics::default().deadline_miss_rate(), 0.0);
+        let g = GroupMetrics { requests: 4, deadline_misses: 1, ..Default::default() };
+        assert!((g.deadline_miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_distinguishes_reports() {
+        let base = ServeReport {
+            end_cycle: 100,
+            mean_batch_size: 2.0,
+            global: GroupMetrics { requests: 10, ..Default::default() },
+            tenants: Vec::new(),
+            devices: vec![DeviceReport::default()],
+            cache: CacheStats::default(),
+        };
+        let mut other = base.clone();
+        assert_eq!(base.digest(), other.digest());
+        other.end_cycle = 101;
+        assert_ne!(base.digest(), other.digest());
+    }
+}

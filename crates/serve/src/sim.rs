@@ -1,0 +1,275 @@
+//! The deterministic virtual-time serving simulation.
+//!
+//! [`simulate`] drives a `u64`-cycle virtual clock through an event
+//! loop — there is no wall clock anywhere, so runs are bit-identical
+//! across repetitions and worker-thread counts. Three event sources
+//! advance the clock:
+//!
+//! 1. **arrivals** from the pre-generated [`Trace`] feed the
+//!    [`Batcher`]'s per-model queues;
+//! 2. **queue ripening** — a queue filling to `max_batch` or its oldest
+//!    request outwaiting the batching window — makes work dispatchable;
+//! 3. **device completions** free one of the `N` simulated SCNN devices.
+//!
+//! Whenever a device is free, the scheduler pops the ripe queue whose
+//! head has waited longest (batches form *at dispatch time*, so a
+//! backlog coalesces into full batches). The batch picks, among free
+//! devices, one whose *resident* model already matches (then an empty
+//! device, then the lowest-indexed free one): SCNN keeps compressed
+//! weights stationary (§IV), so a model switch streams the new weights
+//! from DRAM — `weight_load_cycles` charged to the batch and shared by
+//! its requests. A compiled-model-cache miss additionally charges the
+//! compile penalty. All ties (same-cycle ripening, equal devices) break
+//! by fixed, documented orders, which is what makes the simulation a
+//! pure function of `(trace, config, engine registration)`.
+
+use crate::batcher::{Batch, Batcher, BatcherConfig};
+use crate::cache::ModelCache;
+use crate::engine::{Engine, ModelProfile};
+use crate::metrics::{DeviceReport, GroupMetrics, LatencySummary, ServeReport, TenantReport};
+use crate::trace::Trace;
+use std::rc::Rc;
+
+/// Serving-tier knobs (the engine owns the device-model knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of simulated SCNN devices.
+    pub devices: usize,
+    /// Dynamic-batching policy.
+    pub batcher: BatcherConfig,
+    /// Compiled-model cache capacity, in models.
+    pub cache_capacity: usize,
+    /// Fixed per-batch dispatch overhead in cycles (scheduling, DMA
+    /// descriptor setup) — amortized by larger batches.
+    pub batch_overhead_cycles: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            devices: 2,
+            batcher: BatcherConfig::default(),
+            cache_capacity: 3,
+            batch_overhead_cycles: 1_000,
+        }
+    }
+}
+
+/// One simulated SCNN device.
+#[derive(Debug, Clone, Default)]
+struct Device {
+    /// The device is idle from this cycle on.
+    free_at: u64,
+    /// The model whose weights are resident, if any.
+    resident: Option<String>,
+    report: DeviceReport,
+}
+
+/// One completed request's record.
+#[derive(Debug, Clone)]
+struct Done {
+    tenant: usize,
+    arrival: u64,
+    start: u64,
+    finish: u64,
+    deadline_ok: bool,
+    energy_pj: f64,
+    dram_words: f64,
+}
+
+/// Runs the serving simulation of `trace` under `cfg`, calibrating
+/// models through `engine` on first use. Deterministic: the report is a
+/// pure function of the trace, the config and the engine's registration
+/// (worker threads and repetition never change it).
+///
+/// # Panics
+///
+/// Panics if `cfg.devices` is zero or a tenant references an
+/// unregistered model.
+#[must_use]
+pub fn simulate(engine: &mut Engine, trace: &Trace, cfg: &ServeConfig) -> ServeReport {
+    assert!(cfg.devices > 0, "serving needs at least one device");
+    for tenant in &trace.tenants {
+        assert!(
+            engine.is_registered(&tenant.model),
+            "tenant {:?} requests unregistered model {:?}",
+            tenant.name,
+            tenant.model
+        );
+    }
+
+    let mut batcher = Batcher::new(cfg.batcher);
+    let mut cache: ModelCache<Rc<ModelProfile>> = ModelCache::new(cfg.cache_capacity);
+    let mut devices = vec![Device::default(); cfg.devices];
+    let mut done: Vec<Done> = Vec::with_capacity(trace.len());
+    let mut next_arrival = 0usize;
+    let mut now = 0u64;
+
+    loop {
+        // Drain: while a device is free and some queue is ripe, pop the
+        // longest-waiting ripe queue (coalescing the backlog up to
+        // `max_batch`) and dispatch it.
+        while devices.iter().any(|d| d.free_at <= now) {
+            let Some(batch) = batcher.pop_ripe(now) else { break };
+            let device = pick_device(&devices, now, &batch.model).expect("a device is free");
+            dispatch(batch, &mut devices[device], now, engine, &mut cache, cfg, &mut done);
+        }
+
+        // Advance the clock to the next event: an arrival; a queue
+        // ripening (only actionable while a device is free); or — when
+        // queued work is waiting on busy devices — a completion.
+        let mut next = u64::MAX;
+        if let Some(r) = trace.requests.get(next_arrival) {
+            next = next.min(r.arrival);
+        }
+        if batcher.pending() > 0 {
+            if devices.iter().any(|d| d.free_at <= now) {
+                if let Some(ripe) = batcher.next_ripe() {
+                    // Post-drain nothing is ripe yet, so `ripe > now`;
+                    // the max() guards the clock against ever stalling.
+                    next = next.min(ripe.max(now + 1));
+                }
+            }
+            if let Some(free) = devices.iter().map(|d| d.free_at).filter(|f| *f > now).min() {
+                next = next.min(free);
+            }
+        }
+        if next == u64::MAX {
+            break; // no arrivals left and nothing queued
+        }
+        now = now.max(next);
+
+        while trace.requests.get(next_arrival).is_some_and(|r| r.arrival <= now) {
+            batcher.push(trace.requests[next_arrival].clone());
+            next_arrival += 1;
+        }
+    }
+    debug_assert_eq!(done.len(), trace.len(), "every request must complete");
+
+    build_report(trace, &devices, &cache, &done)
+}
+
+/// Free-device choice for `model`: resident match first (no weight
+/// reload), then an empty device, then the lowest-indexed free one.
+fn pick_device(devices: &[Device], now: u64, model: &str) -> Option<usize> {
+    devices
+        .iter()
+        .position(|d| d.free_at <= now && d.resident.as_deref() == Some(model))
+        .or_else(|| devices.iter().position(|d| d.free_at <= now && d.resident.is_none()))
+        .or_else(|| devices.iter().position(|d| d.free_at <= now))
+}
+
+/// Executes `batch` on `device` starting at `now`, recording one
+/// [`Done`] per request.
+fn dispatch(
+    batch: Batch,
+    device: &mut Device,
+    now: u64,
+    engine: &mut Engine,
+    cache: &mut ModelCache<Rc<ModelProfile>>,
+    cfg: &ServeConfig,
+    done: &mut Vec<Done>,
+) {
+    let key = engine.key_for(&batch.model);
+    let (profile, hit) = cache.get_or_insert_with(&key, now, || engine.profile(&batch.model));
+    let profile = Rc::clone(profile);
+    let images = batch.len() as u64;
+    let switch = device.resident.as_deref() != Some(batch.model.as_str());
+
+    let mut service = cfg.batch_overhead_cycles + images * profile.image_cycles;
+    if !hit {
+        service += profile.compile_cycles;
+    }
+    if switch {
+        service += profile.weight_load_cycles;
+    }
+    let finish = now + service;
+
+    device.free_at = finish;
+    device.resident = Some(batch.model.clone());
+    device.report.batches += 1;
+    device.report.images += images;
+    device.report.busy_cycles += service;
+    if switch {
+        device.report.weight_loads += 1;
+    }
+
+    // The reload a batch pays is shared evenly by its requests; compile
+    // work happens host-side and is charged in time, not device energy.
+    let share = |total: f64| if switch { total / images as f64 } else { 0.0 };
+    let energy_pj = profile.image_energy_pj + share(profile.weight_energy_pj);
+    let dram_words = profile.image_dram_words + share(profile.weight_dram_words);
+    for req in batch.requests {
+        let budget = req.deadline.budget_factor() * profile.image_cycles;
+        done.push(Done {
+            tenant: req.tenant,
+            arrival: req.arrival,
+            start: now,
+            finish,
+            deadline_ok: finish - req.arrival <= budget,
+            energy_pj,
+            dram_words,
+        });
+    }
+}
+
+/// Aggregates completion records into the final report.
+fn build_report(
+    trace: &Trace,
+    devices: &[Device],
+    cache: &ModelCache<Rc<ModelProfile>>,
+    done: &[Done],
+) -> ServeReport {
+    let group = |records: &[&Done]| -> GroupMetrics {
+        GroupMetrics {
+            requests: records.len() as u64,
+            deadline_misses: records.iter().filter(|d| !d.deadline_ok).count() as u64,
+            queue: LatencySummary::from_samples(
+                records.iter().map(|d| d.start - d.arrival).collect(),
+            ),
+            e2e: LatencySummary::from_samples(
+                records.iter().map(|d| d.finish - d.arrival).collect(),
+            ),
+            energy_pj_per_request: mean(records.iter().map(|d| d.energy_pj)),
+            dram_words_per_request: mean(records.iter().map(|d| d.dram_words)),
+        }
+    };
+
+    let all: Vec<&Done> = done.iter().collect();
+    let tenants = trace
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(t, spec)| TenantReport {
+            name: spec.name.clone(),
+            model: spec.model.clone(),
+            deadline: spec.deadline.name(),
+            metrics: group(&all.iter().filter(|d| d.tenant == t).copied().collect::<Vec<_>>()),
+        })
+        .collect();
+
+    let batches: u64 = devices.iter().map(|d| d.report.batches).sum();
+    let images: u64 = devices.iter().map(|d| d.report.images).sum();
+    ServeReport {
+        end_cycle: done.iter().map(|d| d.finish).max().unwrap_or(0),
+        mean_batch_size: if batches == 0 { 0.0 } else { images as f64 / batches as f64 },
+        global: group(&all),
+        tenants,
+        devices: devices.iter().map(|d| d.report.clone()).collect(),
+        cache: cache.stats(),
+    }
+}
+
+/// Mean of an iterator (0.0 when empty).
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}

@@ -1,0 +1,235 @@
+//! Seeded synthetic arrival traces for the serving simulator.
+//!
+//! Real serving traffic is a superposition of independent tenant
+//! streams; this module generates one deterministically. Each
+//! [`TenantSpec`] names a registered model, a mean inter-arrival gap in
+//! virtual cycles, and a [`DeadlineClass`]; [`generate`] draws each
+//! tenant's arrivals as an independent Poisson-like process (exponential
+//! gaps, seeded per tenant) and merges the streams into one list sorted
+//! by `(arrival, tenant)`. The same `(tenants, horizon, seed)` triple
+//! always yields the same trace, bit for bit.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Multiplicative stride separating per-tenant arrival-stream seeds.
+const TENANT_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Latency expectation attached to every request of a tenant.
+///
+/// Budgets are expressed *relative to the model's steady-state image
+/// latency* (the calibrated cycles of one image, weights resident), so
+/// one class means the same thing for a 370K-cycle AlexNet request and a
+/// 4.3M-cycle VGGNet request: [`DeadlineClass::budget_factor`] times the
+/// image latency, measured arrival-to-completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeadlineClass {
+    /// User-facing: completion within 8 image-latencies.
+    Interactive,
+    /// Near-line: completion within 25 image-latencies.
+    Standard,
+    /// Bulk/offline: completion within 100 image-latencies.
+    Relaxed,
+}
+
+impl DeadlineClass {
+    /// Deadline budget as a multiple of the model's steady-state
+    /// per-image latency.
+    #[must_use]
+    pub fn budget_factor(self) -> u64 {
+        match self {
+            Self::Interactive => 8,
+            Self::Standard => 25,
+            Self::Relaxed => 100,
+        }
+    }
+
+    /// Short display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Interactive => "interactive",
+            Self::Standard => "standard",
+            Self::Relaxed => "relaxed",
+        }
+    }
+}
+
+/// One tenant of the multi-tenant service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant display name.
+    pub name: String,
+    /// Registered model the tenant requests (an `Engine` model name).
+    pub model: String,
+    /// Mean gap between consecutive requests, in virtual cycles.
+    pub mean_interarrival: u64,
+    /// Deadline class of every request from this tenant.
+    pub deadline: DeadlineClass,
+}
+
+impl TenantSpec {
+    /// Creates a tenant spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interarrival` is zero.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        model: impl Into<String>,
+        mean_interarrival: u64,
+        deadline: DeadlineClass,
+    ) -> Self {
+        assert!(mean_interarrival > 0, "mean inter-arrival must be at least one cycle");
+        Self { name: name.into(), model: model.into(), mean_interarrival, deadline }
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Global id, assigned in `(arrival, tenant)` order.
+    pub id: u64,
+    /// Index into [`Trace::tenants`].
+    pub tenant: usize,
+    /// Model name (copied from the tenant spec).
+    pub model: String,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// Deadline class (copied from the tenant spec).
+    pub deadline: DeadlineClass,
+}
+
+/// A generated arrival trace: the tenant roster plus every request,
+/// sorted by `(arrival, tenant)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The tenants the trace was generated for.
+    pub tenants: Vec<TenantSpec>,
+    /// All requests in arrival order.
+    pub requests: Vec<Request>,
+    /// The arrival horizon the trace was generated to.
+    pub horizon: u64,
+}
+
+impl Trace {
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// Draws one exponential inter-arrival gap (mean `mean` cycles, rounded
+/// up, never zero) from `rng`.
+fn exponential_gap(rng: &mut StdRng, mean: u64) -> u64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // u in [0,1) keeps the log argument in (0,1]; the gap is >= 0 and
+    // ceil + max(1) keeps virtual time strictly advancing per tenant.
+    let gap = -(1.0 - u).ln() * mean as f64;
+    (gap.ceil() as u64).max(1)
+}
+
+/// Generates the arrival trace for `tenants` over `horizon` virtual
+/// cycles. Each tenant draws from its own seeded stream (derived from
+/// `seed` and the tenant index), so adding a tenant never perturbs the
+/// others' arrivals.
+///
+/// # Panics
+///
+/// Panics if `tenants` is empty.
+#[must_use]
+pub fn generate(tenants: &[TenantSpec], horizon: u64, seed: u64) -> Trace {
+    assert!(!tenants.is_empty(), "a trace needs at least one tenant");
+    let mut requests = Vec::new();
+    for (t, spec) in tenants.iter().enumerate() {
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_add((t as u64).wrapping_mul(TENANT_SEED_STRIDE)));
+        let mut at = exponential_gap(&mut rng, spec.mean_interarrival);
+        while at <= horizon {
+            requests.push(Request {
+                id: 0, // assigned after the merge sort
+                tenant: t,
+                model: spec.model.clone(),
+                arrival: at,
+                deadline: spec.deadline,
+            });
+            at += exponential_gap(&mut rng, spec.mean_interarrival);
+        }
+    }
+    requests.sort_by_key(|r| (r.arrival, r.tenant));
+    for (id, r) in requests.iter_mut().enumerate() {
+        r.id = id as u64;
+    }
+    Trace { tenants: tenants.to_vec(), requests, horizon }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenants() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new("t0", "a", 500, DeadlineClass::Interactive),
+            TenantSpec::new("t1", "a", 1_000, DeadlineClass::Standard),
+            TenantSpec::new("t2", "b", 2_000, DeadlineClass::Relaxed),
+        ]
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let a = generate(&tenants(), 100_000, 7);
+        let b = generate(&tenants(), 100_000, 7);
+        assert_eq!(a, b);
+        let c = generate(&tenants(), 100_000, 8);
+        assert_ne!(a.requests, c.requests, "different seeds should differ");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_with_stable_ids() {
+        let trace = generate(&tenants(), 200_000, 1);
+        assert!(!trace.is_empty());
+        for w in trace.requests.windows(2) {
+            assert!((w[0].arrival, w[0].tenant) <= (w[1].arrival, w[1].tenant));
+            assert_eq!(w[0].id + 1, w[1].id);
+        }
+        assert!(trace.requests.iter().all(|r| r.arrival >= 1 && r.arrival <= trace.horizon));
+    }
+
+    #[test]
+    fn request_rate_tracks_the_mean_gap() {
+        let trace = generate(&tenants(), 1_000_000, 3);
+        let per_tenant = |t: usize| trace.requests.iter().filter(|r| r.tenant == t).count() as f64;
+        // Expected counts: horizon / mean = 2000 / 1000 / 500 — allow
+        // +-20% Poisson wobble.
+        for (t, expect) in [(0, 2_000.0), (1, 1_000.0), (2, 500.0)] {
+            let got = per_tenant(t);
+            assert!((got / expect - 1.0).abs() < 0.2, "tenant {t}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn adding_a_tenant_preserves_existing_streams() {
+        let base = generate(&tenants()[..2], 100_000, 9);
+        let more = generate(&tenants(), 100_000, 9);
+        let arrivals = |trace: &Trace, t: usize| {
+            trace.requests.iter().filter(|r| r.tenant == t).map(|r| r.arrival).collect::<Vec<_>>()
+        };
+        assert_eq!(arrivals(&base, 0), arrivals(&more, 0));
+        assert_eq!(arrivals(&base, 1), arrivals(&more, 1));
+    }
+
+    #[test]
+    fn deadline_budgets_are_ordered() {
+        assert!(
+            DeadlineClass::Interactive.budget_factor() < DeadlineClass::Standard.budget_factor()
+        );
+        assert!(DeadlineClass::Standard.budget_factor() < DeadlineClass::Relaxed.budget_factor());
+    }
+}

@@ -28,7 +28,7 @@ fn main() {
             cfg.num_pes(),
             cfg.multipliers_per_pe(),
             r.cycles,
-            r.stats.utilization(1024, r.cycles),
+            r.stats.utilization(cfg.total_multipliers() as u64, r.cycles),
             scnn_total_area(&cfg),
         );
     }

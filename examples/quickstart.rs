@@ -19,7 +19,9 @@ fn main() {
     let input = synth_layer_input(&shape, 0.60, 43);
 
     // SCNN: functional, cycle-level.
-    let scnn = ScnnMachine::new(ScnnConfig::default());
+    let cfg = ScnnConfig::default();
+    let mults = cfg.total_multipliers() as u64;
+    let scnn = ScnnMachine::new(cfg);
     let result = scnn.run_layer(&shape, &weights, &input, &RunOptions::default());
 
     // The simulator computes real values — check them against the
@@ -32,7 +34,7 @@ fn main() {
     let dcnn = DcnnMachine::new(DcnnConfig::default());
     let operands = OperandProfile::measure(&input, weights.density(), result.output.as_ref());
     let dense = dcnn.run_layer(&shape, &operands, false);
-    let oracle = oracle_cycles(result.stats.products, 1024);
+    let oracle = oracle_cycles(result.stats.products, mults);
 
     println!("\nlayer: {shape}");
     println!("  weight density   {:.2}", weights.density());
@@ -49,7 +51,7 @@ fn main() {
     println!("  oracle     {:>9}     {:.2}x   -", oracle, dense.cycles as f64 / oracle as f64);
     println!(
         "\n  SCNN multiplier utilization {:.0}%, PE idle {:.0}%, energy {:.2}x of DCNN",
-        result.stats.utilization(1024, result.cycles) * 100.0,
+        result.stats.utilization(mults, result.cycles) * 100.0,
         result.stats.idle_fraction() * 100.0,
         result.energy_pj() / dense.energy_pj()
     );

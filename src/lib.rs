@@ -7,6 +7,8 @@
 //! re-exported here for convenience:
 //!
 //! * [`scnn`] — high-level accelerator API and experiment registry
+//! * [`scnn_serve`] — deterministic virtual-time inference-serving
+//!   simulator (dynamic batching, compiled-model cache, device pool)
 //! * [`scnn_tensor`] — dense and compressed-sparse tensor substrate
 //! * [`scnn_model`] — network zoo, density profiles, synthetic workloads
 //! * [`scnn_arch`] — accelerator configurations, energy and area models
@@ -19,6 +21,7 @@ pub use scnn;
 pub use scnn_arch;
 pub use scnn_model;
 pub use scnn_par;
+pub use scnn_serve;
 pub use scnn_sim;
 pub use scnn_tensor;
 pub use scnn_timeloop;

@@ -1,0 +1,196 @@
+//! Integration tests for the `scnn_serve` virtual-time serving tier:
+//! determinism across worker-thread counts (the `tests/parallel_determinism.rs`
+//! pattern lifted to whole serving simulations), compiled-model cache
+//! behaviour under interleaved tenants, and the batching effect the
+//! `serve` sweep demonstrates — all on small synthetic networks so the
+//! suite stays debug-fast.
+
+use scnn::runner::RunConfig;
+use scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+use scnn_serve::engine::Engine;
+use scnn_serve::sim::{simulate, ServeConfig};
+use scnn_serve::trace::{generate, DeadlineClass, TenantSpec};
+use scnn_serve::{BatcherConfig, ServeReport};
+use scnn_tensor::ConvShape;
+
+/// Two small heterogeneous networks ("minia"/"minib") for the registry.
+fn tiny_models() -> Vec<(String, Network, DensityProfile)> {
+    let a = Network::new(
+        "minia",
+        vec![
+            ConvLayer::new("a0", ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1)),
+            ConvLayer::new("a1", ConvShape::new(16, 8, 1, 1, 12, 12)),
+        ],
+    );
+    let pa = DensityProfile::from_layers(vec![
+        LayerDensity::new(0.4, 1.0),
+        LayerDensity::new(0.35, 0.45),
+    ]);
+    let b = Network::new(
+        "minib",
+        vec![ConvLayer::new("b0", ConvShape::new(12, 6, 3, 3, 10, 10).with_pad(1))],
+    );
+    let pb = DensityProfile::from_layers(vec![LayerDensity::new(0.3, 0.6)]);
+    vec![("minia".into(), a, pa), ("minib".into(), b, pb)]
+}
+
+fn engine_with(config: RunConfig) -> Engine {
+    let mut engine = Engine::new(config);
+    for (name, net, profile) in tiny_models() {
+        engine.register(name, net, profile, "test");
+    }
+    engine
+}
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("t-a1", "minia", 30_000, DeadlineClass::Interactive),
+        TenantSpec::new("t-a2", "minia", 50_000, DeadlineClass::Standard),
+        TenantSpec::new("t-b", "minib", 40_000, DeadlineClass::Relaxed),
+    ]
+}
+
+fn run(config: RunConfig, cfg: &ServeConfig, seed: u64) -> ServeReport {
+    let mut engine = engine_with(config);
+    let trace = generate(&tenants(), 2_000_000, seed);
+    simulate(&mut engine, &trace, cfg)
+}
+
+#[test]
+fn serve_simulation_is_bit_identical_across_thread_counts() {
+    // Worker threads only parallelize the engine's compile/calibrate
+    // step (scnn_par fan-out); the virtual-time event loop is serial by
+    // construction. Any thread count must reproduce the whole report —
+    // every latency percentile, energy mean and counter — bit for bit.
+    let cfg = ServeConfig::default();
+    let serial = run(RunConfig::default().with_threads(1), &cfg, 42);
+    assert!(serial.global.requests > 50, "trace should be non-trivial");
+    for threads in [2, 4, 7] {
+        let parallel = run(RunConfig::default().with_threads(threads), &cfg, 42);
+        assert_eq!(serial, parallel, "{threads} threads diverged");
+        assert_eq!(serial.digest(), parallel.digest());
+        assert_eq!(serial.render(), parallel.render());
+    }
+}
+
+#[test]
+fn serve_simulation_is_repeatable() {
+    let cfg = ServeConfig::default();
+    let a = run(RunConfig::default(), &cfg, 9);
+    let b = run(RunConfig::default(), &cfg, 9);
+    assert_eq!(a.digest(), b.digest());
+    // A different arrival seed is a genuinely different simulation.
+    let c = run(RunConfig::default(), &cfg, 10);
+    assert_ne!(a.digest(), c.digest());
+}
+
+#[test]
+fn every_request_completes_and_accounting_balances() {
+    let cfg = ServeConfig::default();
+    let mut engine = engine_with(RunConfig::default());
+    let trace = generate(&tenants(), 2_000_000, 3);
+    let report = simulate(&mut engine, &trace, &cfg);
+    assert_eq!(report.global.requests as usize, trace.len());
+    let per_tenant: u64 = report.tenants.iter().map(|t| t.metrics.requests).sum();
+    assert_eq!(per_tenant, report.global.requests);
+    let images: u64 = report.devices.iter().map(|d| d.images).sum();
+    assert_eq!(images, report.global.requests, "every request is one image");
+    for d in &report.devices {
+        assert!(d.busy_cycles <= report.end_cycle);
+    }
+    assert!(report.global.e2e.p50 > 0);
+    assert!(report.global.queue.p50 <= report.global.e2e.p50);
+    assert!(report.global.energy_pj_per_request > 0.0);
+    assert!(report.global.dram_words_per_request > 0.0);
+}
+
+#[test]
+fn tenants_sharing_a_model_share_one_compilation() {
+    // Three tenants over two models: exactly two cold misses, and with
+    // capacity for both models nothing is ever evicted — the warm hit
+    // rate is 100%.
+    let cfg = ServeConfig { cache_capacity: 2, ..Default::default() };
+    let report = run(RunConfig::default(), &cfg, 5);
+    assert_eq!(report.cache.misses, 2);
+    assert_eq!(report.cache.compulsory_misses, 2);
+    assert_eq!(report.cache.evictions, 0);
+    assert_eq!(report.cache.warm_hit_rate(), 1.0);
+    assert!(report.cache.hit_rate() > 0.9, "rate {}", report.cache.hit_rate());
+}
+
+#[test]
+fn undersized_cache_thrashes_deterministically_under_interleaved_tenants() {
+    // Capacity one under two interleaved models: every model switch at
+    // the cache level is a capacity miss + eviction, LRU by virtual
+    // time. The counters must reflect that, identically on every run.
+    let cfg = ServeConfig { cache_capacity: 1, ..Default::default() };
+    let a = run(RunConfig::default(), &cfg, 5);
+    let b = run(RunConfig::default(), &cfg, 5);
+    assert_eq!(a.cache, b.cache);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.cache.compulsory_misses, 2);
+    assert!(a.cache.misses > a.cache.compulsory_misses, "capacity misses expected");
+    assert_eq!(a.cache.evictions, a.cache.misses - 1, "each miss after the first evicts");
+    assert!(a.cache.warm_hit_rate() < 1.0);
+    // The roomy cache serves the same trace strictly better.
+    let roomy =
+        run(RunConfig::default(), &ServeConfig { cache_capacity: 2, ..Default::default() }, 5);
+    assert!(roomy.cache.misses < a.cache.misses);
+    assert!(roomy.global.e2e.p99 <= a.global.e2e.p99);
+}
+
+#[test]
+fn batching_amortizes_per_dispatch_overheads_under_load() {
+    // One device, two models, and a per-dispatch overhead comparable to
+    // the image time: at max_batch=1 every request pays it alone and the
+    // device saturates; raising max_batch lets the backlog coalesce, so
+    // tail latency falls and mean batch size rises. Arrival gaps derive
+    // from the calibrated image latency, so the offered load (and hence
+    // the effect) is stable whatever the tiny networks cost.
+    let image_cycles = engine_with(RunConfig::default()).profile("minia").image_cycles;
+    let loaded_tenants = vec![
+        TenantSpec::new("t-a1", "minia", 3 * image_cycles, DeadlineClass::Interactive),
+        TenantSpec::new("t-a2", "minia", 5 * image_cycles, DeadlineClass::Standard),
+        TenantSpec::new("t-b", "minib", 4 * image_cycles, DeadlineClass::Relaxed),
+    ];
+    let run_with = |max_batch: usize| {
+        let mut engine = engine_with(RunConfig::default());
+        let trace = generate(&loaded_tenants, 600 * image_cycles, 11);
+        let cfg = ServeConfig {
+            devices: 1,
+            batcher: BatcherConfig { max_batch, max_wait_cycles: 2 * image_cycles },
+            batch_overhead_cycles: 2 * image_cycles,
+            ..Default::default()
+        };
+        simulate(&mut engine, &trace, &cfg)
+    };
+    let singles = run_with(1);
+    let batched = run_with(8);
+    assert!((singles.mean_batch_size - 1.0).abs() < 1e-12);
+    assert!(batched.mean_batch_size > 1.5, "got {}", batched.mean_batch_size);
+    assert!(
+        batched.global.e2e.p99 < singles.global.e2e.p99,
+        "batched p99 {} should beat unbatched {}",
+        batched.global.e2e.p99,
+        singles.global.e2e.p99
+    );
+    assert!(batched.global.e2e.p50 < singles.global.e2e.p50);
+    assert!(
+        batched.global.deadline_miss_rate() <= singles.global.deadline_miss_rate(),
+        "batching should not worsen deadline misses under load"
+    );
+}
+
+#[test]
+fn zoo_engine_registers_the_paper_networks() {
+    // No calibration here (that would simulate real networks in debug);
+    // just the registry and key plumbing built on zoo::by_name.
+    let engine = Engine::with_zoo(RunConfig::default());
+    assert_eq!(engine.model_names(), vec!["AlexNet", "GoogLeNet", "VGGNet"]);
+    for name in engine.model_names() {
+        assert!(engine.is_registered(&name));
+        let key = engine.key_for(&name);
+        assert_eq!(key.model, name);
+        assert_eq!(key.profile, "paper");
+    }
+}
