@@ -1,0 +1,47 @@
+//! Criterion benches for steady-state single-layer execution — the
+//! compile-once, workspace-reuse hot path the batch grid and the serving
+//! engine run flat out. Covers sparse (paper densities) and dense-ish
+//! operand mixes on representative evaluation layers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scnn::scnn_arch::ScnnConfig;
+use scnn::scnn_model::{synth_layer_input, synth_weights};
+use scnn::scnn_sim::{RunOptions, ScnnMachine, SimWorkspace};
+use scnn::scnn_tensor::ConvShape;
+
+fn bench_execute_layer(c: &mut Criterion) {
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let cases = [
+        // (name, shape, weight density, act density)
+        ("googlenet_3a_3x3_sparse", ConvShape::new(128, 96, 3, 3, 28, 28).with_pad(1), 0.33, 0.60),
+        ("alexnet_conv3_sparse", ConvShape::new(384, 256, 3, 3, 13, 13).with_pad(1), 0.35, 0.35),
+        (
+            "alexnet_conv1_strided",
+            ConvShape::new(96, 3, 11, 11, 227, 227).with_stride(4),
+            0.84,
+            1.0,
+        ),
+        ("googlenet_3a_3x3_dense", ConvShape::new(128, 96, 3, 3, 28, 28).with_pad(1), 0.95, 0.95),
+    ];
+    let mut group = c.benchmark_group("execute_layer");
+    group.sample_size(10);
+    for (name, shape, wd, ad) in cases {
+        let weights = synth_weights(&shape, wd, 1);
+        let input = synth_layer_input(&shape, ad, 2);
+        let compiled = machine.compile_layer(&shape, &weights);
+        let opts = RunOptions::default();
+        let mut ws = SimWorkspace::new();
+        // Warm the workspace so the measured iterations are the
+        // zero-allocation steady state.
+        let _ = machine.execute_layer_with(&compiled, &input, &opts, &mut ws);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                machine.execute_layer_with(black_box(&compiled), black_box(&input), &opts, &mut ws)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execute_layer);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion benches for the `run_phase` kernel — the Cartesian-product
+//! inner loop that dominates simulator wall-clock — across operand mixes:
+//! sparse (paper-typical ~30% densities), dense-ish (both operands near
+//! 100%), and the asymmetric mixes where one operand is much denser than
+//! the other.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scnn::scnn_sim::{build_bank_lut, run_phase, ActEntry, PhaseGeom, PhaseScratch, WtEntry};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+/// Deterministic activation synthesis: ~`density` of a `w x h` tile.
+fn make_acts(w: u16, h: u16, density: f64, seed: u64) -> Vec<ActEntry> {
+    let mut state = seed | 1;
+    let mut out = Vec::new();
+    for x in 0..w {
+        for y in 0..h {
+            if (lcg(&mut state) % 1000) as f64 / 1000.0 < density {
+                out.push(ActEntry { x, y, v: 1.0 + (x + y) as f32 * 0.125 });
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic weight synthesis: ~`density` of a `kc x r x s` block.
+fn make_wts(kc: u16, r: u16, s: u16, density: f64, seed: u64) -> Vec<WtEntry> {
+    let mut state = seed | 1;
+    let mut out = Vec::new();
+    for k in 0..kc {
+        for rr in 0..r {
+            for ss in 0..s {
+                if (lcg(&mut state) % 1000) as f64 / 1000.0 < density {
+                    out.push(WtEntry { k, r: rr, s: ss, v: 0.5 - (k % 5) as f32 * 0.25 });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn bench_run_phase(c: &mut Criterion) {
+    // A per-PE accumulator window like a GoogLeNet 3x3 tile on the 8x8
+    // grid: kc=8 output channels over a (4+2)x(4+2) halo window.
+    let (kc, acc_w, acc_h) = (8usize, 6usize, 6usize);
+    let (tile_w, tile_h) = (6u16, 6u16);
+    let geom = PhaseGeom {
+        f: 4,
+        i: 4,
+        banks: 32,
+        acc_x0: 0,
+        acc_y0: 0,
+        acc_w,
+        acc_h,
+        x1: acc_w,
+        y1: acc_h,
+        out_w: 28,
+        out_h: 28,
+        k_base: 0,
+    };
+    let mut lut = Vec::new();
+    build_bank_lut(&geom, kc, &mut lut);
+
+    let cases = [
+        ("sparse_0.3x0.3", 0.3, 0.3),
+        ("dense_1.0x1.0", 1.0, 1.0),
+        ("dense_acts_sparse_wts", 0.9, 0.2),
+        ("sparse_acts_dense_wts", 0.2, 0.9),
+    ];
+    let mut group = c.benchmark_group("run_phase");
+    for (name, ad, wd) in cases {
+        let acts = make_acts(tile_w, tile_h, ad, 17);
+        let wts = make_wts(kc as u16, 3, 3, wd, 29);
+        let (stored_a, stored_w) = (acts.len().max(1), wts.len().max(1));
+        let mut acc = vec![0.0f32; kc * acc_w * acc_h];
+        let mut scratch = PhaseScratch::new(geom.banks);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_phase(
+                    black_box(&acts),
+                    stored_a,
+                    black_box(&wts),
+                    stored_w,
+                    &geom,
+                    &mut acc,
+                    &lut,
+                    &mut scratch,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bank_lut(c: &mut Criterion) {
+    // The per-(PE, OCG) table build the phase loop amortizes away.
+    let geom = PhaseGeom {
+        f: 4,
+        i: 4,
+        banks: 32,
+        acc_x0: 10,
+        acc_y0: 10,
+        acc_w: 6,
+        acc_h: 6,
+        x1: 16,
+        y1: 16,
+        out_w: 28,
+        out_h: 28,
+        k_base: 64,
+    };
+    let mut lut = Vec::new();
+    c.bench_function("build_bank_lut/kc8_6x6", |b| {
+        b.iter(|| {
+            build_bank_lut(black_box(&geom), 8, &mut lut);
+            black_box(lut.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_run_phase, bench_bank_lut);
+criterion_main!(benches);

@@ -1,0 +1,247 @@
+//! Simulator performance tracker: times `CompiledNetwork` compilation and
+//! `BatchRun` execution (the `execute_layer` hot path) on the zoo
+//! networks and writes a machine-readable `BENCH_sim.json`, so the
+//! wall-clock trajectory of the simulator is tracked across PRs instead
+//! of living in commit messages.
+//!
+//! ```text
+//! cargo run --release --bin perf -- [--quick] [--out PATH] [--baseline PATH] [--check]
+//! ```
+//!
+//! * `--quick`     — AlexNet only, batch 2 (the CI configuration).
+//! * `--out PATH`  — where to write the report (default `BENCH_sim.json`).
+//! * `--baseline PATH` — a previously committed report to compare against
+//!   (default: the `--out` path, read *before* it is overwritten).
+//! * `--check`     — exit non-zero if any network's `s_per_img` regressed
+//!   more than 20% against the baseline. Wall-clock on shared CI runners
+//!   is noisy and the committed baseline comes from another machine, so
+//!   the gate is deliberately coarse: it catches structural regressions
+//!   (an accidentally quadratic loop, a lost workspace reuse), not
+//!   single-digit drift.
+//!
+//! Reported per network: compile wall, mean execute wall per image
+//! (`s_per_img`, the metric the gate checks), simulated cycles / energy /
+//! DRAM per image, and the process peak-RSS proxy (`VmHWM` from
+//! `/proc/self/status`; 0 where unavailable). `SCNN_THREADS` affects
+//! wall-clock only; simulated results are thread-count independent.
+
+use scnn::batch::{BatchRun, CompiledNetwork};
+use scnn::runner::RunConfig;
+use scnn::scnn_model::zoo;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One network's measurements.
+struct Row {
+    name: String,
+    batch: usize,
+    compile_s: f64,
+    s_per_img: f64,
+    cycles_per_img: f64,
+    energy_uj_per_img: f64,
+    dram_words_per_img: f64,
+    peak_rss_kb: u64,
+}
+
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn measure(name: &str, batch: usize) -> Row {
+    let net = zoo::by_name(name).unwrap_or_else(|| panic!("unknown zoo network {name:?}"));
+    let config = RunConfig::default();
+
+    let t0 = Instant::now();
+    let compiled = CompiledNetwork::compile_paper(&net, &config);
+    let compile_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let run = BatchRun::execute(&compiled, batch);
+    let exec_s = t1.elapsed().as_secs_f64();
+
+    Row {
+        name: net.name().to_owned(),
+        batch,
+        compile_s,
+        s_per_img: exec_s / batch as f64,
+        cycles_per_img: run.cycles_per_image(),
+        energy_uj_per_img: run.energy_pj_per_image() / 1e6,
+        dram_words_per_img: run.dram_words_per_image(),
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+fn render(mode: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    out.push_str("  \"networks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"batch\": {}, \"compile_s\": {:.4}, \"s_per_img\": {:.4}, \
+             \"cycles_per_img\": {:.1}, \"energy_uj_per_img\": {:.3}, \
+             \"dram_words_per_img\": {:.1}, \"peak_rss_kb\": {}}}{sep}",
+            r.name,
+            r.batch,
+            r.compile_s,
+            r.s_per_img,
+            r.cycles_per_img,
+            r.energy_uj_per_img,
+            r.dram_words_per_img,
+            r.peak_rss_kb
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts `"field": <number>` from a one-network-per-line JSON report.
+fn field_f64(line: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\": ");
+    let start = line.find(&key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn field_name(line: &str) -> Option<String> {
+    let key = "\"name\": \"";
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Compares new rows against a baseline report; returns the failures.
+fn check_regressions(baseline: &str, rows: &[Row], tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for line in baseline.lines() {
+        let (Some(name), Some(old)) = (field_name(line), field_f64(line, "s_per_img")) else {
+            continue;
+        };
+        let Some(row) = rows.iter().find(|r| r.name == name) else {
+            continue;
+        };
+        let ratio = row.s_per_img / old;
+        let verdict = if ratio > 1.0 + tolerance { "REGRESSED" } else { "ok" };
+        println!(
+            "check {name}: baseline {old:.3} s/img -> now {:.3} s/img ({ratio:.2}x) {verdict}",
+            row.s_per_img
+        );
+        if ratio > 1.0 + tolerance {
+            failures.push(format!(
+                "{name}: {old:.3} -> {:.3} s/img ({ratio:.2}x > {:.2}x allowed)",
+                row.s_per_img,
+                1.0 + tolerance
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let arg_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_sim.json".to_owned());
+    let baseline_path = arg_value("--baseline").unwrap_or_else(|| out_path.clone());
+
+    // Read the baseline before the out file is overwritten.
+    let baseline = std::fs::read_to_string(&baseline_path).ok();
+
+    let plan: &[(&str, usize)] =
+        if quick { &[("alexnet", 2)] } else { &[("alexnet", 4), ("googlenet", 4), ("vggnet", 4)] };
+
+    let mut rows = Vec::new();
+    for &(name, batch) in plan {
+        let row = measure(name, batch);
+        println!(
+            "{}: compile {:.3}s, {:.3} s/img (B={}), {:.0} cycles/img, {:.2} uJ/img, peak RSS {} kB",
+            row.name,
+            row.compile_s,
+            row.s_per_img,
+            row.batch,
+            row.cycles_per_img,
+            row.energy_uj_per_img,
+            row.peak_rss_kb
+        );
+        rows.push(row);
+    }
+
+    let mode = if quick { "quick" } else { "full" };
+    let report = render(mode, &rows);
+    std::fs::write(&out_path, &report).expect("write report");
+    println!("wrote {out_path}");
+
+    if check {
+        let Some(baseline) = baseline else {
+            eprintln!("--check requested but no baseline at {baseline_path}");
+            std::process::exit(2);
+        };
+        let failures = check_regressions(&baseline, &rows, 0.20);
+        if !failures.is_empty() {
+            eprintln!("perf regression vs {baseline_path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("perf check passed (within 20% of {baseline_path})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_fields_roundtrip_through_the_line_parser() {
+        let rows = vec![Row {
+            name: "AlexNet".into(),
+            batch: 4,
+            compile_s: 0.1234,
+            s_per_img: 0.6543,
+            cycles_per_img: 373070.0,
+            energy_uj_per_img: 183.75,
+            dram_words_per_img: 463757.2,
+            peak_rss_kb: 51234,
+        }];
+        let report = render("full", &rows);
+        let line = report.lines().find(|l| l.contains("\"name\"")).unwrap();
+        assert_eq!(field_name(line).as_deref(), Some("AlexNet"));
+        assert_eq!(field_f64(line, "s_per_img"), Some(0.6543));
+        assert_eq!(field_f64(line, "peak_rss_kb"), Some(51234.0));
+    }
+
+    #[test]
+    fn regression_gate_trips_only_past_tolerance() {
+        let rows = vec![Row {
+            name: "AlexNet".into(),
+            batch: 2,
+            compile_s: 0.1,
+            s_per_img: 1.0,
+            cycles_per_img: 1.0,
+            energy_uj_per_img: 1.0,
+            dram_words_per_img: 1.0,
+            peak_rss_kb: 0,
+        }];
+        let fine = "{\"name\": \"AlexNet\", \"s_per_img\": 0.9}";
+        assert!(check_regressions(fine, &rows, 0.20).is_empty(), "1.11x is within 1.2x");
+        let bad = "{\"name\": \"AlexNet\", \"s_per_img\": 0.5}";
+        assert_eq!(check_regressions(bad, &rows, 0.20).len(), 1, "2x must trip");
+        let unknown = "{\"name\": \"ResNet\", \"s_per_img\": 0.1}";
+        assert!(check_regressions(unknown, &rows, 0.20).is_empty(), "unmeasured nets skipped");
+    }
+}

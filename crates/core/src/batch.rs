@@ -21,12 +21,19 @@
 //! serial and parallel batch executions are bit-identical, and image 0 of
 //! any batch is bit-identical to [`NetworkRun::execute`] on the same
 //! configuration.
+//!
+//! Each worker owns one [`SimWorkspace`] for the whole grid
+//! ([`scnn_par::par_map_with`]), so after the first cell warms the
+//! buffers, steady-state cell execution performs no heap allocation
+//! inside the simulator — the workspace is scratch only and never
+//! influences results.
 
 use crate::runner::{input_seed, layer_seed, LayerRun, NetworkRun, RunConfig};
 use scnn_arch::DcnnConfig;
 use scnn_model::{synth_layer_input, synth_weights, DensityProfile, LayerDensity, Network};
 use scnn_sim::{
     oracle_cycles, CompiledLayer, DcnnMachine, OperandProfile, RunOptions, ScnnMachine,
+    SimWorkspace,
 };
 
 /// One evaluated layer's compile-phase output: the compressed-weight
@@ -114,12 +121,19 @@ impl CompiledNetwork {
         self.layers.iter().map(|l| l.compiled.weight_dram_words()).sum()
     }
 
-    /// Executes one `(layer-slot, image)` cell of the batch grid.
+    /// Executes one `(layer-slot, image)` cell of the batch grid against
+    /// a caller-owned workspace (the zero-allocation steady-state path).
     ///
     /// `slot` indexes [`CompiledNetwork::layers`]; each image's *first*
     /// evaluated layer pays the DRAM input fetch, and only image 0 pays
     /// the weight fetch (later images hit the resident FIFO, §IV).
-    fn execute_cell(&self, machines: &Machines, slot: usize, image: usize) -> LayerRun {
+    fn execute_cell(
+        &self,
+        machines: &Machines,
+        slot: usize,
+        image: usize,
+        ws: &mut SimWorkspace,
+    ) -> LayerRun {
         let cl = &self.layers[slot];
         let shape = cl.compiled.shape();
         let input = synth_layer_input(
@@ -130,12 +144,15 @@ impl CompiledNetwork {
         let opts = RunOptions {
             input_from_dram: slot == 0,
             weights_from_dram: image == 0,
+            pe_threads: self.config.pe_threads,
             ..Default::default()
         };
 
-        let mut s = machines.scnn.execute_layer(&cl.compiled, &input, &opts);
-        let operand = OperandProfile::measure(&input, cl.weight_density, s.output.as_ref());
-        s.output = None; // keep the run lightweight
+        // The output tensor stays in the workspace: measured for the
+        // dense baselines' operand profile, then recycled (the run stays
+        // lightweight without ever allocating an output copy).
+        let s = machines.scnn.execute_layer_with(&cl.compiled, &input, &opts, ws);
+        let operand = OperandProfile::measure(&input, cl.weight_density, Some(ws.output()));
         let p = machines.dcnn.run_layer(shape, &operand, opts.input_from_dram);
         let o = machines.dcnn_opt.run_layer(shape, &operand, opts.input_from_dram);
         let oracle = oracle_cycles(s.stats.products, machines.total_mults);
@@ -151,17 +168,39 @@ impl CompiledNetwork {
         }
     }
 
-    /// Executes one image (layers fan out across workers) and returns its
-    /// [`NetworkRun`]. Image 0 reproduces [`NetworkRun::execute`]
-    /// bit-for-bit; later images draw fresh input activations and skip
-    /// the weight DRAM fetch.
+    /// Executes one image (layers fan out across workers, each holding a
+    /// reusable workspace) and returns its [`NetworkRun`]. Image 0
+    /// reproduces [`NetworkRun::execute`] bit-for-bit; later images draw
+    /// fresh input activations and skip the weight DRAM fetch.
     #[must_use]
     pub fn run_image(&self, image: usize) -> NetworkRun {
         let machines = Machines::new(&self.config);
         let slots: Vec<usize> = (0..self.layers.len()).collect();
-        let layers = scnn_par::par_map(&slots, self.config.threads, |&slot| {
-            self.execute_cell(&machines, slot, image)
-        });
+        let layers = scnn_par::par_map_with(
+            &slots,
+            self.config.threads,
+            SimWorkspace::new,
+            |ws, _, &slot| self.execute_cell(&machines, slot, image, ws),
+        );
+        NetworkRun {
+            network: self.network.clone(),
+            profile: self.profile.clone(),
+            config: self.config.clone(),
+            layers,
+        }
+    }
+
+    /// As [`CompiledNetwork::run_image`], but serial and against a
+    /// caller-owned workspace — the path for long-lived hosts (e.g. the
+    /// serving engine's calibration) that execute many images over time
+    /// and want every one of them allocation-free. Bit-identical to
+    /// [`CompiledNetwork::run_image`] at any thread count.
+    #[must_use]
+    pub fn run_image_with(&self, image: usize, ws: &mut SimWorkspace) -> NetworkRun {
+        let machines = Machines::new(&self.config);
+        let layers = (0..self.layers.len())
+            .map(|slot| self.execute_cell(&machines, slot, image, ws))
+            .collect();
         NetworkRun {
             network: self.network.clone(),
             profile: self.profile.clone(),
@@ -221,9 +260,12 @@ impl BatchRun {
         let slots = compiled.layers.len();
         let cells: Vec<(usize, usize)> =
             (0..batch).flat_map(|b| (0..slots).map(move |s| (b, s))).collect();
-        let results = scnn_par::par_map(&cells, compiled.config.threads, |&(image, slot)| {
-            compiled.execute_cell(&machines, slot, image)
-        });
+        let results = scnn_par::par_map_with(
+            &cells,
+            compiled.config.threads,
+            SimWorkspace::new,
+            |ws, _, &(image, slot)| compiled.execute_cell(&machines, slot, image, ws),
+        );
 
         let mut results = results.into_iter();
         let images = (0..batch)
@@ -388,6 +430,28 @@ mod tests {
         ] {
             assert!(!v.is_nan());
             assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn run_image_with_matches_run_image_bit_for_bit() {
+        // The serial workspace-reuse path (one workspace across every
+        // layer of every image) must reproduce the fan-out path exactly —
+        // buffer recycling can never leak state between cells.
+        let (net, profile) = tiny_network();
+        let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
+        let mut ws = scnn_sim::SimWorkspace::new();
+        for image in 0..3 {
+            let reused = compiled.run_image_with(image, &mut ws);
+            let fresh = compiled.run_image(image);
+            assert_eq!(reused.layers.len(), fresh.layers.len());
+            for (a, b) in reused.layers.iter().zip(&fresh.layers) {
+                assert_eq!(a.scnn.cycles, b.scnn.cycles, "image {image}, {}", a.name);
+                assert_eq!(a.scnn.counts, b.scnn.counts, "image {image}, {}", a.name);
+                assert_eq!(a.scnn.stats, b.scnn.stats, "image {image}, {}", a.name);
+                assert_eq!(a.dcnn.cycles, b.dcnn.cycles);
+                assert_eq!(a.oracle_cycles, b.oracle_cycles);
+            }
         }
     }
 

@@ -118,6 +118,14 @@ pub struct RunConfig {
     /// variable, then available parallelism). Results do not depend on
     /// this value, only wall-clock time does.
     pub threads: usize,
+    /// Worker threads for the *intra-layer* per-PE fan-out inside each
+    /// output-channel group ([`scnn_sim::RunOptions::pe_threads`]); `1`
+    /// (the default) keeps layer execution serial and allocation-free.
+    /// Like [`RunConfig::threads`], this changes wall-clock time only —
+    /// results are bit-identical at any value. Composes with the
+    /// layer/image grid fan-out, so keep `threads * pe_threads` near the
+    /// machine's core count.
+    pub pe_threads: usize,
 }
 
 impl Default for RunConfig {
@@ -128,6 +136,7 @@ impl Default for RunConfig {
             energy: EnergyModel::default(),
             seed: 0x5C99,
             threads: 0,
+            pe_threads: 1,
         }
     }
 }
@@ -137,6 +146,14 @@ impl RunConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// This configuration with an explicit intra-layer per-PE worker
+    /// count.
+    #[must_use]
+    pub fn with_pe_threads(mut self, pe_threads: usize) -> Self {
+        self.pe_threads = pe_threads;
         self
     }
 }

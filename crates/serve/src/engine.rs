@@ -8,7 +8,8 @@
 //! registered model: compile the network against one weight set
 //! ([`CompiledNetwork::compile`] — the cost every tenant of the model
 //! shares), execute one steady-state image through the cycle-level
-//! simulator ([`CompiledNetwork::run_image`] with image index 1, so the
+//! simulator ([`CompiledNetwork::run_image_with`] against the engine's
+//! long-lived [`scnn_sim::SimWorkspace`], with image index 1 so the
 //! weight fetch that image 0 pays is excluded), and distill the
 //! [`ModelProfile`] the virtual-time scheduler charges per batch.
 //! Profiles are memoized host-side; the *virtual-time* residency of
@@ -25,6 +26,7 @@ use scnn::batch::CompiledNetwork;
 use scnn::runner::RunConfig;
 use scnn_arch::HaloStrategy;
 use scnn_model::{zoo, DensityProfile, Network};
+use scnn_sim::SimWorkspace;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -69,6 +71,10 @@ pub struct Engine {
     compile_factor: u64,
     models: BTreeMap<String, ModelSpec>,
     calibrated: BTreeMap<String, Rc<ModelProfile>>,
+    /// One simulator workspace reused across every calibration this
+    /// engine performs: the first model warms it, later registrations
+    /// (and cache-miss recalibrations) execute allocation-free.
+    workspace: SimWorkspace,
 }
 
 impl Engine {
@@ -81,6 +87,7 @@ impl Engine {
             compile_factor: 4,
             models: BTreeMap::new(),
             calibrated: BTreeMap::new(),
+            workspace: SimWorkspace::new(),
         }
     }
 
@@ -197,8 +204,11 @@ impl Engine {
         let spec = self.models.get(name).unwrap_or_else(|| panic!("model {name:?} unregistered"));
         let compiled = CompiledNetwork::compile(&spec.network, &spec.profile, &self.config);
         // Image 1, not image 0: image 0 pays the weight DRAM fetch, which
-        // the serving model charges separately on residency changes.
-        let steady = compiled.run_image(1);
+        // the serving model charges separately on residency changes. The
+        // calibration run reuses the engine's workspace (serial per layer;
+        // compile() above is where the thread fan-out pays off), so it is
+        // allocation-free once warm and bit-identical at any thread count.
+        let steady = compiled.run_image_with(1, &mut self.workspace);
         let weight_dram_words = compiled.weight_dram_words();
         let weight_load_cycles = (weight_dram_words / self.dram_words_per_cycle).ceil() as u64;
         let profile = Rc::new(ModelProfile {
@@ -329,6 +339,8 @@ mod tests {
         let base = RunConfig::default();
         let threaded = RunConfig { threads: 7, ..base.clone() };
         assert_eq!(fingerprint(&base), fingerprint(&threaded), "threads must not matter");
+        let pe_threaded = RunConfig { pe_threads: 4, ..base.clone() };
+        assert_eq!(fingerprint(&base), fingerprint(&pe_threaded), "pe_threads must not matter");
         let reseeded = RunConfig { seed: base.seed + 1, ..base.clone() };
         assert_ne!(fingerprint(&base), fingerprint(&reseeded));
         let regeared = RunConfig { scnn: scnn_arch::ScnnConfig::with_pe_grid(4), ..base.clone() };

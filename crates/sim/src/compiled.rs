@@ -10,6 +10,11 @@
 //! weight blocks — built once by [`ScnnMachine::compile_layer`] and reused
 //! by [`ScnnMachine::execute_layer`] for every image in a batch.
 //!
+//! Weight blocks live in one flat [`WtEntry`] arena per filter group with
+//! an `(offset, len, stored)` index table — the `[sub][ocg][channel]`
+//! block grid without the pointer-chasing of nested `Vec`s, so the
+//! per-image execute loop streams entries out of contiguous memory.
+//!
 //! [`ScnnMachine::run_layer`]: crate::ScnnMachine::run_layer
 //! [`ScnnMachine::compile_layer`]: crate::ScnnMachine::compile_layer
 //! [`ScnnMachine::execute_layer`]: crate::ScnnMachine::execute_layer
@@ -20,11 +25,55 @@ use crate::tiling::PlaneTiling;
 use scnn_arch::ScnnConfig;
 use scnn_tensor::{ConvShape, OcgPartition};
 
-/// Extracted non-zero entries plus the RAM-resident (stored) element
-/// count of one compressed block.
-pub(crate) type Block<T> = (Vec<T>, usize);
-/// Blocks indexed `[outer][middle][channel]`.
-pub(crate) type BlockGrid<T> = Vec<Vec<Vec<Block<T>>>>;
+/// One compressed block's slice of a flat entry arena: where its non-zero
+/// entries live, plus the RAM-resident (stored) element count including
+/// zero placeholders.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct BlockRef {
+    /// First entry in the arena.
+    pub(crate) off: u32,
+    /// Number of non-zero entries.
+    pub(crate) len: u32,
+    /// Stored elements (non-zeros + placeholders) occupying RAM slots.
+    pub(crate) stored: u32,
+}
+
+/// A flat arena of block entries plus the per-block index table.
+///
+/// Blocks are indexed by a caller-computed linear key (the execute loop
+/// uses `(sub, ocg, channel)` for weights and `(sub, pe, channel)` for
+/// activations); the arena itself is layout-agnostic.
+#[derive(Debug, Clone)]
+pub(crate) struct Arena<T> {
+    pub(crate) entries: Vec<T>,
+    pub(crate) blocks: Vec<BlockRef>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self { entries: Vec::new(), blocks: Vec::new() }
+    }
+}
+
+impl<T> Arena<T> {
+    /// Drops all blocks and entries, keeping the allocations.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.blocks.clear();
+    }
+
+    /// Appends an empty block (no entries, nothing stored).
+    pub(crate) fn push_empty(&mut self) {
+        self.blocks.push(BlockRef { off: self.entries.len() as u32, len: 0, stored: 0 });
+    }
+
+    /// The entries and stored count of block `idx`.
+    #[inline]
+    pub(crate) fn block(&self, idx: usize) -> (&[T], usize) {
+        let b = self.blocks[idx];
+        (&self.entries[b.off as usize..(b.off + b.len) as usize], b.stored as usize)
+    }
+}
 
 /// One filter group's compiled state: its sub-convolution decomposition,
 /// output-channel-group partition and compressed weight blocks.
@@ -38,8 +87,17 @@ pub(crate) struct CompiledGroup {
     pub(crate) s_max: usize,
     /// Output-channel-group partition (`Kc` sizing per §III-A).
     pub(crate) partition: OcgPartition,
-    /// Compressed weight entries `wt[sub][ocg][c] = (entries, stored)`.
-    pub(crate) wt: BlockGrid<WtEntry>,
+    /// Flat weight-entry arena; block `(sub, ocg, c)` lives at index
+    /// `(sub * partition.len() + ocg) * cpg + c`.
+    pub(crate) wt: Arena<WtEntry>,
+}
+
+impl CompiledGroup {
+    /// Linear index of weight block `(sub, ocg, c)`.
+    #[inline]
+    pub(crate) fn wt_index(&self, sub: usize, ocg: usize, cpg: usize, c: usize) -> usize {
+        (sub * self.partition.len() + ocg) * cpg + c
+    }
 }
 
 /// A layer compiled against one weight tensor: the weight-stationary

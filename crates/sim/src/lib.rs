@@ -11,7 +11,10 @@
 //!   scatter crossbar + banked accumulators, PPU with output-halo
 //!   exchange, inter-PE barriers, DRAM/tiling accounting), with a
 //!   compile/execute split ([`CompiledLayer`]) so one weight compression
-//!   serves a whole batch of images;
+//!   serves a whole batch of images, a reusable [`SimWorkspace`] so
+//!   steady-state execution allocates nothing, and an intra-layer per-PE
+//!   fan-out ([`RunOptions::pe_threads`]) that is bit-identical to serial
+//!   execution at any worker count;
 //! * [`DcnnMachine`] — the comparably-provisioned dense baseline
 //!   (PT-IS-DP-dense), in plain and `-opt` variants;
 //! * [`oracle_cycles`] — the `SCNN(oracle)` packing lower bound;
@@ -49,12 +52,16 @@ mod phase;
 mod stats;
 mod subconv;
 mod tiling;
+mod workspace;
 
 pub use compiled::CompiledLayer;
 pub use dense::{DcnnMachine, OperandProfile};
 pub use machine::{RunOptions, ScnnMachine};
 pub use oracle::oracle_cycles;
-pub use phase::{run_phase, ActEntry, PhaseGeom, PhaseOutcome, WtEntry};
+pub use phase::{
+    bank_of, build_bank_lut, run_phase, ActEntry, PhaseGeom, PhaseOutcome, PhaseScratch, WtEntry,
+};
 pub use stats::{Footprints, LayerResult, LayerStats};
 pub use subconv::{decompose, sub_acts, sub_weights, SubConv};
 pub use tiling::{PlaneTiling, Tile};
+pub use workspace::SimWorkspace;

@@ -13,16 +13,29 @@
 //!
 //! The model is *functional*: it computes real output values, which the
 //! test-suite validates against the dense reference convolution.
+//!
+//! # Execution paths
+//!
+//! The hot path is [`ScnnMachine::execute_layer_with`]: it executes one
+//! image against a [`CompiledLayer`] using a caller-owned
+//! [`SimWorkspace`], allocating nothing once the workspace is warm.
+//! Within each output-channel group the per-PE loop can fan out over
+//! worker threads ([`RunOptions::pe_threads`]) — each PE computes into
+//! its own accumulator scratch and returns exact-integer tallies, and the
+//! calling thread folds accumulators and tallies **in PE order**, so any
+//! thread count reproduces the serial execution bit for bit (see
+//! `DESIGN.md` §6 for the determinism argument).
+//! [`ScnnMachine::execute_layer`] and [`ScnnMachine::run_layer`] are
+//! convenience wrappers that own a workspace internally.
 
-use crate::compiled::{BlockGrid, CompiledGroup, CompiledLayer};
-use crate::phase::{run_phase, ActEntry, PhaseGeom, WtEntry};
+use crate::compiled::{Arena, CompiledGroup, CompiledLayer};
+use crate::phase::{build_bank_lut, run_phase, PhaseGeom, WtEntry};
 use crate::stats::{Footprints, LayerResult, LayerStats};
-use crate::subconv::{decompose, sub_acts, sub_weights};
+use crate::subconv::decompose;
 use crate::tiling::PlaneTiling;
+use crate::workspace::{fill_group_padded, tile_storage_bits, PeOut, SimWorkspace, SubPlaneView};
 use scnn_arch::{AccessCounts, EnergyModel, HaloStrategy, ScnnConfig};
-use scnn_tensor::{
-    CompressedActivations, CompressedWeights, ConvShape, Dense3, Dense4, OcgPartition,
-};
+use scnn_tensor::{CompressedWeights, ConvShape, Dense3, Dense4};
 
 /// Ratio of stored words (16-bit data + 4-bit index) to data words in the
 /// compressed format — every counted access moves the index too.
@@ -41,11 +54,18 @@ pub struct RunOptions {
     /// Whether the PPU applies ReLU to the outputs (§IV; the paper's
     /// layers all do).
     pub relu: bool,
+    /// Worker threads for the intra-layer per-PE fan-out inside each
+    /// output-channel group (`1` = serial; `0` resolves through
+    /// [`scnn_par::resolve_threads`]). The PT-IS-CP-sparse dataflow makes
+    /// each PE's work within a group independent, so this changes
+    /// wall-clock time only — results are bit-identical at any value.
+    /// Serial execution is additionally allocation-free in steady state.
+    pub pe_threads: usize,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { input_from_dram: false, weights_from_dram: true, relu: true }
+        Self { input_from_dram: false, weights_from_dram: true, relu: true, pe_threads: 1 }
     }
 }
 
@@ -79,7 +99,8 @@ impl ScnnMachine {
 
     /// Compiles one layer's weight-stationary state: the planar tiling,
     /// the stride-1 sub-convolution decomposition, the output-channel
-    /// -group partition and the compressed weight blocks.
+    /// -group partition and the compressed weight blocks (flat entry
+    /// arenas with `(offset, len, stored)` index tables).
     ///
     /// This is everything [`ScnnMachine::run_layer`] derives from the
     /// weights and the geometry alone; hoist it out of a per-image loop
@@ -128,43 +149,37 @@ impl ScnnMachine {
             let acc_elems =
                 if input_halos { mtw * mth } else { (mtw + r_max - 1) * (mth + s_max - 1) };
             let kc = cfg.kc_for(kpg, acc_elems, r_max * s_max);
-            let partition = OcgPartition::new(kpg, kc);
+            let partition = scnn_tensor::OcgPartition::new(kpg, kc);
+            let ocgs = partition.len();
 
             // Compress weights per sub-convolution at OCG granularity and
-            // extract the non-zero entry lists the FIFO will deliver.
-            let cws: Vec<CompressedWeights> = subs
-                .iter()
-                .map(|sub| {
-                    CompressedWeights::compress(&sub_weights(&gshape, &gweights, sub), &partition)
-                })
-                .collect();
-            weight_bits += cws.iter().map(CompressedWeights::storage_bits).sum::<usize>();
-            // wt[sub][ocg][c] = (entries, stored_count)
-            let wt: BlockGrid<WtEntry> = cws
-                .iter()
-                .map(|cw| {
-                    (0..partition.len())
-                        .map(|ocg| {
-                            let (k_start, _) = partition.group(ocg);
-                            (0..cpg)
-                                .map(|c| {
-                                    let entries: Vec<WtEntry> = cw
-                                        .iter_block(ocg, c)
-                                        .map(|(coord, v)| WtEntry {
-                                            k: (coord.k - k_start) as u16,
-                                            r: coord.r as u16,
-                                            s: coord.s as u16,
-                                            v,
-                                        })
-                                        .collect();
-                                    let stored = cw.block(ocg, c).data_len();
-                                    (entries, stored)
-                                })
-                                .collect()
-                        })
-                        .collect()
-                })
-                .collect();
+            // flatten the non-zero entry lists the FIFO will deliver into
+            // one arena: block (sub, ocg, c) at (sub*ocgs + ocg)*cpg + c.
+            let mut wt: Arena<WtEntry> = Arena::default();
+            for sub in &subs {
+                let sw = crate::subconv::sub_weights(&gshape, &gweights, sub);
+                let cw = CompressedWeights::compress(&sw, &partition);
+                weight_bits += cw.storage_bits();
+                for ocg in 0..ocgs {
+                    let (k_start, _) = partition.group(ocg);
+                    for c in 0..cpg {
+                        let off = wt.entries.len() as u32;
+                        for (coord, v) in cw.iter_block(ocg, c) {
+                            wt.entries.push(WtEntry {
+                                k: (coord.k - k_start) as u16,
+                                r: coord.r as u16,
+                                s: coord.s as u16,
+                                v,
+                            });
+                        }
+                        wt.blocks.push(crate::compiled::BlockRef {
+                            off,
+                            len: wt.entries.len() as u32 - off,
+                            stored: cw.block(ocg, c).data_len() as u32,
+                        });
+                    }
+                }
+            }
 
             groups.push(CompiledGroup { subs, r_max, s_max, partition, wt });
         }
@@ -195,11 +210,11 @@ impl ScnnMachine {
 
     /// Executes one image's activations against a compiled layer.
     ///
-    /// Bit-identical to [`ScnnMachine::run_layer`] on the same operands;
-    /// only the weight-compression work is skipped. The weight DRAM fetch
-    /// is charged only when [`RunOptions::weights_from_dram`] is set —
-    /// clear it for the second and later images of a batch, whose weights
-    /// are already resident (§IV).
+    /// Convenience wrapper around [`ScnnMachine::execute_layer_with`]
+    /// that owns a throwaway [`SimWorkspace`] and moves the output tensor
+    /// into the returned [`LayerResult`]. Batch loops should hold a
+    /// workspace per worker and call `execute_layer_with` directly —
+    /// that path allocates nothing in steady state.
     ///
     /// # Panics
     ///
@@ -213,6 +228,39 @@ impl ScnnMachine {
         layer: &CompiledLayer,
         input: &Dense3,
         opts: &RunOptions,
+    ) -> LayerResult {
+        let mut ws = SimWorkspace::new();
+        let mut result = self.execute_layer_with(layer, input, opts, &mut ws);
+        result.output = Some(ws.take_output());
+        result
+    }
+
+    /// Executes one image's activations against a compiled layer using a
+    /// caller-owned workspace — the zero-allocation hot path.
+    ///
+    /// Bit-identical to [`ScnnMachine::run_layer`] on the same operands;
+    /// only the weight-compression work is skipped and the output tensor
+    /// is left in the workspace ([`SimWorkspace::output`] /
+    /// [`SimWorkspace::take_output`]) instead of being returned. The
+    /// weight DRAM fetch is charged only when
+    /// [`RunOptions::weights_from_dram`] is set — clear it for the second
+    /// and later images of a batch, whose weights are already resident
+    /// (§IV).
+    ///
+    /// With [`RunOptions::pe_threads`] > 1 the per-PE loop of each
+    /// output-channel group fans out over worker threads; the ordered
+    /// reduction keeps results bit-identical to serial execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the compiled layer's shape, or if
+    /// `layer` was compiled by a machine with a different configuration.
+    pub fn execute_layer_with(
+        &self,
+        layer: &CompiledLayer,
+        input: &Dense3,
+        opts: &RunOptions,
+        ws: &mut SimWorkspace,
     ) -> LayerResult {
         let shape = &layer.shape;
         assert_eq!(
@@ -228,38 +276,52 @@ impl ScnnMachine {
         let (out_w, out_h) = (shape.out_w(), shape.out_h());
         let input_halos = matches!(cfg.halo, HaloStrategy::Input);
         let tiling = &layer.tiling;
+        let pe_threads = if opts.pe_threads == 1 {
+            1
+        } else {
+            scnn_par::resolve_threads(opts.pe_threads).min(pes)
+        };
 
-        let mut output = Dense3::zeros(shape.k, out_w, out_h);
+        ws.prepare(pes);
+        ws.output.reset(shape.k, out_w, out_h);
+        let SimWorkspace {
+            padded,
+            acts,
+            iaram_bits,
+            oaram_bits,
+            pe_slots,
+            pe_ids,
+            pe_outs,
+            output,
+        } = ws;
+
         let mut counts = AccessCounts::default();
         let mut stats = LayerStats::default();
         let mut cycles_total = 0u64;
-        let mut iaram_bits = vec![0usize; pes];
         // Unique (un-replicated) compressed input size: DRAM reads are
         // multicast under input halos, so replication costs IARAM
-        // capacity but not DRAM traffic (§III-A).
+        // capacity but not DRAM traffic (§III-A). Derived by a counting
+        // pass over each sub-plane view — no second compression.
         let mut input_unique_bits = 0usize;
 
         let kpg = shape.k_per_group();
         let cpg = shape.c_per_group();
-        let mut acc: Vec<f32> = Vec::new();
-        let mut bank_hist = vec![0u32; cfg.acc_banks];
 
         for (g, compiled) in layer.groups.iter().enumerate() {
-            let gshape = shape.group_view();
-            let ginput = slice_channels(input, g * cpg, cpg);
-            let padded = ginput.padded(shape.pad);
+            fill_group_padded(padded, input, g * cpg, cpg, shape.pad);
 
             let CompiledGroup { subs, r_max, s_max, partition, wt } = compiled;
             let (r_max, s_max) = (*r_max, *s_max);
+            let n_subs = subs.len();
 
-            // Compress each PE's activation tile per sub-conv and channel.
-            // pe_acts[pe][sub][c] = (entries, stored_count)
-            let mut pe_acts: BlockGrid<ActEntry> =
-                (0..pes).map(|_| Vec::with_capacity(subs.len())).collect();
-            for sub in subs {
-                let sa = sub_acts(&gshape, &padded, sub);
-                input_unique_bits += CompressedActivations::compress(&sa).storage_bits();
-                for (pe, slots) in pe_acts.iter_mut().enumerate() {
+            // Compress each PE's activation tile per sub-conv and channel
+            // straight into the flat arena: block (sub, pe, c) at index
+            // (sub*pes + pe)*cpg + c.
+            acts.clear();
+            for sub in subs.iter() {
+                let view = SubPlaneView::new(padded, sub, shape.stride);
+                input_unique_bits += view.unique_storage_bits();
+                for (pe, pe_bits) in iaram_bits.iter_mut().enumerate() {
                     let tile = tiling.tile(pe);
                     let (x0, xl) = if input_halos {
                         tiling.input_x_range_extended(tile, sub.plane_w, sub.r - 1)
@@ -272,36 +334,27 @@ impl ScnnMachine {
                         tiling.input_y_range(tile, sub.plane_h)
                     };
                     if xl == 0 || yl == 0 {
-                        slots.push(vec![(Vec::new(), 0); cpg]);
+                        for _ in 0..cpg {
+                            acts.push_empty();
+                        }
                         continue;
                     }
-                    let ca = CompressedActivations::compress_tile(&sa, x0, y0, xl, yl);
-                    iaram_bits[pe] += ca.storage_bits();
-                    let per_channel: Vec<(Vec<ActEntry>, usize)> = (0..cpg)
-                        .map(|c| {
-                            let entries: Vec<ActEntry> = ca
-                                .iter_channel(c)
-                                .map(|(coord, v)| ActEntry {
-                                    x: coord.x as u16,
-                                    y: coord.y as u16,
-                                    v,
-                                })
-                                .collect();
-                            (entries, ca.block(c).data_len())
-                        })
-                        .collect();
-                    slots.push(per_channel);
+                    *pe_bits += view.compress_tile_into(acts, x0, xl, y0, yl);
                 }
             }
 
             // Main temporal loop: output-channel groups, with an inter-PE
             // barrier (and halo exchange) at each group boundary.
             for (ocg, (k_start, kc_g)) in partition.iter().enumerate() {
-                let mut pe_cycles = vec![0u64; pes];
-                for pe in 0..pes {
+                let acts_ref: &Arena<_> = acts;
+                // One PE's phases for this output-channel group: products
+                // accumulate into the PE's own scratch window; everything
+                // returned is an exact integer, so the fold below is
+                // schedule-independent.
+                let run_pe = |pe: usize, scratch: &mut crate::workspace::PeScratch| -> PeOut {
                     let tile = tiling.tile(pe);
                     if tile.is_empty() {
-                        continue;
+                        return PeOut::default();
                     }
                     // Output halos: products from inputs [ix0, ix1) land
                     // in [ix0 - (r_max-1), min(ix1, out_w)) — own range
@@ -321,8 +374,8 @@ impl ScnnMachine {
                     };
                     let acc_w = x_hi - acc_x0;
                     let acc_h = y_hi - acc_y0;
-                    acc.clear();
-                    acc.resize(kc_g * acc_w * acc_h, 0.0);
+                    scratch.acc.clear();
+                    scratch.acc.resize(kc_g * acc_w * acc_h, 0.0);
 
                     let geom = PhaseGeom {
                         f: cfg.f,
@@ -338,52 +391,113 @@ impl ScnnMachine {
                         out_h,
                         k_base: g * kpg + k_start,
                     };
-                    let mut busy = 0u64;
-                    for (si, _) in subs.iter().enumerate() {
+                    build_bank_lut(&geom, kc_g, &mut scratch.lut);
+                    let mut out = PeOut { acc_x0, x_hi, acc_y0, y_hi, ..PeOut::default() };
+                    for si in 0..n_subs {
                         for c in 0..cpg {
-                            let (a_entries, a_stored) = &pe_acts[pe][si][c];
-                            let (w_entries, w_stored) = &wt[si][ocg][c];
-                            if *a_stored == 0 || *w_stored == 0 {
+                            let (a_entries, a_stored) = acts_ref.block((si * pes + pe) * cpg + c);
+                            let (w_entries, w_stored) =
+                                wt.block(compiled.wt_index(si, ocg, cpg, c));
+                            if a_stored == 0 || w_stored == 0 {
                                 continue;
                             }
-                            bank_hist.fill(0);
-                            let out = run_phase(
+                            let ph = run_phase(
                                 a_entries,
-                                *a_stored,
+                                a_stored,
                                 w_entries,
-                                *w_stored,
+                                w_stored,
                                 &geom,
-                                &mut acc,
-                                &mut bank_hist,
+                                &mut scratch.acc,
+                                &scratch.lut,
+                                &mut scratch.bank,
                             );
-                            busy += out.cycles;
-                            stats.products += out.products;
-                            stats.valid_products += out.valid;
-                            stats.bank_stall_cycles += out.bank_stall;
-                            counts.mults_live += out.products as f64;
-                            counts.xbar_products += out.valid as f64;
-                            counts.acc_updates += out.valid as f64;
+                            out.busy += ph.cycles;
+                            out.products += ph.products;
+                            out.valid += ph.valid;
+                            out.bank_stall += ph.bank_stall;
                             // Input-stationary: the activation block is read
-                            // from IARAM once per output-channel group …
-                            counts.iaram_words += *a_stored as f64 * INDEX_OVERHEAD;
-                            // … while the weight block re-streams from the
+                            // from IARAM once per output-channel group,
+                            // while the weight block re-streams from the
                             // FIFO for every activation vector.
-                            let act_vecs = a_stored.div_ceil(cfg.i) as f64;
-                            counts.wbuf_words += *w_stored as f64 * INDEX_OVERHEAD * act_vecs;
+                            out.a_stored += a_stored as u64;
+                            out.wbuf_units += w_stored as u64 * a_stored.div_ceil(cfg.i) as u64;
                         }
                     }
+                    out
+                };
 
-                    // PPU drain: move partial sums to the output volume,
-                    // shipping halo positions to their owning neighbours.
+                // Fan the PE loop out (or run it inline) and collect the
+                // per-PE outcomes in PE order.
+                let par_outs: Vec<PeOut>;
+                let outs: &[PeOut] = if pe_threads > 1 {
+                    par_outs = scnn_par::par_map(&pe_ids[..pes], pe_threads, |&pe| {
+                        let mut scratch = pe_slots[pe].lock().expect("PE scratch poisoned");
+                        run_pe(pe, &mut scratch)
+                    });
+                    &par_outs
+                } else {
+                    pe_outs.clear();
+                    for (pe, slot) in pe_slots.iter_mut().enumerate().take(pes) {
+                        let scratch = slot.get_mut().expect("PE scratch poisoned");
+                        pe_outs.push(run_pe(pe, scratch));
+                    }
+                    pe_outs
+                };
+
+                // Ordered reduction, part 1: exact-integer tallies. Every
+                // floating-point count below is a sum of quarter-integers
+                // far inside f64's exact range, so folding per-PE totals
+                // is bit-identical to the old per-phase accumulation.
+                let ocg_max = outs.iter().map(|o| o.busy).max().unwrap_or(0);
+                cycles_total += ocg_max;
+                stats.ocg_count += 1;
+                let (mut products, mut valid) = (0u64, 0u64);
+                let (mut bank_stall, mut a_stored, mut wbuf_units) = (0u64, 0u64, 0u64);
+                for o in outs {
+                    stats.busy_cycles += o.busy;
+                    stats.idle_cycles += ocg_max - o.busy;
+                    stats.mult_slots += o.busy * fi;
+                    products += o.products;
+                    valid += o.valid;
+                    bank_stall += o.bank_stall;
+                    a_stored += o.a_stored;
+                    wbuf_units += o.wbuf_units;
+                }
+                stats.products += products;
+                stats.valid_products += valid;
+                stats.bank_stall_cycles += bank_stall;
+                counts.mults_live += products as f64;
+                counts.xbar_products += valid as f64;
+                counts.acc_updates += valid as f64;
+                counts.iaram_words += a_stored as f64 * INDEX_OVERHEAD;
+                counts.wbuf_words += wbuf_units as f64 * INDEX_OVERHEAD;
+
+                // Ordered reduction, part 2 — the PPU drain: move partial
+                // sums to the output volume strictly in PE order (the one
+                // floating-point fold whose order matters), shipping halo
+                // positions to their owning neighbours.
+                for (pe, o) in outs.iter().enumerate() {
+                    let tile = tiling.tile(pe);
+                    if tile.is_empty() {
+                        continue;
+                    }
+                    let scratch = pe_slots[pe].get_mut().expect("PE scratch poisoned");
+                    let acc = &scratch.acc;
+                    let acc_w = o.x_hi - o.acc_x0;
+                    let acc_h = o.y_hi - o.acc_y0;
+                    let out_data = output.as_mut_slice();
                     let mut halo_here = 0u64;
                     for kl in 0..kc_g {
                         let k_abs = g * kpg + k_start + kl;
-                        for x in acc_x0..x_hi {
-                            for y in acc_y0..y_hi {
-                                let v = acc[(kl * acc_w + (x - acc_x0)) * acc_h + (y - acc_y0)];
+                        for x in o.acc_x0..o.x_hi {
+                            let arow = &acc[(kl * acc_w + (x - o.acc_x0)) * acc_h..][..acc_h];
+                            let obase = (k_abs * out_w + x) * out_h;
+                            let halo_col = x < tile.ox0;
+                            for (dy, &v) in arow.iter().enumerate() {
                                 if v != 0.0 {
-                                    output.set(k_abs, x, y, output.get(k_abs, x, y) + v);
-                                    if x < tile.ox0 || y < tile.oy0 {
+                                    let y = o.acc_y0 + dy;
+                                    out_data[obase + y] += v;
+                                    if halo_col || y < tile.oy0 {
                                         halo_here += 1;
                                     }
                                 }
@@ -393,16 +507,6 @@ impl ScnnMachine {
                     stats.halo_values += halo_here;
                     counts.halo_values += halo_here as f64;
                     counts.ppu_values += (kc_g * tile.out_area()) as f64;
-                    pe_cycles[pe] = busy;
-                }
-
-                let ocg_max = pe_cycles.iter().copied().max().unwrap_or(0);
-                cycles_total += ocg_max;
-                stats.ocg_count += 1;
-                for &pc in &pe_cycles {
-                    stats.busy_cycles += pc;
-                    stats.idle_cycles += ocg_max - pc;
-                    stats.mult_slots += pc * fi;
                 }
             }
         }
@@ -412,21 +516,15 @@ impl ScnnMachine {
         }
         let output_density = output.density();
 
-        // Compress per-PE output tiles: OARAM footprint and write traffic.
-        let mut oaram_bits = vec![0usize; pes];
+        // Compress per-PE output tiles: OARAM footprint and write traffic
+        // (a counting pass — the values themselves stay dense in the
+        // workspace).
         for (pe, bits) in oaram_bits.iter_mut().enumerate() {
             let tile = tiling.tile(pe);
             if tile.out_area() == 0 {
                 continue;
             }
-            let ca = CompressedActivations::compress_tile(
-                &output,
-                tile.ox0,
-                tile.oy0,
-                tile.out_w(),
-                tile.out_h(),
-            );
-            *bits = ca.storage_bits();
+            *bits = tile_storage_bits(output, tile.ox0, tile.oy0, tile.out_w(), tile.out_h());
         }
         let iaram_total: usize = iaram_bits.iter().sum();
         let oaram_total: usize = oaram_bits.iter().sum();
@@ -465,7 +563,7 @@ impl ScnnMachine {
                 weight_bits: layer.weight_bits,
                 dram_tiled,
             },
-            output: Some(output),
+            output: None,
             output_density,
         }
     }
@@ -480,19 +578,6 @@ fn slice_weights_k(weights: &Dense4, k0: usize, kn: usize) -> Dense4 {
                 for s in 0..weights.s() {
                     out.set(k, c, r, s, weights.get(k0 + k, c, r, s));
                 }
-            }
-        }
-    }
-    out
-}
-
-/// Copies channels `[c0, c0+cn)` into a standalone activation tensor.
-fn slice_channels(acts: &Dense3, c0: usize, cn: usize) -> Dense3 {
-    let mut out = Dense3::zeros(cn, acts.w(), acts.h());
-    for c in 0..cn {
-        for x in 0..acts.w() {
-            for y in 0..acts.h() {
-                out.set(c, x, y, acts.get(c0 + c, x, y));
             }
         }
     }
@@ -715,6 +800,65 @@ mod tests {
             let split = machine.execute_layer(&compiled, &input, &RunOptions::default());
             let fused = machine.run_layer(&shape, &weights, &input, &RunOptions::default());
             assert_eq!(fused, split, "image {img}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_layers_and_images_is_exact() {
+        // One workspace serving interleaved executions of two different
+        // layers must reproduce the throwaway-workspace results bit for
+        // bit — buffer reuse can never leak state between executions.
+        let machine = ScnnMachine::new(ScnnConfig::default());
+        let shapes = [
+            ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1),
+            ConvShape::new(4, 3, 11, 11, 27, 27).with_stride(4),
+        ];
+        let compiled: Vec<_> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| machine.compile_layer(s, &synth_weights(s, 0.4, 700 + i as u64)))
+            .collect();
+        let mut ws = SimWorkspace::new();
+        for round in 0..2u64 {
+            for (i, (shape, cl)) in shapes.iter().zip(&compiled).enumerate() {
+                let input = synth_layer_input(shape, 0.5, 710 + 10 * round + i as u64);
+                let mut reused =
+                    machine.execute_layer_with(cl, &input, &RunOptions::default(), &mut ws);
+                reused.output = Some(ws.output().clone());
+                let fresh = machine.execute_layer(cl, &input, &RunOptions::default());
+                assert_eq!(reused, fresh, "round {round}, layer {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn intra_layer_pe_parallelism_is_bit_identical() {
+        // pe_threads only re-schedules the per-PE loop; the ordered
+        // reduction must reproduce serial results exactly — including the
+        // floating-point output volume — at any worker count, across halo
+        // strategies, strides and groups.
+        for (cfg, shape) in [
+            (ScnnConfig::default(), ConvShape::new(8, 8, 3, 3, 16, 16).with_pad(1)),
+            (ScnnConfig::default(), ConvShape::new(4, 3, 11, 11, 27, 27).with_stride(4)),
+            (ScnnConfig::default(), ConvShape::new(8, 8, 3, 3, 9, 9).with_pad(1).with_groups(2)),
+            (
+                ScnnConfig { halo: scnn_arch::HaloStrategy::Input, ..ScnnConfig::default() },
+                ConvShape::new(8, 8, 3, 3, 16, 16).with_pad(1),
+            ),
+        ] {
+            let machine = ScnnMachine::new(cfg);
+            let weights = synth_weights(&shape, 0.4, 800);
+            let input = synth_layer_input(&shape, 0.5, 801);
+            let compiled = machine.compile_layer(&shape, &weights);
+            let serial = machine.execute_layer(&compiled, &input, &RunOptions::default());
+            for pe_threads in [2, 4, 7] {
+                let parallel = machine.execute_layer(
+                    &compiled,
+                    &input,
+                    &RunOptions { pe_threads, ..Default::default() },
+                );
+                assert_eq!(serial, parallel, "pe_threads={pe_threads}");
+            }
         }
     }
 

@@ -9,6 +9,11 @@
 //! a phase's latency is the maximum of its issue slots and its busiest
 //! bank's demand (the paper sizes `A = 2*F*I` precisely so contention is
 //! rarely the bottleneck, §IV).
+//!
+//! The per-bank demand histogram lives in a [`PhaseScratch`] that is
+//! *logically* cleared per phase but *physically* reset lazily via epoch
+//! tags, and the busiest bank is tracked incrementally as products land —
+//! a phase touching `p` banks costs `O(p)` bookkeeping, never `O(A)`.
 
 /// One non-zero activation in sub-plane coordinates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +84,63 @@ pub struct PhaseOutcome {
     pub bank_stall: u64,
 }
 
+/// Reusable phase scratch: the per-bank demand histogram (epoch-tagged
+/// lazy reset) and the staged weight operands.
+///
+/// A phase begins by bumping the epoch instead of zeroing all `A` bank
+/// counters; each bank packs `(epoch, count)` into one word, and a count
+/// is live only while its epoch half matches the current epoch — one
+/// load and one store per product instead of a full `fill(0)` per phase.
+/// Weights are staged once per phase with their channel offset
+/// pre-multiplied, hoisting that work out of the Cartesian product loop.
+/// Because the scratch is addressed by PE (not by worker thread), a PE
+/// observes the same scratch state for the same phase sequence at any
+/// thread count — reuse is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseScratch {
+    /// Per-bank `(epoch << 32) | count` words.
+    words: Vec<u64>,
+    epoch: u64,
+    /// Per-phase staged weights.
+    prep: Vec<PreppedWt>,
+}
+
+/// One staged weight: taps widened to `i32`, the output-channel offset
+/// into the accumulator window pre-multiplied.
+#[derive(Debug, Clone, Copy)]
+struct PreppedWt {
+    k_off: u32,
+    r: i32,
+    s: i32,
+    v: f32,
+}
+
+/// Epoch values live in the high half of a bank word, so they must wrap
+/// below 2^32; the per-phase reset physically clears on wrap (once per
+/// ~4 billion phases).
+const EPOCH_LIMIT: u64 = 1 << 32;
+
+impl PhaseScratch {
+    /// A scratch sized for `banks` accumulator banks (it grows on demand
+    /// if a later phase asks for more).
+    #[must_use]
+    pub fn new(banks: usize) -> Self {
+        Self { words: vec![0; banks], epoch: 0, prep: Vec::new() }
+    }
+
+    /// Starts a new phase: all bank counts become logically zero.
+    fn begin(&mut self, banks: usize) {
+        if self.words.len() < banks {
+            self.words.resize(banks, 0);
+        }
+        self.epoch += 1;
+        if self.epoch == EPOCH_LIMIT {
+            self.words.fill(0);
+            self.epoch = 1;
+        }
+    }
+}
+
 /// Maps a linear output coordinate to an accumulator bank.
 ///
 /// The hardware's bank-index function must decorrelate from the
@@ -93,20 +155,55 @@ pub fn bank_of(linear: usize, banks: usize) -> usize {
     let mut h = linear as u64;
     h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     h ^= h >> 32;
-    (h as usize) % banks
+    if banks.is_power_of_two() {
+        (h as usize) & (banks - 1)
+    } else {
+        (h as usize) % banks
+    }
+}
+
+/// Fills `lut` with the accumulator bank of every window position, laid
+/// out exactly like the accumulator (`[kc][acc_w][acc_h]`), so the phase
+/// loop reads the bank of a product with the index it already computed
+/// for the accumulate — the whole coordinate-linearization + hash chain
+/// moves out of the per-product path into one pass per (PE,
+/// output-channel group).
+///
+/// # Panics
+///
+/// Panics if the configuration has more than `u16::MAX` banks.
+pub fn build_bank_lut(geom: &PhaseGeom, kc: usize, lut: &mut Vec<u16>) {
+    assert!(geom.banks <= usize::from(u16::MAX), "bank index exceeds u16");
+    lut.clear();
+    lut.reserve(kc * geom.acc_w * geom.acc_h);
+    for kl in 0..kc {
+        let k_abs = geom.k_base + kl;
+        for dx in 0..geom.acc_w {
+            let x = geom.acc_x0 + dx;
+            let row = (k_abs * geom.out_w + x) * geom.out_h + geom.acc_y0;
+            for dy in 0..geom.acc_h {
+                lut.push(bank_of(row + dy, geom.banks) as u16);
+            }
+        }
+    }
 }
 
 /// Executes one phase: multiplies every non-zero activation against every
 /// non-zero weight, accumulates in-window products into `acc` (laid out
-/// `[kc][acc_w][acc_h]`), tallies per-bank demand in `bank_hist`, and
-/// returns the cycle accounting.
+/// `[kc][acc_w][acc_h]`), tallies per-bank demand in `bank` through the
+/// position→bank table `lut` (see [`build_bank_lut`]), and returns the
+/// cycle accounting.
 ///
 /// `stored_acts` / `stored_wts` are the RAM-resident element counts
 /// (non-zeros plus zero placeholders) that determine vector slots.
 ///
 /// # Panics
 ///
-/// Debug builds panic if an in-window product indexes outside `acc`.
+/// Panics if `geom`'s accumulator window does not span exactly its valid
+/// output range (`acc_w == x1 - acc_x0`, `acc_h == y1 - acc_y0` — the
+/// invariant the window test relies on), or if an in-window product
+/// indexes outside `acc` / `lut` (both must cover the window `geom`
+/// describes).
 #[allow(clippy::too_many_arguments)]
 pub fn run_phase(
     acts: &[ActEntry],
@@ -115,43 +212,67 @@ pub fn run_phase(
     stored_wts: usize,
     geom: &PhaseGeom,
     acc: &mut [f32],
-    bank_hist: &mut [u32],
+    lut: &[u16],
+    scratch: &mut PhaseScratch,
 ) -> PhaseOutcome {
     if stored_acts == 0 || stored_wts == 0 {
         return PhaseOutcome::default();
     }
+    scratch.begin(geom.banks);
     let pairs = (stored_wts.div_ceil(geom.f) * stored_acts.div_ceil(geom.i)) as u64;
     let products = (acts.len() * wts.len()) as u64;
 
+    // Window membership as two unsigned compares: x in [acc_x0, x1) iff
+    // (x - acc_x0) as u32 < acc_w. That is only the old bounds test if
+    // the window spans the valid range exactly, so refuse loudly (two
+    // integer compares per phase) rather than silently accept products
+    // the caller meant to discard.
+    assert_eq!(geom.acc_w, geom.x1 - geom.acc_x0, "window width != x1 - acc_x0");
+    assert_eq!(geom.acc_h, geom.y1 - geom.acc_y0, "window height != y1 - acc_y0");
     let acc_x0 = geom.acc_x0 as i32;
     let acc_y0 = geom.acc_y0 as i32;
-    let x_hi = geom.x1 as i32;
-    let y_hi = geom.y1 as i32;
-    let acc_w = geom.acc_w as i32;
-    let acc_h = geom.acc_h as i32;
+    let acc_w = geom.acc_w;
+    let acc_h = geom.acc_h;
+    let (acc_w_u, acc_h_u) = (acc_w as u32, acc_h as u32);
     let mut valid = 0u64;
+    let mut busiest = 0u32;
+
+    let PhaseScratch { words, epoch, prep } = scratch;
+    let ep = *epoch;
+    prep.clear();
+    prep.extend(wts.iter().map(|w| PreppedWt {
+        k_off: w.k as u32 * (acc_w * acc_h) as u32,
+        r: i32::from(w.r),
+        s: i32::from(w.s),
+        v: w.v,
+    }));
+    // `lut` mirrors `acc`'s layout; re-slicing it to `acc`'s length lets
+    // the compiler drop its bounds check behind `acc[idx]`'s.
+    let lut = &lut[..acc.len()];
 
     for a in acts {
-        let ax = i32::from(a.x);
-        let ay = i32::from(a.y);
-        for w in wts {
-            let x = ax - i32::from(w.r);
-            let y = ay - i32::from(w.s);
-            if x >= acc_x0 && x < x_hi && y >= acc_y0 && y < y_hi {
-                let kl = i32::from(w.k);
-                let idx = ((kl * acc_w + (x - acc_x0)) * acc_h + (y - acc_y0)) as usize;
-                debug_assert!(idx < acc.len(), "acc index {idx} out of bounds");
-                acc[idx] += a.v * w.v;
-                let lin = ((geom.k_base + w.k as usize) * geom.out_w + x as usize) * geom.out_h
-                    + y as usize;
-                bank_hist[bank_of(lin, geom.banks)] += 1;
+        let ax0 = i32::from(a.x) - acc_x0;
+        let ay0 = i32::from(a.y) - acc_y0;
+        let av = a.v;
+        for w in prep.iter() {
+            let dx = ax0 - w.r;
+            let dy = ay0 - w.s;
+            if (dx as u32) < acc_w_u && (dy as u32) < acc_h_u {
+                let idx = w.k_off as usize + dx as usize * acc_h + dy as usize;
+                acc[idx] += av * w.v;
+                let bank = usize::from(lut[idx]);
+                let word = words[bank];
+                let count = if word >> 32 == ep { (word as u32) + 1 } else { 1 };
+                words[bank] = (ep << 32) | u64::from(count);
+                if count > busiest {
+                    busiest = count;
+                }
                 valid += 1;
             }
         }
     }
 
-    let busiest = u64::from(bank_hist.iter().copied().max().unwrap_or(0));
-    let cycles = pairs.max(busiest);
+    let cycles = pairs.max(u64::from(busiest));
     PhaseOutcome { cycles, pairs, products, valid, bank_stall: cycles - pairs }
 }
 
@@ -180,8 +301,10 @@ mod tests {
     fn empty_operands_cost_nothing() {
         let geom = geom_1x1_plane(4);
         let mut acc = vec![0.0; 16];
-        let mut hist = vec![0; 32];
-        let out = run_phase(&[], 0, &[], 0, &geom, &mut acc, &mut hist);
+        let mut bank = PhaseScratch::new(32);
+        let mut lut = Vec::new();
+        build_bank_lut(&geom, 1, &mut lut);
+        let out = run_phase(&[], 0, &[], 0, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out, PhaseOutcome::default());
     }
 
@@ -189,10 +312,12 @@ mod tests {
     fn single_product_accumulates() {
         let geom = geom_1x1_plane(4);
         let mut acc = vec![0.0; 16];
-        let mut hist = vec![0; 32];
+        let mut bank = PhaseScratch::new(32);
+        let mut lut = Vec::new();
+        build_bank_lut(&geom, 1, &mut lut);
         let acts = [ActEntry { x: 2, y: 3, v: 2.0 }];
         let wts = [WtEntry { k: 0, r: 1, s: 1, v: 0.5 }];
-        let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &mut hist);
+        let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.products, 1);
         assert_eq!(out.valid, 1);
         assert_eq!(out.cycles, 1);
@@ -204,11 +329,13 @@ mod tests {
     fn out_of_plane_products_are_discarded() {
         let geom = geom_1x1_plane(4);
         let mut acc = vec![0.0; 16];
-        let mut hist = vec![0; 32];
+        let mut bank = PhaseScratch::new(32);
+        let mut lut = Vec::new();
+        build_bank_lut(&geom, 1, &mut lut);
         // Activation at x=0 with tap r=2: output x = -2 (invalid).
         let acts = [ActEntry { x: 0, y: 0, v: 1.0 }];
         let wts = [WtEntry { k: 0, r: 2, s: 0, v: 1.0 }];
-        let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &mut hist);
+        let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.products, 1);
         assert_eq!(out.valid, 0);
         assert!(acc.iter().all(|v| *v == 0.0));
@@ -221,12 +348,14 @@ mod tests {
         let geom = geom_1x1_plane(8);
         // Accumulator spans kc = 5 output channels over the 8x8 window.
         let mut acc = vec![0.0; 5 * 64];
-        let mut hist = vec![0; 32];
+        let mut bank = PhaseScratch::new(32);
+        let mut lut = Vec::new();
+        build_bank_lut(&geom, 5, &mut lut);
         // 5 stored weights -> 2 F-vectors; 9 stored acts -> 3 I-vectors.
         let acts: Vec<ActEntry> =
             (0..9).map(|i| ActEntry { x: i as u16 % 8, y: i as u16 / 8, v: 1.0 }).collect();
         let wts: Vec<WtEntry> = (0..5).map(|k| WtEntry { k, r: 0, s: 0, v: 1.0 }).collect();
-        let out = run_phase(&acts, 9, &wts, 5, &geom, &mut acc, &mut hist);
+        let out = run_phase(&acts, 9, &wts, 5, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.pairs, 2 * 3);
         assert_eq!(out.products, 45);
         assert!(out.cycles >= out.pairs);
@@ -239,13 +368,15 @@ mod tests {
         let geom =
             PhaseGeom { acc_w: 1, acc_h: 1, x1: 1, y1: 1, out_w: 1, out_h: 1, ..geom_1x1_plane(1) };
         let mut acc = vec![0.0; 1];
-        let mut hist = vec![0; 32];
+        let mut bank = PhaseScratch::new(32);
+        let mut lut = Vec::new();
+        build_bank_lut(&geom, 1, &mut lut);
         let acts = [ActEntry { x: 0, y: 0, v: 1.0 }];
         // 8 weights, all k=0 r=0 s=0 is impossible in one block; use k=0
         // with 8 act copies instead.
         let acts8: Vec<ActEntry> = (0..8).map(|_| acts[0]).collect();
         let wts = [WtEntry { k: 0, r: 0, s: 0, v: 1.0 }];
-        let out = run_phase(&acts8, 8, &wts, 1, &geom, &mut acc, &mut hist);
+        let out = run_phase(&acts8, 8, &wts, 1, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.pairs, 2); // ceil(1/4)*ceil(8/4)
         assert_eq!(out.valid, 8);
         assert_eq!(out.cycles, 8, "all products serialize on one bank");
@@ -270,10 +401,12 @@ mod tests {
             k_base: 0,
         };
         let mut acc = vec![0.0; 16];
-        let mut hist = vec![0; 32];
+        let mut bank = PhaseScratch::new(32);
+        let mut lut = Vec::new();
+        build_bank_lut(&geom, 1, &mut lut);
         let acts = [ActEntry { x: 2, y: 2, v: 3.0 }];
         let wts = [WtEntry { k: 0, r: 2, s: 2, v: 1.0 }];
-        let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &mut hist);
+        let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.valid, 1);
         assert_eq!(acc[0], 3.0); // halo position (0,0)
     }
@@ -282,12 +415,49 @@ mod tests {
     fn placeholders_occupy_slots_but_multiply_nothing() {
         let geom = geom_1x1_plane(8);
         let mut acc = vec![0.0; 64];
-        let mut hist = vec![0; 32];
+        let mut bank = PhaseScratch::new(32);
+        let mut lut = Vec::new();
+        build_bank_lut(&geom, 1, &mut lut);
         let acts = [ActEntry { x: 0, y: 0, v: 1.0 }];
         let wts = [WtEntry { k: 0, r: 0, s: 0, v: 1.0 }];
         // stored counts include placeholders: 5 stored but 1 non-zero.
-        let out = run_phase(&acts, 5, &wts, 8, &geom, &mut acc, &mut hist);
+        let out = run_phase(&acts, 5, &wts, 8, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.products, 1);
         assert_eq!(out.pairs, 2 * 2);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_a_fresh_histogram() {
+        // Epoch tagging must make a reused scratch indistinguishable from
+        // a freshly zeroed one, phase after phase.
+        let geom = geom_1x1_plane(8);
+        let acts: Vec<ActEntry> =
+            (0..24).map(|i| ActEntry { x: i as u16 % 8, y: i as u16 / 8, v: 1.0 }).collect();
+        let wts: Vec<WtEntry> =
+            (0..6).map(|k| WtEntry { k: k % 2, r: k / 2, s: 0, v: 0.5 }).collect();
+        let mut lut = Vec::new();
+        build_bank_lut(&geom, 2, &mut lut);
+        let mut reused = PhaseScratch::new(32);
+        for _ in 0..4 {
+            let mut acc_a = vec![0.0; 2 * 64];
+            let mut acc_b = vec![0.0; 2 * 64];
+            let mut fresh = PhaseScratch::new(32);
+            let a = run_phase(&acts, 24, &wts, 6, &geom, &mut acc_a, &lut, &mut reused);
+            let b = run_phase(&acts, 24, &wts, 6, &geom, &mut acc_b, &lut, &mut fresh);
+            assert_eq!(a, b);
+            assert_eq!(acc_a, acc_b);
+        }
+    }
+
+    #[test]
+    fn bank_of_spreads_and_matches_modulo() {
+        // The power-of-two fast path must agree with plain modulo.
+        for lin in [0usize, 1, 7, 63, 4097, 1 << 20] {
+            let mut h = lin as u64;
+            h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 32;
+            assert_eq!(bank_of(lin, 32), (h as usize) % 32);
+            assert_eq!(bank_of(lin, 24), (h as usize) % 24);
+        }
     }
 }

@@ -1,0 +1,483 @@
+//! Reusable per-execution scratch: the zero-allocation substrate of
+//! [`ScnnMachine::execute_layer_with`].
+//!
+//! The original execute path re-allocated thousands of small buffers per
+//! image — a padded group input, a dense sub-plane per sub-convolution, an
+//! `RleVec` per (PE, sub-conv, channel) tile block and an entry `Vec` per
+//! block. FSCNN (Ji & Chen, 2022) makes the point bluntly: sparse-CNN
+//! inference performance is decided by memory layout and allocation
+//! discipline inside the sparse kernels. [`SimWorkspace`] applies that
+//! discipline: every buffer the execute loop needs lives here, is sized on
+//! first use, and is *reused* (cleared, never freed) on every subsequent
+//! execution — steady-state [`ScnnMachine::execute_layer_with`] performs
+//! no heap allocation at all (locked by `tests/zero_alloc.rs`).
+//!
+//! Activation tiles are compressed **directly** from a strided
+//! [`SubPlaneView`] of the padded input into one flat [`ActEntry`] arena
+//! with `(offset, len, stored)` index records — no intermediate dense
+//! sub-plane, no `RleVec`, no per-block `Vec`s — using the paper's RLE
+//! storage arithmetic (16-bit values + 4-bit indices, placeholders every
+//! 16 zeros) so every accounted bit matches the `scnn_tensor` encoders
+//! exactly (locked by unit tests below).
+//!
+//! [`ScnnMachine::execute_layer_with`]: crate::ScnnMachine::execute_layer_with
+
+use crate::compiled::Arena;
+use crate::phase::{ActEntry, PhaseScratch};
+use crate::subconv::SubConv;
+use scnn_tensor::{Dense3, DATA_BITS, INDEX_BITS, MAX_ZERO_RUN};
+use std::sync::Mutex;
+
+/// Bits one stored RLE element occupies (16-bit value + 4-bit index).
+const STORED_BITS: usize = DATA_BITS + INDEX_BITS;
+/// Dense positions one zero-value placeholder covers (15 zeros + itself).
+const PLACEHOLDER_SPAN: usize = MAX_ZERO_RUN as usize + 1;
+
+/// Stored-element count a run of `zeros` followed by a non-zero value
+/// adds beyond the value itself: one placeholder per 16 zeros (§IV).
+#[inline]
+fn placeholders(zeros: usize) -> usize {
+    zeros / PLACEHOLDER_SPAN
+}
+
+/// Per-PE private accumulator state: the banked partial-sum window and
+/// the bank-contention histogram. Addressed by PE index — never by worker
+/// thread — so any `pe_threads` schedule observes identical scratch
+/// state, which is what makes intra-layer parallelism deterministic.
+#[derive(Debug, Default)]
+pub(crate) struct PeScratch {
+    /// Accumulator window, laid out `[kc][acc_w][acc_h]`.
+    pub(crate) acc: Vec<f32>,
+    /// Position→bank table matching `acc`'s layout (rebuilt per
+    /// output-channel group, see [`crate::phase::build_bank_lut`]).
+    pub(crate) lut: Vec<u16>,
+    /// Epoch-tagged accumulator-bank demand histogram.
+    pub(crate) bank: PhaseScratch,
+}
+
+/// One PE's contribution to an output-channel group, produced by the
+/// (possibly parallel) per-PE phase loop and folded into the layer result
+/// by an ordered reduction on the calling thread.
+///
+/// Everything here is an exact integer, so the reduction is bit-identical
+/// regardless of how the per-PE work was scheduled; the floating-point
+/// state (the accumulator window) stays in [`PeScratch`] and is drained
+/// strictly in PE order.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PeOut {
+    /// Cycles this PE computed (max over banks vs issue slots, summed
+    /// over its phases).
+    pub(crate) busy: u64,
+    /// Non-zero products multiplied.
+    pub(crate) products: u64,
+    /// Products accumulated (inside the output plane).
+    pub(crate) valid: u64,
+    /// Cycles serialized behind the busiest accumulator bank.
+    pub(crate) bank_stall: u64,
+    /// Stored activation elements read from IARAM (input-stationary: one
+    /// read per phase).
+    pub(crate) a_stored: u64,
+    /// Weight-FIFO re-stream units: `stored_wts x activation-vectors`,
+    /// summed over phases.
+    pub(crate) wbuf_units: u64,
+    /// Accumulator window bounds (first column, exclusive last column,
+    /// first row, exclusive last row) for the drain.
+    pub(crate) acc_x0: usize,
+    /// Exclusive upper bound of drained output columns.
+    pub(crate) x_hi: usize,
+    /// First drained output row.
+    pub(crate) acc_y0: usize,
+    /// Exclusive upper bound of drained output rows.
+    pub(crate) y_hi: usize,
+}
+
+/// Reusable scratch for [`ScnnMachine::execute_layer_with`]: flat
+/// activation arenas, per-PE accumulator windows, accounting vectors and
+/// the output tensor, all recycled across images so steady-state layer
+/// execution allocates nothing.
+///
+/// A workspace is not tied to a layer or a machine — it grows to the
+/// largest execution it has seen and may be reused freely across layers,
+/// networks and configurations. It is cheap to create but expensive to
+/// *warm up*, so hold one per worker thread and keep it.
+///
+/// [`ScnnMachine::execute_layer_with`]: crate::ScnnMachine::execute_layer_with
+#[derive(Debug)]
+pub struct SimWorkspace {
+    /// Zero-padded copy of the current filter group's input channels.
+    pub(crate) padded: Dense3,
+    /// Flat activation-entry arena; block `(sub, pe, c)` of the current
+    /// group lives at index `(sub * pes + pe) * cpg + c`.
+    pub(crate) acts: Arena<ActEntry>,
+    /// Per-PE compressed input footprint (bits), summed over sub-convs.
+    pub(crate) iaram_bits: Vec<usize>,
+    /// Per-PE compressed output footprint (bits).
+    pub(crate) oaram_bits: Vec<usize>,
+    /// Per-PE accumulator scratch, lockable for the parallel PE loop
+    /// (uncontended: each PE index is processed exactly once per group).
+    pub(crate) pe_slots: Vec<Mutex<PeScratch>>,
+    /// PE indices `0..pes` for the parallel fan-out.
+    pub(crate) pe_ids: Vec<usize>,
+    /// Per-PE outcome buffer for the serial path (reused per OCG).
+    pub(crate) pe_outs: Vec<PeOut>,
+    /// The layer's output activations (valid after an execution).
+    pub(crate) output: Dense3,
+}
+
+impl Default for SimWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            padded: Dense3::zeros(0, 0, 0),
+            acts: Arena::default(),
+            iaram_bits: Vec::new(),
+            oaram_bits: Vec::new(),
+            pe_slots: Vec::new(),
+            pe_ids: Vec::new(),
+            pe_outs: Vec::new(),
+            output: Dense3::zeros(0, 0, 0),
+        }
+    }
+
+    /// Sizes the per-PE vectors for a `pes`-PE execution (no-op once
+    /// warm, beyond zero-filling the accounting vectors).
+    pub(crate) fn prepare(&mut self, pes: usize) {
+        self.iaram_bits.clear();
+        self.iaram_bits.resize(pes, 0);
+        self.oaram_bits.clear();
+        self.oaram_bits.resize(pes, 0);
+        while self.pe_slots.len() < pes {
+            self.pe_slots.push(Mutex::new(PeScratch::default()));
+        }
+        while self.pe_ids.len() < pes {
+            self.pe_ids.push(self.pe_ids.len());
+        }
+    }
+
+    /// The output activations of the most recent
+    /// [`ScnnMachine::execute_layer_with`] on this workspace.
+    ///
+    /// [`ScnnMachine::execute_layer_with`]: crate::ScnnMachine::execute_layer_with
+    #[must_use]
+    pub fn output(&self) -> &Dense3 {
+        &self.output
+    }
+
+    /// Moves the most recent output out of the workspace (the workspace
+    /// re-grows it on the next execution).
+    #[must_use]
+    pub fn take_output(&mut self) -> Dense3 {
+        std::mem::replace(&mut self.output, Dense3::zeros(0, 0, 0))
+    }
+}
+
+/// Copies input channels `[c0, c0+cn)` into `padded` with a `pad`-wide
+/// zero border — the workspace-reuse replacement for
+/// `slice_channels(..).padded(..)`.
+pub(crate) fn fill_group_padded(
+    padded: &mut Dense3,
+    input: &Dense3,
+    c0: usize,
+    cn: usize,
+    pad: usize,
+) {
+    let (w, h) = (input.w(), input.h());
+    padded.reset(cn, w + 2 * pad, h + 2 * pad);
+    let ph = padded.h();
+    let pw = padded.w();
+    let dst = padded.as_mut_slice();
+    let src = input.as_slice();
+    for c in 0..cn {
+        for x in 0..w {
+            let s0 = ((c0 + c) * w + x) * h;
+            let d0 = (c * pw + (x + pad)) * ph + pad;
+            dst[d0..d0 + h].copy_from_slice(&src[s0..s0 + h]);
+        }
+    }
+}
+
+/// A strided view of one sub-convolution's input sub-plane over the
+/// padded group input: sub-plane position `(u, v)` reads padded position
+/// `(dx + stride*u, dy + stride*v)`, with positions beyond the padded
+/// extent reading as zero — exactly the tensor `sub_acts` materializes,
+/// without materializing it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SubPlaneView<'a> {
+    padded: &'a Dense3,
+    dx: usize,
+    dy: usize,
+    stride: usize,
+    /// Sub-plane extent along `W` (`plane_w`).
+    pub(crate) w: usize,
+    /// Sub-plane extent along `H` (`plane_h`).
+    pub(crate) h: usize,
+}
+
+impl<'a> SubPlaneView<'a> {
+    /// The view of `sub` over `padded` for a stride-`stride` layer.
+    pub(crate) fn new(padded: &'a Dense3, sub: &SubConv, stride: usize) -> Self {
+        Self { padded, dx: sub.dx, dy: sub.dy, stride, w: sub.plane_w, h: sub.plane_h }
+    }
+
+    /// Number of channels.
+    pub(crate) fn c(&self) -> usize {
+        self.padded.c()
+    }
+
+    /// Compresses the tile `[x0, x0+xl) x [y0, y0+yl)` of every channel
+    /// straight into `arena` (one block per channel, pushed in channel
+    /// order) and returns the tile's total compressed footprint in bits.
+    ///
+    /// Entry order, stored counts and footprint bits are identical to
+    /// `CompressedActivations::compress_tile` on the materialized
+    /// sub-plane: positions walk `x`-major with `y` innermost, zero runs
+    /// longer than 15 insert placeholders, and trailing zeros after the
+    /// last non-zero of a block are elided.
+    pub(crate) fn compress_tile_into(
+        &self,
+        arena: &mut Arena<ActEntry>,
+        x0: usize,
+        xl: usize,
+        y0: usize,
+        yl: usize,
+    ) -> usize {
+        let (pw, ph) = (self.padded.w(), self.padded.h());
+        let mut stored_total = 0usize;
+        for c in 0..self.c() {
+            let plane = self.padded.channel(c);
+            let off = arena.entries.len();
+            let mut stored = 0usize;
+            let mut run = 0usize;
+            for u in x0..x0 + xl {
+                let ix = self.dx + self.stride * u;
+                if ix >= pw {
+                    run += yl;
+                    continue;
+                }
+                let row = &plane[ix * ph..(ix + 1) * ph];
+                for v in y0..y0 + yl {
+                    let iy = self.dy + self.stride * v;
+                    let val = if iy < ph { row[iy] } else { 0.0 };
+                    if val == 0.0 {
+                        run += 1;
+                    } else {
+                        stored += placeholders(run) + 1;
+                        run = 0;
+                        arena.entries.push(ActEntry { x: u as u16, y: v as u16, v: val });
+                    }
+                }
+            }
+            arena.blocks.push(crate::compiled::BlockRef {
+                off: off as u32,
+                len: (arena.entries.len() - off) as u32,
+                stored: stored as u32,
+            });
+            stored_total += stored;
+        }
+        stored_total * STORED_BITS
+    }
+
+    /// The compressed footprint in bits of the *whole* sub-plane, every
+    /// channel — the unique (un-replicated) input traffic a DRAM multicast
+    /// moves. One counting pass; no encoder, no allocation. Bit-for-bit
+    /// equal to `CompressedActivations::compress(&sub_acts(..)).storage_bits()`.
+    pub(crate) fn unique_storage_bits(&self) -> usize {
+        let (pw, ph) = (self.padded.w(), self.padded.h());
+        let mut stored_total = 0usize;
+        for c in 0..self.c() {
+            let plane = self.padded.channel(c);
+            let mut run = 0usize;
+            for u in 0..self.w {
+                let ix = self.dx + self.stride * u;
+                if ix >= pw {
+                    run += self.h;
+                    continue;
+                }
+                let row = &plane[ix * ph..(ix + 1) * ph];
+                for v in 0..self.h {
+                    let iy = self.dy + self.stride * v;
+                    let val = if iy < ph { row[iy] } else { 0.0 };
+                    if val == 0.0 {
+                        run += 1;
+                    } else {
+                        stored_total += placeholders(run) + 1;
+                        run = 0;
+                    }
+                }
+            }
+            // Trailing zeros are elided: the run simply expires with the
+            // channel block.
+        }
+        stored_total * STORED_BITS
+    }
+}
+
+/// The compressed footprint in bits of the tile `[x0, x0+wt) x
+/// [y0, y0+ht)` of every channel of a dense tensor — the counting-only
+/// equivalent of `CompressedActivations::compress_tile(..).storage_bits()`
+/// used for OARAM accounting.
+pub(crate) fn tile_storage_bits(t: &Dense3, x0: usize, y0: usize, wt: usize, ht: usize) -> usize {
+    let h = t.h();
+    let mut stored_total = 0usize;
+    for c in 0..t.c() {
+        let plane = t.channel(c);
+        let mut run = 0usize;
+        for x in x0..x0 + wt {
+            let row = &plane[x * h..(x + 1) * h];
+            for &val in &row[y0..y0 + ht] {
+                if val == 0.0 {
+                    run += 1;
+                } else {
+                    stored_total += placeholders(run) + 1;
+                    run = 0;
+                }
+            }
+        }
+    }
+    stored_total * STORED_BITS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subconv::{decompose, sub_acts};
+    use scnn_model::synth_layer_input;
+    use scnn_tensor::{CompressedActivations, ConvShape};
+
+    /// A deliberately nasty tensor: long zero runs (placeholders), dense
+    /// stretches, trailing zeros, empty channels.
+    fn gnarly(c: usize, w: usize, h: usize, seed: u64) -> Dense3 {
+        let mut t = Dense3::zeros(c, w, h);
+        let mut state = seed | 1;
+        for ch in 0..c {
+            if ch % 3 == 2 {
+                continue; // empty channel: zero storage
+            }
+            for x in 0..w {
+                for y in 0..h {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    // ~12% density with clustered runs.
+                    if state >> 61 == 0 {
+                        t.set(ch, x, y, (state % 13) as f32 - 6.0);
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn counting_matches_the_encoder_on_whole_planes() {
+        for (c, w, h, seed) in [(3usize, 37, 41, 1u64), (2, 64, 9, 7), (4, 5, 80, 9)] {
+            let t = gnarly(c, w, h, seed);
+            let expected = CompressedActivations::compress(&t).storage_bits();
+            assert_eq!(tile_storage_bits(&t, 0, 0, w, h), expected, "c={c} w={w} h={h}");
+        }
+    }
+
+    #[test]
+    fn counting_matches_the_encoder_on_tiles() {
+        let t = gnarly(3, 40, 40, 3);
+        for (x0, y0, wt, ht) in [(0, 0, 40, 40), (5, 7, 11, 13), (32, 32, 8, 8), (0, 39, 40, 1)] {
+            let expected = CompressedActivations::compress_tile(&t, x0, y0, wt, ht).storage_bits();
+            assert_eq!(tile_storage_bits(&t, x0, y0, wt, ht), expected, "tile {x0},{y0},{wt},{ht}");
+        }
+    }
+
+    #[test]
+    fn view_compression_matches_the_encoder_per_block() {
+        // Strided shapes exercise the phase mapping and the beyond-extent
+        // zero clipping; stride 1 exercises the fast common case.
+        for (shape, seed) in [
+            (ConvShape::new(2, 3, 11, 11, 27, 27).with_stride(4), 11u64),
+            (ConvShape::new(2, 3, 3, 3, 14, 14).with_pad(1), 12),
+            (ConvShape::new(2, 2, 5, 5, 9, 9).with_pad(2), 13),
+        ] {
+            let input = synth_layer_input(&shape, 0.4, seed);
+            let padded = input.padded(shape.pad);
+            for sub in decompose(&shape) {
+                let sa = sub_acts(&shape, &padded, &sub);
+                let view = SubPlaneView::new(&padded, &sub, shape.stride);
+                assert_eq!((view.w, view.h), (sa.w(), sa.h()));
+
+                // Whole-plane unique footprint.
+                assert_eq!(
+                    view.unique_storage_bits(),
+                    CompressedActivations::compress(&sa).storage_bits(),
+                    "unique bits diverged for sub ({}, {})",
+                    sub.dx,
+                    sub.dy
+                );
+
+                // A few tile rectangles: entries, stored counts and bits.
+                let (w2, h2) = (sa.w() / 2, sa.h() / 2);
+                for (x0, xl, y0, yl) in [
+                    (0, sa.w(), 0, sa.h()),
+                    (0, w2.max(1), 0, h2.max(1)),
+                    (w2, sa.w() - w2, h2, sa.h() - h2),
+                ] {
+                    if xl == 0 || yl == 0 {
+                        continue;
+                    }
+                    let mut arena = Arena::default();
+                    let bits = view.compress_tile_into(&mut arena, x0, xl, y0, yl);
+                    let ca = CompressedActivations::compress_tile(&sa, x0, y0, xl, yl);
+                    assert_eq!(bits, ca.storage_bits());
+                    for c in 0..sa.c() {
+                        let (entries, stored) = arena.block(c);
+                        assert_eq!(stored, ca.block(c).data_len(), "channel {c}");
+                        let expected: Vec<(u16, u16, f32)> = ca
+                            .iter_channel(c)
+                            .map(|(coord, v)| (coord.x as u16, coord.y as u16, v))
+                            .collect();
+                        let got: Vec<(u16, u16, f32)> =
+                            entries.iter().map(|e| (e.x, e.y, e.v)).collect();
+                        assert_eq!(got, expected, "channel {c} entries");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padded_fill_matches_slice_then_pad() {
+        let input = gnarly(6, 10, 9, 21);
+        let mut padded = Dense3::zeros(0, 0, 0);
+        for (c0, cn, pad) in [(0usize, 6usize, 0usize), (0, 3, 1), (3, 3, 2)] {
+            fill_group_padded(&mut padded, &input, c0, cn, pad);
+            let mut reference = Dense3::zeros(cn, input.w(), input.h());
+            for c in 0..cn {
+                for x in 0..input.w() {
+                    for y in 0..input.h() {
+                        reference.set(c, x, y, input.get(c0 + c, x, y));
+                    }
+                }
+            }
+            assert_eq!(padded, reference.padded(pad), "c0={c0} cn={cn} pad={pad}");
+        }
+    }
+
+    #[test]
+    fn workspace_prepare_is_idempotent() {
+        let mut ws = SimWorkspace::new();
+        ws.prepare(16);
+        ws.iaram_bits[3] = 99;
+        ws.prepare(16);
+        assert_eq!(ws.iaram_bits, vec![0; 16]);
+        assert_eq!(ws.pe_slots.len(), 16);
+        assert_eq!(ws.pe_ids, (0..16).collect::<Vec<_>>());
+        // Shrinking keeps the larger slot pool (PEs beyond the active
+        // count are simply unused).
+        ws.prepare(4);
+        assert_eq!(ws.iaram_bits.len(), 4);
+        assert_eq!(ws.pe_slots.len(), 16);
+    }
+}

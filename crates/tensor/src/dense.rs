@@ -108,6 +108,23 @@ impl Dense3 {
         &self.data
     }
 
+    /// Mutable flat view of all values (channel-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reshapes the tensor to the given extents and zero-fills it,
+    /// reusing the existing allocation when capacity permits — the
+    /// workspace-reuse primitive behind zero-allocation steady-state
+    /// execution.
+    pub fn reset(&mut self, c: usize, w: usize, h: usize) {
+        self.c = c;
+        self.w = w;
+        self.h = h;
+        self.data.clear();
+        self.data.resize(c * w * h, 0.0);
+    }
+
     /// Number of non-zero values.
     #[must_use]
     pub fn nnz(&self) -> usize {
@@ -343,5 +360,19 @@ mod tests {
     #[should_panic(expected = "buffer does not match")]
     fn dense3_from_vec_validates_length() {
         let _ = Dense3::from_vec(1, 2, 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn dense3_reset_reshapes_and_zeroes_in_place() {
+        let mut t = Dense3::zeros(2, 4, 4);
+        t.set(1, 3, 3, 5.0);
+        let cap_probe = t.as_slice().as_ptr();
+        t.reset(1, 3, 3);
+        assert_eq!((t.c(), t.w(), t.h()), (1, 3, 3));
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.len(), 9);
+        // Shrinking reuses the same buffer.
+        assert_eq!(t.as_slice().as_ptr(), cap_probe);
+        assert_eq!(t, Dense3::zeros(1, 3, 3));
     }
 }

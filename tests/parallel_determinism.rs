@@ -127,6 +127,56 @@ fn batch_of_one_matches_network_run_cycle_for_cycle() {
 }
 
 #[test]
+fn intra_layer_pe_parallelism_is_bit_identical_across_thread_counts() {
+    // The per-PE fan-out inside each output-channel group re-schedules
+    // work only: each PE computes into its own accumulator scratch and
+    // the reduction folds results in PE order, so 2/4/7 workers must
+    // reproduce the serial network run bit for bit — cycles, energy,
+    // stats, everything.
+    let (net, profile) = synthetic_network();
+    let serial = NetworkRun::execute(
+        &net,
+        &profile,
+        &RunConfig::default().with_threads(1).with_pe_threads(1),
+    );
+    for pe_threads in [2, 4, 7] {
+        let parallel = NetworkRun::execute(
+            &net,
+            &profile,
+            &RunConfig::default().with_threads(1).with_pe_threads(pe_threads),
+        );
+        assert_runs_identical(&serial, &parallel);
+        assert_eq!(serial.scnn_energy_rel().to_bits(), parallel.scnn_energy_rel().to_bits());
+    }
+}
+
+#[test]
+fn batch_grid_composed_with_pe_parallelism_is_bit_identical() {
+    // Both parallelism axes at once: the (layer x image) grid fan-out and
+    // the intra-layer per-PE fan-out nest, and any (threads, pe_threads)
+    // combination must reproduce the fully serial batch bit for bit.
+    let (net, profile) = synthetic_network();
+    let serial_net =
+        CompiledNetwork::compile(&net, &profile, &RunConfig::default().with_threads(1));
+    let serial = BatchRun::execute(&serial_net, 2);
+    for (threads, pe_threads) in [(1, 4), (2, 2), (4, 3)] {
+        let config = RunConfig::default().with_threads(threads).with_pe_threads(pe_threads);
+        let compiled = CompiledNetwork::compile(&net, &profile, &config);
+        let parallel = BatchRun::execute(&compiled, 2);
+        assert_eq!(parallel.batch_size(), serial.batch_size());
+        assert_eq!(parallel.weight_dram_words.to_bits(), serial.weight_dram_words.to_bits());
+        for (image, (a, b)) in serial.images.iter().zip(&parallel.images).enumerate() {
+            assert_runs_identical(a, b);
+            assert_eq!(
+                a.scnn_energy_rel().to_bits(),
+                b.scnn_energy_rel().to_bits(),
+                "image {image} at threads={threads} pe_threads={pe_threads}"
+            );
+        }
+    }
+}
+
+#[test]
 fn sweeps_are_deterministic_under_parallel_fan_out() {
     // The sweeps parallelize internally (thread count from the machine),
     // so two invocations exercise two different schedules; results must

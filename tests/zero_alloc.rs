@@ -1,0 +1,89 @@
+//! Locks the tentpole claim of the workspace rework: steady-state
+//! `execute_layer_with` performs **zero heap allocations**.
+//!
+//! A counting global allocator wraps the system allocator; after one
+//! warm-up execution sizes every workspace buffer, re-executing the same
+//! layer (same operands, so every buffer high-water mark is already
+//! reached) must not allocate or free a single block. This is what lets
+//! the batch grid and the serving calibration run flat-out without
+//! touching the allocator.
+//!
+//! This file deliberately contains a single test: the allocation counter
+//! is process-global, and a sibling test allocating concurrently would
+//! make the delta meaningless.
+
+use scnn::scnn_arch::ScnnConfig;
+use scnn::scnn_model::{synth_layer_input, synth_weights};
+use scnn::scnn_sim::{RunOptions, ScnnMachine, SimWorkspace};
+use scnn::scnn_tensor::ConvShape;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREES.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn alloc_counts() -> (u64, u64) {
+    (ALLOCS.load(Ordering::SeqCst), FREES.load(Ordering::SeqCst))
+}
+
+#[test]
+fn steady_state_execute_layer_performs_zero_heap_allocations() {
+    // Representative geometry mix: padding (border zeros), two filter
+    // groups (workspace reuse inside one execution) on one layer, plus a
+    // strided layer (16 sub-convolutions) to exercise the sub-plane view.
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let shapes = [
+        ConvShape::new(16, 8, 3, 3, 24, 24).with_pad(1).with_groups(2),
+        ConvShape::new(8, 3, 11, 11, 31, 31).with_stride(4),
+    ];
+    for (i, shape) in shapes.iter().enumerate() {
+        let weights = synth_weights(shape, 0.4, 900 + i as u64);
+        let input = synth_layer_input(shape, 0.5, 910 + i as u64);
+        let compiled = machine.compile_layer(shape, &weights);
+        let opts = RunOptions::default();
+        let mut ws = SimWorkspace::new();
+
+        // Warm-up: the first execution sizes every buffer to this layer's
+        // high-water mark.
+        let warm = machine.execute_layer_with(&compiled, &input, &opts, &mut ws);
+
+        let (allocs_before, frees_before) = alloc_counts();
+        let steady = machine.execute_layer_with(&compiled, &input, &opts, &mut ws);
+        let (allocs_after, frees_after) = alloc_counts();
+
+        assert_eq!(
+            allocs_after - allocs_before,
+            0,
+            "shape {i}: steady-state execute_layer_with allocated"
+        );
+        assert_eq!(
+            frees_after - frees_before,
+            0,
+            "shape {i}: steady-state execute_layer_with freed"
+        );
+        // And the recycled run is still the same run.
+        assert_eq!(warm, steady, "shape {i}: warm-up and steady runs diverged");
+    }
+}
