@@ -1,33 +1,43 @@
 //! Simulator performance tracker: times `CompiledNetwork` compilation and
 //! `BatchRun` execution (the `execute_layer` hot path) on the zoo
-//! networks and writes a machine-readable `BENCH_sim.json`, so the
-//! wall-clock trajectory of the simulator is tracked across PRs instead
-//! of living in commit messages.
+//! networks — plus a pipeline-fabric row — and writes a machine-readable
+//! `BENCH_sim.json`, so the wall-clock trajectory of the simulator is
+//! tracked across PRs instead of living in commit messages.
 //!
 //! ```text
 //! cargo run --release --bin perf -- [--quick] [--out PATH] [--baseline PATH] [--check]
 //! ```
 //!
-//! * `--quick`     — AlexNet only, batch 2 (the CI configuration).
+//! * `--quick`     — AlexNet only (the CI configuration). Batch matches
+//!   the committed full-mode baseline so the exact gates apply.
 //! * `--out PATH`  — where to write the report (default `BENCH_sim.json`).
 //! * `--baseline PATH` — a previously committed report to compare against
 //!   (default: the `--out` path, read *before* it is overwritten).
-//! * `--check`     — exit non-zero if any network's `s_per_img` regressed
-//!   more than 20% against the baseline. Wall-clock on shared CI runners
-//!   is noisy and the committed baseline comes from another machine, so
-//!   the gate is deliberately coarse: it catches structural regressions
-//!   (an accidentally quadratic loop, a lost workspace reuse), not
-//!   single-digit drift.
+//! * `--check`     — exit non-zero on a regression. Two kinds of gate:
+//!   * **wall-clock** (`s_per_img`, `compile_s`): 20% tolerance. Shared
+//!     CI runners are noisy and the committed baseline comes from
+//!     another machine, so this catches structural regressions (an
+//!     accidentally quadratic loop, a lost workspace reuse), not
+//!     single-digit drift.
+//!   * **simulated** (`cycles_per_img`, `energy_uj_per_img`,
+//!     `dram_words_per_img`, and the fabric row's `makespan_cycles` /
+//!     `steady_cycles_per_img` / `link_words_per_img`): **exact**. These
+//!     are deterministic functions of the seed and configuration — any
+//!     difference at matching batch size is a semantic change that must
+//!     be reviewed (and the baseline regenerated), never noise.
 //!
 //! Reported per network: compile wall, mean execute wall per image
-//! (`s_per_img`, the metric the gate checks), simulated cycles / energy /
-//! DRAM per image, and the process peak-RSS proxy (`VmHWM` from
-//! `/proc/self/status`; 0 where unavailable). `SCNN_THREADS` affects
-//! wall-clock only; simulated results are thread-count independent.
+//! (`s_per_img`), simulated cycles / energy / DRAM per image, and the
+//! process peak-RSS proxy (`VmHWM` from `/proc/self/status`; 0 where
+//! unavailable). The fabric row runs the same compiled network through
+//! `scnn_fabric` and reports the pipeline schedule. `SCNN_THREADS` /
+//! `SCNN_PE_THREADS` affect wall-clock only; simulated results are
+//! thread-count independent.
 
 use scnn::batch::{BatchRun, CompiledNetwork};
 use scnn::runner::RunConfig;
 use scnn::scnn_model::zoo;
+use scnn_fabric::{FabricRun, LinkConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -41,6 +51,18 @@ struct Row {
     energy_uj_per_img: f64,
     dram_words_per_img: f64,
     peak_rss_kb: u64,
+}
+
+/// One fabric configuration's measurements (simulated quantities are
+/// deterministic; the wall clock is informational only).
+struct FabricRow {
+    name: String,
+    chips: usize,
+    batch: usize,
+    wall_s: f64,
+    makespan_cycles: u64,
+    steady_cycles_per_img: u64,
+    link_words_per_img: f64,
 }
 
 fn peak_rss_kb() -> u64 {
@@ -79,10 +101,26 @@ fn measure(name: &str, batch: usize) -> Row {
     }
 }
 
-fn render(mode: &str, rows: &[Row]) -> String {
+fn measure_fabric(name: &str, chips: usize, batch: usize) -> FabricRow {
+    let net = zoo::by_name(name).unwrap_or_else(|| panic!("unknown zoo network {name:?}"));
+    let compiled = CompiledNetwork::compile_paper(&net, &RunConfig::default());
+    let t0 = Instant::now();
+    let run = FabricRun::execute(&compiled, chips, LinkConfig::default(), batch);
+    FabricRow {
+        name: net.name().to_owned(),
+        chips,
+        batch,
+        wall_s: t0.elapsed().as_secs_f64(),
+        makespan_cycles: run.schedule.makespan_cycles,
+        steady_cycles_per_img: run.schedule.steady_cycles_per_image,
+        link_words_per_img: run.link_words_per_image(),
+    }
+}
+
+fn render(mode: &str, rows: &[Row], fabric: &[FabricRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"schema\": 2,");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     out.push_str("  \"networks\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -102,11 +140,29 @@ fn render(mode: &str, rows: &[Row]) -> String {
             r.peak_rss_kb
         );
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"fabric\": [\n");
+    for (i, f) in fabric.iter().enumerate() {
+        let sep = if i + 1 < fabric.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"chips\": {}, \"batch\": {}, \"wall_s\": {:.4}, \
+             \"makespan_cycles\": {}, \"steady_cycles_per_img\": {}, \
+             \"link_words_per_img\": {:.1}}}{sep}",
+            f.name,
+            f.chips,
+            f.batch,
+            f.wall_s,
+            f.makespan_cycles,
+            f.steady_cycles_per_img,
+            f.link_words_per_img
+        );
+    }
     out.push_str("  ]\n}\n");
     out
 }
 
-/// Extracts `"field": <number>` from a one-network-per-line JSON report.
+/// Extracts `"field": <number>` from a one-entry-per-line JSON report.
 fn field_f64(line: &str, field: &str) -> Option<f64> {
     let key = format!("\"{field}\": ");
     let start = line.find(&key)? + key.len();
@@ -123,30 +179,105 @@ fn field_name(line: &str) -> Option<String> {
 }
 
 /// Compares new rows against a baseline report; returns the failures.
-fn check_regressions(baseline: &str, rows: &[Row], tolerance: f64) -> Vec<String> {
+/// Wall-clock fields gate at `tolerance`; simulated fields gate exactly
+/// (batch sizes must match for the per-image means to be comparable).
+fn check_regressions(
+    baseline: &str,
+    rows: &[Row],
+    fabric: &[FabricRow],
+    tolerance: f64,
+) -> Vec<String> {
     let mut failures = Vec::new();
-    for line in baseline.lines() {
-        let (Some(name), Some(old)) = (field_name(line), field_f64(line, "s_per_img")) else {
-            continue;
-        };
-        let Some(row) = rows.iter().find(|r| r.name == name) else {
-            continue;
-        };
-        let ratio = row.s_per_img / old;
+    let wall = |name: &str, field: &str, old: f64, new: f64, failures: &mut Vec<String>| {
+        let ratio = new / old;
         let verdict = if ratio > 1.0 + tolerance { "REGRESSED" } else { "ok" };
         println!(
-            "check {name}: baseline {old:.3} s/img -> now {:.3} s/img ({ratio:.2}x) {verdict}",
-            row.s_per_img
+            "check {name} {field}: baseline {old:.3}s -> now {new:.3}s ({ratio:.2}x) {verdict}"
         );
         if ratio > 1.0 + tolerance {
             failures.push(format!(
-                "{name}: {old:.3} -> {:.3} s/img ({ratio:.2}x > {:.2}x allowed)",
-                row.s_per_img,
+                "{name}: {field} {old:.3} -> {new:.3} ({ratio:.2}x > {:.2}x allowed)",
                 1.0 + tolerance
             ));
         }
+    };
+    let exact = |name: &str, field: &str, old: f64, new: f64, failures: &mut Vec<String>| {
+        let verdict = if old == new { "ok" } else { "DIVERGED" };
+        println!("check {name} {field}: baseline {old} -> now {new} (exact) {verdict}");
+        if old != new {
+            failures.push(format!(
+                "{name}: {field} {old} -> {new} (simulated quantities are deterministic; \
+                 a change is semantic and needs a baseline refresh)"
+            ));
+        }
+    };
+    for line in baseline.lines() {
+        let Some(name) = field_name(line) else { continue };
+        if line.contains("\"chips\"") {
+            // Fabric row: match on (name, chips, batch), all simulated
+            // fields exact.
+            let (Some(chips), Some(batch)) = (field_f64(line, "chips"), field_f64(line, "batch"))
+            else {
+                continue;
+            };
+            let Some(f) = fabric
+                .iter()
+                .find(|f| f.name == name && f.chips as f64 == chips && f.batch as f64 == batch)
+            else {
+                continue;
+            };
+            for (field, old, new) in [
+                ("makespan_cycles", field_f64(line, "makespan_cycles"), f.makespan_cycles as f64),
+                (
+                    "steady_cycles_per_img",
+                    field_f64(line, "steady_cycles_per_img"),
+                    f.steady_cycles_per_img as f64,
+                ),
+                (
+                    "link_words_per_img",
+                    field_f64(line, "link_words_per_img"),
+                    round1(f.link_words_per_img),
+                ),
+            ] {
+                if let Some(old) = old {
+                    exact(&name, field, old, new, &mut failures);
+                }
+            }
+            continue;
+        }
+        let Some(row) = rows.iter().find(|r| r.name == name) else { continue };
+        if let Some(old) = field_f64(line, "s_per_img") {
+            wall(&name, "s_per_img", old, row.s_per_img, &mut failures);
+        }
+        if let Some(old) = field_f64(line, "compile_s") {
+            wall(&name, "compile_s", old, row.compile_s, &mut failures);
+        }
+        // Per-image simulated means are only comparable at the same
+        // batch size (later images draw fresh inputs).
+        if field_f64(line, "batch") != Some(row.batch as f64) {
+            println!("check {name}: batch differs from baseline, skipping exact fields");
+            continue;
+        }
+        for (field, new) in [
+            ("cycles_per_img", round1(row.cycles_per_img)),
+            ("energy_uj_per_img", round3(row.energy_uj_per_img)),
+            ("dram_words_per_img", round1(row.dram_words_per_img)),
+        ] {
+            if let Some(old) = field_f64(line, field) {
+                exact(&name, field, old, new, &mut failures);
+            }
+        }
     }
     failures
+}
+
+/// Rounds like the report renders (`{:.1}` / `{:.3}`), so fresh values
+/// compare exactly against reparsed baseline text.
+fn round1(v: f64) -> f64 {
+    format!("{v:.1}").parse().expect("rendered float")
+}
+fn round3(v: f64) -> f64 {
+    format!("{v:.3}").parse().expect("rendered float")
 }
 
 fn main() {
@@ -161,8 +292,11 @@ fn main() {
     // Read the baseline before the out file is overwritten.
     let baseline = std::fs::read_to_string(&baseline_path).ok();
 
+    // Quick mode measures the same (network, batch) points it gates, so
+    // the exact simulated checks apply against the committed full report.
     let plan: &[(&str, usize)] =
-        if quick { &[("alexnet", 2)] } else { &[("alexnet", 4), ("googlenet", 4), ("vggnet", 4)] };
+        if quick { &[("alexnet", 4)] } else { &[("alexnet", 4), ("googlenet", 4), ("vggnet", 4)] };
+    let fabric_plan: &[(&str, usize, usize)] = &[("alexnet", 2, 4)];
 
     let mut rows = Vec::new();
     for &(name, batch) in plan {
@@ -179,9 +313,23 @@ fn main() {
         );
         rows.push(row);
     }
+    let mut fabric = Vec::new();
+    for &(name, chips, batch) in fabric_plan {
+        let f = measure_fabric(name, chips, batch);
+        println!(
+            "{} fabric C={}: {} makespan cycles (B={}), {} steady cycles/img, {:.0} link words/img",
+            f.name,
+            f.chips,
+            f.makespan_cycles,
+            f.batch,
+            f.steady_cycles_per_img,
+            f.link_words_per_img
+        );
+        fabric.push(f);
+    }
 
     let mode = if quick { "quick" } else { "full" };
-    let report = render(mode, &rows);
+    let report = render(mode, &rows, &fabric);
     std::fs::write(&out_path, &report).expect("write report");
     println!("wrote {out_path}");
 
@@ -190,7 +338,7 @@ fn main() {
             eprintln!("--check requested but no baseline at {baseline_path}");
             std::process::exit(2);
         };
-        let failures = check_regressions(&baseline, &rows, 0.20);
+        let failures = check_regressions(&baseline, &rows, &fabric, 0.20);
         if !failures.is_empty() {
             eprintln!("perf regression vs {baseline_path}:");
             for f in &failures {
@@ -198,7 +346,7 @@ fn main() {
             }
             std::process::exit(1);
         }
-        println!("perf check passed (within 20% of {baseline_path})");
+        println!("perf check passed (wall within 20% of {baseline_path}; simulated fields exact)");
     }
 }
 
@@ -206,42 +354,88 @@ fn main() {
 mod tests {
     use super::*;
 
-    #[test]
-    fn json_fields_roundtrip_through_the_line_parser() {
-        let rows = vec![Row {
+    fn row() -> Row {
+        Row {
             name: "AlexNet".into(),
             batch: 4,
-            compile_s: 0.1234,
-            s_per_img: 0.6543,
+            compile_s: 0.1,
+            s_per_img: 1.0,
             cycles_per_img: 373070.0,
-            energy_uj_per_img: 183.75,
+            energy_uj_per_img: 183.752,
             dram_words_per_img: 463757.2,
             peak_rss_kb: 51234,
-        }];
-        let report = render("full", &rows);
-        let line = report.lines().find(|l| l.contains("\"name\"")).unwrap();
-        assert_eq!(field_name(line).as_deref(), Some("AlexNet"));
-        assert_eq!(field_f64(line, "s_per_img"), Some(0.6543));
-        assert_eq!(field_f64(line, "peak_rss_kb"), Some(51234.0));
+        }
+    }
+
+    fn fabric_row() -> FabricRow {
+        FabricRow {
+            name: "AlexNet".into(),
+            chips: 2,
+            batch: 4,
+            wall_s: 3.0,
+            makespan_cycles: 1_000_000,
+            steady_cycles_per_img: 200_000,
+            link_words_per_img: 12_345.6,
+        }
     }
 
     #[test]
-    fn regression_gate_trips_only_past_tolerance() {
-        let rows = vec![Row {
-            name: "AlexNet".into(),
-            batch: 2,
-            compile_s: 0.1,
-            s_per_img: 1.0,
-            cycles_per_img: 1.0,
-            energy_uj_per_img: 1.0,
-            dram_words_per_img: 1.0,
-            peak_rss_kb: 0,
-        }];
-        let fine = "{\"name\": \"AlexNet\", \"s_per_img\": 0.9}";
-        assert!(check_regressions(fine, &rows, 0.20).is_empty(), "1.11x is within 1.2x");
-        let bad = "{\"name\": \"AlexNet\", \"s_per_img\": 0.5}";
-        assert_eq!(check_regressions(bad, &rows, 0.20).len(), 1, "2x must trip");
+    fn json_fields_roundtrip_through_the_line_parser() {
+        let report = render("full", &[row()], &[fabric_row()]);
+        let line = report.lines().find(|l| l.contains("\"cycles_per_img\"")).unwrap();
+        assert_eq!(field_name(line).as_deref(), Some("AlexNet"));
+        assert_eq!(field_f64(line, "s_per_img"), Some(1.0));
+        assert_eq!(field_f64(line, "peak_rss_kb"), Some(51234.0));
+        let fline = report.lines().find(|l| l.contains("\"chips\"")).unwrap();
+        assert_eq!(field_f64(fline, "chips"), Some(2.0));
+        assert_eq!(field_f64(fline, "makespan_cycles"), Some(1_000_000.0));
+        assert_eq!(field_f64(fline, "link_words_per_img"), Some(12_345.6));
+    }
+
+    #[test]
+    fn wall_clock_gates_at_tolerance_only() {
+        let fine = "{\"name\": \"AlexNet\", \"batch\": 4, \"s_per_img\": 0.9}";
+        assert!(check_regressions(fine, &[row()], &[], 0.20).is_empty(), "1.11x is within 1.2x");
+        let bad = "{\"name\": \"AlexNet\", \"batch\": 4, \"s_per_img\": 0.5}";
+        assert_eq!(check_regressions(bad, &[row()], &[], 0.20).len(), 1, "2x must trip");
+        let slow_compile = "{\"name\": \"AlexNet\", \"batch\": 4, \"compile_s\": 0.01}";
+        assert_eq!(
+            check_regressions(slow_compile, &[row()], &[], 0.20).len(),
+            1,
+            "compile_s is gated too"
+        );
         let unknown = "{\"name\": \"ResNet\", \"s_per_img\": 0.1}";
-        assert!(check_regressions(unknown, &rows, 0.20).is_empty(), "unmeasured nets skipped");
+        assert!(check_regressions(unknown, &[row()], &[], 0.20).is_empty(), "unmeasured skipped");
+    }
+
+    #[test]
+    fn simulated_fields_gate_exactly_at_matching_batch() {
+        let same = "{\"name\": \"AlexNet\", \"batch\": 4, \"cycles_per_img\": 373070.0, \
+                    \"energy_uj_per_img\": 183.752, \"dram_words_per_img\": 463757.2}";
+        assert!(check_regressions(same, &[row()], &[], 0.20).is_empty());
+        // One cycle off is a failure — even though it is far inside any
+        // wall-clock tolerance.
+        let off = "{\"name\": \"AlexNet\", \"batch\": 4, \"cycles_per_img\": 373070.1}";
+        assert_eq!(check_regressions(off, &[row()], &[], 0.20).len(), 1);
+        // A different batch size makes per-image means incomparable: the
+        // exact gates must skip, not fire.
+        let other_batch = "{\"name\": \"AlexNet\", \"batch\": 2, \"cycles_per_img\": 999.0}";
+        assert!(check_regressions(other_batch, &[row()], &[], 0.20).is_empty());
+    }
+
+    #[test]
+    fn fabric_rows_gate_exactly_on_schedule_and_link_traffic() {
+        let same = "{\"name\": \"AlexNet\", \"chips\": 2, \"batch\": 4, \
+                    \"makespan_cycles\": 1000000, \"steady_cycles_per_img\": 200000, \
+                    \"link_words_per_img\": 12345.6}";
+        assert!(check_regressions(same, &[], &[fabric_row()], 0.20).is_empty());
+        let off = "{\"name\": \"AlexNet\", \"chips\": 2, \"batch\": 4, \
+                   \"makespan_cycles\": 1000001}";
+        assert_eq!(check_regressions(off, &[], &[fabric_row()], 0.20).len(), 1);
+        // A different chip count is a different configuration, not a
+        // regression.
+        let other_chips = "{\"name\": \"AlexNet\", \"chips\": 4, \"batch\": 4, \
+                           \"makespan_cycles\": 1.0}";
+        assert!(check_regressions(other_chips, &[], &[fabric_row()], 0.20).is_empty());
     }
 }

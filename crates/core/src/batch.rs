@@ -190,6 +190,33 @@ impl CompiledNetwork {
         }
     }
 
+    /// Executes a contiguous range of layer slots of one image serially
+    /// against a caller-owned workspace, returning the [`LayerRun`]s in
+    /// slot order — the *stage execution* hook for pipeline-parallel
+    /// fabrics (`scnn_fabric`), where each simulated chip owns a slot
+    /// range and streams images through it with its own workspace.
+    ///
+    /// Every cell derives its operands from its own `(layer, image)`
+    /// seed, so a slot executed here is bit-identical to the same slot
+    /// inside [`CompiledNetwork::run_image`] or [`BatchRun::execute`] —
+    /// partitioning a network across chips can never change a simulated
+    /// number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds [`CompiledNetwork::layers`].
+    #[must_use]
+    pub fn run_slots_with(
+        &self,
+        slots: std::ops::Range<usize>,
+        image: usize,
+        ws: &mut SimWorkspace,
+    ) -> Vec<LayerRun> {
+        assert!(slots.end <= self.layers.len(), "slot range exceeds compiled layers");
+        let machines = Machines::new(&self.config);
+        slots.map(|slot| self.execute_cell(&machines, slot, image, ws)).collect()
+    }
+
     /// As [`CompiledNetwork::run_image`], but serial and against a
     /// caller-owned workspace — the path for long-lived hosts (e.g. the
     /// serving engine's calibration) that execute many images over time

@@ -31,16 +31,24 @@ const IMAGE_SEED_STRIDE: u64 = 104_729;
 
 /// The weight-synthesis seed of layer `i` (independent of the image, so a
 /// whole batch shares one compiled weight set).
+///
+/// Public because out-of-crate execution tiers (e.g. `scnn_fabric`) must
+/// reproduce the exact operand streams of the single-chip runner; any
+/// other derivation would silently break bit-identity.
 #[must_use]
-pub(crate) fn layer_seed(base: u64, layer_index: usize) -> u64 {
+pub fn layer_seed(base: u64, layer_index: usize) -> u64 {
     base.wrapping_add(layer_index as u64 * LAYER_SEED_STRIDE)
 }
 
 /// The input-synthesis seed of layer `i` for batch image `image`. Image 0
 /// reproduces the single-image [`NetworkRun::execute`] stream exactly;
 /// later images draw independent activations.
+///
+/// Public for the same reason as [`layer_seed`]: it is the contract that
+/// lets a pipeline-parallel fabric resynthesize a stage-boundary input
+/// tensor (to size the inter-chip transfer) bit-for-bit.
 #[must_use]
-pub(crate) fn input_seed(base: u64, layer_index: usize, image: usize) -> u64 {
+pub fn input_seed(base: u64, layer_index: usize, image: usize) -> u64 {
     layer_seed(base, layer_index).wrapping_add(1).wrapping_add(image as u64 * IMAGE_SEED_STRIDE)
 }
 
@@ -119,12 +127,14 @@ pub struct RunConfig {
     /// this value, only wall-clock time does.
     pub threads: usize,
     /// Worker threads for the *intra-layer* per-PE fan-out inside each
-    /// output-channel group ([`scnn_sim::RunOptions::pe_threads`]); `1`
-    /// (the default) keeps layer execution serial and allocation-free.
-    /// Like [`RunConfig::threads`], this changes wall-clock time only —
-    /// results are bit-identical at any value. Composes with the
-    /// layer/image grid fan-out, so keep `threads * pe_threads` near the
-    /// machine's core count.
+    /// output-channel group ([`scnn_sim::RunOptions::pe_threads`]): `0`
+    /// (the default) resolves through [`scnn_par::resolve_pe_threads`] —
+    /// the `SCNN_PE_THREADS` environment variable if set, else `1`
+    /// (serial, which additionally keeps layer execution
+    /// allocation-free). Like [`RunConfig::threads`], this changes
+    /// wall-clock time only — results are bit-identical at any value.
+    /// Composes with the layer/image grid fan-out, so keep
+    /// `threads * pe_threads` near the machine's core count.
     pub pe_threads: usize,
 }
 
@@ -136,7 +146,7 @@ impl Default for RunConfig {
             energy: EnergyModel::default(),
             seed: 0x5C99,
             threads: 0,
-            pe_threads: 1,
+            pe_threads: 0,
         }
     }
 }

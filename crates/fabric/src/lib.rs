@@ -1,0 +1,74 @@
+//! `scnn_fabric`: multi-chip pipeline-parallel scale-out for the SCNN
+//! reproduction.
+//!
+//! The paper argues SCNN scales by adding PEs and chips (§VII); this
+//! crate makes "more chips" an execution tier. A [`CompiledNetwork`] is
+//! sharded across `C` simulated SCNN chips as a **layer pipeline**:
+//!
+//! * the [`partition`] module splits the evaluated layer stack into `C`
+//!   contiguous stages balanced by per-layer cycle estimates derived
+//!   from the compiled weight state (greedy seed + boundary refinement);
+//! * the [`link`] module models the chip-to-chip link: each stage
+//!   boundary ships the downstream layer's *compressed* input
+//!   activations at a configurable words/cycle bandwidth and pJ/word
+//!   energy, itemized separately from the per-chip DRAM accounting;
+//! * the [`pipeline`] module streams a batch of `B` images through the
+//!   stages — execution fans `(image x stage)` units across worker
+//!   threads with per-worker [`scnn_sim::SimWorkspace`]s, and the
+//!   virtual-time schedule accounts pipeline fill/drain, with
+//!   steady-state throughput set by the busiest stage or link.
+//!
+//! Determinism is inherited, not re-argued: every `(layer, image)` cell
+//! derives its operands from its own seed, so the per-image results of a
+//! fabric run are **bit-identical** to the single-chip [`BatchRun`] at
+//! any `(threads, pe_threads, chips)` combination
+//! (`tests/parallel_determinism.rs` locks the composition); only the
+//! separately-reported link/schedule terms depend on the plan.
+//!
+//! [`CompiledNetwork`]: scnn::batch::CompiledNetwork
+//! [`BatchRun`]: scnn::batch::BatchRun
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn::batch::CompiledNetwork;
+//! use scnn::runner::RunConfig;
+//! use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+//! use scnn::scnn_tensor::ConvShape;
+//! use scnn_fabric::{FabricRun, LinkConfig};
+//!
+//! let net = Network::new(
+//!     "demo",
+//!     vec![
+//!         ConvLayer::new("a", ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1)),
+//!         ConvLayer::new("b", ConvShape::new(16, 8, 1, 1, 12, 12)),
+//!     ],
+//! );
+//! let profile = DensityProfile::from_layers(vec![
+//!     LayerDensity::new(0.4, 1.0),
+//!     LayerDensity::new(0.35, 0.45),
+//! ]);
+//! let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
+//! let run = FabricRun::execute(&compiled, 2, LinkConfig::default(), 3);
+//! assert_eq!(run.plan.stage_count(), 2);
+//! assert!(run.link_words_per_image() > 0.0); // boundary traffic itemized
+//!
+//! // Sharding never changes a simulated number: bit-identical to one chip.
+//! let single = scnn::batch::BatchRun::execute(&compiled, 3);
+//! for (a, b) in run.batch.images.iter().zip(&single.images) {
+//!     for (x, y) in a.layers.iter().zip(&b.layers) {
+//!         assert_eq!(x.scnn.cycles, y.scnn.cycles);
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod link;
+pub mod partition;
+pub mod pipeline;
+
+pub use link::LinkConfig;
+pub use partition::{layer_cost_estimate, StagePlan, StageSpec};
+pub use pipeline::{boundary_words, BoundaryTraffic, FabricRun, PipelineSchedule};

@@ -1,0 +1,80 @@
+//! The inter-chip link model: compressed activations crossing a stage
+//! boundary cost cycles (bandwidth) and energy (pJ/word).
+//!
+//! SCNN's §VII scaling argument adds silicon; the price of splitting a
+//! network across chips is that each stage boundary ships the boundary
+//! layer's *compressed* input activations over a chip-to-chip link
+//! instead of reading them from the local OARAM. The model here is
+//! deliberately simple and fully deterministic: a transfer of `w` words
+//! occupies the link for `ceil(w / words_per_cycle)` cycles and costs
+//! `w * pj_per_word` picojoules. Link traffic is itemized *separately*
+//! from the per-chip DRAM/SRAM accounting so single-chip and fabric runs
+//! stay bit-identical on every simulated per-image quantity.
+
+/// Configuration of one chip-to-chip link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Link bandwidth in 16-bit words per cycle (at the ~1GHz PE clock,
+    /// 1 word/cycle = 2GB/s). Default 4.0 — an 8GB/s serial link, half
+    /// the DRAM bandwidth the serving tier assumes.
+    pub words_per_cycle: f64,
+    /// Energy per 16-bit word crossing the link, in picojoules. Default
+    /// 24.0 — ~1.5 pJ/bit SerDes signalling, cheaper than a DRAM access
+    /// (40 pJ/word) but far above on-chip SRAM.
+    pub pj_per_word: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self { words_per_cycle: 4.0, pj_per_word: 24.0 }
+    }
+}
+
+impl LinkConfig {
+    /// Cycles the link is occupied shipping `words` compressed words
+    /// (ceiling division; zero words cost zero cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured bandwidth is not positive.
+    #[must_use]
+    pub fn transfer_cycles(&self, words: f64) -> u64 {
+        assert!(self.words_per_cycle > 0.0, "link bandwidth must be positive");
+        (words / self.words_per_cycle).ceil() as u64
+    }
+
+    /// Energy of shipping `words` compressed words, in picojoules.
+    #[must_use]
+    pub fn transfer_energy_pj(&self, words: f64) -> f64 {
+        words * self.pj_per_word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cycles_round_up() {
+        let link = LinkConfig { words_per_cycle: 4.0, pj_per_word: 24.0 };
+        assert_eq!(link.transfer_cycles(0.0), 0);
+        assert_eq!(link.transfer_cycles(1.0), 1);
+        assert_eq!(link.transfer_cycles(4.0), 1);
+        assert_eq!(link.transfer_cycles(4.5), 2);
+        assert_eq!(link.transfer_cycles(9.0), 3);
+    }
+
+    #[test]
+    fn energy_is_linear_in_words() {
+        let link = LinkConfig::default();
+        assert_eq!(link.transfer_energy_pj(0.0), 0.0);
+        assert!((link.transfer_energy_pj(10.0) - 240.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_is_rejected() {
+        let link = LinkConfig { words_per_cycle: 0.0, pj_per_word: 1.0 };
+        let _ = link.transfer_cycles(1.0);
+    }
+}

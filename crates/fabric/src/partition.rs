@@ -1,0 +1,304 @@
+//! The stage partitioner: split a compiled network's evaluated layer
+//! stack into `C` *contiguous* stages balanced by per-layer cycle
+//! estimates.
+//!
+//! A pipeline's steady-state throughput is set by its slowest stage, so
+//! the partitioner minimizes the bottleneck: a greedy prefix walk seeds
+//! the cut points (each stage targets an equal share of the remaining
+//! estimated work), then a refinement loop shifts single layers across
+//! stage boundaries while doing so strictly lowers the heavier side of
+//! the boundary. Every accepted move strictly decreases the sorted
+//! stage-cost vector, so refinement terminates; both passes are pure
+//! functions of the cost vector, so the plan is deterministic.
+//!
+//! Costs come from the *compiled* layer state alone
+//! ([`layer_cost_estimate`]): non-zero weight count × expected non-zero
+//! activations per channel plane, normalized by the chip's multiplier
+//! count — proportional to the `SCNN(oracle)` cycle bound, cheap to
+//! compute, and independent of any image's actual operands (stage
+//! boundaries must not depend on data the pipeline has not seen).
+
+use scnn::batch::{CompiledNetwork, CompiledNetworkLayer};
+use std::ops::Range;
+
+/// One pipeline stage: a contiguous range of layer slots assigned to one
+/// chip, plus the cost estimate the partitioner balanced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpec {
+    /// The slots (indices into [`CompiledNetwork::layers`]) this stage
+    /// executes, in layer order.
+    pub slots: Range<usize>,
+    /// Summed per-layer cycle estimate of the stage.
+    pub est_cycles: f64,
+}
+
+/// A contiguous partition of a compiled network's layer slots into
+/// pipeline stages, one per chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagePlan {
+    /// The stages, in pipeline order. Every evaluated layer slot appears
+    /// in exactly one stage; consecutive stages abut.
+    pub stages: Vec<StageSpec>,
+}
+
+/// Estimated execution cycles of one compiled layer: expected Cartesian
+/// products (non-zero weights × expected non-zero activations per
+/// channel plane) over the chip's multiplier count, floored at one cycle
+/// so empty layers still occupy a pipeline slot.
+#[must_use]
+pub fn layer_cost_estimate(layer: &CompiledNetworkLayer, total_multipliers: usize) -> f64 {
+    let shape = layer.compiled.shape();
+    let acts_per_channel = layer.density.act * (shape.w * shape.h) as f64;
+    let products = layer.compiled.weight_nnz() as f64 * acts_per_channel;
+    (products / total_multipliers.max(1) as f64).max(1.0)
+}
+
+impl StagePlan {
+    /// Partitions `compiled` into at most `chips` contiguous stages
+    /// balanced by [`layer_cost_estimate`]. Degenerate cases: `chips = 1`
+    /// yields one stage holding every slot; `chips >=` the layer count
+    /// yields one single-layer stage per slot (never an empty stage); a
+    /// network with no evaluated layers yields an empty plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    #[must_use]
+    pub fn partition(compiled: &CompiledNetwork, chips: usize) -> Self {
+        let mults = compiled.config.scnn.total_multipliers();
+        let costs: Vec<f64> =
+            compiled.layers.iter().map(|l| layer_cost_estimate(l, mults)).collect();
+        Self::balance(&costs, chips)
+    }
+
+    /// Partitions an explicit per-slot cost vector (the testable core of
+    /// [`StagePlan::partition`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    #[must_use]
+    pub fn balance(costs: &[f64], chips: usize) -> Self {
+        assert!(chips >= 1, "a fabric needs at least one chip");
+        let stages = chips.min(costs.len());
+        if stages == 0 {
+            return Self { stages: Vec::new() };
+        }
+        let mut cuts = greedy_cuts(costs, stages);
+        refine_cuts(costs, &mut cuts);
+        let stages = cuts
+            .windows(2)
+            .map(|w| StageSpec { slots: w[0]..w[1], est_cycles: costs[w[0]..w[1]].iter().sum() })
+            .collect();
+        Self { stages }
+    }
+
+    /// Number of stages (chips actually used).
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The stage index executing layer slot `slot`, if any.
+    #[must_use]
+    pub fn stage_of(&self, slot: usize) -> Option<usize> {
+        self.stages.iter().position(|s| s.slots.contains(&slot))
+    }
+
+    /// Whether this plan covers `slots` layer slots exactly once,
+    /// contiguously: the first stage starts at 0, consecutive stages
+    /// abut, no stage is empty, and the last stage ends at `slots`.
+    /// (A plan with zero stages covers exactly zero slots.) Executors
+    /// assert this before trusting a caller-built plan — an overlapping
+    /// or gapped plan would silently break the fabric's bit-identity
+    /// guarantee.
+    #[must_use]
+    pub fn covers(&self, slots: usize) -> bool {
+        let mut next = 0;
+        for stage in &self.stages {
+            if stage.slots.start != next || stage.slots.is_empty() {
+                return false;
+            }
+            next = stage.slots.end;
+        }
+        next == slots
+    }
+
+    /// The heaviest stage by estimate: `(index, est_cycles)`.
+    #[must_use]
+    pub fn bottleneck_estimate(&self) -> Option<(usize, f64)> {
+        self.stages
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.est_cycles.total_cmp(&b.est_cycles))
+            .map(|(i, s)| (i, s.est_cycles))
+    }
+}
+
+/// Greedy seed: walk the slots front to back, each stage taking layers
+/// until it reaches an equal share of the *remaining* work (always at
+/// least one layer, and never so many that a later stage would starve).
+fn greedy_cuts(costs: &[f64], stages: usize) -> Vec<usize> {
+    let mut cuts = Vec::with_capacity(stages + 1);
+    cuts.push(0);
+    let mut remaining: f64 = costs.iter().sum();
+    let mut i = 0;
+    for s in 0..stages {
+        let stages_left = stages - s;
+        if stages_left == 1 {
+            i = costs.len();
+            cuts.push(i);
+            break;
+        }
+        // Leave at least one slot for every later stage.
+        let max_take = costs.len() - i - (stages_left - 1);
+        let target = remaining / stages_left as f64;
+        let mut acc = 0.0;
+        let mut took = 0;
+        while took < max_take {
+            let next = costs[i + took];
+            // Take the layer if the stage is empty or adding it lands
+            // closer to the target than stopping short does.
+            if took > 0 && (acc + next - target) >= (target - acc) {
+                break;
+            }
+            acc += next;
+            took += 1;
+            if acc >= target {
+                break;
+            }
+        }
+        i += took.max(1);
+        remaining -= acc;
+        cuts.push(i);
+    }
+    cuts
+}
+
+/// Refinement: shift single slots across adjacent stage boundaries while
+/// the move strictly reduces the heavier side of the pair. Each accepted
+/// move strictly decreases `max(cost[left], cost[right])` with all other
+/// stages untouched, so the sorted stage-cost vector strictly decreases
+/// and the loop terminates.
+fn refine_cuts(costs: &[f64], cuts: &mut [usize]) {
+    let stages = cuts.len() - 1;
+    if stages < 2 {
+        return;
+    }
+    let stage_cost = |cuts: &[usize], s: usize| -> f64 { costs[cuts[s]..cuts[s + 1]].iter().sum() };
+    let mut improved = true;
+    // The pass bound is defensive only; strict decrease already
+    // guarantees termination.
+    let mut passes = 0;
+    while improved && passes < 10_000 {
+        improved = false;
+        passes += 1;
+        for b in 1..stages {
+            let (left, right) = (stage_cost(cuts, b - 1), stage_cost(cuts, b));
+            let pair = left.max(right);
+            // Move the left stage's last slot right, if the left stage
+            // keeps at least one slot and the pair max strictly drops.
+            if cuts[b] - cuts[b - 1] > 1 {
+                let moved = costs[cuts[b] - 1];
+                if (left - moved).max(right + moved) < pair {
+                    cuts[b] -= 1;
+                    improved = true;
+                    continue;
+                }
+            }
+            // Or move the right stage's first slot left.
+            if cuts[b + 1] - cuts[b] > 1 {
+                let moved = costs[cuts[b]];
+                if (left + moved).max(right - moved) < pair {
+                    cuts[b] += 1;
+                    improved = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_costs(plan: &StagePlan) -> Vec<(usize, usize)> {
+        plan.stages.iter().map(|s| (s.slots.start, s.slots.end)).collect()
+    }
+
+    #[test]
+    fn one_chip_takes_everything() {
+        let plan = StagePlan::balance(&[3.0, 1.0, 2.0], 1);
+        assert_eq!(plan_costs(&plan), vec![(0, 3)]);
+        assert!((plan.stages[0].est_cycles - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_chips_than_layers_degenerates_to_one_layer_per_stage() {
+        let plan = StagePlan::balance(&[3.0, 1.0], 8);
+        assert_eq!(plan_costs(&plan), vec![(0, 1), (1, 2)]);
+        assert_eq!(plan.stage_count(), 2, "no empty stages");
+    }
+
+    #[test]
+    fn empty_networks_yield_empty_plans() {
+        let plan = StagePlan::balance(&[], 4);
+        assert_eq!(plan.stage_count(), 0);
+        assert_eq!(plan.stage_of(0), None);
+        assert_eq!(plan.bottleneck_estimate(), None);
+    }
+
+    #[test]
+    fn stages_are_contiguous_and_cover_every_slot_once() {
+        let costs: Vec<f64> = (1..=13).map(|i| ((i * 7919) % 23) as f64 + 1.0).collect();
+        for chips in 1..=13 {
+            let plan = StagePlan::balance(&costs, chips);
+            assert_eq!(plan.stages[0].slots.start, 0);
+            assert_eq!(plan.stages.last().unwrap().slots.end, costs.len());
+            for w in plan.stages.windows(2) {
+                assert_eq!(w[0].slots.end, w[1].slots.start, "stages must abut");
+                assert!(!w[0].slots.is_empty());
+            }
+            for slot in 0..costs.len() {
+                assert_eq!(
+                    plan.stages.iter().filter(|s| s.slots.contains(&slot)).count(),
+                    1,
+                    "slot {slot} must land on exactly one stage (chips {chips})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_split_beats_the_naive_halving_on_skewed_costs() {
+        // One huge layer up front: the balanced cut must isolate it.
+        let costs = [100.0, 1.0, 1.0, 1.0, 1.0];
+        let plan = StagePlan::balance(&costs, 2);
+        assert_eq!(plan_costs(&plan), vec![(0, 1), (1, 5)]);
+        assert!((plan.bottleneck_estimate().unwrap().1 - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bottleneck_never_increases_with_more_chips() {
+        let costs: Vec<f64> = (1..=72).map(|i| ((i * 104_729) % 97) as f64 + 1.0).collect();
+        let mut prev = f64::INFINITY;
+        for chips in [1, 2, 3, 4, 6, 8, 16] {
+            let b = StagePlan::balance(&costs, chips).bottleneck_estimate().unwrap().1;
+            assert!(
+                b <= prev + 1e-9,
+                "bottleneck must not grow with chips: {chips} chips -> {b} (prev {prev})"
+            );
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn refinement_fixes_a_bad_greedy_seed() {
+        // Greedy targeting shares of *remaining* work can overfill the
+        // first stage; refinement must walk the boundary back.
+        let costs = [4.0, 4.0, 4.0, 12.0];
+        let plan = StagePlan::balance(&costs, 2);
+        assert_eq!(plan_costs(&plan), vec![(0, 3), (3, 4)]);
+        assert!((plan.bottleneck_estimate().unwrap().1 - 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,356 @@
+//! The pipeline executor: stream a batch of images through the stages of
+//! a [`StagePlan`], one simulated chip per stage.
+//!
+//! Execution and timing are deliberately separate:
+//!
+//! * **execution** fans the `(image x stage)` units across worker
+//!   threads ([`scnn_par::par_map_with`], one [`SimWorkspace`] per
+//!   worker); each unit runs its stage's slot range serially via
+//!   [`CompiledNetwork::run_slots_with`]. Every `(layer, image)` cell
+//!   derives its operands from its own seed, so the per-image
+//!   [`NetworkRun`]s are **bit-identical** to the single-chip
+//!   [`BatchRun`] at any `(threads, pe_threads, chips)` combination —
+//!   sharding never changes a simulated number.
+//! * **timing** replays those per-stage cycle counts through the classic
+//!   pipeline recurrence: image `b` starts on stage `s` once stage `s`
+//!   finished image `b-1` *and* stage `s-1`'s output for `b` has crossed
+//!   the inter-chip link ([`LinkConfig`]) — transfers on a boundary
+//!   serialize, it is one physical link. Fill and drain fall out of the
+//!   recurrence; steady-state throughput is set by the busiest stage or
+//!   link ([`PipelineSchedule::steady_cycles_per_image`]).
+//!
+//! Link traffic is the *compressed* size of each boundary layer's input
+//! activations (resynthesized from the boundary layer's own seed, so the
+//! words are exactly what the downstream chip consumes), reported
+//! separately from the per-chip DRAM/energy accounting.
+
+use crate::link::LinkConfig;
+use crate::partition::StagePlan;
+use scnn::batch::{BatchRun, CompiledNetwork};
+use scnn::runner::{input_seed, NetworkRun};
+use scnn_model::synth_layer_input;
+use scnn_sim::SimWorkspace;
+use scnn_tensor::CompressedActivations;
+
+/// Compressed-activation traffic across one stage boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryTraffic {
+    /// The upstream stage (`from_stage` ships to `from_stage + 1`).
+    pub from_stage: usize,
+    /// The downstream boundary layer's slot index.
+    pub slot: usize,
+    /// Compressed 16-bit words shipped, per image.
+    pub words: Vec<f64>,
+}
+
+impl BoundaryTraffic {
+    /// Total words across the batch.
+    #[must_use]
+    pub fn total_words(&self) -> f64 {
+        self.words.iter().sum()
+    }
+}
+
+/// The virtual-time pipeline schedule of a fabric execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSchedule {
+    /// Per-stage, per-image compute cycles (the stage's layer cycles
+    /// summed — identical to the same layers on a single chip).
+    pub stage_cycles: Vec<Vec<u64>>,
+    /// Per-stage, per-image inbound link cycles (stage 0 is all zeros:
+    /// its input comes from DRAM, charged in the layer stats as on a
+    /// single chip).
+    pub link_in_cycles: Vec<Vec<u64>>,
+    /// Per-stage, per-image finish cycle under the pipeline recurrence.
+    pub finish: Vec<Vec<u64>>,
+    /// Cycle the last image leaves the last stage.
+    pub makespan_cycles: u64,
+    /// Cycle the *first* image leaves the last stage (pipeline fill:
+    /// first-image latency through every stage and link).
+    pub fill_cycles: u64,
+    /// Stage with the highest total occupancy (compute; ties break low).
+    pub bottleneck_stage: usize,
+    /// Steady-state cycles per image: the busiest stage-or-link total
+    /// occupancy divided by the batch size (rounded up). Pipeline
+    /// throughput cannot beat this bound however deep the batch.
+    pub steady_cycles_per_image: u64,
+}
+
+impl PipelineSchedule {
+    /// Builds the schedule from per-stage compute cycles and inbound
+    /// link cycles (`[stage][image]`, link row 0 all zeros).
+    ///
+    /// Each boundary is *one* link: transfers for successive images
+    /// serialize on it (image `b`'s transfer starts once the upstream
+    /// stage produced it **and** the link finished shipping image
+    /// `b-1`), so a link slower than every stage correctly becomes the
+    /// pipeline's bottleneck — the makespan is always at least the
+    /// busiest stage *or link* occupancy, consistent with
+    /// [`PipelineSchedule::steady_cycles_per_image`].
+    fn build(stage_cycles: Vec<Vec<u64>>, link_in_cycles: Vec<Vec<u64>>) -> Self {
+        let stages = stage_cycles.len();
+        let batch = stage_cycles.first().map_or(0, Vec::len);
+        let mut finish = vec![vec![0u64; batch]; stages];
+        // Cycle at which the inbound link of stage `s` frees up.
+        let mut link_free = vec![0u64; stages];
+        for s in 0..stages {
+            for b in 0..batch {
+                let avail = if s == 0 {
+                    0
+                } else {
+                    let xfer_start = finish[s - 1][b].max(link_free[s]);
+                    link_free[s] = xfer_start + link_in_cycles[s][b];
+                    link_free[s]
+                };
+                let free = if b == 0 { 0 } else { finish[s][b - 1] };
+                finish[s][b] = avail.max(free) + stage_cycles[s][b];
+            }
+        }
+        let makespan_cycles = finish.last().and_then(|row| row.last().copied()).unwrap_or(0);
+        let fill_cycles = finish.last().and_then(|row| row.first().copied()).unwrap_or(0);
+        let stage_busy: Vec<u64> = stage_cycles.iter().map(|row| row.iter().sum()).collect();
+        let bottleneck_stage = stage_busy
+            .iter()
+            .enumerate()
+            .max_by(|(ai, a), (bi, b)| a.cmp(b).then(bi.cmp(ai)))
+            .map_or(0, |(i, _)| i);
+        let link_busy = link_in_cycles.iter().map(|row| row.iter().sum::<u64>()).max();
+        let busiest = stage_busy.iter().copied().max().unwrap_or(0).max(link_busy.unwrap_or(0));
+        let steady_cycles_per_image = if batch == 0 { 0 } else { busiest.div_ceil(batch as u64) };
+        Self {
+            stage_cycles,
+            link_in_cycles,
+            finish,
+            makespan_cycles,
+            fill_cycles,
+            bottleneck_stage,
+            steady_cycles_per_image,
+        }
+    }
+}
+
+/// A batch executed on a multi-chip fabric: the per-image results (bit
+/// -identical to a single chip), the stage plan, the link traffic and
+/// the pipeline schedule.
+#[derive(Debug, Clone)]
+pub struct FabricRun {
+    /// The stage partition the fabric executed.
+    pub plan: StagePlan,
+    /// The inter-chip link model used.
+    pub link: LinkConfig,
+    /// The per-image results, wrapped in the single-chip [`BatchRun`]
+    /// aggregate (weight fetch paid once by image 0, per-image accessors)
+    /// — every simulated number in here is bit-identical to executing the
+    /// same batch on one chip.
+    pub batch: BatchRun,
+    /// Per-boundary compressed-activation traffic (empty for one stage).
+    pub boundaries: Vec<BoundaryTraffic>,
+    /// The virtual-time pipeline schedule.
+    pub schedule: PipelineSchedule,
+}
+
+impl FabricRun {
+    /// Partitions `compiled` across `chips` and executes `batch` images
+    /// through the pipeline. See [`FabricRun::execute_with_plan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    #[must_use]
+    pub fn execute(
+        compiled: &CompiledNetwork,
+        chips: usize,
+        link: LinkConfig,
+        batch: usize,
+    ) -> Self {
+        Self::execute_with_plan(compiled, StagePlan::partition(compiled, chips), link, batch)
+    }
+
+    /// Executes `batch` images through an explicit stage plan: the
+    /// `(image x stage)` units fan out across [`RunConfig::threads`]
+    /// workers (one [`SimWorkspace`] each), boundary traffic is measured
+    /// from the boundary layers' own synthesized inputs, and the
+    /// pipeline schedule is derived from the resulting cycle counts.
+    ///
+    /// [`RunConfig::threads`]: scnn::runner::RunConfig::threads
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not cover exactly the compiled layers.
+    #[must_use]
+    pub fn execute_with_plan(
+        compiled: &CompiledNetwork,
+        plan: StagePlan,
+        link: LinkConfig,
+        batch: usize,
+    ) -> Self {
+        let slots = compiled.layers.len();
+        assert!(plan.covers(slots), "plan does not cover the compiled layers exactly once");
+        let stages = plan.stage_count();
+
+        // Execute: one unit per (image, stage), each running its slot
+        // range serially against the worker's reusable workspace.
+        let units: Vec<(usize, usize)> =
+            (0..batch).flat_map(|b| (0..stages).map(move |s| (b, s))).collect();
+        let stage_results = scnn_par::par_map_with(
+            &units,
+            compiled.config.threads,
+            SimWorkspace::new,
+            |ws, _, &(image, stage)| {
+                compiled.run_slots_with(plan.stages[stage].slots.clone(), image, ws)
+            },
+        );
+
+        // Reassemble per-image runs (stage order == slot order).
+        let mut iter = stage_results.into_iter();
+        let images: Vec<NetworkRun> = (0..batch)
+            .map(|_| NetworkRun {
+                network: compiled.network.clone(),
+                profile: compiled.profile.clone(),
+                config: compiled.config.clone(),
+                layers: (0..stages).flat_map(|_| iter.next().expect("unit per stage")).collect(),
+            })
+            .collect();
+        let batch_run = BatchRun {
+            weight_dram_words: if batch == 0 { 0.0 } else { compiled.weight_dram_words() },
+            images,
+        };
+        Self::schedule_batch(compiled, plan, link, batch_run)
+    }
+
+    /// Re-times an already-executed batch under `plan` and `link`
+    /// without re-simulating a single layer: per-image results are
+    /// partition-independent (each `(layer, image)` cell is seeded on
+    /// its own), so a chip-scaling sweep executes the grid **once** and
+    /// derives every chip count's schedule from the same results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not cover exactly the compiled layers or
+    /// `batch`'s images disagree with the compiled layer count.
+    #[must_use]
+    pub fn schedule_batch(
+        compiled: &CompiledNetwork,
+        plan: StagePlan,
+        link: LinkConfig,
+        batch: BatchRun,
+    ) -> Self {
+        let slots = compiled.layers.len();
+        assert!(plan.covers(slots), "plan does not cover the compiled layers exactly once");
+        assert!(
+            batch.images.iter().all(|img| img.layers.len() == slots),
+            "batch images disagree with the compiled layer count"
+        );
+        let stages = plan.stage_count();
+        let images = batch.batch_size();
+
+        // Measure boundary traffic: the compressed input of each
+        // downstream stage's first layer, per image.
+        let boundary_slots: Vec<usize> =
+            plan.stages.iter().skip(1).map(|s| s.slots.start).collect();
+        let pairs: Vec<(usize, usize)> = boundary_slots
+            .iter()
+            .copied()
+            .flat_map(|slot| (0..images).map(move |b| (slot, b)))
+            .collect();
+        let words_flat = scnn_par::par_map(&pairs, compiled.config.threads, |&(slot, image)| {
+            boundary_words(compiled, slot, image)
+        });
+        let boundaries: Vec<BoundaryTraffic> = boundary_slots
+            .iter()
+            .enumerate()
+            .map(|(bi, &slot)| BoundaryTraffic {
+                from_stage: bi,
+                slot,
+                words: words_flat[bi * images..(bi + 1) * images].to_vec(),
+            })
+            .collect();
+
+        // Timing: per-stage compute cycles and inbound link cycles.
+        let stage_cycles: Vec<Vec<u64>> = (0..stages)
+            .map(|s| {
+                let range = plan.stages[s].slots.clone();
+                batch
+                    .images
+                    .iter()
+                    .map(|img| img.layers[range.clone()].iter().map(|l| l.scnn.cycles).sum())
+                    .collect()
+            })
+            .collect();
+        let link_in_cycles: Vec<Vec<u64>> = (0..stages)
+            .map(|s| {
+                if s == 0 {
+                    vec![0u64; images]
+                } else {
+                    boundaries[s - 1].words.iter().map(|&w| link.transfer_cycles(w)).collect()
+                }
+            })
+            .collect();
+        let schedule = PipelineSchedule::build(stage_cycles, link_in_cycles);
+        Self { plan, link, batch, boundaries, schedule }
+    }
+
+    /// Total compressed words shipped across all links for the batch.
+    #[must_use]
+    pub fn link_words_total(&self) -> f64 {
+        // `+ 0.0` normalizes the -0.0 an empty f64 sum produces.
+        self.boundaries.iter().map(BoundaryTraffic::total_words).sum::<f64>() + 0.0
+    }
+
+    /// Mean link words per image.
+    #[must_use]
+    pub fn link_words_per_image(&self) -> f64 {
+        self.link_words_total() / self.batch.batch_size().max(1) as f64
+    }
+
+    /// Total link transfer energy for the batch, in picojoules.
+    #[must_use]
+    pub fn link_energy_pj_total(&self) -> f64 {
+        self.link.transfer_energy_pj(self.link_words_total())
+    }
+
+    /// Mean link transfer energy per image, in picojoules.
+    #[must_use]
+    pub fn link_energy_pj_per_image(&self) -> f64 {
+        self.link_energy_pj_total() / self.batch.batch_size().max(1) as f64
+    }
+
+    /// Cycles a single chip would take to run this batch sequentially
+    /// (the sum of every image's layer cycles).
+    #[must_use]
+    pub fn sequential_cycles(&self) -> u64 {
+        self.batch.total_cycles()
+    }
+
+    /// Pipelined throughput speedup over one chip running the batch
+    /// sequentially: `sequential_cycles / makespan` (1.0 for an empty
+    /// batch).
+    #[must_use]
+    pub fn pipeline_speedup(&self) -> f64 {
+        if self.schedule.makespan_cycles == 0 {
+            return 1.0;
+        }
+        self.sequential_cycles() as f64 / self.schedule.makespan_cycles as f64
+    }
+}
+
+/// Compressed 16-bit words of the input activations of layer `slot` for
+/// `image` — resynthesized from the cell's own seed, so the measurement
+/// is exactly the tensor the downstream chip consumes. Public so hosts
+/// that schedule against calibrations (the serving engine) can size
+/// link transfers without running a pipeline.
+///
+/// # Panics
+///
+/// Panics if `slot` is out of range.
+#[must_use]
+pub fn boundary_words(compiled: &CompiledNetwork, slot: usize, image: usize) -> f64 {
+    let layer = &compiled.layers[slot];
+    let shape = layer.compiled.shape();
+    let input = synth_layer_input(
+        shape,
+        layer.density.act,
+        input_seed(compiled.config.seed, layer.layer_index, image),
+    );
+    CompressedActivations::compress(&input).storage_bits() as f64 / 16.0
+}

@@ -42,6 +42,29 @@ pub fn resolve_threads(requested: usize) -> usize {
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
+/// Resolves an *intra-layer* per-PE worker count: `requested` if
+/// non-zero, else the `SCNN_PE_THREADS` environment variable if set to a
+/// positive integer, else `1` (serial).
+///
+/// The parity with [`resolve_threads`] is deliberate — explicit request,
+/// then environment, then a default — but the fallback differs: the
+/// per-PE fan-out composes *under* the layer/image grid fan-out, so
+/// defaulting it to the machine's parallelism would oversubscribe every
+/// core by default (and leave the zero-allocation serial path). `1`
+/// keeps intra-layer execution serial unless asked for.
+#[must_use]
+pub fn resolve_pe_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("SCNN_PE_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    1
+}
+
 /// Maps `f` over `items` on up to `threads` workers (0 = auto, see
 /// [`resolve_threads`]), returning results in input order.
 ///
@@ -174,6 +197,21 @@ mod tests {
     fn explicit_request_beats_auto() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn pe_threads_resolve_explicit_then_env_then_serial() {
+        // One test covers all three resolution stages so no other test
+        // can race on the SCNN_PE_THREADS variable.
+        assert_eq!(resolve_pe_threads(5), 5, "explicit request wins");
+        std::env::remove_var("SCNN_PE_THREADS");
+        assert_eq!(resolve_pe_threads(0), 1, "unset env falls back to serial");
+        std::env::set_var("SCNN_PE_THREADS", "3");
+        assert_eq!(resolve_pe_threads(0), 3, "env var fills in for 0");
+        assert_eq!(resolve_pe_threads(2), 2, "explicit still beats env");
+        std::env::set_var("SCNN_PE_THREADS", "nonsense");
+        assert_eq!(resolve_pe_threads(0), 1, "unparseable env is ignored");
+        std::env::remove_var("SCNN_PE_THREADS");
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::cache::ModelKey;
 use scnn::batch::CompiledNetwork;
 use scnn::runner::RunConfig;
 use scnn_arch::HaloStrategy;
+use scnn_fabric::{boundary_words, LinkConfig, StagePlan};
 use scnn_model::{zoo, DensityProfile, Network};
 use scnn_sim::SimWorkspace;
 use std::collections::BTreeMap;
@@ -36,7 +37,8 @@ pub struct ModelProfile {
     /// Registered model name.
     pub name: String,
     /// Cycles to execute one image with weights resident (whole-network
-    /// SCNN latency of a steady-state batch image).
+    /// SCNN latency of a steady-state batch image, summed over every
+    /// layer — chip-count independent).
     pub image_cycles: u64,
     /// Energy of one steady-state image, in picojoules.
     pub image_energy_pj: f64,
@@ -53,6 +55,39 @@ pub struct ModelProfile {
     pub weight_energy_pj: f64,
     /// Virtual-time penalty for compiling the model on a cache miss.
     pub compile_cycles: u64,
+    /// Chips per device the profile was calibrated for (1 = no fabric).
+    pub chips: usize,
+    /// First-image latency through the device: every stage's compute
+    /// plus every inter-chip transfer. Equals [`image_cycles`] when
+    /// `chips == 1`.
+    ///
+    /// [`image_cycles`]: ModelProfile::image_cycles
+    pub fill_cycles: u64,
+    /// Steady-state cycles between consecutive image completions: the
+    /// busiest stage or link of the pipeline. Equals [`image_cycles`]
+    /// when `chips == 1`.
+    ///
+    /// [`image_cycles`]: ModelProfile::image_cycles
+    pub bottleneck_cycles: u64,
+    /// Compressed-activation words each image ships across inter-chip
+    /// links (0 for a single chip), itemized separately from DRAM.
+    pub link_words_per_image: f64,
+    /// Energy of those transfers, in picojoules per image.
+    pub link_energy_pj_per_image: f64,
+}
+
+impl ModelProfile {
+    /// Device-occupancy cycles of a batch of `images` requests: pipeline
+    /// fill for the first image, then one bottleneck interval per
+    /// additional image. Reduces to `images * image_cycles` on a
+    /// single-chip device.
+    #[must_use]
+    pub fn batch_cycles(&self, images: u64) -> u64 {
+        if images == 0 {
+            return 0;
+        }
+        self.fill_cycles + (images - 1) * self.bottleneck_cycles
+    }
 }
 
 /// One registered model: a network plus the density profile it serves at.
@@ -69,6 +104,11 @@ pub struct Engine {
     config: RunConfig,
     dram_words_per_cycle: f64,
     compile_factor: u64,
+    /// Chips per device: every simulated device is a `chips`-stage
+    /// pipeline fabric (1 = classic single-chip devices).
+    chips: usize,
+    /// Inter-chip link model used when `chips > 1`.
+    link: LinkConfig,
     models: BTreeMap<String, ModelSpec>,
     calibrated: BTreeMap<String, Rc<ModelProfile>>,
     /// One simulator workspace reused across every calibration this
@@ -85,6 +125,8 @@ impl Engine {
             config,
             dram_words_per_cycle: 8.0,
             compile_factor: 4,
+            chips: 1,
+            link: LinkConfig::default(),
             models: BTreeMap::new(),
             calibrated: BTreeMap::new(),
             workspace: SimWorkspace::new(),
@@ -132,6 +174,31 @@ impl Engine {
         self.compile_factor = factor;
         self.calibrated.clear();
         self
+    }
+
+    /// Makes every simulated device a `chips`-stage pipeline fabric
+    /// connected by `link` (`scnn_fabric`): calibration partitions each
+    /// model into `chips` balanced stages and records the pipeline
+    /// fill/bottleneck and per-image link traffic, which the scheduler
+    /// then charges per batch. `chips = 1` restores classic single-chip
+    /// devices. Invalidates prior calibrations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    #[must_use]
+    pub fn with_fabric(mut self, chips: usize, link: LinkConfig) -> Self {
+        assert!(chips >= 1, "a device needs at least one chip");
+        self.chips = chips;
+        self.link = link;
+        self.calibrated.clear();
+        self
+    }
+
+    /// Chips per simulated device (1 = no fabric).
+    #[must_use]
+    pub fn chips(&self) -> usize {
+        self.chips
     }
 
     /// Registers `network` under `name`, serving at `profile` densities.
@@ -183,11 +250,14 @@ impl Engine {
     #[must_use]
     pub fn key_for(&self, name: &str) -> ModelKey {
         let spec = self.models.get(name).unwrap_or_else(|| panic!("model {name:?} unregistered"));
-        ModelKey {
-            model: name.to_owned(),
-            profile: spec.profile_tag.clone(),
-            config: fingerprint(&self.config),
-        }
+        // Fold the fabric geometry in: a 2-chip calibration must never
+        // be served from a 1-chip cache entry.
+        let mut fnv = crate::hash::Fnv64::new();
+        fnv.eat(fingerprint(&self.config));
+        fnv.eat(self.chips as u64);
+        fnv.eat(self.link.words_per_cycle.to_bits());
+        fnv.eat(self.link.pj_per_word.to_bits());
+        ModelKey { model: name.to_owned(), profile: spec.profile_tag.clone(), config: fnv.finish() }
     }
 
     /// The calibrated service profile of a registered model, compiling
@@ -211,15 +281,45 @@ impl Engine {
         let steady = compiled.run_image_with(1, &mut self.workspace);
         let weight_dram_words = compiled.weight_dram_words();
         let weight_load_cycles = (weight_dram_words / self.dram_words_per_cycle).ceil() as u64;
+        let image_cycles: u64 = steady.layers.iter().map(|l| l.scnn.cycles).sum();
+
+        // Pipelined calibration: partition the steady image's per-layer
+        // cycles across the device's chips and size each stage-boundary
+        // transfer, so the scheduler can charge fill + bottleneck per
+        // batch. One chip degenerates to fill = bottleneck = image time.
+        let plan = StagePlan::partition(&compiled, self.chips);
+        let stage_cycles: Vec<u64> = plan
+            .stages
+            .iter()
+            .map(|s| steady.layers[s.slots.clone()].iter().map(|l| l.scnn.cycles).sum())
+            .collect();
+        let xfer_words: Vec<f64> = plan
+            .stages
+            .iter()
+            .skip(1)
+            .map(|s| boundary_words(&compiled, s.slots.start, 1))
+            .collect();
+        let xfer_cycles: Vec<u64> =
+            xfer_words.iter().map(|&w| self.link.transfer_cycles(w)).collect();
+        let link_words_per_image: f64 = xfer_words.iter().sum();
+        let bottleneck_cycles =
+            stage_cycles.iter().chain(&xfer_cycles).copied().max().unwrap_or(image_cycles).max(1);
+        let fill_cycles = image_cycles + xfer_cycles.iter().sum::<u64>();
+
         let profile = Rc::new(ModelProfile {
             name: name.to_owned(),
-            image_cycles: steady.layers.iter().map(|l| l.scnn.cycles).sum(),
+            image_cycles,
             image_energy_pj: steady.layers.iter().map(|l| l.scnn.energy_pj()).sum(),
             image_dram_words: steady.layers.iter().map(|l| l.scnn.counts.dram_words).sum(),
             weight_dram_words,
             weight_load_cycles,
             weight_energy_pj: weight_dram_words * self.config.energy.e_dram,
             compile_cycles: self.compile_factor * weight_load_cycles,
+            chips: plan.stage_count().max(1),
+            fill_cycles,
+            bottleneck_cycles,
+            link_words_per_image,
+            link_energy_pj_per_image: self.link.transfer_energy_pj(link_words_per_image),
         });
         self.calibrated.insert(name.to_owned(), Rc::clone(&profile));
         profile
@@ -348,12 +448,52 @@ mod tests {
     }
 
     #[test]
-    fn keys_carry_the_profile_tag() {
+    fn keys_carry_the_profile_tag_and_fold_the_fabric() {
         let engine = engine_with_tiny();
         let key = engine.key_for("tiny");
         assert_eq!(key.model, "tiny");
         assert_eq!(key.profile, "test");
-        assert_eq!(key.config, fingerprint(engine.run_config()));
+        // Same config + same fabric geometry -> same key; a fabric or
+        // link change must produce a distinct cache identity (a 2-chip
+        // calibration can never be served from a 1-chip entry).
+        assert_eq!(key.config, engine_with_tiny().key_for("tiny").config);
+        let fabric = engine_with_tiny().with_fabric(2, LinkConfig::default());
+        assert_ne!(key.config, fabric.key_for("tiny").config, "chips must matter");
+        let fat_link = engine_with_tiny()
+            .with_fabric(1, LinkConfig { words_per_cycle: 8.0, ..LinkConfig::default() });
+        assert_ne!(key.config, fat_link.key_for("tiny").config, "link must matter");
+    }
+
+    #[test]
+    fn single_chip_profiles_degenerate_exactly() {
+        let mut one = engine_with_tiny();
+        let p = one.profile("tiny");
+        assert_eq!(p.chips, 1);
+        assert_eq!(p.fill_cycles, p.image_cycles);
+        assert_eq!(p.bottleneck_cycles, p.image_cycles);
+        assert_eq!(p.link_words_per_image, 0.0);
+        assert_eq!(p.link_energy_pj_per_image, 0.0);
+        assert_eq!(p.batch_cycles(0), 0);
+        assert_eq!(p.batch_cycles(3), 3 * p.image_cycles, "one chip = sequential images");
+    }
+
+    #[test]
+    fn fabric_calibration_is_chip_count_independent_on_simulated_stats() {
+        let mut one = engine_with_tiny();
+        let mut two = engine_with_tiny().with_fabric(2, LinkConfig::default());
+        let p1 = one.profile("tiny");
+        let p2 = two.profile("tiny");
+        // Sharding never changes what the chips compute — only how the
+        // schedule overlaps it and what crosses the links.
+        assert_eq!(p1.image_cycles, p2.image_cycles);
+        assert_eq!(p1.image_energy_pj.to_bits(), p2.image_energy_pj.to_bits());
+        assert_eq!(p1.image_dram_words.to_bits(), p2.image_dram_words.to_bits());
+        assert_eq!(p2.chips, 2);
+        assert!(p2.link_words_per_image > 0.0, "a 2-stage pipe has one boundary");
+        assert!(p2.link_energy_pj_per_image > 0.0);
+        assert!(p2.fill_cycles >= p2.image_cycles, "fill adds the link transfer");
+        assert!(p2.bottleneck_cycles <= p2.fill_cycles);
+        assert_eq!(p2.batch_cycles(4), p2.fill_cycles + 3 * p2.bottleneck_cycles);
     }
 
     #[test]

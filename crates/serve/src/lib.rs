@@ -21,10 +21,14 @@
 //! * [`engine`] — model registry plus calibration: each model is
 //!   compiled once ([`scnn::batch::CompiledNetwork`]) and one
 //!   steady-state image is executed through the cycle-level simulator to
-//!   obtain the [`engine::ModelProfile`] the scheduler charges against;
+//!   obtain the [`engine::ModelProfile`] the scheduler charges against.
+//!   With [`engine::Engine::with_fabric`] every device is a `C`-chip
+//!   pipeline fabric (`scnn_fabric`): the profile gains pipeline
+//!   fill/bottleneck cycles and per-image inter-chip link traffic;
 //! * [`sim`] — the event loop mapping sealed batches onto `N` simulated
 //!   SCNN devices (weight-residency aware: a model switch pays the §IV
-//!   weight reload);
+//!   weight reload; fabric devices complete a batch in
+//!   `fill + (B-1) x bottleneck` cycles);
 //! * [`metrics`] — per-tenant and global percentiles, deadline-miss
 //!   rates, energy and DRAM per request, and the plain-text report.
 //!

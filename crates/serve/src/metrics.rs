@@ -63,10 +63,15 @@ pub struct GroupMetrics {
     /// End-to-end latency: arrival to batch completion.
     pub e2e: LatencySummary,
     /// Mean SCNN energy per request, in picojoules (steady-state image
-    /// plus this request's share of any weight reload its batch paid).
+    /// plus inter-chip link transfers plus this request's share of any
+    /// weight reload its batch paid).
     pub energy_pj_per_request: f64,
     /// Mean DRAM words per request (same attribution).
     pub dram_words_per_request: f64,
+    /// Mean compressed-activation words per request crossing inter-chip
+    /// links (0 unless devices are multi-chip fabrics) — itemized
+    /// separately from DRAM traffic.
+    pub link_words_per_request: f64,
 }
 
 impl GroupMetrics {
@@ -161,6 +166,7 @@ impl ServeReport {
             }
             fnv.eat(g.energy_pj_per_request.to_bits());
             fnv.eat(g.dram_words_per_request.to_bits());
+            fnv.eat(g.link_words_per_request.to_bits());
         };
         fnv.eat(self.end_cycle);
         fnv.eat(self.mean_batch_size.to_bits());
@@ -194,10 +200,12 @@ impl ServeReport {
             self.mean_batch_size,
         ));
         out.push_str(&format!(
-            "deadline misses {:.1}%  |  energy/req {:.1} uJ  |  DRAM/req {:.0} words\n",
+            "deadline misses {:.1}%  |  energy/req {:.1} uJ  |  DRAM/req {:.0} words  |  \
+             link/req {:.0} words\n",
             self.global.deadline_miss_rate() * 100.0,
             self.global.energy_pj_per_request / 1e6,
             self.global.dram_words_per_request,
+            self.global.link_words_per_request,
         ));
         out.push_str(&format!(
             "model cache: {} hits / {} misses ({} cold, {} evictions), hit rate {:.1}% \

@@ -75,6 +75,7 @@ struct Done {
     deadline_ok: bool,
     energy_pj: f64,
     dram_words: f64,
+    link_words: f64,
 }
 
 /// Runs the serving simulation of `trace` under `cfg`, calibrating
@@ -176,7 +177,10 @@ fn dispatch(
     let images = batch.len() as u64;
     let switch = device.resident.as_deref() != Some(batch.model.as_str());
 
-    let mut service = cfg.batch_overhead_cycles + images * profile.image_cycles;
+    // A device is a `chips`-stage pipeline fabric: the batch fills the
+    // pipe once, then completes an image every bottleneck interval
+    // (reduces to `images * image_cycles` on one chip).
+    let mut service = cfg.batch_overhead_cycles + profile.batch_cycles(images);
     if !hit {
         service += profile.compile_cycles;
     }
@@ -196,8 +200,12 @@ fn dispatch(
 
     // The reload a batch pays is shared evenly by its requests; compile
     // work happens host-side and is charged in time, not device energy.
+    // Inter-chip link traffic is per image and itemized separately from
+    // DRAM (it crosses a chip-to-chip link, not the memory interface).
     let share = |total: f64| if switch { total / images as f64 } else { 0.0 };
-    let energy_pj = profile.image_energy_pj + share(profile.weight_energy_pj);
+    let energy_pj = profile.image_energy_pj
+        + profile.link_energy_pj_per_image
+        + share(profile.weight_energy_pj);
     let dram_words = profile.image_dram_words + share(profile.weight_dram_words);
     for req in batch.requests {
         let budget = req.deadline.budget_factor() * profile.image_cycles;
@@ -209,6 +217,7 @@ fn dispatch(
             deadline_ok: finish - req.arrival <= budget,
             energy_pj,
             dram_words,
+            link_words: profile.link_words_per_image,
         });
     }
 }
@@ -232,6 +241,7 @@ fn build_report(
             ),
             energy_pj_per_request: mean(records.iter().map(|d| d.energy_pj)),
             dram_words_per_request: mean(records.iter().map(|d| d.dram_words)),
+            link_words_per_request: mean(records.iter().map(|d| d.link_words)),
         }
     };
 

@@ -152,6 +152,14 @@ impl CompiledLayer {
         self.weight_bits as f64 / 16.0
     }
 
+    /// Total non-zero weights across all compressed blocks — the work
+    /// term per-layer cost estimators (e.g. a fabric partitioner) scale
+    /// by, available without re-walking the weight tensor.
+    #[must_use]
+    pub fn weight_nnz(&self) -> usize {
+        self.groups.iter().map(|g| g.wt.entries.len()).sum()
+    }
+
     /// Total stride-1 sub-convolutions across filter groups.
     #[must_use]
     pub fn sub_conv_count(&self) -> usize {

@@ -56,8 +56,9 @@ pub struct RunOptions {
     pub relu: bool,
     /// Worker threads for the intra-layer per-PE fan-out inside each
     /// output-channel group (`1` = serial; `0` resolves through
-    /// [`scnn_par::resolve_threads`]). The PT-IS-CP-sparse dataflow makes
-    /// each PE's work within a group independent, so this changes
+    /// [`scnn_par::resolve_pe_threads`] — the `SCNN_PE_THREADS`
+    /// environment variable, else serial). The PT-IS-CP-sparse dataflow
+    /// makes each PE's work within a group independent, so this changes
     /// wall-clock time only — results are bit-identical at any value.
     /// Serial execution is additionally allocation-free in steady state.
     pub pe_threads: usize,
@@ -65,7 +66,7 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { input_from_dram: false, weights_from_dram: true, relu: true, pe_threads: 1 }
+        Self { input_from_dram: false, weights_from_dram: true, relu: true, pe_threads: 0 }
     }
 }
 
@@ -276,11 +277,7 @@ impl ScnnMachine {
         let (out_w, out_h) = (shape.out_w(), shape.out_h());
         let input_halos = matches!(cfg.halo, HaloStrategy::Input);
         let tiling = &layer.tiling;
-        let pe_threads = if opts.pe_threads == 1 {
-            1
-        } else {
-            scnn_par::resolve_threads(opts.pe_threads).min(pes)
-        };
+        let pe_threads = scnn_par::resolve_pe_threads(opts.pe_threads).min(pes).max(1);
 
         ws.prepare(pes);
         ws.output.reset(shape.k, out_w, out_h);

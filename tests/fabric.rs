@@ -1,0 +1,236 @@
+//! Integration tests for `scnn_fabric`: the stage partitioner covers
+//! every evaluated layer exactly once with contiguous boundaries, fabric
+//! execution is bit-identical to the single-chip batch engine (summed
+//! per-stage stats equal the whole-network run), degenerate chip counts
+//! behave, and the pipeline schedule obeys its structural bounds.
+
+use scnn::batch::{BatchRun, CompiledNetwork};
+use scnn::runner::{NetworkRun, RunConfig};
+use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+use scnn::scnn_tensor::ConvShape;
+use scnn_fabric::{FabricRun, LinkConfig, StagePlan, StageSpec};
+
+/// A 7-layer network with heterogeneous shapes so stages are uneven.
+fn network() -> (Network, DensityProfile) {
+    let mut layers = Vec::new();
+    let mut densities = Vec::new();
+    for i in 0..7 {
+        let k = 4 + 2 * (i % 3);
+        let c = 3 + (i % 4);
+        let plane = 8 + 2 * (i % 5);
+        layers.push(ConvLayer::new(
+            format!("conv{i}"),
+            ConvShape::new(k, c, 3, 3, plane, plane).with_pad(1),
+        ));
+        densities.push(LayerDensity::new(0.3 + 0.05 * i as f64, 0.9 - 0.07 * i as f64));
+    }
+    (Network::new("fab7", layers), DensityProfile::from_layers(densities))
+}
+
+fn compiled() -> CompiledNetwork {
+    let (net, profile) = network();
+    CompiledNetwork::compile(&net, &profile, &RunConfig::default())
+}
+
+#[test]
+fn partitioner_covers_every_layer_exactly_once_contiguously() {
+    let compiled = compiled();
+    for chips in 1..=9 {
+        let plan = StagePlan::partition(&compiled, chips);
+        assert_eq!(plan.stage_count(), chips.min(compiled.layers.len()));
+        assert_eq!(plan.stages[0].slots.start, 0);
+        assert_eq!(plan.stages.last().unwrap().slots.end, compiled.layers.len());
+        for w in plan.stages.windows(2) {
+            assert_eq!(w[0].slots.end, w[1].slots.start, "stage boundaries must abut");
+        }
+        for slot in 0..compiled.layers.len() {
+            let owners = plan.stages.iter().filter(|s| s.slots.contains(&slot)).count();
+            assert_eq!(owners, 1, "slot {slot} owned by {owners} stages at {chips} chips");
+        }
+    }
+}
+
+#[test]
+fn degenerate_chip_counts_behave() {
+    let compiled = compiled();
+    // C = 1: one stage, no boundaries, schedule equals sequential.
+    let one = FabricRun::execute(&compiled, 1, LinkConfig::default(), 3);
+    assert_eq!(one.plan.stage_count(), 1);
+    assert!(one.boundaries.is_empty());
+    assert_eq!(one.link_words_total(), 0.0);
+    assert_eq!(one.schedule.makespan_cycles, one.sequential_cycles());
+    assert!((one.pipeline_speedup() - 1.0).abs() < 1e-12);
+    // C >= layer count: one single-layer stage per slot, still correct.
+    let many = FabricRun::execute(&compiled, 99, LinkConfig::default(), 2);
+    assert_eq!(many.plan.stage_count(), compiled.layers.len());
+    assert_eq!(many.boundaries.len(), compiled.layers.len() - 1);
+    for stage in &many.plan.stages {
+        assert_eq!(stage.slots.len(), 1);
+    }
+}
+
+#[test]
+fn per_stage_stats_sum_bit_equal_to_the_single_chip_run() {
+    let compiled = compiled();
+    let single = NetworkRun::execute(&network().0, &network().1, &RunConfig::default());
+    for chips in [2, 3, 7] {
+        let fabric = FabricRun::execute(&compiled, chips, LinkConfig::default(), 1);
+        let img = &fabric.batch.images[0];
+        assert_eq!(img.layers.len(), single.layers.len());
+        // Per-layer: identical results layer by layer.
+        for (a, b) in img.layers.iter().zip(&single.layers) {
+            assert_eq!(a.layer_index, b.layer_index);
+            assert_eq!(a.scnn.cycles, b.scnn.cycles, "{}", a.name);
+            assert_eq!(a.scnn.counts, b.scnn.counts, "{}", a.name);
+            assert_eq!(a.scnn.stats, b.scnn.stats, "{}", a.name);
+            assert_eq!(a.scnn.energy_pj().to_bits(), b.scnn.energy_pj().to_bits());
+            assert_eq!(a.dcnn.cycles, b.dcnn.cycles);
+            assert_eq!(a.oracle_cycles, b.oracle_cycles);
+        }
+        // Per-stage sums reassemble the whole-network aggregates.
+        let stage_cycle_sum: u64 =
+            fabric.schedule.stage_cycles.iter().map(|row| row.iter().sum::<u64>()).sum();
+        let single_total: u64 = single.layers.iter().map(|l| l.scnn.cycles).sum();
+        assert_eq!(stage_cycle_sum, single_total, "{chips} chips");
+        assert_eq!(
+            img.scnn_energy_rel().to_bits(),
+            single.scnn_energy_rel().to_bits(),
+            "{chips} chips"
+        );
+    }
+}
+
+#[test]
+fn fabric_batches_are_bit_identical_to_batch_run() {
+    let compiled = compiled();
+    let plain = BatchRun::execute(&compiled, 3);
+    for chips in [1, 2, 4] {
+        let fabric = FabricRun::execute(&compiled, chips, LinkConfig::default(), 3);
+        assert_eq!(fabric.batch.batch_size(), plain.batch_size());
+        assert_eq!(fabric.batch.weight_dram_words.to_bits(), plain.weight_dram_words.to_bits());
+        for (a, b) in fabric.batch.images.iter().zip(&plain.images) {
+            for (x, y) in a.layers.iter().zip(&b.layers) {
+                assert_eq!(x.scnn.cycles, y.scnn.cycles, "{chips} chips, {}", x.name);
+                assert_eq!(x.scnn.counts, y.scnn.counts);
+                assert_eq!(x.scnn.stats, y.scnn.stats);
+            }
+        }
+        assert_eq!(fabric.batch.total_cycles(), plain.total_cycles());
+        assert_eq!(fabric.batch.total_energy_pj().to_bits(), plain.total_energy_pj().to_bits());
+        assert_eq!(fabric.batch.total_dram_words().to_bits(), plain.total_dram_words().to_bits());
+    }
+}
+
+#[test]
+fn schedule_obeys_pipeline_bounds() {
+    let compiled = compiled();
+    let batch = 4;
+    for chips in [2, 3] {
+        let run = FabricRun::execute(&compiled, chips, LinkConfig::default(), batch);
+        let s = &run.schedule;
+        // Fill is the first image's end-to-end latency; makespan at least
+        // fill, and at least the bottleneck occupancy.
+        assert!(s.fill_cycles <= s.makespan_cycles);
+        let busiest: u64 = s.stage_cycles[s.bottleneck_stage].iter().sum();
+        assert!(s.makespan_cycles >= busiest);
+        // Each boundary is one serialized link: its total occupancy
+        // bounds the makespan too (and the steady-state bound).
+        let link_busy: u64 =
+            s.link_in_cycles.iter().map(|row| row.iter().sum::<u64>()).max().unwrap_or(0);
+        assert!(s.makespan_cycles >= link_busy, "a serialized link bounds the makespan");
+        assert!(s.steady_cycles_per_image * batch as u64 >= busiest.max(link_busy));
+        // Finishes are monotone along both axes.
+        for stage in 0..s.finish.len() {
+            for img in 1..batch {
+                assert!(s.finish[stage][img] > s.finish[stage][img - 1]);
+            }
+            if stage > 0 {
+                for img in 0..batch {
+                    assert!(s.finish[stage][img] > s.finish[stage - 1][img]);
+                }
+            }
+        }
+        // Link traffic: one boundary row per stage gap, one entry per
+        // image, all positive (activations are never empty here).
+        assert_eq!(run.boundaries.len(), run.plan.stage_count() - 1);
+        for b in &run.boundaries {
+            assert_eq!(b.words.len(), batch);
+            assert!(b.words.iter().all(|&w| w > 0.0));
+        }
+        assert!(run.link_energy_pj_total() > 0.0);
+    }
+}
+
+#[test]
+fn slower_links_stretch_the_schedule_but_not_the_results() {
+    let compiled = compiled();
+    let fast = FabricRun::execute(
+        &compiled,
+        3,
+        LinkConfig { words_per_cycle: 64.0, pj_per_word: 24.0 },
+        3,
+    );
+    let slow = FabricRun::execute(
+        &compiled,
+        3,
+        LinkConfig { words_per_cycle: 0.25, pj_per_word: 24.0 },
+        3,
+    );
+    assert!(slow.schedule.makespan_cycles > fast.schedule.makespan_cycles);
+    // When the link is the bottleneck, its serialized occupancy governs
+    // the makespan — overlapping transfers on one physical link would
+    // understate it (and contradict the steady-state bound).
+    let slow_link_busy: u64 =
+        slow.schedule.link_in_cycles.iter().map(|row| row.iter().sum::<u64>()).max().unwrap_or(0);
+    assert!(
+        slow.schedule.makespan_cycles >= slow_link_busy,
+        "serialized link occupancy {slow_link_busy} must bound makespan {}",
+        slow.schedule.makespan_cycles
+    );
+    // Same words cross the boundary either way; only cycles differ.
+    assert_eq!(slow.link_words_total().to_bits(), fast.link_words_total().to_bits());
+    for (a, b) in slow.batch.images.iter().zip(&fast.batch.images) {
+        for (x, y) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(x.scnn.cycles, y.scnn.cycles);
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "cover")]
+fn overlapping_plans_are_rejected() {
+    // A hand-built plan whose stages overlap would execute slots twice
+    // and silently break bit-identity; the executor must refuse it even
+    // though its last stage ends at the layer count.
+    let compiled = compiled();
+    let plan = StagePlan {
+        stages: vec![
+            StageSpec { slots: 0..3, est_cycles: 0.0 },
+            StageSpec { slots: 1..7, est_cycles: 0.0 },
+        ],
+    };
+    let batch = BatchRun::execute(&compiled, 1);
+    let _ = FabricRun::schedule_batch(&compiled, plan, LinkConfig::default(), batch);
+}
+
+#[test]
+fn empty_batches_and_empty_networks_are_legal() {
+    let compiled = compiled();
+    let empty_batch = FabricRun::execute(&compiled, 2, LinkConfig::default(), 0);
+    assert_eq!(empty_batch.batch.batch_size(), 0);
+    assert_eq!(empty_batch.schedule.makespan_cycles, 0);
+    assert_eq!(empty_batch.link_words_total(), 0.0);
+    assert!((empty_batch.pipeline_speedup() - 1.0).abs() < 1e-12);
+
+    let net = Network::new(
+        "empty",
+        vec![ConvLayer::new("skip", ConvShape::new(4, 4, 3, 3, 8, 8)).excluded()],
+    );
+    let profile = DensityProfile::from_layers(vec![LayerDensity::new(0.5, 0.5)]);
+    let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
+    let run = FabricRun::execute(&compiled, 4, LinkConfig::default(), 2);
+    assert_eq!(run.plan.stage_count(), 0);
+    assert_eq!(run.schedule.makespan_cycles, 0);
+    assert_eq!(run.batch.images.len(), 2);
+    assert!(run.batch.images.iter().all(|img| img.layers.is_empty()));
+}

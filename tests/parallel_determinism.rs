@@ -10,6 +10,7 @@ use scnn::runner::{NetworkRun, RunConfig};
 use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
 use scnn::scnn_tensor::ConvShape;
 use scnn::scnn_timeloop::{density_sweep, pe_granularity_sweep, TimeLoop};
+use scnn_fabric::{FabricRun, LinkConfig};
 
 /// A small synthetic network with enough layers to occupy several
 /// workers and heterogeneous shapes so layers finish out of order.
@@ -174,6 +175,82 @@ fn batch_grid_composed_with_pe_parallelism_is_bit_identical() {
             );
         }
     }
+}
+
+#[test]
+fn fabric_execution_is_bit_identical_across_thread_pe_chip_combinations() {
+    // The fabric fans (image x stage) units across workers and composes
+    // with the intra-layer per-PE axis; the stage partition must never
+    // leak into results. Reference: fully serial single chip.
+    let (net, profile) = synthetic_network();
+    let serial_cfg = RunConfig::default().with_threads(1).with_pe_threads(1);
+    let serial = BatchRun::execute(&CompiledNetwork::compile(&net, &profile, &serial_cfg), 2);
+    let mut schedules = Vec::new();
+    for (threads, pe_threads, chips) in [(1, 1, 2), (2, 2, 2), (4, 1, 3), (1, 3, 8), (3, 2, 1)] {
+        let config = RunConfig::default().with_threads(threads).with_pe_threads(pe_threads);
+        let compiled = CompiledNetwork::compile(&net, &profile, &config);
+        let fabric = FabricRun::execute(&compiled, chips, LinkConfig::default(), 2);
+        assert_eq!(fabric.batch.batch_size(), serial.batch_size());
+        assert_eq!(
+            fabric.batch.weight_dram_words.to_bits(),
+            serial.weight_dram_words.to_bits(),
+            "threads={threads} pe_threads={pe_threads} chips={chips}"
+        );
+        for (image, (a, b)) in serial.images.iter().zip(&fabric.batch.images).enumerate() {
+            assert_runs_identical(a, b);
+            assert_eq!(
+                a.scnn_energy_rel().to_bits(),
+                b.scnn_energy_rel().to_bits(),
+                "image {image} at threads={threads} pe_threads={pe_threads} chips={chips}"
+            );
+        }
+        // The schedule and link traffic depend on chips but never on the
+        // thread axes: same chip count => identical schedule.
+        schedules.push((chips, fabric.schedule.clone(), fabric.link_words_total().to_bits()));
+    }
+    let two_chip: Vec<_> = schedules.iter().filter(|(c, _, _)| *c == 2).collect();
+    assert!(two_chip.len() >= 2);
+    for pair in two_chip.windows(2) {
+        assert_eq!(pair[0].1, pair[1].1, "schedule must not depend on thread counts");
+        assert_eq!(pair[0].2, pair[1].2, "link words must not depend on thread counts");
+    }
+}
+
+#[test]
+fn serve_tier_with_fabric_devices_is_bit_identical_across_thread_counts() {
+    // A serving simulation over fabric devices folds every axis at once:
+    // engine calibration (thread fan-out), stage partitioning, link
+    // accounting and the virtual-time event loop. Worker threads must
+    // still never change a single reported number.
+    use scnn_serve::engine::Engine;
+    use scnn_serve::sim::{simulate, ServeConfig};
+    use scnn_serve::trace::{generate, DeadlineClass, TenantSpec};
+
+    let (net, profile) = synthetic_network();
+    let tenants = vec![
+        TenantSpec::new("t0", "syn", 40_000, DeadlineClass::Interactive),
+        TenantSpec::new("t1", "syn", 60_000, DeadlineClass::Relaxed),
+    ];
+    let run = |threads: usize, chips: usize| {
+        let config = RunConfig::default().with_threads(threads);
+        let mut engine = Engine::new(config).with_fabric(chips, LinkConfig::default());
+        engine.register("syn", net.clone(), profile.clone(), "test");
+        let trace = generate(&tenants, 1_500_000, 7);
+        simulate(&mut engine, &trace, &ServeConfig::default())
+    };
+    let serial = run(1, 2);
+    assert!(serial.global.requests > 10, "trace should be non-trivial");
+    assert!(serial.global.link_words_per_request > 0.0, "fabric devices ship link traffic");
+    for threads in [2, 4, 7] {
+        let parallel = run(threads, 2);
+        assert_eq!(serial, parallel, "{threads} threads diverged");
+        assert_eq!(serial.digest(), parallel.digest());
+    }
+    // Chip count is a real model input: it must change the report (the
+    // pipeline schedule differs), not silently alias the 1-chip one.
+    let single = run(1, 1);
+    assert_ne!(serial.digest(), single.digest());
+    assert_eq!(single.global.link_words_per_request, 0.0);
 }
 
 #[test]
