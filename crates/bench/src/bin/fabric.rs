@@ -1,23 +1,30 @@
 //! Chip-scaling sweep: shard a zoo network across `C` simulated SCNN
-//! chips (`scnn_fabric`) and report pipeline throughput and link traffic
-//! as `C` grows — the §VII "scale by adding chips" argument, measured.
+//! chips (`scnn_fabric`) and report throughput and link traffic as `C`
+//! grows — the §VII "scale by adding chips" argument, measured. At each
+//! chip count the sweep compares the pipeline-only partition against the
+//! hybrid planner's chosen (pipeline × tensor × replica) composition.
 //!
 //! ```text
-//! cargo run --release --bin fabric              # VGGNet, B=4, C in {1,2,4,8}
-//! cargo run --release --bin fabric -- --quick   # AlexNet, B=2 (CI smoke)
-//! cargo run --release --bin fabric -- 6 alexnet # custom batch / network
+//! cargo run --release --bin fabric                # VGGNet, B=4, C in {1,2,4,8,16}
+//! cargo run --release --bin fabric -- --quick     # AlexNet, B=2 (CI smoke)
+//! cargo run --release --bin fabric -- 6 alexnet   # custom batch / network
+//! cargo run --release --bin fabric -- 4 vggnet 8  # pin one chip count
 //! ```
 //!
-//! The `(layer x image)` grid is executed **once** — per-image simulated
-//! results are partition-independent — and every chip count's schedule
-//! is derived from the same results via `FabricRun::schedule_batch`, so
-//! the sweep costs one batch execution regardless of how many chip
-//! counts it reports.
+//! The chip count also resolves through `SCNN_CHIPS` (explicit argument
+//! wins, then the environment, then the default sweep) — a resolved
+//! count pins the sweep to that single size.
+//!
+//! The `(layer x image)` grid is executed **once** with per-OCG cycle
+//! traces (`TracedBatch`) — per-image simulated results are
+//! plan-independent — and every geometry's schedule is derived from the
+//! same traces via `HybridRun::schedule_batch`, so the sweep costs one
+//! batch execution regardless of how many plans it reports.
 
-use scnn::batch::{BatchRun, CompiledNetwork};
+use scnn::batch::CompiledNetwork;
 use scnn::runner::RunConfig;
 use scnn::scnn_model::zoo;
-use scnn_fabric::{FabricRun, LinkConfig, StagePlan};
+use scnn_fabric::{plan_hybrid, HybridPlan, HybridRun, LinkConfig, StagePlan, TracedBatch};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,7 +35,19 @@ fn main() {
         .map(|b| b.parse().expect("batch must be a positive integer"))
         .unwrap_or(if quick { 2 } else { 4 });
     let name = positional.get(1).map_or(if quick { "alexnet" } else { "vggnet" }, |s| s.as_str());
-    let chip_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let requested_chips: usize = positional
+        .get(2)
+        .map(|c| c.parse().expect("chips must be a positive integer"))
+        .unwrap_or(0);
+    // Explicit argument > SCNN_CHIPS > the default sweep.
+    let pinned = scnn_par::resolve_chips(requested_chips);
+    let sweep: Vec<usize> = if pinned > 1 || requested_chips > 0 {
+        vec![pinned]
+    } else if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    };
 
     let net = zoo::by_name(name).unwrap_or_else(|| panic!("unknown zoo network {name:?}"));
     let config = RunConfig::default();
@@ -40,45 +59,61 @@ fn main() {
     );
 
     let compiled = CompiledNetwork::compile_paper(&net, &config);
-    let base = BatchRun::execute(&compiled, batch);
-    let seq_cycles = base.total_cycles();
+    let traced = TracedBatch::execute(&compiled, batch);
+    let seq_cycles = traced.batch.total_cycles();
 
     println!(
-        "{:>5}  {:>13} {:>13} {:>13} {:>9} {:>13} {:>9}",
-        "chips", "makespan", "fill", "steady/img", "speedup", "link wd/img", "img/Mcyc"
+        "{:>5}  {:>9} {:>12} {:>13} {:>13} {:>13} {:>9} {:>13} {:>9}",
+        "chips",
+        "mode",
+        "geometry",
+        "makespan",
+        "fill",
+        "steady/img",
+        "speedup",
+        "link wd/img",
+        "img/Mcyc"
     );
     let mut prev_steady = u64::MAX;
-    for &chips in chip_counts {
-        let plan = StagePlan::partition(&compiled, chips);
-        let run = FabricRun::schedule_batch(&compiled, plan, link, base.clone());
-        let s = &run.schedule;
-        println!(
-            "{:>5}  {:>13} {:>13} {:>13} {:>8.2}x {:>13.0} {:>9.3}",
-            run.plan.stage_count(),
-            s.makespan_cycles,
-            s.fill_cycles,
-            s.steady_cycles_per_image,
-            run.pipeline_speedup(),
-            run.link_words_per_image(),
-            1e6 / s.steady_cycles_per_image.max(1) as f64,
-        );
-        // The partitioner balances *estimated* costs; on the zoo the
-        // realized bottleneck is monotone too (EXPERIMENTS.md), but a
-        // user network whose densities misrank layers could regress a
-        // step — report it, don't crash the sweep.
-        if s.steady_cycles_per_image > prev_steady {
-            eprintln!(
-                "WARNING: steady-state throughput degraded at {} chips ({} > {prev_steady} \
-                 cycles/img) — estimate-based partition misranked the realized stage costs",
-                run.plan.stage_count(),
+    for &chips in &sweep {
+        let pipeline = HybridPlan::from_pipeline(&StagePlan::partition(&compiled, chips));
+        let planned = plan_hybrid(&compiled, chips, &link, batch);
+        for (mode, plan) in [("pipeline", pipeline), ("planner", planned)] {
+            let run = HybridRun::schedule_batch(&compiled, plan, link, &traced);
+            let s = &run.schedule;
+            println!(
+                "{:>5}  {:>9} {:>12} {:>13} {:>13} {:>13} {:>8.2}x {:>13.0} {:>9.3}",
+                chips,
+                mode,
+                run.plan.geometry(),
+                s.makespan_cycles,
+                s.fill_cycles,
                 s.steady_cycles_per_image,
+                run.speedup(),
+                run.link_words_per_image(),
+                1e6 / s.steady_cycles_per_image.max(1) as f64,
             );
+            // The planner scores *estimated* costs; on the zoo the
+            // realized planner steady state is monotone in the budget
+            // (EXPERIMENTS.md), but a user network whose densities
+            // misrank layers could regress a step — report it, don't
+            // crash the sweep.
+            if mode == "planner" {
+                if s.steady_cycles_per_image > prev_steady {
+                    eprintln!(
+                        "WARNING: planner steady-state throughput degraded at {chips} chips \
+                         ({} > {prev_steady} cycles/img) — estimate-based planning misranked \
+                         the realized costs",
+                        s.steady_cycles_per_image,
+                    );
+                }
+                prev_steady = s.steady_cycles_per_image;
+            }
         }
-        prev_steady = s.steady_cycles_per_image;
     }
     println!(
         "\nsequential single-chip batch: {seq_cycles} cycles ({:.0} cycles/img); per-image \
-         simulated results identical at every chip count (tests/fabric.rs).",
+         simulated results identical at every geometry (tests/fabric.rs).",
         seq_cycles as f64 / batch.max(1) as f64
     );
 }

@@ -20,24 +20,28 @@
 //!     accidentally quadratic loop, a lost workspace reuse), not
 //!     single-digit drift.
 //!   * **simulated** (`cycles_per_img`, `energy_uj_per_img`,
-//!     `dram_words_per_img`, and the fabric row's `makespan_cycles` /
-//!     `steady_cycles_per_img` / `link_words_per_img`): **exact**. These
-//!     are deterministic functions of the seed and configuration — any
+//!     `dram_words_per_img`, the fabric row's `makespan_cycles` /
+//!     `steady_cycles_per_img` / `link_words_per_img`, and the hybrid
+//!     row's `geometry` / schedule / link fields): **exact**. These are
+//!     deterministic functions of the seed and configuration — any
 //!     difference at matching batch size is a semantic change that must
-//!     be reviewed (and the baseline regenerated), never noise.
+//!     be reviewed (and the baseline regenerated), never noise. Gating
+//!     the planner's `geometry` string exactly means a planner decision
+//!     change is surfaced like any other semantic change.
 //!
 //! Reported per network: compile wall, mean execute wall per image
 //! (`s_per_img`), simulated cycles / energy / DRAM per image, and the
 //! process peak-RSS proxy (`VmHWM` from `/proc/self/status`; 0 where
 //! unavailable). The fabric row runs the same compiled network through
-//! `scnn_fabric` and reports the pipeline schedule. `SCNN_THREADS` /
-//! `SCNN_PE_THREADS` affect wall-clock only; simulated results are
-//! thread-count independent.
+//! `scnn_fabric` and reports the pipeline schedule; the hybrid row runs
+//! the hybrid planner's chosen composition under a chip budget.
+//! `SCNN_THREADS` / `SCNN_PE_THREADS` affect wall-clock only; simulated
+//! results are thread-count independent.
 
 use scnn::batch::{BatchRun, CompiledNetwork};
 use scnn::runner::RunConfig;
 use scnn::scnn_model::zoo;
-use scnn_fabric::{FabricRun, LinkConfig};
+use scnn_fabric::{plan_hybrid, FabricRun, HybridRun, LinkConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -60,6 +64,21 @@ struct FabricRow {
     chips: usize,
     batch: usize,
     wall_s: f64,
+    makespan_cycles: u64,
+    steady_cycles_per_img: u64,
+    link_words_per_img: f64,
+}
+
+/// One hybrid-planner configuration's measurements: the planner's chosen
+/// geometry under a chip budget, exact-gated like every simulated field.
+struct HybridRow {
+    name: String,
+    budget: usize,
+    batch: usize,
+    wall_s: f64,
+    geometry: String,
+    chips_used: usize,
+    replicas: usize,
     makespan_cycles: u64,
     steady_cycles_per_img: u64,
     link_words_per_img: f64,
@@ -117,10 +136,31 @@ fn measure_fabric(name: &str, chips: usize, batch: usize) -> FabricRow {
     }
 }
 
-fn render(mode: &str, rows: &[Row], fabric: &[FabricRow]) -> String {
+fn measure_hybrid(name: &str, budget: usize, batch: usize) -> HybridRow {
+    let net = zoo::by_name(name).unwrap_or_else(|| panic!("unknown zoo network {name:?}"));
+    let compiled = CompiledNetwork::compile_paper(&net, &RunConfig::default());
+    let link = LinkConfig::default();
+    let plan = plan_hybrid(&compiled, budget, &link, batch);
+    let t0 = Instant::now();
+    let run = HybridRun::execute(&compiled, plan, link, batch);
+    HybridRow {
+        name: net.name().to_owned(),
+        budget,
+        batch,
+        wall_s: t0.elapsed().as_secs_f64(),
+        geometry: run.plan.geometry(),
+        chips_used: run.plan.chips(),
+        replicas: run.plan.replicas,
+        makespan_cycles: run.schedule.makespan_cycles,
+        steady_cycles_per_img: run.schedule.steady_cycles_per_image,
+        link_words_per_img: run.link_words_per_image(),
+    }
+}
+
+fn render(mode: &str, rows: &[Row], fabric: &[FabricRow], hybrid: &[HybridRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 2,");
+    let _ = writeln!(out, "  \"schema\": 3,");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     out.push_str("  \"networks\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -158,6 +198,28 @@ fn render(mode: &str, rows: &[Row], fabric: &[FabricRow]) -> String {
             f.link_words_per_img
         );
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"hybrid\": [\n");
+    for (i, h) in hybrid.iter().enumerate() {
+        let sep = if i + 1 < hybrid.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"budget\": {}, \"batch\": {}, \"wall_s\": {:.4}, \
+             \"geometry\": \"{}\", \"chips_used\": {}, \"replicas\": {}, \
+             \"makespan_cycles\": {}, \"steady_cycles_per_img\": {}, \
+             \"link_words_per_img\": {:.1}}}{sep}",
+            h.name,
+            h.budget,
+            h.batch,
+            h.wall_s,
+            h.geometry,
+            h.chips_used,
+            h.replicas,
+            h.makespan_cycles,
+            h.steady_cycles_per_img,
+            h.link_words_per_img
+        );
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -172,8 +234,13 @@ fn field_f64(line: &str, field: &str) -> Option<f64> {
 }
 
 fn field_name(line: &str) -> Option<String> {
-    let key = "\"name\": \"";
-    let start = line.find(key)? + key.len();
+    field_str(line, "name")
+}
+
+/// Extracts `"field": "<string>"` from a one-entry-per-line JSON report.
+fn field_str(line: &str, field: &str) -> Option<String> {
+    let key = format!("\"{field}\": \"");
+    let start = line.find(&key)? + key.len();
     let rest = &line[start..];
     Some(rest[..rest.find('"')?].to_owned())
 }
@@ -185,6 +252,7 @@ fn check_regressions(
     baseline: &str,
     rows: &[Row],
     fabric: &[FabricRow],
+    hybrid: &[HybridRow],
     tolerance: f64,
 ) -> Vec<String> {
     let mut failures = Vec::new();
@@ -213,6 +281,54 @@ fn check_regressions(
     };
     for line in baseline.lines() {
         let Some(name) = field_name(line) else { continue };
+        if line.contains("\"budget\"") {
+            // Hybrid row: match on (name, budget, batch); the planner's
+            // geometry string and every simulated field gate exactly.
+            let (Some(budget), Some(batch)) = (field_f64(line, "budget"), field_f64(line, "batch"))
+            else {
+                continue;
+            };
+            let Some(h) = hybrid
+                .iter()
+                .find(|h| h.name == name && h.budget as f64 == budget && h.batch as f64 == batch)
+            else {
+                continue;
+            };
+            if let Some(old_geo) = field_str(line, "geometry") {
+                let verdict = if old_geo == h.geometry { "ok" } else { "DIVERGED" };
+                println!(
+                    "check {name} geometry: baseline {old_geo} -> now {} (exact) {verdict}",
+                    h.geometry
+                );
+                if old_geo != h.geometry {
+                    failures.push(format!(
+                        "{name}: planner geometry {old_geo} -> {} (a planner decision change \
+                         is semantic and needs a baseline refresh)",
+                        h.geometry
+                    ));
+                }
+            }
+            for (field, old, new) in [
+                ("chips_used", field_f64(line, "chips_used"), h.chips_used as f64),
+                ("replicas", field_f64(line, "replicas"), h.replicas as f64),
+                ("makespan_cycles", field_f64(line, "makespan_cycles"), h.makespan_cycles as f64),
+                (
+                    "steady_cycles_per_img",
+                    field_f64(line, "steady_cycles_per_img"),
+                    h.steady_cycles_per_img as f64,
+                ),
+                (
+                    "link_words_per_img",
+                    field_f64(line, "link_words_per_img"),
+                    round1(h.link_words_per_img),
+                ),
+            ] {
+                if let Some(old) = old {
+                    exact(&name, field, old, new, &mut failures);
+                }
+            }
+            continue;
+        }
         if line.contains("\"chips\"") {
             // Fabric row: match on (name, chips, batch), all simulated
             // fields exact.
@@ -297,6 +413,10 @@ fn main() {
     let plan: &[(&str, usize)] =
         if quick { &[("alexnet", 4)] } else { &[("alexnet", 4), ("googlenet", 4), ("vggnet", 4)] };
     let fabric_plan: &[(&str, usize, usize)] = &[("alexnet", 2, 4)];
+    // (network, chip budget, batch) for the hybrid-planner rows; quick
+    // mode measures the AlexNet point so its exact gates apply in CI.
+    let hybrid_plan: &[(&str, usize, usize)] =
+        if quick { &[("alexnet", 4, 4)] } else { &[("alexnet", 4, 4), ("vggnet", 8, 4)] };
 
     let mut rows = Vec::new();
     for &(name, batch) in plan {
@@ -327,9 +447,27 @@ fn main() {
         );
         fabric.push(f);
     }
+    let mut hybrid = Vec::new();
+    for &(name, budget, batch) in hybrid_plan {
+        let h = measure_hybrid(name, budget, batch);
+        println!(
+            "{} hybrid budget={}: plan {} ({} chips, {} replica(s)), {} makespan cycles (B={}), \
+             {} steady cycles/img, {:.0} link words/img",
+            h.name,
+            h.budget,
+            h.geometry,
+            h.chips_used,
+            h.replicas,
+            h.makespan_cycles,
+            h.batch,
+            h.steady_cycles_per_img,
+            h.link_words_per_img
+        );
+        hybrid.push(h);
+    }
 
     let mode = if quick { "quick" } else { "full" };
-    let report = render(mode, &rows, &fabric);
+    let report = render(mode, &rows, &fabric, &hybrid);
     std::fs::write(&out_path, &report).expect("write report");
     println!("wrote {out_path}");
 
@@ -338,7 +476,7 @@ fn main() {
             eprintln!("--check requested but no baseline at {baseline_path}");
             std::process::exit(2);
         };
-        let failures = check_regressions(&baseline, &rows, &fabric, 0.20);
+        let failures = check_regressions(&baseline, &rows, &fabric, &hybrid, 0.20);
         if !failures.is_empty() {
             eprintln!("perf regression vs {baseline_path}:");
             for f in &failures {
@@ -379,48 +517,74 @@ mod tests {
         }
     }
 
+    fn hybrid_row() -> HybridRow {
+        HybridRow {
+            name: "AlexNet".into(),
+            budget: 4,
+            batch: 4,
+            wall_s: 2.0,
+            geometry: "2x[2]".into(),
+            chips_used: 4,
+            replicas: 2,
+            makespan_cycles: 500_000,
+            steady_cycles_per_img: 100_000,
+            link_words_per_img: 6_789.0,
+        }
+    }
+
     #[test]
     fn json_fields_roundtrip_through_the_line_parser() {
-        let report = render("full", &[row()], &[fabric_row()]);
+        let report = render("full", &[row()], &[fabric_row()], &[hybrid_row()]);
         let line = report.lines().find(|l| l.contains("\"cycles_per_img\"")).unwrap();
         assert_eq!(field_name(line).as_deref(), Some("AlexNet"));
         assert_eq!(field_f64(line, "s_per_img"), Some(1.0));
         assert_eq!(field_f64(line, "peak_rss_kb"), Some(51234.0));
-        let fline = report.lines().find(|l| l.contains("\"chips\"")).unwrap();
+        let fline = report.lines().find(|l| l.contains("\"chips\":")).unwrap();
         assert_eq!(field_f64(fline, "chips"), Some(2.0));
         assert_eq!(field_f64(fline, "makespan_cycles"), Some(1_000_000.0));
         assert_eq!(field_f64(fline, "link_words_per_img"), Some(12_345.6));
+        let hline = report.lines().find(|l| l.contains("\"budget\"")).unwrap();
+        assert_eq!(field_str(hline, "geometry").as_deref(), Some("2x[2]"));
+        assert_eq!(field_f64(hline, "budget"), Some(4.0));
+        assert_eq!(field_f64(hline, "chips_used"), Some(4.0));
+        assert_eq!(field_f64(hline, "steady_cycles_per_img"), Some(100_000.0));
     }
 
     #[test]
     fn wall_clock_gates_at_tolerance_only() {
         let fine = "{\"name\": \"AlexNet\", \"batch\": 4, \"s_per_img\": 0.9}";
-        assert!(check_regressions(fine, &[row()], &[], 0.20).is_empty(), "1.11x is within 1.2x");
+        assert!(
+            check_regressions(fine, &[row()], &[], &[], 0.20).is_empty(),
+            "1.11x is within 1.2x"
+        );
         let bad = "{\"name\": \"AlexNet\", \"batch\": 4, \"s_per_img\": 0.5}";
-        assert_eq!(check_regressions(bad, &[row()], &[], 0.20).len(), 1, "2x must trip");
+        assert_eq!(check_regressions(bad, &[row()], &[], &[], 0.20).len(), 1, "2x must trip");
         let slow_compile = "{\"name\": \"AlexNet\", \"batch\": 4, \"compile_s\": 0.01}";
         assert_eq!(
-            check_regressions(slow_compile, &[row()], &[], 0.20).len(),
+            check_regressions(slow_compile, &[row()], &[], &[], 0.20).len(),
             1,
             "compile_s is gated too"
         );
         let unknown = "{\"name\": \"ResNet\", \"s_per_img\": 0.1}";
-        assert!(check_regressions(unknown, &[row()], &[], 0.20).is_empty(), "unmeasured skipped");
+        assert!(
+            check_regressions(unknown, &[row()], &[], &[], 0.20).is_empty(),
+            "unmeasured skipped"
+        );
     }
 
     #[test]
     fn simulated_fields_gate_exactly_at_matching_batch() {
         let same = "{\"name\": \"AlexNet\", \"batch\": 4, \"cycles_per_img\": 373070.0, \
                     \"energy_uj_per_img\": 183.752, \"dram_words_per_img\": 463757.2}";
-        assert!(check_regressions(same, &[row()], &[], 0.20).is_empty());
+        assert!(check_regressions(same, &[row()], &[], &[], 0.20).is_empty());
         // One cycle off is a failure — even though it is far inside any
         // wall-clock tolerance.
         let off = "{\"name\": \"AlexNet\", \"batch\": 4, \"cycles_per_img\": 373070.1}";
-        assert_eq!(check_regressions(off, &[row()], &[], 0.20).len(), 1);
+        assert_eq!(check_regressions(off, &[row()], &[], &[], 0.20).len(), 1);
         // A different batch size makes per-image means incomparable: the
         // exact gates must skip, not fire.
         let other_batch = "{\"name\": \"AlexNet\", \"batch\": 2, \"cycles_per_img\": 999.0}";
-        assert!(check_regressions(other_batch, &[row()], &[], 0.20).is_empty());
+        assert!(check_regressions(other_batch, &[row()], &[], &[], 0.20).is_empty());
     }
 
     #[test]
@@ -428,14 +592,38 @@ mod tests {
         let same = "{\"name\": \"AlexNet\", \"chips\": 2, \"batch\": 4, \
                     \"makespan_cycles\": 1000000, \"steady_cycles_per_img\": 200000, \
                     \"link_words_per_img\": 12345.6}";
-        assert!(check_regressions(same, &[], &[fabric_row()], 0.20).is_empty());
+        assert!(check_regressions(same, &[], &[fabric_row()], &[], 0.20).is_empty());
         let off = "{\"name\": \"AlexNet\", \"chips\": 2, \"batch\": 4, \
                    \"makespan_cycles\": 1000001}";
-        assert_eq!(check_regressions(off, &[], &[fabric_row()], 0.20).len(), 1);
+        assert_eq!(check_regressions(off, &[], &[fabric_row()], &[], 0.20).len(), 1);
         // A different chip count is a different configuration, not a
         // regression.
         let other_chips = "{\"name\": \"AlexNet\", \"chips\": 4, \"batch\": 4, \
                            \"makespan_cycles\": 1.0}";
-        assert!(check_regressions(other_chips, &[], &[fabric_row()], 0.20).is_empty());
+        assert!(check_regressions(other_chips, &[], &[fabric_row()], &[], 0.20).is_empty());
+    }
+
+    #[test]
+    fn hybrid_rows_gate_geometry_and_schedule_exactly() {
+        let same = "{\"name\": \"AlexNet\", \"budget\": 4, \"batch\": 4, \
+                    \"geometry\": \"2x[2]\", \"chips_used\": 4, \"replicas\": 2, \
+                    \"makespan_cycles\": 500000, \"steady_cycles_per_img\": 100000, \
+                    \"link_words_per_img\": 6789.0}";
+        assert!(check_regressions(same, &[], &[], &[hybrid_row()], 0.20).is_empty());
+        // A planner decision change — same budget, different chosen
+        // geometry — is a semantic divergence, not noise.
+        let regeo = "{\"name\": \"AlexNet\", \"budget\": 4, \"batch\": 4, \
+                     \"geometry\": \"4x[1]\", \"chips_used\": 4, \"replicas\": 4}";
+        let failures = check_regressions(regeo, &[], &[], &[hybrid_row()], 0.20);
+        assert_eq!(failures.len(), 2, "geometry and replicas both diverge: {failures:?}");
+        assert!(failures[0].contains("planner geometry"), "geometry names the gate: {failures:?}");
+        // A single off-by-one simulated cycle trips the exact gate.
+        let off = "{\"name\": \"AlexNet\", \"budget\": 4, \"batch\": 4, \
+                   \"geometry\": \"2x[2]\", \"steady_cycles_per_img\": 100001}";
+        assert_eq!(check_regressions(off, &[], &[], &[hybrid_row()], 0.20).len(), 1);
+        // A different chip budget is a different configuration — skipped.
+        let other_budget = "{\"name\": \"AlexNet\", \"budget\": 8, \"batch\": 4, \
+                            \"geometry\": \"8x[1]\", \"makespan_cycles\": 1.0}";
+        assert!(check_regressions(other_budget, &[], &[], &[hybrid_row()], 0.20).is_empty());
     }
 }

@@ -134,6 +134,22 @@ impl CompiledNetwork {
         image: usize,
         ws: &mut SimWorkspace,
     ) -> LayerRun {
+        self.execute_cell_sliced(machines, slot, image, ws, None, None)
+    }
+
+    /// As [`CompiledNetwork::execute_cell`], but optionally executing the
+    /// layer as contiguous output-channel-group slices (`None` = one full
+    /// slice) and optionally collecting the per-OCG cycle trace. Results
+    /// are bit-identical to the unsliced cell for any valid slicing.
+    fn execute_cell_sliced(
+        &self,
+        machines: &Machines,
+        slot: usize,
+        image: usize,
+        ws: &mut SimWorkspace,
+        slices: Option<&[std::ops::Range<usize>]>,
+        trace: Option<&mut Vec<u64>>,
+    ) -> LayerRun {
         let cl = &self.layers[slot];
         let shape = cl.compiled.shape();
         let input = synth_layer_input(
@@ -151,7 +167,10 @@ impl CompiledNetwork {
         // The output tensor stays in the workspace: measured for the
         // dense baselines' operand profile, then recycled (the run stays
         // lightweight without ever allocating an output copy).
-        let s = machines.scnn.execute_layer_with(&cl.compiled, &input, &opts, ws);
+        let full = 0..cl.compiled.ocg_count();
+        let slices = slices.unwrap_or(std::slice::from_ref(&full));
+        let s =
+            machines.scnn.execute_layer_sliced_with(&cl.compiled, &input, &opts, ws, slices, trace);
         let operand = OperandProfile::measure(&input, cl.weight_density, Some(ws.output()));
         let p = machines.dcnn.run_layer(shape, &operand, opts.input_from_dram);
         let o = machines.dcnn_opt.run_layer(shape, &operand, opts.input_from_dram);
@@ -215,6 +234,51 @@ impl CompiledNetwork {
         assert!(slots.end <= self.layers.len(), "slot range exceeds compiled layers");
         let machines = Machines::new(&self.config);
         slots.map(|slot| self.execute_cell(&machines, slot, image, ws)).collect()
+    }
+
+    /// As [`CompiledNetwork::run_slots_with`], but each slot executes as
+    /// the given contiguous output-channel-group slices (one per
+    /// tensor-parallel chip; `slices[i]` belongs to slot
+    /// `slots.start + i`) and returns, alongside each [`LayerRun`], the
+    /// layer's per-OCG cycle trace — the exact integers a hybrid fabric
+    /// plan re-times chip shares from. An empty slice list for a slot
+    /// means "one full slice" (width-1 stage).
+    ///
+    /// Bit-identical to [`CompiledNetwork::run_slots_with`] on every
+    /// simulated quantity for any valid slicing (`scnn_sim`'s
+    /// OCG-slice merge argument; `DESIGN.md` §8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds [`CompiledNetwork::layers`], if
+    /// `slices` is not one entry per slot, or if a slot's slices do not
+    /// cover its OCGs contiguously.
+    #[must_use]
+    pub fn run_slots_sliced_with(
+        &self,
+        slots: std::ops::Range<usize>,
+        image: usize,
+        slices: &[Vec<std::ops::Range<usize>>],
+        ws: &mut SimWorkspace,
+    ) -> Vec<(LayerRun, Vec<u64>)> {
+        assert!(slots.end <= self.layers.len(), "slot range exceeds compiled layers");
+        assert_eq!(slices.len(), slots.len(), "one slice list per slot");
+        let machines = Machines::new(&self.config);
+        slots
+            .zip(slices)
+            .map(|(slot, sl)| {
+                let mut trace = Vec::new();
+                let run = self.execute_cell_sliced(
+                    &machines,
+                    slot,
+                    image,
+                    ws,
+                    if sl.is_empty() { None } else { Some(sl) },
+                    Some(&mut trace),
+                );
+                (run, trace)
+            })
+            .collect()
     }
 
     /// As [`CompiledNetwork::run_image`], but serial and against a

@@ -253,18 +253,7 @@ impl NetworkRun {
         self.utilization_over(self.config.scnn.total_multipliers() as u64)
     }
 
-    /// Network-level utilization over a caller-supplied multiplier count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `scnn_utilization()`; a caller-supplied multiplier count can disagree \
-                with the configuration the run executed with"
-    )]
-    #[must_use]
-    pub fn scnn_utilization_with(&self, total_multipliers: u64) -> f64 {
-        self.utilization_over(total_multipliers)
-    }
-
-    /// Shared utilization arithmetic behind the public accessors.
+    /// Shared utilization arithmetic behind the public accessor.
     fn utilization_over(&self, total_multipliers: u64) -> f64 {
         let products: u64 = self.layers.iter().map(|l| l.scnn.stats.products).sum();
         let cycles: u64 = self.layers.iter().map(|l| l.scnn.cycles).sum();
@@ -358,18 +347,31 @@ mod tests {
     fn utilization_derives_from_the_run_config() {
         let (net, profile) = tiny_network();
         let run = NetworkRun::execute(&net, &profile, &RunConfig::default());
-        // The argument form, fed the configured multiplier count, must
-        // agree with the derived form exactly.
+        // Utilization must come from the multiplier count of the
+        // configuration the run actually executed with — recompute it
+        // from first principles and demand bit equality.
         let mults = run.config.scnn.total_multipliers() as u64;
         assert_eq!(mults, 1024);
-        #[allow(deprecated)]
-        let explicit = run.scnn_utilization_with(mults);
-        assert_eq!(run.scnn_utilization().to_bits(), explicit.to_bits());
-        // A disagreeing caller-supplied count is exactly the bug the
-        // derived form closes: it scales the answer, silently.
-        #[allow(deprecated)]
-        let wrong = run.scnn_utilization_with(2 * mults);
-        assert!((wrong - run.scnn_utilization() / 2.0).abs() < 1e-12);
+        let products: u64 = run.layers.iter().map(|l| l.scnn.stats.products).sum();
+        let cycles: u64 = run.layers.iter().map(|l| l.scnn.cycles).sum();
+        let expected = products as f64 / (mults * cycles) as f64;
+        assert_eq!(run.scnn_utilization().to_bits(), expected.to_bits());
+        // And it must track a geometry change rather than a hard-coded
+        // 1024 (`with_pe_grid` is the iso-multiplier sweep, so shrink
+        // the grid directly): half the PE rows, half the multipliers.
+        let small = RunConfig {
+            scnn: scnn_arch::ScnnConfig { pe_rows: 4, ..scnn_arch::ScnnConfig::default() },
+            ..RunConfig::default()
+        };
+        let small_run = NetworkRun::execute(&net, &profile, &small);
+        let small_mults = small.scnn.total_multipliers() as u64;
+        assert!(small_mults < mults);
+        let p: u64 = small_run.layers.iter().map(|l| l.scnn.stats.products).sum();
+        let c: u64 = small_run.layers.iter().map(|l| l.scnn.cycles).sum();
+        assert_eq!(
+            small_run.scnn_utilization().to_bits(),
+            (p as f64 / (small_mults * c) as f64).to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! Hybrid parallelism: compose **pipeline depth** × per-stage **tensor
+//! width** × data-parallel **replicas** across the fabric.
+//!
+//! A [`HybridPlan`] generalizes the layer-pipeline [`StagePlan`] along
+//! two axes:
+//!
+//! * **tensor width** — a stage of width `W > 1` splits every layer it
+//!   owns across `W` chips by contiguous *output-channel-group* slices
+//!   ([`HybridPlan::ocg_slices`], balanced by per-OCG weight non-zeros).
+//!   Each chip computes a disjoint output-channel slab, so the merged
+//!   results are bit-identical to a single chip
+//!   (`scnn_sim::ScnnMachine::execute_layer_sliced_with`); the link
+//!   model charges a ring all-gather between consecutive layers inside
+//!   the stage and before the stage's exit boundary (the `W` chips hold
+//!   shards, the consumer needs the full tensor; `W` links run in
+//!   parallel, so the critical path is `words x (W-1)/W` while the wire
+//!   traffic totals `words x (W-1)`). Ingress is a multicast from the
+//!   boundary link and charged once — the deliberate asymmetry mirrors
+//!   the DRAM multicast of §III-A.
+//! * **replicas** — `R` copies of the whole stage pipeline behind one
+//!   logical device; image `b` dispatches to replica `b mod R`
+//!   (round-robin), each replica runs its own pipeline recurrence, and
+//!   steady-state throughput divides by the replica count.
+//!
+//! Timing never re-simulates: every layer execution emits its per-OCG
+//! cycle trace (exact integers), so any slice's cycles are a sub-sum of
+//! the trace and a whole chip-scaling sweep re-times one
+//! [`TracedBatch`] under every candidate plan ([`HybridRun::schedule_batch`]),
+//! exactly like the pipeline-only `FabricRun::schedule_batch`.
+
+use crate::link::LinkConfig;
+use crate::partition::StagePlan;
+use crate::pipeline::{boundary_words, BoundaryTraffic, PipelineSchedule};
+use scnn::batch::{BatchRun, CompiledNetwork};
+use scnn::runner::NetworkRun;
+use scnn_sim::{CompiledLayer, SimWorkspace};
+use std::ops::Range;
+
+/// One hybrid stage: a contiguous range of layer slots executed by
+/// `width` tensor-parallel chips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridStage {
+    /// The slots (indices into `CompiledNetwork::layers`) this stage
+    /// executes, in layer order.
+    pub slots: Range<usize>,
+    /// Tensor-parallel chips splitting each layer's OCGs (>= 1).
+    pub width: usize,
+    /// The planner's bottleneck-cost estimate for this stage (compute of
+    /// the widest chip slice plus intra-stage gather terms).
+    pub est_cycles: f64,
+}
+
+/// A hybrid parallelism plan: `replicas` copies of a pipeline whose
+/// stages each own `width` tensor-parallel chips.
+///
+/// Total chips = `replicas x sum(width)`. A width-1, replica-1 plan is
+/// exactly the layer pipeline of [`StagePlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridPlan {
+    /// Data-parallel copies of the stage pipeline (>= 1).
+    pub replicas: usize,
+    /// The stages, in pipeline order; contiguous cover of the layers.
+    pub stages: Vec<HybridStage>,
+}
+
+impl HybridPlan {
+    /// Wraps a pipeline-only [`StagePlan`] as a hybrid plan (width 1
+    /// everywhere, one replica) — the degenerate point of the space.
+    #[must_use]
+    pub fn from_pipeline(plan: &StagePlan) -> Self {
+        Self {
+            replicas: 1,
+            stages: plan
+                .stages
+                .iter()
+                .map(|s| HybridStage { slots: s.slots.clone(), width: 1, est_cycles: s.est_cycles })
+                .collect(),
+        }
+    }
+
+    /// Number of pipeline stages.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total chips the plan occupies: `replicas x sum of stage widths`.
+    #[must_use]
+    pub fn chips(&self) -> usize {
+        self.replicas * self.stages.iter().map(|s| s.width).sum::<usize>()
+    }
+
+    /// The widest stage's tensor width (1 for an empty plan).
+    #[must_use]
+    pub fn max_width(&self) -> usize {
+        self.stages.iter().map(|s| s.width).max().unwrap_or(1)
+    }
+
+    /// Whether this plan covers `slots` layer slots exactly once,
+    /// contiguously, with every width and the replica count positive.
+    /// Executors assert this before trusting a caller-built plan.
+    #[must_use]
+    pub fn covers(&self, slots: usize) -> bool {
+        if self.replicas == 0 {
+            return false;
+        }
+        let mut next = 0;
+        for stage in &self.stages {
+            if stage.slots.start != next || stage.slots.is_empty() || stage.width == 0 {
+                return false;
+            }
+            next = stage.slots.end;
+        }
+        next == slots
+    }
+
+    /// A compact, stable rendering of the plan's geometry:
+    /// `"<replicas>x[w0+w1+...]"` — e.g. `"2x[4+1+1]"` for two replicas
+    /// of a three-stage pipeline with a width-4 head stage. Used by the
+    /// perf gate to exact-compare planner decisions across runs.
+    #[must_use]
+    pub fn geometry(&self) -> String {
+        let widths: Vec<String> = self.stages.iter().map(|s| s.width.to_string()).collect();
+        format!("{}x[{}]", self.replicas, widths.join("+"))
+    }
+
+    /// Splits one compiled layer's flattened OCG index space into at
+    /// most `width` contiguous slices balanced by per-OCG weight
+    /// non-zeros ([`CompiledLayer::ocg_weight_nnz`]) — each slice is one
+    /// tensor-parallel chip's share. Fewer than `width` slices come back
+    /// when the layer has fewer OCGs than chips (the excess chips idle
+    /// for that layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn ocg_slices(layer: &CompiledLayer, width: usize) -> Vec<Range<usize>> {
+        let costs: Vec<f64> = layer.ocg_weight_nnz().iter().map(|&n| n as f64).collect();
+        StagePlan::balance(&costs, width).stages.into_iter().map(|s| s.slots).collect()
+    }
+
+    /// Per-slot OCG slices under this plan: slot `s` gets its owning
+    /// stage's width. Length equals the compiled layer count.
+    #[must_use]
+    pub fn slot_slices(&self, compiled: &CompiledNetwork) -> Vec<Vec<Range<usize>>> {
+        let mut out = vec![Vec::new(); compiled.layers.len()];
+        for stage in &self.stages {
+            for slot in stage.slots.clone() {
+                out[slot] = Self::ocg_slices(&compiled.layers[slot].compiled, stage.width);
+            }
+        }
+        out
+    }
+
+    /// The layer slots whose compressed input size the link model needs:
+    /// every stage entry boundary (slots starting stage 1..) plus the
+    /// interior slots of width > 1 stages (intra-stage all-gathers) —
+    /// a stage's exit gather reuses the next stage's entry slot.
+    #[must_use]
+    pub fn traffic_slots(&self) -> Vec<usize> {
+        let mut slots = Vec::new();
+        for (k, stage) in self.stages.iter().enumerate() {
+            if k > 0 {
+                slots.push(stage.slots.start);
+            }
+            if stage.width > 1 {
+                slots.extend(stage.slots.start + 1..stage.slots.end);
+            }
+        }
+        slots.sort_unstable();
+        slots.dedup();
+        slots
+    }
+}
+
+/// One image's per-stage timing under a hybrid plan, derived purely from
+/// per-OCG cycle traces and per-slot compressed input word counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Per-stage occupancy: the slowest chip slice's compute plus the
+    /// stage's gather cycles (intra-stage and pre-boundary exit).
+    pub stage_cycles: Vec<u64>,
+    /// Per-stage inbound link cycles (stage 0 reads DRAM: zero).
+    pub link_in_cycles: Vec<u64>,
+    /// Words shipped across each stage-boundary link (`stages - 1`
+    /// entries), the full gathered tensor per boundary.
+    pub boundary_ship_words: Vec<f64>,
+    /// Total intra-stage + exit all-gather wire words.
+    pub gather_words: f64,
+}
+
+/// Times one image under `plan` from its per-slot OCG traces.
+///
+/// `slot_slices` must match the plan (see [`HybridPlan::slot_slices`]),
+/// `traces[slot]` holds the layer's per-OCG barrier cycles, and
+/// `input_words[slot]` the compressed input words of layer `slot`
+/// (only the plan's [`HybridPlan::traffic_slots`] are read).
+///
+/// A stage's occupancy is the *maximum* over its chips of the chip's
+/// summed slice cycles across the stage's layers (chips within a stage
+/// run in lockstep layer by layer), plus the gather terms described in
+/// the module docs. The last stage skips the exit gather: its shards
+/// write their disjoint output slabs to DRAM directly.
+#[must_use]
+pub fn stage_timing(
+    plan: &HybridPlan,
+    link: &LinkConfig,
+    slot_slices: &[Vec<Range<usize>>],
+    traces: &[Vec<u64>],
+    input_words: &[f64],
+) -> StageTiming {
+    let stages = plan.stages.len();
+    let mut stage_cycles = Vec::with_capacity(stages);
+    let mut link_in_cycles = Vec::with_capacity(stages);
+    let mut boundary_ship_words = Vec::with_capacity(stages.saturating_sub(1));
+    let mut gather_words = 0.0f64;
+
+    for (k, stage) in plan.stages.iter().enumerate() {
+        let w = stage.width;
+        // Compute: the slowest chip's summed slice cycles.
+        let compute = (0..w)
+            .map(|chip| {
+                stage
+                    .slots
+                    .clone()
+                    .map(|slot| {
+                        slot_slices[slot]
+                            .get(chip)
+                            .map_or(0u64, |r| traces[slot][r.clone()].iter().sum())
+                    })
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0);
+        let mut cycles = compute;
+        if w > 1 {
+            let frac = (w - 1) as f64 / w as f64;
+            // Intra-stage all-gathers: each interior layer consumes the
+            // previous layer's sharded output.
+            for &words in &input_words[stage.slots.start + 1..stage.slots.end] {
+                cycles += link.transfer_cycles(words * frac);
+                gather_words += words * (w - 1) as f64;
+            }
+            // Exit gather before the boundary ship (not on the last
+            // stage — shards write DRAM directly).
+            if k + 1 < stages {
+                let exit = input_words[plan.stages[k + 1].slots.start];
+                cycles += link.transfer_cycles(exit * frac);
+                gather_words += exit * frac;
+            }
+        }
+        stage_cycles.push(cycles);
+        if k == 0 {
+            link_in_cycles.push(0);
+        } else {
+            let wds = input_words[stage.slots.start];
+            link_in_cycles.push(link.transfer_cycles(wds));
+            boundary_ship_words.push(wds);
+        }
+    }
+    StageTiming { stage_cycles, link_in_cycles, boundary_ship_words, gather_words }
+}
+
+/// The virtual-time schedule of a hybrid execution: one pipeline
+/// recurrence per replica over its round-robin share of the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridSchedule {
+    /// Per-replica pipeline schedules (replica `j` runs images
+    /// `b` with `b % replicas == j`, in image order).
+    pub replicas: Vec<PipelineSchedule>,
+    /// Cycle the last image leaves its replica's last stage.
+    pub makespan_cycles: u64,
+    /// Cycle image 0 leaves replica 0's last stage (single-image
+    /// latency through one replica's pipeline).
+    pub fill_cycles: u64,
+    /// Steady-state cycles per image across the whole device: the
+    /// busiest stage-or-link occupancy of any replica divided by the
+    /// *total* batch size (rounded up) — replication divides the bound.
+    pub steady_cycles_per_image: u64,
+}
+
+/// A batch traced once for plan-independent re-timing: the single-chip
+/// results, every layer's per-OCG cycle trace, and every layer's
+/// compressed input words — everything any [`HybridPlan`]'s schedule
+/// needs.
+#[derive(Debug, Clone)]
+pub struct TracedBatch {
+    /// The per-image results (bit-identical to [`BatchRun::execute`]).
+    pub batch: BatchRun,
+    /// `traces[image][slot]` = that layer execution's per-OCG cycles.
+    pub traces: Vec<Vec<Vec<u64>>>,
+    /// `input_words[image][slot]` = compressed input words of layer
+    /// `slot` (entry 0 unused: stage 0 reads DRAM).
+    pub input_words: Vec<Vec<f64>>,
+}
+
+impl TracedBatch {
+    /// Executes `batch` images on one logical chip while collecting
+    /// per-OCG traces and boundary word counts, fanning the
+    /// `(image x slot)` cells across `RunConfig::threads` workers.
+    /// The results are bit-identical to [`BatchRun::execute`].
+    #[must_use]
+    pub fn execute(compiled: &CompiledNetwork, batch: usize) -> Self {
+        let slots = compiled.layers.len();
+        let cells: Vec<(usize, usize)> =
+            (0..batch).flat_map(|b| (0..slots).map(move |s| (b, s))).collect();
+        let results = scnn_par::par_map_with(
+            &cells,
+            compiled.config.threads,
+            SimWorkspace::new,
+            |ws, _, &(image, slot)| {
+                let mut v =
+                    compiled.run_slots_sliced_with(slot..slot + 1, image, &[Vec::new()], ws);
+                v.pop().expect("one slot executed")
+            },
+        );
+        let mut iter = results.into_iter();
+        let mut images = Vec::with_capacity(batch);
+        let mut traces = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let (layers, layer_traces): (Vec<_>, Vec<_>) =
+                (0..slots).map(|_| iter.next().expect("cell per slot")).unzip();
+            images.push(NetworkRun {
+                network: compiled.network.clone(),
+                profile: compiled.profile.clone(),
+                config: compiled.config.clone(),
+                layers,
+            });
+            traces.push(layer_traces);
+        }
+
+        // Compressed input words of every non-first layer, for any
+        // plan's boundary and gather terms.
+        let word_cells: Vec<(usize, usize)> =
+            (0..batch).flat_map(|b| (1..slots).map(move |s| (b, s))).collect();
+        let words_flat = scnn_par::par_map(&word_cells, compiled.config.threads, |&(b, s)| {
+            boundary_words(compiled, s, b)
+        });
+        let per_image = slots.saturating_sub(1);
+        let input_words = (0..batch)
+            .map(|b| {
+                let mut row = vec![0.0; slots];
+                row[1..].copy_from_slice(&words_flat[b * per_image..(b + 1) * per_image]);
+                row
+            })
+            .collect();
+
+        let batch_run = BatchRun {
+            weight_dram_words: if batch == 0 { 0.0 } else { compiled.weight_dram_words() },
+            images,
+        };
+        Self { batch: batch_run, traces, input_words }
+    }
+}
+
+/// A batch executed (or re-timed) under a hybrid plan: per-image results
+/// bit-identical to a single chip, plus the plan's link traffic and the
+/// replica-aware schedule.
+#[derive(Debug, Clone)]
+pub struct HybridRun {
+    /// The hybrid plan.
+    pub plan: HybridPlan,
+    /// The inter-chip link model used.
+    pub link: LinkConfig,
+    /// The per-image results (single-chip bit-identical).
+    pub batch: BatchRun,
+    /// Per-boundary shipped words (the gathered tensor), per image.
+    pub boundaries: Vec<BoundaryTraffic>,
+    /// Per-image intra-stage + exit all-gather wire words.
+    pub gather_words: Vec<f64>,
+    /// The replica-aware schedule.
+    pub schedule: HybridSchedule,
+}
+
+impl HybridRun {
+    /// Executes `batch` images under `plan`: each `(image, stage)` unit
+    /// runs its slot range with the stage's OCG slices against a worker
+    /// workspace, collecting traces; the schedule then follows from the
+    /// traces. The sliced execution path is exercised end to end, and
+    /// every simulated number is bit-identical to a single chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not cover the compiled layers.
+    #[must_use]
+    pub fn execute(
+        compiled: &CompiledNetwork,
+        plan: HybridPlan,
+        link: LinkConfig,
+        batch: usize,
+    ) -> Self {
+        let slots = compiled.layers.len();
+        assert!(plan.covers(slots), "plan does not cover the compiled layers exactly once");
+        let stages = plan.stage_count();
+        let slot_slices = plan.slot_slices(compiled);
+
+        let units: Vec<(usize, usize)> =
+            (0..batch).flat_map(|b| (0..stages).map(move |s| (b, s))).collect();
+        let stage_results = scnn_par::par_map_with(
+            &units,
+            compiled.config.threads,
+            SimWorkspace::new,
+            |ws, _, &(image, stage)| {
+                let range = plan.stages[stage].slots.clone();
+                compiled.run_slots_sliced_with(range.clone(), image, &slot_slices[range], ws)
+            },
+        );
+
+        let mut iter = stage_results.into_iter();
+        let mut images = Vec::with_capacity(batch);
+        let mut traces = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let mut layers = Vec::with_capacity(slots);
+            let mut layer_traces = Vec::with_capacity(slots);
+            for _ in 0..stages {
+                for (run, trace) in iter.next().expect("unit per stage") {
+                    layers.push(run);
+                    layer_traces.push(trace);
+                }
+            }
+            images.push(NetworkRun {
+                network: compiled.network.clone(),
+                profile: compiled.profile.clone(),
+                config: compiled.config.clone(),
+                layers,
+            });
+            traces.push(layer_traces);
+        }
+        let batch_run = BatchRun {
+            weight_dram_words: if batch == 0 { 0.0 } else { compiled.weight_dram_words() },
+            images,
+        };
+
+        // Only the plan's traffic slots need word counts here.
+        let tslots = plan.traffic_slots();
+        let word_cells: Vec<(usize, usize)> =
+            (0..batch).flat_map(|b| tslots.iter().map(move |&s| (b, s))).collect();
+        let words_flat = scnn_par::par_map(&word_cells, compiled.config.threads, |&(b, s)| {
+            boundary_words(compiled, s, b)
+        });
+        let input_words: Vec<Vec<f64>> = (0..batch)
+            .map(|b| {
+                let mut row = vec![0.0; slots];
+                for (i, &s) in tslots.iter().enumerate() {
+                    row[s] = words_flat[b * tslots.len() + i];
+                }
+                row
+            })
+            .collect();
+
+        Self::assemble(plan, link, batch_run, &slot_slices, &traces, &input_words)
+    }
+
+    /// Re-times an already-traced batch under `plan` without
+    /// re-simulating a single layer — the chip-scaling sweep path:
+    /// trace once, schedule every candidate plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not cover the compiled layers or the
+    /// traced batch disagrees with the layer count.
+    #[must_use]
+    pub fn schedule_batch(
+        compiled: &CompiledNetwork,
+        plan: HybridPlan,
+        link: LinkConfig,
+        traced: &TracedBatch,
+    ) -> Self {
+        let slots = compiled.layers.len();
+        assert!(plan.covers(slots), "plan does not cover the compiled layers exactly once");
+        assert!(
+            traced.batch.images.iter().all(|img| img.layers.len() == slots),
+            "traced batch disagrees with the compiled layer count"
+        );
+        let slot_slices = plan.slot_slices(compiled);
+        Self::assemble(
+            plan,
+            link,
+            traced.batch.clone(),
+            &slot_slices,
+            &traced.traces,
+            &traced.input_words,
+        )
+    }
+
+    fn assemble(
+        plan: HybridPlan,
+        link: LinkConfig,
+        batch: BatchRun,
+        slot_slices: &[Vec<Range<usize>>],
+        traces: &[Vec<Vec<u64>>],
+        input_words: &[Vec<f64>],
+    ) -> Self {
+        let stages = plan.stage_count();
+        let images = batch.batch_size();
+        let mut stage_cycles = vec![vec![0u64; images]; stages];
+        let mut link_in = vec![vec![0u64; images]; stages];
+        let mut ship_words = vec![vec![0f64; images]; stages.saturating_sub(1)];
+        let mut gather_words = vec![0f64; images];
+        for b in 0..images {
+            let t = stage_timing(&plan, &link, slot_slices, &traces[b], &input_words[b]);
+            for k in 0..stages {
+                stage_cycles[k][b] = t.stage_cycles[k];
+                link_in[k][b] = t.link_in_cycles[k];
+            }
+            for (k, w) in t.boundary_ship_words.iter().enumerate() {
+                ship_words[k][b] = *w;
+            }
+            gather_words[b] = t.gather_words;
+        }
+        let boundaries: Vec<BoundaryTraffic> = plan
+            .stages
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(k, s)| BoundaryTraffic {
+                from_stage: k - 1,
+                slot: s.slots.start,
+                words: ship_words[k - 1].clone(),
+            })
+            .collect();
+
+        // Round-robin images over replicas; one pipeline recurrence per
+        // replica over its share.
+        let r = plan.replicas.max(1);
+        let mut busiest = 0u64;
+        let replica_schedules: Vec<PipelineSchedule> = (0..r)
+            .map(|j| {
+                let share: Vec<usize> = (j..images).step_by(r).collect();
+                let sc: Vec<Vec<u64>> = (0..stages)
+                    .map(|k| share.iter().map(|&b| stage_cycles[k][b]).collect())
+                    .collect();
+                let li: Vec<Vec<u64>> =
+                    (0..stages).map(|k| share.iter().map(|&b| link_in[k][b]).collect()).collect();
+                for row in sc.iter().chain(li.iter()) {
+                    busiest = busiest.max(row.iter().sum());
+                }
+                PipelineSchedule::build(sc, li)
+            })
+            .collect();
+        let makespan_cycles =
+            replica_schedules.iter().map(|s| s.makespan_cycles).max().unwrap_or(0);
+        let fill_cycles = if images == 0 { 0 } else { replica_schedules[0].fill_cycles };
+        let steady_cycles_per_image = if images == 0 { 0 } else { busiest.div_ceil(images as u64) };
+        let schedule = HybridSchedule {
+            replicas: replica_schedules,
+            makespan_cycles,
+            fill_cycles,
+            steady_cycles_per_image,
+        };
+        Self { plan, link, batch, boundaries, gather_words, schedule }
+    }
+
+    /// Total link words for the batch: boundary ships plus all-gather
+    /// wire traffic.
+    #[must_use]
+    pub fn link_words_total(&self) -> f64 {
+        // `+ 0.0` normalizes the -0.0 an empty f64 sum produces.
+        self.boundaries.iter().map(BoundaryTraffic::total_words).sum::<f64>()
+            + self.gather_words.iter().sum::<f64>()
+            + 0.0
+    }
+
+    /// Mean link words per image.
+    #[must_use]
+    pub fn link_words_per_image(&self) -> f64 {
+        self.link_words_total() / self.batch.batch_size().max(1) as f64
+    }
+
+    /// Total link transfer energy for the batch, in picojoules.
+    #[must_use]
+    pub fn link_energy_pj_total(&self) -> f64 {
+        self.link.transfer_energy_pj(self.link_words_total())
+    }
+
+    /// Mean link transfer energy per image, in picojoules.
+    #[must_use]
+    pub fn link_energy_pj_per_image(&self) -> f64 {
+        self.link_energy_pj_total() / self.batch.batch_size().max(1) as f64
+    }
+
+    /// Cycles a single chip would take to run this batch sequentially.
+    #[must_use]
+    pub fn sequential_cycles(&self) -> u64 {
+        self.batch.total_cycles()
+    }
+
+    /// Throughput speedup over one chip running the batch sequentially
+    /// (1.0 for an empty batch).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.schedule.makespan_cycles == 0 {
+            return 1.0;
+        }
+        self.sequential_cycles() as f64 / self.schedule.makespan_cycles as f64
+    }
+}

@@ -16,7 +16,15 @@
 //!   stages — execution fans `(image x stage)` units across worker
 //!   threads with per-worker [`scnn_sim::SimWorkspace`]s, and the
 //!   virtual-time schedule accounts pipeline fill/drain, with
-//!   steady-state throughput set by the busiest stage or link.
+//!   steady-state throughput set by the busiest stage or link;
+//! * the [`hybrid`] module generalizes the pipeline into a
+//!   [`HybridPlan`] — pipeline stages × per-stage tensor width (chips
+//!   inside a stage split each layer's output-channel groups) × whole
+//!   -pipeline replicas (images round-robin across copies) — with
+//!   per-OCG cycle traces re-timing any plan without re-execution;
+//! * the [`planner`] module searches that composition under a chip
+//!   budget with an exact dynamic program over the compiled cost
+//!   estimates, minimizing estimated steady-state cycles per image.
 //!
 //! Determinism is inherited, not re-argued: every `(layer, image)` cell
 //! derives its operands from its own seed, so the per-image results of a
@@ -65,10 +73,18 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod hybrid;
 pub mod link;
 pub mod partition;
 pub mod pipeline;
+pub mod planner;
 
+pub use hybrid::{
+    stage_timing, HybridPlan, HybridRun, HybridSchedule, HybridStage, StageTiming, TracedBatch,
+};
 pub use link::LinkConfig;
 pub use partition::{layer_cost_estimate, StagePlan, StageSpec};
 pub use pipeline::{boundary_words, BoundaryTraffic, FabricRun, PipelineSchedule};
+pub use planner::{
+    estimated_bottleneck, estimated_steady, plan_from_costs, plan_hybrid, PlanCosts,
+};

@@ -87,7 +87,7 @@ impl PipelineSchedule {
     /// pipeline's bottleneck — the makespan is always at least the
     /// busiest stage *or link* occupancy, consistent with
     /// [`PipelineSchedule::steady_cycles_per_image`].
-    fn build(stage_cycles: Vec<Vec<u64>>, link_in_cycles: Vec<Vec<u64>>) -> Self {
+    pub(crate) fn build(stage_cycles: Vec<Vec<u64>>, link_in_cycles: Vec<Vec<u64>>) -> Self {
         let stages = stage_cycles.len();
         let batch = stage_cycles.first().map_or(0, Vec::len);
         let mut finish = vec![vec![0u64; batch]; stages];

@@ -1,0 +1,482 @@
+//! The hybrid planner: search (pipeline depth × per-stage tensor width ×
+//! replicas) under a chip budget for the minimal estimated steady-state
+//! cycles per image.
+//!
+//! The search is exact, not heuristic. For each replica count `R` the
+//! per-replica budget is `floor(budget / R)`, and a dynamic program over
+//! (covered-prefix, chips-spent) minimizes the pipeline *bottleneck* —
+//! the maximum over stages of the stage's estimated occupancy (widest
+//! chip slice's compute plus gather terms, both mirroring
+//! [`stage_timing`]) and over boundaries of the entry link's transfer
+//! estimate. Bottleneck composes by `max`, so the DP's optimal-substructure
+//! argument is immediate and the returned plan minimizes
+//! `bottleneck / effective-replicas` over every legal composition
+//! (`tests` brute-force this on small instances).
+//!
+//! Replication only divides throughput while the image stream keeps
+//! every copy busy: with images dealt round-robin, a batch of `B`
+//! occupies the busiest of `R` replicas for `ceil(B / R)` images, so the
+//! *effective* replica count is `B / ceil(B / R)` — e.g. 3 replicas act
+//! like 2 on a batch of 4. The planner therefore takes a batch hint
+//! (`0` means an unbounded stream, where replication scales ideally);
+//! this is exactly how [`HybridSchedule`] apportions measured work, so
+//! the estimate and the measurement degrade identically at small
+//! batches.
+//!
+//! [`HybridSchedule`]: crate::hybrid::HybridSchedule
+//!
+//! Costs come from the compiled state alone, like the pipeline
+//! partitioner: a layer's per-OCG cycle estimate is
+//! `ocg_weight_nnz x expected activations / multipliers`
+//! ([`PlanCosts::of`]), and its expected compressed input words are
+//! `act_density x W x H x C x 1.25` (data + index words). Ties break
+//! deterministically: the smallest replica count, earliest cut, and
+//! narrowest width that reach the optimum win, so planner geometry is
+//! stable enough to exact-gate in the perf baseline.
+//!
+//! [`stage_timing`]: crate::hybrid::stage_timing
+
+use crate::hybrid::{HybridPlan, HybridStage};
+use crate::link::LinkConfig;
+use crate::partition::StagePlan;
+use scnn::batch::CompiledNetwork;
+use std::ops::Range;
+
+/// Per-layer planning inputs distilled from a compiled network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCosts {
+    /// Per-slot, per-OCG estimated cycles (flattened OCG order).
+    pub ocg_cycles: Vec<Vec<f64>>,
+    /// Per-slot expected compressed input words (entry 0 unused: the
+    /// first layer reads DRAM, not a link).
+    pub input_words: Vec<f64>,
+}
+
+impl PlanCosts {
+    /// Distills the planner's cost vectors from the compiled state: the
+    /// same `weight_nnz x expected-activations / multipliers` estimate
+    /// as [`layer_cost_estimate`], resolved to OCG granularity.
+    ///
+    /// [`layer_cost_estimate`]: crate::partition::layer_cost_estimate
+    #[must_use]
+    pub fn of(compiled: &CompiledNetwork) -> Self {
+        let mults = compiled.config.scnn.total_multipliers().max(1) as f64;
+        let ocg_cycles = compiled
+            .layers
+            .iter()
+            .map(|l| {
+                let shape = l.compiled.shape();
+                let acts = l.density.act * (shape.w * shape.h) as f64;
+                l.compiled.ocg_weight_nnz().iter().map(|&n| n as f64 * acts / mults).collect()
+            })
+            .collect();
+        let input_words = compiled
+            .layers
+            .iter()
+            .map(|l| {
+                let shape = l.compiled.shape();
+                // Data plus 4-bit indices: 1.25 stored words per value.
+                l.density.act * (shape.w * shape.h * shape.c) as f64 * 1.25
+            })
+            .collect();
+        Self { ocg_cycles, input_words }
+    }
+
+    /// Number of layer slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ocg_cycles.len()
+    }
+
+    /// Whether there are no layers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ocg_cycles.is_empty()
+    }
+}
+
+/// The widest chip slice's estimated cycles when `costs` (one layer's
+/// per-OCG estimates) split across `width` chips.
+fn slice_max(costs: &[f64], width: usize) -> f64 {
+    if width <= 1 || costs.len() <= 1 {
+        return costs.iter().sum();
+    }
+    StagePlan::balance(costs, width).stages.iter().map(|s| s.est_cycles).fold(0.0, f64::max)
+}
+
+/// Estimated occupancy of a stage `slots` at tensor width `width`:
+/// per-layer widest-slice compute (floored at one cycle, like the
+/// pipeline estimator) plus intra-stage gathers, plus the exit gather
+/// when `next_slot` names a downstream stage's entry.
+fn stage_cost(
+    costs: &PlanCosts,
+    link: &LinkConfig,
+    slots: Range<usize>,
+    width: usize,
+    next_slot: Option<usize>,
+) -> f64 {
+    let mut total = 0.0;
+    for s in slots.clone() {
+        total += slice_max(&costs.ocg_cycles[s], width).max(1.0);
+    }
+    if width > 1 {
+        let frac = (width - 1) as f64 / width as f64;
+        for s in slots.start + 1..slots.end {
+            total += link.transfer_cycles(costs.input_words[s] * frac) as f64;
+        }
+        if let Some(ns) = next_slot {
+            total += link.transfer_cycles(costs.input_words[ns] * frac) as f64;
+        }
+    }
+    total
+}
+
+/// The plan's estimated pipeline bottleneck: max over stage occupancies
+/// and boundary-link transfers (before dividing by replicas).
+#[must_use]
+pub fn estimated_bottleneck(costs: &PlanCosts, link: &LinkConfig, plan: &HybridPlan) -> f64 {
+    let mut bot = 0.0f64;
+    for (k, st) in plan.stages.iter().enumerate() {
+        let next =
+            if k + 1 < plan.stages.len() { Some(plan.stages[k + 1].slots.start) } else { None };
+        bot = bot.max(stage_cost(costs, link, st.slots.clone(), st.width, next));
+        if k > 0 {
+            bot = bot.max(link.transfer_cycles(costs.input_words[st.slots.start]) as f64);
+        }
+    }
+    bot
+}
+
+/// How many replicas' worth of throughput `replicas` copies deliver on a
+/// round-robin batch of `batch` images (`batch == 0` models an unbounded
+/// stream). The busiest copy runs `ceil(batch / replicas)` images, so
+/// the effective count is `batch / ceil(batch / replicas)`.
+fn effective_replicas(replicas: usize, batch: usize) -> f64 {
+    let r = replicas.max(1);
+    if batch == 0 {
+        r as f64
+    } else {
+        batch as f64 / batch.div_ceil(r) as f64
+    }
+}
+
+/// The plan's estimated steady-state cycles per image on a batch of
+/// `batch` images — the planner's objective: [`estimated_bottleneck`]
+/// divided by the effective replica count (`batch == 0` for an
+/// unbounded stream).
+#[must_use]
+pub fn estimated_steady(
+    costs: &PlanCosts,
+    link: &LinkConfig,
+    plan: &HybridPlan,
+    batch: usize,
+) -> f64 {
+    estimated_bottleneck(costs, link, plan) / effective_replicas(plan.replicas, batch)
+}
+
+/// Plans a hybrid composition for `compiled` under `budget` total chips,
+/// optimizing throughput on round-robin batches of `batch` images
+/// (`0` = unbounded stream). See [`plan_from_costs`].
+///
+/// # Panics
+///
+/// Panics if `budget` is zero.
+#[must_use]
+pub fn plan_hybrid(
+    compiled: &CompiledNetwork,
+    budget: usize,
+    link: &LinkConfig,
+    batch: usize,
+) -> HybridPlan {
+    plan_from_costs(&PlanCosts::of(compiled), budget, link, batch)
+}
+
+/// The testable planner core: minimizes [`estimated_steady`] at `batch`
+/// over every legal `(replicas, stage cuts, stage widths)` composition
+/// with `chips <= budget`. Degenerate cases: budget 1 returns the single
+/// -stage width-1 plan; an empty cost vector returns an empty plan
+/// (zero stages, one replica).
+///
+/// # Panics
+///
+/// Panics if `budget` is zero.
+#[must_use]
+pub fn plan_from_costs(
+    costs: &PlanCosts,
+    budget: usize,
+    link: &LinkConfig,
+    batch: usize,
+) -> HybridPlan {
+    assert!(budget >= 1, "a fabric needs at least one chip");
+    let l = costs.len();
+    if l == 0 {
+        return HybridPlan { replicas: 1, stages: Vec::new() };
+    }
+
+    // Memoized prefix sums per width: pre[w][i] = floored widest-slice
+    // compute of slots [0, i); gat[w][i] = gather cycles charged when
+    // slot s < i consumes a sharded predecessor at width w.
+    let wmax = budget;
+    let mut pre = vec![vec![0.0f64; l + 1]; wmax + 1];
+    let mut gat = vec![vec![0.0f64; l + 1]; wmax + 1];
+    for w in 1..=wmax {
+        let frac = (w.saturating_sub(1)) as f64 / w as f64;
+        for s in 0..l {
+            pre[w][s + 1] = pre[w][s] + slice_max(&costs.ocg_cycles[s], w).max(1.0);
+            let g =
+                if w > 1 { link.transfer_cycles(costs.input_words[s] * frac) as f64 } else { 0.0 };
+            gat[w][s + 1] = gat[w][s] + g;
+        }
+    }
+    // stage_cost(j..i, w) in O(1): interior gathers land on slots
+    // j+1..i, the exit gather on slot i (when a stage follows).
+    let stage_est = |j: usize, i: usize, w: usize| -> f64 {
+        let mut c = pre[w][i] - pre[w][j] + (gat[w][i] - gat[w][j + 1]);
+        if i < l && w > 1 {
+            c += gat[w][i + 1] - gat[w][i];
+        }
+        c
+    };
+
+    let mut best: Option<(f64, HybridPlan)> = None;
+    for r in 1..=budget {
+        let cap = budget / r;
+        if cap == 0 {
+            break;
+        }
+        // dp[i][n]: minimal bottleneck covering slots [0, i) with at
+        // most n chips in one replica. Ties keep the first (smallest
+        // cut, narrowest width) candidate.
+        let mut dp = vec![vec![f64::INFINITY; cap + 1]; l + 1];
+        let mut parent = vec![vec![(0usize, 0usize); cap + 1]; l + 1];
+        dp[0].fill(0.0);
+        for i in 1..=l {
+            for n in 1..=cap {
+                for j in 0..i {
+                    let entry_link =
+                        if j > 0 { link.transfer_cycles(costs.input_words[j]) as f64 } else { 0.0 };
+                    for w in 1..=n {
+                        let prev = dp[j][n - w];
+                        if !prev.is_finite() {
+                            continue;
+                        }
+                        let cand = prev.max(entry_link).max(stage_est(j, i, w));
+                        if cand < dp[i][n] {
+                            dp[i][n] = cand;
+                            parent[i][n] = (j, w);
+                        }
+                    }
+                }
+            }
+        }
+        let bot = dp[l][cap];
+        let score = bot / effective_replicas(r, batch);
+        // Strict improvement only: the smallest replica count reaching
+        // the optimum wins (fewer chips, same throughput estimate).
+        let better = match &best {
+            None => true,
+            Some((s, _)) => score < s - 1e-9,
+        };
+        if better {
+            let mut stages_rev = Vec::new();
+            let (mut i, mut n) = (l, cap);
+            while i > 0 {
+                let (j, w) = parent[i][n];
+                stages_rev.push(HybridStage {
+                    slots: j..i,
+                    width: w,
+                    est_cycles: stage_est(j, i, w),
+                });
+                n -= w;
+                i = j;
+            }
+            stages_rev.reverse();
+            best = Some((score, HybridPlan { replicas: r, stages: stages_rev }));
+        }
+    }
+    best.expect("a non-empty network always yields a plan").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(per_layer: &[&[f64]], words: &[f64]) -> PlanCosts {
+        PlanCosts {
+            ocg_cycles: per_layer.iter().map(|v| v.to_vec()).collect(),
+            input_words: words.to_vec(),
+        }
+    }
+
+    /// Every legal plan for `l` layers under `budget` chips.
+    fn all_plans(l: usize, budget: usize) -> Vec<HybridPlan> {
+        fn rec(
+            start: usize,
+            chips_left: usize,
+            l: usize,
+            stages: &mut Vec<HybridStage>,
+            replicas: usize,
+            out: &mut Vec<HybridPlan>,
+        ) {
+            if start == l {
+                out.push(HybridPlan { replicas, stages: stages.clone() });
+                return;
+            }
+            for end in start + 1..=l {
+                for w in 1..=chips_left {
+                    // Later stages need at least one chip each.
+                    if end < l && chips_left - w == 0 {
+                        continue;
+                    }
+                    stages.push(HybridStage { slots: start..end, width: w, est_cycles: 0.0 });
+                    rec(end, chips_left - w, l, stages, replicas, out);
+                    stages.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for r in 1..=budget {
+            let cap = budget / r;
+            if cap == 0 {
+                break;
+            }
+            rec(0, cap, l, &mut Vec::new(), r, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn search_matches_exhaustive_enumeration_on_small_instances() {
+        // The satellite guarantee: on every (instance, budget <= 6,
+        // layers <= 5) pair, the DP's plan scores exactly the optimum of
+        // brute-force enumeration over all (replicas, cuts, widths).
+        let link = LinkConfig::default();
+        let instances = [
+            costs(&[&[40.0, 38.0, 35.0, 30.0], &[5.0], &[9.0, 8.0]], &[0.0, 200.0, 120.0]),
+            costs(
+                &[&[10.0], &[10.0, 10.0], &[30.0, 5.0], &[2.0, 2.0, 2.0], &[80.0]],
+                &[0.0, 50.0, 900.0, 40.0, 10.0],
+            ),
+            // Link-bound: a huge boundary makes deep pipelines lose.
+            costs(&[&[25.0, 25.0], &[25.0, 25.0]], &[0.0, 100_000.0]),
+            // Uniform layers: replication should shine.
+            costs(&[&[7.0], &[7.0], &[7.0], &[7.0]], &[0.0, 1.0, 1.0, 1.0]),
+        ];
+        for (ci, c) in instances.iter().enumerate() {
+            for budget in 1..=6 {
+                for batch in [0, 1, 3, 4] {
+                    let plan = plan_from_costs(c, budget, &link, batch);
+                    assert!(plan.covers(c.len()), "instance {ci}, budget {budget}");
+                    assert!(plan.chips() <= budget, "instance {ci}, budget {budget}");
+                    let got = estimated_steady(c, &link, &plan, batch);
+                    let opt = all_plans(c.len(), budget)
+                        .iter()
+                        .map(|p| estimated_steady(c, &link, p, batch))
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(
+                        (got - opt).abs() <= 1e-9 * opt.max(1.0),
+                        "instance {ci}, budget {budget}, batch {batch}: planner {got} vs \
+                         optimum {opt} (plan {})",
+                        plan.geometry()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_one_degenerates_to_a_single_chip() {
+        let c = costs(&[&[5.0, 5.0], &[9.0]], &[0.0, 10.0]);
+        let plan = plan_from_costs(&c, 1, &LinkConfig::default(), 0);
+        assert_eq!(plan.replicas, 1);
+        assert_eq!(plan.stage_count(), 1);
+        assert_eq!(plan.stages[0].slots, 0..2);
+        assert_eq!(plan.stages[0].width, 1);
+        assert_eq!(plan.geometry(), "1x[1]");
+    }
+
+    #[test]
+    fn ample_budgets_never_score_worse_than_narrower_ones() {
+        // Monotonicity in the budget, through budget >= layers x max
+        // useful width (every OCG its own chip): the estimate can only
+        // improve as chips are added.
+        let c = costs(
+            &[&[12.0, 11.0, 10.0], &[4.0, 4.0], &[25.0], &[6.0, 5.0, 4.0, 3.0]],
+            &[0.0, 30.0, 25.0, 20.0],
+        );
+        let link = LinkConfig::default();
+        let max_width: usize = c.ocg_cycles.iter().map(Vec::len).max().unwrap();
+        let ample = c.len() * max_width;
+        let mut prev = f64::INFINITY;
+        for budget in 1..=ample + 4 {
+            let plan = plan_from_costs(&c, budget, &link, 0);
+            let s = estimated_steady(&c, &link, &plan, 0);
+            assert!(s <= prev + 1e-9, "budget {budget}: {s} worse than {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn empty_networks_yield_empty_plans() {
+        let c = costs(&[], &[]);
+        let plan = plan_from_costs(&c, 4, &LinkConfig::default(), 0);
+        assert_eq!(plan.replicas, 1);
+        assert_eq!(plan.stage_count(), 0);
+        assert_eq!(plan.chips(), 0);
+        assert!(plan.covers(0));
+        assert_eq!(plan.geometry(), "1x[]");
+    }
+
+    #[test]
+    fn replication_wins_when_layers_cannot_split() {
+        // Single-OCG layers with cheap links: tensor width is useless
+        // (one OCG cannot split), the pipeline bottoms out at the
+        // heaviest layer, and on an unbounded stream replicas divide the
+        // bound further.
+        let c = costs(&[&[50.0], &[50.0]], &[0.0, 1.0]);
+        let link = LinkConfig::default();
+        let plan = plan_from_costs(&c, 4, &link, 0);
+        assert!(plan.replicas >= 2, "plan {} should replicate", plan.geometry());
+        let two_chip = plan_from_costs(&c, 2, &link, 0);
+        assert!(
+            estimated_steady(&c, &link, &plan, 0) < estimated_steady(&c, &link, &two_chip, 0),
+            "4 chips must beat 2"
+        );
+    }
+
+    #[test]
+    fn tensor_width_wins_on_a_dominant_splittable_layer() {
+        // Latency-bound (batch 1, so replication buys nothing): one
+        // layer dwarfs the rest and splits 4 ways, so the planner must
+        // put tensor width on it rather than replicate.
+        let c = costs(&[&[100.0, 100.0, 100.0, 100.0], &[10.0], &[10.0]], &[0.0, 8.0, 8.0]);
+        let link = LinkConfig::default();
+        let plan = plan_from_costs(&c, 6, &link, 1);
+        assert_eq!(plan.replicas, 1, "plan {}: batch 1 cannot use replicas", plan.geometry());
+        assert!(plan.max_width() >= 2, "plan {} should widen the head", plan.geometry());
+        assert!(
+            estimated_steady(&c, &link, &plan, 1)
+                < estimated_steady(&c, &link, &plan_from_costs(&c, 1, &link, 1), 1) / 2.0,
+            "6 chips should at least halve the single-chip estimate"
+        );
+    }
+
+    #[test]
+    fn batch_hints_cap_useful_replication() {
+        // The same network and budget plan differently at different
+        // batch hints: an unbounded stream favors replicas, a batch of 1
+        // forbids them, and any chosen plan never exceeds the batch.
+        let c = costs(&[&[30.0, 30.0], &[30.0, 30.0]], &[0.0, 2.0]);
+        let link = LinkConfig::default();
+        let streamed = plan_from_costs(&c, 6, &link, 0);
+        assert!(streamed.replicas > 1, "stream plan {} should replicate", streamed.geometry());
+        for batch in 1..=6 {
+            let plan = plan_from_costs(&c, 6, &link, batch);
+            assert!(
+                plan.replicas <= batch,
+                "batch {batch}: plan {} replicates beyond the batch",
+                plan.geometry()
+            );
+        }
+    }
+}

@@ -11,7 +11,9 @@
 //!
 //! Thread counts resolve through [`resolve_threads`]: an explicit request
 //! wins, then the `SCNN_THREADS` environment variable, then the machine's
-//! available parallelism.
+//! available parallelism. Intra-layer PE fan-out ([`resolve_pe_threads`],
+//! `SCNN_PE_THREADS`) and simulated fabric size ([`resolve_chips`],
+//! `SCNN_CHIPS`) follow the same ladder with degenerate defaults.
 //!
 //! # Examples
 //!
@@ -58,6 +60,28 @@ pub fn resolve_pe_threads(requested: usize) -> usize {
         return requested;
     }
     if let Some(n) = std::env::var("SCNN_PE_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    1
+}
+
+/// Resolves a fabric chip count: `requested` if non-zero, else the
+/// `SCNN_CHIPS` environment variable if set to a positive integer, else
+/// `1` (a single chip).
+///
+/// Same resolution ladder as [`resolve_pe_threads`] — explicit request,
+/// then environment, then a default — and the default is likewise the
+/// degenerate value: chips are *simulated* hardware, so unlike worker
+/// threads there is no machine property to inherit; scaling out is
+/// always an explicit ask.
+#[must_use]
+pub fn resolve_chips(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("SCNN_CHIPS").ok().and_then(|v| v.parse::<usize>().ok()) {
         if n > 0 {
             return n;
         }
@@ -212,6 +236,21 @@ mod tests {
         std::env::set_var("SCNN_PE_THREADS", "nonsense");
         assert_eq!(resolve_pe_threads(0), 1, "unparseable env is ignored");
         std::env::remove_var("SCNN_PE_THREADS");
+    }
+
+    #[test]
+    fn chips_resolve_explicit_then_env_then_single() {
+        // One test covers all three resolution stages so no other test
+        // can race on the SCNN_CHIPS variable.
+        assert_eq!(resolve_chips(4), 4, "explicit request wins");
+        std::env::remove_var("SCNN_CHIPS");
+        assert_eq!(resolve_chips(0), 1, "unset env falls back to one chip");
+        std::env::set_var("SCNN_CHIPS", "8");
+        assert_eq!(resolve_chips(0), 8, "env var fills in for 0");
+        assert_eq!(resolve_chips(2), 2, "explicit still beats env");
+        std::env::set_var("SCNN_CHIPS", "0");
+        assert_eq!(resolve_chips(0), 1, "non-positive env is ignored");
+        std::env::remove_var("SCNN_CHIPS");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::cache::ModelKey;
 use scnn::batch::CompiledNetwork;
 use scnn::runner::RunConfig;
 use scnn_arch::HaloStrategy;
-use scnn_fabric::{boundary_words, LinkConfig, StagePlan};
+use scnn_fabric::{boundary_words, plan_hybrid, stage_timing, LinkConfig, StagePlan};
 use scnn_model::{zoo, DensityProfile, Network};
 use scnn_sim::SimWorkspace;
 use std::collections::BTreeMap;
@@ -74,6 +74,15 @@ pub struct ModelProfile {
     pub link_words_per_image: f64,
     /// Energy of those transfers, in picojoules per image.
     pub link_energy_pj_per_image: f64,
+    /// Data-parallel pipeline copies the device runs (1 outside planned
+    /// mode) — the planner's replica axis, already folded into
+    /// [`bottleneck_cycles`].
+    ///
+    /// [`bottleneck_cycles`]: ModelProfile::bottleneck_cycles
+    pub replicas: usize,
+    /// Per-stage tensor widths of the calibrated geometry (all 1 outside
+    /// planned mode; length equals the stage count).
+    pub stage_widths: Vec<usize>,
 }
 
 impl ModelProfile {
@@ -105,8 +114,13 @@ pub struct Engine {
     dram_words_per_cycle: f64,
     compile_factor: u64,
     /// Chips per device: every simulated device is a `chips`-stage
-    /// pipeline fabric (1 = classic single-chip devices).
+    /// pipeline fabric (1 = classic single-chip devices). In planned
+    /// mode this is the chip *budget* the planner composes under.
     chips: usize,
+    /// When set, devices run the hybrid planner's chosen geometry
+    /// (pipeline × tensor × replicas) under this chip budget instead of
+    /// a fixed `chips`-stage pipeline.
+    plan_budget: Option<usize>,
     /// Inter-chip link model used when `chips > 1`.
     link: LinkConfig,
     models: BTreeMap<String, ModelSpec>,
@@ -126,6 +140,7 @@ impl Engine {
             dram_words_per_cycle: 8.0,
             compile_factor: 4,
             chips: 1,
+            plan_budget: None,
             link: LinkConfig::default(),
             models: BTreeMap::new(),
             calibrated: BTreeMap::new(),
@@ -190,12 +205,39 @@ impl Engine {
     pub fn with_fabric(mut self, chips: usize, link: LinkConfig) -> Self {
         assert!(chips >= 1, "a device needs at least one chip");
         self.chips = chips;
+        self.plan_budget = None;
         self.link = link;
         self.calibrated.clear();
         self
     }
 
-    /// Chips per simulated device (1 = no fabric).
+    /// Makes every simulated device a *planner-composed* hybrid fabric:
+    /// calibration asks `scnn_fabric::plan_hybrid` for the best
+    /// (pipeline × tensor-width × replica) composition of each model
+    /// under `budget` chips connected by `link`, executes the steady
+    /// image through the chosen OCG slices, and records the geometry's
+    /// fill/bottleneck/link terms (replicas divide the bottleneck).
+    /// The per-model geometry lands in [`ModelProfile::replicas`] and
+    /// [`ModelProfile::stage_widths`]; different models on the same
+    /// engine may get different geometries. Invalidates prior
+    /// calibrations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    #[must_use]
+    pub fn with_planned_fabric(mut self, budget: usize, link: LinkConfig) -> Self {
+        assert!(budget >= 1, "a device needs at least one chip");
+        self.chips = budget;
+        self.plan_budget = Some(budget);
+        self.link = link;
+        self.calibrated.clear();
+        self
+    }
+
+    /// Chips per simulated device (1 = no fabric). In planned mode, the
+    /// chip budget — [`ModelProfile::chips`] reports what each model's
+    /// chosen plan actually occupies.
     #[must_use]
     pub fn chips(&self) -> usize {
         self.chips
@@ -255,6 +297,10 @@ impl Engine {
         let mut fnv = crate::hash::Fnv64::new();
         fnv.eat(fingerprint(&self.config));
         fnv.eat(self.chips as u64);
+        // Planned mode is a distinct calibration even at the same chip
+        // count: a planner-chosen hybrid geometry must never be served
+        // from a fixed-pipeline cache entry (0 = legacy, budget+1 else).
+        fnv.eat(self.plan_budget.map_or(0, |b| b as u64 + 1));
         fnv.eat(self.link.words_per_cycle.to_bits());
         fnv.eat(self.link.pj_per_word.to_bits());
         ModelKey { model: name.to_owned(), profile: spec.profile_tag.clone(), config: fnv.finish() }
@@ -273,53 +319,109 @@ impl Engine {
         }
         let spec = self.models.get(name).unwrap_or_else(|| panic!("model {name:?} unregistered"));
         let compiled = CompiledNetwork::compile(&spec.network, &spec.profile, &self.config);
+        let slots = compiled.layers.len();
+
         // Image 1, not image 0: image 0 pays the weight DRAM fetch, which
         // the serving model charges separately on residency changes. The
         // calibration run reuses the engine's workspace (serial per layer;
         // compile() above is where the thread fan-out pays off), so it is
         // allocation-free once warm and bit-identical at any thread count.
-        let steady = compiled.run_image_with(1, &mut self.workspace);
+        // In planned mode the steady image runs through the planner's OCG
+        // slices (same results bit for bit) so the per-OCG traces that
+        // time the hybrid geometry come out of the same execution.
+        let planned = self.plan_budget.map(|budget| plan_hybrid(&compiled, budget, &self.link, 0));
+        let planned_slices =
+            planned.as_ref().map(|plan| plan.slot_slices(&compiled)).unwrap_or_default();
+        let (steady_layers, traces): (Vec<_>, Vec<_>) = match &planned {
+            Some(_) => compiled
+                .run_slots_sliced_with(0..slots, 1, &planned_slices, &mut self.workspace)
+                .into_iter()
+                .unzip(),
+            None => (compiled.run_image_with(1, &mut self.workspace).layers, Vec::new()),
+        };
         let weight_dram_words = compiled.weight_dram_words();
         let weight_load_cycles = (weight_dram_words / self.dram_words_per_cycle).ceil() as u64;
-        let image_cycles: u64 = steady.layers.iter().map(|l| l.scnn.cycles).sum();
+        let image_cycles: u64 = steady_layers.iter().map(|l| l.scnn.cycles).sum();
 
-        // Pipelined calibration: partition the steady image's per-layer
-        // cycles across the device's chips and size each stage-boundary
-        // transfer, so the scheduler can charge fill + bottleneck per
-        // batch. One chip degenerates to fill = bottleneck = image time.
-        let plan = StagePlan::partition(&compiled, self.chips);
-        let stage_cycles: Vec<u64> = plan
-            .stages
-            .iter()
-            .map(|s| steady.layers[s.slots.clone()].iter().map(|l| l.scnn.cycles).sum())
-            .collect();
-        let xfer_words: Vec<f64> = plan
-            .stages
-            .iter()
-            .skip(1)
-            .map(|s| boundary_words(&compiled, s.slots.start, 1))
-            .collect();
-        let xfer_cycles: Vec<u64> =
-            xfer_words.iter().map(|&w| self.link.transfer_cycles(w)).collect();
-        let link_words_per_image: f64 = xfer_words.iter().sum();
-        let bottleneck_cycles =
-            stage_cycles.iter().chain(&xfer_cycles).copied().max().unwrap_or(image_cycles).max(1);
-        let fill_cycles = image_cycles + xfer_cycles.iter().sum::<u64>();
+        // Fabric calibration, so the scheduler can charge fill +
+        // bottleneck per batch. One chip degenerates to fill =
+        // bottleneck = image time.
+        let (chips, replicas, stage_widths, fill_cycles, bottleneck_cycles, link_words_per_image) =
+            if let Some(plan) = &planned {
+                // Planned mode: time the hybrid geometry from the traces.
+                let mut input_words = vec![0.0; slots];
+                for s in plan.traffic_slots() {
+                    input_words[s] = boundary_words(&compiled, s, 1);
+                }
+                let t = stage_timing(plan, &self.link, &planned_slices, &traces, &input_words);
+                let busiest = t
+                    .stage_cycles
+                    .iter()
+                    .chain(&t.link_in_cycles)
+                    .copied()
+                    .max()
+                    .unwrap_or(image_cycles)
+                    .max(1);
+                let widths: Vec<usize> = plan.stages.iter().map(|s| s.width).collect();
+                (
+                    plan.chips().max(1),
+                    plan.replicas,
+                    widths,
+                    t.stage_cycles.iter().sum::<u64>() + t.link_in_cycles.iter().sum::<u64>(),
+                    busiest.div_ceil(plan.replicas.max(1) as u64).max(1),
+                    t.boundary_ship_words.iter().sum::<f64>() + t.gather_words,
+                )
+            } else {
+                // Fixed pipeline: partition the steady image's per-layer
+                // cycles across the device's chips and size each
+                // stage-boundary transfer.
+                let plan = StagePlan::partition(&compiled, self.chips);
+                let stage_cycles: Vec<u64> = plan
+                    .stages
+                    .iter()
+                    .map(|s| steady_layers[s.slots.clone()].iter().map(|l| l.scnn.cycles).sum())
+                    .collect();
+                let xfer_words: Vec<f64> = plan
+                    .stages
+                    .iter()
+                    .skip(1)
+                    .map(|s| boundary_words(&compiled, s.slots.start, 1))
+                    .collect();
+                let xfer_cycles: Vec<u64> =
+                    xfer_words.iter().map(|&w| self.link.transfer_cycles(w)).collect();
+                let bottleneck = stage_cycles
+                    .iter()
+                    .chain(&xfer_cycles)
+                    .copied()
+                    .max()
+                    .unwrap_or(image_cycles)
+                    .max(1);
+                (
+                    plan.stage_count().max(1),
+                    1,
+                    vec![1; plan.stage_count()],
+                    image_cycles + xfer_cycles.iter().sum::<u64>(),
+                    bottleneck,
+                    xfer_words.iter().sum(),
+                )
+            };
 
         let profile = Rc::new(ModelProfile {
             name: name.to_owned(),
             image_cycles,
-            image_energy_pj: steady.layers.iter().map(|l| l.scnn.energy_pj()).sum(),
-            image_dram_words: steady.layers.iter().map(|l| l.scnn.counts.dram_words).sum(),
+            image_energy_pj: steady_layers.iter().map(|l| l.scnn.energy_pj()).sum(),
+            image_dram_words: steady_layers.iter().map(|l| l.scnn.counts.dram_words).sum(),
             weight_dram_words,
             weight_load_cycles,
             weight_energy_pj: weight_dram_words * self.config.energy.e_dram,
             compile_cycles: self.compile_factor * weight_load_cycles,
-            chips: plan.stage_count().max(1),
+            chips,
             fill_cycles,
             bottleneck_cycles,
             link_words_per_image,
             link_energy_pj_per_image: self.link.transfer_energy_pj(link_words_per_image),
+            replicas,
+            stage_widths,
         });
         self.calibrated.insert(name.to_owned(), Rc::clone(&profile));
         profile
@@ -494,6 +596,54 @@ mod tests {
         assert!(p2.fill_cycles >= p2.image_cycles, "fill adds the link transfer");
         assert!(p2.bottleneck_cycles <= p2.fill_cycles);
         assert_eq!(p2.batch_cycles(4), p2.fill_cycles + 3 * p2.bottleneck_cycles);
+    }
+
+    #[test]
+    fn planned_budget_one_degenerates_to_the_single_chip_profile() {
+        let mut legacy = engine_with_tiny();
+        let mut planned = engine_with_tiny().with_planned_fabric(1, LinkConfig::default());
+        let a = legacy.profile("tiny");
+        let b = planned.profile("tiny");
+        // One chip leaves the planner no choices: identical calibration.
+        assert_eq!(a.image_cycles, b.image_cycles);
+        assert_eq!(a.image_energy_pj.to_bits(), b.image_energy_pj.to_bits());
+        assert_eq!(a.image_dram_words.to_bits(), b.image_dram_words.to_bits());
+        assert_eq!(b.chips, 1);
+        assert_eq!(b.replicas, 1);
+        assert_eq!(b.stage_widths, vec![1]);
+        assert_eq!(b.fill_cycles, a.fill_cycles);
+        assert_eq!(b.bottleneck_cycles, a.bottleneck_cycles);
+        assert_eq!(b.link_words_per_image, 0.0);
+        // ...but under a distinct cache identity (planned vs fixed).
+        assert_ne!(legacy.key_for("tiny").config, planned.key_for("tiny").config);
+    }
+
+    #[test]
+    fn planned_budgets_compose_parallelism_within_the_budget() {
+        let mut single = engine_with_tiny();
+        let mut planned = engine_with_tiny().with_planned_fabric(4, LinkConfig::default());
+        assert_eq!(planned.chips(), 4);
+        let p1 = single.profile("tiny");
+        let p4 = planned.profile("tiny");
+        // Simulated per-image physics never move with the geometry.
+        assert_eq!(p1.image_cycles, p4.image_cycles);
+        assert_eq!(p1.image_energy_pj.to_bits(), p4.image_energy_pj.to_bits());
+        // The geometry is recorded, consistent, and within budget.
+        assert_eq!(p4.chips, p4.replicas * p4.stage_widths.iter().sum::<usize>());
+        assert!(p4.chips <= 4 && p4.chips >= 1);
+        assert!(p4.replicas >= 1);
+        assert!(!p4.stage_widths.is_empty());
+        // Four planned chips must beat one chip's steady state.
+        assert!(
+            p4.bottleneck_cycles < p1.bottleneck_cycles,
+            "planned bottleneck {} must beat single-chip {}",
+            p4.bottleneck_cycles,
+            p1.bottleneck_cycles
+        );
+        assert!(p4.batch_cycles(8) < p1.batch_cycles(8));
+        // Planned keys are budget-sensitive.
+        let other = engine_with_tiny().with_planned_fabric(2, LinkConfig::default());
+        assert_ne!(planned.key_for("tiny").config, other.key_for("tiny").config);
     }
 
     #[test]

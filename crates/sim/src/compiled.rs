@@ -172,4 +172,27 @@ impl CompiledLayer {
     pub fn ocg_count(&self) -> usize {
         self.groups.iter().map(|g| g.partition.len()).sum()
     }
+
+    /// Non-zero weight count of each output-channel group in flattened
+    /// execution order (filter groups laid out back to back, length
+    /// [`CompiledLayer::ocg_count`]) — the per-OCG cost vector a
+    /// tensor-parallel slicer balances chips by, mirroring the per-layer
+    /// [`CompiledLayer::weight_nnz`] term of the fabric stage estimator.
+    #[must_use]
+    pub fn ocg_weight_nnz(&self) -> Vec<u64> {
+        let cpg = self.shape.c_per_group();
+        let mut out = Vec::with_capacity(self.ocg_count());
+        for g in &self.groups {
+            for ocg in 0..g.partition.len() {
+                let mut nnz = 0u64;
+                for sub in 0..g.subs.len() {
+                    for c in 0..cpg {
+                        nnz += g.wt.blocks[g.wt_index(sub, ocg, cpg, c)].len as u64;
+                    }
+                }
+                out.push(nnz);
+            }
+        }
+        out
+    }
 }

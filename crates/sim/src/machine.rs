@@ -263,6 +263,68 @@ impl ScnnMachine {
         opts: &RunOptions,
         ws: &mut SimWorkspace,
     ) -> LayerResult {
+        let full = 0..layer.ocg_count();
+        self.execute_layer_sliced_with(layer, input, opts, ws, std::slice::from_ref(&full), None)
+    }
+
+    /// Executes one image against a compiled layer as a sequence of
+    /// contiguous *output-channel-group slices* sharing one workspace —
+    /// the tensor-parallel building block of the multi-chip fabric.
+    ///
+    /// `slices` are ranges over the layer's flattened OCG index space
+    /// (filter groups laid out back to back, [`CompiledLayer::ocg_count`]
+    /// in total) and must cover it exactly, in order, with no gaps or
+    /// overlaps. Each slice models one chip's share of the layer: the
+    /// slice computes only its OCGs' output channels, and the merged
+    /// output volume plus every tally is **bit-identical** to the
+    /// unsliced [`ScnnMachine::execute_layer_with`] run. The argument is
+    /// the same order-exact-fold one as for `pe_threads` (`DESIGN.md`
+    /// §6/§8): per-OCG busy cycles are exact integers summed in OCG
+    /// order, distinct OCGs write disjoint output-channel slabs, and the
+    /// PPU drain within each OCG stays strictly in PE order. Group-level
+    /// input accounting (IARAM fill, unique compressed input bits) is
+    /// attributed to the slice holding a filter group's *first* OCG;
+    /// later slices of the same group recompress the activation tiles —
+    /// deterministically identical scratch content — without counting a
+    /// bit twice.
+    ///
+    /// When `trace` is given it is cleared and filled with the per-OCG
+    /// barrier cycles (max busy over PEs) in flattened OCG order, so
+    /// callers can re-cost any other slicing of this layer without
+    /// re-executing: a slice's cycles are exactly the sum of its OCGs'
+    /// trace entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same mismatches as
+    /// [`ScnnMachine::execute_layer_with`], or if `slices` do not cover
+    /// `0..layer.ocg_count()` contiguously in ascending order.
+    pub fn execute_layer_sliced_with(
+        &self,
+        layer: &CompiledLayer,
+        input: &Dense3,
+        opts: &RunOptions,
+        ws: &mut SimWorkspace,
+        slices: &[std::ops::Range<usize>],
+        mut trace: Option<&mut Vec<u64>>,
+    ) -> LayerResult {
+        let total_ocgs = layer.ocg_count();
+        {
+            let mut next = 0usize;
+            for sl in slices {
+                assert!(
+                    sl.start == next && sl.end > sl.start,
+                    "slices must cover the output-channel groups contiguously in order"
+                );
+                next = sl.end;
+            }
+            assert_eq!(next, total_ocgs, "slices must cover every output-channel group");
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.clear();
+            t.reserve(total_ocgs);
+        }
+
         let shape = &layer.shape;
         assert_eq!(
             (input.c(), input.w(), input.h()),
@@ -304,206 +366,237 @@ impl ScnnMachine {
         let kpg = shape.k_per_group();
         let cpg = shape.c_per_group();
 
-        for (g, compiled) in layer.groups.iter().enumerate() {
-            fill_group_padded(padded, input, g * cpg, cpg, shape.pad);
-
-            let CompiledGroup { subs, r_max, s_max, partition, wt } = compiled;
-            let (r_max, s_max) = (*r_max, *s_max);
-            let n_subs = subs.len();
-
-            // Compress each PE's activation tile per sub-conv and channel
-            // straight into the flat arena: block (sub, pe, c) at index
-            // (sub*pes + pe)*cpg + c.
-            acts.clear();
-            for sub in subs.iter() {
-                let view = SubPlaneView::new(padded, sub, shape.stride);
-                input_unique_bits += view.unique_storage_bits();
-                for (pe, pe_bits) in iaram_bits.iter_mut().enumerate() {
-                    let tile = tiling.tile(pe);
-                    let (x0, xl) = if input_halos {
-                        tiling.input_x_range_extended(tile, sub.plane_w, sub.r - 1)
-                    } else {
-                        tiling.input_x_range(tile, sub.plane_w)
-                    };
-                    let (y0, yl) = if input_halos {
-                        tiling.input_y_range_extended(tile, sub.plane_h, sub.s - 1)
-                    } else {
-                        tiling.input_y_range(tile, sub.plane_h)
-                    };
-                    if xl == 0 || yl == 0 {
-                        for _ in 0..cpg {
-                            acts.push_empty();
-                        }
-                        continue;
-                    }
-                    *pe_bits += view.compress_tile_into(acts, x0, xl, y0, yl);
+        for slice in slices {
+            // Walk the filter groups overlapping this slice of the
+            // flattened OCG index space, tracking each group's base
+            // offset with a running counter (no per-call allocation —
+            // the zero-alloc steady-state contract covers this path).
+            let mut group_base = 0usize;
+            for (g, compiled) in layer.groups.iter().enumerate() {
+                let n_ocgs = compiled.partition.len();
+                let base = group_base;
+                group_base += n_ocgs;
+                let lo = slice.start.max(base);
+                let hi = slice.end.min(base + n_ocgs);
+                if lo >= hi {
+                    continue;
                 }
-            }
+                // The slice holding the group's first OCG owns the
+                // group-level input accounting; later slices recompress
+                // the same tiles into scratch without double-counting.
+                let account = lo == base;
+                fill_group_padded(padded, input, g * cpg, cpg, shape.pad);
 
-            // Main temporal loop: output-channel groups, with an inter-PE
-            // barrier (and halo exchange) at each group boundary.
-            for (ocg, (k_start, kc_g)) in partition.iter().enumerate() {
-                let acts_ref: &Arena<_> = acts;
-                // One PE's phases for this output-channel group: products
-                // accumulate into the PE's own scratch window; everything
-                // returned is an exact integer, so the fold below is
-                // schedule-independent.
-                let run_pe = |pe: usize, scratch: &mut crate::workspace::PeScratch| -> PeOut {
-                    let tile = tiling.tile(pe);
-                    if tile.is_empty() {
-                        return PeOut::default();
+                let CompiledGroup { subs, r_max, s_max, partition, wt } = compiled;
+                let (r_max, s_max) = (*r_max, *s_max);
+                let n_subs = subs.len();
+
+                // Compress each PE's activation tile per sub-conv and channel
+                // straight into the flat arena: block (sub, pe, c) at index
+                // (sub*pes + pe)*cpg + c.
+                acts.clear();
+                for sub in subs.iter() {
+                    let view = SubPlaneView::new(padded, sub, shape.stride);
+                    if account {
+                        input_unique_bits += view.unique_storage_bits();
                     }
-                    // Output halos: products from inputs [ix0, ix1) land
-                    // in [ix0 - (r_max-1), min(ix1, out_w)) — own range
-                    // plus the low-side halo. Input halos: the accumulator
-                    // covers exactly the owned outputs; out-of-range
-                    // products are the neighbours' (replicated) work and
-                    // are discarded.
-                    let (acc_x0, x_hi, acc_y0, y_hi) = if input_halos {
-                        (tile.ox0, tile.ox1, tile.oy0, tile.oy1)
-                    } else {
-                        (
-                            tile.ix0.saturating_sub(r_max - 1),
-                            tile.ix1.min(out_w),
-                            tile.iy0.saturating_sub(s_max - 1),
-                            tile.iy1.min(out_h),
-                        )
-                    };
-                    let acc_w = x_hi - acc_x0;
-                    let acc_h = y_hi - acc_y0;
-                    scratch.acc.clear();
-                    scratch.acc.resize(kc_g * acc_w * acc_h, 0.0);
-
-                    let geom = PhaseGeom {
-                        f: cfg.f,
-                        i: cfg.i,
-                        banks: cfg.acc_banks,
-                        acc_x0,
-                        acc_y0,
-                        acc_w,
-                        acc_h,
-                        x1: x_hi,
-                        y1: y_hi,
-                        out_w,
-                        out_h,
-                        k_base: g * kpg + k_start,
-                    };
-                    build_bank_lut(&geom, kc_g, &mut scratch.lut);
-                    let mut out = PeOut { acc_x0, x_hi, acc_y0, y_hi, ..PeOut::default() };
-                    for si in 0..n_subs {
-                        for c in 0..cpg {
-                            let (a_entries, a_stored) = acts_ref.block((si * pes + pe) * cpg + c);
-                            let (w_entries, w_stored) =
-                                wt.block(compiled.wt_index(si, ocg, cpg, c));
-                            if a_stored == 0 || w_stored == 0 {
-                                continue;
+                    for (pe, pe_bits) in iaram_bits.iter_mut().enumerate() {
+                        let tile = tiling.tile(pe);
+                        let (x0, xl) = if input_halos {
+                            tiling.input_x_range_extended(tile, sub.plane_w, sub.r - 1)
+                        } else {
+                            tiling.input_x_range(tile, sub.plane_w)
+                        };
+                        let (y0, yl) = if input_halos {
+                            tiling.input_y_range_extended(tile, sub.plane_h, sub.s - 1)
+                        } else {
+                            tiling.input_y_range(tile, sub.plane_h)
+                        };
+                        if xl == 0 || yl == 0 {
+                            for _ in 0..cpg {
+                                acts.push_empty();
                             }
-                            let ph = run_phase(
-                                a_entries,
-                                a_stored,
-                                w_entries,
-                                w_stored,
-                                &geom,
-                                &mut scratch.acc,
-                                &scratch.lut,
-                                &mut scratch.bank,
-                            );
-                            out.busy += ph.cycles;
-                            out.products += ph.products;
-                            out.valid += ph.valid;
-                            out.bank_stall += ph.bank_stall;
-                            // Input-stationary: the activation block is read
-                            // from IARAM once per output-channel group,
-                            // while the weight block re-streams from the
-                            // FIFO for every activation vector.
-                            out.a_stored += a_stored as u64;
-                            out.wbuf_units += w_stored as u64 * a_stored.div_ceil(cfg.i) as u64;
+                            continue;
+                        }
+                        let bits = view.compress_tile_into(acts, x0, xl, y0, yl);
+                        if account {
+                            *pe_bits += bits;
                         }
                     }
-                    out
-                };
-
-                // Fan the PE loop out (or run it inline) and collect the
-                // per-PE outcomes in PE order.
-                let par_outs: Vec<PeOut>;
-                let outs: &[PeOut] = if pe_threads > 1 {
-                    par_outs = scnn_par::par_map(&pe_ids[..pes], pe_threads, |&pe| {
-                        let mut scratch = pe_slots[pe].lock().expect("PE scratch poisoned");
-                        run_pe(pe, &mut scratch)
-                    });
-                    &par_outs
-                } else {
-                    pe_outs.clear();
-                    for (pe, slot) in pe_slots.iter_mut().enumerate().take(pes) {
-                        let scratch = slot.get_mut().expect("PE scratch poisoned");
-                        pe_outs.push(run_pe(pe, scratch));
-                    }
-                    pe_outs
-                };
-
-                // Ordered reduction, part 1: exact-integer tallies. Every
-                // floating-point count below is a sum of quarter-integers
-                // far inside f64's exact range, so folding per-PE totals
-                // is bit-identical to the old per-phase accumulation.
-                let ocg_max = outs.iter().map(|o| o.busy).max().unwrap_or(0);
-                cycles_total += ocg_max;
-                stats.ocg_count += 1;
-                let (mut products, mut valid) = (0u64, 0u64);
-                let (mut bank_stall, mut a_stored, mut wbuf_units) = (0u64, 0u64, 0u64);
-                for o in outs {
-                    stats.busy_cycles += o.busy;
-                    stats.idle_cycles += ocg_max - o.busy;
-                    stats.mult_slots += o.busy * fi;
-                    products += o.products;
-                    valid += o.valid;
-                    bank_stall += o.bank_stall;
-                    a_stored += o.a_stored;
-                    wbuf_units += o.wbuf_units;
                 }
-                stats.products += products;
-                stats.valid_products += valid;
-                stats.bank_stall_cycles += bank_stall;
-                counts.mults_live += products as f64;
-                counts.xbar_products += valid as f64;
-                counts.acc_updates += valid as f64;
-                counts.iaram_words += a_stored as f64 * INDEX_OVERHEAD;
-                counts.wbuf_words += wbuf_units as f64 * INDEX_OVERHEAD;
 
-                // Ordered reduction, part 2 — the PPU drain: move partial
-                // sums to the output volume strictly in PE order (the one
-                // floating-point fold whose order matters), shipping halo
-                // positions to their owning neighbours.
-                for (pe, o) in outs.iter().enumerate() {
-                    let tile = tiling.tile(pe);
-                    if tile.is_empty() {
-                        continue;
+                // Main temporal loop: this slice's output-channel groups,
+                // with an inter-PE barrier (and halo exchange) at each
+                // group boundary.
+                for (ocg, (k_start, kc_g)) in
+                    partition.iter().enumerate().skip(lo - base).take(hi - lo)
+                {
+                    let acts_ref: &Arena<_> = acts;
+                    // One PE's phases for this output-channel group: products
+                    // accumulate into the PE's own scratch window; everything
+                    // returned is an exact integer, so the fold below is
+                    // schedule-independent.
+                    let run_pe = |pe: usize, scratch: &mut crate::workspace::PeScratch| -> PeOut {
+                        let tile = tiling.tile(pe);
+                        if tile.is_empty() {
+                            return PeOut::default();
+                        }
+                        // Output halos: products from inputs [ix0, ix1) land
+                        // in [ix0 - (r_max-1), min(ix1, out_w)) — own range
+                        // plus the low-side halo. Input halos: the accumulator
+                        // covers exactly the owned outputs; out-of-range
+                        // products are the neighbours' (replicated) work and
+                        // are discarded.
+                        let (acc_x0, x_hi, acc_y0, y_hi) = if input_halos {
+                            (tile.ox0, tile.ox1, tile.oy0, tile.oy1)
+                        } else {
+                            (
+                                tile.ix0.saturating_sub(r_max - 1),
+                                tile.ix1.min(out_w),
+                                tile.iy0.saturating_sub(s_max - 1),
+                                tile.iy1.min(out_h),
+                            )
+                        };
+                        let acc_w = x_hi - acc_x0;
+                        let acc_h = y_hi - acc_y0;
+                        scratch.acc.clear();
+                        scratch.acc.resize(kc_g * acc_w * acc_h, 0.0);
+
+                        let geom = PhaseGeom {
+                            f: cfg.f,
+                            i: cfg.i,
+                            banks: cfg.acc_banks,
+                            acc_x0,
+                            acc_y0,
+                            acc_w,
+                            acc_h,
+                            x1: x_hi,
+                            y1: y_hi,
+                            out_w,
+                            out_h,
+                            k_base: g * kpg + k_start,
+                        };
+                        build_bank_lut(&geom, kc_g, &mut scratch.lut);
+                        let mut out = PeOut { acc_x0, x_hi, acc_y0, y_hi, ..PeOut::default() };
+                        for si in 0..n_subs {
+                            for c in 0..cpg {
+                                let (a_entries, a_stored) =
+                                    acts_ref.block((si * pes + pe) * cpg + c);
+                                let (w_entries, w_stored) =
+                                    wt.block(compiled.wt_index(si, ocg, cpg, c));
+                                if a_stored == 0 || w_stored == 0 {
+                                    continue;
+                                }
+                                let ph = run_phase(
+                                    a_entries,
+                                    a_stored,
+                                    w_entries,
+                                    w_stored,
+                                    &geom,
+                                    &mut scratch.acc,
+                                    &scratch.lut,
+                                    &mut scratch.bank,
+                                );
+                                out.busy += ph.cycles;
+                                out.products += ph.products;
+                                out.valid += ph.valid;
+                                out.bank_stall += ph.bank_stall;
+                                // Input-stationary: the activation block is read
+                                // from IARAM once per output-channel group,
+                                // while the weight block re-streams from the
+                                // FIFO for every activation vector.
+                                out.a_stored += a_stored as u64;
+                                out.wbuf_units += w_stored as u64 * a_stored.div_ceil(cfg.i) as u64;
+                            }
+                        }
+                        out
+                    };
+
+                    // Fan the PE loop out (or run it inline) and collect the
+                    // per-PE outcomes in PE order.
+                    let par_outs: Vec<PeOut>;
+                    let outs: &[PeOut] = if pe_threads > 1 {
+                        par_outs = scnn_par::par_map(&pe_ids[..pes], pe_threads, |&pe| {
+                            let mut scratch = pe_slots[pe].lock().expect("PE scratch poisoned");
+                            run_pe(pe, &mut scratch)
+                        });
+                        &par_outs
+                    } else {
+                        pe_outs.clear();
+                        for (pe, slot) in pe_slots.iter_mut().enumerate().take(pes) {
+                            let scratch = slot.get_mut().expect("PE scratch poisoned");
+                            pe_outs.push(run_pe(pe, scratch));
+                        }
+                        pe_outs
+                    };
+
+                    // Ordered reduction, part 1: exact-integer tallies. Every
+                    // floating-point count below is a sum of quarter-integers
+                    // far inside f64's exact range, so folding per-PE totals
+                    // is bit-identical to the old per-phase accumulation.
+                    let ocg_max = outs.iter().map(|o| o.busy).max().unwrap_or(0);
+                    cycles_total += ocg_max;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(ocg_max);
                     }
-                    let scratch = pe_slots[pe].get_mut().expect("PE scratch poisoned");
-                    let acc = &scratch.acc;
-                    let acc_w = o.x_hi - o.acc_x0;
-                    let acc_h = o.y_hi - o.acc_y0;
-                    let out_data = output.as_mut_slice();
-                    let mut halo_here = 0u64;
-                    for kl in 0..kc_g {
-                        let k_abs = g * kpg + k_start + kl;
-                        for x in o.acc_x0..o.x_hi {
-                            let arow = &acc[(kl * acc_w + (x - o.acc_x0)) * acc_h..][..acc_h];
-                            let obase = (k_abs * out_w + x) * out_h;
-                            let halo_col = x < tile.ox0;
-                            for (dy, &v) in arow.iter().enumerate() {
-                                if v != 0.0 {
-                                    let y = o.acc_y0 + dy;
-                                    out_data[obase + y] += v;
-                                    if halo_col || y < tile.oy0 {
-                                        halo_here += 1;
+                    stats.ocg_count += 1;
+                    let (mut products, mut valid) = (0u64, 0u64);
+                    let (mut bank_stall, mut a_stored, mut wbuf_units) = (0u64, 0u64, 0u64);
+                    for o in outs {
+                        stats.busy_cycles += o.busy;
+                        stats.idle_cycles += ocg_max - o.busy;
+                        stats.mult_slots += o.busy * fi;
+                        products += o.products;
+                        valid += o.valid;
+                        bank_stall += o.bank_stall;
+                        a_stored += o.a_stored;
+                        wbuf_units += o.wbuf_units;
+                    }
+                    stats.products += products;
+                    stats.valid_products += valid;
+                    stats.bank_stall_cycles += bank_stall;
+                    counts.mults_live += products as f64;
+                    counts.xbar_products += valid as f64;
+                    counts.acc_updates += valid as f64;
+                    counts.iaram_words += a_stored as f64 * INDEX_OVERHEAD;
+                    counts.wbuf_words += wbuf_units as f64 * INDEX_OVERHEAD;
+
+                    // Ordered reduction, part 2 — the PPU drain: move partial
+                    // sums to the output volume strictly in PE order (the one
+                    // floating-point fold whose order matters), shipping halo
+                    // positions to their owning neighbours.
+                    for (pe, o) in outs.iter().enumerate() {
+                        let tile = tiling.tile(pe);
+                        if tile.is_empty() {
+                            continue;
+                        }
+                        let scratch = pe_slots[pe].get_mut().expect("PE scratch poisoned");
+                        let acc = &scratch.acc;
+                        let acc_w = o.x_hi - o.acc_x0;
+                        let acc_h = o.y_hi - o.acc_y0;
+                        let out_data = output.as_mut_slice();
+                        let mut halo_here = 0u64;
+                        for kl in 0..kc_g {
+                            let k_abs = g * kpg + k_start + kl;
+                            for x in o.acc_x0..o.x_hi {
+                                let arow = &acc[(kl * acc_w + (x - o.acc_x0)) * acc_h..][..acc_h];
+                                let obase = (k_abs * out_w + x) * out_h;
+                                let halo_col = x < tile.ox0;
+                                for (dy, &v) in arow.iter().enumerate() {
+                                    if v != 0.0 {
+                                        let y = o.acc_y0 + dy;
+                                        out_data[obase + y] += v;
+                                        if halo_col || y < tile.oy0 {
+                                            halo_here += 1;
+                                        }
                                     }
                                 }
                             }
                         }
+                        stats.halo_values += halo_here;
+                        counts.halo_values += halo_here as f64;
+                        counts.ppu_values += (kc_g * tile.out_area()) as f64;
                     }
-                    stats.halo_values += halo_here;
-                    counts.halo_values += halo_here as f64;
-                    counts.ppu_values += (kc_g * tile.out_area()) as f64;
                 }
             }
         }
@@ -897,6 +990,145 @@ mod tests {
         assert_eq!(first.stats, resident.stats);
         assert_eq!(first.output, resident.output);
         assert_eq!(first.footprints, resident.footprints);
+    }
+
+    /// Every way to cut `n` OCGs into at most three contiguous slices,
+    /// plus the all-singletons cut.
+    fn slicings(n: usize) -> Vec<Vec<std::ops::Range<usize>>> {
+        let mut out = vec![vec![0..n]];
+        for a in 1..n {
+            out.push(vec![0..a, a..n]);
+            for b in a + 1..n {
+                out.push(vec![0..a, a..b, b..n]);
+            }
+        }
+        if n > 1 {
+            out.push((0..n).map(|i| i..i + 1).collect());
+        }
+        out
+    }
+
+    #[test]
+    fn sliced_execution_merges_bit_identical_to_full() {
+        // OCG-sliced execution is the tensor-parallel building block of
+        // the fabric: any contiguous slicing, merged in one workspace,
+        // must reproduce the unsliced run bit for bit — cycles, counts,
+        // stats, footprints AND the floating-point output volume —
+        // across halo strategies, strides, filter groups and DRAM modes.
+        for (i, (cfg, shape)) in [
+            (ScnnConfig::default(), ConvShape::new(16, 8, 3, 3, 12, 12).with_pad(1)),
+            (ScnnConfig::default(), ConvShape::new(16, 3, 11, 11, 27, 27).with_stride(4)),
+            (ScnnConfig::default(), ConvShape::new(16, 8, 3, 3, 9, 9).with_pad(1).with_groups(2)),
+            (
+                ScnnConfig { halo: scnn_arch::HaloStrategy::Input, ..ScnnConfig::default() },
+                ConvShape::new(16, 8, 3, 3, 12, 12).with_pad(1),
+            ),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let machine = ScnnMachine::new(cfg);
+            let weights = synth_weights(&shape, 0.4, 900 + i as u64);
+            let input = synth_layer_input(&shape, 0.5, 910 + i as u64);
+            let compiled = machine.compile_layer(&shape, &weights);
+            let n = compiled.ocg_count();
+            assert!(n >= 2, "case {i}: need at least two OCGs to slice");
+
+            let mut full_ws = SimWorkspace::new();
+            let opts = RunOptions { input_from_dram: true, ..Default::default() };
+            let full = machine.execute_layer_with(&compiled, &input, &opts, &mut full_ws);
+
+            for slices in slicings(n) {
+                let mut ws = SimWorkspace::new();
+                let mut trace = Vec::new();
+                let sliced = machine.execute_layer_sliced_with(
+                    &compiled,
+                    &input,
+                    &opts,
+                    &mut ws,
+                    &slices,
+                    Some(&mut trace),
+                );
+                assert_eq!(full, sliced, "case {i}, slices {slices:?}");
+                assert_eq!(ws.output(), full_ws.output(), "case {i}, slices {slices:?}");
+                // The trace decomposes the layer's cycles exactly: one
+                // entry per OCG, summing to the total.
+                assert_eq!(trace.len(), n);
+                assert_eq!(trace.iter().sum::<u64>(), full.cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn per_ocg_traces_recost_any_slicing_without_reexecution() {
+        // A slice's cycles must equal the sum of its OCGs' trace entries
+        // — the property the fabric planner uses to re-time hybrid plans
+        // from one traced execution.
+        let shape = ConvShape::new(16, 8, 3, 3, 12, 12).with_pad(1);
+        let machine = ScnnMachine::new(ScnnConfig::default());
+        let weights = synth_weights(&shape, 0.4, 950);
+        let input = synth_layer_input(&shape, 0.5, 951);
+        let compiled = machine.compile_layer(&shape, &weights);
+        let n = compiled.ocg_count();
+        assert_eq!(compiled.ocg_weight_nnz().len(), n);
+        assert_eq!(compiled.ocg_weight_nnz().iter().sum::<u64>(), compiled.weight_nnz() as u64);
+
+        let mut ws = SimWorkspace::new();
+        let mut trace = Vec::new();
+        let full = 0..n;
+        machine.execute_layer_sliced_with(
+            &compiled,
+            &input,
+            &RunOptions::default(),
+            &mut ws,
+            std::slice::from_ref(&full),
+            Some(&mut trace),
+        );
+        for slices in slicings(n) {
+            for sl in slices {
+                // Per-OCG cycles are slicing-invariant: each OCG's barrier
+                // cycles depend only on its own weight blocks and the
+                // (identical) recompressed activations.
+                let mut sliced_trace = Vec::new();
+                let mut ws2 = SimWorkspace::new();
+                let mut cover = Vec::new();
+                if sl.start > 0 {
+                    cover.push(0..sl.start);
+                }
+                cover.push(sl.clone());
+                if sl.end < n {
+                    cover.push(sl.end..n);
+                }
+                machine.execute_layer_sliced_with(
+                    &compiled,
+                    &input,
+                    &RunOptions::default(),
+                    &mut ws2,
+                    &cover,
+                    Some(&mut sliced_trace),
+                );
+                assert_eq!(sliced_trace, trace, "slice {sl:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn gapped_slices_are_rejected() {
+        let shape = ConvShape::new(16, 8, 3, 3, 12, 12).with_pad(1);
+        let machine = ScnnMachine::new(ScnnConfig::default());
+        let compiled = machine.compile_layer(&shape, &synth_weights(&shape, 0.4, 960));
+        let input = synth_layer_input(&shape, 0.5, 961);
+        let n = compiled.ocg_count();
+        let mut ws = SimWorkspace::new();
+        let _ = machine.execute_layer_sliced_with(
+            &compiled,
+            &input,
+            &RunOptions::default(),
+            &mut ws,
+            &[0..1, 2..n],
+            None,
+        );
     }
 
     #[test]

@@ -2,13 +2,21 @@
 //! every evaluated layer exactly once with contiguous boundaries, fabric
 //! execution is bit-identical to the single-chip batch engine (summed
 //! per-stage stats equal the whole-network run), degenerate chip counts
-//! behave, and the pipeline schedule obeys its structural bounds.
+//! behave, and the pipeline schedule obeys its structural bounds. The
+//! hybrid tier rides the same invariants: any (pipeline × tensor ×
+//! replica) geometry keeps every simulated number bit-identical to one
+//! chip, a width-1/replica-1 hybrid run reproduces the pipeline-only
+//! schedule exactly, and re-timing a traced batch matches fresh sliced
+//! execution.
 
 use scnn::batch::{BatchRun, CompiledNetwork};
 use scnn::runner::{NetworkRun, RunConfig};
 use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
 use scnn::scnn_tensor::ConvShape;
-use scnn_fabric::{FabricRun, LinkConfig, StagePlan, StageSpec};
+use scnn_fabric::{
+    plan_hybrid, FabricRun, HybridPlan, HybridRun, HybridStage, LinkConfig, StagePlan, StageSpec,
+    TracedBatch,
+};
 
 /// A 7-layer network with heterogeneous shapes so stages are uneven.
 fn network() -> (Network, DensityProfile) {
@@ -230,6 +238,258 @@ fn empty_batches_and_empty_networks_are_legal() {
     let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
     let run = FabricRun::execute(&compiled, 4, LinkConfig::default(), 2);
     assert_eq!(run.plan.stage_count(), 0);
+    assert_eq!(run.schedule.makespan_cycles, 0);
+    assert_eq!(run.batch.images.len(), 2);
+    assert!(run.batch.images.iter().all(|img| img.layers.is_empty()));
+}
+
+// --- hybrid tier -------------------------------------------------------
+
+/// Bit-equality of two batches, layer by layer.
+fn assert_batches_bit_identical(a: &BatchRun, b: &BatchRun, tag: &str) {
+    assert_eq!(a.batch_size(), b.batch_size(), "{tag}");
+    assert_eq!(a.weight_dram_words.to_bits(), b.weight_dram_words.to_bits(), "{tag}");
+    for (x, y) in a.images.iter().zip(&b.images) {
+        assert_eq!(x.layers.len(), y.layers.len(), "{tag}");
+        for (l, m) in x.layers.iter().zip(&y.layers) {
+            assert_eq!(l.scnn.cycles, m.scnn.cycles, "{tag}: {}", l.name);
+            assert_eq!(l.scnn.counts, m.scnn.counts, "{tag}: {}", l.name);
+            assert_eq!(l.scnn.stats, m.scnn.stats, "{tag}: {}", l.name);
+            assert_eq!(l.scnn.energy_pj().to_bits(), m.scnn.energy_pj().to_bits(), "{tag}");
+            assert_eq!(l.dcnn.cycles, m.dcnn.cycles, "{tag}");
+            assert_eq!(l.oracle_cycles, m.oracle_cycles, "{tag}");
+        }
+    }
+    assert_eq!(a.total_cycles(), b.total_cycles(), "{tag}");
+    assert_eq!(a.total_energy_pj().to_bits(), b.total_energy_pj().to_bits(), "{tag}");
+    assert_eq!(a.total_dram_words().to_bits(), b.total_dram_words().to_bits(), "{tag}");
+}
+
+/// A hand-built hybrid geometry over the 7-layer fixture: a width-3
+/// tensor head, a width-1 middle, a width-2 tail, two replicas.
+fn hand_plan() -> HybridPlan {
+    HybridPlan {
+        replicas: 2,
+        stages: vec![
+            HybridStage { slots: 0..2, width: 3, est_cycles: 0.0 },
+            HybridStage { slots: 2..5, width: 1, est_cycles: 0.0 },
+            HybridStage { slots: 5..7, width: 2, est_cycles: 0.0 },
+        ],
+    }
+}
+
+#[test]
+fn hybrid_geometries_stay_bit_identical_to_the_batch_engine() {
+    let compiled = compiled();
+    let plain = BatchRun::execute(&compiled, 3);
+    let plans = [
+        HybridPlan::from_pipeline(&StagePlan::partition(&compiled, 3)),
+        hand_plan(),
+        HybridPlan {
+            replicas: 3,
+            stages: vec![HybridStage { slots: 0..7, width: 4, est_cycles: 0.0 }],
+        },
+    ];
+    for plan in plans {
+        let tag = plan.geometry();
+        let run = HybridRun::execute(&compiled, plan, LinkConfig::default(), 3);
+        assert_batches_bit_identical(&run.batch, &plain, &tag);
+    }
+}
+
+#[test]
+fn width_one_single_replica_hybrid_reproduces_the_pipeline_schedule() {
+    let compiled = compiled();
+    for chips in [1, 2, 4] {
+        let fabric = FabricRun::execute(&compiled, chips, LinkConfig::default(), 4);
+        let plan = HybridPlan::from_pipeline(&fabric.plan);
+        let hybrid = HybridRun::execute(&compiled, plan, LinkConfig::default(), 4);
+        // The degenerate hybrid point is the pipeline: same schedule
+        // (per-OCG trace sums equal layer cycles), same link traffic.
+        assert_eq!(hybrid.schedule.replicas.len(), 1, "{chips} chips");
+        assert_eq!(hybrid.schedule.replicas[0], fabric.schedule, "{chips} chips");
+        assert_eq!(hybrid.schedule.makespan_cycles, fabric.schedule.makespan_cycles);
+        assert_eq!(hybrid.schedule.fill_cycles, fabric.schedule.fill_cycles);
+        assert_eq!(
+            hybrid.schedule.steady_cycles_per_image,
+            fabric.schedule.steady_cycles_per_image
+        );
+        assert_eq!(hybrid.link_words_total().to_bits(), fabric.link_words_total().to_bits());
+        assert_eq!(hybrid.boundaries.len(), fabric.boundaries.len());
+        for (a, b) in hybrid.boundaries.iter().zip(&fabric.boundaries) {
+            assert_eq!(a.from_stage, b.from_stage);
+            assert_eq!(a.slot, b.slot);
+            assert_eq!(a.words, b.words);
+        }
+        assert_eq!(hybrid.gather_words.iter().sum::<f64>(), 0.0, "width 1 never gathers");
+    }
+}
+
+#[test]
+fn traced_batches_retime_exactly_like_fresh_sliced_execution() {
+    let compiled = compiled();
+    let traced = TracedBatch::execute(&compiled, 3);
+    // The trace capture itself is bit-identical to the batch engine.
+    assert_batches_bit_identical(&traced.batch, &BatchRun::execute(&compiled, 3), "traced");
+    // Trace sums reproduce layer cycles exactly.
+    for (img, runs) in traced.batch.images.iter().enumerate() {
+        for (slot, layer) in runs.layers.iter().enumerate() {
+            let sum: u64 = traced.traces[img][slot].iter().sum();
+            assert_eq!(sum, layer.scnn.cycles, "image {img} slot {slot}");
+        }
+    }
+    // Re-timing any geometry equals executing it sliced from scratch.
+    let plans = [
+        HybridPlan::from_pipeline(&StagePlan::partition(&compiled, 3)),
+        hand_plan(),
+        plan_hybrid(&compiled, 6, &LinkConfig::default(), 3),
+    ];
+    for plan in plans {
+        let tag = plan.geometry();
+        let fresh = HybridRun::execute(&compiled, plan.clone(), LinkConfig::default(), 3);
+        let retimed = HybridRun::schedule_batch(&compiled, plan, LinkConfig::default(), &traced);
+        assert_batches_bit_identical(&fresh.batch, &retimed.batch, &tag);
+        assert_eq!(fresh.schedule, retimed.schedule, "{tag}");
+        assert_eq!(fresh.link_words_total().to_bits(), retimed.link_words_total().to_bits());
+        assert_eq!(fresh.gather_words, retimed.gather_words, "{tag}");
+    }
+}
+
+#[test]
+fn replicas_divide_steady_state_throughput() {
+    let compiled = compiled();
+    let traced = TracedBatch::execute(&compiled, 4);
+    let single = HybridPlan {
+        replicas: 1,
+        stages: vec![HybridStage { slots: 0..7, width: 1, est_cycles: 0.0 }],
+    };
+    let double = HybridPlan { replicas: 2, ..single.clone() };
+    let one = HybridRun::schedule_batch(&compiled, single, LinkConfig::default(), &traced);
+    let two = HybridRun::schedule_batch(&compiled, double, LinkConfig::default(), &traced);
+    // Two copies of the same single-stage chip: makespan shrinks and the
+    // steady-state bound roughly halves (exactly the busiest half).
+    assert!(two.schedule.makespan_cycles < one.schedule.makespan_cycles);
+    assert!(
+        two.schedule.steady_cycles_per_image < one.schedule.steady_cycles_per_image,
+        "replication must improve steady state"
+    );
+    assert!(
+        two.schedule.steady_cycles_per_image >= one.schedule.steady_cycles_per_image / 2,
+        "two replicas cannot more than double throughput"
+    );
+    // Replication adds no link traffic.
+    assert_eq!(two.link_words_total(), 0.0);
+}
+
+/// A 4-layer fixture with 32 output channels per layer — four OCGs at
+/// the default `kc_max = 8`, so tensor width has something to split
+/// (the 7-layer fixture's k <= 8 layers are all single-OCG).
+fn wide_compiled() -> CompiledNetwork {
+    let layers = (0..4)
+        .map(|i| {
+            ConvLayer::new(format!("wide{i}"), ConvShape::new(32, 8, 3, 3, 12, 12).with_pad(1))
+        })
+        .collect();
+    let profile = DensityProfile::from_layers(vec![LayerDensity::new(0.35, 0.6); 4]);
+    CompiledNetwork::compile(&Network::new("wide4", layers), &profile, &RunConfig::default())
+}
+
+#[test]
+fn tensor_width_shrinks_stage_occupancy_but_ships_gathers() {
+    let compiled = wide_compiled();
+    let slots = compiled.layers.len();
+    let traced = TracedBatch::execute(&compiled, 2);
+    let narrow = HybridPlan {
+        replicas: 1,
+        stages: vec![HybridStage { slots: 0..slots, width: 1, est_cycles: 0.0 }],
+    };
+    let wide = HybridPlan {
+        replicas: 1,
+        stages: vec![HybridStage { slots: 0..slots, width: 4, est_cycles: 0.0 }],
+    };
+    let n = HybridRun::schedule_batch(&compiled, narrow, LinkConfig::default(), &traced);
+    let w = HybridRun::schedule_batch(&compiled, wide, LinkConfig::default(), &traced);
+    // Splitting OCGs four ways shortens the single stage even after the
+    // intra-stage all-gathers are charged...
+    assert!(
+        w.schedule.makespan_cycles < n.schedule.makespan_cycles,
+        "width 4 {} must beat width 1 {}",
+        w.schedule.makespan_cycles,
+        n.schedule.makespan_cycles
+    );
+    // ...and the gathers are itemized as link traffic (each interior
+    // slot ships 3 shards' worth of wire words), costing link energy.
+    assert!(w.gather_words.iter().all(|&g| g > 0.0));
+    assert!(w.link_words_total() > 0.0);
+    assert!(w.link_energy_pj_total() > 0.0);
+    assert_eq!(n.link_words_total(), 0.0, "width 1 has no boundaries at one stage");
+    // Compute conservation: no chip slice exceeds the full layer, and
+    // the slices of every layer sum exactly to its cycles (already
+    // locked at the sim layer; re-checked through the public path).
+    assert_batches_bit_identical(&w.batch, &n.batch, "wide-vs-narrow");
+}
+
+#[test]
+fn planner_budgets_execute_and_respect_the_chip_budget() {
+    let compiled = compiled();
+    let link = LinkConfig::default();
+    let traced = TracedBatch::execute(&compiled, 4);
+    let mut prev_steady = u64::MAX;
+    for budget in [1, 2, 4, 8] {
+        let plan = plan_hybrid(&compiled, budget, &link, 4);
+        assert!(plan.covers(compiled.layers.len()), "budget {budget}");
+        assert!(plan.chips() <= budget, "budget {budget}: {}", plan.geometry());
+        assert!(plan.chips() >= 1, "budget {budget}");
+        let run = HybridRun::schedule_batch(&compiled, plan.clone(), link, &traced);
+        assert_batches_bit_identical(&run.batch, &traced.batch, &plan.geometry());
+        // Measured steady state is monotone non-increasing in the budget
+        // on this fixture (the planner only adds parallelism).
+        let steady = run.schedule.steady_cycles_per_image;
+        assert!(
+            steady <= prev_steady,
+            "budget {budget} ({}) regressed: {steady} > {prev_steady}",
+            plan.geometry()
+        );
+        prev_steady = steady;
+    }
+    // Budget 1 is exactly the single-chip pipeline.
+    let one = plan_hybrid(&compiled, 1, &link, 4);
+    assert_eq!(one.geometry(), "1x[1]");
+}
+
+#[test]
+#[should_panic(expected = "cover")]
+fn non_covering_hybrid_plans_are_rejected() {
+    let compiled = compiled();
+    let plan = HybridPlan {
+        replicas: 1,
+        stages: vec![
+            HybridStage { slots: 0..3, width: 2, est_cycles: 0.0 },
+            HybridStage { slots: 4..7, width: 1, est_cycles: 0.0 },
+        ],
+    };
+    let _ = HybridRun::execute(&compiled, plan, LinkConfig::default(), 1);
+}
+
+#[test]
+fn hybrid_handles_empty_batches_and_empty_networks() {
+    let compiled = compiled();
+    let empty = HybridRun::execute(&compiled, hand_plan(), LinkConfig::default(), 0);
+    assert_eq!(empty.batch.batch_size(), 0);
+    assert_eq!(empty.schedule.makespan_cycles, 0);
+    assert_eq!(empty.schedule.steady_cycles_per_image, 0);
+    assert_eq!(empty.link_words_total(), 0.0);
+    assert!((empty.speedup() - 1.0).abs() < 1e-12);
+
+    let net = Network::new(
+        "empty",
+        vec![ConvLayer::new("skip", ConvShape::new(4, 4, 3, 3, 8, 8)).excluded()],
+    );
+    let profile = DensityProfile::from_layers(vec![LayerDensity::new(0.5, 0.5)]);
+    let compiled = CompiledNetwork::compile(&net, &profile, &RunConfig::default());
+    let plan = plan_hybrid(&compiled, 4, &LinkConfig::default(), 2);
+    assert_eq!(plan.stage_count(), 0);
+    let run = HybridRun::execute(&compiled, plan, LinkConfig::default(), 2);
     assert_eq!(run.schedule.makespan_cycles, 0);
     assert_eq!(run.batch.images.len(), 2);
     assert!(run.batch.images.iter().all(|img| img.layers.is_empty()));

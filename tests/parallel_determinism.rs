@@ -10,7 +10,7 @@ use scnn::runner::{NetworkRun, RunConfig};
 use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
 use scnn::scnn_tensor::ConvShape;
 use scnn::scnn_timeloop::{density_sweep, pe_granularity_sweep, TimeLoop};
-use scnn_fabric::{FabricRun, LinkConfig};
+use scnn_fabric::{plan_hybrid, FabricRun, HybridPlan, HybridRun, LinkConfig, StagePlan};
 
 /// A small synthetic network with enough layers to occupy several
 /// workers and heterogeneous shapes so layers finish out of order.
@@ -214,6 +214,86 @@ fn fabric_execution_is_bit_identical_across_thread_pe_chip_combinations() {
         assert_eq!(pair[0].1, pair[1].1, "schedule must not depend on thread counts");
         assert_eq!(pair[0].2, pair[1].2, "link words must not depend on thread counts");
     }
+}
+
+#[test]
+fn hybrid_runs_are_bit_identical_across_threads_and_plan_geometries() {
+    // The hybrid axis (pipeline depth x tensor width x replicas) re-times
+    // execution only: any plan geometry at any (threads, pe_threads)
+    // combination must reproduce the fully serial single-chip batch bit
+    // for bit, and a plan's schedule must depend on the plan alone —
+    // never on the thread axes.
+    let (net, profile) = synthetic_network();
+    let serial_cfg = RunConfig::default().with_threads(1).with_pe_threads(1);
+    let serial = BatchRun::execute(&CompiledNetwork::compile(&net, &profile, &serial_cfg), 2);
+    let link = LinkConfig::default();
+    let mut schedules: Vec<Vec<(String, scnn_fabric::HybridSchedule, u64)>> = Vec::new();
+    for (threads, pe_threads) in [(1, 1), (2, 2), (4, 1), (1, 3)] {
+        let config = RunConfig::default().with_threads(threads).with_pe_threads(pe_threads);
+        let compiled = CompiledNetwork::compile(&net, &profile, &config);
+        let plans = [
+            HybridPlan::from_pipeline(&StagePlan::partition(&compiled, 3)),
+            plan_hybrid(&compiled, 4, &link, 2),
+            plan_hybrid(&compiled, 6, &link, 0),
+        ];
+        let mut per_combo = Vec::new();
+        for plan in plans {
+            let run = HybridRun::execute(&compiled, plan, link, 2);
+            assert_eq!(run.batch.batch_size(), serial.batch_size());
+            for (image, (a, b)) in serial.images.iter().zip(&run.batch.images).enumerate() {
+                assert_runs_identical(a, b);
+                assert_eq!(
+                    a.scnn_energy_rel().to_bits(),
+                    b.scnn_energy_rel().to_bits(),
+                    "image {image} under plan {} at threads={threads} pe_threads={pe_threads}",
+                    run.plan.geometry()
+                );
+            }
+            per_combo.push((
+                run.plan.geometry(),
+                run.schedule.clone(),
+                run.link_words_total().to_bits(),
+            ));
+        }
+        schedules.push(per_combo);
+    }
+    for pair in schedules.windows(2) {
+        assert_eq!(pair[0], pair[1], "hybrid plans/schedules must not depend on thread counts");
+    }
+}
+
+#[test]
+fn serve_tier_with_planned_fabric_is_bit_identical_across_thread_counts() {
+    // Planned-fabric serving adds the planner's geometry to the
+    // calibration path (OCG-sliced steady-state execution, stage timing
+    // from traces); worker threads must still never change a reported
+    // number, and the chip budget must be a real model input.
+    use scnn_serve::engine::Engine;
+    use scnn_serve::sim::{simulate, ServeConfig};
+    use scnn_serve::trace::{generate, DeadlineClass, TenantSpec};
+
+    let (net, profile) = synthetic_network();
+    let tenants = vec![
+        TenantSpec::new("t0", "syn", 40_000, DeadlineClass::Interactive),
+        TenantSpec::new("t1", "syn", 60_000, DeadlineClass::Relaxed),
+    ];
+    let run = |threads: usize, budget: usize| {
+        let config = RunConfig::default().with_threads(threads);
+        let mut engine = Engine::new(config).with_planned_fabric(budget, LinkConfig::default());
+        engine.register("syn", net.clone(), profile.clone(), "test");
+        let trace = generate(&tenants, 1_500_000, 11);
+        simulate(&mut engine, &trace, &ServeConfig::default())
+    };
+    let serial = run(1, 4);
+    assert!(serial.global.requests > 10, "trace should be non-trivial");
+    for threads in [2, 4] {
+        let parallel = run(threads, 4);
+        assert_eq!(serial, parallel, "{threads} threads diverged");
+        assert_eq!(serial.digest(), parallel.digest());
+    }
+    // The chip budget shapes the planned geometry and with it the
+    // report; a different budget must not alias.
+    assert_ne!(serial.digest(), run(1, 1).digest());
 }
 
 #[test]
