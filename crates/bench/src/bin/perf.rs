@@ -5,11 +5,17 @@
 //! tracked across PRs instead of living in commit messages.
 //!
 //! ```text
-//! cargo run --release --bin perf -- [--quick] [--out PATH] [--baseline PATH] [--check]
+//! cargo run --release --bin perf -- [--quick] [--backend NAME] [--out PATH] [--baseline PATH] [--check]
 //! ```
 //!
-//! * `--quick`     — AlexNet only (the CI configuration). Batch matches
-//!   the committed full-mode baseline so the exact gates apply.
+//! * `--quick`     — AlexNet only (the CI configuration), measured on
+//!   every backend. Batch matches the committed full-mode baseline so
+//!   the exact gates apply.
+//! * `--backend NAME` — restrict the network rows to one backend
+//!   (`scnn` / `dcnn` / `dcnn-opt`). The usual ladder: this flag wins,
+//!   then the `SCNN_BACKEND` environment variable, then every backend.
+//!   Unmeasured baseline rows are skipped, not failed, so a restricted
+//!   run still `--check`s cleanly against the full baseline.
 //! * `--out PATH`  — where to write the report (default `BENCH_sim.json`).
 //! * `--baseline PATH` — a previously committed report to compare against
 //!   (default: the `--out` path, read *before* it is overwritten).
@@ -27,7 +33,10 @@
 //!     difference at matching batch size is a semantic change that must
 //!     be reviewed (and the baseline regenerated), never noise. Gating
 //!     the planner's `geometry` string exactly means a planner decision
-//!     change is surfaced like any other semantic change.
+//!     change is surfaced like any other semantic change. Network rows
+//!     carry a `backend` tag (schema 4) and gate per `(name, backend)`,
+//!     so the simulated SCNN and cycle-simulated DCNN numbers are each
+//!     pinned exactly.
 //!
 //! Reported per network: compile wall, mean execute wall per image
 //! (`s_per_img`), simulated cycles / energy / DRAM per image, and the
@@ -41,13 +50,15 @@
 use scnn::batch::{BatchRun, CompiledNetwork};
 use scnn::runner::RunConfig;
 use scnn::scnn_model::zoo;
+use scnn::scnn_sim::BackendKind;
 use scnn_fabric::{plan_hybrid, FabricRun, HybridRun, LinkConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One network's measurements.
+/// One (network, backend) pair's measurements.
 struct Row {
     name: String,
+    backend: BackendKind,
     batch: usize,
     compile_s: f64,
     s_per_img: f64,
@@ -96,9 +107,9 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-fn measure(name: &str, batch: usize) -> Row {
+fn measure(name: &str, backend: BackendKind, batch: usize) -> Row {
     let net = zoo::by_name(name).unwrap_or_else(|| panic!("unknown zoo network {name:?}"));
-    let config = RunConfig::default();
+    let config = RunConfig::default().with_backend(backend);
 
     let t0 = Instant::now();
     let compiled = CompiledNetwork::compile_paper(&net, &config);
@@ -110,6 +121,7 @@ fn measure(name: &str, batch: usize) -> Row {
 
     Row {
         name: net.name().to_owned(),
+        backend,
         batch,
         compile_s,
         s_per_img: exec_s / batch as f64,
@@ -160,17 +172,18 @@ fn measure_hybrid(name: &str, budget: usize, batch: usize) -> HybridRow {
 fn render(mode: &str, rows: &[Row], fabric: &[FabricRow], hybrid: &[HybridRow]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 3,");
+    let _ = writeln!(out, "  \"schema\": 4,");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     out.push_str("  \"networks\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let sep = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"name\": \"{}\", \"batch\": {}, \"compile_s\": {:.4}, \"s_per_img\": {:.4}, \
-             \"cycles_per_img\": {:.1}, \"energy_uj_per_img\": {:.3}, \
+            "    {{\"name\": \"{}\", \"backend\": \"{}\", \"batch\": {}, \"compile_s\": {:.4}, \
+             \"s_per_img\": {:.4}, \"cycles_per_img\": {:.1}, \"energy_uj_per_img\": {:.3}, \
              \"dram_words_per_img\": {:.1}, \"peak_rss_kb\": {}}}{sep}",
             r.name,
+            r.backend,
             r.batch,
             r.compile_s,
             r.s_per_img,
@@ -361,7 +374,14 @@ fn check_regressions(
             }
             continue;
         }
-        let Some(row) = rows.iter().find(|r| r.name == name) else { continue };
+        // Network row: match on (name, backend) — schema-3 baselines
+        // carry no backend tag and mean the SCNN rows.
+        let backend =
+            field_str(line, "backend").and_then(|b| BackendKind::from_name(&b)).unwrap_or_default();
+        let Some(row) = rows.iter().find(|r| r.name == name && r.backend == backend) else {
+            continue;
+        };
+        let name = format!("{name}[{backend}]");
         if let Some(old) = field_f64(line, "s_per_img") {
             wall(&name, "s_per_img", old, row.s_per_img, &mut failures);
         }
@@ -408,10 +428,34 @@ fn main() {
     // Read the baseline before the out file is overwritten.
     let baseline = std::fs::read_to_string(&baseline_path).ok();
 
-    // Quick mode measures the same (network, batch) points it gates, so
-    // the exact simulated checks apply against the committed full report.
-    let plan: &[(&str, usize)] =
-        if quick { &[("alexnet", 4)] } else { &[("alexnet", 4), ("googlenet", 4), ("vggnet", 4)] };
+    // Backend restriction ladder: --backend, then SCNN_BACKEND, then
+    // every backend.
+    let backend_filter: Option<BackendKind> = arg_value("--backend")
+        .map(|v| {
+            BackendKind::from_name(&v)
+                .unwrap_or_else(|| panic!("unknown backend {v:?} (scnn | dcnn | dcnn-opt)"))
+        })
+        .or_else(|| std::env::var("SCNN_BACKEND").ok().and_then(|v| BackendKind::from_name(&v)));
+
+    // Quick mode measures the same (network, backend, batch) points it
+    // gates, so the exact simulated checks apply against the committed
+    // full report. AlexNet runs on every backend — the simulated
+    // SCNN-vs-DCNN comparison — while the larger networks stay on SCNN.
+    let plan: &[(&str, BackendKind, usize)] = if quick {
+        &[
+            ("alexnet", BackendKind::Scnn, 4),
+            ("alexnet", BackendKind::Dcnn, 4),
+            ("alexnet", BackendKind::DcnnOpt, 4),
+        ]
+    } else {
+        &[
+            ("alexnet", BackendKind::Scnn, 4),
+            ("alexnet", BackendKind::Dcnn, 4),
+            ("alexnet", BackendKind::DcnnOpt, 4),
+            ("googlenet", BackendKind::Scnn, 4),
+            ("vggnet", BackendKind::Scnn, 4),
+        ]
+    };
     let fabric_plan: &[(&str, usize, usize)] = &[("alexnet", 2, 4)];
     // (network, chip budget, batch) for the hybrid-planner rows; quick
     // mode measures the AlexNet point so its exact gates apply in CI.
@@ -419,11 +463,16 @@ fn main() {
         if quick { &[("alexnet", 4, 4)] } else { &[("alexnet", 4, 4), ("vggnet", 8, 4)] };
 
     let mut rows = Vec::new();
-    for &(name, batch) in plan {
-        let row = measure(name, batch);
+    for &(name, backend, batch) in plan {
+        if backend_filter.is_some_and(|b| b != backend) {
+            continue;
+        }
+        let row = measure(name, backend, batch);
         println!(
-            "{}: compile {:.3}s, {:.3} s/img (B={}), {:.0} cycles/img, {:.2} uJ/img, peak RSS {} kB",
+            "{} [{}]: compile {:.3}s, {:.3} s/img (B={}), {:.0} cycles/img, {:.2} uJ/img, \
+             peak RSS {} kB",
             row.name,
+            row.backend,
             row.compile_s,
             row.s_per_img,
             row.batch,
@@ -495,6 +544,7 @@ mod tests {
     fn row() -> Row {
         Row {
             name: "AlexNet".into(),
+            backend: BackendKind::Scnn,
             batch: 4,
             compile_s: 0.1,
             s_per_img: 1.0,
@@ -537,6 +587,7 @@ mod tests {
         let report = render("full", &[row()], &[fabric_row()], &[hybrid_row()]);
         let line = report.lines().find(|l| l.contains("\"cycles_per_img\"")).unwrap();
         assert_eq!(field_name(line).as_deref(), Some("AlexNet"));
+        assert_eq!(field_str(line, "backend").as_deref(), Some("scnn"));
         assert_eq!(field_f64(line, "s_per_img"), Some(1.0));
         assert_eq!(field_f64(line, "peak_rss_kb"), Some(51234.0));
         let fline = report.lines().find(|l| l.contains("\"chips\":")).unwrap();
@@ -585,6 +636,25 @@ mod tests {
         // exact gates must skip, not fire.
         let other_batch = "{\"name\": \"AlexNet\", \"batch\": 2, \"cycles_per_img\": 999.0}";
         assert!(check_regressions(other_batch, &[row()], &[], &[], 0.20).is_empty());
+    }
+
+    #[test]
+    fn network_rows_gate_per_backend() {
+        let mut dcnn = row();
+        dcnn.backend = BackendKind::Dcnn;
+        dcnn.cycles_per_img = 999.0;
+        let rows = [row(), dcnn];
+        // A dcnn baseline row compares against the dcnn measurement,
+        // never the scnn one with the same network name.
+        let same = "{\"name\": \"AlexNet\", \"backend\": \"dcnn\", \"batch\": 4, \
+                    \"cycles_per_img\": 999.0}";
+        assert!(check_regressions(same, &rows, &[], &[], 0.20).is_empty());
+        let off = "{\"name\": \"AlexNet\", \"backend\": \"dcnn\", \"batch\": 4, \
+                   \"cycles_per_img\": 373070.0}";
+        assert_eq!(check_regressions(off, &rows, &[], &[], 0.20).len(), 1);
+        // A schema-3 baseline line (no backend tag) means the SCNN row.
+        let legacy = "{\"name\": \"AlexNet\", \"batch\": 4, \"cycles_per_img\": 373070.0}";
+        assert!(check_regressions(legacy, &rows, &[], &[], 0.20).is_empty());
     }
 
     #[test]

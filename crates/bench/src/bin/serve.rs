@@ -26,9 +26,17 @@
 //! shorter trace and a 2-point grid, so CI pays two short calibrations
 //! and still sees the batching trend. Its numbers are not comparable
 //! row-for-row with the full sweep's.
+//!
+//! The final section serves a *heterogeneous* pool — AlexNet compiled
+//! for SCNN on one device and for the cycle-simulated DCNN baseline on
+//! another — and the report's per-backend rows compare p99 latency and
+//! energy per request across the two backends. `SCNN_BACKEND` selects
+//! the zoo models' backend (explicit config wins, then the variable,
+//! then `scnn`).
 
 use scnn::runner::RunConfig;
-use scnn::scnn_model::zoo;
+use scnn::scnn_model::{zoo, DensityProfile};
+use scnn::scnn_sim::BackendKind;
 use scnn_serve::engine::Engine;
 use scnn_serve::sim::{simulate, ServeConfig};
 use scnn_serve::trace::{generate, DeadlineClass, TenantSpec};
@@ -111,8 +119,11 @@ fn main() {
     // Weight pulls on a serving box cross the host memory path, not the
     // accelerator's local DRAM: model them at 4 words/cycle (~8GB/s at
     // the 1GHz PE clock), which is what makes model switches — and
-    // therefore batching — matter.
-    let mut engine = Engine::with_zoo(RunConfig::default()).with_dram_words_per_cycle(4.0);
+    // therefore batching — matter. The zoo backend follows the usual
+    // ladder (`SCNN_BACKEND`, default scnn).
+    let backend = BackendKind::resolve(None);
+    let mut engine =
+        Engine::with_zoo(RunConfig::default().with_backend(backend)).with_dram_words_per_cycle(4.0);
     let t0 = Instant::now();
     let mut models: Vec<&str> = trace.tenants.iter().map(|t| t.model.as_str()).collect();
     models.sort_unstable();
@@ -194,6 +205,31 @@ fn main() {
     let report = simulate(&mut engine, &trace, &cfg);
     println!("representative point ({devices} device(s), max_batch 4, 0.4M wait):\n");
     println!("{}", report.render());
+
+    // Heterogeneous pool: the same AlexNet workload served on the sparse
+    // SCNN backend and on the cycle-simulated dense DCNN baseline, one
+    // device each, so the report's per-backend rows put simulated
+    // SCNN-vs-DCNN latency and energy-per-request side by side. (With
+    // SCNN_BACKEND=dcnn the zoo model is already dense and the pool
+    // degenerates to two dense devices — still valid, just one row.)
+    let net = zoo::by_name("alexnet").expect("zoo network");
+    let dense_name = format!("{}-dcnn", net.name());
+    let profile = DensityProfile::paper(&net).expect("paper density profile");
+    engine.register_with_backend(dense_name.clone(), net, profile, "paper", BackendKind::Dcnn);
+    let hetero_tenants = vec![
+        TenantSpec::new("sparse-a", model("alexnet"), 1_500_000, DeadlineClass::Standard),
+        TenantSpec::new("dense-a", dense_name, 1_500_000, DeadlineClass::Standard),
+    ];
+    let hetero_trace = generate(&hetero_tenants, 40_000_000, 0x5EED);
+    let hetero_cfg = ServeConfig {
+        devices: 2,
+        device_backends: vec![backend, BackendKind::Dcnn],
+        batcher: BatcherConfig { max_batch: 4, max_wait_cycles: 400_000 },
+        ..Default::default()
+    };
+    let hetero = simulate(&mut engine, &hetero_trace, &hetero_cfg);
+    println!("heterogeneous pool (1 {backend} + 1 dcnn device, AlexNet on each):\n");
+    println!("{}", hetero.render());
     println!("\nlatency columns are Mcycles (~ms at the 1GHz PE clock); all numbers are");
     println!("virtual-time and bit-identical across runs and SCNN_THREADS settings.");
 }

@@ -15,16 +15,19 @@
 //! the batch grows. The raw per-image execute walls are printed too.
 //!
 //! ```text
-//! cargo run --release --bin throughput [-- max_batch [network]]
+//! cargo run --release --bin throughput [-- max_batch [network [backend]]]
 //! ```
 //!
 //! `max_batch` defaults to 8; `network` is `alexnet` (default),
-//! `googlenet` or `vggnet`. `SCNN_THREADS` controls the worker fan-out
-//! (results are thread-count independent).
+//! `googlenet` or `vggnet`; `backend` is `scnn` (default), `dcnn` or
+//! `dcnn-opt` — the usual ladder: the explicit argument wins, then the
+//! `SCNN_BACKEND` environment variable, then `scnn`. `SCNN_THREADS`
+//! controls the worker fan-out (results are thread-count independent).
 
 use scnn::batch::CompiledNetwork;
 use scnn::runner::{NetworkRun, RunConfig};
 use scnn::scnn_model::zoo;
+use scnn::scnn_sim::BackendKind;
 use std::time::Instant;
 
 fn main() {
@@ -35,7 +38,11 @@ fn main() {
     let name = args.next().unwrap_or_else(|| "alexnet".to_owned());
     let net = zoo::by_name(&name)
         .unwrap_or_else(|| panic!("unknown network {name:?} (alexnet | googlenet | vggnet)"));
-    let config = RunConfig::default();
+    let backend = BackendKind::resolve(args.next().map(|a| {
+        BackendKind::from_name(&a)
+            .unwrap_or_else(|| panic!("unknown backend {a:?} (scnn | dcnn | dcnn-opt)"))
+    }));
+    let config = RunConfig::default().with_backend(backend);
 
     // Compile phase: weights synthesized + compressed exactly once.
     let t0 = Instant::now();
@@ -43,8 +50,9 @@ fn main() {
     let compile_s = t0.elapsed().as_secs_f64();
     let weight_words = compiled.weight_dram_words();
     println!(
-        "compiled {} ({} layers, {:.2} MB compressed weights) in {:.3}s",
+        "compiled {} for {} ({} layers, {:.2} MB stored weights) in {:.3}s",
         net.name(),
+        backend,
         compiled.layers.len(),
         weight_words * 2.0 / 1e6,
         compile_s
@@ -78,11 +86,13 @@ fn main() {
         // Amortized per-image wall: the compile is paid once per batch,
         // execution cost per image is batch-size independent.
         let per_image_wall = compile_s / b + mean_exec;
-        let cycles: u64 =
-            runs[..batch].iter().map(|r| r.layers.iter().map(|l| l.scnn.cycles).sum::<u64>()).sum();
+        let cycles: u64 = runs[..batch]
+            .iter()
+            .map(|r| r.layers.iter().map(|l| l.primary().cycles).sum::<u64>())
+            .sum();
         let energy: f64 = runs[..batch]
             .iter()
-            .map(|r| r.layers.iter().map(|l| l.scnn.energy_pj()).sum::<f64>())
+            .map(|r| r.layers.iter().map(|l| l.primary().energy_pj()).sum::<f64>())
             .sum();
         println!(
             "{:>5} {:>12.3} {:>12.3} {:>14.0} {:>16.2} {:>16.0}",
@@ -99,8 +109,9 @@ fn main() {
     // The §IV amortization in one line: image 0 pays the weight fetch,
     // image 1 doesn't.
     if runs.len() > 1 {
-        let dram =
-            |r: &NetworkRun| -> f64 { r.layers.iter().map(|l| l.scnn.counts.dram_words).sum() };
+        let dram = |r: &NetworkRun| -> f64 {
+            r.layers.iter().map(|l| l.primary().counts.dram_words).sum()
+        };
         println!(
             "\nimage 0 DRAM words {:.0} (weights {:.0} + activations); image 1 DRAM words {:.0}",
             dram(&runs[0]),

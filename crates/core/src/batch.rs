@@ -32,8 +32,8 @@ use crate::runner::{input_seed, layer_seed, LayerRun, NetworkRun, RunConfig};
 use scnn_arch::DcnnConfig;
 use scnn_model::{synth_layer_input, synth_weights, DensityProfile, LayerDensity, Network};
 use scnn_sim::{
-    oracle_cycles, CompiledLayer, DcnnMachine, OperandProfile, RunOptions, ScnnMachine,
-    SimWorkspace,
+    oracle_cycles, AnyBackend, AnyCompiledLayer, BackendKind, DcnnMachine, LayerResult,
+    OperandProfile, RunOptions, ScnnMachine, SimWorkspace,
 };
 
 /// One evaluated layer's compile-phase output: the compressed-weight
@@ -52,8 +52,11 @@ pub struct CompiledNetworkLayer {
     /// Measured density of the synthesized weight tensor (for the dense
     /// baselines' operand profile).
     pub weight_density: f64,
-    /// The compiled weight-stationary state.
-    pub compiled: CompiledLayer,
+    /// The compiled machine state for the run's backend
+    /// ([`RunConfig::backend`]): compressed weight-stationary state for
+    /// SCNN, the tile-walk cycle schedule plus weight-tap census for the
+    /// dense machines.
+    pub compiled: AnyCompiledLayer,
 }
 
 /// A network compiled against one set of synthesized weights: the compile
@@ -85,7 +88,7 @@ impl CompiledNetwork {
     #[must_use]
     pub fn compile(network: &Network, profile: &DensityProfile, config: &RunConfig) -> Self {
         assert_eq!(profile.len(), network.layers().len(), "profile misaligned");
-        let scnn = ScnnMachine::new(config.scnn).with_energy_model(config.energy);
+        let backend = backend_machine(config);
         let evaluated: Vec<usize> = network.eval_indices().collect();
         let layers = scnn_par::par_map(&evaluated, config.threads, |&i| {
             let layer = &network.layers()[i];
@@ -97,7 +100,7 @@ impl CompiledNetwork {
                 group_label: layer.group_label.clone(),
                 density: d,
                 weight_density: weights.density(),
-                compiled: scnn.compile_layer(&layer.shape, &weights),
+                compiled: backend.compile_layer(&layer.shape, &weights),
             }
         });
         Self { network: network.clone(), profile: profile.clone(), config: config.clone(), layers }
@@ -151,9 +154,9 @@ impl CompiledNetwork {
         trace: Option<&mut Vec<u64>>,
     ) -> LayerRun {
         let cl = &self.layers[slot];
-        let shape = cl.compiled.shape();
+        let shape = *cl.compiled.shape();
         let input = synth_layer_input(
-            shape,
+            &shape,
             cl.density.act,
             input_seed(self.config.seed, cl.layer_index, image),
         );
@@ -164,25 +167,60 @@ impl CompiledNetwork {
             ..Default::default()
         };
 
-        // The output tensor stays in the workspace: measured for the
-        // dense baselines' operand profile, then recycled (the run stays
-        // lightweight without ever allocating an output copy).
         let full = 0..cl.compiled.ocg_count();
         let slices = slices.unwrap_or(std::slice::from_ref(&full));
-        let s =
-            machines.scnn.execute_layer_sliced_with(&cl.compiled, &input, &opts, ws, slices, trace);
-        let operand = OperandProfile::measure(&input, cl.weight_density, Some(ws.output()));
-        let p = machines.dcnn.run_layer(shape, &operand, opts.input_from_dram);
-        let o = machines.dcnn_opt.run_layer(shape, &operand, opts.input_from_dram);
-        let oracle = oracle_cycles(s.stats.products, machines.total_mults);
+        let primary = machines.backend.execute_layer_sliced_with(
+            &cl.compiled,
+            &input,
+            &opts,
+            ws,
+            slices,
+            trace,
+        );
+
+        let (scnn, dcnn, dcnn_opt) = match self.config.backend {
+            // SCNN backend: the functional machine executed; the dense
+            // baselines stay the analytical estimates, measured against
+            // the output tensor the SCNN run left in the workspace (then
+            // recycled — the run never allocates an output copy).
+            BackendKind::Scnn => {
+                let operand = OperandProfile::measure(&input, cl.weight_density, Some(ws.output()));
+                let p = machines.dcnn.run_layer(&shape, &operand, opts.input_from_dram);
+                let o = machines.dcnn_opt.run_layer(&shape, &operand, opts.input_from_dram);
+                (primary, p, o)
+            }
+            // Dense backends: the cycle-modeled dense path executed; the
+            // sibling variant runs against the same compiled layer (one
+            // compilation serves both), and the SCNN slot stays empty —
+            // the sparse machine never ran.
+            BackendKind::Dcnn => {
+                let dl = cl.compiled.as_dcnn().expect("dense backend compiles dense layers");
+                let o = machines.dcnn_opt.execute_layer_with(dl, &input, &opts, ws);
+                (LayerResult::empty(), primary, o)
+            }
+            BackendKind::DcnnOpt => {
+                let dl = cl.compiled.as_dcnn().expect("dense backend compiles dense layers");
+                let p = machines.dcnn.execute_layer_with(dl, &input, &opts, ws);
+                (LayerResult::empty(), p, primary)
+            }
+        };
+        // The packing oracle bounds whichever machine executed: SCNN's
+        // valid multiplies, or the dense walk's MACs, over the (equal)
+        // multiplier provisioning.
+        let products = match self.config.backend {
+            BackendKind::Scnn => scnn.stats.products,
+            BackendKind::Dcnn | BackendKind::DcnnOpt => dcnn.stats.products,
+        };
+        let oracle = oracle_cycles(products, machines.total_mults);
 
         LayerRun {
             layer_index: cl.layer_index,
             name: cl.name.clone(),
             group_label: cl.group_label.clone(),
-            scnn: s,
-            dcnn: p,
-            dcnn_opt: o,
+            backend: self.config.backend,
+            scnn,
+            dcnn,
+            dcnn_opt,
             oracle_cycles: oracle,
         }
     }
@@ -301,9 +339,30 @@ impl CompiledNetwork {
     }
 }
 
-/// The three machine models an execution needs, built once per batch.
+/// The run's primary backend machine, built from [`RunConfig::backend`]
+/// (shared by the compile phase and [`Machines`]).
+fn backend_machine(config: &RunConfig) -> AnyBackend {
+    match config.backend {
+        BackendKind::Scnn => {
+            AnyBackend::Scnn(ScnnMachine::new(config.scnn).with_energy_model(config.energy))
+        }
+        BackendKind::Dcnn => AnyBackend::Dcnn(
+            DcnnMachine::new(DcnnConfig { optimized: false, ..config.dcnn })
+                .with_energy_model(config.energy),
+        ),
+        BackendKind::DcnnOpt => AnyBackend::Dcnn(
+            DcnnMachine::new(DcnnConfig { optimized: true, ..config.dcnn })
+                .with_energy_model(config.energy),
+        ),
+    }
+}
+
+/// The machine models an execution needs, built once per batch: the
+/// primary backend plus the two dense variants (analytical baselines
+/// under the SCNN backend; the sibling cycle-modeled variant under a
+/// dense one).
 struct Machines {
-    scnn: ScnnMachine,
+    backend: AnyBackend,
     dcnn: DcnnMachine,
     dcnn_opt: DcnnMachine,
     total_mults: u64,
@@ -312,7 +371,7 @@ struct Machines {
 impl Machines {
     fn new(config: &RunConfig) -> Self {
         Self {
-            scnn: ScnnMachine::new(config.scnn).with_energy_model(config.energy),
+            backend: backend_machine(config),
             dcnn: DcnnMachine::new(DcnnConfig { optimized: false, ..config.dcnn })
                 .with_energy_model(config.energy),
             dcnn_opt: DcnnMachine::new(DcnnConfig { optimized: true, ..config.dcnn })
@@ -376,44 +435,50 @@ impl BatchRun {
         self.images.len()
     }
 
-    /// Total SCNN cycles across all images (sequential-image latency).
+    /// Total primary-backend cycles across all images (sequential-image
+    /// latency on whichever machine [`RunConfig::backend`] selected).
     #[must_use]
     pub fn total_cycles(&self) -> u64 {
-        self.images.iter().map(|img| img.layers.iter().map(|l| l.scnn.cycles).sum::<u64>()).sum()
+        self.images
+            .iter()
+            .map(|img| img.layers.iter().map(|l| l.primary().cycles).sum::<u64>())
+            .sum()
     }
 
-    /// Mean SCNN cycles per image.
+    /// Mean primary-backend cycles per image.
     #[must_use]
     pub fn cycles_per_image(&self) -> f64 {
         self.total_cycles() as f64 / self.batch_size().max(1) as f64
     }
 
-    /// Total SCNN energy across all images, in picojoules.
+    /// Total primary-backend energy across all images, in picojoules.
     #[must_use]
     pub fn total_energy_pj(&self) -> f64 {
         self.images
             .iter()
-            .map(|img| img.layers.iter().map(|l| l.scnn.energy_pj()).sum::<f64>())
+            .map(|img| img.layers.iter().map(|l| l.primary().energy_pj()).sum::<f64>())
             .sum()
     }
 
-    /// Mean SCNN energy per image in picojoules (the weight-fetch energy
-    /// image 0 paid is spread across the batch by construction).
+    /// Mean primary-backend energy per image in picojoules (the
+    /// weight-fetch energy image 0 paid is spread across the batch by
+    /// construction).
     #[must_use]
     pub fn energy_pj_per_image(&self) -> f64 {
         self.total_energy_pj() / self.batch_size().max(1) as f64
     }
 
-    /// Total SCNN DRAM traffic across all images, in 16-bit words.
+    /// Total primary-backend DRAM traffic across all images, in 16-bit
+    /// words.
     #[must_use]
     pub fn total_dram_words(&self) -> f64 {
         self.images
             .iter()
-            .map(|img| img.layers.iter().map(|l| l.scnn.counts.dram_words).sum::<f64>())
+            .map(|img| img.layers.iter().map(|l| l.primary().counts.dram_words).sum::<f64>())
             .sum()
     }
 
-    /// Mean SCNN DRAM words per image.
+    /// Mean primary-backend DRAM words per image.
     #[must_use]
     pub fn dram_words_per_image(&self) -> f64 {
         self.total_dram_words() / self.batch_size().max(1) as f64

@@ -22,7 +22,7 @@
 use crate::batch::CompiledNetwork;
 use scnn_arch::{DcnnConfig, EnergyModel, ScnnConfig};
 use scnn_model::{DensityProfile, Network};
-use scnn_sim::LayerResult;
+use scnn_sim::{BackendKind, LayerResult};
 
 /// Multiplicative stride separating per-layer operand seeds.
 const LAYER_SEED_STRIDE: u64 = 7919;
@@ -61,17 +61,36 @@ pub struct LayerRun {
     pub name: String,
     /// Figure aggregation label (e.g. `IC_3a`), when any.
     pub group_label: Option<String>,
+    /// The backend that executed this layer ([`RunConfig::backend`]) —
+    /// selects which field below [`LayerRun::primary`] reads.
+    pub backend: BackendKind,
     /// SCNN cycle-level result (output tensor dropped to save memory).
+    /// [`LayerResult::empty`] when a dense backend executed instead.
     pub scnn: LayerResult,
-    /// Dense DCNN result.
+    /// Dense DCNN result: cycle-modeled when a dense backend executed,
+    /// the analytical estimate when the SCNN backend did.
     pub dcnn: LayerResult,
     /// DCNN-opt result (same cycles as DCNN, lower energy).
     pub dcnn_opt: LayerResult,
-    /// `SCNN(oracle)` latency bound in cycles.
+    /// `SCNN(oracle)` latency bound in cycles (SCNN backend), or the
+    /// ideal dense packing bound (dense backends).
     pub oracle_cycles: u64,
 }
 
 impl LayerRun {
+    /// The result of the machine the run's backend actually executed —
+    /// what backend-generic consumers (batch aggregates, the serving
+    /// engine's calibration, fabric schedules) must read instead of
+    /// hard-coding [`LayerRun::scnn`].
+    #[must_use]
+    pub fn primary(&self) -> &LayerResult {
+        match self.backend {
+            BackendKind::Scnn => &self.scnn,
+            BackendKind::Dcnn => &self.dcnn,
+            BackendKind::DcnnOpt => &self.dcnn_opt,
+        }
+    }
+
     /// SCNN speedup over DCNN for this layer.
     #[must_use]
     pub fn scnn_speedup(&self) -> f64 {
@@ -136,6 +155,13 @@ pub struct RunConfig {
     /// Composes with the layer/image grid fan-out, so keep
     /// `threads * pe_threads` near the machine's core count.
     pub pe_threads: usize,
+    /// Which machine executes the network ([`BackendKind::Scnn`] by
+    /// default — the paper's machine). Dense backends execute the
+    /// cycle-modeled DCNN path instead and leave [`LayerRun::scnn`]
+    /// empty; the SCNN backend keeps the analytical dense baselines in
+    /// every [`LayerRun`] exactly as before, so the default is
+    /// bit-identical to the pre-backend runner.
+    pub backend: BackendKind,
 }
 
 impl Default for RunConfig {
@@ -147,6 +173,7 @@ impl Default for RunConfig {
             seed: 0x5C99,
             threads: 0,
             pe_threads: 0,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -164,6 +191,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_pe_threads(mut self, pe_threads: usize) -> Self {
         self.pe_threads = pe_threads;
+        self
+    }
+
+    /// This configuration with an explicit execution backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 }

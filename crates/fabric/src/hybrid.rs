@@ -33,7 +33,7 @@ use crate::partition::StagePlan;
 use crate::pipeline::{boundary_words, BoundaryTraffic, PipelineSchedule};
 use scnn::batch::{BatchRun, CompiledNetwork};
 use scnn::runner::NetworkRun;
-use scnn_sim::{CompiledLayer, SimWorkspace};
+use scnn_sim::{AnyCompiledLayer, SimWorkspace};
 use std::ops::Range;
 
 /// One hybrid stage: a contiguous range of layer slots executed by
@@ -126,16 +126,17 @@ impl HybridPlan {
 
     /// Splits one compiled layer's flattened OCG index space into at
     /// most `width` contiguous slices balanced by per-OCG weight
-    /// non-zeros ([`CompiledLayer::ocg_weight_nnz`]) — each slice is one
-    /// tensor-parallel chip's share. Fewer than `width` slices come back
-    /// when the layer has fewer OCGs than chips (the excess chips idle
-    /// for that layer).
+    /// non-zeros ([`AnyCompiledLayer::ocg_weight_nnz`]) — each slice is
+    /// one tensor-parallel chip's share. Fewer than `width` slices come
+    /// back when the layer has fewer OCGs than chips (the excess chips
+    /// idle for that layer). A dense-backend layer has a single OCG, so
+    /// it always degenerates to one full-width slice.
     ///
     /// # Panics
     ///
     /// Panics if `width` is zero.
     #[must_use]
-    pub fn ocg_slices(layer: &CompiledLayer, width: usize) -> Vec<Range<usize>> {
+    pub fn ocg_slices(layer: &AnyCompiledLayer, width: usize) -> Vec<Range<usize>> {
         let costs: Vec<f64> = layer.ocg_weight_nnz().iter().map(|&n| n as f64).collect();
         StagePlan::balance(&costs, width).stages.into_iter().map(|s| s.slots).collect()
     }

@@ -45,8 +45,14 @@ pub struct StagePlan {
 /// products (non-zero weights × expected non-zero activations per
 /// channel plane) over the chip's multiplier count, floored at one cycle
 /// so empty layers still occupy a pipeline slot.
+///
+/// Dense-backend layers need no estimate at all: their performance is
+/// value-independent, so the compiled tile walk's cycle count is exact.
 #[must_use]
 pub fn layer_cost_estimate(layer: &CompiledNetworkLayer, total_multipliers: usize) -> f64 {
+    if let Some(dl) = layer.compiled.as_dcnn() {
+        return (dl.cycles() as f64).max(1.0);
+    }
     let shape = layer.compiled.shape();
     let acts_per_channel = layer.density.act * (shape.w * shape.h) as f64;
     let products = layer.compiled.weight_nnz() as f64 * acts_per_channel;

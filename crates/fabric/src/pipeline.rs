@@ -273,7 +273,7 @@ impl FabricRun {
                 batch
                     .images
                     .iter()
-                    .map(|img| img.layers[range.clone()].iter().map(|l| l.scnn.cycles).sum())
+                    .map(|img| img.layers[range.clone()].iter().map(|l| l.primary().cycles).sum())
                     .collect()
             })
             .collect();

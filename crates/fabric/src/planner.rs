@@ -55,7 +55,10 @@ pub struct PlanCosts {
 impl PlanCosts {
     /// Distills the planner's cost vectors from the compiled state: the
     /// same `weight_nnz x expected-activations / multipliers` estimate
-    /// as [`layer_cost_estimate`], resolved to OCG granularity.
+    /// as [`layer_cost_estimate`], resolved to OCG granularity. A
+    /// dense-backend layer is one exact-cycle OCG (its tile walk fixes
+    /// cycles at compile time), so hybrid plans over a dense network
+    /// degenerate to width-1 stages naturally.
     ///
     /// [`layer_cost_estimate`]: crate::partition::layer_cost_estimate
     #[must_use]
@@ -64,10 +67,13 @@ impl PlanCosts {
         let ocg_cycles = compiled
             .layers
             .iter()
-            .map(|l| {
-                let shape = l.compiled.shape();
-                let acts = l.density.act * (shape.w * shape.h) as f64;
-                l.compiled.ocg_weight_nnz().iter().map(|&n| n as f64 * acts / mults).collect()
+            .map(|l| match l.compiled.as_dcnn() {
+                Some(dl) => vec![(dl.cycles() as f64).max(1.0)],
+                None => {
+                    let shape = l.compiled.shape();
+                    let acts = l.density.act * (shape.w * shape.h) as f64;
+                    l.compiled.ocg_weight_nnz().iter().map(|&n| n as f64 * acts / mults).collect()
+                }
             })
             .collect();
         let input_words = compiled

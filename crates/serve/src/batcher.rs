@@ -110,9 +110,19 @@ impl Batcher {
     /// poppable right now.
     #[must_use]
     pub fn next_ripe(&self) -> Option<u64> {
+        self.next_ripe_for(|_| true)
+    }
+
+    /// As [`Batcher::next_ripe`], but considering only the queues whose
+    /// model `eligible` accepts — how a heterogeneous-pool scheduler
+    /// asks "when does work for a backend with a free device ripen?"
+    /// without queues for busy backends stalling the clock.
+    #[must_use]
+    pub fn next_ripe_for(&self, eligible: impl Fn(&str) -> bool) -> Option<u64> {
         self.queues
-            .values()
-            .filter_map(|q| q.front().map(|head| self.ripe_at(head.arrival, q.len())))
+            .iter()
+            .filter(|(model, _)| eligible(model))
+            .filter_map(|(_, q)| q.front().map(|head| self.ripe_at(head.arrival, q.len())))
             .min()
     }
 
@@ -120,11 +130,21 @@ impl Batcher {
     /// has waited longest (model-name order breaks ties), or `None` if
     /// no queue is ripe at `now`.
     pub fn pop_ripe(&mut self, now: u64) -> Option<Batch> {
+        self.pop_ripe_for(now, |_| true)
+    }
+
+    /// As [`Batcher::pop_ripe`], but popping only from queues whose
+    /// model `eligible` accepts. A heterogeneous device pool passes
+    /// "this model's backend has a free device": ripe work for a busy
+    /// backend stays queued (and keeps coalescing) instead of being
+    /// popped with nowhere to dispatch.
+    pub fn pop_ripe_for(&mut self, now: u64, eligible: impl Fn(&str) -> bool) -> Option<Batch> {
         let model = self
             .queues
             .iter()
-            .filter(|(_, q)| {
-                q.front().is_some_and(|head| self.ripe_at(head.arrival, q.len()) <= now)
+            .filter(|(model, q)| {
+                eligible(model)
+                    && q.front().is_some_and(|head| self.ripe_at(head.arrival, q.len()) <= now)
             })
             .min_by(|(am, aq), (bm, bq)| {
                 (aq.front().expect("non-empty").arrival, am)
@@ -222,6 +242,23 @@ mod tests {
         b.push(req(1, "ant", 5));
         assert_eq!(b.pop_ripe(100).expect("ripe").model, "ant");
         assert_eq!(b.pop_ripe(100).expect("ripe").model, "zebra");
+    }
+
+    #[test]
+    fn filtered_pops_skip_ineligible_models_without_draining_them() {
+        let mut b = batcher(4, 100);
+        b.push(req(0, "old", 10));
+        b.push(req(1, "young", 50));
+        // Both ripe, but "old" is ineligible (its backend's devices are
+        // busy): the pop must skip it and take "young", leaving "old"
+        // queued and still visible to the filtered ripeness probe.
+        let batch = b.pop_ripe_for(300, |m| m != "old").expect("young is eligible and ripe");
+        assert_eq!(batch.model, "young");
+        assert_eq!(b.pending(), 1);
+        assert_eq!(b.next_ripe_for(|m| m == "old"), Some(110));
+        assert_eq!(b.next_ripe_for(|m| m == "young"), None);
+        assert!(b.pop_ripe_for(300, |m| m == "young").is_none());
+        assert_eq!(b.pop_ripe_for(300, |_| true).expect("old still ripe").model, "old");
     }
 
     #[test]

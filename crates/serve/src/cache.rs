@@ -10,18 +10,25 @@
 //! sequence number breaking same-cycle ties, so eviction order is
 //! bit-reproducible run to run.
 
+use scnn_sim::BackendKind;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Identity of a compiled model in the serving tier.
 ///
-/// Ordering is derived (model, then profile tag, then config fingerprint)
-/// so the cache can live in a [`BTreeMap`] and iterate deterministically.
+/// Ordering is derived (model, then profile tag, then backend, then
+/// config fingerprint) so the cache can live in a [`BTreeMap`] and
+/// iterate deterministically.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct ModelKey {
     /// Registered model name (e.g. `AlexNet`).
     pub model: String,
     /// Density-profile tag (e.g. `paper`).
     pub profile: String,
+    /// The backend the model compiles for. Part of the cache identity in
+    /// its own right (not just folded into the fingerprint): a model
+    /// compiled for SCNN can never be served as a cache hit for a DCNN
+    /// device, even if every other parameter collides.
+    pub backend: BackendKind,
     /// Fingerprint of the run configuration the model compiles under
     /// (machine geometry, energy model, seed — *not* the thread count;
     /// see `Engine::fingerprint`).
@@ -91,7 +98,14 @@ struct Entry<V> {
 /// ```
 /// use scnn_serve::cache::{ModelCache, ModelKey};
 ///
-/// let key = |m: &str| ModelKey { model: m.into(), profile: "paper".into(), config: 1 };
+/// use scnn_sim::BackendKind;
+///
+/// let key = |m: &str| ModelKey {
+///     model: m.into(),
+///     profile: "paper".into(),
+///     backend: BackendKind::Scnn,
+///     config: 1,
+/// };
 /// let mut cache: ModelCache<u32> = ModelCache::new(1);
 /// let (_, hit) = cache.get_or_insert_with(&key("a"), 0, || 10);
 /// assert!(!hit);
@@ -213,7 +227,11 @@ mod tests {
     use super::*;
 
     fn key(model: &str) -> ModelKey {
-        ModelKey { model: model.into(), profile: "paper".into(), config: 0xC0FFEE }
+        key_on(model, BackendKind::Scnn)
+    }
+
+    fn key_on(model: &str, backend: BackendKind) -> ModelKey {
+        ModelKey { model: model.into(), profile: "paper".into(), backend, config: 0xC0FFEE }
     }
 
     #[test]
@@ -271,6 +289,29 @@ mod tests {
         let s = cache.stats();
         assert!((s.hit_rate() - 0.9).abs() < 1e-12);
         assert_eq!(s.warm_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn backend_is_part_of_the_cache_identity() {
+        // Collision regression: same model, same profile tag, same
+        // config fingerprint — the backend alone must keep the entries
+        // apart, so an SCNN compilation can never be served as a hit on
+        // a DCNN device.
+        let mut cache: ModelCache<u32> = ModelCache::new(4);
+        let (_, hit) = cache.get_or_insert_with(&key_on("alexnet", BackendKind::Scnn), 0, || 1);
+        assert!(!hit);
+        let (v, hit) = cache.get_or_insert_with(&key_on("alexnet", BackendKind::Dcnn), 1, || 2);
+        assert!(!hit, "a DCNN lookup must never hit the SCNN compilation");
+        assert_eq!(*v, 2);
+        let (v, hit) = cache.get_or_insert_with(&key_on("alexnet", BackendKind::DcnnOpt), 2, || 3);
+        assert!(!hit);
+        assert_eq!(*v, 3);
+        assert_eq!(cache.len(), 3, "three backends, three entries");
+        // Each backend's entry stays individually addressable.
+        let (v, hit) =
+            cache.get_or_insert_with(&key_on("alexnet", BackendKind::Scnn), 3, || unreachable!());
+        assert!(hit);
+        assert_eq!(*v, 1);
     }
 
     #[test]

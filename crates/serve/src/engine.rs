@@ -27,7 +27,7 @@ use scnn::runner::RunConfig;
 use scnn_arch::HaloStrategy;
 use scnn_fabric::{boundary_words, plan_hybrid, stage_timing, LinkConfig, StagePlan};
 use scnn_model::{zoo, DensityProfile, Network};
-use scnn_sim::SimWorkspace;
+use scnn_sim::{BackendKind, SimWorkspace};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -36,6 +36,9 @@ use std::rc::Rc;
 pub struct ModelProfile {
     /// Registered model name.
     pub name: String,
+    /// The backend the model was compiled and calibrated for — the
+    /// scheduler routes its batches to devices of this backend only.
+    pub backend: BackendKind,
     /// Cycles to execute one image with weights resident (whole-network
     /// SCNN latency of a steady-state batch image, summed over every
     /// layer — chip-count independent).
@@ -99,12 +102,14 @@ impl ModelProfile {
     }
 }
 
-/// One registered model: a network plus the density profile it serves at.
+/// One registered model: a network plus the density profile it serves
+/// at and the backend it compiles for.
 #[derive(Debug, Clone)]
 struct ModelSpec {
     network: Network,
     profile: DensityProfile,
     profile_tag: String,
+    backend: BackendKind,
 }
 
 /// The model registry and calibration memo behind a serving simulation.
@@ -243,7 +248,8 @@ impl Engine {
         self.chips
     }
 
-    /// Registers `network` under `name`, serving at `profile` densities.
+    /// Registers `network` under `name`, serving at `profile` densities
+    /// on the engine configuration's backend ([`RunConfig::backend`]).
     /// `profile_tag` names the density choice inside the [`ModelKey`]
     /// (e.g. `paper`).
     ///
@@ -258,12 +264,43 @@ impl Engine {
         profile: DensityProfile,
         profile_tag: impl Into<String>,
     ) {
+        let backend = self.config.backend;
+        self.register_with_backend(name, network, profile, profile_tag, backend);
+    }
+
+    /// As [`Engine::register`], but compiling the model for an explicit
+    /// backend — how one engine serves a heterogeneous SCNN + DCNN
+    /// device pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is misaligned with the network or `name` is
+    /// already registered.
+    pub fn register_with_backend(
+        &mut self,
+        name: impl Into<String>,
+        network: Network,
+        profile: DensityProfile,
+        profile_tag: impl Into<String>,
+        backend: BackendKind,
+    ) {
         let name = name.into();
         assert_eq!(profile.len(), network.layers().len(), "profile misaligned with network");
-        let previous = self
-            .models
-            .insert(name.clone(), ModelSpec { network, profile, profile_tag: profile_tag.into() });
+        let previous = self.models.insert(
+            name.clone(),
+            ModelSpec { network, profile, profile_tag: profile_tag.into(), backend },
+        );
         assert!(previous.is_none(), "model {name:?} registered twice");
+    }
+
+    /// The backend a registered model compiles for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not registered.
+    #[must_use]
+    pub fn backend_of(&self, name: &str) -> BackendKind {
+        self.models.get(name).unwrap_or_else(|| panic!("model {name:?} unregistered")).backend
     }
 
     /// Registered model names, sorted.
@@ -303,7 +340,12 @@ impl Engine {
         fnv.eat(self.plan_budget.map_or(0, |b| b as u64 + 1));
         fnv.eat(self.link.words_per_cycle.to_bits());
         fnv.eat(self.link.pj_per_word.to_bits());
-        ModelKey { model: name.to_owned(), profile: spec.profile_tag.clone(), config: fnv.finish() }
+        ModelKey {
+            model: name.to_owned(),
+            profile: spec.profile_tag.clone(),
+            backend: spec.backend,
+            config: fnv.finish(),
+        }
     }
 
     /// The calibrated service profile of a registered model, compiling
@@ -318,7 +360,11 @@ impl Engine {
             return Rc::clone(p);
         }
         let spec = self.models.get(name).unwrap_or_else(|| panic!("model {name:?} unregistered"));
-        let compiled = CompiledNetwork::compile(&spec.network, &spec.profile, &self.config);
+        // Compile for the model's backend; everything else comes from
+        // the engine configuration (so an SCNN-backend registration is
+        // bit-identical to the pre-backend engine).
+        let run_config = RunConfig { backend: spec.backend, ..self.config.clone() };
+        let compiled = CompiledNetwork::compile(&spec.network, &spec.profile, &run_config);
         let slots = compiled.layers.len();
 
         // Image 1, not image 0: image 0 pays the weight DRAM fetch, which
@@ -341,7 +387,7 @@ impl Engine {
         };
         let weight_dram_words = compiled.weight_dram_words();
         let weight_load_cycles = (weight_dram_words / self.dram_words_per_cycle).ceil() as u64;
-        let image_cycles: u64 = steady_layers.iter().map(|l| l.scnn.cycles).sum();
+        let image_cycles: u64 = steady_layers.iter().map(|l| l.primary().cycles).sum();
 
         // Fabric calibration, so the scheduler can charge fill +
         // bottleneck per batch. One chip degenerates to fill =
@@ -379,7 +425,9 @@ impl Engine {
                 let stage_cycles: Vec<u64> = plan
                     .stages
                     .iter()
-                    .map(|s| steady_layers[s.slots.clone()].iter().map(|l| l.scnn.cycles).sum())
+                    .map(|s| {
+                        steady_layers[s.slots.clone()].iter().map(|l| l.primary().cycles).sum()
+                    })
                     .collect();
                 let xfer_words: Vec<f64> = plan
                     .stages
@@ -408,9 +456,10 @@ impl Engine {
 
         let profile = Rc::new(ModelProfile {
             name: name.to_owned(),
+            backend: spec.backend,
             image_cycles,
-            image_energy_pj: steady_layers.iter().map(|l| l.scnn.energy_pj()).sum(),
-            image_dram_words: steady_layers.iter().map(|l| l.scnn.counts.dram_words).sum(),
+            image_energy_pj: steady_layers.iter().map(|l| l.primary().energy_pj()).sum(),
+            image_dram_words: steady_layers.iter().map(|l| l.primary().counts.dram_words).sum(),
             weight_dram_words,
             weight_load_cycles,
             weight_energy_pj: weight_dram_words * self.config.energy.e_dram,
@@ -477,6 +526,7 @@ pub fn fingerprint(config: &RunConfig) -> u64 {
         eat(v.to_bits());
     }
     eat(config.seed);
+    eat(config.backend.tag());
     fnv.finish()
 }
 

@@ -98,9 +98,26 @@ pub struct TenantReport {
     pub metrics: GroupMetrics,
 }
 
+/// One backend's aggregated slice of a (possibly heterogeneous) pool:
+/// every request served by devices of this backend, plus the device
+/// count — the per-backend cost/energy-per-SLO row a mixed SCNN + DCNN
+/// sweep compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendReport {
+    /// Backend name (`scnn`, `dcnn`, `dcnn-opt`).
+    pub backend: String,
+    /// Devices of this backend in the pool.
+    pub devices: u64,
+    /// Aggregated metrics over the backend's requests.
+    pub metrics: GroupMetrics,
+}
+
 /// One simulated device's accounting.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeviceReport {
+    /// Backend name the device executes (`scnn` unless the pool is
+    /// heterogeneous).
+    pub backend: String,
     /// Batches executed.
     pub batches: u64,
     /// Images executed.
@@ -123,6 +140,9 @@ pub struct ServeReport {
     pub global: GroupMetrics,
     /// Per-tenant metrics, in tenant order.
     pub tenants: Vec<TenantReport>,
+    /// Per-backend metrics, in [`scnn_sim::BackendKind::ALL`] order,
+    /// one entry per backend present in the device pool.
+    pub backends: Vec<BackendReport>,
     /// Per-device accounting, in device order.
     pub devices: Vec<DeviceReport>,
     /// Compiled-model cache counters.
@@ -175,7 +195,13 @@ impl ServeReport {
             fnv.eat(t.name.len() as u64);
             eat_group(&mut fnv, &t.metrics);
         }
+        for b in &self.backends {
+            fnv.eat(b.backend.len() as u64);
+            fnv.eat(b.devices);
+            eat_group(&mut fnv, &b.metrics);
+        }
         for d in &self.devices {
+            fnv.eat(d.backend.len() as u64);
             fnv.eat(d.batches);
             fnv.eat(d.images);
             fnv.eat(d.busy_cycles);
@@ -218,18 +244,34 @@ impl ServeReport {
             self.cache.warm_hit_rate() * 100.0,
         ));
         out.push_str(&format!(
-            "devices: {:.1}% busy — {}\n\n",
+            "devices: {:.1}% busy — {}\n",
             self.device_utilization() * 100.0,
             self.devices
                 .iter()
                 .enumerate()
                 .map(|(i, d)| format!(
-                    "dev{i} {} batches / {} images / {} loads",
-                    d.batches, d.images, d.weight_loads
+                    "dev{i}[{}] {} batches / {} images / {} loads",
+                    d.backend, d.batches, d.images, d.weight_loads
                 ))
                 .collect::<Vec<_>>()
                 .join(", "),
         ));
+        for b in &self.backends {
+            let m = &b.metrics;
+            out.push_str(&format!(
+                "backend {:<8} {} devices | {} reqs | e2e p50 {} p99 {} | miss {:.1}% | \
+                 {:.1} uJ/req | {:.0} DRAM words/req\n",
+                b.backend,
+                b.devices,
+                m.requests,
+                m.e2e.p50,
+                m.e2e.p99,
+                m.deadline_miss_rate() * 100.0,
+                m.energy_pj_per_request / 1e6,
+                m.dram_words_per_request,
+            ));
+        }
+        out.push('\n');
         let rows: Vec<Vec<String>> = self
             .tenants
             .iter()
@@ -288,6 +330,7 @@ mod tests {
             mean_batch_size: 2.0,
             global: GroupMetrics { requests: 10, ..Default::default() },
             tenants: Vec::new(),
+            backends: Vec::new(),
             devices: vec![DeviceReport::default()],
             cache: CacheStats::default(),
         };
@@ -295,5 +338,13 @@ mod tests {
         assert_eq!(base.digest(), other.digest());
         other.end_cycle = 101;
         assert_ne!(base.digest(), other.digest());
+        // The per-backend section participates too.
+        let mut with_backend = base.clone();
+        with_backend.backends.push(BackendReport {
+            backend: "scnn".into(),
+            devices: 2,
+            metrics: GroupMetrics { requests: 10, ..Default::default() },
+        });
+        assert_ne!(base.digest(), with_backend.digest());
     }
 }

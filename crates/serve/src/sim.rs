@@ -9,13 +9,18 @@
 //!    [`Batcher`]'s per-model queues;
 //! 2. **queue ripening** — a queue filling to `max_batch` or its oldest
 //!    request outwaiting the batching window — makes work dispatchable;
-//! 3. **device completions** free one of the `N` simulated SCNN devices.
+//! 3. **device completions** free one of the `N` simulated devices.
 //!
-//! Whenever a device is free, the scheduler pops the ripe queue whose
-//! head has waited longest (batches form *at dispatch time*, so a
-//! backlog coalesces into full batches). The batch picks, among free
-//! devices, one whose *resident* model already matches (then an empty
-//! device, then the lowest-indexed free one): SCNN keeps compressed
+//! The pool may be *heterogeneous*: each device runs one backend
+//! ([`ServeConfig::device_backends`]), and a model dispatches only to
+//! devices of the backend it was registered for, so one sweep serves
+//! SCNN and DCNN models side by side and reports per-backend latency
+//! and energy. Whenever a matching device is free, the scheduler pops
+//! the ripe queue whose head has waited longest (batches form *at
+//! dispatch time*, so a backlog coalesces into full batches). The batch
+//! picks, among free matching devices, one whose *resident* model
+//! already matches (then an empty device, then the lowest-indexed free
+//! one): SCNN keeps compressed
 //! weights stationary (§IV), so a model switch streams the new weights
 //! from DRAM — `weight_load_cycles` charged to the batch and shared by
 //! its requests. A compiled-model-cache miss additionally charges the
@@ -26,15 +31,26 @@
 use crate::batcher::{Batch, Batcher, BatcherConfig};
 use crate::cache::ModelCache;
 use crate::engine::{Engine, ModelProfile};
-use crate::metrics::{DeviceReport, GroupMetrics, LatencySummary, ServeReport, TenantReport};
+use crate::metrics::{
+    BackendReport, DeviceReport, GroupMetrics, LatencySummary, ServeReport, TenantReport,
+};
 use crate::trace::Trace;
+use scnn_sim::BackendKind;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Serving-tier knobs (the engine owns the device-model knobs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Number of simulated SCNN devices.
+    /// Number of simulated devices.
     pub devices: usize,
+    /// Backend of each device, making the pool heterogeneous. Empty
+    /// (the default) gives every device the engine's configured
+    /// backend; otherwise the length must equal `devices`. A model only
+    /// dispatches to devices matching the backend it was registered
+    /// for, so a mixed SCNN + DCNN pool serves each model on its own
+    /// silicon and the report compares the backends side by side.
+    pub device_backends: Vec<BackendKind>,
     /// Dynamic-batching policy.
     pub batcher: BatcherConfig,
     /// Compiled-model cache capacity, in models.
@@ -48,6 +64,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             devices: 2,
+            device_backends: Vec::new(),
             batcher: BatcherConfig::default(),
             cache_capacity: 3,
             batch_overhead_cycles: 1_000,
@@ -55,9 +72,12 @@ impl Default for ServeConfig {
     }
 }
 
-/// One simulated SCNN device.
-#[derive(Debug, Clone, Default)]
+/// One simulated accelerator device.
+#[derive(Debug, Clone)]
 struct Device {
+    /// The backend this device executes; only matching models dispatch
+    /// here.
+    backend: BackendKind,
     /// The device is idle from this cycle on.
     free_at: u64,
     /// The model whose weights are resident, if any.
@@ -69,6 +89,7 @@ struct Device {
 #[derive(Debug, Clone)]
 struct Done {
     tenant: usize,
+    backend: BackendKind,
     arrival: u64,
     start: u64,
     finish: u64,
@@ -85,11 +106,24 @@ struct Done {
 ///
 /// # Panics
 ///
-/// Panics if `cfg.devices` is zero or a tenant references an
-/// unregistered model.
+/// Panics if `cfg.devices` is zero, `cfg.device_backends` is non-empty
+/// with a length other than `cfg.devices`, a tenant references an
+/// unregistered model, or a registered model's backend has no device in
+/// the pool (its requests could never dispatch).
 #[must_use]
 pub fn simulate(engine: &mut Engine, trace: &Trace, cfg: &ServeConfig) -> ServeReport {
     assert!(cfg.devices > 0, "serving needs at least one device");
+    let backends: Vec<BackendKind> = if cfg.device_backends.is_empty() {
+        vec![engine.run_config().backend; cfg.devices]
+    } else {
+        assert_eq!(
+            cfg.device_backends.len(),
+            cfg.devices,
+            "device_backends must name a backend per device"
+        );
+        cfg.device_backends.clone()
+    };
+    let mut model_backend: BTreeMap<String, BackendKind> = BTreeMap::new();
     for tenant in &trace.tenants {
         assert!(
             engine.is_registered(&tenant.model),
@@ -97,39 +131,67 @@ pub fn simulate(engine: &mut Engine, trace: &Trace, cfg: &ServeConfig) -> ServeR
             tenant.name,
             tenant.model
         );
+        let backend = engine.backend_of(&tenant.model);
+        assert!(
+            backends.contains(&backend),
+            "model {:?} targets backend {:?} but the pool has no such device",
+            tenant.model,
+            backend
+        );
+        model_backend.insert(tenant.model.clone(), backend);
     }
 
     let mut batcher = Batcher::new(cfg.batcher);
     let mut cache: ModelCache<Rc<ModelProfile>> = ModelCache::new(cfg.cache_capacity);
-    let mut devices = vec![Device::default(); cfg.devices];
+    let mut devices: Vec<Device> = backends
+        .iter()
+        .map(|&backend| Device {
+            backend,
+            free_at: 0,
+            resident: None,
+            report: DeviceReport { backend: backend.name().to_string(), ..Default::default() },
+        })
+        .collect();
     let mut done: Vec<Done> = Vec::with_capacity(trace.len());
     let mut next_arrival = 0usize;
     let mut now = 0u64;
 
     loop {
-        // Drain: while a device is free and some queue is ripe, pop the
-        // longest-waiting ripe queue (coalescing the backlog up to
-        // `max_batch`) and dispatch it.
-        while devices.iter().any(|d| d.free_at <= now) {
-            let Some(batch) = batcher.pop_ripe(now) else { break };
-            let device = pick_device(&devices, now, &batch.model).expect("a device is free");
+        // Drain: while some queue is ripe *and* a device of its model's
+        // backend is free, pop the longest-waiting such queue
+        // (coalescing the backlog up to `max_batch`) and dispatch it.
+        // Ripe work whose backend is fully busy stays queued — it keeps
+        // coalescing instead of being popped with nowhere to run.
+        loop {
+            let serviceable = |model: &str| {
+                let backend = model_backend[model];
+                devices.iter().any(|d| d.free_at <= now && d.backend == backend)
+            };
+            let Some(batch) = batcher.pop_ripe_for(now, serviceable) else { break };
+            let backend = model_backend[batch.model.as_str()];
+            let device =
+                pick_device(&devices, now, &batch.model, backend).expect("a device is free");
             dispatch(batch, &mut devices[device], now, engine, &mut cache, cfg, &mut done);
         }
 
         // Advance the clock to the next event: an arrival; a queue
-        // ripening (only actionable while a device is free); or — when
-        // queued work is waiting on busy devices — a completion.
+        // ripening (only actionable while a matching device is free);
+        // or — when queued work is waiting on busy devices — a
+        // completion.
         let mut next = u64::MAX;
         if let Some(r) = trace.requests.get(next_arrival) {
             next = next.min(r.arrival);
         }
         if batcher.pending() > 0 {
-            if devices.iter().any(|d| d.free_at <= now) {
-                if let Some(ripe) = batcher.next_ripe() {
-                    // Post-drain nothing is ripe yet, so `ripe > now`;
-                    // the max() guards the clock against ever stalling.
-                    next = next.min(ripe.max(now + 1));
-                }
+            let serviceable = |model: &str| {
+                let backend = model_backend[model];
+                devices.iter().any(|d| d.free_at <= now && d.backend == backend)
+            };
+            if let Some(ripe) = batcher.next_ripe_for(serviceable) {
+                // Post-drain nothing serviceable is ripe yet, so
+                // `ripe > now`; the max() guards the clock against ever
+                // stalling.
+                next = next.min(ripe.max(now + 1));
             }
             if let Some(free) = devices.iter().map(|d| d.free_at).filter(|f| *f > now).min() {
                 next = next.min(free);
@@ -150,14 +212,16 @@ pub fn simulate(engine: &mut Engine, trace: &Trace, cfg: &ServeConfig) -> ServeR
     build_report(trace, &devices, &cache, &done)
 }
 
-/// Free-device choice for `model`: resident match first (no weight
-/// reload), then an empty device, then the lowest-indexed free one.
-fn pick_device(devices: &[Device], now: u64, model: &str) -> Option<usize> {
+/// Free-device choice for `model` among devices of its `backend`:
+/// resident match first (no weight reload), then an empty device, then
+/// the lowest-indexed free one.
+fn pick_device(devices: &[Device], now: u64, model: &str, backend: BackendKind) -> Option<usize> {
+    let free = |d: &Device| d.free_at <= now && d.backend == backend;
     devices
         .iter()
-        .position(|d| d.free_at <= now && d.resident.as_deref() == Some(model))
-        .or_else(|| devices.iter().position(|d| d.free_at <= now && d.resident.is_none()))
-        .or_else(|| devices.iter().position(|d| d.free_at <= now))
+        .position(|d| free(d) && d.resident.as_deref() == Some(model))
+        .or_else(|| devices.iter().position(|d| free(d) && d.resident.is_none()))
+        .or_else(|| devices.iter().position(free))
 }
 
 /// Executes `batch` on `device` starting at `now`, recording one
@@ -174,6 +238,7 @@ fn dispatch(
     let key = engine.key_for(&batch.model);
     let (profile, hit) = cache.get_or_insert_with(&key, now, || engine.profile(&batch.model));
     let profile = Rc::clone(profile);
+    debug_assert_eq!(profile.backend, device.backend, "dispatch routed to the model's backend");
     let images = batch.len() as u64;
     let switch = device.resident.as_deref() != Some(batch.model.as_str());
 
@@ -211,6 +276,7 @@ fn dispatch(
         let budget = req.deadline.budget_factor() * profile.image_cycles;
         done.push(Done {
             tenant: req.tenant,
+            backend: profile.backend,
             arrival: req.arrival,
             start: now,
             finish,
@@ -258,6 +324,19 @@ fn build_report(
         })
         .collect();
 
+    // One row per backend present in the pool, in BackendKind::ALL
+    // order — the side-by-side SCNN-vs-DCNN comparison a mixed sweep
+    // reads off.
+    let backends = BackendKind::ALL
+        .iter()
+        .filter(|&&k| devices.iter().any(|d| d.backend == k))
+        .map(|&k| BackendReport {
+            backend: k.name().to_string(),
+            devices: devices.iter().filter(|d| d.backend == k).count() as u64,
+            metrics: group(&all.iter().filter(|d| d.backend == k).copied().collect::<Vec<_>>()),
+        })
+        .collect();
+
     let batches: u64 = devices.iter().map(|d| d.report.batches).sum();
     let images: u64 = devices.iter().map(|d| d.report.images).sum();
     ServeReport {
@@ -265,6 +344,7 @@ fn build_report(
         mean_batch_size: if batches == 0 { 0.0 } else { images as f64 / batches as f64 },
         global: group(&all),
         tenants,
+        backends,
         devices: devices.iter().map(|d| d.report.clone()).collect(),
         cache: cache.stats(),
     }

@@ -1,0 +1,527 @@
+//! The execution-backend abstraction: one trait over genuinely
+//! different machine models.
+//!
+//! SCNN's headline results (§V) are comparisons against dense
+//! accelerators, so the harness must be able to execute more than one
+//! machine through the same compile → calibrate → execute pipeline.
+//! [`Backend`] is that contract: a machine compiles a layer's
+//! weight-stationary state once ([`Backend::Compiled`]), then executes
+//! any number of images against it with a caller-owned
+//! [`SimWorkspace`]. [`ScnnMachine`] implements it by pure delegation
+//! to its existing inherent methods — zero behavior change, locked by
+//! the determinism and calibration suites — and [`DcnnMachine`]
+//! implements it with the cycle-modeled tile walk of
+//! [`DcnnMachine::execute_layer_with`], graduating the fig7
+//! SCNN-vs-DCNN comparison from analytical to simulated.
+//!
+//! The trait has an associated compiled-layer type, so it is not object
+//! safe; [`AnyBackend`] / [`AnyCompiledLayer`] are the small enum
+//! facade the batch runner, the serving engine and the fabric planner
+//! dispatch through. Both dispatch arms preserve the per-backend
+//! determinism argument: every simulated quantity is a pure function of
+//! `(seed, config)`, never of thread counts or plan geometry (see
+//! `DESIGN.md` §9).
+
+use crate::compiled::CompiledLayer;
+use crate::dense::{DcnnCompiledLayer, DcnnMachine};
+use crate::machine::{RunOptions, ScnnMachine};
+use crate::stats::LayerResult;
+use crate::workspace::SimWorkspace;
+use scnn_tensor::{ConvShape, Dense3, Dense4};
+
+/// Identity of an execution backend.
+///
+/// `Dcnn` and `DcnnOpt` share one machine model ([`DcnnMachine`]); the
+/// kind selects whether the §V energy optimizations (zero-operand ALU
+/// gating, DRAM activation compression) are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum BackendKind {
+    /// The sparse SCNN accelerator (PT-IS-CP-sparse) — the default.
+    #[default]
+    Scnn,
+    /// The dense DCNN baseline (PT-IS-DP-dense).
+    Dcnn,
+    /// DCNN-opt: dense performance with the §V energy optimizations.
+    DcnnOpt,
+}
+
+impl BackendKind {
+    /// Every backend, in tag order — the conformance suites iterate
+    /// this.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Scnn, BackendKind::Dcnn, BackendKind::DcnnOpt];
+
+    /// Stable lowercase name (`scnn` / `dcnn` / `dcnn-opt`) — the value
+    /// the `SCNN_BACKEND` environment variable and the bench CLIs take.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scnn => "scnn",
+            BackendKind::Dcnn => "dcnn",
+            BackendKind::DcnnOpt => "dcnn-opt",
+        }
+    }
+
+    /// Parses a backend name as produced by [`BackendKind::name`]
+    /// (ASCII case-insensitive; `dcnn_opt` is accepted for `dcnn-opt`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "scnn" => Some(BackendKind::Scnn),
+            "dcnn" => Some(BackendKind::Dcnn),
+            "dcnn-opt" | "dcnn_opt" => Some(BackendKind::DcnnOpt),
+            _ => None,
+        }
+    }
+
+    /// Resolves a backend choice on the `scnn_par` ladder: an explicit
+    /// `requested` value wins, then the `SCNN_BACKEND` environment
+    /// variable if set to a name [`BackendKind::from_name`] accepts,
+    /// else [`BackendKind::Scnn`]. Unknown names fall through to the
+    /// default rather than erroring, matching `SCNN_THREADS` and
+    /// friends.
+    #[must_use]
+    pub fn resolve(requested: Option<BackendKind>) -> BackendKind {
+        if let Some(kind) = requested {
+            return kind;
+        }
+        std::env::var("SCNN_BACKEND")
+            .ok()
+            .and_then(|v| BackendKind::from_name(&v))
+            .unwrap_or_default()
+    }
+
+    /// A small stable integer for configuration fingerprints (cache
+    /// keys must separate backends: a model compiled for SCNN can never
+    /// be a cache hit on a DCNN device).
+    #[must_use]
+    pub fn tag(self) -> u64 {
+        match self {
+            BackendKind::Scnn => 0,
+            BackendKind::Dcnn => 1,
+            BackendKind::DcnnOpt => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An execution backend: a machine model with a compile → calibrate →
+/// execute(workspace) lifecycle.
+///
+/// Implementations must keep every simulated quantity a pure function
+/// of the operands and the machine configuration — re-executing the
+/// same compiled layer against the same input must be bit-identical,
+/// regardless of workspace history or thread counts.
+pub trait Backend {
+    /// The backend's compiled per-layer state (weight-stationary data
+    /// plus whatever the execute phase needs).
+    type Compiled: std::fmt::Debug + Clone + Send + Sync;
+
+    /// Which backend this machine is.
+    fn kind(&self) -> BackendKind;
+
+    /// Compiles one layer's weights into the backend's stationary
+    /// state. Pay this once per layer, not once per image.
+    fn compile_layer(&self, shape: &ConvShape, weights: &Dense4) -> Self::Compiled;
+
+    /// Executes one image against a compiled layer using a caller-owned
+    /// workspace.
+    fn execute_layer_with(
+        &self,
+        layer: &Self::Compiled,
+        input: &Dense3,
+        opts: &RunOptions,
+        ws: &mut SimWorkspace,
+    ) -> LayerResult;
+
+    /// Executes one image in *steady state* — weights resident, input
+    /// on-chip — the measurement the serving engine's calibration uses
+    /// to derive per-image profiles.
+    fn calibrate_layer_with(
+        &self,
+        layer: &Self::Compiled,
+        input: &Dense3,
+        ws: &mut SimWorkspace,
+    ) -> LayerResult {
+        let opts =
+            RunOptions { input_from_dram: false, weights_from_dram: false, ..Default::default() };
+        self.execute_layer_with(layer, input, &opts, ws)
+    }
+}
+
+impl Backend for ScnnMachine {
+    type Compiled = CompiledLayer;
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Scnn
+    }
+
+    fn compile_layer(&self, shape: &ConvShape, weights: &Dense4) -> CompiledLayer {
+        ScnnMachine::compile_layer(self, shape, weights)
+    }
+
+    fn execute_layer_with(
+        &self,
+        layer: &CompiledLayer,
+        input: &Dense3,
+        opts: &RunOptions,
+        ws: &mut SimWorkspace,
+    ) -> LayerResult {
+        ScnnMachine::execute_layer_with(self, layer, input, opts, ws)
+    }
+}
+
+impl Backend for DcnnMachine {
+    type Compiled = DcnnCompiledLayer;
+
+    fn kind(&self) -> BackendKind {
+        if self.config().optimized {
+            BackendKind::DcnnOpt
+        } else {
+            BackendKind::Dcnn
+        }
+    }
+
+    fn compile_layer(&self, shape: &ConvShape, weights: &Dense4) -> DcnnCompiledLayer {
+        DcnnMachine::compile_layer(self, shape, weights)
+    }
+
+    fn execute_layer_with(
+        &self,
+        layer: &DcnnCompiledLayer,
+        input: &Dense3,
+        opts: &RunOptions,
+        ws: &mut SimWorkspace,
+    ) -> LayerResult {
+        DcnnMachine::execute_layer_with(self, layer, input, opts, ws)
+    }
+}
+
+/// A backend machine behind one concrete type — the object-level facade
+/// the batch runner and serving engine dispatch through (the trait has
+/// an associated `Compiled` type and so is not object safe).
+#[derive(Debug, Clone)]
+pub enum AnyBackend {
+    /// The sparse SCNN machine.
+    Scnn(ScnnMachine),
+    /// The dense machine (plain or `-opt` per its configuration).
+    Dcnn(DcnnMachine),
+}
+
+impl AnyBackend {
+    /// Which backend this machine is.
+    #[must_use]
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            AnyBackend::Scnn(m) => m.kind(),
+            AnyBackend::Dcnn(m) => m.kind(),
+        }
+    }
+
+    /// Compiles one layer through the wrapped backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not match `shape`.
+    #[must_use]
+    pub fn compile_layer(&self, shape: &ConvShape, weights: &Dense4) -> AnyCompiledLayer {
+        match self {
+            AnyBackend::Scnn(m) => {
+                AnyCompiledLayer::Scnn(Backend::compile_layer(m, shape, weights))
+            }
+            AnyBackend::Dcnn(m) => {
+                AnyCompiledLayer::Dcnn(Backend::compile_layer(m, shape, weights))
+            }
+        }
+    }
+
+    /// Executes one image against a compiled layer, optionally as
+    /// contiguous output-channel-group slices with a per-OCG cycle
+    /// trace (the tensor-parallel hook the fabric uses).
+    ///
+    /// The SCNN arm forwards to
+    /// [`ScnnMachine::execute_layer_sliced_with`] unchanged. The dense
+    /// arm exposes a single output-channel group
+    /// ([`AnyCompiledLayer::ocg_count`] is 1), so the only valid
+    /// slicing is the full one; its trace is the layer's total cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer was compiled by a different backend or
+    /// machine configuration, or if `slices` do not cover the layer's
+    /// OCGs contiguously in order.
+    pub fn execute_layer_sliced_with(
+        &self,
+        layer: &AnyCompiledLayer,
+        input: &Dense3,
+        opts: &RunOptions,
+        ws: &mut SimWorkspace,
+        slices: &[std::ops::Range<usize>],
+        trace: Option<&mut Vec<u64>>,
+    ) -> LayerResult {
+        match (self, layer) {
+            (AnyBackend::Scnn(m), AnyCompiledLayer::Scnn(cl)) => {
+                m.execute_layer_sliced_with(cl, input, opts, ws, slices, trace)
+            }
+            (AnyBackend::Dcnn(m), AnyCompiledLayer::Dcnn(cl)) => {
+                assert!(
+                    slices.len() == 1 && slices[0] == (0..1),
+                    "the dense backend exposes one output-channel group; \
+                     slices must be exactly [0..1], got {slices:?}"
+                );
+                let result = Backend::execute_layer_with(m, cl, input, opts, ws);
+                if let Some(t) = trace {
+                    t.clear();
+                    t.push(result.cycles);
+                }
+                result
+            }
+            _ => panic!(
+                "layer compiled for backend {} cannot execute on backend {}",
+                layer.kind(),
+                self.kind()
+            ),
+        }
+    }
+}
+
+/// A compiled layer from any backend, mirroring the accessor surface of
+/// [`CompiledLayer`] that the fabric partitioner / planner and the
+/// batch runner consume.
+#[derive(Debug, Clone)]
+pub enum AnyCompiledLayer {
+    /// SCNN compressed weight-stationary state.
+    Scnn(CompiledLayer),
+    /// Dense tile-walk state.
+    Dcnn(DcnnCompiledLayer),
+}
+
+impl AnyCompiledLayer {
+    /// Which backend compiled this layer.
+    #[must_use]
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            AnyCompiledLayer::Scnn(_) => BackendKind::Scnn,
+            AnyCompiledLayer::Dcnn(cl) => {
+                if cl.config().optimized {
+                    BackendKind::DcnnOpt
+                } else {
+                    BackendKind::Dcnn
+                }
+            }
+        }
+    }
+
+    /// The layer's shape.
+    #[must_use]
+    pub fn shape(&self) -> &ConvShape {
+        match self {
+            AnyCompiledLayer::Scnn(cl) => cl.shape(),
+            AnyCompiledLayer::Dcnn(cl) => cl.shape(),
+        }
+    }
+
+    /// Weight storage in bits as the backend holds it (compressed for
+    /// SCNN, dense 16-bit words for DCNN).
+    #[must_use]
+    pub fn weight_bits(&self) -> usize {
+        match self {
+            AnyCompiledLayer::Scnn(cl) => cl.weight_bits(),
+            AnyCompiledLayer::Dcnn(cl) => cl.weight_bits(),
+        }
+    }
+
+    /// Weight DRAM fetch in 16-bit words — what the first image of a
+    /// batch pays.
+    #[must_use]
+    pub fn weight_dram_words(&self) -> f64 {
+        match self {
+            AnyCompiledLayer::Scnn(cl) => cl.weight_dram_words(),
+            AnyCompiledLayer::Dcnn(cl) => cl.weight_dram_words(),
+        }
+    }
+
+    /// Number of non-zero weights.
+    #[must_use]
+    pub fn weight_nnz(&self) -> usize {
+        match self {
+            AnyCompiledLayer::Scnn(cl) => cl.weight_nnz(),
+            AnyCompiledLayer::Dcnn(cl) => cl.weight_nnz(),
+        }
+    }
+
+    /// Number of output-channel groups across filter groups — the
+    /// tensor-parallel slicing granularity. The dense dataflow has no
+    /// OCG barrier structure, so dense layers report 1 (hybrid fabric
+    /// plans degenerate to width-1 stages).
+    #[must_use]
+    pub fn ocg_count(&self) -> usize {
+        match self {
+            AnyCompiledLayer::Scnn(cl) => cl.ocg_count(),
+            AnyCompiledLayer::Dcnn(_) => 1,
+        }
+    }
+
+    /// Non-zero weights per output-channel group, in flattened OCG
+    /// order (the cost weights OCG slicing balances).
+    #[must_use]
+    pub fn ocg_weight_nnz(&self) -> Vec<u64> {
+        match self {
+            AnyCompiledLayer::Scnn(cl) => cl.ocg_weight_nnz(),
+            AnyCompiledLayer::Dcnn(cl) => vec![cl.weight_nnz() as u64],
+        }
+    }
+
+    /// The SCNN compiled state, when this is an SCNN layer.
+    #[must_use]
+    pub fn as_scnn(&self) -> Option<&CompiledLayer> {
+        match self {
+            AnyCompiledLayer::Scnn(cl) => Some(cl),
+            AnyCompiledLayer::Dcnn(_) => None,
+        }
+    }
+
+    /// The dense compiled state, when this is a DCNN layer.
+    #[must_use]
+    pub fn as_dcnn(&self) -> Option<&DcnnCompiledLayer> {
+        match self {
+            AnyCompiledLayer::Scnn(_) => None,
+            AnyCompiledLayer::Dcnn(cl) => Some(cl),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_arch::{DcnnConfig, ScnnConfig};
+    use scnn_model::{synth_layer_input, synth_weights};
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(BackendKind::from_name("DCNN_OPT"), Some(BackendKind::DcnnOpt));
+        assert_eq!(BackendKind::from_name("tpu"), None);
+        // Tags are distinct (they separate cache-key fingerprints).
+        let tags: std::collections::BTreeSet<u64> =
+            BackendKind::ALL.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags.len(), BackendKind::ALL.len());
+    }
+
+    #[test]
+    fn backend_resolution_follows_the_ladder() {
+        // Explicit request wins regardless of the environment.
+        std::env::set_var("SCNN_BACKEND", "dcnn");
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::resolve(Some(kind)), kind);
+        }
+        // Environment next (this test is the only reader/writer of the
+        // variable in this process, so the set/remove pair is safe).
+        assert_eq!(BackendKind::resolve(None), BackendKind::Dcnn);
+        std::env::set_var("SCNN_BACKEND", "not-a-backend");
+        assert_eq!(BackendKind::resolve(None), BackendKind::Scnn, "unknown names fall through");
+        std::env::remove_var("SCNN_BACKEND");
+        assert_eq!(BackendKind::resolve(None), BackendKind::Scnn);
+    }
+
+    #[test]
+    fn scnn_trait_impl_delegates_bit_identically() {
+        let shape = scnn_tensor::ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1);
+        let machine = ScnnMachine::new(ScnnConfig::default());
+        let weights = synth_weights(&shape, 0.4, 11);
+        let input = synth_layer_input(&shape, 0.5, 12);
+        let inherent = {
+            let cl = ScnnMachine::compile_layer(&machine, &shape, &weights);
+            let mut ws = SimWorkspace::new();
+            ScnnMachine::execute_layer_with(&machine, &cl, &input, &RunOptions::default(), &mut ws)
+        };
+        let via_trait = {
+            let cl = Backend::compile_layer(&machine, &shape, &weights);
+            let mut ws = SimWorkspace::new();
+            Backend::execute_layer_with(&machine, &cl, &input, &RunOptions::default(), &mut ws)
+        };
+        assert_eq!(inherent, via_trait);
+        assert_eq!(Backend::kind(&machine), BackendKind::Scnn);
+    }
+
+    #[test]
+    fn calibrate_is_the_steady_state_execution() {
+        let shape = scnn_tensor::ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1);
+        let machine = ScnnMachine::new(ScnnConfig::default());
+        let weights = synth_weights(&shape, 0.4, 21);
+        let input = synth_layer_input(&shape, 0.5, 22);
+        let cl = Backend::compile_layer(&machine, &shape, &weights);
+        let mut ws = SimWorkspace::new();
+        let calibrated = machine.calibrate_layer_with(&cl, &input, &mut ws);
+        let opts =
+            RunOptions { input_from_dram: false, weights_from_dram: false, ..Default::default() };
+        let explicit = Backend::execute_layer_with(&machine, &cl, &input, &opts, &mut ws);
+        assert_eq!(calibrated, explicit);
+    }
+
+    #[test]
+    fn dense_backend_kinds_follow_the_config() {
+        let plain = DcnnMachine::new(DcnnConfig::default());
+        let opt = DcnnMachine::new(DcnnConfig::optimized());
+        assert_eq!(Backend::kind(&plain), BackendKind::Dcnn);
+        assert_eq!(Backend::kind(&opt), BackendKind::DcnnOpt);
+    }
+
+    #[test]
+    fn any_backend_executes_both_arms() {
+        let shape = scnn_tensor::ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1);
+        let weights = synth_weights(&shape, 0.4, 31);
+        let input = synth_layer_input(&shape, 0.5, 32);
+        for backend in [
+            AnyBackend::Scnn(ScnnMachine::new(ScnnConfig::default())),
+            AnyBackend::Dcnn(DcnnMachine::new(DcnnConfig::default())),
+            AnyBackend::Dcnn(DcnnMachine::new(DcnnConfig::optimized())),
+        ] {
+            let cl = backend.compile_layer(&shape, &weights);
+            assert_eq!(cl.kind(), backend.kind());
+            assert!(cl.ocg_count() >= 1);
+            assert_eq!(cl.ocg_weight_nnz().iter().sum::<u64>(), cl.weight_nnz() as u64);
+            let mut ws = SimWorkspace::new();
+            let mut trace = Vec::new();
+            let full = 0..cl.ocg_count();
+            let r = backend.execute_layer_sliced_with(
+                &cl,
+                &input,
+                &RunOptions::default(),
+                &mut ws,
+                std::slice::from_ref(&full),
+                Some(&mut trace),
+            );
+            assert!(r.cycles > 0, "{}", backend.kind());
+            assert_eq!(trace.len(), cl.ocg_count());
+            assert_eq!(trace.iter().sum::<u64>(), r.cycles);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot execute on backend")]
+    fn mismatched_backend_and_layer_panic() {
+        let shape = scnn_tensor::ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1);
+        let weights = synth_weights(&shape, 0.4, 41);
+        let input = synth_layer_input(&shape, 0.5, 42);
+        let scnn = AnyBackend::Scnn(ScnnMachine::new(ScnnConfig::default()));
+        let dense = AnyBackend::Dcnn(DcnnMachine::new(DcnnConfig::default()));
+        let cl = scnn.compile_layer(&shape, &weights);
+        let mut ws = SimWorkspace::new();
+        let _ = dense.execute_layer_sliced_with(
+            &cl,
+            &input,
+            &RunOptions::default(),
+            &mut ws,
+            std::slice::from_ref(&(0..1)),
+            None,
+        );
+    }
+}

@@ -9,11 +9,31 @@
 //!
 //! DCNN-opt shares DCNN's cycles and adds the two §V energy optimizations:
 //! zero-operand ALU gating, and compression of DRAM activation traffic.
+//!
+//! # Execution paths
+//!
+//! [`DcnnMachine::run_layer`] is the original *analytical* path: it takes
+//! a pre-measured [`OperandProfile`] and derives expected-value counts
+//! (gated multiplies from the product of operand densities). The
+//! compile/execute split — [`DcnnMachine::compile_layer`] producing a
+//! [`DcnnCompiledLayer`], executed per image by
+//! [`DcnnMachine::execute_layer_with`] — is the *cycle-modeled backend*
+//! path: the same [`PlaneTiling`] tile walk fixes the (geometry-only)
+//! cycle count at compile time, while each image's execution measures its
+//! real statistics — the zero-operand gating count is exact (every MAC
+//! whose weight tap and fetched activation are both non-zero, counted
+//! against the padded input held in the [`SimWorkspace`] arena), the DRAM
+//! activation compression uses the image's actual compressed size, and
+//! the weight fetch follows [`RunOptions::weights_from_dram`] so batches
+//! amortize it exactly as the SCNN backend does. Both paths share the
+//! cycle walk and the DRAM spill arithmetic, so the analytical numbers
+//! are unchanged bit for bit.
 
 use crate::stats::{Footprints, LayerResult, LayerStats};
 use crate::tiling::PlaneTiling;
+use crate::workspace::{fill_group_padded, SimWorkspace};
 use scnn_arch::{AccessCounts, DcnnConfig, EnergyModel};
-use scnn_tensor::{CompressedActivations, ConvShape, Dense3};
+use scnn_tensor::{CompressedActivations, ConvShape, Dense3, Dense4};
 
 /// Output-channel blocking factor of the dense dataflow: the dense weight
 /// buffer holds 64 output channels' filters at a time, so activations are
@@ -35,8 +55,12 @@ pub struct OperandProfile {
     /// Compressed size of the input activations in bits (RLE data +
     /// indices), for DCNN-opt's DRAM compression.
     pub input_stored_bits: usize,
-    /// Compressed size of the output activations in bits.
-    pub output_stored_bits: usize,
+    /// Compressed size of the output activations in bits, when an output
+    /// was actually measured. `None` means no output tensor was available
+    /// (e.g. the dense machine computes no values): the machine then
+    /// charges *dense* output words at the DRAM boundary — see
+    /// [`OperandProfile::output_dram_words`].
+    pub output_stored_bits: Option<usize>,
 }
 
 impl OperandProfile {
@@ -47,11 +71,103 @@ impl OperandProfile {
     #[must_use]
     pub fn measure(input: &Dense3, weight_density: f64, output: Option<&Dense3>) -> Self {
         let input_stored_bits = CompressedActivations::compress(input).storage_bits();
-        let output_stored_bits = match output {
-            Some(out) => CompressedActivations::compress(out).storage_bits(),
-            None => 0, // unknown: treated as dense by the machine
-        };
+        let output_stored_bits =
+            output.map(|out| CompressedActivations::compress(out).storage_bits());
         Self { weight_density, act_density: input.density(), input_stored_bits, output_stored_bits }
+    }
+
+    /// DCNN-opt's compressed input DRAM words: the measured compressed
+    /// size when one was recorded, otherwise `dense_words`.
+    #[must_use]
+    pub fn input_dram_words(&self, dense_words: f64) -> f64 {
+        compressed_or_dense(self.input_stored_bits, dense_words)
+    }
+
+    /// DCNN-opt's compressed output DRAM words.
+    ///
+    /// When no output was measured (`output_stored_bits` is `None`) the
+    /// machine deliberately charges **dense** words: assuming density is
+    /// conservative, so simulated DCNN-opt DRAM numbers can never be
+    /// silently optimistic just because a backend computes no output
+    /// values. A measured-but-empty footprint (0 stored bits) also falls
+    /// back to dense words — the legacy accounting cannot distinguish it
+    /// from "unmeasured", and keeping that rule preserves bit-identical
+    /// numbers for every existing run.
+    #[must_use]
+    pub fn output_dram_words(&self, dense_words: f64) -> f64 {
+        match self.output_stored_bits {
+            Some(bits) => compressed_or_dense(bits, dense_words),
+            None => dense_words,
+        }
+    }
+}
+
+/// A layer compiled for the dense backend: the tile walk's geometry and
+/// cycle schedule plus the weight-side statistics per-image execution
+/// needs ([`DcnnMachine::compile_layer`] /
+/// [`DcnnMachine::execute_layer_with`]).
+///
+/// The dense machine's performance is value-independent, so the per-PE
+/// cycle schedule is fixed here, at compile time; execution measures the
+/// per-image energy statistics against it.
+#[derive(Debug, Clone)]
+pub struct DcnnCompiledLayer {
+    config: DcnnConfig,
+    shape: ConvShape,
+    /// Per-PE cycles from the tile walk, in PE order.
+    pe_cycles: Vec<u64>,
+    /// Layer latency: the slowest PE (inter-PE barrier at layer end).
+    cycles: u64,
+    weight_nnz: usize,
+    weight_density: f64,
+    /// Per `(group, channel, r, s)` filter tap: how many of the group's
+    /// output channels hold a non-zero weight there — the weight side of
+    /// the exact zero-operand gating count.
+    tap_k_nnz: Vec<u32>,
+}
+
+impl DcnnCompiledLayer {
+    /// The configuration the layer was compiled for.
+    #[must_use]
+    pub fn config(&self) -> &DcnnConfig {
+        &self.config
+    }
+
+    /// The layer's shape.
+    #[must_use]
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// The layer's (geometry-only) cycle count, known at compile time.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Number of non-zero weights in the compiled tensor.
+    #[must_use]
+    pub fn weight_nnz(&self) -> usize {
+        self.weight_nnz
+    }
+
+    /// Measured density of the compiled weight tensor.
+    #[must_use]
+    pub fn weight_density(&self) -> f64 {
+        self.weight_density
+    }
+
+    /// Dense weight storage in bits (16-bit words, no compression).
+    #[must_use]
+    pub fn weight_bits(&self) -> usize {
+        self.shape.weight_count() * 16
+    }
+
+    /// Weight DRAM fetch in 16-bit words — what the first image of a
+    /// batch pays ([`RunOptions::weights_from_dram`]).
+    #[must_use]
+    pub fn weight_dram_words(&self) -> f64 {
+        self.shape.weight_count() as f64
     }
 }
 
@@ -83,9 +199,11 @@ impl DcnnMachine {
         &self.config
     }
 
-    /// Executes one layer. The dense machine computes no values (its
-    /// result is definitionally the reference convolution); it produces
-    /// cycles, counts and energy.
+    /// Executes one layer analytically. The dense machine computes no
+    /// values (its result is definitionally the reference convolution);
+    /// it produces cycles, counts and energy from the pre-measured
+    /// operand profile. Weights are charged to DRAM unconditionally (the
+    /// single-image model); the compile/execute split amortizes them.
     ///
     /// `input_from_dram` marks a network's first layer.
     ///
@@ -100,44 +218,17 @@ impl DcnnMachine {
     ) -> LayerResult {
         shape.validate().expect("invalid layer shape");
         let cfg = &self.config;
-        // The dense array is organized as the same square grid as SCNN's.
-        let grid = (cfg.num_pes as f64).sqrt() as usize;
-        assert_eq!(grid * grid, cfg.num_pes, "dense machine expects a square PE grid");
-        let (out_w, out_h) = (shape.out_w(), shape.out_h());
-        // Dense PEs partition outputs directly (input-halo fetch, §III-A).
-        let tiling = PlaneTiling::new(out_w, out_h, grid, grid, 0, 0);
-
-        let kpg = shape.k_per_group();
-        let cpg = shape.c_per_group();
-        let reduction = cpg * shape.r * shape.s;
-        let alus = cfg.multipliers_per_pe as u64;
-
-        // Per-PE cycles: each ALU serially reduces one output; a PE
-        // processes its outputs in batches of `multipliers_per_pe`.
-        let mut pe_cycles = Vec::with_capacity(cfg.num_pes);
-        for tile in tiling.iter() {
-            let outputs = (shape.groups * kpg * tile.out_area()) as u64;
-            let batches = outputs.div_ceil(alus);
-            pe_cycles.push(batches * reduction as u64);
-        }
+        let tiling = dense_tiling(cfg, shape);
+        let pe_cycles = dense_pe_cycles(cfg, shape, &tiling);
         let cycles = pe_cycles.iter().copied().max().unwrap_or(0);
 
         let macs = shape.macs() as f64;
-        let mut stats = LayerStats {
-            products: shape.macs() as u64,
-            valid_products: shape.macs() as u64,
-            ocg_count: 1,
-            ..Default::default()
-        };
-        for &pc in &pe_cycles {
-            stats.busy_cycles += pc;
-            stats.idle_cycles += cycles - pc;
-            stats.mult_slots += pc * alus;
-        }
+        let stats = dense_stats(shape, &pe_cycles, cycles, cfg.multipliers_per_pe as u64);
 
         let mut counts = AccessCounts::default();
         // Gating split: DCNN-opt multiplies at full energy only when both
-        // operands are non-zero; plain DCNN burns full energy always.
+        // operands are non-zero; plain DCNN burns full energy always. The
+        // analytical path takes the expected value (density product).
         if cfg.optimized {
             let live = macs * profile.weight_density * profile.act_density;
             counts.mults_live = live;
@@ -145,44 +236,156 @@ impl DcnnMachine {
         } else {
             counts.mults_live = macs;
         }
-        // Dot-product accumulation: register adds per MAC, one buffered
-        // write per output.
-        counts.acc_reg_updates = macs;
-        counts.acc_updates = shape.output_count() as f64;
-        // Operand delivery: activations are staged in PE-local register
-        // tiles and re-read from the shared SRAM once per dense
-        // output-channel block (input-stationary with Kc = 64 blocking);
-        // weights stream from the per-PE weight buffer, shared across the
-        // four concurrent positions of the dot-product array.
-        let kc_blocks = shape.k.div_ceil(DENSE_KC) as f64;
-        counts.sram_words = shape.input_count() as f64 * kc_blocks + shape.output_count() as f64;
-        counts.wbuf_words = macs / 4.0;
+        fill_dense_delivery_counts(shape, macs, &mut counts);
 
-        // DRAM: dense weights once per layer; activations only when the
-        // 2MB SRAM cannot hold the layer's input + output working set
-        // (VGGNet) or for the network's first layer.
-        let in_words = shape.input_count() as f64;
-        let out_words = shape.output_count() as f64;
-        let fits = (shape.input_count() + shape.output_count()) * 2 <= cfg.sram_bytes;
+        // DRAM: dense weights once per layer, then activations when the
+        // SRAM cannot hold the working set or for the first layer.
         counts.dram_words += shape.weight_count() as f64;
-        let mut dram_tiled = false;
-        if !fits {
-            dram_tiled = true;
-            if cfg.optimized {
-                // DCNN-opt compresses activations at the DRAM boundary.
-                let in_c = compressed_or_dense(profile.input_stored_bits, in_words);
-                let out_c = compressed_or_dense(profile.output_stored_bits, out_words);
-                counts.dram_words += in_c + out_c;
-            } else {
-                counts.dram_words += in_words + out_words;
-            }
-        } else if input_from_dram {
-            counts.dram_words += if cfg.optimized {
-                compressed_or_dense(profile.input_stored_bits, in_words)
-            } else {
-                in_words
-            };
+        let dram_tiled =
+            add_activation_dram_words(cfg, shape, profile, input_from_dram, &mut counts);
+
+        let energy = self.energy.energy(&counts);
+        LayerResult {
+            cycles,
+            counts,
+            energy,
+            stats,
+            footprints: Footprints {
+                iaram_bits_max: 0,
+                oaram_bits_max: 0,
+                weight_bits: shape.weight_count() * 16,
+                dram_tiled,
+            },
+            output: None,
+            output_density: 1.0,
         }
+    }
+
+    /// Compiles one layer for the cycle-modeled dense backend: the
+    /// planar tile walk (and with it the layer's value-independent cycle
+    /// schedule) plus the weight-tap census the exact gating count needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not match `shape`.
+    #[must_use]
+    pub fn compile_layer(&self, shape: &ConvShape, weights: &Dense4) -> DcnnCompiledLayer {
+        shape.validate().expect("invalid layer shape");
+        assert_eq!(
+            (weights.k(), weights.c(), weights.r(), weights.s()),
+            (shape.k, shape.c_per_group(), shape.r, shape.s),
+            "weight tensor does not match shape"
+        );
+        let cfg = &self.config;
+        let tiling = dense_tiling(cfg, shape);
+        let pe_cycles = dense_pe_cycles(cfg, shape, &tiling);
+        let cycles = pe_cycles.iter().copied().max().unwrap_or(0);
+
+        let kpg = shape.k_per_group();
+        let cpg = shape.c_per_group();
+        let mut tap_k_nnz = vec![0u32; shape.groups * cpg * shape.r * shape.s];
+        for k in 0..weights.k() {
+            let g = k / kpg;
+            for c in 0..cpg {
+                for r in 0..shape.r {
+                    for s in 0..shape.s {
+                        if weights.get(k, c, r, s) != 0.0 {
+                            tap_k_nnz[((g * cpg + c) * shape.r + r) * shape.s + s] += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        DcnnCompiledLayer {
+            config: *cfg,
+            shape: *shape,
+            pe_cycles,
+            cycles,
+            weight_nnz: weights.nnz(),
+            weight_density: weights.density(),
+            tap_k_nnz,
+        }
+    }
+
+    /// Executes one image against a compiled layer — the cycle-modeled
+    /// backend path.
+    ///
+    /// Cycles reproduce the analytical tile walk exactly (dense
+    /// performance is geometry-only), but the statistics are *this
+    /// image's*, measured, not expected values:
+    ///
+    /// * DCNN-opt's gated-multiply split counts exactly the MACs whose
+    ///   weight tap and fetched activation are both non-zero, walking
+    ///   the padded input in the workspace arena;
+    /// * DCNN-opt's DRAM activation compression uses the image's actual
+    ///   compressed input size. The *output* is never computed by the
+    ///   dense machine, so output spill traffic is charged dense
+    ///   ([`OperandProfile::output_dram_words`] with no measurement) —
+    ///   explicit and conservative, never silently optimistic;
+    /// * the weight fetch follows [`RunOptions::weights_from_dram`], so
+    ///   later images of a batch reuse resident weights exactly as the
+    ///   SCNN backend does (the analytical [`DcnnMachine::run_layer`]
+    ///   charges weights unconditionally).
+    ///
+    /// [`RunOptions::pe_threads`] has no effect: the walk is a cheap
+    /// counting pass. The result is a pure function of `(layer, input,
+    /// opts)` — bit-identical across thread counts by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the compiled layer's shape, or
+    /// if `layer` was compiled for a machine with different geometry
+    /// (`optimized` may differ: one compilation serves both variants).
+    pub fn execute_layer_with(
+        &self,
+        layer: &DcnnCompiledLayer,
+        input: &Dense3,
+        opts: &crate::machine::RunOptions,
+        ws: &mut SimWorkspace,
+    ) -> LayerResult {
+        let cfg = &self.config;
+        assert!(
+            layer.config.num_pes == cfg.num_pes
+                && layer.config.multipliers_per_pe == cfg.multipliers_per_pe
+                && layer.config.sram_bytes == cfg.sram_bytes,
+            "layer compiled for a different machine configuration"
+        );
+        let shape = &layer.shape;
+        assert_eq!(
+            (input.c(), input.w(), input.h()),
+            (shape.c, shape.w, shape.h),
+            "input tensor does not match shape"
+        );
+
+        let cycles = layer.cycles;
+        let macs = shape.macs() as f64;
+        let stats = dense_stats(shape, &layer.pe_cycles, cycles, cfg.multipliers_per_pe as u64);
+
+        let mut counts = AccessCounts::default();
+        if cfg.optimized {
+            let live = exact_live_macs(layer, input, ws) as f64;
+            counts.mults_live = live;
+            counts.mults_gated = macs - live;
+        } else {
+            counts.mults_live = macs;
+        }
+        fill_dense_delivery_counts(shape, macs, &mut counts);
+
+        // Per-image measured profile; no output tensor exists (the dense
+        // machine computes no values), so spills charge dense output
+        // words via `OperandProfile::output_dram_words`.
+        let profile = OperandProfile {
+            weight_density: layer.weight_density,
+            act_density: input.density(),
+            input_stored_bits: CompressedActivations::compress(input).storage_bits(),
+            output_stored_bits: None,
+        };
+        if opts.weights_from_dram {
+            counts.dram_words += shape.weight_count() as f64;
+        }
+        let dram_tiled =
+            add_activation_dram_words(cfg, shape, &profile, opts.input_from_dram, &mut counts);
 
         let energy = self.energy.energy(&counts);
         LayerResult {
@@ -202,6 +405,134 @@ impl DcnnMachine {
     }
 }
 
+/// The square PE grid tiling shared by both dense execution paths.
+fn dense_tiling(cfg: &DcnnConfig, shape: &ConvShape) -> PlaneTiling {
+    // The dense array is organized as the same square grid as SCNN's.
+    let grid = (cfg.num_pes as f64).sqrt() as usize;
+    assert_eq!(grid * grid, cfg.num_pes, "dense machine expects a square PE grid");
+    // Dense PEs partition outputs directly (input-halo fetch, §III-A).
+    PlaneTiling::new(shape.out_w(), shape.out_h(), grid, grid, 0, 0)
+}
+
+/// Per-PE cycles of the dense tile walk: each ALU serially reduces one
+/// output; a PE processes its outputs in batches of `multipliers_per_pe`.
+fn dense_pe_cycles(cfg: &DcnnConfig, shape: &ConvShape, tiling: &PlaneTiling) -> Vec<u64> {
+    let kpg = shape.k_per_group();
+    let cpg = shape.c_per_group();
+    let reduction = cpg * shape.r * shape.s;
+    let alus = cfg.multipliers_per_pe as u64;
+    let mut pe_cycles = Vec::with_capacity(cfg.num_pes);
+    for tile in tiling.iter() {
+        let outputs = (shape.groups * kpg * tile.out_area()) as u64;
+        let batches = outputs.div_ceil(alus);
+        pe_cycles.push(batches * reduction as u64);
+    }
+    pe_cycles
+}
+
+/// Busy/idle/slot statistics of the dense tile walk.
+fn dense_stats(shape: &ConvShape, pe_cycles: &[u64], cycles: u64, alus: u64) -> LayerStats {
+    let mut stats = LayerStats {
+        products: shape.macs() as u64,
+        valid_products: shape.macs() as u64,
+        ocg_count: 1,
+        ..Default::default()
+    };
+    for &pc in pe_cycles {
+        stats.busy_cycles += pc;
+        stats.idle_cycles += cycles - pc;
+        stats.mult_slots += pc * alus;
+    }
+    stats
+}
+
+/// Operand-delivery counts shared by both dense paths: dot-product
+/// accumulation (register adds per MAC, one buffered write per output),
+/// activations staged in PE-local register tiles and re-read from the
+/// shared SRAM once per dense output-channel block (input-stationary
+/// with `Kc = 64` blocking), weights streamed from the per-PE weight
+/// buffer shared across the four concurrent dot-product positions.
+fn fill_dense_delivery_counts(shape: &ConvShape, macs: f64, counts: &mut AccessCounts) {
+    counts.acc_reg_updates = macs;
+    counts.acc_updates = shape.output_count() as f64;
+    let kc_blocks = shape.k.div_ceil(DENSE_KC) as f64;
+    counts.sram_words = shape.input_count() as f64 * kc_blocks + shape.output_count() as f64;
+    counts.wbuf_words = macs / 4.0;
+}
+
+/// Activation DRAM traffic shared by both dense paths: activations move
+/// only when the SRAM cannot hold the layer's input + output working set
+/// (VGGNet-sized layers) or for the network's first layer; DCNN-opt
+/// compresses them at the DRAM boundary. Returns whether the layer
+/// tiled to DRAM.
+fn add_activation_dram_words(
+    cfg: &DcnnConfig,
+    shape: &ConvShape,
+    profile: &OperandProfile,
+    input_from_dram: bool,
+    counts: &mut AccessCounts,
+) -> bool {
+    let in_words = shape.input_count() as f64;
+    let out_words = shape.output_count() as f64;
+    let fits = (shape.input_count() + shape.output_count()) * 2 <= cfg.sram_bytes;
+    if !fits {
+        if cfg.optimized {
+            let in_c = profile.input_dram_words(in_words);
+            let out_c = profile.output_dram_words(out_words);
+            counts.dram_words += in_c + out_c;
+        } else {
+            counts.dram_words += in_words + out_words;
+        }
+        return true;
+    }
+    if input_from_dram {
+        counts.dram_words +=
+            if cfg.optimized { profile.input_dram_words(in_words) } else { in_words };
+    }
+    false
+}
+
+/// The exact zero-operand gating count: MACs whose weight tap and
+/// fetched activation are both non-zero, counted by walking the padded
+/// input (held in the workspace arena, so padding positions read as
+/// zeros without bounds checks) once per compiled weight-tap census
+/// entry.
+fn exact_live_macs(layer: &DcnnCompiledLayer, input: &Dense3, ws: &mut SimWorkspace) -> u64 {
+    let shape = &layer.shape;
+    let cpg = shape.c_per_group();
+    let (out_w, out_h) = (shape.out_w(), shape.out_h());
+    fill_group_padded(&mut ws.padded, input, 0, shape.c, shape.pad);
+    let padded = &ws.padded;
+    let ph = padded.h();
+    let mut live = 0u64;
+    for g in 0..shape.groups {
+        for c in 0..cpg {
+            let plane = padded.channel(g * cpg + c);
+            for rr in 0..shape.r {
+                for ss in 0..shape.s {
+                    let wk =
+                        u64::from(layer.tap_k_nnz[((g * cpg + c) * shape.r + rr) * shape.s + ss]);
+                    if wk == 0 {
+                        continue;
+                    }
+                    // Outputs (x, y) read padded (x*stride + rr, y*stride + ss).
+                    let mut annz = 0u64;
+                    for x in 0..out_w {
+                        let col = &plane[(x * shape.stride + rr) * ph..][..ph];
+                        let mut py = ss;
+                        for _ in 0..out_h {
+                            annz += u64::from(col[py] != 0.0);
+                            py += shape.stride;
+                        }
+                    }
+                    live += wk * annz;
+                }
+            }
+        }
+    }
+    live
+}
+
 /// Compressed word count when measured, dense words otherwise.
 fn compressed_or_dense(stored_bits: usize, dense_words: f64) -> f64 {
     if stored_bits > 0 {
@@ -214,7 +545,8 @@ fn compressed_or_dense(stored_bits: usize, dense_words: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scnn_model::synth_acts;
+    use crate::machine::RunOptions;
+    use scnn_model::{synth_acts, synth_layer_input, synth_weights};
 
     fn profile_for(shape: &ConvShape, wd: f64, ad: f64) -> OperandProfile {
         let input = synth_acts(shape.c, shape.w, shape.h, ad, 99);
@@ -278,6 +610,28 @@ mod tests {
     }
 
     #[test]
+    fn unmeasured_output_is_charged_dense_not_optimistic() {
+        // The `output: None ⇒ dense` assumption, made explicit: on a
+        // spilled layer, a profile without a measured output must charge
+        // at least as much DRAM as one with any real (compressible)
+        // output — the fallback can never be optimistic.
+        let shape = ConvShape::new(64, 64, 3, 3, 224, 224).with_pad(1);
+        let opt = DcnnMachine::new(DcnnConfig::optimized());
+        let input = synth_acts(shape.c, shape.w, shape.h, 0.4, 99);
+        let output = synth_acts(shape.k, shape.out_w(), shape.out_h(), 0.35, 98);
+        let unmeasured = OperandProfile::measure(&input, 0.25, None);
+        let measured = OperandProfile::measure(&input, 0.25, Some(&output));
+        assert_eq!(unmeasured.output_stored_bits, None);
+        assert!(measured.output_stored_bits.is_some());
+        let out_words = shape.output_count() as f64;
+        assert_eq!(unmeasured.output_dram_words(out_words), out_words);
+        assert!(measured.output_dram_words(out_words) < out_words);
+        let ru = opt.run_layer(&shape, &unmeasured, false);
+        let rm = opt.run_layer(&shape, &measured, false);
+        assert!(ru.counts.dram_words > rm.counts.dram_words);
+    }
+
+    #[test]
     fn small_plane_idles_dense_pes_too() {
         // 7x7 plane over an 8x8 grid: 15 PEs idle, mirroring SCNN.
         let shape = ConvShape::new(128, 32, 1, 1, 7, 7);
@@ -294,5 +648,141 @@ mod tests {
         let resident = m.run_layer(&shape, &profile, false);
         let first = m.run_layer(&shape, &profile, true);
         assert!(first.counts.dram_words > resident.counts.dram_words);
+    }
+
+    #[test]
+    fn executed_cycles_match_the_analytical_walk() {
+        // The compile/execute split fixes cycles at compile time from
+        // the same tile walk, so the cycle-modeled backend reproduces
+        // the analytical performance exactly — including stats.
+        for (i, shape) in [
+            ConvShape::new(16, 16, 3, 3, 16, 16).with_pad(1),
+            ConvShape::new(128, 32, 1, 1, 7, 7),
+            ConvShape::new(16, 3, 11, 11, 27, 27).with_stride(4),
+            ConvShape::new(16, 8, 3, 3, 9, 9).with_pad(1).with_groups(2),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let m = DcnnMachine::new(DcnnConfig::default());
+            let weights = synth_weights(&shape, 0.4, 100 + i as u64);
+            let input = synth_layer_input(&shape, 0.5, 200 + i as u64);
+            let analytic = m.run_layer(
+                &shape,
+                &OperandProfile::measure(&input, weights.density(), None),
+                false,
+            );
+            let compiled = m.compile_layer(&shape, &weights);
+            assert_eq!(compiled.cycles(), analytic.cycles, "case {i}");
+            let mut ws = SimWorkspace::new();
+            let executed = m.execute_layer_with(&compiled, &input, &RunOptions::default(), &mut ws);
+            assert_eq!(executed.cycles, analytic.cycles, "case {i}");
+            assert_eq!(executed.stats, analytic.stats, "case {i}");
+        }
+    }
+
+    #[test]
+    fn exact_gating_counts_both_nonzero_operands() {
+        // The executed DCNN-opt gating split must equal the brute-force
+        // count of MACs with two non-zero operands.
+        for (i, shape) in [
+            ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1),
+            ConvShape::new(8, 3, 5, 5, 11, 11).with_stride(2).with_pad(2),
+            ConvShape::new(8, 8, 3, 3, 9, 9).with_pad(1).with_groups(2),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let m = DcnnMachine::new(DcnnConfig::optimized());
+            let weights = synth_weights(&shape, 0.4, 300 + i as u64);
+            let input = synth_layer_input(&shape, 0.5, 400 + i as u64);
+            let compiled = m.compile_layer(&shape, &weights);
+            let mut ws = SimWorkspace::new();
+            let r = m.execute_layer_with(&compiled, &input, &RunOptions::default(), &mut ws);
+
+            let (kpg, cpg) = (shape.k_per_group(), shape.c_per_group());
+            let mut brute = 0u64;
+            for k in 0..shape.k {
+                let g = k / kpg;
+                for c in 0..cpg {
+                    for rr in 0..shape.r {
+                        for ss in 0..shape.s {
+                            if weights.get(k, c, rr, ss) == 0.0 {
+                                continue;
+                            }
+                            for x in 0..shape.out_w() {
+                                for y in 0..shape.out_h() {
+                                    let px = (x * shape.stride + rr) as isize - shape.pad as isize;
+                                    let py = (y * shape.stride + ss) as isize - shape.pad as isize;
+                                    if px >= 0
+                                        && (px as usize) < shape.w
+                                        && py >= 0
+                                        && (py as usize) < shape.h
+                                        && input.get(g * cpg + c, px as usize, py as usize) != 0.0
+                                    {
+                                        brute += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(r.counts.mults_live, brute as f64, "case {i}");
+            assert_eq!(r.counts.mults_live + r.counts.mults_gated, shape.macs() as f64);
+        }
+    }
+
+    #[test]
+    fn resident_weights_skip_the_dense_dram_fetch() {
+        let shape = ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1);
+        let m = DcnnMachine::new(DcnnConfig::default());
+        let weights = synth_weights(&shape, 0.4, 500);
+        let input = synth_layer_input(&shape, 0.5, 501);
+        let compiled = m.compile_layer(&shape, &weights);
+        let mut ws = SimWorkspace::new();
+        let first = m.execute_layer_with(&compiled, &input, &RunOptions::default(), &mut ws);
+        let resident = m.execute_layer_with(
+            &compiled,
+            &input,
+            &RunOptions { weights_from_dram: false, ..Default::default() },
+            &mut ws,
+        );
+        let delta = first.counts.dram_words - resident.counts.dram_words;
+        assert!((delta - compiled.weight_dram_words()).abs() < 1e-9);
+        assert_eq!(first.cycles, resident.cycles);
+        assert_eq!(first.stats, resident.stats);
+    }
+
+    #[test]
+    fn one_compilation_serves_both_dense_variants() {
+        // `optimized` is not part of the compiled geometry: the plain
+        // and -opt machines execute the same compiled layer (the batch
+        // runner compiles once and reports both variants).
+        let shape = ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1);
+        let weights = synth_weights(&shape, 0.4, 600);
+        let input = synth_layer_input(&shape, 0.5, 601);
+        let plain = DcnnMachine::new(DcnnConfig::default());
+        let opt = DcnnMachine::new(DcnnConfig::optimized());
+        let compiled = plain.compile_layer(&shape, &weights);
+        let mut ws = SimWorkspace::new();
+        let rp = plain.execute_layer_with(&compiled, &input, &RunOptions::default(), &mut ws);
+        let ro = opt.execute_layer_with(&compiled, &input, &RunOptions::default(), &mut ws);
+        assert_eq!(rp.cycles, ro.cycles);
+        assert_eq!(rp.counts.mults_gated, 0.0);
+        assert!(ro.counts.mults_gated > 0.0);
+        assert!(ro.energy.total() < rp.energy.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine configuration")]
+    fn executing_on_mismatched_dense_geometry_panics() {
+        let shape = ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1);
+        let weights = synth_weights(&shape, 0.4, 700);
+        let input = synth_layer_input(&shape, 0.5, 701);
+        let compiled = DcnnMachine::new(DcnnConfig::default()).compile_layer(&shape, &weights);
+        let other = DcnnMachine::new(DcnnConfig { num_pes: 16, ..DcnnConfig::default() });
+        let mut ws = SimWorkspace::new();
+        let _ = other.execute_layer_with(&compiled, &input, &RunOptions::default(), &mut ws);
     }
 }

@@ -16,7 +16,12 @@
 //!   fan-out ([`RunOptions::pe_threads`]) that is bit-identical to serial
 //!   execution at any worker count;
 //! * [`DcnnMachine`] — the comparably-provisioned dense baseline
-//!   (PT-IS-DP-dense), in plain and `-opt` variants;
+//!   (PT-IS-DP-dense), in plain and `-opt` variants, with the same
+//!   compile/execute split ([`DcnnCompiledLayer`]) so the fig7
+//!   comparison is simulated rather than analytical;
+//! * [`Backend`] / [`AnyBackend`] — the execution-layer abstraction:
+//!   `compile → calibrate → execute(workspace)` implemented by both
+//!   machines, with [`BackendKind`] naming each instantiation;
 //! * [`oracle_cycles`] — the `SCNN(oracle)` packing lower bound;
 //! * [`PlaneTiling`], [`decompose`] — the planar tiling and the
 //!   stride-to-stride-1 decomposition substrate.
@@ -44,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+mod backend;
 mod compiled;
 mod dense;
 mod machine;
@@ -54,8 +60,9 @@ mod subconv;
 mod tiling;
 mod workspace;
 
+pub use backend::{AnyBackend, AnyCompiledLayer, Backend, BackendKind};
 pub use compiled::CompiledLayer;
-pub use dense::{DcnnMachine, OperandProfile};
+pub use dense::{DcnnCompiledLayer, DcnnMachine, OperandProfile};
 pub use machine::{RunOptions, ScnnMachine};
 pub use oracle::oracle_cycles;
 pub use phase::{

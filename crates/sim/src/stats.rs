@@ -97,6 +97,24 @@ pub struct LayerResult {
 }
 
 impl LayerResult {
+    /// The all-zero result of a machine that did not execute — the
+    /// placeholder a backend-generic run uses for the machine models the
+    /// selected backend never ran (e.g. the SCNN slot of a DCNN-backend
+    /// run). Every quantity is zero, so aggregates stay finite and a
+    /// non-executed machine can never contribute to a simulated number.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            cycles: 0,
+            counts: AccessCounts::default(),
+            energy: EnergyBreakdown::default(),
+            stats: LayerStats::default(),
+            footprints: Footprints::default(),
+            output: None,
+            output_density: 0.0,
+        }
+    }
+
     /// Total energy in picojoules.
     #[must_use]
     pub fn energy_pj(&self) -> f64 {

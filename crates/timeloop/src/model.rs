@@ -361,7 +361,9 @@ impl TimeLoop {
             weight_density: wd,
             act_density: ad,
             input_stored_bits: (expected_rle_stored(shape.input_count(), ad) * 20.0) as usize,
-            output_stored_bits: (expected_rle_stored(shape.output_count(), od) * 20.0) as usize,
+            output_stored_bits: Some(
+                (expected_rle_stored(shape.output_count(), od) * 20.0) as usize,
+            ),
         };
         let machine = DcnnMachine::new(*cfg).with_energy_model(self.energy);
         let r = machine.run_layer(shape, &profile, input_from_dram);

@@ -1,0 +1,149 @@
+//! Backend-conformance suite: every execution backend — sparse SCNN and
+//! both dense DCNN variants — must honor the same contract through the
+//! compile → execute pipeline. Degenerate inputs (an empty batch, a
+//! network with no evaluated layers) are well-formed; a batch of one is
+//! bit-identical to the single-image runner; and no combination of
+//! worker threads and intra-layer PE threads changes a simulated
+//! number. The suite runs each check under every [`BackendKind`], so a
+//! new backend inherits the whole contract by being added to
+//! `BackendKind::ALL`.
+
+use scnn::batch::{BatchRun, CompiledNetwork};
+use scnn::runner::{NetworkRun, RunConfig};
+use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+use scnn::scnn_sim::BackendKind;
+use scnn::scnn_tensor::ConvShape;
+
+/// A small heterogeneous network (stride, padding and group variety) so
+/// the dense tile walk and the sparse cascade both get exercised.
+fn tiny_network() -> (Network, DensityProfile) {
+    let layers = vec![
+        ConvLayer::new("a", ConvShape::new(8, 3, 3, 3, 12, 12).with_pad(1)),
+        ConvLayer::new("b", ConvShape::new(6, 8, 3, 3, 12, 12).with_stride(2).with_pad(1)),
+        ConvLayer::new("c", ConvShape::new(8, 6, 1, 1, 6, 6)),
+    ];
+    let densities =
+        vec![LayerDensity::new(0.4, 0.9), LayerDensity::new(0.3, 0.6), LayerDensity::new(0.5, 0.5)];
+    (Network::new("tiny3", layers), DensityProfile::from_layers(densities))
+}
+
+/// The per-layer primary results, reduced to comparable bits.
+fn primary_digest(run: &NetworkRun) -> Vec<(u64, u64, u64, u64)> {
+    run.layers
+        .iter()
+        .map(|l| {
+            let p = l.primary();
+            (p.cycles, p.energy_pj().to_bits(), p.counts.dram_words.to_bits(), p.stats.products)
+        })
+        .collect()
+}
+
+#[test]
+fn every_backend_accepts_an_empty_batch() {
+    let (net, profile) = tiny_network();
+    for backend in BackendKind::ALL {
+        let config = RunConfig::default().with_backend(backend);
+        let compiled = CompiledNetwork::compile(&net, &profile, &config);
+        let batch = BatchRun::execute(&compiled, 0);
+        assert_eq!(batch.batch_size(), 0, "{backend}");
+        assert!(batch.images.is_empty(), "{backend}");
+        assert_eq!(batch.total_cycles(), 0, "{backend}");
+        for v in
+            [batch.cycles_per_image(), batch.energy_pj_per_image(), batch.dram_words_per_image()]
+        {
+            assert!(!v.is_nan(), "{backend}");
+            assert_eq!(v, 0.0, "{backend}");
+        }
+    }
+}
+
+#[test]
+fn every_backend_accepts_a_network_with_no_evaluated_layers() {
+    // All layers excluded from the evaluation set: compilation produces
+    // zero compiled layers and execution produces empty, total-zero
+    // images — on every backend, without panicking.
+    let layers = vec![
+        ConvLayer::new("stem0", ConvShape::new(4, 3, 3, 3, 8, 8).with_pad(1)).excluded(),
+        ConvLayer::new("stem1", ConvShape::new(4, 4, 3, 3, 8, 8).with_pad(1)).excluded(),
+    ];
+    let net = Network::new("stems-only", layers);
+    let profile =
+        DensityProfile::from_layers(vec![LayerDensity::new(0.5, 0.5), LayerDensity::new(0.5, 0.5)]);
+    for backend in BackendKind::ALL {
+        let config = RunConfig::default().with_backend(backend);
+        let compiled = CompiledNetwork::compile(&net, &profile, &config);
+        assert!(compiled.layers.is_empty(), "{backend}");
+        let batch = BatchRun::execute(&compiled, 2);
+        assert_eq!(batch.batch_size(), 2, "{backend}");
+        for image in &batch.images {
+            assert!(image.layers.is_empty(), "{backend}");
+        }
+        assert_eq!(batch.total_cycles(), 0, "{backend}");
+        assert_eq!(batch.total_energy_pj(), 0.0, "{backend}");
+    }
+}
+
+#[test]
+fn batch_of_one_matches_the_single_image_run_on_every_backend() {
+    let (net, profile) = tiny_network();
+    for backend in BackendKind::ALL {
+        let config = RunConfig::default().with_backend(backend);
+        let single = NetworkRun::execute(&net, &profile, &config);
+        let batch = BatchRun::execute(&CompiledNetwork::compile(&net, &profile, &config), 1);
+        assert_eq!(batch.batch_size(), 1, "{backend}");
+        assert_eq!(
+            primary_digest(&single),
+            primary_digest(&batch.images[0]),
+            "{backend}: B=1 diverged from the single-image runner"
+        );
+    }
+}
+
+#[test]
+fn every_backend_is_bit_identical_across_thread_and_pe_thread_counts() {
+    let (net, profile) = tiny_network();
+    for backend in BackendKind::ALL {
+        let serial_cfg =
+            RunConfig::default().with_backend(backend).with_threads(1).with_pe_threads(1);
+        let serial = BatchRun::execute(&CompiledNetwork::compile(&net, &profile, &serial_cfg), 3);
+        let reference: Vec<_> = serial.images.iter().map(primary_digest).collect();
+        for (threads, pe_threads) in [(2, 1), (1, 4), (4, 3), (7, 2)] {
+            let config = RunConfig::default()
+                .with_backend(backend)
+                .with_threads(threads)
+                .with_pe_threads(pe_threads);
+            let parallel = BatchRun::execute(&CompiledNetwork::compile(&net, &profile, &config), 3);
+            assert_eq!(
+                parallel.weight_dram_words.to_bits(),
+                serial.weight_dram_words.to_bits(),
+                "{backend} at threads={threads} pe_threads={pe_threads}"
+            );
+            let got: Vec<_> = parallel.images.iter().map(primary_digest).collect();
+            assert_eq!(
+                got, reference,
+                "{backend} at threads={threads} pe_threads={pe_threads} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn backends_report_who_executed_and_do_not_alias() {
+    // Each run labels its layers with the executing backend, and the
+    // three backends' primary results are pairwise distinguishable (the
+    // two dense variants share cycles but differ in energy).
+    let (net, profile) = tiny_network();
+    let mut digests = Vec::new();
+    for backend in BackendKind::ALL {
+        let config = RunConfig::default().with_backend(backend);
+        let run = NetworkRun::execute(&net, &profile, &config);
+        for l in &run.layers {
+            assert_eq!(l.backend, backend);
+            assert!(l.primary().cycles > 0, "{backend}: {} executed nothing", l.name);
+        }
+        digests.push(primary_digest(&run));
+    }
+    assert_ne!(digests[0], digests[1], "scnn vs dcnn");
+    assert_ne!(digests[0], digests[2], "scnn vs dcnn-opt");
+    assert_ne!(digests[1], digests[2], "dcnn vs dcnn-opt");
+}

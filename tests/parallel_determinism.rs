@@ -8,6 +8,7 @@
 use scnn::batch::{BatchRun, CompiledNetwork};
 use scnn::runner::{NetworkRun, RunConfig};
 use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+use scnn::scnn_sim::BackendKind;
 use scnn::scnn_tensor::ConvShape;
 use scnn::scnn_timeloop::{density_sweep, pe_granularity_sweep, TimeLoop};
 use scnn_fabric::{plan_hybrid, FabricRun, HybridPlan, HybridRun, LinkConfig, StagePlan};
@@ -331,6 +332,88 @@ fn serve_tier_with_fabric_devices_is_bit_identical_across_thread_counts() {
     let single = run(1, 1);
     assert_ne!(serial.digest(), single.digest());
     assert_eq!(single.global.link_words_per_request, 0.0);
+}
+
+#[test]
+fn dense_backend_batch_grid_is_bit_identical_across_thread_counts() {
+    // The dense DCNN backends ride the same (layer x image) fan-out as
+    // the sparse machine; switching `RunConfig::backend` must not open a
+    // scheduling-dependent path. Reference: fully serial dense batch.
+    let (net, profile) = synthetic_network();
+    for backend in [BackendKind::Dcnn, BackendKind::DcnnOpt] {
+        let serial_cfg = RunConfig::default().with_backend(backend).with_threads(1);
+        let serial = BatchRun::execute(&CompiledNetwork::compile(&net, &profile, &serial_cfg), 3);
+        for threads in [2, 4, 7] {
+            let config = RunConfig::default().with_backend(backend).with_threads(threads);
+            let parallel = BatchRun::execute(&CompiledNetwork::compile(&net, &profile, &config), 3);
+            assert_eq!(parallel.batch_size(), serial.batch_size());
+            assert_eq!(
+                parallel.weight_dram_words.to_bits(),
+                serial.weight_dram_words.to_bits(),
+                "{backend} at {threads} threads: compiled weight footprint diverged"
+            );
+            for (image, (a, b)) in serial.images.iter().zip(&parallel.images).enumerate() {
+                assert_runs_identical(a, b);
+                for (x, y) in a.layers.iter().zip(&b.layers) {
+                    assert_eq!(x.backend, backend, "{}: backend label", x.name);
+                    assert_eq!(y.backend, backend, "{}: backend label", y.name);
+                    assert_eq!(
+                        x.primary().energy_pj().to_bits(),
+                        y.primary().energy_pj().to_bits(),
+                        "image {image}, {}: {backend} energy at {threads} threads",
+                        x.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_backend_serving_is_bit_identical_across_thread_counts() {
+    // A heterogeneous pool — one SCNN device, one cycle-simulated DCNN
+    // device, each model pinned to its backend — folds backend routing
+    // into the serving event loop. Worker threads must still never change
+    // a reported number, and the pool's device order is a real input.
+    use scnn_serve::engine::Engine;
+    use scnn_serve::sim::{simulate, ServeConfig};
+    use scnn_serve::trace::{generate, DeadlineClass, TenantSpec};
+
+    let (net, profile) = synthetic_network();
+    let tenants = vec![
+        TenantSpec::new("t-sparse", "syn", 40_000, DeadlineClass::Interactive),
+        TenantSpec::new("t-dense", "syn-dcnn", 60_000, DeadlineClass::Relaxed),
+    ];
+    let run = |threads: usize, pool: Vec<BackendKind>| {
+        let mut engine = Engine::new(RunConfig::default().with_threads(threads));
+        engine.register("syn", net.clone(), profile.clone(), "test");
+        engine.register_with_backend(
+            "syn-dcnn",
+            net.clone(),
+            profile.clone(),
+            "test",
+            BackendKind::Dcnn,
+        );
+        let trace = generate(&tenants, 1_500_000, 13);
+        let cfg = ServeConfig { device_backends: pool, ..Default::default() };
+        simulate(&mut engine, &trace, &cfg)
+    };
+    let pool = vec![BackendKind::Scnn, BackendKind::Dcnn];
+    let serial = run(1, pool.clone());
+    assert!(serial.global.requests > 10, "trace should be non-trivial");
+    assert_eq!(serial.backends.len(), 2, "both backends report");
+    for b in &serial.backends {
+        assert_eq!(b.devices, 1, "{}", b.backend);
+        assert!(b.metrics.requests > 0, "{} backend served nothing", b.backend);
+    }
+    for threads in [2, 4] {
+        let parallel = run(threads, pool.clone());
+        assert_eq!(serial, parallel, "{threads} threads diverged");
+        assert_eq!(serial.digest(), parallel.digest());
+    }
+    // Swapping which device carries which backend reroutes every
+    // dispatch; the report must reflect it, not alias.
+    assert_ne!(serial.digest(), run(1, vec![BackendKind::Dcnn, BackendKind::Scnn]).digest());
 }
 
 #[test]
