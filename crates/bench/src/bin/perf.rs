@@ -5,7 +5,8 @@
 //! tracked across PRs instead of living in commit messages.
 //!
 //! ```text
-//! cargo run --release --bin perf -- [--quick] [--backend NAME] [--out PATH] [--baseline PATH] [--check]
+//! cargo run --release --bin perf -- [--quick] [--backend NAME] [--out PATH] [--baseline PATH]
+//!                                   [--check] [--profile] [--trace PATH]
 //! ```
 //!
 //! * `--quick`     — AlexNet only (the CI configuration), measured on
@@ -38,6 +39,15 @@
 //!     so the simulated SCNN and cycle-simulated DCNN numbers are each
 //!     pinned exactly.
 //!
+//! * `--profile`   — print a wall-clock profile (compile / execute /
+//!   fabric / hybrid scopes) at the end. Host time, informational only.
+//! * `--trace PATH` — export a Chrome Trace Event (Perfetto-loadable)
+//!   timeline of the simulated runs: per-layer spans for each network
+//!   row, stage/link occupancy for the fabric and hybrid rows. The
+//!   usual ladder: this flag wins, then `SCNN_TRACE`, else no trace.
+//!   Telemetry replays finished results, so every simulated field in
+//!   the report is bit-identical with tracing on or off.
+//!
 //! Reported per network: compile wall, mean execute wall per image
 //! (`s_per_img`), simulated cycles / energy / DRAM per image, and the
 //! process peak-RSS proxy (`VmHWM` from `/proc/self/status`; 0 where
@@ -51,7 +61,9 @@ use scnn::batch::{BatchRun, CompiledNetwork};
 use scnn::runner::RunConfig;
 use scnn::scnn_model::zoo;
 use scnn::scnn_sim::BackendKind;
+use scnn::telemetry::{record_network_run, render_layer_breakdown};
 use scnn_fabric::{plan_hybrid, FabricRun, HybridRun, LinkConfig};
+use scnn_telemetry::{resolve_trace, Profiler, Recorder};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -107,24 +119,42 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
-fn measure(name: &str, backend: BackendKind, batch: usize) -> Row {
+/// Measures one `(network, backend)` point. Telemetry rides strictly on
+/// the reporting side: the profiler is charged with durations that were
+/// measured anyway, and the recorder replays image 0's *finished*
+/// per-layer results — neither can perturb a simulated quantity.
+fn measure(
+    name: &str,
+    backend: BackendKind,
+    batch: usize,
+    prof: &mut Profiler,
+    rec: &mut Recorder,
+) -> Row {
     let net = zoo::by_name(name).unwrap_or_else(|| panic!("unknown zoo network {name:?}"));
     let config = RunConfig::default().with_backend(backend);
 
     let t0 = Instant::now();
     let compiled = CompiledNetwork::compile_paper(&net, &config);
-    let compile_s = t0.elapsed().as_secs_f64();
+    let compile = t0.elapsed();
+    prof.record(&format!("compile:{name}[{backend}]"), compile);
 
     let t1 = Instant::now();
     let run = BatchRun::execute(&compiled, batch);
-    let exec_s = t1.elapsed().as_secs_f64();
+    let exec = t1.elapsed();
+    prof.record(&format!("execute:{name}[{backend}]"), exec);
+
+    if rec.is_enabled() {
+        record_network_run(rec, &run.images[0], &format!("{name}[{backend}]"), 0);
+    }
+    println!("where the cycles go ({name}[{backend}], image 0 of the measured batch):");
+    println!("{}", render_layer_breakdown(&run.images[0]));
 
     Row {
         name: net.name().to_owned(),
         backend,
         batch,
-        compile_s,
-        s_per_img: exec_s / batch as f64,
+        compile_s: compile.as_secs_f64(),
+        s_per_img: exec.as_secs_f64() / batch as f64,
         cycles_per_img: run.cycles_per_image(),
         energy_uj_per_img: run.energy_pj_per_image() / 1e6,
         dram_words_per_img: run.dram_words_per_image(),
@@ -132,34 +162,52 @@ fn measure(name: &str, backend: BackendKind, batch: usize) -> Row {
     }
 }
 
-fn measure_fabric(name: &str, chips: usize, batch: usize) -> FabricRow {
+fn measure_fabric(
+    name: &str,
+    chips: usize,
+    batch: usize,
+    prof: &mut Profiler,
+    rec: &mut Recorder,
+) -> FabricRow {
     let net = zoo::by_name(name).unwrap_or_else(|| panic!("unknown zoo network {name:?}"));
     let compiled = CompiledNetwork::compile_paper(&net, &RunConfig::default());
     let t0 = Instant::now();
     let run = FabricRun::execute(&compiled, chips, LinkConfig::default(), batch);
+    let wall = t0.elapsed();
+    prof.record(&format!("fabric:{name}"), wall);
+    run.record_timeline(rec, &format!("fabric:{name}."));
     FabricRow {
         name: net.name().to_owned(),
         chips,
         batch,
-        wall_s: t0.elapsed().as_secs_f64(),
+        wall_s: wall.as_secs_f64(),
         makespan_cycles: run.schedule.makespan_cycles,
         steady_cycles_per_img: run.schedule.steady_cycles_per_image,
         link_words_per_img: run.link_words_per_image(),
     }
 }
 
-fn measure_hybrid(name: &str, budget: usize, batch: usize) -> HybridRow {
+fn measure_hybrid(
+    name: &str,
+    budget: usize,
+    batch: usize,
+    prof: &mut Profiler,
+    rec: &mut Recorder,
+) -> HybridRow {
     let net = zoo::by_name(name).unwrap_or_else(|| panic!("unknown zoo network {name:?}"));
     let compiled = CompiledNetwork::compile_paper(&net, &RunConfig::default());
     let link = LinkConfig::default();
     let plan = plan_hybrid(&compiled, budget, &link, batch);
     let t0 = Instant::now();
     let run = HybridRun::execute(&compiled, plan, link, batch);
+    let wall = t0.elapsed();
+    prof.record(&format!("hybrid:{name}"), wall);
+    run.record_timeline(rec, &format!("hybrid:{name}."));
     HybridRow {
         name: net.name().to_owned(),
         budget,
         batch,
-        wall_s: t0.elapsed().as_secs_f64(),
+        wall_s: wall.as_secs_f64(),
         geometry: run.plan.geometry(),
         chips_used: run.plan.chips(),
         replicas: run.plan.replicas,
@@ -420,10 +468,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
+    let profile = args.iter().any(|a| a == "--profile");
     let arg_value =
         |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_sim.json".to_owned());
     let baseline_path = arg_value("--baseline").unwrap_or_else(|| out_path.clone());
+
+    // Telemetry is reporting-only: the recorder replays finished results
+    // and the profiler reuses already-measured wall durations, so every
+    // simulated field below is bit-identical with tracing on or off.
+    // Trace ladder: `--trace PATH` wins, then `SCNN_TRACE`, else off.
+    let trace_path = resolve_trace(arg_value("--trace").as_deref());
+    let mut rec = if trace_path.is_some() { Recorder::enabled() } else { Recorder::disabled() };
+    let mut prof = Profiler::new(profile);
 
     // Read the baseline before the out file is overwritten.
     let baseline = std::fs::read_to_string(&baseline_path).ok();
@@ -467,7 +524,7 @@ fn main() {
         if backend_filter.is_some_and(|b| b != backend) {
             continue;
         }
-        let row = measure(name, backend, batch);
+        let row = measure(name, backend, batch, &mut prof, &mut rec);
         println!(
             "{} [{}]: compile {:.3}s, {:.3} s/img (B={}), {:.0} cycles/img, {:.2} uJ/img, \
              peak RSS {} kB",
@@ -484,7 +541,7 @@ fn main() {
     }
     let mut fabric = Vec::new();
     for &(name, chips, batch) in fabric_plan {
-        let f = measure_fabric(name, chips, batch);
+        let f = measure_fabric(name, chips, batch, &mut prof, &mut rec);
         println!(
             "{} fabric C={}: {} makespan cycles (B={}), {} steady cycles/img, {:.0} link words/img",
             f.name,
@@ -498,7 +555,7 @@ fn main() {
     }
     let mut hybrid = Vec::new();
     for &(name, budget, batch) in hybrid_plan {
-        let h = measure_hybrid(name, budget, batch);
+        let h = measure_hybrid(name, budget, batch, &mut prof, &mut rec);
         println!(
             "{} hybrid budget={}: plan {} ({} chips, {} replica(s)), {} makespan cycles (B={}), \
              {} steady cycles/img, {:.0} link words/img",
@@ -519,6 +576,15 @@ fn main() {
     let report = render(mode, &rows, &fabric, &hybrid);
     std::fs::write(&out_path, &report).expect("write report");
     println!("wrote {out_path}");
+
+    if let Some(path) = trace_path {
+        std::fs::write(&path, rec.to_chrome_json()).expect("write trace");
+        println!("wrote {path} ({} trace events)", rec.len());
+    }
+    if prof.is_enabled() {
+        println!("\nwall-clock profile (host time, informational only):");
+        print!("{}", prof.report());
+    }
 
     if check {
         let Some(baseline) = baseline else {

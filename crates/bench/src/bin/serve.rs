@@ -18,8 +18,20 @@
 //! non-trivial trace).
 //!
 //! ```text
-//! cargo run --release --bin serve [-- --quick]
+//! cargo run --release --bin serve [-- --quick] [--trace PATH] [--profile] [--check-trace PATH]
 //! ```
+//!
+//! With a trace destination (`--trace PATH` wins, then `SCNN_TRACE`,
+//! else off) the representative point runs through
+//! [`simulate_traced`] and the recorded request lifecycle — enqueue,
+//! batch seal, dispatch, weight load, execute, complete, on per-tenant
+//! and per-device tracks — is exported as Chrome Trace Event JSON
+//! (load it in Perfetto). The report is bit-identical with tracing on
+//! or off; the "wrote trace" note goes to stderr like every wall-clock
+//! line, so stdout stays byte-identical. `--profile` prints a
+//! wall-clock profile of the calibration scopes to stderr.
+//! `--check-trace PATH` validates a previously exported file (valid
+//! JSON, at least one trace event) and exits — the CI smoke gate.
 //!
 //! `--quick` runs a smaller scenario, not a subset of the full one:
 //! two models (no VGGNet) on one device at comparable offered load, a
@@ -38,9 +50,10 @@ use scnn::runner::RunConfig;
 use scnn::scnn_model::{zoo, DensityProfile};
 use scnn::scnn_sim::BackendKind;
 use scnn_serve::engine::Engine;
-use scnn_serve::sim::{simulate, ServeConfig};
+use scnn_serve::sim::{simulate, simulate_traced, ServeConfig};
 use scnn_serve::trace::{generate, DeadlineClass, TenantSpec};
 use scnn_serve::{BatcherConfig, ServeReport};
+use scnn_telemetry::{resolve_trace, validate_chrome_trace, Profiler, Recorder};
 use std::time::Instant;
 
 /// One printed row of the sweep.
@@ -61,7 +74,35 @@ fn row(devices: usize, cfg: &BatcherConfig, r: &ServeReport) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let profile = args.iter().any(|a| a == "--profile");
+    let arg_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+
+    // Validator mode: check an exported trace and exit without
+    // simulating anything. CI runs this against the --quick export.
+    if let Some(path) = arg_value("--check-trace") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("--check-trace: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match validate_chrome_trace(&text) {
+            Ok(0) => {
+                eprintln!("{path}: valid JSON but zero trace events");
+                std::process::exit(1);
+            }
+            Ok(n) => println!("{path}: valid Chrome trace, {n} events"),
+            Err(e) => {
+                eprintln!("{path}: invalid Chrome trace: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let trace_path = resolve_trace(arg_value("--trace").as_deref());
+    let mut prof = Profiler::new(profile);
     let model = |n: &str| zoo::by_name(n).expect("zoo network").name().to_owned();
 
     // Offered load is sized against the calibrated image latencies
@@ -129,7 +170,7 @@ fn main() {
     models.sort_unstable();
     models.dedup();
     for name in models {
-        let p = engine.profile(name);
+        let p = prof.time(&format!("calibrate:{name}"), || engine.profile(name));
         println!(
             "calibrated {:<10} image {:>5.2}M cycles, weight load {:>5.2}M words",
             p.name,
@@ -195,16 +236,25 @@ fn main() {
         println!();
     }
 
-    // Full per-tenant report for one representative point.
+    // Full per-tenant report for one representative point — traced when
+    // a trace destination is set. `simulate_traced` with a disabled
+    // recorder is exactly `simulate`, and recording reads only virtual
+    // time, so the printed report is bit-identical either way.
     let devices = devices_grid[0];
     let cfg = ServeConfig {
         devices,
         batcher: BatcherConfig { max_batch: 4, max_wait_cycles: 400_000 },
         ..Default::default()
     };
-    let report = simulate(&mut engine, &trace, &cfg);
+    let mut rec = if trace_path.is_some() { Recorder::enabled() } else { Recorder::disabled() };
+    let report = simulate_traced(&mut engine, &trace, &cfg, &mut rec);
     println!("representative point ({devices} device(s), max_batch 4, 0.4M wait):\n");
     println!("{}", report.render());
+    if let Some(path) = &trace_path {
+        std::fs::write(path, rec.to_chrome_json()).expect("write trace");
+        // stderr, so stdout stays byte-identical with tracing off.
+        eprintln!("[scnn_serve] wrote {path} ({} trace events)", rec.len());
+    }
 
     // Heterogeneous pool: the same AlexNet workload served on the sparse
     // SCNN backend and on the cycle-simulated dense DCNN baseline, one
@@ -232,4 +282,8 @@ fn main() {
     println!("{}", hetero.render());
     println!("\nlatency columns are Mcycles (~ms at the 1GHz PE clock); all numbers are");
     println!("virtual-time and bit-identical across runs and SCNN_THREADS settings.");
+    if prof.is_enabled() {
+        eprintln!("\n[scnn_serve] wall-clock profile (host time, informational only):");
+        eprint!("{}", prof.report());
+    }
 }

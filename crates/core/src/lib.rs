@@ -12,6 +12,10 @@
 //!   state, amortizing weight compression and weight DRAM traffic;
 //! * [`experiments`] — one entry point per table and figure of the
 //!   paper's evaluation section;
+//! * [`telemetry`] — per-layer cycle accounting
+//!   ([`layer_breakdown`]) and timeline recording
+//!   ([`record_network_run`]) over finished runs, via
+//!   `scnn_telemetry`;
 //! * re-exports of the member crates (`scnn_tensor`, `scnn_model`,
 //!   `scnn_arch`, `scnn_sim`, `scnn_timeloop`) for one-stop use.
 //!
@@ -38,10 +42,12 @@
 pub mod batch;
 pub mod experiments;
 pub mod runner;
+pub mod telemetry;
 pub mod textutil;
 
 pub use batch::{BatchRun, CompiledNetwork, CompiledNetworkLayer};
 pub use runner::{LayerRun, NetworkRun, RunConfig};
+pub use telemetry::{layer_breakdown, record_network_run, render_layer_breakdown};
 
 pub use scnn_arch;
 pub use scnn_model;

@@ -1,0 +1,211 @@
+//! Telemetry adapters for whole-network executions.
+//!
+//! Two views of the same [`NetworkRun`]:
+//!
+//! * [`record_network_run`] replays the run's per-layer results as
+//!   sequential spans on an [`scnn_telemetry::Recorder`] track, each
+//!   annotated with the simulated quantities already tallied by the
+//!   cycle-level simulator (multiplier utilization, DRAM words,
+//!   accumulator-bank stalls). The walk is serial and reads finished
+//!   results only, so it can never perturb a simulated number.
+//! * [`layer_breakdown`] / [`render_layer_breakdown`] produce the
+//!   "where do the cycles go" table: one row per evaluated layer with
+//!   its share of total cycles and the same microarchitectural tallies.
+//!
+//! Both read [`LayerRun::primary`], so they follow whichever backend
+//! the run executed on.
+
+use crate::runner::{LayerRun, NetworkRun};
+use crate::textutil::fmt_table;
+use scnn_telemetry::{Arg, Recorder, TrackId};
+
+/// Replays `run`'s layers as back-to-back spans on a fresh `track`,
+/// starting at `start_cycle`; returns the cycle after the last layer.
+///
+/// Each span is named after the layer and carries the simulated
+/// tallies as args: `utilization` (products per multiplier per cycle),
+/// `dram_words`, `bank_stall_cycles` and `idle_cycles`. A disabled
+/// recorder returns immediately (and allocates nothing).
+pub fn record_network_run(
+    rec: &mut Recorder,
+    run: &NetworkRun,
+    track: &str,
+    start_cycle: u64,
+) -> u64 {
+    if !rec.is_enabled() {
+        return start_cycle;
+    }
+    let id: TrackId = rec.track(track);
+    let mults = run.config.scnn.total_multipliers() as u64;
+    let mut cycle = start_cycle;
+    for layer in &run.layers {
+        let r = layer.primary();
+        rec.span_with(
+            id,
+            "layer",
+            &format!("layer:{}", layer.name),
+            cycle,
+            cycle + r.cycles,
+            &[
+                ("cycles", Arg::U64(r.cycles)),
+                ("utilization", Arg::F64(r.stats.utilization(mults, r.cycles))),
+                ("dram_words", Arg::F64(r.counts.dram_words)),
+                ("bank_stall_cycles", Arg::U64(r.stats.bank_stall_cycles)),
+                ("idle_cycles", Arg::U64(r.stats.idle_cycles)),
+            ],
+        );
+        cycle += r.cycles;
+    }
+    cycle
+}
+
+/// One row of the per-layer cycle-accounting table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerBreakdownRow {
+    /// Layer name.
+    pub name: String,
+    /// Layer latency in cycles (the backend the run executed on).
+    pub cycles: u64,
+    /// This layer's share of the network's total cycles, in `[0, 1]`.
+    pub cycle_share: f64,
+    /// Average multiplier utilization over the layer's full latency.
+    pub utilization: f64,
+    /// DRAM traffic in 16-bit words.
+    pub dram_words: f64,
+    /// Extra cycles serialized behind the busiest accumulator bank.
+    pub bank_stall_cycles: u64,
+    /// PE-cycles spent waiting at the inter-PE barrier.
+    pub idle_cycles: u64,
+}
+
+/// Per-layer cycle accounting for `run`, in layer order.
+///
+/// `cycle_share` sums to 1 over the rows (0 everywhere when the run has
+/// no cycles at all).
+#[must_use]
+pub fn layer_breakdown(run: &NetworkRun) -> Vec<LayerBreakdownRow> {
+    let mults = run.config.scnn.total_multipliers() as u64;
+    let total: u64 = run.layers.iter().map(|l| l.primary().cycles).sum();
+    run.layers
+        .iter()
+        .map(|layer: &LayerRun| {
+            let r = layer.primary();
+            LayerBreakdownRow {
+                name: layer.name.clone(),
+                cycles: r.cycles,
+                cycle_share: if total == 0 { 0.0 } else { r.cycles as f64 / total as f64 },
+                utilization: r.stats.utilization(mults, r.cycles),
+                dram_words: r.counts.dram_words,
+                bank_stall_cycles: r.stats.bank_stall_cycles,
+                idle_cycles: r.stats.idle_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Renders [`layer_breakdown`] as a fixed-width text table with a
+/// totals row.
+#[must_use]
+pub fn render_layer_breakdown(run: &NetworkRun) -> String {
+    let rows = layer_breakdown(run);
+    let total_cycles: u64 = rows.iter().map(|r| r.cycles).sum();
+    let total_dram: f64 = rows.iter().map(|r| r.dram_words).sum();
+    let total_stall: u64 = rows.iter().map(|r| r.bank_stall_cycles).sum();
+    let total_idle: u64 = rows.iter().map(|r| r.idle_cycles).sum();
+    let mut table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.cycles.to_string(),
+                format!("{:.1}%", 100.0 * r.cycle_share),
+                format!("{:.3}", r.utilization),
+                format!("{:.0}", r.dram_words),
+                r.bank_stall_cycles.to_string(),
+                r.idle_cycles.to_string(),
+            ]
+        })
+        .collect();
+    table.push(vec![
+        "TOTAL".to_owned(),
+        total_cycles.to_string(),
+        "100.0%".to_owned(),
+        String::new(),
+        format!("{total_dram:.0}"),
+        total_stall.to_string(),
+        total_idle.to_string(),
+    ]);
+    fmt_table(&["layer", "cycles", "share", "util", "dram_words", "bank_stall", "idle"], &table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunConfig;
+    use scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+    use scnn_tensor::ConvShape;
+
+    fn small_run() -> NetworkRun {
+        let net = Network::new(
+            "t",
+            vec![
+                ConvLayer::new("a", ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1)),
+                ConvLayer::new("b", ConvShape::new(16, 8, 1, 1, 12, 12)),
+            ],
+        );
+        let profile = DensityProfile::from_layers(vec![
+            LayerDensity::new(0.4, 0.9),
+            LayerDensity::new(0.35, 0.45),
+        ]);
+        NetworkRun::execute(&net, &profile, &RunConfig::default())
+    }
+
+    #[test]
+    fn recorded_spans_tile_the_run() {
+        let run = small_run();
+        let mut rec = Recorder::enabled();
+        let end = record_network_run(&mut rec, &run, "chip0", 100);
+        let total: u64 = run.layers.iter().map(|l| l.primary().cycles).sum();
+        assert_eq!(end, 100 + total);
+        assert_eq!(rec.len(), run.layers.len());
+        let mut cursor = 100;
+        for (e, layer) in rec.events().iter().zip(&run.layers) {
+            assert_eq!(e.name, format!("layer:{}", layer.name));
+            assert_eq!(e.cycle, cursor);
+            assert_eq!(e.dur, layer.primary().cycles);
+            cursor += layer.primary().cycles;
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing_and_keeps_the_clock() {
+        let run = small_run();
+        let mut rec = Recorder::disabled();
+        assert_eq!(record_network_run(&mut rec, &run, "chip0", 7), 7);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        let run = small_run();
+        let rows = layer_breakdown(&run);
+        assert_eq!(rows.len(), 2);
+        let share: f64 = rows.iter().map(|r| r.cycle_share).sum();
+        assert!((share - 1.0).abs() < 1e-12);
+        for (row, layer) in rows.iter().zip(&run.layers) {
+            assert_eq!(row.cycles, layer.primary().cycles);
+            assert!(row.utilization > 0.0 && row.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn rendered_table_has_totals_row() {
+        let run = small_run();
+        let text = render_layer_breakdown(&run);
+        assert!(text.contains("layer"));
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("100.0%"));
+        // header + rule + 2 layers + totals
+        assert_eq!(text.lines().count(), 5);
+    }
+}

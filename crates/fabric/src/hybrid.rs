@@ -553,6 +553,23 @@ impl HybridRun {
         Self { plan, link, batch, boundaries, gather_words, schedule }
     }
 
+    /// Records this run's replica schedules on `rec`: replica `j`'s
+    /// stages and links become `{prefix}r{j}.stage{s}` /
+    /// `{prefix}r{j}.link{s}` tracks, with each span labelled by the
+    /// **global** image index the round-robin share assigned to that
+    /// replica column (see [`PipelineSchedule::record_timeline`]).
+    pub fn record_timeline(&self, rec: &mut scnn_telemetry::Recorder, prefix: &str) {
+        if !rec.is_enabled() {
+            return;
+        }
+        let images = self.batch.batch_size();
+        let r = self.plan.replicas.max(1);
+        for (j, schedule) in self.schedule.replicas.iter().enumerate() {
+            let share: Vec<usize> = (j..images).step_by(r).collect();
+            schedule.record_timeline(rec, &format!("{prefix}r{j}."), &share);
+        }
+    }
+
     /// Total link words for the batch: boundary ships plus all-gather
     /// wire traffic.
     #[must_use]

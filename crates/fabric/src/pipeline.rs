@@ -30,6 +30,7 @@ use scnn::batch::{BatchRun, CompiledNetwork};
 use scnn::runner::{input_seed, NetworkRun};
 use scnn_model::synth_layer_input;
 use scnn_sim::SimWorkspace;
+use scnn_telemetry::{Arg, Recorder};
 use scnn_tensor::CompressedActivations;
 
 /// Compressed-activation traffic across one stage boundary.
@@ -125,6 +126,68 @@ impl PipelineSchedule {
             fill_cycles,
             bottleneck_stage,
             steady_cycles_per_image,
+        }
+    }
+
+    /// Records the schedule as per-stage and per-link occupancy rows on
+    /// `rec`: one `{prefix}stage{s}` track per stage (a compute span per
+    /// image, reconstructed as `finish - stage_cycles`) and one
+    /// `{prefix}link{s}` track per stage boundary (a transfer span per
+    /// image with non-zero link cycles, replaying the serialized-link
+    /// recurrence of [`PipelineSchedule::build`]).
+    ///
+    /// `image_ids` labels each batch column (hybrid replicas pass their
+    /// round-robin share of global image indices; plain fabrics pass
+    /// `0..batch`). The walk is serial over an already-built schedule,
+    /// so the recording is bit-identical across worker-thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image_ids` does not label every batch column.
+    pub fn record_timeline(&self, rec: &mut Recorder, prefix: &str, image_ids: &[usize]) {
+        if !rec.is_enabled() {
+            return;
+        }
+        let stages = self.stage_cycles.len();
+        let batch = self.stage_cycles.first().map_or(0, Vec::len);
+        assert_eq!(image_ids.len(), batch, "image_ids must label every batch column");
+        // Register tracks in pipeline order so the exported rows read
+        // top-to-bottom as the data flows.
+        let stage_tracks: Vec<_> =
+            (0..stages).map(|s| rec.track(&format!("{prefix}stage{s}"))).collect();
+        let link_tracks: Vec<_> =
+            (1..stages).map(|s| rec.track(&format!("{prefix}link{s}"))).collect();
+        let mut link_free = vec![0u64; stages];
+        for s in 0..stages {
+            for (b, &img) in image_ids.iter().enumerate() {
+                if s > 0 {
+                    // Mirror build()'s recurrence exactly (a zero-cycle
+                    // transfer still moves the xfer window), but only
+                    // record spans with real occupancy.
+                    let xfer_start = self.finish[s - 1][b].max(link_free[s]);
+                    link_free[s] = xfer_start + self.link_in_cycles[s][b];
+                    if self.link_in_cycles[s][b] > 0 {
+                        rec.span_with(
+                            link_tracks[s - 1],
+                            "fabric",
+                            &format!("xfer:img{img}"),
+                            xfer_start,
+                            link_free[s],
+                            &[("cycles", Arg::U64(self.link_in_cycles[s][b]))],
+                        );
+                    }
+                }
+                let end = self.finish[s][b];
+                let start = end - self.stage_cycles[s][b];
+                rec.span_with(
+                    stage_tracks[s],
+                    "fabric",
+                    &format!("img{img}"),
+                    start,
+                    end,
+                    &[("cycles", Arg::U64(self.stage_cycles[s][b]))],
+                );
+            }
         }
     }
 }
@@ -290,6 +353,18 @@ impl FabricRun {
         Self { plan, link, batch, boundaries, schedule }
     }
 
+    /// Records this run's pipeline schedule on `rec` as
+    /// `{prefix}stage{s}` / `{prefix}link{s}` occupancy tracks (see
+    /// [`PipelineSchedule::record_timeline`]). The prefix keeps tracks
+    /// distinct when several runs share one recorder.
+    pub fn record_timeline(&self, rec: &mut Recorder, prefix: &str) {
+        if !rec.is_enabled() {
+            return;
+        }
+        let ids: Vec<usize> = (0..self.batch.batch_size()).collect();
+        self.schedule.record_timeline(rec, prefix, &ids);
+    }
+
     /// Total compressed words shipped across all links for the batch.
     #[must_use]
     pub fn link_words_total(&self) -> f64 {
@@ -353,4 +428,41 @@ pub fn boundary_words(compiled: &CompiledNetwork, slot: usize, image: usize) -> 
         input_seed(compiled.config.seed, layer.layer_index, image),
     );
     CompressedActivations::compress(&input).storage_bits() as f64 / 16.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorded_timeline_tiles_the_schedule() {
+        // Two stages, two images, a slow link: every compute span must
+        // end exactly at the recurrence's finish cycle, and the link
+        // spans must serialize (image 1's transfer waits for image 0's).
+        let schedule =
+            PipelineSchedule::build(vec![vec![10, 10], vec![4, 4]], vec![vec![0, 0], vec![12, 12]]);
+        let mut rec = Recorder::enabled();
+        schedule.record_timeline(&mut rec, "", &[0, 1]);
+        let spans: Vec<_> = rec.events().to_vec();
+        // 4 stage spans + 2 link spans.
+        assert_eq!(spans.len(), 6);
+        let stage_track_names: Vec<&str> = rec.tracks().iter().map(String::as_str).collect();
+        assert_eq!(stage_track_names, ["stage0", "stage1", "link1"]);
+        for e in spans.iter().filter(|e| rec.tracks()[e.track.index()].starts_with("stage")) {
+            let s = if rec.tracks()[e.track.index()] == "stage0" { 0 } else { 1 };
+            let b = if e.name == "img0" { 0 } else { 1 };
+            assert_eq!(e.cycle + e.dur, schedule.finish[s][b]);
+            assert_eq!(e.dur, schedule.stage_cycles[s][b]);
+        }
+        // Link serialization: xfer for image 0 starts at stage0 finish
+        // (10), ships 12 cycles; image 1's xfer waits for the link.
+        let links: Vec<_> =
+            spans.iter().filter(|e| rec.tracks()[e.track.index()] == "link1").collect();
+        assert_eq!((links[0].cycle, links[0].dur), (10, 12));
+        assert_eq!((links[1].cycle, links[1].dur), (22, 12), "second transfer queues on the link");
+        // Disabled recorders record nothing and skip the walk.
+        let mut off = Recorder::disabled();
+        schedule.record_timeline(&mut off, "", &[0, 1]);
+        assert!(off.is_empty());
+    }
 }

@@ -11,6 +11,7 @@
 //! bit-reproducible run to run.
 
 use scnn_sim::BackendKind;
+use scnn_telemetry::Registry;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Identity of a compiled model in the serving tier.
@@ -120,7 +121,10 @@ pub struct ModelCache<V> {
     seq: u64,
     entries: BTreeMap<ModelKey, Entry<V>>,
     seen: BTreeSet<ModelKey>,
-    stats: CacheStats,
+    /// Counter store: `cache.hits` / `cache.misses` /
+    /// `cache.compulsory_misses` / `cache.evictions`. [`Self::stats`]
+    /// reads the legacy [`CacheStats`] view back out of it.
+    metrics: Registry,
 }
 
 impl<V> ModelCache<V> {
@@ -137,7 +141,7 @@ impl<V> ModelCache<V> {
             seq: 0,
             entries: BTreeMap::new(),
             seen: BTreeSet::new(),
-            stats: CacheStats::default(),
+            metrics: Registry::new(),
         }
     }
 
@@ -154,11 +158,11 @@ impl<V> ModelCache<V> {
         let stamp = (now, self.seq);
         let hit = self.entries.contains_key(key);
         if hit {
-            self.stats.hits += 1;
+            self.metrics.inc("cache.hits", 1);
         } else {
-            self.stats.misses += 1;
+            self.metrics.inc("cache.misses", 1);
             if self.seen.insert(key.clone()) {
-                self.stats.compulsory_misses += 1;
+                self.metrics.inc("cache.compulsory_misses", 1);
             }
             if self.entries.len() == self.capacity {
                 self.evict_lru();
@@ -194,10 +198,22 @@ impl<V> ModelCache<V> {
         self.capacity
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, read back out of the metrics registry.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.metrics.counter("cache.hits"),
+            misses: self.metrics.counter("cache.misses"),
+            compulsory_misses: self.metrics.counter("cache.compulsory_misses"),
+            evictions: self.metrics.counter("cache.evictions"),
+        }
+    }
+
+    /// The backing metrics registry (named-counter view of
+    /// [`Self::stats`]).
+    #[must_use]
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Resident keys ordered most-recently-used first (eviction order is
@@ -218,7 +234,7 @@ impl<V> ModelCache<V> {
             .map(|(k, _)| k.clone())
             .expect("eviction requested on an empty cache");
         self.entries.remove(&victim);
-        self.stats.evictions += 1;
+        self.metrics.inc("cache.evictions", 1);
     }
 }
 
@@ -312,6 +328,21 @@ mod tests {
             cache.get_or_insert_with(&key_on("alexnet", BackendKind::Scnn), 3, || unreachable!());
         assert!(hit);
         assert_eq!(*v, 1);
+    }
+
+    #[test]
+    fn stats_mirror_the_backing_registry() {
+        let mut cache: ModelCache<u32> = ModelCache::new(1);
+        cache.get_or_insert_with(&key("a"), 0, || 1);
+        cache.get_or_insert_with(&key("a"), 1, || unreachable!());
+        cache.get_or_insert_with(&key("b"), 2, || 2); // evicts a
+        let s = cache.stats();
+        let m = cache.metrics();
+        assert_eq!(s.hits, m.counter("cache.hits"));
+        assert_eq!(s.misses, m.counter("cache.misses"));
+        assert_eq!(s.compulsory_misses, m.counter("cache.compulsory_misses"));
+        assert_eq!(s.evictions, m.counter("cache.evictions"));
+        assert_eq!((s.hits, s.misses, s.compulsory_misses, s.evictions), (1, 2, 2, 1));
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! The 64-bit FNV-1a fold shared by the configuration fingerprint
 //! ([`crate::engine::fingerprint`]) and the report digest
-//! ([`crate::metrics::ServeReport::digest`]).
+//! ([`digest_report`]) — the workspace's one digest implementation, so
+//! integration tests compare reports through it instead of re-rolling
+//! their own fold.
+
+use crate::metrics::{GroupMetrics, ServeReport};
 
 /// Incremental FNV-1a over a stream of `u64` words (f64s fold in via
 /// `to_bits`).
@@ -23,4 +27,50 @@ impl Fnv64 {
     pub(crate) fn finish(&self) -> u64 {
         self.0
     }
+}
+
+/// An order-sensitive digest of every number in `report` (f64s by bit
+/// pattern) — the determinism tests' one-line comparator, also exposed
+/// as [`ServeReport::digest`].
+#[must_use]
+pub fn digest_report(report: &ServeReport) -> u64 {
+    let mut fnv = Fnv64::new();
+    let eat_group = |fnv: &mut Fnv64, g: &GroupMetrics| {
+        fnv.eat(g.requests);
+        fnv.eat(g.deadline_misses);
+        for s in [&g.queue, &g.e2e] {
+            fnv.eat(s.p50);
+            fnv.eat(s.p95);
+            fnv.eat(s.p99);
+            fnv.eat(s.max);
+            fnv.eat(s.mean.to_bits());
+        }
+        fnv.eat(g.energy_pj_per_request.to_bits());
+        fnv.eat(g.dram_words_per_request.to_bits());
+        fnv.eat(g.link_words_per_request.to_bits());
+    };
+    fnv.eat(report.end_cycle);
+    fnv.eat(report.mean_batch_size.to_bits());
+    eat_group(&mut fnv, &report.global);
+    for t in &report.tenants {
+        fnv.eat(t.name.len() as u64);
+        eat_group(&mut fnv, &t.metrics);
+    }
+    for b in &report.backends {
+        fnv.eat(b.backend.len() as u64);
+        fnv.eat(b.devices);
+        eat_group(&mut fnv, &b.metrics);
+    }
+    for d in &report.devices {
+        fnv.eat(d.backend.len() as u64);
+        fnv.eat(d.batches);
+        fnv.eat(d.images);
+        fnv.eat(d.busy_cycles);
+        fnv.eat(d.weight_loads);
+    }
+    fnv.eat(report.cache.hits);
+    fnv.eat(report.cache.misses);
+    fnv.eat(report.cache.compulsory_misses);
+    fnv.eat(report.cache.evictions);
+    fnv.finish()
 }

@@ -32,6 +32,14 @@
 //! * [`metrics`] — per-tenant and global percentiles, deadline-miss
 //!   rates, energy and DRAM per request, and the plain-text report.
 //!
+//! Observability rides along without perturbing any of it:
+//! [`simulate_traced`] is the same event loop with an
+//! [`scnn_telemetry::Recorder`] attached (request lifecycle on
+//! per-tenant and per-device tracks, Perfetto-exportable), the cache
+//! and device counters are backed by an [`scnn_telemetry::Registry`],
+//! and [`ServeReport::metrics_registry`] exports the report as named
+//! metrics.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -77,6 +85,7 @@ pub mod trace;
 pub use batcher::{Batch, Batcher, BatcherConfig};
 pub use cache::{CacheStats, ModelCache, ModelKey};
 pub use engine::{Engine, ModelProfile};
+pub use hash::digest_report;
 pub use metrics::{GroupMetrics, LatencySummary, ServeReport, TenantReport};
-pub use sim::{simulate, ServeConfig};
+pub use sim::{simulate, simulate_traced, ServeConfig};
 pub use trace::{generate, DeadlineClass, Request, TenantSpec, Trace};

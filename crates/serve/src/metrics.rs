@@ -44,8 +44,14 @@ impl LatencySummary {
     }
 }
 
-/// Nearest-rank percentile of a sorted, non-empty sample.
+/// Nearest-rank percentile of a sorted sample. The rank clamp makes the
+/// single-sample population collapse every percentile onto that sample;
+/// the empty guard makes the (callers already filter it, but cheap to
+/// defend) degenerate population read as zero instead of panicking.
 fn nearest_rank(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
     let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -171,47 +177,45 @@ impl ServeReport {
 
     /// An order-sensitive digest of every number in the report (f64s by
     /// bit pattern) — the determinism tests' one-line comparator.
+    /// Delegates to [`crate::hash::digest_report`], the workspace's one
+    /// digest implementation.
     #[must_use]
     pub fn digest(&self) -> u64 {
-        let mut fnv = crate::hash::Fnv64::new();
-        let eat_group = |fnv: &mut crate::hash::Fnv64, g: &GroupMetrics| {
-            fnv.eat(g.requests);
-            fnv.eat(g.deadline_misses);
-            for s in [&g.queue, &g.e2e] {
-                fnv.eat(s.p50);
-                fnv.eat(s.p95);
-                fnv.eat(s.p99);
-                fnv.eat(s.max);
-                fnv.eat(s.mean.to_bits());
-            }
-            fnv.eat(g.energy_pj_per_request.to_bits());
-            fnv.eat(g.dram_words_per_request.to_bits());
-            fnv.eat(g.link_words_per_request.to_bits());
-        };
-        fnv.eat(self.end_cycle);
-        fnv.eat(self.mean_batch_size.to_bits());
-        eat_group(&mut fnv, &self.global);
-        for t in &self.tenants {
-            fnv.eat(t.name.len() as u64);
-            eat_group(&mut fnv, &t.metrics);
+        crate::hash::digest_report(self)
+    }
+
+    /// Exports the report's counters and rates as a
+    /// [`scnn_telemetry::Registry`], so callers get the registry's
+    /// `snapshot()` → text/JSON rendering of the serving run: request
+    /// and deadline counters, per-device accounting, cache counters, and
+    /// latency summaries as histogram-style gauges.
+    #[must_use]
+    pub fn metrics_registry(&self) -> scnn_telemetry::Registry {
+        let mut reg = scnn_telemetry::Registry::new();
+        reg.inc("serve.requests", self.global.requests);
+        reg.inc("serve.deadline_misses", self.global.deadline_misses);
+        reg.set_gauge("serve.end_cycle", self.end_cycle as f64);
+        reg.set_gauge("serve.mean_batch_size", self.mean_batch_size);
+        reg.set_gauge("serve.throughput_per_mcycle", self.throughput_per_mcycle());
+        reg.set_gauge("serve.device_utilization", self.device_utilization());
+        for (which, s) in [("queue", &self.global.queue), ("e2e", &self.global.e2e)] {
+            reg.set_gauge(&format!("serve.{which}.p50"), s.p50 as f64);
+            reg.set_gauge(&format!("serve.{which}.p95"), s.p95 as f64);
+            reg.set_gauge(&format!("serve.{which}.p99"), s.p99 as f64);
+            reg.set_gauge(&format!("serve.{which}.max"), s.max as f64);
+            reg.set_gauge(&format!("serve.{which}.mean"), s.mean);
         }
-        for b in &self.backends {
-            fnv.eat(b.backend.len() as u64);
-            fnv.eat(b.devices);
-            eat_group(&mut fnv, &b.metrics);
+        for (i, d) in self.devices.iter().enumerate() {
+            reg.inc(&format!("device.{i}.batches"), d.batches);
+            reg.inc(&format!("device.{i}.images"), d.images);
+            reg.inc(&format!("device.{i}.busy_cycles"), d.busy_cycles);
+            reg.inc(&format!("device.{i}.weight_loads"), d.weight_loads);
         }
-        for d in &self.devices {
-            fnv.eat(d.backend.len() as u64);
-            fnv.eat(d.batches);
-            fnv.eat(d.images);
-            fnv.eat(d.busy_cycles);
-            fnv.eat(d.weight_loads);
-        }
-        fnv.eat(self.cache.hits);
-        fnv.eat(self.cache.misses);
-        fnv.eat(self.cache.compulsory_misses);
-        fnv.eat(self.cache.evictions);
-        fnv.finish()
+        reg.inc("cache.hits", self.cache.hits);
+        reg.inc("cache.misses", self.cache.misses);
+        reg.inc("cache.compulsory_misses", self.cache.compulsory_misses);
+        reg.inc("cache.evictions", self.cache.evictions);
+        reg
     }
 
     /// Renders the plain-text report.
@@ -314,6 +318,65 @@ mod tests {
         let one = LatencySummary::from_samples(vec![42]);
         assert_eq!((one.p50, one.p99, one.max), (42, 42, 42));
         assert_eq!(LatencySummary::from_samples(Vec::new()), LatencySummary::default());
+    }
+
+    #[test]
+    fn empty_population_percentiles_are_all_zero() {
+        // Degenerate population: no divide or index may assume a sample.
+        let s = LatencySummary::from_samples(Vec::new());
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(nearest_rank(&[], 50.0), 0);
+        assert_eq!(nearest_rank(&[], 99.0), 0);
+    }
+
+    #[test]
+    fn single_sample_population_collapses_every_percentile() {
+        // With one sample every nearest-rank percentile is that sample:
+        // ceil(p/100 * 1) clamps to rank 1 for all p in (0, 100].
+        let s = LatencySummary::from_samples(vec![7]);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (7, 7, 7, 7));
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(nearest_rank(&[7], 50.0), 7);
+        assert_eq!(nearest_rank(&[7], 95.0), 7);
+        assert_eq!(nearest_rank(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn two_sample_population_splits_at_the_median() {
+        // The smallest population where percentiles can differ: p50
+        // takes the first sample, the tail percentiles the second.
+        let s = LatencySummary::from_samples(vec![20, 10]);
+        assert_eq!((s.p50, s.p95, s.p99, s.max), (10, 20, 20, 20));
+        assert_eq!(s.mean, 15.0);
+    }
+
+    #[test]
+    fn metrics_registry_exports_report_counters() {
+        let report = ServeReport {
+            end_cycle: 1_000,
+            mean_batch_size: 2.0,
+            global: GroupMetrics { requests: 10, deadline_misses: 3, ..Default::default() },
+            tenants: Vec::new(),
+            backends: Vec::new(),
+            devices: vec![DeviceReport {
+                backend: "scnn".into(),
+                batches: 5,
+                images: 10,
+                busy_cycles: 600,
+                weight_loads: 2,
+            }],
+            cache: CacheStats { hits: 8, misses: 2, compulsory_misses: 2, evictions: 0 },
+        };
+        let reg = report.metrics_registry();
+        assert_eq!(reg.counter("serve.requests"), 10);
+        assert_eq!(reg.counter("serve.deadline_misses"), 3);
+        assert_eq!(reg.counter("device.0.batches"), 5);
+        assert_eq!(reg.counter("cache.hits"), 8);
+        assert_eq!(reg.gauge("serve.mean_batch_size"), Some(2.0));
+        let text = reg.snapshot().to_text();
+        assert!(text.contains("serve.requests 10\n"));
+        assert!(text.contains("device.0.weight_loads 2\n"));
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //! compile penalty. All ties (same-cycle ripening, equal devices) break
 //! by fixed, documented orders, which is what makes the simulation a
 //! pure function of `(trace, config, engine registration)`.
+//!
+//! [`simulate_traced`] is the same loop with an
+//! [`scnn_telemetry::Recorder`] attached: it records the request
+//! lifecycle (enqueue → batch seal → dispatch → compile → weight-load →
+//! execute → complete) on per-tenant and per-device tracks. Because the
+//! event loop is serial and stamps only virtual time, the recording —
+//! and its Chrome-trace export — is bit-identical across worker-thread
+//! counts, and a disabled recorder costs nothing.
 
 use crate::batcher::{Batch, Batcher, BatcherConfig};
 use crate::cache::ModelCache;
@@ -36,6 +44,7 @@ use crate::metrics::{
 };
 use crate::trace::Trace;
 use scnn_sim::BackendKind;
+use scnn_telemetry::{Arg, Recorder, Registry, TrackId};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -82,7 +91,6 @@ struct Device {
     free_at: u64,
     /// The model whose weights are resident, if any.
     resident: Option<String>,
-    report: DeviceReport,
 }
 
 /// One completed request's record.
@@ -99,6 +107,28 @@ struct Done {
     link_words: f64,
 }
 
+/// Telemetry wiring for one simulation: the (possibly disabled)
+/// recorder plus pre-registered track handles. With a disabled recorder
+/// every handle is a dummy and every recording site is skipped before
+/// it allocates.
+struct Tel<'r> {
+    rec: &'r mut Recorder,
+    batcher: TrackId,
+    devices: Vec<TrackId>,
+    tenants: Vec<TrackId>,
+}
+
+/// Mutable simulation state threaded through dispatches. The device
+/// and cache counters live in `metrics` — [`build_report`] reads the
+/// legacy report rows back out of the registry.
+struct SimCtx<'a> {
+    engine: &'a mut Engine,
+    cfg: &'a ServeConfig,
+    cache: ModelCache<Rc<ModelProfile>>,
+    done: Vec<Done>,
+    metrics: Registry,
+}
+
 /// Runs the serving simulation of `trace` under `cfg`, calibrating
 /// models through `engine` on first use. Deterministic: the report is a
 /// pure function of the trace, the config and the engine's registration
@@ -112,6 +142,32 @@ struct Done {
 /// the pool (its requests could never dispatch).
 #[must_use]
 pub fn simulate(engine: &mut Engine, trace: &Trace, cfg: &ServeConfig) -> ServeReport {
+    let mut rec = Recorder::disabled();
+    simulate_traced(engine, trace, cfg, &mut rec)
+}
+
+/// [`simulate`] with a telemetry recorder attached: records the request
+/// lifecycle on per-tenant tracks (`enqueue` instants, `queued` spans,
+/// `complete` instants), batch seals on a `batcher` track, and
+/// dispatch/compile/weight-load/execute spans on per-device tracks.
+///
+/// The returned report is **identical** to [`simulate`]'s — recording
+/// observes the event loop, it never feeds back into it — and the
+/// recording itself is deterministic: the loop is serial and stamps
+/// only virtual time, so the event stream (and its
+/// [`Recorder::to_chrome_json`] bytes) is bit-identical across
+/// `SCNN_THREADS` / `pe_threads` / plan choices.
+///
+/// # Panics
+///
+/// As [`simulate`].
+#[must_use]
+pub fn simulate_traced(
+    engine: &mut Engine,
+    trace: &Trace,
+    cfg: &ServeConfig,
+    rec: &mut Recorder,
+) -> ServeReport {
     assert!(cfg.devices > 0, "serving needs at least one device");
     let backends: Vec<BackendKind> = if cfg.device_backends.is_empty() {
         vec![engine.run_config().backend; cfg.devices]
@@ -141,18 +197,31 @@ pub fn simulate(engine: &mut Engine, trace: &Trace, cfg: &ServeConfig) -> ServeR
         model_backend.insert(tenant.model.clone(), backend);
     }
 
+    let mut tel = if rec.is_enabled() {
+        let batcher = rec.track("batcher");
+        let devices = backends
+            .iter()
+            .enumerate()
+            .map(|(i, b)| rec.track(&format!("dev{i} [{}]", b.name())))
+            .collect();
+        let tenants =
+            trace.tenants.iter().map(|t| rec.track(&format!("tenant:{}", t.name))).collect();
+        Tel { rec, batcher, devices, tenants }
+    } else {
+        let dummy = rec.track("");
+        Tel { rec, batcher: dummy, devices: Vec::new(), tenants: Vec::new() }
+    };
+
     let mut batcher = Batcher::new(cfg.batcher);
-    let mut cache: ModelCache<Rc<ModelProfile>> = ModelCache::new(cfg.cache_capacity);
-    let mut devices: Vec<Device> = backends
-        .iter()
-        .map(|&backend| Device {
-            backend,
-            free_at: 0,
-            resident: None,
-            report: DeviceReport { backend: backend.name().to_string(), ..Default::default() },
-        })
-        .collect();
-    let mut done: Vec<Done> = Vec::with_capacity(trace.len());
+    let mut ctx = SimCtx {
+        engine,
+        cfg,
+        cache: ModelCache::new(cfg.cache_capacity),
+        done: Vec::with_capacity(trace.len()),
+        metrics: Registry::new(),
+    };
+    let mut devices: Vec<Device> =
+        backends.iter().map(|&backend| Device { backend, free_at: 0, resident: None }).collect();
     let mut next_arrival = 0usize;
     let mut now = 0u64;
 
@@ -171,7 +240,7 @@ pub fn simulate(engine: &mut Engine, trace: &Trace, cfg: &ServeConfig) -> ServeR
             let backend = model_backend[batch.model.as_str()];
             let device =
                 pick_device(&devices, now, &batch.model, backend).expect("a device is free");
-            dispatch(batch, &mut devices[device], now, engine, &mut cache, cfg, &mut done);
+            dispatch(&mut ctx, &mut tel, batch, &mut devices[device], device, now);
         }
 
         // Advance the clock to the next event: an arrival; a queue
@@ -203,13 +272,18 @@ pub fn simulate(engine: &mut Engine, trace: &Trace, cfg: &ServeConfig) -> ServeR
         now = now.max(next);
 
         while trace.requests.get(next_arrival).is_some_and(|r| r.arrival <= now) {
-            batcher.push(trace.requests[next_arrival].clone());
+            let req = &trace.requests[next_arrival];
+            if tel.rec.is_enabled() {
+                let track = tel.tenants[req.tenant];
+                tel.rec.instant(track, "serve", &format!("enqueue:{}", req.model), req.arrival);
+            }
+            batcher.push(req.clone());
             next_arrival += 1;
         }
     }
-    debug_assert_eq!(done.len(), trace.len(), "every request must complete");
+    debug_assert_eq!(ctx.done.len(), trace.len(), "every request must complete");
 
-    build_report(trace, &devices, &cache, &done)
+    build_report(trace, &devices, &ctx.cache, &ctx.done, &ctx.metrics)
 }
 
 /// Free-device choice for `model` among devices of its `backend`:
@@ -224,17 +298,18 @@ fn pick_device(devices: &[Device], now: u64, model: &str, backend: BackendKind) 
         .or_else(|| devices.iter().position(free))
 }
 
-/// Executes `batch` on `device` starting at `now`, recording one
-/// [`Done`] per request.
+/// Executes `batch` on `device` (index `di`) starting at `now`,
+/// recording one [`Done`] per request and counting into the metrics
+/// registry.
 fn dispatch(
+    ctx: &mut SimCtx<'_>,
+    tel: &mut Tel<'_>,
     batch: Batch,
     device: &mut Device,
+    di: usize,
     now: u64,
-    engine: &mut Engine,
-    cache: &mut ModelCache<Rc<ModelProfile>>,
-    cfg: &ServeConfig,
-    done: &mut Vec<Done>,
 ) {
+    let SimCtx { engine, cfg, cache, done, metrics } = ctx;
     let key = engine.key_for(&batch.model);
     let (profile, hit) = cache.get_or_insert_with(&key, now, || engine.profile(&batch.model));
     let profile = Rc::clone(profile);
@@ -256,11 +331,59 @@ fn dispatch(
 
     device.free_at = finish;
     device.resident = Some(batch.model.clone());
-    device.report.batches += 1;
-    device.report.images += images;
-    device.report.busy_cycles += service;
+    metrics.inc(&format!("device.{di}.batches"), 1);
+    metrics.inc(&format!("device.{di}.images"), images);
+    metrics.inc(&format!("device.{di}.busy_cycles"), service);
     if switch {
-        device.report.weight_loads += 1;
+        metrics.inc(&format!("device.{di}.weight_loads"), 1);
+    }
+
+    if tel.rec.is_enabled() {
+        let track = tel.devices[di];
+        tel.rec.instant_with(
+            tel.batcher,
+            "serve",
+            &format!("seal:{}", batch.model),
+            now,
+            &[("images", Arg::U64(images))],
+        );
+        // The service interval laid out component by component; the
+        // execute span ends exactly at `finish`.
+        let mut t = now;
+        tel.rec.span(track, "serve", "dispatch", t, t + cfg.batch_overhead_cycles);
+        t += cfg.batch_overhead_cycles;
+        if !hit {
+            tel.rec.span(
+                track,
+                "serve",
+                &format!("compile:{}", batch.model),
+                t,
+                t + profile.compile_cycles,
+            );
+            t += profile.compile_cycles;
+        }
+        if switch {
+            tel.rec.span(
+                track,
+                "serve",
+                &format!("weight-load:{}", batch.model),
+                t,
+                t + profile.weight_load_cycles,
+            );
+            t += profile.weight_load_cycles;
+        }
+        tel.rec.span_with(
+            track,
+            "serve",
+            &format!("execute:{}", batch.model),
+            t,
+            finish,
+            &[
+                ("images", Arg::U64(images)),
+                ("cache_hit", Arg::U64(u64::from(hit))),
+                ("weight_load", Arg::U64(u64::from(switch))),
+            ],
+        );
     }
 
     // The reload a batch pays is shared evenly by its requests; compile
@@ -273,6 +396,11 @@ fn dispatch(
         + share(profile.weight_energy_pj);
     let dram_words = profile.image_dram_words + share(profile.weight_dram_words);
     for req in batch.requests {
+        if tel.rec.is_enabled() {
+            let track = tel.tenants[req.tenant];
+            tel.rec.span(track, "serve", &format!("queued:{}", batch.model), req.arrival, now);
+            tel.rec.instant(track, "serve", "complete", finish);
+        }
         let budget = req.deadline.budget_factor() * profile.image_cycles;
         done.push(Done {
             tenant: req.tenant,
@@ -288,12 +416,15 @@ fn dispatch(
     }
 }
 
-/// Aggregates completion records into the final report.
+/// Aggregates completion records into the final report. The per-device
+/// rows are read back out of the metrics registry (`device.{i}.*`
+/// counters), which is their system of record during the run.
 fn build_report(
     trace: &Trace,
     devices: &[Device],
     cache: &ModelCache<Rc<ModelProfile>>,
     done: &[Done],
+    metrics: &Registry,
 ) -> ServeReport {
     let group = |records: &[&Done]| -> GroupMetrics {
         GroupMetrics {
@@ -337,15 +468,26 @@ fn build_report(
         })
         .collect();
 
-    let batches: u64 = devices.iter().map(|d| d.report.batches).sum();
-    let images: u64 = devices.iter().map(|d| d.report.images).sum();
+    let device_reports: Vec<DeviceReport> = devices
+        .iter()
+        .enumerate()
+        .map(|(i, d)| DeviceReport {
+            backend: d.backend.name().to_string(),
+            batches: metrics.counter(&format!("device.{i}.batches")),
+            images: metrics.counter(&format!("device.{i}.images")),
+            busy_cycles: metrics.counter(&format!("device.{i}.busy_cycles")),
+            weight_loads: metrics.counter(&format!("device.{i}.weight_loads")),
+        })
+        .collect();
+    let batches: u64 = device_reports.iter().map(|d| d.batches).sum();
+    let images: u64 = device_reports.iter().map(|d| d.images).sum();
     ServeReport {
         end_cycle: done.iter().map(|d| d.finish).max().unwrap_or(0),
         mean_batch_size: if batches == 0 { 0.0 } else { images as f64 / batches as f64 },
         global: group(&all),
         tenants,
         backends,
-        devices: devices.iter().map(|d| d.report.clone()).collect(),
+        devices: device_reports,
         cache: cache.stats(),
     }
 }

@@ -1,0 +1,442 @@
+//! Chrome Trace Event JSON export (Perfetto-loadable) and a minimal
+//! validator for CI smoke checks.
+//!
+//! The export writes one JSON object per line inside a `traceEvents`
+//! array: `"M"` metadata rows naming each track, then the recorded
+//! events sorted by the stable `(cycle, track, seq)` key. Timestamps are
+//! simulated cycles passed through as the trace's microsecond field —
+//! one display microsecond equals one simulated cycle.
+
+use crate::recorder::{Arg, EventKind, Recorder};
+use std::fmt::Write as _;
+
+impl Recorder {
+    /// Exports the recording as Chrome Trace Event JSON.
+    ///
+    /// The output is byte-deterministic: events are sorted by
+    /// `(cycle, track, seq)` and every number is formatted with Rust's
+    /// shortest-roundtrip `Display`, so two recordings with identical
+    /// events produce identical bytes regardless of worker-thread
+    /// counts.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut lines: Vec<String> = Vec::with_capacity(self.len() + self.tracks().len() + 1);
+        lines.push(
+            r#"{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"scnn"}}"#.to_owned(),
+        );
+        for (tid, name) in self.tracks().iter().enumerate() {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                r#"{{"ph":"M","pid":0,"tid":{tid},"name":"thread_name","args":{{"name":{}}}}}"#,
+                json_string(name)
+            );
+            lines.push(line);
+        }
+        for event in self.sorted_events() {
+            let mut line = String::new();
+            match event.kind {
+                EventKind::Span => {
+                    let _ = write!(
+                        line,
+                        r#"{{"ph":"X","pid":0,"tid":{},"ts":{},"dur":{},"cat":{},"name":{}"#,
+                        event.track.index(),
+                        event.cycle,
+                        event.dur,
+                        json_string(event.cat),
+                        json_string(&event.name),
+                    );
+                }
+                EventKind::Instant => {
+                    let _ = write!(
+                        line,
+                        r#"{{"ph":"i","pid":0,"tid":{},"ts":{},"s":"t","cat":{},"name":{}"#,
+                        event.track.index(),
+                        event.cycle,
+                        json_string(event.cat),
+                        json_string(&event.name),
+                    );
+                }
+            }
+            if !event.args.is_empty() {
+                line.push_str(",\"args\":{");
+                for (i, (key, value)) in event.args.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    let _ = write!(line, "{}:", json_string(key));
+                    match value {
+                        Arg::U64(v) => {
+                            let _ = write!(line, "{v}");
+                        }
+                        Arg::F64(v) => line.push_str(&json_f64(*v)),
+                        Arg::Str(s) => line.push_str(&json_string(s)),
+                    }
+                }
+                line.push('}');
+            }
+            line.push('}');
+            lines.push(line);
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number. JSON has no NaN/infinity; those
+/// (which no simulated quantity should produce) degrade to `0`.
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Validates that `text` is well-formed JSON whose top level is an
+/// object containing a `traceEvents` array, and returns the number of
+/// events in that array.
+///
+/// This is a deliberately small recursive-descent checker — enough for
+/// CI to assert "the emitted trace is valid JSON with > 0 events"
+/// without a JSON dependency, not a general-purpose parser.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax problem, or
+/// of a missing/ill-typed `traceEvents` key.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut events: Option<usize> = None;
+    p.skip_ws();
+    if !p.eat(b'}') {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            if key == "traceEvents" {
+                events = Some(p.parse_array_count()?);
+            } else {
+                p.parse_value()?;
+            }
+            p.skip_ws();
+            if p.eat(b',') {
+                continue;
+            }
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after top-level object at offset {}", p.pos));
+    }
+    events.ok_or_else(|| "missing \"traceEvents\" key".to_owned())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", c as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => {
+                self.parse_array_count()?;
+                Ok(())
+            }
+            Some(b'"') => self.parse_string().map(|_| ()),
+            Some(b't') => self.parse_literal("true"),
+            Some(b'f') => self.parse_literal("false"),
+            Some(b'n') => self.parse_literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(format!("expected a value at offset {}", self.pos)),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.parse_value()?;
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            return self.expect(b'}');
+        }
+    }
+
+    fn parse_array_count(&mut self) -> Result<usize, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(0);
+        }
+        let mut count = 0;
+        loop {
+            self.parse_value()?;
+            count += 1;
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(count);
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return String::from_utf8(out)
+                        .map_err(|_| "string split a UTF-8 sequence".to_owned());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(c @ (b'"' | b'\\' | b'/')) => {
+                            out.push(c);
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            out.push(0x08);
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            out.push(0x0C);
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push(b'\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push(b'\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push(b'\t');
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => {
+                                        code = code * 16 + (c as char).to_digit(16).unwrap();
+                                        self.pos += 1;
+                                    }
+                                    _ => {
+                                        return Err(format!(
+                                            "bad \\u escape at offset {}",
+                                            self.pos
+                                        ))
+                                    }
+                                }
+                            }
+                            // Surrogate halves decode as the replacement
+                            // character; the checker only needs key names.
+                            let decoded = char::from_u32(code).unwrap_or('\u{FFFD}');
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(decoded.encode_utf8(&mut buf).as_bytes());
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(format!("raw control byte in string at offset {}", self.pos))
+                }
+                Some(c) => {
+                    // Copy the byte through; the input is a &str, so a
+                    // multi-byte sequence arrives intact byte by byte.
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        self.eat(b'-');
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("bad number at offset {start}"));
+        }
+        if self.eat(b'.') {
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("bad number at offset {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("bad number at offset {start}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Arg;
+
+    #[test]
+    fn export_is_valid_and_counts_events() {
+        let mut rec = Recorder::enabled();
+        let dev = rec.track("dev0 [scnn]");
+        let q = rec.track("tenant:\"a\"\n");
+        rec.instant(q, "serve", "enqueue:alexnet", 7);
+        rec.span_with(
+            dev,
+            "serve",
+            "execute:alexnet",
+            10,
+            110,
+            &[
+                ("images", Arg::U64(4)),
+                ("util", Arg::F64(0.53)),
+                ("model", Arg::Str("alexnet".to_owned())),
+            ],
+        );
+        let json = rec.to_chrome_json();
+        // 1 process meta + 2 track metas + 2 events.
+        assert_eq!(validate_chrome_trace(&json), Ok(5));
+        assert!(json.contains(r#""ts":7"#));
+        assert!(json.contains(r#""dur":100"#));
+        assert!(json.contains(r#""util":0.53"#));
+    }
+
+    #[test]
+    fn empty_recorder_exports_valid_trace() {
+        let rec = Recorder::enabled();
+        assert_eq!(validate_chrome_trace(&rec.to_chrome_json()), Ok(1));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_input() {
+        assert!(validate_chrome_trace("").is_err());
+        assert!(validate_chrome_trace("{").is_err());
+        assert!(validate_chrome_trace("{}").is_err(), "missing traceEvents");
+        assert!(validate_chrome_trace(r#"{"traceEvents":[}"#).is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"a":1}]} x"#).is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[01]}"#).is_ok(), "digit runs accepted");
+        assert!(validate_chrome_trace(r#"{"traceEvents":[1.]}"#).is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[1e]}"#).is_err());
+    }
+
+    #[test]
+    fn validator_accepts_nested_values_and_escapes() {
+        let text = r#"{"other":{"deep":[true,false,null,-1.5e+3]},"traceEvents":[{"name":"q\"A"},[1,2],"s"]}"#;
+        assert_eq!(validate_chrome_trace(text), Ok(3));
+    }
+
+    #[test]
+    fn export_escapes_names() {
+        let mut rec = Recorder::enabled();
+        let t = rec.track("a\"b\\c\u{1}");
+        rec.instant(t, "c", "n", 0);
+        let json = rec.to_chrome_json();
+        assert!(json.contains(r#"a\"b\\c\u0001"#));
+        assert!(validate_chrome_trace(&json).is_ok());
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic tracing and metrics for the SCNN reproduction.
+//!
+//! Every quantity this workspace simulates is a pure function of its
+//! inputs — layer traces, fabric schedules, and serving timelines are
+//! bit-identical across `SCNN_THREADS` / `SCNN_PE_THREADS` / plan
+//! choices. Observability must not weaken that contract, so this crate
+//! records **virtual time**, never wall-clock time, and only from serial
+//! code paths:
+//!
+//! - [`Recorder`] collects spans and instant events stamped with a
+//!   `(cycle, track, seq)` key. Recording sites are serial (the serve
+//!   event loop, schedule walks, per-layer result summaries), so the
+//!   sequence numbers — and therefore the exported bytes — are identical
+//!   no matter how many worker threads produced the underlying numbers.
+//!   A disabled recorder is free: every call returns before touching the
+//!   heap, which `tests/zero_alloc.rs` locks in.
+//! - [`Registry`] is a named counter/gauge/histogram store with a
+//!   [`Registry::snapshot`] → text/JSON exporter; `scnn_serve` backs its
+//!   cache and device counters with it.
+//! - [`Recorder::to_chrome_json`] emits Chrome Trace Event JSON that
+//!   Perfetto loads directly; [`validate_chrome_trace`] is the matching
+//!   minimal well-formedness checker used by CI smoke runs.
+//! - [`Profiler`] accumulates *wall-clock* scopes (compile, calibrate,
+//!   execute) for the `perf --profile` flag. Wall time is reported next
+//!   to — never mixed into — simulated cycles.
+//!
+//! Trace destinations resolve through [`resolve_trace`] with the same
+//! ladder as `scnn_par::resolve_threads`: explicit request, then the
+//! `SCNN_TRACE` environment variable, then disabled.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_telemetry::Recorder;
+//! let mut rec = Recorder::enabled();
+//! let dev = rec.track("device0");
+//! rec.span(dev, "serve", "execute:alexnet", 100, 350);
+//! let json = rec.to_chrome_json();
+//! assert!(scnn_telemetry::validate_chrome_trace(&json).unwrap() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod chrome;
+mod profile;
+mod recorder;
+mod registry;
+
+pub use chrome::validate_chrome_trace;
+pub use profile::{Profiler, ScopeStats};
+pub use recorder::{Arg, EventKind, Recorder, TraceEvent, TrackId};
+pub use registry::{HistogramStats, Registry, Snapshot};
+
+/// Resolves a trace destination: `explicit` if non-empty, else the
+/// `SCNN_TRACE` environment variable if set to a non-empty path, else
+/// `None` (tracing disabled).
+///
+/// Same resolution ladder as `scnn_par::resolve_threads` — explicit
+/// request, then environment, then a default — and the default is the
+/// degenerate value: tracing writes a file, so it is always an explicit
+/// ask, never inherited from the machine.
+#[must_use]
+pub fn resolve_trace(explicit: Option<&str>) -> Option<String> {
+    if let Some(path) = explicit {
+        if !path.is_empty() {
+            return Some(path.to_owned());
+        }
+    }
+    match std::env::var("SCNN_TRACE") {
+        Ok(path) if !path.is_empty() => Some(path),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_resolves_explicit_then_env_then_disabled() {
+        // One test covers all three resolution stages so no other test
+        // can race on the SCNN_TRACE variable.
+        std::env::remove_var("SCNN_TRACE");
+        assert_eq!(resolve_trace(Some("a.json")).as_deref(), Some("a.json"), "explicit wins");
+        assert_eq!(resolve_trace(None), None, "unset env disables tracing");
+        assert_eq!(resolve_trace(Some("")), None, "empty explicit request is no request");
+        std::env::set_var("SCNN_TRACE", "env.json");
+        assert_eq!(resolve_trace(None).as_deref(), Some("env.json"), "env fills in");
+        assert_eq!(resolve_trace(Some("b.json")).as_deref(), Some("b.json"), "explicit beats env");
+        std::env::set_var("SCNN_TRACE", "");
+        assert_eq!(resolve_trace(None), None, "empty env is ignored");
+        std::env::remove_var("SCNN_TRACE");
+    }
+}

@@ -1,0 +1,124 @@
+//! Wall-clock profiling scopes for the bench binaries.
+//!
+//! Unlike everything else in this crate, the profiler measures *host*
+//! time — how long compile/calibrate/execute actually took on the
+//! machine running the reproduction. It therefore lives strictly on the
+//! reporting side: simulated quantities never read it, and its report is
+//! labelled as wall time.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Accumulated wall-clock statistics for one named scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScopeStats {
+    /// Number of times the scope ran.
+    pub calls: u64,
+    /// Total wall time across all calls.
+    pub total: Duration,
+}
+
+/// Accumulates named wall-clock scopes; disabled profilers skip the
+/// clock reads entirely so `--profile` costs nothing when off.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profiler {
+    enabled: bool,
+    scopes: BTreeMap<String, ScopeStats>,
+}
+
+impl Profiler {
+    /// A profiler that measures (`enabled = true`) or ignores every
+    /// scope (`enabled = false`).
+    #[must_use]
+    pub fn new(enabled: bool) -> Self {
+        Profiler { enabled, scopes: BTreeMap::new() }
+    }
+
+    /// Whether this profiler measures.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Runs `f`, charging its wall time to the named scope.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Charges an externally measured duration to the named scope.
+    pub fn record(&mut self, name: &str, elapsed: Duration) {
+        if !self.enabled {
+            return;
+        }
+        let stats = self.scopes.entry(name.to_owned()).or_default();
+        stats.calls += 1;
+        stats.total += elapsed;
+    }
+
+    /// Accumulated statistics for one scope, if it ever ran.
+    #[must_use]
+    pub fn scope(&self, name: &str) -> Option<ScopeStats> {
+        self.scopes.get(name).copied()
+    }
+
+    /// Renders a table of scopes sorted by total wall time (descending,
+    /// name-tiebroken so the report is deterministic for equal totals).
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut rows: Vec<(&String, &ScopeStats)> = self.scopes.iter().collect();
+        rows.sort_by(|a, b| b.1.total.cmp(&a.1.total).then_with(|| a.0.cmp(b.0)));
+        let mut out =
+            String::from("scope                              calls   total_ms    per_call_ms\n");
+        for (name, stats) in rows {
+            let total_ms = stats.total.as_secs_f64() * 1e3;
+            let per_call = if stats.calls == 0 { 0.0 } else { total_ms / stats.calls as f64 };
+            let _ =
+                writeln!(out, "{name:<34} {:>5} {total_ms:>10.2} {per_call:>14.3}", stats.calls);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_measures_nothing_but_still_runs() {
+        let mut p = Profiler::new(false);
+        let v = p.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(p.scope("work"), None);
+        p.record("work", Duration::from_millis(5));
+        assert_eq!(p.scope("work"), None);
+    }
+
+    #[test]
+    fn scopes_accumulate_calls_and_time() {
+        let mut p = Profiler::new(true);
+        p.record("compile", Duration::from_millis(10));
+        p.record("compile", Duration::from_millis(20));
+        p.record("execute", Duration::from_millis(5));
+        let c = p.scope("compile").unwrap();
+        assert_eq!(c.calls, 2);
+        assert_eq!(c.total, Duration::from_millis(30));
+        let report = p.report();
+        let compile_at = report.find("compile").unwrap();
+        let execute_at = report.find("execute").unwrap();
+        assert!(compile_at < execute_at, "report sorts by total descending");
+    }
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let mut p = Profiler::new(true);
+        assert_eq!(p.time("x", || "done"), "done");
+        assert_eq!(p.scope("x").unwrap().calls, 1);
+    }
+}

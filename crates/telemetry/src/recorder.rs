@@ -1,0 +1,250 @@
+//! Deterministic virtual-time event recorder.
+
+/// Handle for a named event track (one Perfetto "thread" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(u32);
+
+impl TrackId {
+    /// Index of the track in [`Recorder::tracks`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Span or instant: the two Chrome Trace Event phases the recorder emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A complete event (`"ph":"X"`) covering `[cycle, cycle + dur)`.
+    Span,
+    /// An instant event (`"ph":"i"`) at `cycle`.
+    Instant,
+}
+
+/// Typed argument value attached to an event (`args` in the export).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Unsigned integer argument (counts, cycles, words).
+    U64(u64),
+    /// Float argument (utilizations, energies).
+    F64(f64),
+    /// String argument (model names, geometries).
+    Str(String),
+}
+
+/// One recorded event. Ordering for export is the stable key
+/// `(cycle, track, seq)`; `seq` is the recorder-global record order,
+/// which is deterministic because recording sites are serial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual-time start (simulated cycles).
+    pub cycle: u64,
+    /// Span length in cycles; `0` for instants.
+    pub dur: u64,
+    /// Owning track.
+    pub track: TrackId,
+    /// Recorder-global sequence number (tie-break within a cycle).
+    pub seq: u64,
+    /// Event kind (span or instant).
+    pub kind: EventKind,
+    /// Category string (`cat` in the export), e.g. `"serve"`.
+    pub cat: &'static str,
+    /// Event name.
+    pub name: String,
+    /// Named arguments, in record order.
+    pub args: Vec<(&'static str, Arg)>,
+}
+
+/// Collects virtual-time spans and instants on named tracks.
+///
+/// A recorder is either *enabled* (every call appends) or *disabled*
+/// (every call returns immediately without allocating — callers may pass
+/// a disabled recorder through hot paths for free). Because all
+/// recording sites in the workspace are serial code, the event list and
+/// the sequence numbers inside it are bit-identical across worker-thread
+/// counts; [`Recorder::to_chrome_json`] additionally sorts by the stable
+/// `(cycle, track, seq)` key so the exported bytes are too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recorder {
+    enabled: bool,
+    tracks: Vec<String>,
+    events: Vec<TraceEvent>,
+    next_seq: u64,
+}
+
+impl Recorder {
+    /// A recorder that records.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Recorder { enabled: true, tracks: Vec::new(), events: Vec::new(), next_seq: 0 }
+    }
+
+    /// A recorder whose every method is a no-op (and allocation-free).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder { enabled: false, tracks: Vec::new(), events: Vec::new(), next_seq: 0 }
+    }
+
+    /// Whether this recorder records.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or looks up) a track by name and returns its handle.
+    /// Disabled recorders return a dummy handle without allocating.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        if !self.enabled {
+            return TrackId(0);
+        }
+        if let Some(i) = self.tracks.iter().position(|t| t == name) {
+            return TrackId(u32::try_from(i).expect("track count fits u32"));
+        }
+        self.tracks.push(name.to_owned());
+        TrackId(u32::try_from(self.tracks.len() - 1).expect("track count fits u32"))
+    }
+
+    /// Records a span covering `[start, end)` cycles. `end < start` is a
+    /// caller bug in a simulator invariant; the span is clamped to zero
+    /// length rather than panicking so a bad row cannot take down a run.
+    pub fn span(&mut self, track: TrackId, cat: &'static str, name: &str, start: u64, end: u64) {
+        self.push(track, cat, name, start, end.saturating_sub(start), EventKind::Span, &[]);
+    }
+
+    /// [`Recorder::span`] with named arguments.
+    pub fn span_with(
+        &mut self,
+        track: TrackId,
+        cat: &'static str,
+        name: &str,
+        start: u64,
+        end: u64,
+        args: &[(&'static str, Arg)],
+    ) {
+        self.push(track, cat, name, start, end.saturating_sub(start), EventKind::Span, args);
+    }
+
+    /// Records an instant event at `cycle`.
+    pub fn instant(&mut self, track: TrackId, cat: &'static str, name: &str, cycle: u64) {
+        self.push(track, cat, name, cycle, 0, EventKind::Instant, &[]);
+    }
+
+    /// [`Recorder::instant`] with named arguments.
+    pub fn instant_with(
+        &mut self,
+        track: TrackId,
+        cat: &'static str,
+        name: &str,
+        cycle: u64,
+        args: &[(&'static str, Arg)],
+    ) {
+        self.push(track, cat, name, cycle, 0, EventKind::Instant, args);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        track: TrackId,
+        cat: &'static str,
+        name: &str,
+        cycle: u64,
+        dur: u64,
+        kind: EventKind,
+        args: &[(&'static str, Arg)],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(TraceEvent {
+            cycle,
+            dur,
+            track,
+            seq,
+            kind,
+            cat,
+            name: name.to_owned(),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Track names, indexed by [`TrackId::index`].
+    #[must_use]
+    pub fn tracks(&self) -> &[String] {
+        &self.tracks
+    }
+
+    /// Recorded events in record order (not export order).
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events sorted by the stable `(cycle, track, seq)` export key.
+    #[must_use]
+    pub fn sorted_events(&self) -> Vec<&TraceEvent> {
+        let mut out: Vec<&TraceEvent> = self.events.iter().collect();
+        out.sort_by_key(|e| (e.cycle, e.track, e.seq));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut rec = Recorder::disabled();
+        let t = rec.track("ignored");
+        rec.span(t, "c", "s", 0, 10);
+        rec.instant(t, "c", "i", 5);
+        assert!(rec.is_empty());
+        assert!(rec.tracks().is_empty());
+        assert!(!rec.is_enabled());
+    }
+
+    #[test]
+    fn tracks_deduplicate_by_name() {
+        let mut rec = Recorder::enabled();
+        let a = rec.track("dev0");
+        let b = rec.track("dev1");
+        let a2 = rec.track("dev0");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(rec.tracks(), &["dev0".to_owned(), "dev1".to_owned()]);
+    }
+
+    #[test]
+    fn export_order_is_cycle_then_track_then_seq() {
+        let mut rec = Recorder::enabled();
+        let a = rec.track("a");
+        let b = rec.track("b");
+        rec.span(b, "c", "late", 10, 20);
+        rec.span(a, "c", "early", 0, 5);
+        rec.instant(a, "c", "tie-second", 10);
+        let names: Vec<&str> = rec.sorted_events().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["early", "tie-second", "late"]);
+    }
+
+    #[test]
+    fn backwards_span_clamps_to_zero_duration() {
+        let mut rec = Recorder::enabled();
+        let t = rec.track("t");
+        rec.span(t, "c", "oops", 10, 3);
+        assert_eq!(rec.events()[0].dur, 0);
+    }
+}

@@ -12,6 +12,8 @@ use scnn::scnn_sim::BackendKind;
 use scnn::scnn_tensor::ConvShape;
 use scnn::scnn_timeloop::{density_sweep, pe_granularity_sweep, TimeLoop};
 use scnn_fabric::{plan_hybrid, FabricRun, HybridPlan, HybridRun, LinkConfig, StagePlan};
+use scnn_serve::digest_report;
+use scnn_telemetry::{validate_chrome_trace, Recorder};
 
 /// A small synthetic network with enough layers to occupy several
 /// workers and heterogeneous shapes so layers finish out of order.
@@ -290,11 +292,11 @@ fn serve_tier_with_planned_fabric_is_bit_identical_across_thread_counts() {
     for threads in [2, 4] {
         let parallel = run(threads, 4);
         assert_eq!(serial, parallel, "{threads} threads diverged");
-        assert_eq!(serial.digest(), parallel.digest());
+        assert_eq!(digest_report(&serial), digest_report(&parallel));
     }
     // The chip budget shapes the planned geometry and with it the
     // report; a different budget must not alias.
-    assert_ne!(serial.digest(), run(1, 1).digest());
+    assert_ne!(digest_report(&serial), digest_report(&run(1, 1)));
 }
 
 #[test]
@@ -325,12 +327,12 @@ fn serve_tier_with_fabric_devices_is_bit_identical_across_thread_counts() {
     for threads in [2, 4, 7] {
         let parallel = run(threads, 2);
         assert_eq!(serial, parallel, "{threads} threads diverged");
-        assert_eq!(serial.digest(), parallel.digest());
+        assert_eq!(digest_report(&serial), digest_report(&parallel));
     }
     // Chip count is a real model input: it must change the report (the
     // pipeline schedule differs), not silently alias the 1-chip one.
     let single = run(1, 1);
-    assert_ne!(serial.digest(), single.digest());
+    assert_ne!(digest_report(&serial), digest_report(&single));
     assert_eq!(single.global.link_words_per_request, 0.0);
 }
 
@@ -409,11 +411,14 @@ fn mixed_backend_serving_is_bit_identical_across_thread_counts() {
     for threads in [2, 4] {
         let parallel = run(threads, pool.clone());
         assert_eq!(serial, parallel, "{threads} threads diverged");
-        assert_eq!(serial.digest(), parallel.digest());
+        assert_eq!(digest_report(&serial), digest_report(&parallel));
     }
     // Swapping which device carries which backend reroutes every
     // dispatch; the report must reflect it, not alias.
-    assert_ne!(serial.digest(), run(1, vec![BackendKind::Dcnn, BackendKind::Scnn]).digest());
+    assert_ne!(
+        digest_report(&serial),
+        digest_report(&run(1, vec![BackendKind::Dcnn, BackendKind::Scnn]))
+    );
 }
 
 #[test]
@@ -435,4 +440,114 @@ fn sweeps_are_deterministic_under_parallel_fan_out() {
     let g2 = pe_granularity_sweep(&net, &profile, &[2, 4, 8]);
     assert_eq!(g1, g2);
     assert_eq!(g1.iter().map(|p| p.grid).collect::<Vec<_>>(), vec![2, 4, 8]);
+}
+
+#[test]
+fn layer_trace_and_exported_json_are_bit_identical_across_parallelism_and_backends() {
+    // The recorder replays finished per-layer results serially, so the
+    // event stream — and the exported Chrome Trace bytes, sorted by the
+    // stable (cycle, track, seq) key — must be bit-identical across any
+    // (threads, pe_threads) combination, for every backend.
+    let (net, profile) = synthetic_network();
+    for backend in [BackendKind::Scnn, BackendKind::Dcnn, BackendKind::DcnnOpt] {
+        let trace_of = |threads: usize, pe_threads: usize| {
+            let config = RunConfig::default()
+                .with_backend(backend)
+                .with_threads(threads)
+                .with_pe_threads(pe_threads);
+            let run = NetworkRun::execute(&net, &profile, &config);
+            let mut rec = Recorder::enabled();
+            scnn::telemetry::record_network_run(&mut rec, &run, "chip0", 0);
+            (rec.events().to_vec(), rec.to_chrome_json())
+        };
+        let (events, json) = trace_of(1, 1);
+        assert!(!events.is_empty(), "{backend}: trace should be non-trivial");
+        assert!(validate_chrome_trace(&json).expect("valid trace") > 0);
+        for (threads, pe_threads) in [(2, 2), (4, 1), (1, 3)] {
+            let (e, j) = trace_of(threads, pe_threads);
+            assert_eq!(
+                events, e,
+                "{backend}: events diverged at threads={threads} pe_threads={pe_threads}"
+            );
+            assert_eq!(
+                json, j,
+                "{backend}: exported bytes diverged at threads={threads} pe_threads={pe_threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fabric_and_hybrid_timelines_are_bit_identical_across_thread_counts() {
+    // Stage/link occupancy tracks replay the deterministic pipeline
+    // schedule; both the plain fabric and every hybrid plan geometry
+    // must export identical bytes at any (threads, pe_threads).
+    let (net, profile) = synthetic_network();
+    let link = LinkConfig::default();
+    let trace_of = |threads: usize, pe_threads: usize| {
+        let config = RunConfig::default().with_threads(threads).with_pe_threads(pe_threads);
+        let compiled = CompiledNetwork::compile(&net, &profile, &config);
+        let mut rec = Recorder::enabled();
+        FabricRun::execute(&compiled, 3, link, 2).record_timeline(&mut rec, "fab.");
+        for (i, budget) in [4usize, 6].into_iter().enumerate() {
+            let plan = plan_hybrid(&compiled, budget, &link, 2);
+            HybridRun::execute(&compiled, plan, link, 2)
+                .record_timeline(&mut rec, &format!("hyb{i}."));
+        }
+        (rec.events().to_vec(), rec.to_chrome_json())
+    };
+    let (events, json) = trace_of(1, 1);
+    assert!(!events.is_empty(), "timelines should be non-trivial");
+    assert!(validate_chrome_trace(&json).expect("valid trace") > 0);
+    for (threads, pe_threads) in [(2, 2), (4, 1), (1, 3)] {
+        let (e, j) = trace_of(threads, pe_threads);
+        assert_eq!(events, e, "events diverged at threads={threads} pe_threads={pe_threads}");
+        assert_eq!(json, j, "bytes diverged at threads={threads} pe_threads={pe_threads}");
+    }
+}
+
+#[test]
+fn serve_event_loop_trace_is_bit_identical_and_does_not_perturb_the_report() {
+    // simulate_traced must (a) record the same event stream and export
+    // the same bytes at every worker-thread count, and (b) return a
+    // report bit-identical to the untraced simulate — telemetry can
+    // never perturb a simulated quantity.
+    use scnn_serve::engine::Engine;
+    use scnn_serve::sim::{simulate, simulate_traced, ServeConfig};
+    use scnn_serve::trace::{generate, DeadlineClass, TenantSpec};
+
+    let (net, profile) = synthetic_network();
+    let tenants = vec![
+        TenantSpec::new("t0", "syn", 40_000, DeadlineClass::Interactive),
+        TenantSpec::new("t1", "syn", 60_000, DeadlineClass::Relaxed),
+    ];
+    let run = |threads: usize, traced: bool| {
+        let mut engine = Engine::new(RunConfig::default().with_threads(threads));
+        engine.register("syn", net.clone(), profile.clone(), "test");
+        let trace = generate(&tenants, 1_500_000, 17);
+        let mut rec = if traced { Recorder::enabled() } else { Recorder::disabled() };
+        let report = simulate_traced(&mut engine, &trace, &ServeConfig::default(), &mut rec);
+        (report, rec.events().to_vec(), rec.to_chrome_json())
+    };
+    let (report, events, json) = run(1, true);
+    assert!(report.global.requests > 10, "trace should be non-trivial");
+    assert!(!events.is_empty());
+    assert!(validate_chrome_trace(&json).expect("valid trace") > 0);
+    for threads in [2, 4] {
+        let (r, e, j) = run(threads, true);
+        assert_eq!(report, r, "{threads} threads: report diverged");
+        assert_eq!(events, e, "{threads} threads: events diverged");
+        assert_eq!(json, j, "{threads} threads: exported bytes diverged");
+    }
+    // Tracing off: same report, no events.
+    let (untraced, no_events, _) = run(1, false);
+    assert_eq!(report, untraced, "recording perturbed the simulation");
+    assert_eq!(digest_report(&report), digest_report(&untraced));
+    assert!(no_events.is_empty());
+    // And the untraced entry point is literally the same loop.
+    let mut engine = Engine::new(RunConfig::default().with_threads(1));
+    engine.register("syn", net.clone(), profile.clone(), "test");
+    let trace = generate(&tenants, 1_500_000, 17);
+    let plain = simulate(&mut engine, &trace, &ServeConfig::default());
+    assert_eq!(digest_report(&report), digest_report(&plain));
 }

@@ -10,7 +10,7 @@ use scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
 use scnn_serve::engine::Engine;
 use scnn_serve::sim::{simulate, ServeConfig};
 use scnn_serve::trace::{generate, DeadlineClass, TenantSpec};
-use scnn_serve::{BatcherConfig, ServeReport};
+use scnn_serve::{digest_report, BatcherConfig, ServeReport};
 use scnn_tensor::ConvShape;
 
 /// Two small heterogeneous networks ("minia"/"minib") for the registry.
@@ -68,7 +68,7 @@ fn serve_simulation_is_bit_identical_across_thread_counts() {
     for threads in [2, 4, 7] {
         let parallel = run(RunConfig::default().with_threads(threads), &cfg, 42);
         assert_eq!(serial, parallel, "{threads} threads diverged");
-        assert_eq!(serial.digest(), parallel.digest());
+        assert_eq!(digest_report(&serial), digest_report(&parallel));
         assert_eq!(serial.render(), parallel.render());
     }
 }
@@ -78,10 +78,10 @@ fn serve_simulation_is_repeatable() {
     let cfg = ServeConfig::default();
     let a = run(RunConfig::default(), &cfg, 9);
     let b = run(RunConfig::default(), &cfg, 9);
-    assert_eq!(a.digest(), b.digest());
+    assert_eq!(digest_report(&a), digest_report(&b));
     // A different arrival seed is a genuinely different simulation.
     let c = run(RunConfig::default(), &cfg, 10);
-    assert_ne!(a.digest(), c.digest());
+    assert_ne!(digest_report(&a), digest_report(&c));
 }
 
 #[test]
@@ -127,7 +127,7 @@ fn undersized_cache_thrashes_deterministically_under_interleaved_tenants() {
     let a = run(RunConfig::default(), &cfg, 5);
     let b = run(RunConfig::default(), &cfg, 5);
     assert_eq!(a.cache, b.cache);
-    assert_eq!(a.digest(), b.digest());
+    assert_eq!(digest_report(&a), digest_report(&b));
     assert_eq!(a.cache.compulsory_misses, 2);
     assert!(a.cache.misses > a.cache.compulsory_misses, "capacity misses expected");
     assert_eq!(a.cache.evictions, a.cache.misses - 1, "each miss after the first evicts");
