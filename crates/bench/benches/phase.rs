@@ -1,11 +1,16 @@
 //! Criterion benches for the `run_phase` kernel — the Cartesian-product
 //! inner loop that dominates simulator wall-clock — across operand mixes:
 //! sparse (paper-typical ~30% densities), dense-ish (both operands near
-//! 100%), and the asymmetric mixes where one operand is much denser than
-//! the other.
+//! 100%), the asymmetric mixes where one operand is much denser than the
+//! other, and the kernel-path extremes: a wholly in-window `1x1` mix
+//! where the window test never rejects, a high-sparsity mix that stresses
+//! per-phase overhead, and a small activation-count ladder so per-phase
+//! setup cost is measured against the product loop.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use scnn::scnn_sim::{build_bank_lut, run_phase, ActEntry, PhaseGeom, PhaseScratch, WtEntry};
+use scnn::scnn_sim::{
+    build_bank_lut, pack_weights, run_phase, ActEntry, PackedWt, PhaseGeom, PhaseScratch, WtEntry,
+};
 
 fn lcg(state: &mut u64) -> u64 {
     *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
@@ -42,6 +47,13 @@ fn make_wts(kc: u16, r: u16, s: u16, density: f64, seed: u64) -> Vec<WtEntry> {
     out
 }
 
+/// Stages a weight block as the compiled layer would.
+fn staged(wts: &[WtEntry]) -> Vec<PackedWt> {
+    let mut p = Vec::new();
+    pack_weights(wts, &mut p);
+    p
+}
+
 fn bench_run_phase(c: &mut Criterion) {
     // A per-PE accumulator window like a GoogLeNet 3x3 tile on the 8x8
     // grid: kc=8 output channels over a (4+2)x(4+2) halo window.
@@ -69,12 +81,14 @@ fn bench_run_phase(c: &mut Criterion) {
         ("dense_1.0x1.0", 1.0, 1.0),
         ("dense_acts_sparse_wts", 0.9, 0.2),
         ("sparse_acts_dense_wts", 0.2, 0.9),
+        ("high_sparsity_0.05x0.05", 0.05, 0.05),
     ];
     let mut group = c.benchmark_group("run_phase");
     for (name, ad, wd) in cases {
         let acts = make_acts(tile_w, tile_h, ad, 17);
-        let wts = make_wts(kc as u16, 3, 3, wd, 29);
-        let (stored_a, stored_w) = (acts.len().max(1), wts.len().max(1));
+        let raw = make_wts(kc as u16, 3, 3, wd, 29);
+        let wts = staged(&raw);
+        let (stored_a, stored_w) = (acts.len().max(1), raw.len().max(1));
         let mut acc = vec![0.0f32; kc * acc_w * acc_h];
         let mut scratch = PhaseScratch::new(geom.banks);
         group.bench_function(name, |b| {
@@ -84,6 +98,94 @@ fn bench_run_phase(c: &mut Criterion) {
                     stored_a,
                     black_box(&wts),
                     stored_w,
+                    &geom,
+                    &mut acc,
+                    &lut,
+                    &mut scratch,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_run_phase_dense_window(c: &mut Criterion) {
+    // 1x1 taps over a full-plane window: every product is in-window, so
+    // this measures the always-taken side of the window-test branch
+    // (the 3x3 border-heavy mixes above reject on every border).
+    let (kc, out) = (8usize, 14usize);
+    let geom = PhaseGeom {
+        f: 4,
+        i: 4,
+        banks: 32,
+        acc_x0: 0,
+        acc_y0: 0,
+        acc_w: out,
+        acc_h: out,
+        x1: out,
+        y1: out,
+        out_w: out,
+        out_h: out,
+        k_base: 0,
+    };
+    let mut lut = Vec::new();
+    build_bank_lut(&geom, kc, &mut lut);
+    let acts = make_acts(out as u16, out as u16, 0.5, 41);
+    let raw = make_wts(kc as u16, 1, 1, 1.0, 43);
+    let wts = staged(&raw);
+    let mut acc = vec![0.0f32; kc * out * out];
+    let mut scratch = PhaseScratch::new(geom.banks);
+    c.bench_function("run_phase/dense_window_1x1", |b| {
+        b.iter(|| {
+            run_phase(
+                black_box(&acts),
+                acts.len(),
+                black_box(&wts),
+                raw.len(),
+                &geom,
+                &mut acc,
+                &lut,
+                &mut scratch,
+            )
+        })
+    });
+}
+
+fn bench_run_phase_act_ladder(c: &mut Criterion) {
+    // An activation-count ladder over fixed weights: doubling acts should
+    // roughly double phase time once per-phase setup is amortized.
+    let (kc, out) = (4usize, 16usize);
+    let geom = PhaseGeom {
+        f: 4,
+        i: 4,
+        banks: 32,
+        acc_x0: 0,
+        acc_y0: 0,
+        acc_w: out,
+        acc_h: out,
+        x1: out,
+        y1: out,
+        out_w: out,
+        out_h: out,
+        k_base: 0,
+    };
+    let mut lut = Vec::new();
+    build_bank_lut(&geom, kc, &mut lut);
+    let raw = make_wts(kc as u16, 3, 3, 0.5, 53);
+    let wts = staged(&raw);
+    let pool = make_acts(out as u16, out as u16, 1.0, 47);
+    let mut group = c.benchmark_group("run_phase_act_ladder");
+    for n in [32usize, 33, 64] {
+        let acts = &pool[..n];
+        let mut acc = vec![0.0f32; kc * out * out];
+        let mut scratch = PhaseScratch::new(geom.banks);
+        group.bench_function(format!("acts_{n}"), |b| {
+            b.iter(|| {
+                run_phase(
+                    black_box(acts),
+                    n,
+                    black_box(&wts),
+                    raw.len(),
                     &geom,
                     &mut acc,
                     &lut,
@@ -120,5 +222,11 @@ fn bench_bank_lut(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_run_phase, bench_bank_lut);
+criterion_group!(
+    benches,
+    bench_run_phase,
+    bench_run_phase_dense_window,
+    bench_run_phase_act_ladder,
+    bench_bank_lut
+);
 criterion_main!(benches);

@@ -19,7 +19,14 @@
 //!
 //! ```text
 //! cargo run --release --bin serve [-- --quick] [--trace PATH] [--profile] [--check-trace PATH]
+//!                                 [--artifact-dir PATH]
 //! ```
+//!
+//! `--artifact-dir PATH` (or `SCNN_ARTIFACT_DIR`) binds the engine's
+//! persistent compiled-model store: calibrations load compiled machine
+//! state from disk when a prior invocation saved it. The report's
+//! artifact-store line shows the hit/miss traffic; every simulated
+//! number is bit-identical warm or cold.
 //!
 //! With a trace destination (`--trace PATH` wins, then `SCNN_TRACE`,
 //! else off) the representative point runs through
@@ -165,6 +172,11 @@ fn main() {
     let backend = BackendKind::resolve(None);
     let mut engine =
         Engine::with_zoo(RunConfig::default().with_backend(backend)).with_dram_words_per_cycle(4.0);
+    // Artifact ladder: --artifact-dir wins, then SCNN_ARTIFACT_DIR
+    // (already resolved by Engine::new), else disabled.
+    if let Some(dir) = arg_value("--artifact-dir") {
+        engine = engine.with_artifact_dir(dir);
+    }
     let t0 = Instant::now();
     let mut models: Vec<&str> = trace.tenants.iter().map(|t| t.model.as_str()).collect();
     models.sort_unstable();
@@ -178,11 +190,17 @@ fn main() {
             p.weight_dram_words / 1e6
         );
     }
-    // Wall-clock note goes to stderr (like the scnn_bench runner note)
-    // so stdout stays byte-identical run to run.
+    // Wall-clock and artifact-store notes go to stderr (like the
+    // scnn_bench runner note) so stdout stays byte-identical run to
+    // run — artifact traffic varies with the store's warmth.
     eprintln!(
         "[scnn_serve] calibrated in {:.1}s wall, paid once for the whole sweep",
         t0.elapsed().as_secs_f64()
+    );
+    let art = engine.artifact_stats();
+    eprintln!(
+        "[scnn_serve] artifact store: {} hits / {} misses, {} B loaded / {} B saved",
+        art.hits, art.misses, art.load_bytes, art.save_bytes
     );
     println!();
 

@@ -16,6 +16,7 @@
 //!
 //! ```text
 //! cargo run --release --bin throughput [-- max_batch [network [backend]]]
+//!                                      [--artifact-dir PATH]
 //! ```
 //!
 //! `max_batch` defaults to 8; `network` is `alexnet` (default),
@@ -23,15 +24,31 @@
 //! `dcnn-opt` — the usual ladder: the explicit argument wins, then the
 //! `SCNN_BACKEND` environment variable, then `scnn`. `SCNN_THREADS`
 //! controls the worker fan-out (results are thread-count independent).
+//! `--artifact-dir PATH` (or `SCNN_ARTIFACT_DIR`) enables the
+//! persistent compiled-model store: a warm invocation loads the
+//! compiled state from disk instead of compiling, shrinking the `C`
+//! every batch amortizes — the simulated numbers are bit-identical
+//! either way.
 
+use scnn::artifact::ArtifactStore;
 use scnn::batch::CompiledNetwork;
 use scnn::runner::{NetworkRun, RunConfig};
-use scnn::scnn_model::zoo;
+use scnn::scnn_model::{zoo, DensityProfile};
 use scnn::scnn_sim::BackendKind;
 use std::time::Instant;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let all: Vec<String> = std::env::args().skip(1).collect();
+    let artifact_dir = all
+        .iter()
+        .position(|a| a == "--artifact-dir")
+        .and_then(|i| all.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let mut args = all
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| *a != "--artifact-dir" && !(*i > 0 && all[i - 1] == "--artifact-dir"))
+        .map(|(_, a)| a.clone());
     let max_batch: usize =
         args.next().map_or(8, |a| a.parse().expect("max_batch must be a number"));
     assert!(max_batch >= 1, "need at least one image");
@@ -43,14 +60,24 @@ fn main() {
             .unwrap_or_else(|| panic!("unknown backend {a:?} (scnn | dcnn | dcnn-opt)"))
     }));
     let config = RunConfig::default().with_backend(backend);
+    let mut store = ArtifactStore::resolve(artifact_dir.as_deref());
 
-    // Compile phase: weights synthesized + compressed exactly once.
+    // Compile phase: weights synthesized + compressed exactly once —
+    // or loaded from a persistent artifact when the store is warm.
+    let profile = DensityProfile::paper(&net).expect("zoo networks carry a paper profile");
     let t0 = Instant::now();
-    let compiled = CompiledNetwork::compile_paper(&net, &config);
+    let compiled = CompiledNetwork::compile_cached(&net, &profile, &config, &mut store);
     let compile_s = t0.elapsed().as_secs_f64();
     let weight_words = compiled.weight_dram_words();
+    let how = if store.metrics().counter("artifact.hits") > 0 {
+        "loaded from artifact"
+    } else if store.is_enabled() {
+        "compiled + artifact saved"
+    } else {
+        "compiled"
+    };
     println!(
-        "compiled {} for {} ({} layers, {:.2} MB stored weights) in {:.3}s",
+        "{how}: {} for {} ({} layers, {:.2} MB stored weights) in {:.3}s",
         net.name(),
         backend,
         compiled.layers.len(),

@@ -1,0 +1,590 @@
+//! Persistent compiled-model cache: whole-network artifacts on disk.
+//!
+//! Weight compilation (synthesis + compression + OCG partitioning) is a
+//! pure function of `(network, density profile, RunConfig)` — the same
+//! determinism argument that makes every simulated number reproducible
+//! makes the compile phase *cacheable*. This module serializes a
+//! [`CompiledNetwork`]'s per-layer machine state (via
+//! [`scnn_sim::artifact`]) into one versioned, checksummed file per
+//! `(network, backend, configuration)` so repeat invocations of the
+//! bench binaries and the serving engine skip compilation entirely.
+//!
+//! * [`compile_fingerprint`] — the FNV-1a digest of everything a
+//!   compiled model depends on (machine geometry, energy model, operand
+//!   seed, backend); the serving engine's model-cache key uses the same
+//!   digest.
+//! * [`ArtifactStore`] — the on-disk store. Resolution ladder: an
+//!   explicit directory beats the [`ARTIFACT_DIR_ENV`] environment
+//!   variable beats *disabled* (every lookup misses, nothing is
+//!   written). Hits, misses and byte traffic are counted in a
+//!   [`Registry`] so cache behaviour is observable wherever the store
+//!   is wired (`perf --profile`, the serve report).
+//! * [`CompiledNetwork::compile_cached`] — the load-else-compile-
+//!   and-save entry point.
+//!
+//! A cached artifact can never change a result: the filename and the
+//! embedded fingerprint bind it to the exact compile inputs, the
+//! payload is checksummed, and every layer is re-validated on decode
+//! (shape, backend, machine configuration) with *fall back to
+//! recompile* on any mismatch — a corrupt, truncated or stale file
+//! costs one recompile, never a wrong number.
+
+use crate::batch::{CompiledNetwork, CompiledNetworkLayer};
+use crate::runner::RunConfig;
+use scnn_arch::{DcnnConfig, HaloStrategy};
+use scnn_model::{DensityProfile, Network};
+use scnn_sim::artifact::{checksum, decode_layer, encode_layer, FORMAT_VERSION};
+use scnn_sim::BackendKind;
+use scnn_telemetry::Registry;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the artifact directory consulted when no
+/// explicit directory is given (`ArtifactStore::resolve(None)`).
+pub const ARTIFACT_DIR_ENV: &str = "SCNN_ARTIFACT_DIR";
+
+/// Leading bytes of every artifact file.
+const MAGIC: &[u8; 8] = b"SCNNART\0";
+
+/// Fixed-size file header: magic, format version, fingerprint, payload
+/// length, payload checksum.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
+
+/// Incremental FNV-1a over a stream of `u64` words (f64s fold in via
+/// `to_bits`) — the same fold the serving engine uses for its report
+/// digest.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Self(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn eat(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a fingerprint of everything a compiled model depends on:
+/// machine geometry, energy model, operand seed and backend — excluding
+/// the worker-thread counts, which never change simulated results.
+///
+/// The serving engine's model-cache key delegates to this digest, so an
+/// artifact hit and a model-cache hit agree on what "same
+/// configuration" means.
+#[must_use]
+pub fn compile_fingerprint(config: &RunConfig) -> u64 {
+    let mut fnv = Fnv64::new();
+    let s = &config.scnn;
+    for v in [
+        s.pe_rows,
+        s.pe_cols,
+        s.f,
+        s.i,
+        s.acc_banks,
+        s.acc_bank_entries,
+        s.iaram_bytes,
+        s.oaram_bytes,
+        s.weight_fifo_bytes,
+        s.kc_max,
+    ] {
+        fnv.eat(v as u64);
+    }
+    fnv.eat(match s.halo {
+        HaloStrategy::Output => 0,
+        HaloStrategy::Input => 1,
+    });
+    let d = &config.dcnn;
+    for v in
+        [d.num_pes as u64, d.multipliers_per_pe as u64, d.sram_bytes as u64, d.optimized as u64]
+    {
+        fnv.eat(v);
+    }
+    let e = &config.energy;
+    for v in [
+        e.e_mult,
+        e.gate_factor,
+        e.e_acc_rmw,
+        e.e_acc_reg,
+        e.e_xbar,
+        e.e_iaram,
+        e.e_sram,
+        e.e_wbuf,
+        e.e_dram,
+        e.e_halo,
+        e.e_ppu,
+    ] {
+        fnv.eat(v.to_bits());
+    }
+    fnv.eat(config.seed);
+    fnv.eat(config.backend.tag());
+    fnv.finish()
+}
+
+/// Fingerprint of one artifact: the configuration digest extended with
+/// the layer-artifact format version, the network identity (name plus
+/// every evaluated layer's shape) and the weight densities the profile
+/// synthesizes at. Activation densities are deliberately excluded — the
+/// compiled weight state does not depend on them, and the execute phase
+/// re-derives them from the live profile.
+#[must_use]
+pub fn artifact_fingerprint(
+    network: &Network,
+    profile: &DensityProfile,
+    config: &RunConfig,
+) -> u64 {
+    let mut fnv = Fnv64::new();
+    fnv.eat(compile_fingerprint(config));
+    fnv.eat(u64::from(FORMAT_VERSION));
+    fnv.eat(network.name().len() as u64);
+    for b in network.name().bytes() {
+        fnv.eat(u64::from(b));
+    }
+    fnv.eat(network.layers().len() as u64);
+    for i in network.eval_indices() {
+        let shape = &network.layers()[i].shape;
+        for v in [
+            shape.k,
+            shape.c,
+            shape.r,
+            shape.s,
+            shape.w,
+            shape.h,
+            shape.stride,
+            shape.pad,
+            shape.groups,
+        ] {
+            fnv.eat(v as u64);
+        }
+        fnv.eat(profile.layer(i).weight.to_bits());
+    }
+    fnv.finish()
+}
+
+/// The on-disk compiled-model store.
+///
+/// A store is either *enabled* (bound to a directory) or *disabled*
+/// (every lookup misses silently and nothing is written) — callers wire
+/// one unconditionally and the disabled store costs nothing. I/O is
+/// strictly best-effort: an unreadable or unwritable directory degrades
+/// to cold compiles, never to an error.
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    dir: Option<PathBuf>,
+    metrics: Registry,
+}
+
+impl ArtifactStore {
+    /// A store that never hits and never writes.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A store rooted at `dir` (created on first save).
+    #[must_use]
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: Some(dir.into()), metrics: Registry::new() }
+    }
+
+    /// Resolution ladder: an explicit directory beats the
+    /// [`ARTIFACT_DIR_ENV`] environment variable beats disabled.
+    #[must_use]
+    pub fn resolve(explicit: Option<&Path>) -> Self {
+        match explicit {
+            Some(dir) => Self::at(dir),
+            None => match std::env::var(ARTIFACT_DIR_ENV) {
+                Ok(dir) if !dir.is_empty() => Self::at(dir),
+                _ => Self::disabled(),
+            },
+        }
+    }
+
+    /// Whether the store is bound to a directory.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The bound directory, when enabled.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The store's metric registry: counters `artifact.hits`,
+    /// `artifact.misses`, `artifact.load_bytes`, `artifact.save_bytes`.
+    #[must_use]
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The file a given compile would load from / save to, when the
+    /// store is enabled: `{network}-{backend}-{fingerprint:016x}-v{N}.scnnart`
+    /// under the bound directory.
+    #[must_use]
+    pub fn artifact_path(
+        &self,
+        network: &Network,
+        profile: &DensityProfile,
+        config: &RunConfig,
+    ) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let fp = artifact_fingerprint(network, profile, config);
+        let net: String = network
+            .name()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .collect();
+        Some(
+            dir.join(format!(
+                "{net}-{}-{fp:016x}-v{FORMAT_VERSION}.scnnart",
+                config.backend.name()
+            )),
+        )
+    }
+
+    /// Attempts to load the compiled layers for one compile request.
+    /// Counts a hit (plus `artifact.load_bytes`) or a miss; a disabled
+    /// store counts nothing — it was never consulted.
+    pub(crate) fn load(
+        &mut self,
+        network: &Network,
+        profile: &DensityProfile,
+        config: &RunConfig,
+    ) -> Option<Vec<CompiledNetworkLayer>> {
+        let path = self.artifact_path(network, profile, config)?;
+        match read_artifact(&path, network, profile, config) {
+            Some((layers, bytes)) => {
+                self.metrics.inc("artifact.hits", 1);
+                self.metrics.inc("artifact.load_bytes", bytes);
+                Some(layers)
+            }
+            None => {
+                self.metrics.inc("artifact.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Saves a freshly compiled network (best-effort: write to a
+    /// temporary file, then rename, so a concurrent reader never sees a
+    /// torn artifact). Counts `artifact.save_bytes` on success.
+    pub(crate) fn save(&mut self, compiled: &CompiledNetwork) {
+        let Some(path) = self.artifact_path(&compiled.network, &compiled.profile, &compiled.config)
+        else {
+            return;
+        };
+        let fp = artifact_fingerprint(&compiled.network, &compiled.profile, &compiled.config);
+
+        let mut payload = Vec::new();
+        put_u64(&mut payload, compiled.layers.len() as u64);
+        for layer in &compiled.layers {
+            put_u64(&mut payload, layer.layer_index as u64);
+            put_u64(&mut payload, layer.weight_density.to_bits());
+            let frame = encode_layer(&layer.compiled);
+            put_u64(&mut payload, frame.len() as u64);
+            payload.extend_from_slice(&frame);
+        }
+
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        put_u64(&mut bytes, fp);
+        put_u64(&mut bytes, payload.len() as u64);
+        put_u64(&mut bytes, checksum(&payload));
+        bytes.extend_from_slice(&payload);
+
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        if fs::write(&tmp, &bytes).is_ok() && fs::rename(&tmp, &path).is_ok() {
+            self.metrics.inc("artifact.save_bytes", bytes.len() as u64);
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian cursor over the payload frames.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u64(&mut self) -> Option<u64> {
+        let chunk = self.bytes.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(chunk.try_into().ok()?))
+    }
+
+    fn take(&mut self, len: usize) -> Option<&'a [u8]> {
+        let chunk = self.bytes.get(self.pos..self.pos.checked_add(len)?)?;
+        self.pos += len;
+        Some(chunk)
+    }
+}
+
+/// Reads, validates and decodes one artifact file. `None` on *any*
+/// irregularity — the caller falls back to a cold compile.
+fn read_artifact(
+    path: &Path,
+    network: &Network,
+    profile: &DensityProfile,
+    config: &RunConfig,
+) -> Option<(Vec<CompiledNetworkLayer>, u64)> {
+    let bytes = fs::read(path).ok()?;
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(bytes[8..12].try_into().ok()?) != FORMAT_VERSION {
+        return None;
+    }
+    let fp = u64::from_le_bytes(bytes[12..20].try_into().ok()?);
+    if fp != artifact_fingerprint(network, profile, config) {
+        return None;
+    }
+    let payload_len = u64::from_le_bytes(bytes[20..28].try_into().ok()?);
+    let sum = u64::from_le_bytes(bytes[28..36].try_into().ok()?);
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != payload_len || checksum(payload) != sum {
+        return None;
+    }
+
+    let mut cur = Cursor { bytes: payload, pos: 0 };
+    let evaluated: Vec<usize> = network.eval_indices().collect();
+    if cur.u64()? != evaluated.len() as u64 {
+        return None;
+    }
+    let expected_dcnn =
+        DcnnConfig { optimized: config.backend == BackendKind::DcnnOpt, ..config.dcnn };
+    let mut layers = Vec::with_capacity(evaluated.len());
+    for &i in &evaluated {
+        if cur.u64()? != i as u64 {
+            return None;
+        }
+        let weight_density = f64::from_bits(cur.u64()?);
+        if !(0.0..=1.0).contains(&weight_density) {
+            return None;
+        }
+        let frame_len = usize::try_from(cur.u64()?).ok()?;
+        let compiled = decode_layer(cur.take(frame_len)?).ok()?;
+        let layer = &network.layers()[i];
+        // The fingerprint already binds the file to these inputs; check
+        // anyway so a colliding or hand-edited file can never smuggle
+        // foreign geometry into a run.
+        if compiled.kind() != config.backend || compiled.shape() != &layer.shape {
+            return None;
+        }
+        let config_matches = match compiled.as_scnn() {
+            Some(l) => l.config() == &config.scnn,
+            None => compiled.as_dcnn().is_some_and(|l| l.config() == &expected_dcnn),
+        };
+        if !config_matches {
+            return None;
+        }
+        layers.push(CompiledNetworkLayer {
+            layer_index: i,
+            name: layer.name.clone(),
+            group_label: layer.group_label.clone(),
+            density: profile.layer(i),
+            weight_density,
+            compiled,
+        });
+    }
+    if cur.pos != payload.len() {
+        return None;
+    }
+    Some((layers, bytes.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scnn_model::{ConvLayer, LayerDensity};
+    use scnn_tensor::ConvShape;
+
+    fn tiny() -> (Network, DensityProfile) {
+        let net = Network::new(
+            "tiny art",
+            vec![
+                ConvLayer::new("a", ConvShape::new(8, 4, 3, 3, 12, 12).with_pad(1)),
+                ConvLayer::new("b", ConvShape::new(16, 8, 1, 1, 12, 12)),
+            ],
+        );
+        let profile = DensityProfile::from_layers(vec![
+            LayerDensity::new(0.4, 1.0),
+            LayerDensity::new(0.35, 0.45),
+        ]);
+        (net, profile)
+    }
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("scnn-artifact-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ArtifactStore::at(dir)
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_compile_inputs() {
+        let (net, profile) = tiny();
+        let config = RunConfig::default();
+        let base = artifact_fingerprint(&net, &profile, &config);
+        assert_eq!(base, artifact_fingerprint(&net, &profile, &config));
+
+        let mut seed = config.clone();
+        seed.seed ^= 1;
+        assert_ne!(base, artifact_fingerprint(&net, &profile, &seed));
+
+        let mut geom = config.clone();
+        geom.scnn.f = 8;
+        assert_ne!(base, artifact_fingerprint(&net, &profile, &geom));
+
+        let mut backend = config.clone();
+        backend.backend = BackendKind::Dcnn;
+        assert_ne!(base, artifact_fingerprint(&net, &profile, &backend));
+
+        let denser = DensityProfile::from_layers(vec![
+            LayerDensity::new(0.5, 1.0),
+            LayerDensity::new(0.35, 0.45),
+        ]);
+        assert_ne!(base, artifact_fingerprint(&net, &denser, &config));
+
+        // Thread counts never change simulated results, so they must
+        // never invalidate an artifact.
+        let mut threads = config.clone();
+        threads.threads = 7;
+        threads.pe_threads = 3;
+        assert_eq!(base, artifact_fingerprint(&net, &profile, &threads));
+    }
+
+    #[test]
+    fn disabled_store_counts_nothing_and_never_hits() {
+        let (net, profile) = tiny();
+        let config = RunConfig::default();
+        let mut store = ArtifactStore::disabled();
+        assert!(!store.is_enabled());
+        assert!(store.artifact_path(&net, &profile, &config).is_none());
+        assert!(store.load(&net, &profile, &config).is_none());
+        let compiled = CompiledNetwork::compile(&net, &profile, &config);
+        store.save(&compiled);
+        for c in ["artifact.hits", "artifact.misses", "artifact.load_bytes", "artifact.save_bytes"]
+        {
+            assert_eq!(store.metrics().counter(c), 0, "{c}");
+        }
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_directory() {
+        let store = ArtifactStore::resolve(Some(Path::new("/x/y")));
+        assert_eq!(store.dir(), Some(Path::new("/x/y")));
+    }
+
+    #[test]
+    fn save_then_load_round_trips_with_counters() {
+        let (net, profile) = tiny();
+        let config = RunConfig::default();
+        let mut store = temp_store("roundtrip");
+        assert!(store.load(&net, &profile, &config).is_none(), "cold store must miss");
+        assert_eq!(store.metrics().counter("artifact.misses"), 1);
+
+        let compiled = CompiledNetwork::compile(&net, &profile, &config);
+        store.save(&compiled);
+        assert!(store.metrics().counter("artifact.save_bytes") > 0);
+
+        let loaded = store.load(&net, &profile, &config).expect("warm store must hit");
+        assert_eq!(store.metrics().counter("artifact.hits"), 1);
+        assert!(store.metrics().counter("artifact.load_bytes") > 0);
+        assert_eq!(loaded.len(), compiled.layers.len());
+        for (a, b) in loaded.iter().zip(&compiled.layers) {
+            assert_eq!(a.layer_index, b.layer_index);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.weight_density.to_bits(), b.weight_density.to_bits());
+            assert_eq!(
+                scnn_sim::artifact::encode_layer(&a.compiled),
+                scnn_sim::artifact::encode_layer(&b.compiled),
+                "layer {} machine state must survive the round trip byte-for-byte",
+                a.name
+            );
+        }
+        let _ = fs::remove_dir_all(store.dir().unwrap());
+    }
+
+    #[test]
+    fn corrupt_stale_or_mismatched_files_fall_back_to_miss() {
+        let (net, profile) = tiny();
+        let config = RunConfig::default();
+        let mut store = temp_store("corrupt");
+        let compiled = CompiledNetwork::compile(&net, &profile, &config);
+        store.save(&compiled);
+        let path = store.artifact_path(&net, &profile, &config).unwrap();
+        let good = fs::read(&path).unwrap();
+
+        // Flipped payload byte: checksum rejects it.
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0x40;
+        fs::write(&path, &bad).unwrap();
+        assert!(store.load(&net, &profile, &config).is_none(), "corrupt payload must miss");
+
+        // Stale format version: rejected before any decode.
+        let mut stale = good.clone();
+        stale[8] ^= 0xFF;
+        fs::write(&path, &stale).unwrap();
+        assert!(store.load(&net, &profile, &config).is_none(), "version mismatch must miss");
+
+        // Truncation anywhere: rejected.
+        fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(store.load(&net, &profile, &config).is_none(), "truncated file must miss");
+
+        // A different seed fingerprints to a different file entirely.
+        let mut other = config.clone();
+        other.seed ^= 0xDEAD;
+        fs::write(&path, &good).unwrap();
+        assert!(store.load(&net, &profile, &other).is_none(), "stale config must miss");
+
+        // The pristine file still hits afterwards.
+        assert!(store.load(&net, &profile, &config).is_some());
+        let _ = fs::remove_dir_all(store.dir().unwrap());
+    }
+
+    #[test]
+    fn compile_cached_is_bit_identical_to_compile() {
+        let (net, profile) = tiny();
+        let config = RunConfig::default();
+        let mut store = temp_store("cached");
+
+        let cold = CompiledNetwork::compile_cached(&net, &profile, &config, &mut store);
+        assert_eq!(store.metrics().counter("artifact.misses"), 1);
+        let warm = CompiledNetwork::compile_cached(&net, &profile, &config, &mut store);
+        assert_eq!(store.metrics().counter("artifact.hits"), 1);
+
+        let direct = CompiledNetwork::compile(&net, &profile, &config);
+        for sides in [(&cold, &direct), (&warm, &direct)] {
+            for (a, b) in sides.0.layers.iter().zip(&sides.1.layers) {
+                assert_eq!(
+                    scnn_sim::artifact::encode_layer(&a.compiled),
+                    scnn_sim::artifact::encode_layer(&b.compiled),
+                );
+            }
+        }
+
+        // And the executed numbers agree exactly.
+        let rc = crate::batch::BatchRun::execute(&cold, 2);
+        let rw = crate::batch::BatchRun::execute(&warm, 2);
+        assert_eq!(rc.total_cycles(), rw.total_cycles());
+        assert_eq!(rc.total_energy_pj().to_bits(), rw.total_energy_pj().to_bits());
+        let _ = fs::remove_dir_all(store.dir().unwrap());
+    }
+}

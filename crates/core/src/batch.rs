@@ -106,6 +106,40 @@ impl CompiledNetwork {
         Self { network: network.clone(), profile: profile.clone(), config: config.clone(), layers }
     }
 
+    /// As [`CompiledNetwork::compile`], but consulting a persistent
+    /// [`ArtifactStore`](crate::artifact::ArtifactStore) first: a valid
+    /// cached artifact skips compilation entirely (weight synthesis,
+    /// compression and partitioning all avoided), and a miss compiles
+    /// cold then saves the artifact for the next invocation. The
+    /// returned network is bit-identical either way — the store
+    /// validates fingerprint, checksum, shapes and machine
+    /// configuration on load and falls back to a cold compile on any
+    /// mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is misaligned with the network.
+    #[must_use]
+    pub fn compile_cached(
+        network: &Network,
+        profile: &DensityProfile,
+        config: &RunConfig,
+        store: &mut crate::artifact::ArtifactStore,
+    ) -> Self {
+        assert_eq!(profile.len(), network.layers().len(), "profile misaligned");
+        if let Some(layers) = store.load(network, profile, config) {
+            return Self {
+                network: network.clone(),
+                profile: profile.clone(),
+                config: config.clone(),
+                layers,
+            };
+        }
+        let compiled = Self::compile(network, profile, config);
+        store.save(&compiled);
+        compiled
+    }
+
     /// Compiles with the paper's density profile.
     ///
     /// # Panics

@@ -10,6 +10,9 @@
 //! * [`batch`] — [`CompiledNetwork`] / [`BatchRun`]: compile each layer's
 //!   weights once and execute batches of images against the resident
 //!   state, amortizing weight compression and weight DRAM traffic;
+//! * [`artifact`] — [`ArtifactStore`]: persist compiled machine state
+//!   across *processes* (versioned, checksummed, fingerprint-keyed
+//!   files) so repeat invocations skip compilation entirely;
 //! * [`experiments`] — one entry point per table and figure of the
 //!   paper's evaluation section;
 //! * [`telemetry`] — per-layer cycle accounting
@@ -39,12 +42,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod artifact;
 pub mod batch;
 pub mod experiments;
 pub mod runner;
 pub mod telemetry;
 pub mod textutil;
 
+pub use artifact::{compile_fingerprint, ArtifactStore, ARTIFACT_DIR_ENV};
 pub use batch::{BatchRun, CompiledNetwork, CompiledNetworkLayer};
 pub use runner::{LayerRun, NetworkRun, RunConfig};
 pub use telemetry::{layer_breakdown, record_network_run, render_layer_breakdown};

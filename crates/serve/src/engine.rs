@@ -22,9 +22,10 @@
 //! `SCNN_THREADS`.
 
 use crate::cache::ModelKey;
+use crate::metrics::ArtifactStats;
+use scnn::artifact::ArtifactStore;
 use scnn::batch::CompiledNetwork;
 use scnn::runner::RunConfig;
-use scnn_arch::HaloStrategy;
 use scnn_fabric::{boundary_words, plan_hybrid, stage_timing, LinkConfig, StagePlan};
 use scnn_model::{zoo, DensityProfile, Network};
 use scnn_sim::{BackendKind, SimWorkspace};
@@ -130,6 +131,11 @@ pub struct Engine {
     link: LinkConfig,
     models: BTreeMap<String, ModelSpec>,
     calibrated: BTreeMap<String, Rc<ModelProfile>>,
+    /// Persistent compiled-model store consulted by every calibration:
+    /// disabled unless `SCNN_ARTIFACT_DIR` is set or
+    /// [`Engine::with_artifact_dir`] binds a directory. Artifacts never
+    /// change a simulated number — a hit only skips compile wall-clock.
+    artifacts: ArtifactStore,
     /// One simulator workspace reused across every calibration this
     /// engine performs: the first model warms it, later registrations
     /// (and cache-miss recalibrations) execute allocation-free.
@@ -149,6 +155,7 @@ impl Engine {
             link: LinkConfig::default(),
             models: BTreeMap::new(),
             calibrated: BTreeMap::new(),
+            artifacts: ArtifactStore::resolve(None),
             workspace: SimWorkspace::new(),
         }
     }
@@ -194,6 +201,31 @@ impl Engine {
         self.compile_factor = factor;
         self.calibrated.clear();
         self
+    }
+
+    /// Binds the persistent artifact store to `dir` (overriding the
+    /// `SCNN_ARTIFACT_DIR` default resolution): calibrations load
+    /// compiled machine state from disk when a valid artifact exists
+    /// and save it after cold compiles. Does not invalidate prior
+    /// calibrations — artifacts never change simulated results.
+    #[must_use]
+    pub fn with_artifact_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.artifacts = ArtifactStore::at(dir);
+        self
+    }
+
+    /// Counters of the engine's persistent artifact store: hits,
+    /// misses and byte traffic across every calibration so far (all
+    /// zeros when the store is disabled).
+    #[must_use]
+    pub fn artifact_stats(&self) -> ArtifactStats {
+        let m = self.artifacts.metrics();
+        ArtifactStats {
+            hits: m.counter("artifact.hits"),
+            misses: m.counter("artifact.misses"),
+            load_bytes: m.counter("artifact.load_bytes"),
+            save_bytes: m.counter("artifact.save_bytes"),
+        }
     }
 
     /// Makes every simulated device a `chips`-stage pipeline fabric
@@ -364,7 +396,12 @@ impl Engine {
         // the engine configuration (so an SCNN-backend registration is
         // bit-identical to the pre-backend engine).
         let run_config = RunConfig { backend: spec.backend, ..self.config.clone() };
-        let compiled = CompiledNetwork::compile(&spec.network, &spec.profile, &run_config);
+        let compiled = CompiledNetwork::compile_cached(
+            &spec.network,
+            &spec.profile,
+            &run_config,
+            &mut self.artifacts,
+        );
         let slots = compiled.layers.len();
 
         // Image 1, not image 0: image 0 pays the weight DRAM fetch, which
@@ -480,54 +517,13 @@ impl Engine {
 /// FNV-1a fingerprint of everything a compiled model depends on:
 /// machine geometry, energy model and operand seed — excluding the
 /// worker-thread count, which never changes simulated results.
+///
+/// Delegates to [`scnn::artifact::compile_fingerprint`], so the
+/// model-cache key and the persistent artifact store agree on what
+/// "same configuration" means.
 #[must_use]
 pub fn fingerprint(config: &RunConfig) -> u64 {
-    let mut fnv = crate::hash::Fnv64::new();
-    let mut eat = |v: u64| fnv.eat(v);
-    let s = &config.scnn;
-    for v in [
-        s.pe_rows,
-        s.pe_cols,
-        s.f,
-        s.i,
-        s.acc_banks,
-        s.acc_bank_entries,
-        s.iaram_bytes,
-        s.oaram_bytes,
-        s.weight_fifo_bytes,
-        s.kc_max,
-    ] {
-        eat(v as u64);
-    }
-    eat(match s.halo {
-        HaloStrategy::Output => 0,
-        HaloStrategy::Input => 1,
-    });
-    let d = &config.dcnn;
-    for v in
-        [d.num_pes as u64, d.multipliers_per_pe as u64, d.sram_bytes as u64, d.optimized as u64]
-    {
-        eat(v);
-    }
-    let e = &config.energy;
-    for v in [
-        e.e_mult,
-        e.gate_factor,
-        e.e_acc_rmw,
-        e.e_acc_reg,
-        e.e_xbar,
-        e.e_iaram,
-        e.e_sram,
-        e.e_wbuf,
-        e.e_dram,
-        e.e_halo,
-        e.e_ppu,
-    ] {
-        eat(v.to_bits());
-    }
-    eat(config.seed);
-    eat(config.backend.tag());
-    fnv.finish()
+    scnn::artifact::compile_fingerprint(config)
 }
 
 #[cfg(test)]

@@ -72,5 +72,9 @@ pub fn digest_report(report: &ServeReport) -> u64 {
     fnv.eat(report.cache.misses);
     fnv.eat(report.cache.compulsory_misses);
     fnv.eat(report.cache.evictions);
+    // `report.artifacts` is deliberately NOT digested: the on-disk
+    // artifact store changes compile wall-clock only, never a simulated
+    // number, so a warm-cache run must digest identically to the cold
+    // run it replays.
     fnv.finish()
 }

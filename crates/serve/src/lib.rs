@@ -86,6 +86,6 @@ pub use batcher::{Batch, Batcher, BatcherConfig};
 pub use cache::{CacheStats, ModelCache, ModelKey};
 pub use engine::{Engine, ModelProfile};
 pub use hash::digest_report;
-pub use metrics::{GroupMetrics, LatencySummary, ServeReport, TenantReport};
+pub use metrics::{ArtifactStats, GroupMetrics, LatencySummary, ServeReport, TenantReport};
 pub use sim::{simulate, simulate_traced, ServeConfig};
 pub use trace::{generate, DeadlineClass, Request, TenantSpec, Trace};

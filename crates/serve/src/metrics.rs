@@ -56,6 +56,23 @@ fn nearest_rank(sorted: &[u64], pct: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Persistent artifact-store counters for one serving run: how the
+/// engine's on-disk compiled-model cache ([`scnn::artifact`]) behaved
+/// across every calibration. All zeros when the store is disabled —
+/// it was never consulted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArtifactStats {
+    /// Compilations served from a cached artifact file.
+    pub hits: u64,
+    /// Lookups that fell back to a cold compile (missing, corrupt or
+    /// stale artifact).
+    pub misses: u64,
+    /// Bytes read on hits.
+    pub load_bytes: u64,
+    /// Bytes written saving fresh artifacts.
+    pub save_bytes: u64,
+}
+
 /// Aggregated request metrics for one group (a tenant, or everything).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GroupMetrics {
@@ -153,6 +170,9 @@ pub struct ServeReport {
     pub devices: Vec<DeviceReport>,
     /// Compiled-model cache counters.
     pub cache: CacheStats,
+    /// Persistent artifact-store counters (the engine's on-disk
+    /// compiled-model cache; all zeros when disabled).
+    pub artifacts: ArtifactStats,
 }
 
 impl ServeReport {
@@ -215,6 +235,10 @@ impl ServeReport {
         reg.inc("cache.misses", self.cache.misses);
         reg.inc("cache.compulsory_misses", self.cache.compulsory_misses);
         reg.inc("cache.evictions", self.cache.evictions);
+        reg.inc("artifact.hits", self.artifacts.hits);
+        reg.inc("artifact.misses", self.artifacts.misses);
+        reg.inc("artifact.load_bytes", self.artifacts.load_bytes);
+        reg.inc("artifact.save_bytes", self.artifacts.save_bytes);
         reg
     }
 
@@ -246,6 +270,13 @@ impl ServeReport {
             self.cache.evictions,
             self.cache.hit_rate() * 100.0,
             self.cache.warm_hit_rate() * 100.0,
+        ));
+        out.push_str(&format!(
+            "artifact store: {} hits / {} misses, {} B loaded / {} B saved\n",
+            self.artifacts.hits,
+            self.artifacts.misses,
+            self.artifacts.load_bytes,
+            self.artifacts.save_bytes,
         ));
         out.push_str(&format!(
             "devices: {:.1}% busy — {}\n",
@@ -367,12 +398,15 @@ mod tests {
                 weight_loads: 2,
             }],
             cache: CacheStats { hits: 8, misses: 2, compulsory_misses: 2, evictions: 0 },
+            artifacts: ArtifactStats { hits: 3, misses: 1, load_bytes: 4096, save_bytes: 1024 },
         };
         let reg = report.metrics_registry();
         assert_eq!(reg.counter("serve.requests"), 10);
         assert_eq!(reg.counter("serve.deadline_misses"), 3);
         assert_eq!(reg.counter("device.0.batches"), 5);
         assert_eq!(reg.counter("cache.hits"), 8);
+        assert_eq!(reg.counter("artifact.hits"), 3);
+        assert_eq!(reg.counter("artifact.load_bytes"), 4096);
         assert_eq!(reg.gauge("serve.mean_batch_size"), Some(2.0));
         let text = reg.snapshot().to_text();
         assert!(text.contains("serve.requests 10\n"));
@@ -396,11 +430,19 @@ mod tests {
             backends: Vec::new(),
             devices: vec![DeviceReport::default()],
             cache: CacheStats::default(),
+            artifacts: ArtifactStats::default(),
         };
         let mut other = base.clone();
         assert_eq!(base.digest(), other.digest());
         other.end_cycle = 101;
         assert_ne!(base.digest(), other.digest());
+        // Artifact-store counters are host-side cache behaviour, not
+        // simulated numbers: a warm-cache run must digest identically
+        // to the cold run it replays.
+        let mut warm = base.clone();
+        warm.artifacts.hits = 1;
+        warm.artifacts.load_bytes = 9000;
+        assert_eq!(base.digest(), warm.digest());
         // The per-backend section participates too.
         let mut with_backend = base.clone();
         with_backend.backends.push(BackendReport {

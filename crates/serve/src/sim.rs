@@ -283,7 +283,7 @@ pub fn simulate_traced(
     }
     debug_assert_eq!(ctx.done.len(), trace.len(), "every request must complete");
 
-    build_report(trace, &devices, &ctx.cache, &ctx.done, &ctx.metrics)
+    build_report(trace, &devices, &ctx.cache, &ctx.done, &ctx.metrics, ctx.engine.artifact_stats())
 }
 
 /// Free-device choice for `model` among devices of its `backend`:
@@ -425,6 +425,7 @@ fn build_report(
     cache: &ModelCache<Rc<ModelProfile>>,
     done: &[Done],
     metrics: &Registry,
+    artifacts: crate::metrics::ArtifactStats,
 ) -> ServeReport {
     let group = |records: &[&Done]| -> GroupMetrics {
         GroupMetrics {
@@ -489,6 +490,7 @@ fn build_report(
         backends,
         devices: device_reports,
         cache: cache.stats(),
+        artifacts,
     }
 }
 

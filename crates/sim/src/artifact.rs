@@ -1,0 +1,507 @@
+//! Versioned binary serialization of compiled layers — the persistent
+//! compile cache's payload format.
+//!
+//! A compiled layer is mostly *derived* state: tilings, sub-convolution
+//! decompositions, partitions, staged kernel operands and cycle schedules
+//! all follow from `(config, shape)` or from the canonical weight arena.
+//! The artifact therefore stores only what cannot be recomputed — the
+//! machine configuration, the layer shape, and the weight-derived arrays
+//! (compressed weight entries + block table for SCNN; the non-zero census
+//! for the dense backend) — and the decoder reconstructs everything else
+//! through the *same* functions the compiler runs. Loaded and freshly
+//! compiled layers cannot drift, and the on-disk format stays small.
+//!
+//! Layout is little-endian, hand-rolled (no serialization dependency).
+//! [`FORMAT_VERSION`] participates in the cache key, so any layout change
+//! invalidates old files wholesale; within a version the decoder still
+//! validates structure (shape validity, block-table contiguity, packed
+//! coordinate widths) and returns [`ArtifactError`] — never panics — so a
+//! corrupt or stale file falls back to recompilation. Whole-file
+//! integrity (bit flips) is the store's job via [`checksum`].
+
+use crate::backend::AnyCompiledLayer;
+use crate::compiled::{Arena, BlockRef, CompiledGroup, CompiledLayer};
+use crate::dense::DcnnCompiledLayer;
+use crate::machine::derive_layer_geometry;
+use crate::phase::WtEntry;
+use scnn_arch::{DcnnConfig, HaloStrategy, ScnnConfig};
+use scnn_tensor::ConvShape;
+
+/// Artifact payload format version; part of the cache invalidation key.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A malformed or internally inconsistent artifact payload. Carries a
+/// static reason for diagnostics; callers treat any error as "recompile".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactError {
+    reason: &'static str,
+}
+
+impl ArtifactError {
+    fn new(reason: &'static str) -> Self {
+        Self { reason }
+    }
+
+    /// Why the payload was rejected.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "artifact rejected: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// FNV-1a over little-endian 8-byte chunks (zero-padded tail). Chunked
+/// rather than byte-wise so checksumming a multi-megabyte VGG payload
+/// stays far below the compile time it is meant to save.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ bytes.len() as u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Little-endian byte sink.
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+}
+
+/// Little-endian byte source with bounds-checked reads.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| ArtifactError::new("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(ArtifactError::new("truncated payload"));
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ArtifactError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn usize(&mut self) -> Result<usize, ArtifactError> {
+        usize::try_from(self.u64()?).map_err(|_| ArtifactError::new("count exceeds usize"))
+    }
+    fn f32(&mut self) -> Result<f32, ArtifactError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn f64(&mut self) -> Result<f64, ArtifactError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finish(self) -> Result<(), ArtifactError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ArtifactError::new("trailing bytes after payload"))
+        }
+    }
+}
+
+const TAG_SCNN: u8 = 0;
+const TAG_DCNN: u8 = 1;
+
+fn put_shape(w: &mut Writer, shape: &ConvShape) {
+    w.usize(shape.k);
+    w.usize(shape.c);
+    w.usize(shape.r);
+    w.usize(shape.s);
+    w.usize(shape.w);
+    w.usize(shape.h);
+    w.usize(shape.stride);
+    w.usize(shape.pad);
+    w.usize(shape.groups);
+}
+
+fn get_shape(r: &mut Reader<'_>) -> Result<ConvShape, ArtifactError> {
+    let shape = ConvShape {
+        k: r.usize()?,
+        c: r.usize()?,
+        r: r.usize()?,
+        s: r.usize()?,
+        w: r.usize()?,
+        h: r.usize()?,
+        stride: r.usize()?,
+        pad: r.usize()?,
+        groups: r.usize()?,
+    };
+    shape.validate().map_err(|_| ArtifactError::new("invalid layer shape"))?;
+    Ok(shape)
+}
+
+fn put_scnn_config(w: &mut Writer, cfg: &ScnnConfig) {
+    w.usize(cfg.pe_rows);
+    w.usize(cfg.pe_cols);
+    w.usize(cfg.f);
+    w.usize(cfg.i);
+    w.usize(cfg.acc_banks);
+    w.usize(cfg.acc_bank_entries);
+    w.usize(cfg.iaram_bytes);
+    w.usize(cfg.oaram_bytes);
+    w.usize(cfg.weight_fifo_bytes);
+    w.usize(cfg.kc_max);
+    w.u8(match cfg.halo {
+        HaloStrategy::Output => 0,
+        HaloStrategy::Input => 1,
+    });
+}
+
+fn get_scnn_config(r: &mut Reader<'_>) -> Result<ScnnConfig, ArtifactError> {
+    let cfg = ScnnConfig {
+        pe_rows: r.usize()?,
+        pe_cols: r.usize()?,
+        f: r.usize()?,
+        i: r.usize()?,
+        acc_banks: r.usize()?,
+        acc_bank_entries: r.usize()?,
+        iaram_bytes: r.usize()?,
+        oaram_bytes: r.usize()?,
+        weight_fifo_bytes: r.usize()?,
+        kc_max: r.usize()?,
+        halo: match r.u8()? {
+            0 => HaloStrategy::Output,
+            1 => HaloStrategy::Input,
+            _ => return Err(ArtifactError::new("unknown halo strategy")),
+        },
+    };
+    if cfg.pe_rows == 0 || cfg.pe_cols == 0 || cfg.f == 0 || cfg.i == 0 || cfg.acc_banks == 0 {
+        return Err(ArtifactError::new("degenerate machine configuration"));
+    }
+    Ok(cfg)
+}
+
+/// Serializes a compiled layer into a self-contained payload (no header —
+/// the store frames payloads with version/key/checksum).
+#[must_use]
+pub fn encode_layer(layer: &AnyCompiledLayer) -> Vec<u8> {
+    let mut w = Writer::default();
+    match layer {
+        AnyCompiledLayer::Scnn(l) => {
+            w.u8(TAG_SCNN);
+            put_scnn_config(&mut w, &l.config);
+            put_shape(&mut w, &l.shape);
+            w.usize(l.weight_bits);
+            w.usize(l.groups.len());
+            for g in &l.groups {
+                w.usize(g.wt.entries.len());
+                for e in &g.wt.entries {
+                    w.u16(e.k);
+                    w.u16(e.r);
+                    w.u16(e.s);
+                    w.f32(e.v);
+                }
+                w.usize(g.wt.blocks.len());
+                for b in &g.wt.blocks {
+                    w.u32(b.off);
+                    w.u32(b.len);
+                    w.u32(b.stored);
+                }
+            }
+        }
+        AnyCompiledLayer::Dcnn(l) => {
+            w.u8(TAG_DCNN);
+            let cfg = l.config();
+            w.usize(cfg.num_pes);
+            w.usize(cfg.multipliers_per_pe);
+            w.usize(cfg.sram_bytes);
+            w.u8(u8::from(cfg.optimized));
+            put_shape(&mut w, l.shape());
+            w.usize(l.weight_nnz());
+            w.f64(l.weight_density());
+            let taps = l.tap_k_nnz();
+            w.usize(taps.len());
+            for &t in taps {
+                w.u32(t);
+            }
+        }
+    }
+    w.buf
+}
+
+/// Decodes a payload produced by [`encode_layer`], reconstructing all
+/// derived state (tiling, partitions, staged kernel operands, cycle
+/// schedules) through the same code paths compilation uses.
+///
+/// # Errors
+///
+/// Returns [`ArtifactError`] on any truncation, unknown tag, shape or
+/// structural inconsistency; the caller falls back to recompiling.
+pub fn decode_layer(bytes: &[u8]) -> Result<AnyCompiledLayer, ArtifactError> {
+    let mut r = Reader::new(bytes);
+    let layer = match r.u8()? {
+        TAG_SCNN => AnyCompiledLayer::Scnn(decode_scnn(&mut r)?),
+        TAG_DCNN => AnyCompiledLayer::Dcnn(decode_dcnn(&mut r)?),
+        _ => return Err(ArtifactError::new("unknown backend tag")),
+    };
+    r.finish()?;
+    Ok(layer)
+}
+
+fn decode_scnn(r: &mut Reader<'_>) -> Result<CompiledLayer, ArtifactError> {
+    let cfg = get_scnn_config(r)?;
+    let shape = get_shape(r)?;
+    let weight_bits = r.usize()?;
+    let n_groups = r.usize()?;
+    if n_groups != shape.groups {
+        return Err(ArtifactError::new("group count does not match shape"));
+    }
+
+    let lg = derive_layer_geometry(&cfg, &shape);
+    let expected_blocks = lg.subs.len() * lg.partition.len() * shape.c_per_group();
+    let kpg = shape.k_per_group();
+
+    let mut groups = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        let n_entries = r.usize()?;
+        // Each entry is 10 bytes on the wire; reject fabricated counts
+        // before reserving.
+        if n_entries > bytes_remaining(r) / 10 {
+            return Err(ArtifactError::new("entry count exceeds payload"));
+        }
+        let mut wt: Arena<WtEntry> = Arena::default();
+        wt.entries.reserve_exact(n_entries);
+        for _ in 0..n_entries {
+            let e = WtEntry { k: r.u16()?, r: r.u16()?, s: r.u16()?, v: r.f32()? };
+            if usize::from(e.k) >= kpg || u32::from(e.r) >= (1 << 10) || u32::from(e.s) >= (1 << 10)
+            {
+                return Err(ArtifactError::new("weight entry coordinates out of range"));
+            }
+            wt.entries.push(e);
+        }
+        let n_blocks = r.usize()?;
+        if n_blocks != expected_blocks {
+            return Err(ArtifactError::new("block table does not match derived geometry"));
+        }
+        wt.blocks.reserve_exact(n_blocks);
+        let mut next = 0u32;
+        for _ in 0..n_blocks {
+            let b = BlockRef { off: r.u32()?, len: r.u32()?, stored: r.u32()? };
+            // Blocks must tile the entry arena contiguously in order —
+            // the staged-operand table relies on it.
+            if b.off != next || u64::from(b.off) + u64::from(b.len) > n_entries as u64 {
+                return Err(ArtifactError::new("block table is not contiguous"));
+            }
+            next = b.off + b.len;
+            wt.blocks.push(b);
+        }
+        if next as usize != n_entries {
+            return Err(ArtifactError::new("block table does not cover the entry arena"));
+        }
+        let mut group = CompiledGroup {
+            subs: lg.subs.clone(),
+            r_max: lg.r_max,
+            s_max: lg.s_max,
+            partition: lg.partition.clone(),
+            wt,
+            prep: Vec::new(),
+        };
+        group.rebuild_prep();
+        groups.push(group);
+    }
+
+    Ok(CompiledLayer { config: cfg, shape, tiling: lg.tiling, groups, weight_bits })
+}
+
+fn decode_dcnn(r: &mut Reader<'_>) -> Result<DcnnCompiledLayer, ArtifactError> {
+    let cfg = DcnnConfig {
+        num_pes: r.usize()?,
+        multipliers_per_pe: r.usize()?,
+        sram_bytes: r.usize()?,
+        optimized: match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(ArtifactError::new("invalid optimized flag")),
+        },
+    };
+    if cfg.num_pes == 0 || cfg.multipliers_per_pe == 0 {
+        return Err(ArtifactError::new("degenerate machine configuration"));
+    }
+    let shape = get_shape(r)?;
+    let weight_nnz = r.usize()?;
+    if weight_nnz > shape.weight_count() {
+        return Err(ArtifactError::new("weight nnz exceeds tensor size"));
+    }
+    let weight_density = r.f64()?;
+    if !(0.0..=1.0).contains(&weight_density) {
+        return Err(ArtifactError::new("weight density out of range"));
+    }
+    let n_taps = r.usize()?;
+    if n_taps != shape.groups * shape.c_per_group() * shape.r * shape.s {
+        return Err(ArtifactError::new("tap census does not match shape"));
+    }
+    let mut tap_k_nnz = Vec::with_capacity(n_taps);
+    for _ in 0..n_taps {
+        let t = r.u32()?;
+        if t as usize > shape.k_per_group() {
+            return Err(ArtifactError::new("tap census exceeds group channels"));
+        }
+        tap_k_nnz.push(t);
+    }
+    Ok(DcnnCompiledLayer::from_artifact(cfg, shape, weight_nnz, weight_density, tap_k_nnz))
+}
+
+fn bytes_remaining(r: &Reader<'_>) -> usize {
+    r.buf.len() - r.pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DcnnMachine;
+    use crate::machine::{RunOptions, ScnnMachine};
+    use crate::workspace::SimWorkspace;
+    use scnn_model::{synth_layer_input, synth_weights};
+
+    fn scnn_layer() -> AnyCompiledLayer {
+        let shape = ConvShape::new(16, 8, 3, 3, 24, 24).with_pad(1).with_groups(2);
+        let weights = synth_weights(&shape, 0.35, 42);
+        let machine = ScnnMachine::new(ScnnConfig::default());
+        AnyCompiledLayer::Scnn(machine.compile_layer(&shape, &weights))
+    }
+
+    fn dcnn_layer() -> AnyCompiledLayer {
+        let shape = ConvShape::new(8, 3, 11, 11, 31, 31).with_stride(4);
+        let weights = synth_weights(&shape, 0.5, 7);
+        let machine = DcnnMachine::new(DcnnConfig::default());
+        AnyCompiledLayer::Dcnn(machine.compile_layer(&shape, &weights))
+    }
+
+    #[test]
+    fn scnn_roundtrip_is_bit_identical_in_bytes_and_behaviour() {
+        let original = scnn_layer();
+        let bytes = encode_layer(&original);
+        let decoded = decode_layer(&bytes).expect("decode");
+        // Canonical-form fixpoint: re-encoding the decoded layer must
+        // reproduce the payload byte for byte.
+        assert_eq!(encode_layer(&decoded), bytes);
+
+        // Behavioural identity: executing the loaded layer reproduces the
+        // freshly compiled layer's result exactly.
+        let (AnyCompiledLayer::Scnn(a), AnyCompiledLayer::Scnn(b)) = (&original, &decoded) else {
+            panic!("backend mismatch");
+        };
+        let input = synth_layer_input(a.shape(), 0.5, 43);
+        let machine = ScnnMachine::new(ScnnConfig::default());
+        let mut ws = SimWorkspace::new();
+        let ra = machine.execute_layer_with(a, &input, &RunOptions::default(), &mut ws);
+        let rb = machine.execute_layer_with(b, &input, &RunOptions::default(), &mut ws);
+        assert_eq!(ra.cycles, rb.cycles);
+        assert_eq!(ra.stats, rb.stats);
+        assert_eq!(ra.energy.total(), rb.energy.total());
+    }
+
+    #[test]
+    fn dcnn_roundtrip_is_bit_identical_in_bytes() {
+        let original = dcnn_layer();
+        let bytes = encode_layer(&original);
+        let decoded = decode_layer(&bytes).expect("decode");
+        assert_eq!(encode_layer(&decoded), bytes);
+        let (AnyCompiledLayer::Dcnn(a), AnyCompiledLayer::Dcnn(b)) = (&original, &decoded) else {
+            panic!("backend mismatch");
+        };
+        assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.weight_nnz(), b.weight_nnz());
+        assert_eq!(a.weight_density().to_bits(), b.weight_density().to_bits());
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected_not_panicked() {
+        let bytes = encode_layer(&scnn_layer());
+        // Truncations at every framing-sensitive prefix length.
+        for cut in [0, 1, 8, 40, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_layer(&bytes[..cut]).is_err(), "truncation at {cut} accepted");
+        }
+        // Unknown backend tag.
+        let mut bad = bytes.clone();
+        bad[0] = 9;
+        assert!(decode_layer(&bad).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_layer(&long).is_err());
+        // A fabricated entry count cannot trigger a huge reserve.
+        let mut counts = bytes;
+        // tag + config (10 u64 + halo u8) + shape (9 u64) + weight_bits +
+        // group count = first group's entry count.
+        let n_pos = 1 + 81 + 72 + 8 + 8;
+        counts[n_pos..n_pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_layer(&counts).is_err());
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        let bytes = encode_layer(&dcnn_layer());
+        let h = checksum(&bytes);
+        assert_eq!(h, checksum(&bytes), "checksum must be deterministic");
+        let mut flipped = bytes.clone();
+        flipped[bytes.len() / 2] ^= 0x10;
+        assert_ne!(h, checksum(&flipped), "bit flip must change the checksum");
+        // Length participates: a zero-padded extension differs.
+        let mut padded = bytes;
+        padded.push(0);
+        assert_ne!(h, checksum(&padded));
+    }
+}

@@ -19,7 +19,7 @@
 //! [`ScnnMachine::compile_layer`]: crate::ScnnMachine::compile_layer
 //! [`ScnnMachine::execute_layer`]: crate::ScnnMachine::execute_layer
 
-use crate::phase::WtEntry;
+use crate::phase::{pack_weights, PackedWt, WtEntry};
 use crate::subconv::SubConv;
 use crate::tiling::PlaneTiling;
 use scnn_arch::ScnnConfig;
@@ -90,6 +90,10 @@ pub(crate) struct CompiledGroup {
     /// Flat weight-entry arena; block `(sub, ocg, c)` lives at index
     /// `(sub * partition.len() + ocg) * cpg + c`.
     pub(crate) wt: Arena<WtEntry>,
+    /// Phase-kernel staging of `wt.entries` (same order, same `BlockRef`
+    /// table): the per-phase prep rebuild hoisted to compile time, since
+    /// weights don't change per image.
+    pub(crate) prep: Vec<PackedWt>,
 }
 
 impl CompiledGroup {
@@ -97,6 +101,26 @@ impl CompiledGroup {
     #[inline]
     pub(crate) fn wt_index(&self, sub: usize, ocg: usize, cpg: usize, c: usize) -> usize {
         (sub * self.partition.len() + ocg) * cpg + c
+    }
+
+    /// (Re)derives the staged kernel operands from the canonical weight
+    /// arena. Called once at compile time and again on artifact load —
+    /// the artifact stores only the canonical arena, so both paths run
+    /// the same derivation and cannot drift.
+    pub(crate) fn rebuild_prep(&mut self) {
+        self.prep.clear();
+        self.prep.reserve(self.wt.entries.len());
+        for b in &self.wt.blocks {
+            let entries = &self.wt.entries[b.off as usize..(b.off + b.len) as usize];
+            pack_weights(entries, &mut self.prep);
+        }
+    }
+
+    /// The staged entries of weight block `idx`.
+    #[inline]
+    pub(crate) fn prep_block(&self, idx: usize) -> &[PackedWt] {
+        let b = self.wt.blocks[idx];
+        &self.prep[b.off as usize..(b.off + b.len) as usize]
     }
 }
 

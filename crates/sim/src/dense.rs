@@ -169,6 +169,30 @@ impl DcnnCompiledLayer {
     pub fn weight_dram_words(&self) -> f64 {
         self.shape.weight_count() as f64
     }
+
+    /// The per-tap non-zero census (artifact serialization reads it; see
+    /// [`crate::artifact`]).
+    pub(crate) fn tap_k_nnz(&self) -> &[u32] {
+        &self.tap_k_nnz
+    }
+
+    /// Reconstructs a compiled layer from its artifact payload: the
+    /// weight-derived census is taken verbatim, the geometry-only cycle
+    /// schedule is recomputed through the same tile walk
+    /// [`DcnnMachine::compile_layer`] runs — loaded and freshly-compiled
+    /// layers cannot drift.
+    pub(crate) fn from_artifact(
+        config: DcnnConfig,
+        shape: ConvShape,
+        weight_nnz: usize,
+        weight_density: f64,
+        tap_k_nnz: Vec<u32>,
+    ) -> Self {
+        let tiling = dense_tiling(&config, &shape);
+        let pe_cycles = dense_pe_cycles(&config, &shape, &tiling);
+        let cycles = pe_cycles.iter().copied().max().unwrap_or(0);
+        Self { config, shape, pe_cycles, cycles, weight_nnz, weight_density, tap_k_nnz }
+    }
 }
 
 /// The dense DCNN / DCNN-opt accelerator model.

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod artifact;
 mod backend;
 mod compiled;
 mod dense;
@@ -66,7 +67,8 @@ pub use dense::{DcnnCompiledLayer, DcnnMachine, OperandProfile};
 pub use machine::{RunOptions, ScnnMachine};
 pub use oracle::oracle_cycles;
 pub use phase::{
-    bank_of, build_bank_lut, run_phase, ActEntry, PhaseGeom, PhaseOutcome, PhaseScratch, WtEntry,
+    bank_of, build_bank_lut, pack_weights, run_phase, ActEntry, PackedWt, PhaseGeom, PhaseOutcome,
+    PhaseScratch, WtEntry,
 };
 pub use stats::{Footprints, LayerResult, LayerStats};
 pub use subconv::{decompose, sub_acts, sub_weights, SubConv};

@@ -121,16 +121,8 @@ impl ScnnMachine {
         );
 
         let cfg = &self.config;
-        let (out_w, out_h) = (shape.out_w(), shape.out_h());
-        // Halo extents of the widest stride-1 sub-filter.
-        let halo_w = shape.r.div_ceil(shape.stride) - 1;
-        let halo_h = shape.s.div_ceil(shape.stride) - 1;
-        let input_halos = matches!(cfg.halo, HaloStrategy::Input);
-        // With output halos the *padded input* plane is partitioned (work
-        // balance); with input halos outputs are partitioned directly and
-        // each PE's input fetch is extended (replicated) instead.
-        let (th_w, th_h) = if input_halos { (0, 0) } else { (halo_w, halo_h) };
-        let tiling = PlaneTiling::new(out_w, out_h, cfg.pe_rows, cfg.pe_cols, th_w, th_h);
+        let lg = derive_layer_geometry(cfg, shape);
+        let ocgs = lg.partition.len();
 
         let kpg = shape.k_per_group();
         let cpg = shape.c_per_group();
@@ -141,28 +133,16 @@ impl ScnnMachine {
             let gshape = shape.group_view();
             let gweights = slice_weights_k(weights, g * kpg, kpg);
 
-            let subs = decompose(&gshape);
-            let r_max = subs.iter().map(|s| s.r).max().expect("at least one sub-conv");
-            let s_max = subs.iter().map(|s| s.s).max().expect("at least one sub-conv");
-            let (mtw, mth) = tiling.max_out_dims();
-            // The accumulator covers own outputs plus the halo region
-            // under output halos, and own outputs only under input halos.
-            let acc_elems =
-                if input_halos { mtw * mth } else { (mtw + r_max - 1) * (mth + s_max - 1) };
-            let kc = cfg.kc_for(kpg, acc_elems, r_max * s_max);
-            let partition = scnn_tensor::OcgPartition::new(kpg, kc);
-            let ocgs = partition.len();
-
             // Compress weights per sub-convolution at OCG granularity and
             // flatten the non-zero entry lists the FIFO will deliver into
             // one arena: block (sub, ocg, c) at (sub*ocgs + ocg)*cpg + c.
             let mut wt: Arena<WtEntry> = Arena::default();
-            for sub in &subs {
+            for sub in &lg.subs {
                 let sw = crate::subconv::sub_weights(&gshape, &gweights, sub);
-                let cw = CompressedWeights::compress(&sw, &partition);
+                let cw = CompressedWeights::compress(&sw, &lg.partition);
                 weight_bits += cw.storage_bits();
                 for ocg in 0..ocgs {
-                    let (k_start, _) = partition.group(ocg);
+                    let (k_start, _) = lg.partition.group(ocg);
                     for c in 0..cpg {
                         let off = wt.entries.len() as u32;
                         for (coord, v) in cw.iter_block(ocg, c) {
@@ -182,10 +162,19 @@ impl ScnnMachine {
                 }
             }
 
-            groups.push(CompiledGroup { subs, r_max, s_max, partition, wt });
+            let mut group = CompiledGroup {
+                subs: lg.subs.clone(),
+                r_max: lg.r_max,
+                s_max: lg.s_max,
+                partition: lg.partition.clone(),
+                wt,
+                prep: Vec::new(),
+            };
+            group.rebuild_prep();
+            groups.push(group);
         }
 
-        CompiledLayer { config: self.config, shape: *shape, tiling, groups, weight_bits }
+        CompiledLayer { config: self.config, shape: *shape, tiling: lg.tiling, groups, weight_bits }
     }
 
     /// Executes one layer and returns cycles, energy, statistics and the
@@ -387,7 +376,7 @@ impl ScnnMachine {
                 let account = lo == base;
                 fill_group_padded(padded, input, g * cpg, cpg, shape.pad);
 
-                let CompiledGroup { subs, r_max, s_max, partition, wt } = compiled;
+                let CompiledGroup { subs, r_max, s_max, partition, wt, .. } = compiled;
                 let (r_max, s_max) = (*r_max, *s_max);
                 let n_subs = subs.len();
 
@@ -482,15 +471,16 @@ impl ScnnMachine {
                             for c in 0..cpg {
                                 let (a_entries, a_stored) =
                                     acts_ref.block((si * pes + pe) * cpg + c);
-                                let (w_entries, w_stored) =
-                                    wt.block(compiled.wt_index(si, ocg, cpg, c));
+                                let widx = compiled.wt_index(si, ocg, cpg, c);
+                                let w_stored = wt.blocks[widx].stored as usize;
                                 if a_stored == 0 || w_stored == 0 {
                                     continue;
                                 }
+                                let w_prep = compiled.prep_block(widx);
                                 let ph = run_phase(
                                     a_entries,
                                     a_stored,
-                                    w_entries,
+                                    w_prep,
                                     w_stored,
                                     &geom,
                                     &mut scratch.acc,
@@ -657,6 +647,50 @@ impl ScnnMachine {
             output_density,
         }
     }
+}
+
+/// Geometry a compiled layer derives from `(config, shape)` alone — no
+/// weight values involved. Shared between [`ScnnMachine::compile_layer`]
+/// and the artifact loader, so a deserialized layer reconstructs *derived*
+/// state through exactly the code that built it.
+pub(crate) struct LayerGeometry {
+    /// Planar tiling of the output plane across the PE array.
+    pub(crate) tiling: PlaneTiling,
+    /// Stride-1 sub-convolutions of the group-view shape (identical for
+    /// every filter group).
+    pub(crate) subs: Vec<crate::subconv::SubConv>,
+    /// Widest sub-filter extent along `W`.
+    pub(crate) r_max: usize,
+    /// Widest sub-filter extent along `H`.
+    pub(crate) s_max: usize,
+    /// Output-channel-group partition of one filter group.
+    pub(crate) partition: scnn_tensor::OcgPartition,
+}
+
+/// Derives the weight-independent compiled-layer geometry.
+pub(crate) fn derive_layer_geometry(cfg: &ScnnConfig, shape: &ConvShape) -> LayerGeometry {
+    let (out_w, out_h) = (shape.out_w(), shape.out_h());
+    // Halo extents of the widest stride-1 sub-filter.
+    let halo_w = shape.r.div_ceil(shape.stride) - 1;
+    let halo_h = shape.s.div_ceil(shape.stride) - 1;
+    let input_halos = matches!(cfg.halo, HaloStrategy::Input);
+    // With output halos the *padded input* plane is partitioned (work
+    // balance); with input halos outputs are partitioned directly and
+    // each PE's input fetch is extended (replicated) instead.
+    let (th_w, th_h) = if input_halos { (0, 0) } else { (halo_w, halo_h) };
+    let tiling = PlaneTiling::new(out_w, out_h, cfg.pe_rows, cfg.pe_cols, th_w, th_h);
+
+    let gshape = shape.group_view();
+    let subs = decompose(&gshape);
+    let r_max = subs.iter().map(|s| s.r).max().expect("at least one sub-conv");
+    let s_max = subs.iter().map(|s| s.s).max().expect("at least one sub-conv");
+    let (mtw, mth) = tiling.max_out_dims();
+    // The accumulator covers own outputs plus the halo region under
+    // output halos, and own outputs only under input halos.
+    let acc_elems = if input_halos { mtw * mth } else { (mtw + r_max - 1) * (mth + s_max - 1) };
+    let kc = cfg.kc_for(shape.k_per_group(), acc_elems, r_max * s_max);
+    let partition = scnn_tensor::OcgPartition::new(shape.k_per_group(), kc);
+    LayerGeometry { tiling, subs, r_max, s_max, partition }
 }
 
 /// Copies output channels `[k0, k0+kn)` into a standalone weight tensor.

@@ -10,6 +10,14 @@
 //! bank's demand (the paper sizes `A = 2*F*I` precisely so contention is
 //! rarely the bottleneck, §IV).
 //!
+//! The kernel is organised for throughput, not per-product bookkeeping:
+//! weights live compile-time packed ([`PackedWt`], one `u32` of
+//! coordinates plus the value — 8 bytes per entry through every
+//! per-image re-stream), and each phase unpacks its block once into
+//! window-relative staged form (output-channel offset pre-multiplied),
+//! so the product loop pays one multiply, two unsigned compares and a
+//! well-predicted branch per product — nothing else.
+//!
 //! The per-bank demand histogram lives in a [`PhaseScratch`] that is
 //! *logically* cleared per phase but *physically* reset lazily via epoch
 //! tags, and the busiest bank is tracked incrementally as products land —
@@ -37,6 +45,42 @@ pub struct WtEntry {
     pub s: u16,
     /// Value.
     pub v: f32,
+}
+
+/// One compile-time-staged weight: `(k, r, s)` packed into a single `u32`
+/// (`k` in bits 20.., `r` in bits 10..20, `s` in bits 0..10) next to the
+/// value — 8 bytes per entry, half the staged footprint of the widened
+/// form it replaces, so twice as many weights ride per cache line through
+/// the Cartesian-product loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackedWt {
+    krs: u32,
+    v: f32,
+}
+
+const KRS_S_BITS: u32 = 10;
+const KRS_R_BITS: u32 = 10;
+const KRS_COORD_MASK: u32 = (1 << KRS_S_BITS) - 1;
+
+/// Packs a weight block into the staged [`PackedWt`] form, appending to
+/// `out` (entry order is preserved — the accumulation order of the phase
+/// kernel follows it).
+///
+/// # Panics
+///
+/// Panics if a channel offset exceeds 12 bits or a tap coordinate
+/// exceeds 10 bits (no practical layer geometry approaches either).
+pub fn pack_weights(wts: &[WtEntry], out: &mut Vec<PackedWt>) {
+    out.reserve(wts.len());
+    for w in wts {
+        assert!(u32::from(w.k) < (1 << 12), "channel offset exceeds packed width");
+        assert!(u32::from(w.r) >> KRS_R_BITS == 0, "tap r exceeds packed width");
+        assert!(u32::from(w.s) >> KRS_S_BITS == 0, "tap s exceeds packed width");
+        let krs = (u32::from(w.k) << (KRS_R_BITS + KRS_S_BITS))
+            | (u32::from(w.r) << KRS_S_BITS)
+            | u32::from(w.s);
+        out.push(PackedWt { krs, v: w.v });
+    }
 }
 
 /// Static geometry of a phase: the PE's accumulator window and the output
@@ -85,17 +129,19 @@ pub struct PhaseOutcome {
 }
 
 /// Reusable phase scratch: the per-bank demand histogram (epoch-tagged
-/// lazy reset) and the staged weight operands.
+/// lazy reset) and the per-phase window-relative weight staging.
 ///
 /// A phase begins by bumping the epoch instead of zeroing all `A` bank
 /// counters; each bank packs `(epoch, count)` into one word, and a count
 /// is live only while its epoch half matches the current epoch — one
 /// load and one store per product instead of a full `fill(0)` per phase.
-/// Weights are staged once per phase with their channel offset
-/// pre-multiplied, hoisting that work out of the Cartesian product loop.
-/// Because the scratch is addressed by PE (not by worker thread), a PE
-/// observes the same scratch state for the same phase sequence at any
-/// thread count — reuse is deterministic.
+/// Staging unpacks each [`PackedWt`] once per phase with the
+/// output-channel offset pre-multiplied by *this PE's* accumulator
+/// window, so the product loop pays one multiply per product instead of
+/// two — the unpack is `O(|wts|)` against the loop's
+/// `O(|acts| * |wts|)`. Because the scratch is addressed by PE (not by
+/// worker thread), a PE observes the same scratch state for the same
+/// phase sequence at any thread count — reuse is deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct PhaseScratch {
     /// Per-bank `(epoch << 32) | count` words.
@@ -190,12 +236,14 @@ pub fn build_bank_lut(geom: &PhaseGeom, kc: usize, lut: &mut Vec<u16>) {
 
 /// Executes one phase: multiplies every non-zero activation against every
 /// non-zero weight, accumulates in-window products into `acc` (laid out
-/// `[kc][acc_w][acc_h]`), tallies per-bank demand in `bank` through the
+/// `[kc][acc_w][acc_h]`), tallies per-bank demand through the
 /// position→bank table `lut` (see [`build_bank_lut`]), and returns the
 /// cycle accounting.
 ///
 /// `stored_acts` / `stored_wts` are the RAM-resident element counts
 /// (non-zeros plus zero placeholders) that determine vector slots.
+/// Weights arrive pre-packed (see [`pack_weights`]); entry order fixes
+/// the accumulation order (activations outer, weights inner).
 ///
 /// # Panics
 ///
@@ -208,7 +256,7 @@ pub fn build_bank_lut(geom: &PhaseGeom, kc: usize, lut: &mut Vec<u16>) {
 pub fn run_phase(
     acts: &[ActEntry],
     stored_acts: usize,
-    wts: &[WtEntry],
+    wts: &[PackedWt],
     stored_wts: usize,
     geom: &PhaseGeom,
     acc: &mut [f32],
@@ -229,32 +277,63 @@ pub fn run_phase(
     // the caller meant to discard.
     assert_eq!(geom.acc_w, geom.x1 - geom.acc_x0, "window width != x1 - acc_x0");
     assert_eq!(geom.acc_h, geom.y1 - geom.acc_y0, "window height != y1 - acc_y0");
-    let acc_x0 = geom.acc_x0 as i32;
-    let acc_y0 = geom.acc_y0 as i32;
-    let acc_w = geom.acc_w;
-    let acc_h = geom.acc_h;
-    let (acc_w_u, acc_h_u) = (acc_w as u32, acc_h as u32);
-    let mut valid = 0u64;
-    let mut busiest = 0u32;
 
-    let PhaseScratch { words, epoch, prep } = scratch;
-    let ep = *epoch;
-    prep.clear();
-    prep.extend(wts.iter().map(|w| PreppedWt {
-        k_off: w.k as u32 * (acc_w * acc_h) as u32,
-        r: i32::from(w.r),
-        s: i32::from(w.s),
-        v: w.v,
-    }));
     // `lut` mirrors `acc`'s layout; re-slicing it to `acc`'s length lets
     // the compiler drop its bounds check behind `acc[idx]`'s.
     let lut = &lut[..acc.len()];
+
+    // Stage this block's packed weights against this PE's window: one
+    // `O(|wts|)` unpack buys a product loop with one multiply and no
+    // shifts per product.
+    let win = (geom.acc_w * geom.acc_h) as u32;
+    let PhaseScratch { words, epoch, prep } = scratch;
+    prep.clear();
+    prep.extend(wts.iter().map(|w| {
+        let krs = w.krs;
+        PreppedWt {
+            k_off: (krs >> (KRS_R_BITS + KRS_S_BITS)) * win,
+            r: ((krs >> KRS_S_BITS) & KRS_COORD_MASK) as i32,
+            s: (krs & KRS_COORD_MASK) as i32,
+            v: w.v,
+        }
+    }));
+
+    let (valid, busiest) = phase_products(acts, prep, geom, acc, lut, words, *epoch);
+
+    let cycles = pairs.max(u64::from(busiest));
+    PhaseOutcome { cycles, pairs, products, valid, bank_stall: cycles - pairs }
+}
+
+/// The Cartesian product loop: two unsigned compares skip out-of-window
+/// products before they touch memory (window membership is spatially
+/// coherent, so the branch predicts essentially perfectly — a
+/// bounding-box-gated compare-free specialization was measured and
+/// removed: its per-phase qualification scan cost more than the
+/// predicted branch it saved).
+///
+/// Activation order is outer, weight-entry order inner — the f32
+/// accumulation order per `acc[idx]` is exactly the scalar kernel's.
+fn phase_products(
+    acts: &[ActEntry],
+    prep: &[PreppedWt],
+    geom: &PhaseGeom,
+    acc: &mut [f32],
+    lut: &[u16],
+    words: &mut [u64],
+    ep: u64,
+) -> (u64, u32) {
+    let acc_x0 = geom.acc_x0 as i32;
+    let acc_y0 = geom.acc_y0 as i32;
+    let acc_h = geom.acc_h;
+    let (acc_w_u, acc_h_u) = (geom.acc_w as u32, geom.acc_h as u32);
+    let mut valid = 0u64;
+    let mut busiest = 0u32;
 
     for a in acts {
         let ax0 = i32::from(a.x) - acc_x0;
         let ay0 = i32::from(a.y) - acc_y0;
         let av = a.v;
-        for w in prep.iter() {
+        for w in prep {
             let dx = ax0 - w.r;
             let dy = ay0 - w.s;
             if (dx as u32) < acc_w_u && (dy as u32) < acc_h_u {
@@ -271,9 +350,7 @@ pub fn run_phase(
             }
         }
     }
-
-    let cycles = pairs.max(u64::from(busiest));
-    PhaseOutcome { cycles, pairs, products, valid, bank_stall: cycles - pairs }
+    (valid, busiest)
 }
 
 #[cfg(test)]
@@ -297,6 +374,56 @@ mod tests {
         }
     }
 
+    /// Stages a weight block the way `CompiledLayer` does at compile
+    /// time.
+    fn staged(wts: &[WtEntry]) -> Vec<PackedWt> {
+        let mut p = Vec::new();
+        pack_weights(wts, &mut p);
+        p
+    }
+
+    /// The scalar reference kernel the restructured loop must match
+    /// bit-for-bit (branchy window test, fused bank tally).
+    #[allow(clippy::too_many_arguments)]
+    fn reference_phase(
+        acts: &[ActEntry],
+        stored_acts: usize,
+        wts: &[WtEntry],
+        stored_wts: usize,
+        geom: &PhaseGeom,
+        acc: &mut [f32],
+        lut: &[u16],
+    ) -> PhaseOutcome {
+        if stored_acts == 0 || stored_wts == 0 {
+            return PhaseOutcome::default();
+        }
+        let pairs = (stored_wts.div_ceil(geom.f) * stored_acts.div_ceil(geom.i)) as u64;
+        let products = (acts.len() * wts.len()) as u64;
+        let mut counts = vec![0u32; geom.banks];
+        let mut valid = 0u64;
+        let mut busiest = 0u32;
+        for a in acts {
+            let ax0 = i32::from(a.x) - geom.acc_x0 as i32;
+            let ay0 = i32::from(a.y) - geom.acc_y0 as i32;
+            for w in wts {
+                let dx = ax0 - i32::from(w.r);
+                let dy = ay0 - i32::from(w.s);
+                if (dx as u32) < geom.acc_w as u32 && (dy as u32) < geom.acc_h as u32 {
+                    let idx = usize::from(w.k) * geom.acc_w * geom.acc_h
+                        + dx as usize * geom.acc_h
+                        + dy as usize;
+                    acc[idx] += a.v * w.v;
+                    let bank = usize::from(lut[idx]);
+                    counts[bank] += 1;
+                    busiest = busiest.max(counts[bank]);
+                    valid += 1;
+                }
+            }
+        }
+        let cycles = pairs.max(u64::from(busiest));
+        PhaseOutcome { cycles, pairs, products, valid, bank_stall: cycles - pairs }
+    }
+
     #[test]
     fn empty_operands_cost_nothing() {
         let geom = geom_1x1_plane(4);
@@ -316,7 +443,7 @@ mod tests {
         let mut lut = Vec::new();
         build_bank_lut(&geom, 1, &mut lut);
         let acts = [ActEntry { x: 2, y: 3, v: 2.0 }];
-        let wts = [WtEntry { k: 0, r: 1, s: 1, v: 0.5 }];
+        let wts = staged(&[WtEntry { k: 0, r: 1, s: 1, v: 0.5 }]);
         let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.products, 1);
         assert_eq!(out.valid, 1);
@@ -334,10 +461,11 @@ mod tests {
         build_bank_lut(&geom, 1, &mut lut);
         // Activation at x=0 with tap r=2: output x = -2 (invalid).
         let acts = [ActEntry { x: 0, y: 0, v: 1.0 }];
-        let wts = [WtEntry { k: 0, r: 2, s: 0, v: 1.0 }];
+        let wts = staged(&[WtEntry { k: 0, r: 2, s: 0, v: 1.0 }]);
         let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.products, 1);
         assert_eq!(out.valid, 0);
+        // The window stays untouched.
         assert!(acc.iter().all(|v| *v == 0.0));
         // The multiply still occupied a cycle.
         assert_eq!(out.cycles, 1);
@@ -354,7 +482,8 @@ mod tests {
         // 5 stored weights -> 2 F-vectors; 9 stored acts -> 3 I-vectors.
         let acts: Vec<ActEntry> =
             (0..9).map(|i| ActEntry { x: i as u16 % 8, y: i as u16 / 8, v: 1.0 }).collect();
-        let wts: Vec<WtEntry> = (0..5).map(|k| WtEntry { k, r: 0, s: 0, v: 1.0 }).collect();
+        let raw: Vec<WtEntry> = (0..5).map(|k| WtEntry { k, r: 0, s: 0, v: 1.0 }).collect();
+        let wts = staged(&raw);
         let out = run_phase(&acts, 9, &wts, 5, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.pairs, 2 * 3);
         assert_eq!(out.products, 45);
@@ -375,7 +504,7 @@ mod tests {
         // 8 weights, all k=0 r=0 s=0 is impossible in one block; use k=0
         // with 8 act copies instead.
         let acts8: Vec<ActEntry> = (0..8).map(|_| acts[0]).collect();
-        let wts = [WtEntry { k: 0, r: 0, s: 0, v: 1.0 }];
+        let wts = staged(&[WtEntry { k: 0, r: 0, s: 0, v: 1.0 }]);
         let out = run_phase(&acts8, 8, &wts, 1, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.pairs, 2); // ceil(1/4)*ceil(8/4)
         assert_eq!(out.valid, 8);
@@ -405,7 +534,7 @@ mod tests {
         let mut lut = Vec::new();
         build_bank_lut(&geom, 1, &mut lut);
         let acts = [ActEntry { x: 2, y: 2, v: 3.0 }];
-        let wts = [WtEntry { k: 0, r: 2, s: 2, v: 1.0 }];
+        let wts = staged(&[WtEntry { k: 0, r: 2, s: 2, v: 1.0 }]);
         let out = run_phase(&acts, 1, &wts, 1, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.valid, 1);
         assert_eq!(acc[0], 3.0); // halo position (0,0)
@@ -419,7 +548,7 @@ mod tests {
         let mut lut = Vec::new();
         build_bank_lut(&geom, 1, &mut lut);
         let acts = [ActEntry { x: 0, y: 0, v: 1.0 }];
-        let wts = [WtEntry { k: 0, r: 0, s: 0, v: 1.0 }];
+        let wts = staged(&[WtEntry { k: 0, r: 0, s: 0, v: 1.0 }]);
         // stored counts include placeholders: 5 stored but 1 non-zero.
         let out = run_phase(&acts, 5, &wts, 8, &geom, &mut acc, &lut, &mut bank);
         assert_eq!(out.products, 1);
@@ -433,8 +562,9 @@ mod tests {
         let geom = geom_1x1_plane(8);
         let acts: Vec<ActEntry> =
             (0..24).map(|i| ActEntry { x: i as u16 % 8, y: i as u16 / 8, v: 1.0 }).collect();
-        let wts: Vec<WtEntry> =
+        let raw: Vec<WtEntry> =
             (0..6).map(|k| WtEntry { k: k % 2, r: k / 2, s: 0, v: 0.5 }).collect();
+        let wts = staged(&raw);
         let mut lut = Vec::new();
         build_bank_lut(&geom, 2, &mut lut);
         let mut reused = PhaseScratch::new(32);
@@ -445,7 +575,107 @@ mod tests {
             let a = run_phase(&acts, 24, &wts, 6, &geom, &mut acc_a, &lut, &mut reused);
             let b = run_phase(&acts, 24, &wts, 6, &geom, &mut acc_b, &lut, &mut fresh);
             assert_eq!(a, b);
-            assert_eq!(acc_a, acc_b);
+            assert_eq!(acc_a[..128], acc_b[..128]);
+        }
+    }
+
+    #[test]
+    fn masked_path_matches_scalar_reference_bit_for_bit() {
+        // A windowed geometry (halo discards on every border) with a
+        // large ragged product mix; every outcome field and every
+        // accumulator bit must match the scalar reference kernel.
+        let geom = PhaseGeom {
+            f: 4,
+            i: 4,
+            banks: 32,
+            acc_x0: 3,
+            acc_y0: 2,
+            acc_w: 5,
+            acc_h: 6,
+            x1: 8,
+            y1: 8,
+            out_w: 12,
+            out_h: 12,
+            k_base: 4,
+        };
+        let kc = 3;
+        let mut lut = Vec::new();
+        build_bank_lut(&geom, kc, &mut lut);
+        let mut state = 0x1234_5678_u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        // 71 acts and 13 weights: a ragged mix of in- and out-of-window
+        // products.
+        let acts: Vec<ActEntry> = (0..71)
+            .map(|_| ActEntry {
+                x: (rnd() % 11) as u16,
+                y: (rnd() % 11) as u16,
+                v: rnd() as f32 / u32::MAX as f32 - 0.5,
+            })
+            .collect();
+        let raw: Vec<WtEntry> = (0..13)
+            .map(|_| WtEntry {
+                k: (rnd() % kc as u32) as u16,
+                r: (rnd() % 3) as u16,
+                s: (rnd() % 3) as u16,
+                v: rnd() as f32 / u32::MAX as f32 - 0.5,
+            })
+            .collect();
+        let wts = staged(&raw);
+        let real = kc * geom.acc_w * geom.acc_h;
+        let mut acc_new = vec![0.0; real];
+        let mut acc_ref = vec![0.0; real];
+        let mut scratch = PhaseScratch::new(32);
+        let got = run_phase(&acts, 71, &wts, 13, &geom, &mut acc_new, &lut, &mut scratch);
+        let want = reference_phase(&acts, 71, &raw, 13, &geom, &mut acc_ref, &lut);
+        assert_eq!(got, want);
+        assert_eq!(acc_new[..real], acc_ref[..]);
+        assert!(got.valid > 0 && got.valid < got.products, "mix must exercise the mask");
+    }
+
+    #[test]
+    fn fully_in_window_phase_matches_scalar_reference_bit_for_bit() {
+        // 1x1 taps over a full window: every product is in-window, so the
+        // window test never rejects — results must still match the
+        // reference.
+        let geom = geom_1x1_plane(8);
+        let kc = 4;
+        let mut lut = Vec::new();
+        build_bank_lut(&geom, kc, &mut lut);
+        let acts: Vec<ActEntry> = (0..40)
+            .map(|i| ActEntry { x: i as u16 % 8, y: (i * 3) as u16 % 8, v: 0.25 + i as f32 })
+            .collect();
+        let raw: Vec<WtEntry> =
+            (0..kc as u16).map(|k| WtEntry { k, r: 0, s: 0, v: 1.5 - f32::from(k) }).collect();
+        let wts = staged(&raw);
+        let real = kc * 64;
+        let mut acc_new = vec![0.0; real];
+        let mut acc_ref = vec![0.0; real];
+        let mut scratch = PhaseScratch::new(32);
+        let got = run_phase(&acts, 40, &wts, kc, &geom, &mut acc_new, &lut, &mut scratch);
+        let want = reference_phase(&acts, 40, &raw, kc, &geom, &mut acc_ref, &lut);
+        assert_eq!(got, want);
+        assert_eq!(got.valid, got.products, "mix must be wholly in-window");
+        assert_eq!(acc_new[..real], acc_ref[..]);
+    }
+
+    #[test]
+    fn packed_weights_preserve_entry_order_and_roundtrip_taps() {
+        let raw = [
+            WtEntry { k: 7, r: 3, s: 9, v: 1.0 },
+            WtEntry { k: 0, r: 0, s: 0, v: -2.0 },
+            WtEntry { k: 4095, r: 1023, s: 1023, v: 0.5 },
+        ];
+        let mut packed = Vec::new();
+        pack_weights(&raw, &mut packed);
+        assert_eq!(packed.len(), raw.len());
+        for (p, w) in packed.iter().zip(&raw) {
+            assert_eq!(p.krs >> 20, u32::from(w.k));
+            assert_eq!((p.krs >> 10) & 0x3FF, u32::from(w.r));
+            assert_eq!(p.krs & 0x3FF, u32::from(w.s));
+            assert_eq!(p.v, w.v);
         }
     }
 

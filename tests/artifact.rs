@@ -1,0 +1,183 @@
+//! Persistent compiled-model artifacts: round-trip fidelity and
+//! fallback behavior through the public [`scnn::artifact::ArtifactStore`]
+//! API.
+//!
+//! The store must never be able to change a simulated number: a warm
+//! load has to reproduce the cold compile byte for byte (checked via
+//! the canonical [`scnn_sim::artifact::encode_layer`] encoding and via
+//! executed results), and any damaged, truncated or version-skewed file
+//! has to degrade to a silent recompile that heals the artifact.
+
+use scnn::artifact::ArtifactStore;
+use scnn::batch::{BatchRun, CompiledNetwork};
+use scnn::runner::RunConfig;
+use scnn::scnn_model::{zoo, ConvLayer, DensityProfile, LayerDensity, Network};
+use scnn::scnn_sim::BackendKind;
+use scnn::scnn_tensor::ConvShape;
+use scnn_sim::artifact::encode_layer;
+use std::path::PathBuf;
+
+/// Ignore marker for tests that need optimized builds.
+macro_rules! heavy {
+    () => {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped in debug builds; run with --release -- --include-ignored");
+            return;
+        }
+    };
+}
+
+/// Fresh per-test artifact directory under the system temp dir.
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scnn-artifact-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_network() -> (Network, DensityProfile) {
+    let layers = vec![
+        ConvLayer::new("a", ConvShape::new(8, 3, 3, 3, 12, 12).with_pad(1)),
+        ConvLayer::new("b", ConvShape::new(6, 8, 3, 3, 12, 12).with_stride(2).with_pad(1)),
+        ConvLayer::new("c", ConvShape::new(8, 6, 1, 1, 6, 6)),
+    ];
+    let densities =
+        vec![LayerDensity::new(0.4, 0.9), LayerDensity::new(0.3, 0.6), LayerDensity::new(0.5, 0.5)];
+    (Network::new("tiny3", layers), DensityProfile::from_layers(densities))
+}
+
+/// Per-layer canonical artifact bytes — equality here is the byte-level
+/// round-trip claim.
+fn layer_bytes(compiled: &CompiledNetwork) -> Vec<Vec<u8>> {
+    compiled.layers.iter().map(|l| encode_layer(&l.compiled)).collect()
+}
+
+/// Executed per-layer results reduced to comparable bits.
+fn run_digest(compiled: &CompiledNetwork, batch: usize) -> Vec<(u64, u64, u64)> {
+    BatchRun::execute(compiled, batch)
+        .images
+        .iter()
+        .flat_map(|img| {
+            img.layers.iter().map(|l| {
+                let p = l.primary();
+                (p.cycles, p.energy_pj().to_bits(), p.counts.dram_words.to_bits())
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn round_trip_is_bit_identical_for_every_backend() {
+    let (net, profile) = tiny_network();
+    let dir = test_dir("tiny");
+    for backend in BackendKind::ALL {
+        let config = RunConfig::default().with_backend(backend);
+
+        let mut cold_store = ArtifactStore::at(&dir);
+        let cold = CompiledNetwork::compile_cached(&net, &profile, &config, &mut cold_store);
+        assert_eq!(cold_store.metrics().counter("artifact.misses"), 1, "{backend}: cold miss");
+        assert_eq!(cold_store.metrics().counter("artifact.hits"), 0, "{backend}: cold hit");
+        assert!(cold_store.metrics().counter("artifact.save_bytes") > 0, "{backend}: saved");
+
+        // A second store over the same directory simulates a new
+        // process: the compile must come back from disk.
+        let mut warm_store = ArtifactStore::at(&dir);
+        let warm = CompiledNetwork::compile_cached(&net, &profile, &config, &mut warm_store);
+        assert_eq!(warm_store.metrics().counter("artifact.hits"), 1, "{backend}: warm hit");
+        assert_eq!(warm_store.metrics().counter("artifact.misses"), 0, "{backend}: warm miss");
+        assert!(warm_store.metrics().counter("artifact.load_bytes") > 0, "{backend}: loaded");
+
+        assert_eq!(layer_bytes(&cold), layer_bytes(&warm), "{backend}: layer bytes diverged");
+        assert_eq!(run_digest(&cold, 2), run_digest(&warm, 2), "{backend}: results diverged");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "whole-zoo compilation; run in release")]
+fn every_zoo_network_round_trips_on_every_backend() {
+    heavy!();
+    let dir = test_dir("zoo");
+    for net in zoo::all_networks() {
+        let profile = DensityProfile::paper(&net).expect("zoo networks carry a paper profile");
+        for backend in BackendKind::ALL {
+            let config = RunConfig::default().with_backend(backend);
+            let mut cold_store = ArtifactStore::at(&dir);
+            let cold = CompiledNetwork::compile_cached(&net, &profile, &config, &mut cold_store);
+            assert_eq!(
+                cold_store.metrics().counter("artifact.misses"),
+                1,
+                "{}/{backend}: cold run must miss",
+                net.name()
+            );
+            let mut warm_store = ArtifactStore::at(&dir);
+            let warm = CompiledNetwork::compile_cached(&net, &profile, &config, &mut warm_store);
+            assert_eq!(
+                warm_store.metrics().counter("artifact.hits"),
+                1,
+                "{}/{backend}: warm run must hit",
+                net.name()
+            );
+            assert_eq!(
+                layer_bytes(&cold),
+                layer_bytes(&warm),
+                "{}/{backend}: loaded layers diverged from compiled layers",
+                net.name()
+            );
+            // One executed cross-check per zoo (AlexNet is the cheapest);
+            // byte equality above covers the rest — execution is a pure
+            // function of the compiled state.
+            if net.name() == "AlexNet" && backend == BackendKind::Scnn {
+                assert_eq!(run_digest(&cold, 1), run_digest(&warm, 1), "AlexNet results diverged");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaged_artifacts_fall_back_to_recompile_and_heal() {
+    let (net, profile) = tiny_network();
+    let config = RunConfig::default();
+    let dir = test_dir("damage");
+
+    let mut seed_store = ArtifactStore::at(&dir);
+    let reference = CompiledNetwork::compile_cached(&net, &profile, &config, &mut seed_store);
+    let reference_bytes = layer_bytes(&reference);
+    let path =
+        seed_store.artifact_path(&net, &profile, &config).expect("enabled store resolves a path");
+    let pristine = std::fs::read(&path).expect("artifact written");
+
+    // Each damaged variant must read as a miss, recompile to identical
+    // state, and heal the file back to the pristine bytes on save.
+    let mut corrupt_payload = pristine.clone();
+    *corrupt_payload.last_mut().unwrap() ^= 0xFF;
+    let mut version_skew = pristine.clone();
+    version_skew[8] ^= 0x01; // FORMAT_VERSION lives after the 8-byte magic
+    let truncated = pristine[..pristine.len() / 2].to_vec();
+    for (what, bytes) in [
+        ("corrupt payload", corrupt_payload),
+        ("version skew", version_skew),
+        ("truncation", truncated),
+    ] {
+        std::fs::write(&path, &bytes).unwrap();
+        let mut store = ArtifactStore::at(&dir);
+        let recompiled = CompiledNetwork::compile_cached(&net, &profile, &config, &mut store);
+        assert_eq!(store.metrics().counter("artifact.hits"), 0, "{what}: must not hit");
+        assert_eq!(store.metrics().counter("artifact.misses"), 1, "{what}: must miss");
+        assert_eq!(layer_bytes(&recompiled), reference_bytes, "{what}: recompile diverged");
+        assert_eq!(std::fs::read(&path).unwrap(), pristine, "{what}: save must heal the file");
+    }
+
+    // The healed file is a hit again.
+    let mut store = ArtifactStore::at(&dir);
+    let _ = CompiledNetwork::compile_cached(&net, &profile, &config, &mut store);
+    assert_eq!(store.metrics().counter("artifact.hits"), 1, "healed file must hit");
+
+    // A different seed is a different fingerprint: its own path, no
+    // spurious sharing with the artifact above.
+    let other = RunConfig { seed: 99, ..RunConfig::default() };
+    let other_path = store.artifact_path(&net, &profile, &other).unwrap();
+    assert_ne!(other_path, path, "different seed must map to a different artifact");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

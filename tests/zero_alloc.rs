@@ -17,7 +17,8 @@
 
 use scnn::scnn_arch::ScnnConfig;
 use scnn::scnn_model::{synth_layer_input, synth_weights};
-use scnn::scnn_sim::{RunOptions, ScnnMachine, SimWorkspace};
+use scnn::scnn_sim::artifact::{decode_layer, encode_layer};
+use scnn::scnn_sim::{AnyCompiledLayer, RunOptions, ScnnMachine, SimWorkspace};
 use scnn::scnn_tensor::ConvShape;
 use scnn_telemetry::{Arg, Recorder};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -109,4 +110,35 @@ fn steady_state_execute_layer_performs_zero_heap_allocations() {
         assert_eq!(best.1, 0, "shape {i}: steady-state execute_layer_with freed");
         assert!(rec.is_empty(), "shape {i}: disabled recorder must record nothing");
     }
+
+    // The artifact path must preserve the property: a layer that went
+    // through the persistent-store encoding (encode → decode, the exact
+    // bytes `ArtifactStore` writes to disk) executes with the same
+    // zero-allocation steady state as the freshly compiled original.
+    // This rides in the same test because the counter is process-global.
+    let shape = ConvShape::new(16, 8, 3, 3, 24, 24).with_pad(1).with_groups(2);
+    let machine = ScnnMachine::new(ScnnConfig::default());
+    let weights = synth_weights(&shape, 0.4, 920);
+    let input = synth_layer_input(&shape, 0.5, 921);
+    let original = AnyCompiledLayer::Scnn(machine.compile_layer(&shape, &weights));
+    let decoded = decode_layer(&encode_layer(&original)).expect("round trip decodes");
+    let layer = decoded.as_scnn().expect("scnn frame decodes to an scnn layer");
+    let opts = RunOptions::default();
+    let mut ws = SimWorkspace::new();
+    let reference = machine.execute_layer_with(original.as_scnn().unwrap(), &input, &opts, &mut ws);
+    let warm = machine.execute_layer_with(layer, &input, &opts, &mut ws);
+    assert_eq!(reference, warm, "artifact-loaded layer diverged from the compiled original");
+    let mut best = (u64::MAX, u64::MAX);
+    for _ in 0..5 {
+        let (allocs_before, frees_before) = alloc_counts();
+        let steady = machine.execute_layer_with(layer, &input, &opts, &mut ws);
+        let (allocs_after, frees_after) = alloc_counts();
+        assert_eq!(warm, steady, "artifact-loaded warm-up and steady runs diverged");
+        best = best.min((allocs_after - allocs_before, frees_after - frees_before));
+        if best == (0, 0) {
+            break;
+        }
+    }
+    assert_eq!(best.0, 0, "artifact-loaded steady-state execution allocated");
+    assert_eq!(best.1, 0, "artifact-loaded steady-state execution freed");
 }
