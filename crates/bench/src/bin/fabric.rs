@@ -15,6 +15,13 @@
 //! wins, then the environment, then the default sweep) — a resolved
 //! count pins the sweep to that single size.
 //!
+//! With a trace destination (`--trace PATH` wins, then `SCNN_TRACE`,
+//! else off — the same ladder as `serve` and `perf`) the last swept
+//! chip count's planner schedule is recorded as per-stage / per-link
+//! occupancy tracks with per-image Perfetto flows and exported as
+//! Chrome Trace Event JSON. The "wrote trace" note goes to stderr, so
+//! stdout stays byte-identical with tracing on or off.
+//!
 //! The `(layer x image)` grid is executed **once** with per-OCG cycle
 //! traces (`TracedBatch`) — per-image simulated results are
 //! plan-independent — and every geometry's schedule is derived from the
@@ -25,11 +32,23 @@ use scnn::batch::CompiledNetwork;
 use scnn::runner::RunConfig;
 use scnn::scnn_model::zoo;
 use scnn_fabric::{plan_hybrid, HybridPlan, HybridRun, LinkConfig, StagePlan, TracedBatch};
+use scnn_telemetry::{resolve_trace, Recorder};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let arg_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
+    let trace_path = resolve_trace(arg_value("--trace").as_deref());
+    let positional: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(args.get(i.wrapping_sub(1)), Some(f) if f == "--trace")
+        })
+        .map(|(_, a)| a)
+        .collect();
     let batch: usize = positional
         .first()
         .map(|b| b.parse().expect("batch must be a positive integer"))
@@ -75,6 +94,7 @@ fn main() {
         "img/Mcyc"
     );
     let mut prev_steady = u64::MAX;
+    let mut last_planner_run: Option<HybridRun> = None;
     for &chips in &sweep {
         let pipeline = HybridPlan::from_pipeline(&StagePlan::partition(&compiled, chips));
         let planned = plan_hybrid(&compiled, chips, &link, batch);
@@ -108,8 +128,18 @@ fn main() {
                     );
                 }
                 prev_steady = s.steady_cycles_per_image;
+                last_planner_run = Some(run);
             }
         }
+    }
+    if let Some(path) = &trace_path {
+        let mut rec = Recorder::enabled();
+        if let Some(run) = &last_planner_run {
+            run.record_timeline(&mut rec, "");
+        }
+        std::fs::write(path, rec.to_chrome_json()).expect("write trace");
+        // stderr, so stdout stays byte-identical with tracing off.
+        eprintln!("[scnn_fabric] wrote {path} ({} trace events)", rec.len());
     }
     println!(
         "\nsequential single-chip batch: {seq_cycles} cycles ({:.0} cycles/img); per-image \

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release --bin perf -- [--quick] [--backend NAME] [--out PATH] [--baseline PATH]
-//!                                   [--check] [--profile] [--trace PATH]
+//!                                   [--check] [--profile] [--trace PATH] [--series-out PATH]
 //!                                   [--artifact-dir PATH] [--require-warm]
 //! ```
 //!
@@ -60,6 +60,15 @@
 //!   usual ladder: this flag wins, then `SCNN_TRACE`, else no trace.
 //!   Telemetry replays finished results, so every simulated field in
 //!   the report is bit-identical with tracing on or off.
+//! * `--series-out PATH` — export a per-window breakdown of the
+//!   measured runs as a windowed time series (`scnn_obs`): each
+//!   network row's image-0 layer walk is replayed onto a shared
+//!   virtual timeline (rows back to back, 50K-cycle tumbling windows)
+//!   with per-row busy occupancy, DRAM words, accumulator-bank stalls
+//!   and a layer-latency quantile sketch per window. JSON, or CSV when
+//!   the path ends in `.csv`; the usual ladder (`SCNN_SERIES` when the
+//!   flag is absent). Collection replays finished results, so every
+//!   `--check` gate is unaffected by it.
 //!
 //! Reported per network: cold compile wall (`compile_cold_s`, the first
 //! compile this process — a true compile when the artifact directory is
@@ -78,11 +87,25 @@ use scnn::batch::{BatchRun, CompiledNetwork};
 use scnn::runner::RunConfig;
 use scnn::scnn_model::{zoo, DensityProfile};
 use scnn::scnn_sim::BackendKind;
-use scnn::telemetry::{record_network_run, render_layer_breakdown};
+use scnn::telemetry::{layer_breakdown, record_network_run, render_layer_breakdown};
 use scnn_fabric::{plan_hybrid, FabricRun, HybridRun, LinkConfig};
-use scnn_telemetry::{resolve_trace, Profiler, Recorder};
+use scnn_obs::SeriesCollector;
+use scnn_telemetry::{resolve_series, resolve_trace, Profiler, Recorder};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Window width of the `--series-out` per-window breakdown, in
+/// simulated cycles.
+const SERIES_WINDOW_CYCLES: u64 = 50_000;
+
+/// The per-window breakdown accumulator: network rows replay their
+/// image-0 layer walks back to back on one shared virtual timeline, so
+/// one exported series covers the whole perf run.
+struct SeriesState {
+    collector: SeriesCollector,
+    /// Next row's start cycle on the shared timeline.
+    cursor: u64,
+}
 
 /// One (network, backend) pair's measurements.
 #[derive(Clone)]
@@ -148,6 +171,7 @@ fn measure(
     batch: usize,
     prof: &mut Profiler,
     rec: &mut Recorder,
+    series: &mut Option<SeriesState>,
     store: &mut ArtifactStore,
 ) -> Row {
     let net = zoo::by_name(name).unwrap_or_else(|| panic!("unknown zoo network {name:?}"));
@@ -182,6 +206,23 @@ fn measure(
 
     if rec.is_enabled() {
         record_network_run(rec, &run.images[0], &format!("{name}[{backend}]"), 0);
+    }
+    // Per-window breakdown: replay the same finished image-0 layer walk
+    // into the windowed collector, this row appended after the previous
+    // row's end on the shared timeline.
+    if let Some(st) = series.as_mut() {
+        let label = format!("{name}[{backend}]");
+        let mut cycle = st.cursor;
+        for row in layer_breakdown(&run.images[0]) {
+            let end = cycle + row.cycles;
+            st.collector.add_span(&format!("busy.{label}"), cycle, end);
+            st.collector.add("dram.words", cycle, row.dram_words);
+            st.collector.add("bank.stall_cycles", cycle, row.bank_stall_cycles as f64);
+            st.collector.add("idle.cycles", cycle, row.idle_cycles as f64);
+            st.collector.observe("layer.cycles", cycle, row.cycles);
+            cycle = end;
+        }
+        st.cursor = cycle;
     }
     println!("where the cycles go ({name}[{backend}], image 0 of the measured batch):");
     println!("{}", render_layer_breakdown(&run.images[0]));
@@ -543,6 +584,13 @@ fn main() {
     // Trace ladder: `--trace PATH` wins, then `SCNN_TRACE`, else off.
     let trace_path = resolve_trace(arg_value("--trace").as_deref());
     let mut rec = if trace_path.is_some() { Recorder::enabled() } else { Recorder::disabled() };
+    // Series ladder: `--series-out PATH` wins, then `SCNN_SERIES`, else
+    // no per-window breakdown. Like tracing, collection replays
+    // finished results only.
+    let series_path = resolve_series(arg_value("--series-out").as_deref());
+    let mut series = series_path
+        .as_ref()
+        .map(|_| SeriesState { collector: SeriesCollector::new(SERIES_WINDOW_CYCLES), cursor: 0 });
     let mut prof = Profiler::new(profile);
 
     // Read the baseline before the out file is overwritten.
@@ -597,7 +645,7 @@ fn main() {
         if backend_filter.is_some_and(|b| b != backend) {
             continue;
         }
-        let row = measure(name, backend, batch, &mut prof, &mut rec, &mut store);
+        let row = measure(name, backend, batch, &mut prof, &mut rec, &mut series, &mut store);
         println!(
             "{} [{}]: compile cold {:.3}s / warm {:.3}s, {:.3} s/img (B={}), {:.0} cycles/img, \
              {:.2} uJ/img, peak RSS {} kB",
@@ -654,6 +702,12 @@ fn main() {
     if let Some(path) = trace_path {
         std::fs::write(&path, rec.to_chrome_json()).expect("write trace");
         println!("wrote {path} ({} trace events)", rec.len());
+    }
+    if let (Some(path), Some(st)) = (series_path, series) {
+        let s = st.collector.finish();
+        let body = if path.ends_with(".csv") { s.to_csv() } else { s.to_json() };
+        std::fs::write(&path, body).expect("write series");
+        println!("wrote {path} ({} windows of {SERIES_WINDOW_CYCLES} cycles)", s.len());
     }
     if prof.is_enabled() {
         println!("\nwall-clock profile (host time, informational only):");

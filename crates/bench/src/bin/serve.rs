@@ -18,7 +18,8 @@
 //! non-trivial trace).
 //!
 //! ```text
-//! cargo run --release --bin serve [-- --quick] [--trace PATH] [--profile] [--check-trace PATH]
+//! cargo run --release --bin serve [-- --quick] [--trace PATH] [--series-out PATH] [--profile]
+//!                                 [--check-trace PATH [--require-flow N] [--require-slo N]]
 //!                                 [--artifact-dir PATH]
 //! ```
 //!
@@ -38,7 +39,22 @@
 //! line, so stdout stays byte-identical. `--profile` prints a
 //! wall-clock profile of the calibration scopes to stderr.
 //! `--check-trace PATH` validates a previously exported file (valid
-//! JSON, at least one trace event) and exits — the CI smoke gate.
+//! JSON, at least one trace event, every flow balanced, no negative
+//! span durations) and exits — the CI smoke gate. `--require-flow N`
+//! and `--require-slo N` additionally demand at least `N` bound flows
+//! / SLO evaluation events in the file.
+//!
+//! The representative point always runs through the windowed
+//! observability pipeline (`simulate_observed`): the SLO attainment
+//! report prints after the serving report, and with a series
+//! destination (`--series-out PATH` wins, then `SCNN_SERIES`, else
+//! off) the windowed time-series exports as JSON (or CSV when the path
+//! ends in `.csv`). Observation reads only values the event loop
+//! already computed, so stdout is byte-identical with the export on or
+//! off; an ASCII sparkline dashboard of the series goes to stderr. A
+//! final *burst* section replays the trace with a 6x arrival burst
+//! through the same pipeline and prints the burn-rate alerts the
+//! fast/slow windows raise and clear — deterministically.
 //!
 //! `--quick` runs a smaller scenario, not a subset of the full one:
 //! two models (no VGGNet) on one device at comparable offered load, a
@@ -56,11 +72,14 @@
 use scnn::runner::RunConfig;
 use scnn::scnn_model::{zoo, DensityProfile};
 use scnn::scnn_sim::BackendKind;
+use scnn_obs::sparkline;
 use scnn_serve::engine::Engine;
-use scnn_serve::sim::{simulate, simulate_traced, ServeConfig};
-use scnn_serve::trace::{generate, DeadlineClass, TenantSpec};
-use scnn_serve::{BatcherConfig, ServeReport};
-use scnn_telemetry::{resolve_trace, validate_chrome_trace, Profiler, Recorder};
+use scnn_serve::sim::{simulate, simulate_observed, ServeConfig};
+use scnn_serve::trace::{generate, generate_phased, DeadlineClass, LoadPhase, TenantSpec};
+use scnn_serve::{BatcherConfig, ObsConfig, ServeObservation, ServeReport};
+use scnn_telemetry::{
+    resolve_series, resolve_trace, validate_chrome_trace_stats, Profiler, Recorder,
+};
 use std::time::Instant;
 
 /// One printed row of the sweep.
@@ -80,6 +99,34 @@ fn row(devices: usize, cfg: &BatcherConfig, r: &ServeReport) {
     );
 }
 
+/// ASCII sparkline dashboard of an observed run's windowed series —
+/// stderr, like every other non-simulated note, so stdout stays
+/// byte-identical whatever observability exports are active.
+fn dashboard(tag: &str, obs: &ServeObservation) {
+    let s = &obs.series;
+    if s.is_empty() {
+        return;
+    }
+    eprintln!(
+        "[scnn_serve] {tag} dashboard, {} windows x {:.1}M cycles:",
+        s.len(),
+        s.window_cycles as f64 / 1e6
+    );
+    let lanes: &[(&str, Vec<f64>)] = &[
+        ("arrivals/win", s.counter_values("arrivals")),
+        ("queue p95", s.quantile_values("queue.depth", 95.0)),
+        ("e2e p99", s.quantile_values("e2e", 99.0)),
+        ("misses/win", {
+            let ok = s.counter_values("deadline.ok");
+            s.counter_values("deadline.total").iter().zip(&ok).map(|(t, o)| t - o).collect()
+        }),
+    ];
+    for (name, values) in lanes {
+        let peak = values.iter().copied().fold(0.0f64, f64::max);
+        eprintln!("  {name:<12} {} (peak {peak:.0})", sparkline(values));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -88,22 +135,44 @@ fn main() {
         |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned();
 
     // Validator mode: check an exported trace and exit without
-    // simulating anything. CI runs this against the --quick export.
+    // simulating anything. CI runs this against the --quick export,
+    // demanding at least one bound request flow and one SLO event.
     if let Some(path) = arg_value("--check-trace") {
+        let min_count = |flag: &str| {
+            arg_value(flag).map_or(0u64, |v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("{flag}: expected a count, got {v}");
+                    std::process::exit(2);
+                })
+            })
+        };
+        let (need_flows, need_slos) = (min_count("--require-flow"), min_count("--require-slo"));
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
             eprintln!("--check-trace: cannot read {path}: {e}");
             std::process::exit(2);
         });
-        match validate_chrome_trace(&text) {
-            Ok(0) => {
+        let stats = match validate_chrome_trace_stats(&text) {
+            Ok(stats) if stats.events == 0 => {
                 eprintln!("{path}: valid JSON but zero trace events");
                 std::process::exit(1);
             }
-            Ok(n) => println!("{path}: valid Chrome trace, {n} events"),
+            Ok(stats) => stats,
             Err(e) => {
                 eprintln!("{path}: invalid Chrome trace: {e}");
                 std::process::exit(1);
             }
+        };
+        println!(
+            "{path}: valid Chrome trace, {} events ({} bound flows, {} slo events)",
+            stats.events, stats.bound_flows, stats.slo_events
+        );
+        if (stats.bound_flows as u64) < need_flows {
+            eprintln!("{path}: {} bound flows, --require-flow {need_flows}", stats.bound_flows);
+            std::process::exit(1);
+        }
+        if (stats.slo_events as u64) < need_slos {
+            eprintln!("{path}: {} slo events, --require-slo {need_slos}", stats.slo_events);
+            std::process::exit(1);
         }
         return;
     }
@@ -254,25 +323,78 @@ fn main() {
         println!();
     }
 
-    // Full per-tenant report for one representative point — traced when
-    // a trace destination is set. `simulate_traced` with a disabled
-    // recorder is exactly `simulate`, and recording reads only virtual
-    // time, so the printed report is bit-identical either way.
+    // Full per-tenant report for one representative point — always run
+    // through the windowed observability pipeline. Observation reads
+    // only values the loop already computed (`tests/observability.rs`
+    // locks report identity with plain `simulate`), and the SLO report
+    // is computed unconditionally, so stdout is byte-identical whatever
+    // the export flags say. Tracing (request lifecycle + flow events +
+    // SLO instants) lands in the recorder when a destination is set.
     let devices = devices_grid[0];
     let cfg = ServeConfig {
         devices,
         batcher: BatcherConfig { max_batch: 4, max_wait_cycles: 400_000 },
         ..Default::default()
     };
+    let series_path = resolve_series(arg_value("--series-out").as_deref());
+    let obs_cfg = ObsConfig::standard(horizon / 20);
     let mut rec = if trace_path.is_some() { Recorder::enabled() } else { Recorder::disabled() };
-    let report = simulate_traced(&mut engine, &trace, &cfg, &mut rec);
+    let (report, obs) = simulate_observed(&mut engine, &trace, &cfg, &mut rec, &obs_cfg);
     println!("representative point ({devices} device(s), max_batch 4, 0.4M wait):\n");
     println!("{}", report.render());
+    println!(
+        "\nslo report ({} windows of {:.1}M cycles, burn thresholds fast 4.0 / slow 1.0):",
+        obs.series.len(),
+        obs_cfg.window_cycles as f64 / 1e6
+    );
+    print!("{}", obs.slo.render());
     if let Some(path) = &trace_path {
         std::fs::write(path, rec.to_chrome_json()).expect("write trace");
         // stderr, so stdout stays byte-identical with tracing off.
         eprintln!("[scnn_serve] wrote {path} ({} trace events)", rec.len());
     }
+    if let Some(path) = &series_path {
+        let body = if path.ends_with(".csv") { obs.series.to_csv() } else { obs.series.to_json() };
+        std::fs::write(path, body).expect("write series");
+        eprintln!("[scnn_serve] wrote {path} ({} windows)", obs.series.len());
+    }
+    dashboard("steady", &obs);
+
+    // Burst scenario: the same tenant mix at half the offered load (so
+    // the system has recovery headroom), hit with a 6x arrival burst
+    // over the middle sixth of the horizon. The fast burn window trips
+    // the deadline SLOs during the burst and the alerts clear once the
+    // backlog drains — all in virtual time, so the alert sequence is
+    // bit-identical on every run (tests/observability.rs locks the
+    // pattern).
+    let burst_tenants: Vec<TenantSpec> = tenants
+        .iter()
+        .map(|t| {
+            TenantSpec::new(t.name.clone(), t.model.clone(), t.mean_interarrival * 2, t.deadline)
+        })
+        .collect();
+    let phases = [
+        LoadPhase { start: horizon / 3, rate_multiplier: 6.0 },
+        LoadPhase { start: horizon / 2, rate_multiplier: 1.0 },
+    ];
+    let steady_light = simulate(&mut engine, &generate(&burst_tenants, horizon, 0x5EED), &cfg);
+    let burst_trace = generate_phased(&burst_tenants, horizon, 0x5EED, &phases);
+    let mut burst_rec = Recorder::disabled();
+    let (burst_report, burst_obs) =
+        simulate_observed(&mut engine, &burst_trace, &cfg, &mut burst_rec, &obs_cfg);
+    println!(
+        "\nburst scenario (half-load tenant mix, 6x arrival rate over cycles {}M..{}M):",
+        horizon / 3 / 1_000_000,
+        horizon / 2 / 1_000_000
+    );
+    println!(
+        "  {} requests, deadline misses {:.1}% (same mix without the burst: {:.1}%)",
+        burst_report.global.requests,
+        burst_report.global.deadline_miss_rate() * 100.0,
+        steady_light.global.deadline_miss_rate() * 100.0,
+    );
+    print!("{}", burst_obs.slo.render());
+    dashboard("burst", &burst_obs);
 
     // Heterogeneous pool: the same AlexNet workload served on the sparse
     // SCNN backend and on the cycle-simulated dense DCNN baseline, one

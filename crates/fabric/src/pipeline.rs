@@ -141,6 +141,13 @@ impl PipelineSchedule {
     /// `0..batch`). The walk is serial over an already-built schedule,
     /// so the recording is bit-identical across worker-thread counts.
     ///
+    /// Each image additionally gets a Perfetto *flow* — a causal arrow
+    /// threaded through its compute spans from the first stage to the
+    /// last, with an id derived from `(prefix, image)` so flows stay
+    /// distinct when several runs share one recorder. Every flow is
+    /// balanced (one start, one end), which `validate_chrome_trace`
+    /// checks.
+    ///
     /// # Panics
     ///
     /// Panics if `image_ids` does not label every batch column.
@@ -187,8 +194,40 @@ impl PipelineSchedule {
                     end,
                     &[("cycles", Arg::U64(self.stage_cycles[s][b]))],
                 );
+                // Thread the image's causal flow through its spans: the
+                // start binds into the first stage's span, intermediate
+                // hops into each stage entry, and the end (`bp:e`) into
+                // the last stage's span.
+                let id = flow_id(prefix, img);
+                let flow = format!("img{img}");
+                if s == 0 {
+                    rec.flow_start(stage_tracks[s], "fabric", &flow, start, id);
+                } else if s < stages - 1 {
+                    rec.flow_step(stage_tracks[s], "fabric", &flow, start, id);
+                }
+                if s == stages - 1 {
+                    rec.flow_end(stage_tracks[s], "fabric", &flow, end, id);
+                }
             }
         }
+    }
+}
+
+/// The non-zero Perfetto flow id of one image's pipeline traversal:
+/// FNV-1a of the track prefix folded with the image index, so flows from
+/// different runs (distinct prefixes) sharing one recorder never alias
+/// an id into imbalance-by-merge.
+fn flow_id(prefix: &str, img: usize) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in prefix.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let id = h ^ (img as u64 + 1);
+    if id == 0 {
+        1
+    } else {
+        id
     }
 }
 
@@ -444,11 +483,37 @@ mod tests {
         let mut rec = Recorder::enabled();
         schedule.record_timeline(&mut rec, "", &[0, 1]);
         let spans: Vec<_> = rec.events().to_vec();
-        // 4 stage spans + 2 link spans.
-        assert_eq!(spans.len(), 6);
+        // 4 stage spans + 2 link spans + one (start, end) flow pair per
+        // image threading the stages together.
+        assert_eq!(spans.len(), 10);
+        let flows: Vec<_> =
+            spans.iter().filter(|e| e.kind != scnn_telemetry::EventKind::Span).collect();
+        assert_eq!(flows.len(), 4);
+        assert_eq!(
+            flows.iter().filter(|e| e.kind == scnn_telemetry::EventKind::FlowStart).count(),
+            2
+        );
+        assert_eq!(
+            flows.iter().filter(|e| e.kind == scnn_telemetry::EventKind::FlowEnd).count(),
+            2
+        );
+        assert!(flows.iter().all(|e| e.id != 0), "flow ids must be non-zero");
+        // Each image's start/end pair shares one id; the two images'
+        // ids differ.
+        let id_of = |name: &str, kind: scnn_telemetry::EventKind| {
+            flows.iter().find(|e| e.name == name && e.kind == kind).expect("flow hop").id
+        };
+        use scnn_telemetry::EventKind::{FlowEnd, FlowStart};
+        assert_eq!(id_of("img0", FlowStart), id_of("img0", FlowEnd));
+        assert_eq!(id_of("img1", FlowStart), id_of("img1", FlowEnd));
+        assert_ne!(id_of("img0", FlowStart), id_of("img1", FlowStart));
         let stage_track_names: Vec<&str> = rec.tracks().iter().map(String::as_str).collect();
         assert_eq!(stage_track_names, ["stage0", "stage1", "link1"]);
-        for e in spans.iter().filter(|e| rec.tracks()[e.track.index()].starts_with("stage")) {
+        for e in spans
+            .iter()
+            .filter(|e| e.kind == scnn_telemetry::EventKind::Span)
+            .filter(|e| rec.tracks()[e.track.index()].starts_with("stage"))
+        {
             let s = if rec.tracks()[e.track.index()] == "stage0" { 0 } else { 1 };
             let b = if e.name == "img0" { 0 } else { 1 };
             assert_eq!(e.cycle + e.dur, schedule.finish[s][b]);

@@ -1,0 +1,125 @@
+//! Streaming observability for the SCNN reproduction: windowed
+//! virtual-time series, mergeable quantile sketches, and burn-rate SLO
+//! monitoring.
+//!
+//! `scnn_telemetry` records *what happened* — raw event streams and
+//! end-of-run counters. This crate observes the system *over time*:
+//!
+//! - [`LogHistogram`] — a fixed-boundary log-bucketed quantile sketch.
+//!   Merges are plain counter addition (exact, associative), so every
+//!   p50/p95/p99 is a pure function of the observed multiset — the
+//!   property that keeps windowed quantiles bit-identical across
+//!   `SCNN_THREADS` / `SCNN_PE_THREADS` / plan / backend.
+//! - [`SeriesCollector`] / [`TimeSeries`] — fixed-width tumbling
+//!   windows over the virtual-time axis holding counters, sketches, and
+//!   exactly-apportioned span overlap, with deterministic JSON/CSV
+//!   export and an FNV digest for one-line determinism comparisons.
+//! - [`SloSpec`] / [`SloReport`] — declarative objectives (deadline
+//!   attainment, quantile bounds) evaluated per window with
+//!   multi-window burn-rate alerting à la SRE error budgets, emitting
+//!   deterministic alert instants into a `scnn_telemetry::Recorder`.
+//! - [`sparkline`] — eight-level block-character rendering of one
+//!   series for terminal dashboards (stderr surfaces only; digested
+//!   stdout never includes it).
+//!
+//! Everything here runs *after* or *beside* the simulation, never
+//! inside its arithmetic: collectors accept samples the event loop
+//! already computed, and the monitor evaluates a frozen series. There
+//! is no code path by which observing a run changes it.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnn_obs::{SeriesCollector, SloReport, SloSpec};
+//! let mut c = SeriesCollector::new(1000);
+//! for w in 0..10u64 {
+//!     c.add("deadline.total", w * 1000, 10.0);
+//!     c.add("deadline.ok", w * 1000, if w == 5 { 2.0 } else { 10.0 });
+//! }
+//! let series = c.finish();
+//! let slo = SloSpec::attainment("interactive", "deadline.ok", "deadline.total", 0.99);
+//! let report = SloReport::evaluate(&[slo], &series);
+//! assert!(report.slos[0].attainment < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod sketch;
+mod slo;
+mod window;
+
+pub use sketch::LogHistogram;
+pub use slo::{
+    AlertEvent, AlertKind, BurnConfig, Objective, SloOutcome, SloReport, SloSpec, WindowEval,
+};
+pub use window::{SeriesCollector, TimeSeries, WindowRow};
+
+/// FNV-1a digest accumulator shared by the series and SLO digests.
+pub(crate) mod digest {
+    /// 64-bit FNV-1a over explicitly fed words and strings.
+    #[derive(Debug, Clone, Copy)]
+    pub(crate) struct Fnv64(u64);
+
+    impl Fnv64 {
+        pub(crate) fn new() -> Self {
+            Fnv64(0xCBF2_9CE4_8422_2325)
+        }
+
+        pub(crate) fn write_u64(&mut self, v: u64) {
+            for byte in v.to_le_bytes() {
+                self.0 ^= u64::from(byte);
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+
+        pub(crate) fn write_str(&mut self, s: &str) {
+            for &byte in s.as_bytes() {
+                self.0 ^= u64::from(byte);
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            // Length terminator so "ab","c" != "a","bc".
+            self.write_u64(s.len() as u64);
+        }
+
+        pub(crate) fn finish(self) -> u64 {
+            self.0
+        }
+    }
+}
+
+/// Renders `values` as an eight-level block-character sparkline,
+/// scaled to the series' own maximum (an all-zero or empty series is
+/// all-low blocks / empty). Non-finite and negative values clamp low.
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().filter(|v| v.is_finite()).fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if !(v.is_finite()) || v <= 0.0 || max <= 0.0 {
+                BLOCKS[0]
+            } else {
+                let level = (v / max * 7.0).round() as usize;
+                BLOCKS[level.min(7)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_the_series_maximum() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let line = sparkline(&[0.0, 1.0, 4.0, 8.0]);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.ends_with('█'));
+        assert!(line.starts_with('▁'));
+        assert_eq!(sparkline(&[f64::NAN, -3.0, 5.0]), "▁▁█");
+    }
+}

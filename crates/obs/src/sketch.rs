@@ -1,0 +1,325 @@
+//! Mergeable log-bucketed histogram sketch.
+//!
+//! The sketch is the unit of aggregation for latency-shaped series: a
+//! histogram over **fixed, value-independent bucket boundaries**, so
+//! that merging two sketches is plain counter addition — exact,
+//! associative, and commutative — and every quantile is a pure function
+//! of the multiset of observed values. No state depends on arrival
+//! order, which is what makes windowed p50/p95/p99 bit-identical across
+//! `SCNN_THREADS` / `SCNN_PE_THREADS` / plan / backend: the serve loop
+//! feeds the same values in the same serial order no matter how the
+//! numbers underneath were computed.
+//!
+//! Bucket layout (all integer math, no floats):
+//!
+//! * values `0..=63` get exact unit buckets (index = value);
+//! * values `>= 64` are bucketed by octave: the bucket keeps the
+//!   leading bit and the next [`SUB_BITS`] bits of the value, giving
+//!   [`SUBS`] sub-buckets per power of two and a worst-case relative
+//!   width of `1/32` (~3%).
+//!
+//! Quantiles use the nearest-rank rule over bucket counts and return
+//! the bucket's **upper** bound, so a reported p99 never understates
+//! the true nearest-rank sample and overstates it by at most `1/32`
+//! relative (exact below 64).
+
+use std::collections::BTreeMap;
+
+/// Sub-bucket resolution bits per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (`2^SUB_BITS`).
+const SUBS: u32 = 1 << SUB_BITS;
+/// Values below this get exact unit buckets.
+const EXACT: u64 = 2 * SUBS as u64;
+
+/// A mergeable fixed-boundary log-bucketed histogram of `u64` samples.
+///
+/// Buckets are stored sparsely; an empty sketch allocates nothing
+/// beyond the map header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogHistogram {
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for `v` (see module docs for the layout).
+fn bucket_index(v: u64) -> u32 {
+    if v < EXACT {
+        return u32::try_from(v).expect("v < 64 fits u32");
+    }
+    let b = 63 - v.leading_zeros(); // floor(log2 v) >= 6
+    let sub = u32::try_from((v >> (b - SUB_BITS)) & u64::from(SUBS - 1)).expect("5 bits");
+    EXACT as u32 + (b - SUB_BITS - 1) * SUBS + sub
+}
+
+/// Inclusive `(lo, hi)` value bounds of bucket `index`.
+fn bucket_bounds(index: u32) -> (u64, u64) {
+    if u64::from(index) < EXACT {
+        return (u64::from(index), u64::from(index));
+    }
+    let k = index - EXACT as u32;
+    let b = SUB_BITS + 1 + k / SUBS;
+    let sub = u64::from(k % SUBS);
+    let width = 1u64 << (b - SUB_BITS);
+    let lo = (1u64 << b) + sub * width;
+    // `lo + (width - 1)`: the top bucket's hi is exactly u64::MAX, so
+    // adding width before subtracting would overflow.
+    (lo, lo + (width - 1))
+}
+
+impl LogHistogram {
+    /// An empty sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.observe_n(v, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn observe_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += n;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
+    }
+
+    /// Adds every bucket of `other` into `self`. Because boundaries are
+    /// fixed, this is plain counter addition: `(a ∪ b)` sketches
+    /// identically whether samples were observed directly or merged in
+    /// any grouping/order (associative and commutative).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (`0` when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (`0` when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of the recorded samples (`0` when empty); exact, since the
+    /// sum is tracked alongside the buckets.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            // u128 -> f64 may round, but identically on every run.
+            let sum_f = self.sum as f64;
+            sum_f / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile at `pct` (e.g. `99.0`), reported as the
+    /// containing bucket's upper bound clamped to the observed maximum:
+    /// never below the true nearest-rank sample, at most `1/32`
+    /// relative above it (exact for samples below 64), and never above
+    /// [`LogHistogram::max`]. Returns `0` when empty.
+    ///
+    /// The clamp is sound because buckets are disjoint and ordered: the
+    /// maximum lives in the highest occupied bucket, so it is `>=` the
+    /// true nearest-rank sample in the rank's bucket.
+    #[must_use]
+    pub fn quantile(&self, pct: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(idx).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Number of samples in buckets lying **entirely above**
+    /// `threshold`. Samples sharing a bucket with `threshold` are not
+    /// counted, so this never overstates how many samples exceeded it
+    /// (and understates by at most the one straddling bucket).
+    #[must_use]
+    pub fn count_above(&self, threshold: u64) -> u64 {
+        let first = bucket_index(threshold) + 1;
+        self.buckets.range(first..).map(|(_, &n)| n).sum()
+    }
+
+    /// Folds the sketch's full state (buckets, count, sum, min, max)
+    /// into an FNV-1a accumulator, for determinism digests.
+    pub(crate) fn digest_into(&self, fnv: &mut crate::digest::Fnv64) {
+        fnv.write_u64(self.count);
+        fnv.write_u64(self.min());
+        fnv.write_u64(self.max());
+        fnv.write_u64((self.sum >> 64) as u64);
+        fnv.write_u64(self.sum as u64);
+        for (&idx, &n) in &self.buckets {
+            fnv.write_u64(u64::from(idx));
+            fnv.write_u64(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        for v in 0..10_000u64 {
+            let idx = bucket_index(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} not in [{lo},{hi}]");
+            if v > 0 {
+                assert!(bucket_index(v - 1) <= idx, "bucket index not monotone at v={v}");
+            }
+        }
+        // Spot-check the top of the range.
+        for v in [u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) + 12345] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..EXACT {
+            h.observe(v);
+        }
+        for v in 0..EXACT {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert_eq!((lo, hi), (v, v));
+        }
+        assert_eq!(h.quantile(50.0), EXACT / 2 - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_thirty_second() {
+        for v in [64u64, 100, 1000, 65_535, 1 << 20, (1 << 40) + 7] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(hi - lo <= lo / 32, "bucket too wide at v={v}: [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let samples: Vec<u64> = (0..500u64).map(|i| i * i % 7919 + i).collect();
+        let mut parts = [LogHistogram::new(), LogHistogram::new(), LogHistogram::new()];
+        let mut whole = LogHistogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % 3].observe(s);
+            whole.observe(s);
+        }
+        // (a + b) + c
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // c + (b + a)
+        let mut right = parts[2].clone();
+        let mut ba = parts[1].clone();
+        ba.merge(&parts[0]);
+        right.merge(&ba);
+        assert_eq!(left, right);
+        assert_eq!(left, whole, "merged == directly observed");
+    }
+
+    #[test]
+    fn quantile_brackets_nearest_rank() {
+        let mut samples: Vec<u64> = (0..1000u64).map(|i| (i * 2654435761) % 1_000_000).collect();
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        samples.sort_unstable();
+        for pct in [50.0, 95.0, 99.0, 100.0] {
+            let rank = ((pct / 100.0) * samples.len() as f64).ceil() as usize;
+            let exact = samples[rank.clamp(1, samples.len()) - 1];
+            let sketched = h.quantile(pct);
+            assert!(sketched >= exact, "p{pct}: {sketched} < exact {exact}");
+            assert!(sketched - exact <= exact / 32 + 1, "p{pct}: {sketched} vs {exact}");
+            assert!(sketched <= h.max(), "p{pct}: {sketched} above the observed max");
+        }
+        assert_eq!(h.quantile(100.0), h.max(), "p100 is exactly the maximum");
+    }
+
+    #[test]
+    fn count_above_never_overstates() {
+        let mut h = LogHistogram::new();
+        let samples = [10u64, 100, 1000, 10_000, 100_000];
+        for &s in &samples {
+            h.observe(s);
+        }
+        for threshold in [0u64, 10, 99, 1000, 99_999, 200_000] {
+            let true_above = samples.iter().filter(|&&s| s > threshold).count() as u64;
+            assert!(h.count_above(threshold) <= true_above);
+        }
+        assert_eq!(h.count_above(0), 5, "every positive sample is above 0");
+        assert_eq!(h.count_above(200_000), 0);
+    }
+
+    #[test]
+    fn empty_sketch_is_all_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!((h.count(), h.min(), h.max(), h.quantile(99.0)), (0, 0, 0, 0));
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,537 @@
+//! Declarative SLOs with multi-window burn-rate alerting.
+//!
+//! An [`SloSpec`] names an [`Objective`] over the windowed series — a
+//! deadline-attainment target ("99% of Interactive requests meet their
+//! deadline") or a quantile bound ("e2e p99 ≤ budget cycles") — plus a
+//! [`BurnConfig`] describing how fast the error budget may burn before
+//! an alert fires.
+//!
+//! Burn rate follows the SRE error-budget formulation: with target `T`
+//! the budget fraction is `1 − T`; a window batch whose error fraction
+//! is `E` burns at rate `E / (1 − T)` (burn 1.0 = exactly on budget).
+//! Alerts use **two** rolling horizons — a short *fast* window batch
+//! for responsiveness and a longer *slow* one to reject blips: an
+//! alert fires when both exceed their thresholds and clears when the
+//! fast burn recovers. Burns aggregate event counts across the rolling
+//! range (not averages of per-window ratios), so sparse windows weigh
+//! exactly what they carry.
+//!
+//! Everything here is evaluated after the run over the frozen
+//! [`TimeSeries`] — the monitor can never perturb the simulation — and
+//! every number is a pure function of the series, so alert streams are
+//! bit-identical wherever the series is.
+
+use crate::digest::Fnv64;
+use crate::window::{json_f64, json_string, TimeSeries};
+use scnn_telemetry::{Arg, Recorder};
+use std::fmt::Write as _;
+
+/// What an SLO asserts about one windowed series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Objective {
+    /// At least `target` (e.g. `0.99`) of `total` events are `good`.
+    /// Both name counter series; errors are `total − good`.
+    Attainment {
+        /// Counter series of events meeting the objective.
+        good: String,
+        /// Counter series of all events.
+        total: String,
+        /// Required good fraction in `(0, 1)`.
+        target: f64,
+    },
+    /// At most `100 − pct` percent of sketch samples exceed `budget`
+    /// (e.g. `pct = 99.0`: "p99 ≤ budget").
+    QuantileBound {
+        /// Sketch series of the bounded quantity.
+        series: String,
+        /// Quantile percentile in `(0, 100)`.
+        pct: f64,
+        /// Largest acceptable value at that quantile.
+        budget: u64,
+    },
+}
+
+/// Multi-window burn-rate alert policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnConfig {
+    /// Rolling window count of the fast (responsive) horizon.
+    pub fast_windows: usize,
+    /// Rolling window count of the slow (confirming) horizon.
+    pub slow_windows: usize,
+    /// Fast-horizon burn rate at or above which an alert may fire.
+    pub fire_fast: f64,
+    /// Slow-horizon burn rate that must also hold for the alert to
+    /// fire (rejects single-window blips).
+    pub fire_slow: f64,
+    /// Fast-horizon burn rate at or below which an active alert
+    /// clears.
+    pub clear_fast: f64,
+}
+
+impl Default for BurnConfig {
+    /// Fast = 3 windows at 4x budget burn, confirmed by 12 windows at
+    /// 1x; clears when the fast horizon drops back to ≤ 1x.
+    fn default() -> Self {
+        BurnConfig {
+            fast_windows: 3,
+            slow_windows: 12,
+            fire_fast: 4.0,
+            fire_slow: 1.0,
+            clear_fast: 1.0,
+        }
+    }
+}
+
+/// One declarative objective plus its alert policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Display name, also the Recorder track suffix (`slo:{name}`).
+    pub name: String,
+    /// The asserted objective.
+    pub objective: Objective,
+    /// Burn-rate alert policy.
+    pub burn: BurnConfig,
+}
+
+impl SloSpec {
+    /// An attainment SLO with the default burn policy.
+    #[must_use]
+    pub fn attainment(name: &str, good: &str, total: &str, target: f64) -> Self {
+        assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+        SloSpec {
+            name: name.to_owned(),
+            objective: Objective::Attainment {
+                good: good.to_owned(),
+                total: total.to_owned(),
+                target,
+            },
+            burn: BurnConfig::default(),
+        }
+    }
+
+    /// A quantile-bound SLO with the default burn policy.
+    #[must_use]
+    pub fn quantile_bound(name: &str, series: &str, pct: f64, budget: u64) -> Self {
+        assert!(pct > 0.0 && pct < 100.0, "pct must be in (0, 100)");
+        SloSpec {
+            name: name.to_owned(),
+            objective: Objective::QuantileBound { series: series.to_owned(), pct, budget },
+            burn: BurnConfig::default(),
+        }
+    }
+
+    /// Error-budget fraction: how much error the objective tolerates.
+    fn budget_fraction(&self) -> f64 {
+        match &self.objective {
+            Objective::Attainment { target, .. } => 1.0 - target,
+            Objective::QuantileBound { pct, .. } => 1.0 - pct / 100.0,
+        }
+    }
+
+    /// `(errors, total)` event counts for one window.
+    fn window_events(&self, row: &crate::window::WindowRow) -> (f64, f64) {
+        match &self.objective {
+            Objective::Attainment { good, total, .. } => {
+                let t = row.counter(total);
+                (t - row.counter(good), t)
+            }
+            Objective::QuantileBound { series, budget, .. } => match row.sketch(series) {
+                None => (0.0, 0.0),
+                Some(s) => (s.count_above(*budget) as f64, s.count() as f64),
+            },
+        }
+    }
+}
+
+/// Fire or clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Burn thresholds exceeded on both horizons.
+    Fire,
+    /// Fast horizon recovered while an alert was active.
+    Clear,
+}
+
+/// One deterministic alert transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// Owning SLO name.
+    pub slo: String,
+    /// Transition direction.
+    pub kind: AlertKind,
+    /// Window index the transition was evaluated at.
+    pub window: u64,
+    /// Virtual cycle of the transition (the window's end).
+    pub cycle: u64,
+    /// Fast-horizon burn rate at the transition.
+    pub burn_fast: f64,
+    /// Slow-horizon burn rate at the transition.
+    pub burn_slow: f64,
+}
+
+/// Per-window evaluation record of one SLO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowEval {
+    /// Window index.
+    pub window: u64,
+    /// Error events in this window alone.
+    pub errors: f64,
+    /// Total events in this window alone.
+    pub total: f64,
+    /// Fast-horizon rolling burn rate ending at this window.
+    pub burn_fast: f64,
+    /// Slow-horizon rolling burn rate ending at this window.
+    pub burn_slow: f64,
+}
+
+/// Evaluation outcome of one [`SloSpec`] over a full run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloOutcome {
+    /// The SLO's name.
+    pub name: String,
+    /// Overall attainment: `1 − errors/total` across the run (`1.0`
+    /// when no events).
+    pub attainment: f64,
+    /// Windows whose own burn rate exceeded 1.0 (budget overdrawn).
+    pub violating_windows: usize,
+    /// Per-window evaluations, one per series window.
+    pub evals: Vec<WindowEval>,
+    /// Alert transitions in window order.
+    pub alerts: Vec<AlertEvent>,
+}
+
+impl SloOutcome {
+    fn evaluate(spec: &SloSpec, series: &TimeSeries) -> SloOutcome {
+        let budget = spec.budget_fraction();
+        let per_window: Vec<(f64, f64)> =
+            series.rows.iter().map(|row| spec.window_events(row)).collect();
+        // Prefix sums so each rolling burn is one subtraction.
+        let mut pref_err = vec![0.0f64];
+        let mut pref_tot = vec![0.0f64];
+        for &(e, t) in &per_window {
+            pref_err.push(pref_err.last().unwrap() + e);
+            pref_tot.push(pref_tot.last().unwrap() + t);
+        }
+        let burn_over = |lo: usize, hi: usize| -> f64 {
+            let tot = pref_tot[hi] - pref_tot[lo];
+            if tot <= 0.0 {
+                return 0.0;
+            }
+            let err = pref_err[hi] - pref_err[lo];
+            (err / tot) / budget
+        };
+        let mut evals = Vec::with_capacity(per_window.len());
+        let mut alerts = Vec::new();
+        let mut violating = 0usize;
+        let mut active = false;
+        for (i, row) in series.rows.iter().enumerate() {
+            let (errors, total) = per_window[i];
+            let burn_window = burn_over(i, i + 1);
+            if burn_window > 1.0 {
+                violating += 1;
+            }
+            let burn_fast = burn_over((i + 1).saturating_sub(spec.burn.fast_windows), i + 1);
+            let burn_slow = burn_over((i + 1).saturating_sub(spec.burn.slow_windows), i + 1);
+            if !active && burn_fast >= spec.burn.fire_fast && burn_slow >= spec.burn.fire_slow {
+                active = true;
+                alerts.push(AlertEvent {
+                    slo: spec.name.clone(),
+                    kind: AlertKind::Fire,
+                    window: row.index,
+                    cycle: row.end,
+                    burn_fast,
+                    burn_slow,
+                });
+            } else if active && burn_fast <= spec.burn.clear_fast {
+                active = false;
+                alerts.push(AlertEvent {
+                    slo: spec.name.clone(),
+                    kind: AlertKind::Clear,
+                    window: row.index,
+                    cycle: row.end,
+                    burn_fast,
+                    burn_slow,
+                });
+            }
+            evals.push(WindowEval { window: row.index, errors, total, burn_fast, burn_slow });
+        }
+        let total_events = *pref_tot.last().unwrap();
+        let attainment =
+            if total_events <= 0.0 { 1.0 } else { 1.0 - *pref_err.last().unwrap() / total_events };
+        SloOutcome {
+            name: spec.name.clone(),
+            attainment,
+            violating_windows: violating,
+            evals,
+            alerts,
+        }
+    }
+}
+
+/// Evaluation of a set of SLOs over one run's [`TimeSeries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// One outcome per spec, in spec order.
+    pub slos: Vec<SloOutcome>,
+}
+
+impl SloReport {
+    /// Evaluates every spec against `series`.
+    #[must_use]
+    pub fn evaluate(specs: &[SloSpec], series: &TimeSeries) -> SloReport {
+        SloReport { slos: specs.iter().map(|s| SloOutcome::evaluate(s, series)).collect() }
+    }
+
+    /// Total alert transitions across all SLOs.
+    #[must_use]
+    pub fn alert_count(&self) -> usize {
+        self.slos.iter().map(|s| s.alerts.len()).sum()
+    }
+
+    /// Renders the per-run attainment table plus one line per alert
+    /// transition.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "slo                              attainment  windows  violating  alerts\n",
+        );
+        for slo in &self.slos {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>9.4}% {:>8} {:>10} {:>7}",
+                slo.name,
+                slo.attainment * 100.0,
+                slo.evals.len(),
+                slo.violating_windows,
+                slo.alerts.len(),
+            );
+        }
+        for slo in &self.slos {
+            for a in &slo.alerts {
+                let _ = writeln!(
+                    out,
+                    "  {} {} at window {} (cycle {}): burn fast {:.2} slow {:.2}",
+                    slo.name,
+                    match a.kind {
+                        AlertKind::Fire => "FIRE ",
+                        AlertKind::Clear => "clear",
+                    },
+                    a.window,
+                    a.cycle,
+                    a.burn_fast,
+                    a.burn_slow,
+                );
+            }
+        }
+        out
+    }
+
+    /// Exports outcomes (attainment, per-window burns, alerts) as
+    /// deterministic JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"slos\":[");
+        for (i, slo) in self.slos.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"name\":{},\"attainment\":{},\"violating_windows\":{},\"alerts\":[",
+                json_string(&slo.name),
+                json_f64(slo.attainment),
+                slo.violating_windows,
+            );
+            for (j, a) in slo.alerts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"{}\",\"window\":{},\"cycle\":{},\"burn_fast\":{},\"burn_slow\":{}}}",
+                    match a.kind {
+                        AlertKind::Fire => "fire",
+                        AlertKind::Clear => "clear",
+                    },
+                    a.window,
+                    a.cycle,
+                    json_f64(a.burn_fast),
+                    json_f64(a.burn_slow),
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Records the evaluation into `rec`: one `eval` instant per
+    /// window (stamped at the window's end, `(index + 1) *
+    /// window_cycles`) and one `alert:fire` / `alert:clear` instant per
+    /// transition, on track `slo:{name}`, all in category `"slo"`.
+    /// No-op on a disabled recorder.
+    pub fn record(&self, rec: &mut Recorder, window_cycles: u64) {
+        if !rec.is_enabled() {
+            return;
+        }
+        for slo in &self.slos {
+            let track = rec.track(&format!("slo:{}", slo.name));
+            for e in &slo.evals {
+                rec.instant_with(
+                    track,
+                    "slo",
+                    "eval",
+                    (e.window + 1) * window_cycles,
+                    &[
+                        ("errors", Arg::F64(e.errors)),
+                        ("total", Arg::F64(e.total)),
+                        ("burn_fast", Arg::F64(e.burn_fast)),
+                        ("burn_slow", Arg::F64(e.burn_slow)),
+                    ],
+                );
+            }
+            for a in &slo.alerts {
+                rec.instant_with(
+                    track,
+                    "slo",
+                    match a.kind {
+                        AlertKind::Fire => "alert:fire",
+                        AlertKind::Clear => "alert:clear",
+                    },
+                    a.cycle,
+                    &[("burn_fast", Arg::F64(a.burn_fast)), ("burn_slow", Arg::F64(a.burn_slow))],
+                );
+            }
+        }
+    }
+
+    /// FNV-1a digest over every outcome, eval, and alert — the one-line
+    /// comparator for alert-stream determinism tests.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut fnv = Fnv64::new();
+        for slo in &self.slos {
+            fnv.write_str(&slo.name);
+            fnv.write_u64(slo.attainment.to_bits());
+            fnv.write_u64(slo.violating_windows as u64);
+            for e in &slo.evals {
+                fnv.write_u64(e.window);
+                fnv.write_u64(e.errors.to_bits());
+                fnv.write_u64(e.total.to_bits());
+                fnv.write_u64(e.burn_fast.to_bits());
+                fnv.write_u64(e.burn_slow.to_bits());
+            }
+            for a in &slo.alerts {
+                fnv.write_u64(match a.kind {
+                    AlertKind::Fire => 1,
+                    AlertKind::Clear => 2,
+                });
+                fnv.write_u64(a.window);
+                fnv.write_u64(a.cycle);
+                fnv.write_u64(a.burn_fast.to_bits());
+                fnv.write_u64(a.burn_slow.to_bits());
+            }
+        }
+        fnv.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::SeriesCollector;
+
+    /// 20 windows of 10 requests each; windows 8..12 miss half their
+    /// deadlines, everything else is clean.
+    fn bursty_series() -> TimeSeries {
+        let mut c = SeriesCollector::new(100);
+        for w in 0..20u64 {
+            let cycle = w * 100 + 50;
+            let miss = if (8..12).contains(&w) { 5.0 } else { 0.0 };
+            c.add("deadline.total", cycle, 10.0);
+            c.add("deadline.ok", cycle, 10.0 - miss);
+        }
+        c.finish()
+    }
+
+    #[test]
+    fn burst_fires_then_clears() {
+        let spec = SloSpec::attainment("interactive", "deadline.ok", "deadline.total", 0.99);
+        let report = SloReport::evaluate(&[spec], &bursty_series());
+        let alerts = &report.slos[0].alerts;
+        assert_eq!(alerts.len(), 2, "one fire + one clear: {alerts:?}");
+        assert_eq!(alerts[0].kind, AlertKind::Fire);
+        assert_eq!(alerts[1].kind, AlertKind::Clear);
+        assert!(alerts[0].window >= 8, "fires during the burst");
+        assert!(alerts[1].window >= 12, "clears after recovery");
+        assert!(alerts[0].burn_fast >= 4.0);
+        // 20 misses / 200 requests.
+        assert!((report.slos[0].attainment - 0.9).abs() < 1e-12);
+        assert_eq!(report.slos[0].violating_windows, 4);
+    }
+
+    #[test]
+    fn clean_series_never_alerts() {
+        let mut c = SeriesCollector::new(100);
+        for w in 0..20u64 {
+            c.add("deadline.total", w * 100, 10.0);
+            c.add("deadline.ok", w * 100, 10.0);
+        }
+        let spec = SloSpec::attainment("quiet", "deadline.ok", "deadline.total", 0.99);
+        let report = SloReport::evaluate(&[spec], &c.finish());
+        assert!(report.slos[0].alerts.is_empty());
+        assert_eq!(report.slos[0].attainment, 1.0);
+        assert_eq!(report.alert_count(), 0);
+    }
+
+    #[test]
+    fn single_window_blip_is_rejected_by_the_slow_horizon() {
+        let mut c = SeriesCollector::new(100);
+        for w in 0..40u64 {
+            let miss = if w == 20 { 2.0 } else { 0.0 };
+            c.add("deadline.total", w * 100, 100.0);
+            c.add("deadline.ok", w * 100, 100.0 - miss);
+        }
+        // Fast horizon burns (2% miss / 1% budget = 2x < 4x anyway),
+        // but raise fire_fast sensitivity to prove the slow horizon
+        // gates: 2 misses over 12x100 requests = 0.17% < budget.
+        let mut spec = SloSpec::attainment("blip", "deadline.ok", "deadline.total", 0.99);
+        spec.burn.fire_fast = 0.5;
+        let report = SloReport::evaluate(&[spec], &c.finish());
+        assert!(report.slos[0].alerts.is_empty(), "{:?}", report.slos[0].alerts);
+    }
+
+    #[test]
+    fn quantile_bound_objective_counts_overruns() {
+        let mut c = SeriesCollector::new(100);
+        for w in 0..10u64 {
+            for i in 0..100u64 {
+                // Window 5: every sample blows way past the budget.
+                let v = if w == 5 { 1_000_000 } else { 100 + i % 3 };
+                c.observe("e2e", w * 100, v);
+            }
+        }
+        let spec = SloSpec::quantile_bound("p99", "e2e", 99.0, 10_000);
+        let report = SloReport::evaluate(&[spec], &c.finish());
+        assert_eq!(report.slos[0].violating_windows, 1);
+        assert!(!report.slos[0].alerts.is_empty(), "burst of overruns fires");
+        assert!(report.slos[0].attainment < 1.0);
+    }
+
+    #[test]
+    fn report_surfaces_are_deterministic() {
+        let spec = SloSpec::attainment("interactive", "deadline.ok", "deadline.total", 0.99);
+        let a = SloReport::evaluate(std::slice::from_ref(&spec), &bursty_series());
+        let b = SloReport::evaluate(&[spec], &bursty_series());
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(a.render().contains("FIRE"));
+        let mut rec = Recorder::enabled();
+        a.record(&mut rec, 100);
+        assert_eq!(rec.len(), 20 + 2, "one eval per window + two alerts");
+        assert!(rec.events().iter().all(|e| e.cat == "slo"));
+        let mut disabled = Recorder::disabled();
+        a.record(&mut disabled, 100);
+        assert!(disabled.is_empty());
+    }
+}

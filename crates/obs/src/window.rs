@@ -1,0 +1,433 @@
+//! Tumbling-window time series over virtual time.
+//!
+//! A [`SeriesCollector`] slices the virtual-time axis into fixed-width
+//! windows (`[k*W, (k+1)*W)` cycles) and accumulates three shapes of
+//! data per window: **counters** (f64 sums — arrivals, misses, link
+//! words), **sketches** ([`LogHistogram`] samples — latencies, queue
+//! depths, batch sizes), and **span overlap** (cycles of a `[start,
+//! end)` interval apportioned exactly to the windows it crosses —
+//! device busy time). Feeding sites are serial (the serve event loop),
+//! and samples may arrive for *future* windows (a request's completion
+//! is known at dispatch time), so windows live in a `BTreeMap` keyed by
+//! index until [`SeriesCollector::finish`] freezes them into a
+//! [`TimeSeries`].
+//!
+//! Determinism: every accumulated value is a pure function of the
+//! (serial, deterministic) feed sequence — counter sums are f64 adds in
+//! feed order, sketches are order-free multisets, span overlap is
+//! integer arithmetic. The exported JSON/CSV bytes and the digest are
+//! therefore bit-identical across thread counts, plans, and backends
+//! whenever the simulated quantities are.
+
+use crate::digest::Fnv64;
+use crate::sketch::LogHistogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Accumulating counterpart of one [`WindowRow`].
+#[derive(Debug, Clone, Default)]
+struct WindowAccum {
+    counters: BTreeMap<String, f64>,
+    sketches: BTreeMap<String, LogHistogram>,
+}
+
+/// Collects windowed series; freeze with [`SeriesCollector::finish`].
+#[derive(Debug, Clone)]
+pub struct SeriesCollector {
+    window_cycles: u64,
+    windows: BTreeMap<u64, WindowAccum>,
+}
+
+impl SeriesCollector {
+    /// A collector with `window_cycles`-wide tumbling windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_cycles` is zero.
+    #[must_use]
+    pub fn new(window_cycles: u64) -> Self {
+        assert!(window_cycles > 0, "window width must be positive");
+        SeriesCollector { window_cycles, windows: BTreeMap::new() }
+    }
+
+    /// Window width in cycles.
+    #[must_use]
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    fn accum(&mut self, cycle: u64) -> &mut WindowAccum {
+        let idx = cycle / self.window_cycles;
+        self.windows.entry(idx).or_default()
+    }
+
+    /// Adds `amount` to counter `name` in the window containing `cycle`.
+    pub fn add(&mut self, name: &str, cycle: u64, amount: f64) {
+        let acc = self.accum(cycle);
+        *acc.counters.entry(name.to_owned()).or_insert(0.0) += amount;
+    }
+
+    /// Records `value` into sketch `name` in the window containing
+    /// `cycle`.
+    pub fn observe(&mut self, name: &str, cycle: u64, value: u64) {
+        let acc = self.accum(cycle);
+        acc.sketches.entry(name.to_owned()).or_default().observe(value);
+    }
+
+    /// Apportions the cycles of span `[start, end)` to counter `name`
+    /// across every window the span overlaps — exact integer overlap,
+    /// so a device's busy fraction per window is the true fraction.
+    pub fn add_span(&mut self, name: &str, start: u64, end: u64) {
+        if end <= start {
+            return;
+        }
+        let w = self.window_cycles;
+        let first = start / w;
+        let last = (end - 1) / w;
+        for idx in first..=last {
+            let w_start = idx * w;
+            let w_end = w_start + w;
+            let overlap = end.min(w_end) - start.max(w_start);
+            let acc = self.windows.entry(idx).or_default();
+            *acc.counters.entry(name.to_owned()).or_insert(0.0) += overlap as f64;
+        }
+    }
+
+    /// Freezes the collector into a [`TimeSeries`]: contiguous windows
+    /// from index 0 (the run starts at cycle 0) through the last window
+    /// that received data, empty windows included — a window with no
+    /// arrivals is a real observation, not a gap.
+    #[must_use]
+    pub fn finish(self) -> TimeSeries {
+        let last = self.windows.keys().next_back().copied();
+        let mut counter_names: Vec<String> = Vec::new();
+        let mut sketch_names: Vec<String> = Vec::new();
+        for acc in self.windows.values() {
+            for name in acc.counters.keys() {
+                if !counter_names.contains(name) {
+                    counter_names.push(name.clone());
+                }
+            }
+            for name in acc.sketches.keys() {
+                if !sketch_names.contains(name) {
+                    sketch_names.push(name.clone());
+                }
+            }
+        }
+        counter_names.sort_unstable();
+        sketch_names.sort_unstable();
+        let mut windows = self.windows;
+        let rows: Vec<WindowRow> = match last {
+            None => Vec::new(),
+            Some(last) => (0..=last)
+                .map(|idx| {
+                    let acc = windows.remove(&idx).unwrap_or_default();
+                    WindowRow {
+                        index: idx,
+                        start: idx * self.window_cycles,
+                        end: (idx + 1) * self.window_cycles,
+                        counters: acc.counters,
+                        sketches: acc.sketches,
+                    }
+                })
+                .collect(),
+        };
+        TimeSeries { window_cycles: self.window_cycles, counter_names, sketch_names, rows }
+    }
+}
+
+/// One frozen window of a [`TimeSeries`].
+#[derive(Debug, Clone, Default)]
+pub struct WindowRow {
+    /// Window index (`start / window_cycles`).
+    pub index: u64,
+    /// First cycle covered (inclusive).
+    pub start: u64,
+    /// One past the last cycle covered.
+    pub end: u64,
+    counters: BTreeMap<String, f64>,
+    sketches: BTreeMap<String, LogHistogram>,
+}
+
+impl WindowRow {
+    /// Counter `name`'s sum in this window (`0.0` when never fed).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Sketch `name` in this window, if any sample landed here.
+    #[must_use]
+    pub fn sketch(&self, name: &str) -> Option<&LogHistogram> {
+        self.sketches.get(name)
+    }
+}
+
+/// A frozen windowed time series: the output of
+/// [`SeriesCollector::finish`], input to the SLO monitor and the
+/// JSON/CSV exporters.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// Window width in cycles.
+    pub window_cycles: u64,
+    /// Sorted names of every counter series present.
+    pub counter_names: Vec<String>,
+    /// Sorted names of every sketch series present.
+    pub sketch_names: Vec<String>,
+    /// Windows in index order, contiguous from 0.
+    pub rows: Vec<WindowRow>,
+}
+
+impl TimeSeries {
+    /// Number of windows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the series holds no windows at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Counter `name` as one value per window, for sparklines.
+    #[must_use]
+    pub fn counter_values(&self, name: &str) -> Vec<f64> {
+        self.rows.iter().map(|r| r.counter(name)).collect()
+    }
+
+    /// Sketch `name`'s quantile per window (`0` where empty).
+    #[must_use]
+    pub fn quantile_values(&self, name: &str, pct: f64) -> Vec<f64> {
+        self.rows.iter().map(|r| r.sketch(name).map_or(0.0, |s| s.quantile(pct) as f64)).collect()
+    }
+
+    /// Exports the series as deterministic JSON: window metadata plus
+    /// per-window counter sums and sketch summaries
+    /// (count/mean/p50/p95/p99/max).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"window_cycles\":{},\"windows\":[", self.window_cycles);
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"index\":{},\"start\":{},\"end\":{}",
+                row.index, row.start, row.end
+            );
+            out.push_str(",\"counters\":{");
+            for (j, name) in self.counter_names.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_string(name), json_f64(row.counter(name)));
+            }
+            out.push_str("},\"sketches\":{");
+            let mut first = true;
+            for name in &self.sketch_names {
+                let Some(s) = row.sketch(name) else { continue };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{}:{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                    json_string(name),
+                    s.count(),
+                    json_f64(s.mean()),
+                    s.quantile(50.0),
+                    s.quantile(95.0),
+                    s.quantile(99.0),
+                    s.max(),
+                );
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Exports the series as deterministic CSV: one row per window;
+    /// one column per counter, five columns (`.count/.p50/.p95/.p99/
+    /// .max`) per sketch.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("window,start,end");
+        for name in &self.counter_names {
+            let _ = write!(out, ",{}", csv_field(name));
+        }
+        for name in &self.sketch_names {
+            for suffix in ["count", "p50", "p95", "p99", "max"] {
+                let _ = write!(out, ",{}.{suffix}", csv_field(name));
+            }
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "{},{},{}", row.index, row.start, row.end);
+            for name in &self.counter_names {
+                let _ = write!(out, ",{}", json_f64(row.counter(name)));
+            }
+            for name in &self.sketch_names {
+                match row.sketch(name) {
+                    None => out.push_str(",0,0,0,0,0"),
+                    Some(s) => {
+                        let _ = write!(
+                            out,
+                            ",{},{},{},{},{}",
+                            s.count(),
+                            s.quantile(50.0),
+                            s.quantile(95.0),
+                            s.quantile(99.0),
+                            s.max(),
+                        );
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// FNV-1a digest over the series' full state — window geometry,
+    /// every counter bit pattern, every sketch bucket — the one-line
+    /// comparator determinism tests pin across thread counts, plans,
+    /// and backends.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut fnv = Fnv64::new();
+        fnv.write_u64(self.window_cycles);
+        fnv.write_u64(self.rows.len() as u64);
+        for row in &self.rows {
+            fnv.write_u64(row.index);
+            for name in &self.counter_names {
+                fnv.write_str(name);
+                fnv.write_u64(row.counter(name).to_bits());
+            }
+            for name in &self.sketch_names {
+                fnv.write_str(name);
+                if let Some(s) = row.sketch(name) {
+                    s.digest_into(&mut fnv);
+                }
+            }
+        }
+        fnv.finish()
+    }
+}
+
+/// Escapes a name for a CSV header cell (commas and quotes would break
+/// the column grid; series names avoid both, but stay safe).
+fn csv_field(name: &str) -> String {
+    if name.contains(',') || name.contains('"') {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    } else {
+        name.to_owned()
+    }
+}
+
+pub(crate) use jsonfmt::{json_f64, json_string};
+
+/// Tiny local JSON formatting helpers (scnn_telemetry keeps its own
+/// private; duplicating two 10-line functions beats widening that API).
+mod jsonfmt {
+    use std::fmt::Write as _;
+
+    pub(crate) fn json_string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    pub(crate) fn json_f64(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "0".to_owned()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_contiguous_from_zero_with_gaps_filled() {
+        let mut c = SeriesCollector::new(100);
+        c.add("arrivals", 350, 1.0);
+        c.add("arrivals", 120, 2.0);
+        let ts = c.finish();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.rows[0].counter("arrivals"), 0.0);
+        assert_eq!(ts.rows[1].counter("arrivals"), 2.0);
+        assert_eq!(ts.rows[2].counter("arrivals"), 0.0);
+        assert_eq!(ts.rows[3].counter("arrivals"), 1.0);
+        assert_eq!((ts.rows[3].start, ts.rows[3].end), (300, 400));
+    }
+
+    #[test]
+    fn span_overlap_is_exact_across_window_boundaries() {
+        let mut c = SeriesCollector::new(100);
+        c.add_span("busy", 50, 250); // 50 + 100 + 50
+        c.add_span("busy", 240, 240); // empty span: nothing
+        let ts = c.finish();
+        assert_eq!(ts.counter_values("busy"), vec![50.0, 100.0, 50.0]);
+        let total: f64 = ts.counter_values("busy").iter().sum();
+        assert_eq!(total, 200.0, "apportioned cycles sum to span length");
+    }
+
+    #[test]
+    fn out_of_order_and_future_samples_land_in_their_windows() {
+        let mut c = SeriesCollector::new(10);
+        c.observe("lat", 95, 700); // future window first
+        c.observe("lat", 5, 300);
+        let ts = c.finish();
+        assert_eq!(ts.rows[0].sketch("lat").unwrap().count(), 1);
+        assert_eq!(ts.rows[9].sketch("lat").unwrap().count(), 1);
+        assert!(ts.rows[4].sketch("lat").is_none());
+    }
+
+    #[test]
+    fn exports_and_digest_are_stable() {
+        let build = || {
+            let mut c = SeriesCollector::new(50);
+            c.add("n", 10, 1.5);
+            c.observe("q", 60, 42);
+            c.add_span("busy", 0, 75);
+            c.finish()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.to_json().contains("\"window_cycles\":50"));
+        let header = a.to_csv().lines().next().unwrap().to_owned();
+        assert_eq!(header, "window,start,end,busy,n,q.count,q.p50,q.p95,q.p99,q.max");
+    }
+
+    #[test]
+    fn empty_collector_finishes_empty() {
+        let ts = SeriesCollector::new(10).finish();
+        assert!(ts.is_empty());
+        assert_eq!(ts.to_csv(), "window,start,end\n");
+    }
+}

@@ -35,10 +35,15 @@
 //! Observability rides along without perturbing any of it:
 //! [`simulate_traced`] is the same event loop with an
 //! [`scnn_telemetry::Recorder`] attached (request lifecycle on
-//! per-tenant and per-device tracks, Perfetto-exportable), the cache
+//! per-tenant and per-device tracks, with per-request Perfetto flow
+//! events binding arrival → batch seal → device execution), the cache
 //! and device counters are backed by an [`scnn_telemetry::Registry`],
 //! and [`ServeReport::metrics_registry`] exports the report as named
-//! metrics.
+//! metrics. [`simulate_observed`] additionally feeds an
+//! `scnn_obs::SeriesCollector` (windowed arrival/latency/occupancy
+//! series, see [`obs`]) and evaluates burn-rate [`scnn_obs::SloSpec`]s
+//! over the finished series — still without changing a single reported
+//! byte, which `tests/observability.rs` locks.
 //!
 //! # Quickstart
 //!
@@ -79,6 +84,7 @@ pub mod cache;
 pub mod engine;
 mod hash;
 pub mod metrics;
+pub mod obs;
 pub mod sim;
 pub mod trace;
 
@@ -87,5 +93,6 @@ pub use cache::{CacheStats, ModelCache, ModelKey};
 pub use engine::{Engine, ModelProfile};
 pub use hash::digest_report;
 pub use metrics::{ArtifactStats, GroupMetrics, LatencySummary, ServeReport, TenantReport};
-pub use sim::{simulate, simulate_traced, ServeConfig};
-pub use trace::{generate, DeadlineClass, Request, TenantSpec, Trace};
+pub use obs::{ObsConfig, ServeObservation};
+pub use sim::{simulate, simulate_observed, simulate_traced, ServeConfig};
+pub use trace::{generate, generate_phased, DeadlineClass, LoadPhase, Request, TenantSpec, Trace};

@@ -56,6 +56,46 @@ fn nearest_rank(sorted: &[u64], pct: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Formats an `f64` as a JSON number token (also used for CSV fields):
+/// `{}` keeps integral values short and round-trips everything else,
+/// while non-finite values — unrepresentable in JSON — map to `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Escapes one CSV field: names are free-form, so anything containing a
+/// comma, quote or newline gets quoted with doubled inner quotes.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
 /// Persistent artifact-store counters for one serving run: how the
 /// engine's on-disk compiled-model cache ([`scnn::artifact`]) behaved
 /// across every calibration. All zeros when the store is disabled —
@@ -105,6 +145,68 @@ impl GroupMetrics {
             return 0.0;
         }
         self.deadline_misses as f64 / self.requests as f64
+    }
+
+    /// The column names [`GroupMetrics::csv_row`] emits, in order —
+    /// callers prepend their own scope columns.
+    pub const CSV_COLUMNS: &'static str = "requests,deadline_misses,miss_rate,\
+        queue_p50,queue_p95,queue_p99,queue_max,queue_mean,\
+        e2e_p50,e2e_p95,e2e_p99,e2e_max,e2e_mean,\
+        energy_pj_per_request,dram_words_per_request,link_words_per_request";
+
+    /// This group as one machine-readable CSV fragment (no scope
+    /// columns, no trailing newline) matching
+    /// [`GroupMetrics::CSV_COLUMNS`].
+    #[must_use]
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.requests,
+            self.deadline_misses,
+            json_f64(self.deadline_miss_rate()),
+            self.queue.p50,
+            self.queue.p95,
+            self.queue.p99,
+            self.queue.max,
+            json_f64(self.queue.mean),
+            self.e2e.p50,
+            self.e2e.p95,
+            self.e2e.p99,
+            self.e2e.max,
+            json_f64(self.e2e.mean),
+            json_f64(self.energy_pj_per_request),
+            json_f64(self.dram_words_per_request),
+            json_f64(self.link_words_per_request),
+        )
+    }
+
+    /// This group as a JSON object (the same fields as
+    /// [`GroupMetrics::csv_row`], nested).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let lat = |s: &LatencySummary| {
+            format!(
+                "{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"mean\":{}}}",
+                s.p50,
+                s.p95,
+                s.p99,
+                s.max,
+                json_f64(s.mean)
+            )
+        };
+        format!(
+            "{{\"requests\":{},\"deadline_misses\":{},\"miss_rate\":{},\"queue\":{},\"e2e\":{},\
+             \"energy_pj_per_request\":{},\"dram_words_per_request\":{},\
+             \"link_words_per_request\":{}}}",
+            self.requests,
+            self.deadline_misses,
+            json_f64(self.deadline_miss_rate()),
+            lat(&self.queue),
+            lat(&self.e2e),
+            json_f64(self.energy_pj_per_request),
+            json_f64(self.dram_words_per_request),
+            json_f64(self.link_words_per_request),
+        )
     }
 }
 
@@ -240,6 +342,106 @@ impl ServeReport {
         reg.inc("artifact.load_bytes", self.artifacts.load_bytes);
         reg.inc("artifact.save_bytes", self.artifacts.save_bytes);
         reg
+    }
+
+    /// The full report as one JSON object — every section of
+    /// [`ServeReport::render`] in machine-readable form, byte-identical
+    /// for byte-identical reports.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"name\":{},\"model\":{},\"class\":{},\"metrics\":{}}}",
+                    json_string(&t.name),
+                    json_string(&t.model),
+                    json_string(t.deadline),
+                    t.metrics.to_json(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let backends = self
+            .backends
+            .iter()
+            .map(|b| {
+                format!(
+                    "{{\"backend\":{},\"devices\":{},\"metrics\":{}}}",
+                    json_string(&b.backend),
+                    b.devices,
+                    b.metrics.to_json(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let devices = self
+            .devices
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"backend\":{},\"batches\":{},\"images\":{},\"busy_cycles\":{},\
+                     \"weight_loads\":{}}}",
+                    json_string(&d.backend),
+                    d.batches,
+                    d.images,
+                    d.busy_cycles,
+                    d.weight_loads,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"end_cycle\":{},\"mean_batch_size\":{},\"throughput_per_mcycle\":{},\
+             \"device_utilization\":{},\"global\":{},\"tenants\":[{}],\"backends\":[{}],\
+             \"devices\":[{}],\"cache\":{{\"hits\":{},\"misses\":{},\"compulsory_misses\":{},\
+             \"evictions\":{}}},\"artifacts\":{{\"hits\":{},\"misses\":{},\"load_bytes\":{},\
+             \"save_bytes\":{}}}}}",
+            self.end_cycle,
+            json_f64(self.mean_batch_size),
+            json_f64(self.throughput_per_mcycle()),
+            json_f64(self.device_utilization()),
+            self.global.to_json(),
+            tenants,
+            backends,
+            devices,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.compulsory_misses,
+            self.cache.evictions,
+            self.artifacts.hits,
+            self.artifacts.misses,
+            self.artifacts.load_bytes,
+            self.artifacts.save_bytes,
+        )
+    }
+
+    /// The group-metrics tables as CSV: one row per scope (`global`,
+    /// each tenant, each backend), with [`GroupMetrics::CSV_COLUMNS`]
+    /// after the scope columns. Trailing newline included.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("scope,name,model,class,devices,{}\n", GroupMetrics::CSV_COLUMNS);
+        out.push_str(&format!("global,,,,{},{}\n", self.devices.len(), self.global.csv_row()));
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "tenant,{},{},{},,{}\n",
+                csv_field(&t.name),
+                csv_field(&t.model),
+                t.deadline,
+                t.metrics.csv_row()
+            ));
+        }
+        for b in &self.backends {
+            out.push_str(&format!(
+                "backend,{},,,{},{}\n",
+                csv_field(&b.backend),
+                b.devices,
+                b.metrics.csv_row()
+            ));
+        }
+        out
     }
 
     /// Renders the plain-text report.
@@ -418,6 +620,75 @@ mod tests {
         assert_eq!(GroupMetrics::default().deadline_miss_rate(), 0.0);
         let g = GroupMetrics { requests: 4, deadline_misses: 1, ..Default::default() };
         assert!((g.deadline_miss_rate() - 0.25).abs() < 1e-12);
+    }
+
+    fn sample_report() -> ServeReport {
+        ServeReport {
+            end_cycle: 1_000,
+            mean_batch_size: 2.5,
+            global: GroupMetrics {
+                requests: 10,
+                deadline_misses: 1,
+                queue: LatencySummary { p50: 5, p95: 9, p99: 10, max: 10, mean: 5.5 },
+                e2e: LatencySummary { p50: 50, p95: 90, p99: 100, max: 100, mean: 55.0 },
+                energy_pj_per_request: 1.5e6,
+                dram_words_per_request: 100.0,
+                link_words_per_request: 0.0,
+            },
+            tenants: vec![TenantReport {
+                name: "web,\"a\"".into(), // exercises CSV/JSON escaping
+                model: "alexnet".into(),
+                deadline: "interactive",
+                metrics: GroupMetrics { requests: 10, ..Default::default() },
+            }],
+            backends: vec![BackendReport {
+                backend: "scnn".into(),
+                devices: 2,
+                metrics: GroupMetrics { requests: 10, ..Default::default() },
+            }],
+            devices: vec![DeviceReport {
+                backend: "scnn".into(),
+                batches: 4,
+                images: 10,
+                busy_cycles: 600,
+                weight_loads: 1,
+            }],
+            cache: CacheStats { hits: 8, misses: 2, compulsory_misses: 2, evictions: 0 },
+            artifacts: ArtifactStats::default(),
+        }
+    }
+
+    #[test]
+    fn report_json_is_well_formed_and_complete() {
+        let json = sample_report().to_json();
+        // Parse it with the workspace's strict JSON walker by embedding
+        // it next to an empty traceEvents array.
+        let wrapped = format!("{{\"traceEvents\":[],\"report\":{json}}}");
+        scnn_telemetry::validate_chrome_trace(&wrapped).expect("report JSON must parse");
+        for key in ["end_cycle", "global", "tenants", "backends", "devices", "cache", "artifacts"] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        assert!(json.contains("\"name\":\"web,\\\"a\\\"\""), "tenant name must be escaped");
+        assert!(json.contains("\"miss_rate\":0.1"));
+        // Byte-determinism: same report, same bytes.
+        assert_eq!(json, sample_report().to_json());
+    }
+
+    #[test]
+    fn report_csv_has_one_row_per_scope() {
+        let csv = sample_report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4, "header + global + tenant + backend");
+        assert!(lines[0].starts_with("scope,name,model,class,devices,requests,"));
+        assert!(lines[1].starts_with("global,,,,1,10,1,0.1,5,9,10,10,5.5,"));
+        // The comma-and-quote tenant name must arrive quoted-and-doubled.
+        assert!(lines[2].starts_with("tenant,\"web,\"\"a\"\"\",alexnet,interactive,,10,"));
+        assert!(lines[3].starts_with("backend,scnn,,,2,10,"));
+        // Every row has the same number of (unquoted) columns as the
+        // header, once the quoted field's inner commas are removed.
+        let cols = lines[0].split(',').count();
+        assert_eq!(lines[1].split(',').count(), cols);
+        assert_eq!(lines[3].split(',').count(), cols);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Windowed observability for the serving event loop.
+//!
+//! [`crate::sim::simulate_observed`] runs the ordinary simulation with
+//! an `scnn_obs::SeriesCollector` listening at three serial points of
+//! the loop — arrival, dispatch, and per-request completion accounting
+//! — and evaluates declarative [`SloSpec`]s over the frozen series
+//! afterwards. Observation is strictly read-only: every fed value is a
+//! quantity the loop already computed, the collector's state is never
+//! consulted by the scheduler, and the returned [`crate::ServeReport`]
+//! is identical to [`crate::sim::simulate`]'s (test-locked).
+//!
+//! ## Series vocabulary
+//!
+//! Counters (per window sums):
+//! - `arrivals`, `arrivals.class.{class}`, `arrivals.model.{model}`
+//! - `deadline.ok` / `deadline.total` and their `.class.{class}`
+//!   splits, accounted in the window a request *finishes* in
+//! - `weight.reloads`, `link.words` (+ `.model.{model}`)
+//! - `device.{i}.busy_cycles` — exact span overlap of each batch's
+//!   service interval with each window
+//!
+//! Sketches (per window quantile histograms):
+//! - `queue.depth` — batcher backlog sampled at each arrival
+//! - `batch.size` (+ `.model.{model}`) — sampled at dispatch
+//! - `queue.wait` / `queue.wait.class.{class}` — arrival → dispatch
+//! - `e2e` / `e2e.class.{class}` — arrival → completion, accounted in
+//!   the completion window
+//!
+//! A completion sample lands in a *future* window (the finish cycle is
+//! known at dispatch time); the collector accepts out-of-order feeds
+//! by design, and the feed order itself stays serial and deterministic.
+
+use crate::batcher::Batch;
+use crate::trace::{Request, Trace};
+use scnn_obs::{SeriesCollector, SloReport, SloSpec, TimeSeries};
+
+/// Configuration of one observed run: window width plus the SLOs to
+/// evaluate over the finished series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Tumbling-window width in virtual cycles.
+    pub window_cycles: u64,
+    /// Objectives evaluated (in order) over the windowed series.
+    pub slos: Vec<SloSpec>,
+}
+
+impl ObsConfig {
+    /// The standard serving objective set over `window_cycles`-wide
+    /// windows: 99% deadline attainment per deadline class, with the
+    /// default fast/slow burn-rate alert policy.
+    #[must_use]
+    pub fn standard(window_cycles: u64) -> Self {
+        let slos = ["interactive", "standard", "relaxed"]
+            .iter()
+            .map(|class| {
+                SloSpec::attainment(
+                    &format!("deadline:{class}"),
+                    &format!("deadline.ok.class.{class}"),
+                    &format!("deadline.total.class.{class}"),
+                    0.99,
+                )
+            })
+            .collect();
+        ObsConfig { window_cycles, slos }
+    }
+}
+
+/// What an observed run hands back besides the (unchanged) report.
+#[derive(Debug, Clone)]
+pub struct ServeObservation {
+    /// The frozen windowed series.
+    pub series: TimeSeries,
+    /// SLO evaluations and burn-rate alerts over that series.
+    pub slo: SloReport,
+}
+
+impl ServeObservation {
+    /// Combined FNV digest of the series and the SLO report — the
+    /// one-line comparator for determinism tests.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        // Rotate the series digest so (series, slo) pairs don't cancel.
+        self.series.digest().rotate_left(17) ^ self.slo.digest()
+    }
+}
+
+/// The collector plus the static naming tables the feeding sites need.
+/// Lives inside the event loop only while a `simulate_observed` run is
+/// active.
+pub(crate) struct ObsState {
+    pub(crate) collector: SeriesCollector,
+    /// Deadline-class name per tenant index.
+    class_of: Vec<&'static str>,
+}
+
+impl ObsState {
+    pub(crate) fn new(cfg: &ObsConfig, trace: &Trace) -> Self {
+        ObsState {
+            collector: SeriesCollector::new(cfg.window_cycles),
+            class_of: trace.tenants.iter().map(|t| t.deadline.name()).collect(),
+        }
+    }
+
+    /// Arrival hook: rate counters plus the backlog gauge.
+    pub(crate) fn on_arrival(&mut self, req: &Request, queue_depth: usize) {
+        let c = &mut self.collector;
+        let at = req.arrival;
+        c.add("arrivals", at, 1.0);
+        c.add(&format!("arrivals.class.{}", self.class_of[req.tenant]), at, 1.0);
+        c.add(&format!("arrivals.model.{}", req.model), at, 1.0);
+        c.observe("queue.depth", at, queue_depth as u64);
+    }
+
+    /// Dispatch hook: batch shape, device occupancy, reload and link
+    /// traffic.
+    pub(crate) fn on_dispatch(
+        &mut self,
+        batch: &Batch,
+        di: usize,
+        now: u64,
+        finish: u64,
+        switch: bool,
+        link_words: f64,
+    ) {
+        let c = &mut self.collector;
+        let images = batch.len() as u64;
+        c.observe("batch.size", now, images);
+        c.observe(&format!("batch.size.model.{}", batch.model), now, images);
+        c.add_span(&format!("device.{di}.busy_cycles"), now, finish);
+        if switch {
+            c.add("weight.reloads", now, 1.0);
+        }
+        if link_words > 0.0 {
+            c.add("link.words", now, link_words);
+            c.add(&format!("link.words.model.{}", batch.model), now, link_words);
+        }
+    }
+
+    /// Per-request completion hook (called at dispatch time; `finish`
+    /// is in the future and lands in its own window).
+    pub(crate) fn on_request_done(
+        &mut self,
+        req: &Request,
+        now: u64,
+        finish: u64,
+        deadline_ok: bool,
+    ) {
+        let c = &mut self.collector;
+        let class = self.class_of[req.tenant];
+        c.observe("queue.wait", now, now - req.arrival);
+        c.observe(&format!("queue.wait.class.{class}"), now, now - req.arrival);
+        c.observe("e2e", finish, finish - req.arrival);
+        c.observe(&format!("e2e.class.{class}"), finish, finish - req.arrival);
+        c.add("deadline.total", finish, 1.0);
+        c.add(&format!("deadline.total.class.{class}"), finish, 1.0);
+        if deadline_ok {
+            c.add("deadline.ok", finish, 1.0);
+            c.add(&format!("deadline.ok.class.{class}"), finish, 1.0);
+        }
+    }
+}

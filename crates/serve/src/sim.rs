@@ -42,7 +42,9 @@ use crate::engine::{Engine, ModelProfile};
 use crate::metrics::{
     BackendReport, DeviceReport, GroupMetrics, LatencySummary, ServeReport, TenantReport,
 };
+use crate::obs::{ObsConfig, ObsState, ServeObservation};
 use crate::trace::Trace;
+use scnn_obs::SloReport;
 use scnn_sim::BackendKind;
 use scnn_telemetry::{Arg, Recorder, Registry, TrackId};
 use std::collections::BTreeMap;
@@ -127,6 +129,10 @@ struct SimCtx<'a> {
     cache: ModelCache<Rc<ModelProfile>>,
     done: Vec<Done>,
     metrics: Registry,
+    /// Windowed-series listener for observed runs; `None` costs
+    /// nothing. Strictly read-only with respect to the simulation: it
+    /// is fed values the loop computed and never consulted.
+    obs: Option<&'a mut ObsState>,
 }
 
 /// Runs the serving simulation of `trace` under `cfg`, calibrating
@@ -167,6 +173,50 @@ pub fn simulate_traced(
     trace: &Trace,
     cfg: &ServeConfig,
     rec: &mut Recorder,
+) -> ServeReport {
+    run(engine, trace, cfg, rec, None)
+}
+
+/// [`simulate_traced`] with a windowed-series collector and SLO monitor
+/// attached (see [`crate::obs`] for the series vocabulary). Returns the
+/// report — **identical** to [`simulate`]'s, byte for byte; observation
+/// reads values the loop computed and never feeds back — plus the
+/// frozen [`ServeObservation`]. SLO evaluations and burn-rate alert
+/// transitions are also recorded into `rec` (category `"slo"`), after
+/// the loop finishes, so an exported trace carries them.
+///
+/// Determinism: the series, the SLO report, and their digests are pure
+/// functions of `(trace, cfg, obs, engine registration)` — bit-identical
+/// across `SCNN_THREADS` / `SCNN_PE_THREADS` / plan / backend choices
+/// whenever the underlying simulated quantities are.
+///
+/// # Panics
+///
+/// As [`simulate`]; additionally if `obs.window_cycles` is zero.
+#[must_use]
+pub fn simulate_observed(
+    engine: &mut Engine,
+    trace: &Trace,
+    cfg: &ServeConfig,
+    rec: &mut Recorder,
+    obs: &ObsConfig,
+) -> (ServeReport, ServeObservation) {
+    let mut state = ObsState::new(obs, trace);
+    let report = run(engine, trace, cfg, rec, Some(&mut state));
+    let series = state.collector.finish();
+    let slo = SloReport::evaluate(&obs.slos, &series);
+    slo.record(rec, obs.window_cycles);
+    (report, ServeObservation { series, slo })
+}
+
+/// The event loop shared by [`simulate`], [`simulate_traced`], and
+/// [`simulate_observed`].
+fn run(
+    engine: &mut Engine,
+    trace: &Trace,
+    cfg: &ServeConfig,
+    rec: &mut Recorder,
+    obs: Option<&mut ObsState>,
 ) -> ServeReport {
     assert!(cfg.devices > 0, "serving needs at least one device");
     let backends: Vec<BackendKind> = if cfg.device_backends.is_empty() {
@@ -219,6 +269,7 @@ pub fn simulate_traced(
         cache: ModelCache::new(cfg.cache_capacity),
         done: Vec::with_capacity(trace.len()),
         metrics: Registry::new(),
+        obs,
     };
     let mut devices: Vec<Device> =
         backends.iter().map(|&backend| Device { backend, free_at: 0, resident: None }).collect();
@@ -276,8 +327,20 @@ pub fn simulate_traced(
             if tel.rec.is_enabled() {
                 let track = tel.tenants[req.tenant];
                 tel.rec.instant(track, "serve", &format!("enqueue:{}", req.model), req.arrival);
+                // Mint the request's causal flow at arrival; ids are
+                // offset by one because flow ids must be non-zero.
+                tel.rec.flow_start(
+                    track,
+                    "req",
+                    &format!("req{}", req.id),
+                    req.arrival,
+                    req.id + 1,
+                );
             }
             batcher.push(req.clone());
+            if let Some(obs) = ctx.obs.as_deref_mut() {
+                obs.on_arrival(req, batcher.pending());
+            }
             next_arrival += 1;
         }
     }
@@ -309,7 +372,7 @@ fn dispatch(
     di: usize,
     now: u64,
 ) {
-    let SimCtx { engine, cfg, cache, done, metrics } = ctx;
+    let SimCtx { engine, cfg, cache, done, metrics, obs } = ctx;
     let key = engine.key_for(&batch.model);
     let (profile, hit) = cache.get_or_insert_with(&key, now, || engine.profile(&batch.model));
     let profile = Rc::clone(profile);
@@ -331,6 +394,16 @@ fn dispatch(
 
     device.free_at = finish;
     device.resident = Some(batch.model.clone());
+    if let Some(obs) = obs.as_deref_mut() {
+        obs.on_dispatch(
+            &batch,
+            di,
+            now,
+            finish,
+            switch,
+            profile.link_words_per_image * images as f64,
+        );
+    }
     metrics.inc(&format!("device.{di}.batches"), 1);
     metrics.inc(&format!("device.{di}.images"), images);
     metrics.inc(&format!("device.{di}.busy_cycles"), service);
@@ -396,19 +469,29 @@ fn dispatch(
         + share(profile.weight_energy_pj);
     let dram_words = profile.image_dram_words + share(profile.weight_dram_words);
     for req in batch.requests {
+        let budget = req.deadline.budget_factor() * profile.image_cycles;
+        let deadline_ok = finish - req.arrival <= budget;
         if tel.rec.is_enabled() {
             let track = tel.tenants[req.tenant];
             tel.rec.span(track, "serve", &format!("queued:{}", batch.model), req.arrival, now);
             tel.rec.instant(track, "serve", "complete", finish);
+            // Thread the request's flow through the batcher's coalesce
+            // point into the device's execute span: enqueue (start, at
+            // arrival) -> seal (step) -> completion (end).
+            let flow = format!("req{}", req.id);
+            tel.rec.flow_step(tel.batcher, "req", &flow, now, req.id + 1);
+            tel.rec.flow_end(tel.devices[di], "req", &flow, finish, req.id + 1);
         }
-        let budget = req.deadline.budget_factor() * profile.image_cycles;
+        if let Some(obs) = obs.as_deref_mut() {
+            obs.on_request_done(&req, now, finish, deadline_ok);
+        }
         done.push(Done {
             tenant: req.tenant,
             backend: profile.backend,
             arrival: req.arrival,
             start: now,
             finish,
-            deadline_ok: finish - req.arrival <= budget,
+            deadline_ok,
             energy_pj,
             dram_words,
             link_words: profile.link_words_per_image,

@@ -57,6 +57,25 @@ impl Recorder {
                         json_string(&event.name),
                     );
                 }
+                EventKind::FlowStart | EventKind::FlowStep | EventKind::FlowEnd => {
+                    let ph = match event.kind {
+                        EventKind::FlowStart => "s",
+                        EventKind::FlowStep => "t",
+                        _ => "f",
+                    };
+                    // "bp":"e" binds the flow end to its enclosing
+                    // slice rather than the next slice on the track.
+                    let bp = if event.kind == EventKind::FlowEnd { r#","bp":"e""# } else { "" };
+                    let _ = write!(
+                        line,
+                        r#"{{"ph":"{ph}","pid":0,"tid":{},"ts":{},"id":{}{bp},"cat":{},"name":{}"#,
+                        event.track.index(),
+                        event.cycle,
+                        event.id,
+                        json_string(event.cat),
+                        json_string(&event.name),
+                    );
+                }
             }
             if !event.args.is_empty() {
                 line.push_str(",\"args\":{");
@@ -116,23 +135,56 @@ pub(crate) fn json_f64(v: f64) -> String {
     }
 }
 
+/// Per-trace tallies produced by [`validate_chrome_trace_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total elements in the `traceEvents` array (metadata included).
+    pub events: usize,
+    /// Flow-start (`"ph":"s"`) events.
+    pub flow_starts: usize,
+    /// Flow-step (`"ph":"t"`) events.
+    pub flow_steps: usize,
+    /// Flow-end (`"ph":"f"`) events.
+    pub flow_ends: usize,
+    /// Distinct flow ids, each with balanced start/end hops.
+    pub bound_flows: usize,
+    /// Events in the `"slo"` category (monitor evaluations + alerts).
+    pub slo_events: usize,
+}
+
 /// Validates that `text` is well-formed JSON whose top level is an
 /// object containing a `traceEvents` array, and returns the number of
 /// events in that array.
 ///
 /// This is a deliberately small recursive-descent checker — enough for
 /// CI to assert "the emitted trace is valid JSON with > 0 events"
-/// without a JSON dependency, not a general-purpose parser.
+/// without a JSON dependency, not a general-purpose parser. Beyond
+/// syntax it enforces two semantic invariants on event objects: span
+/// durations must be non-negative, and flow chains must bind — every
+/// flow id's start count equals its end count (a dangling `"ph":"s"`
+/// with no matching `"ph":"f"` renders as an arrow into nowhere).
 ///
 /// # Errors
 ///
-/// Returns a human-readable description of the first syntax problem, or
-/// of a missing/ill-typed `traceEvents` key.
+/// Returns a human-readable description of the first syntax problem,
+/// of a missing/ill-typed `traceEvents` key, of a negative `dur`, or of
+/// an unbalanced or id-less flow event.
 pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    validate_chrome_trace_stats(text).map(|s| s.events)
+}
+
+/// [`validate_chrome_trace`] returning the full [`TraceStats`] tallies
+/// (flow pairing counts, SLO-category events) instead of just the
+/// event count. Same validity rules and errors.
+///
+/// # Errors
+///
+/// See [`validate_chrome_trace`].
+pub fn validate_chrome_trace_stats(text: &str) -> Result<TraceStats, String> {
     let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
     p.skip_ws();
     p.expect(b'{')?;
-    let mut events: Option<usize> = None;
+    let mut stats: Option<TraceStats> = None;
     p.skip_ws();
     if !p.eat(b'}') {
         loop {
@@ -142,7 +194,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
             p.expect(b':')?;
             p.skip_ws();
             if key == "traceEvents" {
-                events = Some(p.parse_array_count()?);
+                stats = Some(p.parse_events_array()?);
             } else {
                 p.parse_value()?;
             }
@@ -158,7 +210,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
     if p.pos != p.bytes.len() {
         return Err(format!("trailing bytes after top-level object at offset {}", p.pos));
     }
-    events.ok_or_else(|| "missing \"traceEvents\" key".to_owned())
+    stats.ok_or_else(|| "missing \"traceEvents\" key".to_owned())
 }
 
 struct Parser<'a> {
@@ -229,6 +281,132 @@ impl Parser<'_> {
             }
             return self.expect(b'}');
         }
+    }
+
+    /// Parses the `traceEvents` array, inspecting each object element
+    /// for `ph` / `id` / `dur` / `cat` to tally [`TraceStats`] and
+    /// enforce the span-duration and flow-pairing invariants.
+    fn parse_events_array(&mut self) -> Result<TraceStats, String> {
+        self.expect(b'[')?;
+        let mut stats = TraceStats::default();
+        // Flow id -> (start count, end count). Ids may repeat (one per
+        // image, per replica); balance is what must hold.
+        let mut flows: std::collections::BTreeMap<String, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        self.skip_ws();
+        if !self.eat(b']') {
+            loop {
+                self.skip_ws();
+                if self.peek() == Some(b'{') {
+                    self.parse_event_object(&mut stats, &mut flows)?;
+                } else {
+                    // Foreign traces may hold non-object elements; only
+                    // count them.
+                    self.parse_value()?;
+                }
+                stats.events += 1;
+                self.skip_ws();
+                if self.eat(b',') {
+                    continue;
+                }
+                self.expect(b']')?;
+                break;
+            }
+        }
+        for (id, (starts, ends)) in &flows {
+            if starts != ends {
+                return Err(format!(
+                    "flow id {id} is unbalanced: {starts} start(s) vs {ends} end(s)"
+                ));
+            }
+        }
+        stats.bound_flows = flows.len();
+        Ok(stats)
+    }
+
+    /// Parses one event object, capturing the keys the validator cares
+    /// about and skipping the rest generically.
+    fn parse_event_object(
+        &mut self,
+        stats: &mut TraceStats,
+        flows: &mut std::collections::BTreeMap<String, (usize, usize)>,
+    ) -> Result<(), String> {
+        let obj_start = self.pos;
+        self.expect(b'{')?;
+        let mut ph: Option<String> = None;
+        let mut id: Option<String> = None;
+        let mut dur: Option<f64> = None;
+        let mut cat: Option<String> = None;
+        self.skip_ws();
+        if !self.eat(b'}') {
+            loop {
+                self.skip_ws();
+                let key = self.parse_string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                match key.as_str() {
+                    "ph" => ph = Some(self.parse_string()?),
+                    "cat" => cat = Some(self.parse_string()?),
+                    "id" => {
+                        // Flow ids may be numbers or strings.
+                        if self.peek() == Some(b'"') {
+                            id = Some(self.parse_string()?);
+                        } else {
+                            id = Some(self.parse_number_token()?);
+                        }
+                    }
+                    "dur" => {
+                        let token = self.parse_number_token()?;
+                        let value: f64 = token.parse().map_err(|_| {
+                            format!("unreadable dur {token:?} at offset {obj_start}")
+                        })?;
+                        dur = Some(value);
+                    }
+                    _ => self.parse_value()?,
+                }
+                self.skip_ws();
+                if self.eat(b',') {
+                    continue;
+                }
+                self.expect(b'}')?;
+                break;
+            }
+        }
+        if let Some(d) = dur {
+            if d < 0.0 {
+                return Err(format!("negative span duration {d} at offset {obj_start}"));
+            }
+        }
+        match ph.as_deref() {
+            Some("s") => {
+                let id =
+                    id.ok_or_else(|| format!("flow start without id at offset {obj_start}"))?;
+                flows.entry(id).or_insert((0, 0)).0 += 1;
+                stats.flow_starts += 1;
+            }
+            Some("t") => {
+                id.ok_or_else(|| format!("flow step without id at offset {obj_start}"))?;
+                stats.flow_steps += 1;
+            }
+            Some("f") => {
+                let id = id.ok_or_else(|| format!("flow end without id at offset {obj_start}"))?;
+                flows.entry(id).or_insert((0, 0)).1 += 1;
+                stats.flow_ends += 1;
+            }
+            _ => {}
+        }
+        if cat.as_deref() == Some("slo") {
+            stats.slo_events += 1;
+        }
+        Ok(())
+    }
+
+    /// Parses a JSON number, returning the raw token text.
+    fn parse_number_token(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        self.parse_number()?;
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
     }
 
     fn parse_array_count(&mut self) -> Result<usize, String> {
@@ -428,6 +606,39 @@ mod tests {
     fn validator_accepts_nested_values_and_escapes() {
         let text = r#"{"other":{"deep":[true,false,null,-1.5e+3]},"traceEvents":[{"name":"q\"A"},[1,2],"s"]}"#;
         assert_eq!(validate_chrome_trace(text), Ok(3));
+    }
+
+    #[test]
+    fn flow_export_round_trips_through_the_validator() {
+        let mut rec = Recorder::enabled();
+        let q = rec.track("tenant:a");
+        let d = rec.track("dev0");
+        rec.span(q, "serve", "queued", 0, 10);
+        rec.span(d, "serve", "execute", 10, 50);
+        rec.flow_start(q, "req", "req1", 0, 1);
+        rec.flow_step(d, "req", "req1", 10, 1);
+        rec.flow_end(d, "req", "req1", 50, 1);
+        rec.instant_with(q, "slo", "eval", 60, &[("burn_fast", Arg::F64(0.5))]);
+        let json = rec.to_chrome_json();
+        let stats = validate_chrome_trace_stats(&json).unwrap();
+        assert_eq!((stats.flow_starts, stats.flow_steps, stats.flow_ends), (1, 1, 1));
+        assert_eq!(stats.bound_flows, 1);
+        assert_eq!(stats.slo_events, 1);
+        assert!(json.contains(r#""ph":"s""#) && json.contains(r#""bp":"e""#));
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_flows_and_negative_durations() {
+        let dangling = r#"{"traceEvents":[{"ph":"s","id":7,"ts":0}]}"#;
+        assert!(validate_chrome_trace(dangling).unwrap_err().contains("unbalanced"));
+        let idless = r#"{"traceEvents":[{"ph":"f","ts":0}]}"#;
+        assert!(validate_chrome_trace(idless).unwrap_err().contains("without id"));
+        let negative = r#"{"traceEvents":[{"ph":"X","ts":0,"dur":-3}]}"#;
+        assert!(validate_chrome_trace(negative).unwrap_err().contains("negative span"));
+        let balanced = r#"{"traceEvents":[{"ph":"s","id":"a","ts":0},{"ph":"f","id":"a","ts":9}]}"#;
+        let stats = validate_chrome_trace_stats(balanced).unwrap();
+        assert_eq!(stats.bound_flows, 1);
+        assert_eq!(stats.events, 2);
     }
 
     #[test]

@@ -18,8 +18,13 @@
 //!   [`Registry::snapshot`] → text/JSON exporter; `scnn_serve` backs its
 //!   cache and device counters with it.
 //! - [`Recorder::to_chrome_json`] emits Chrome Trace Event JSON that
-//!   Perfetto loads directly; [`validate_chrome_trace`] is the matching
-//!   minimal well-formedness checker used by CI smoke runs.
+//!   Perfetto loads directly — spans, instants, and flow events
+//!   ([`Recorder::flow_start`] / [`Recorder::flow_end`]) that draw one
+//!   request's causal chain across tracks. [`validate_chrome_trace`] is
+//!   the matching minimal checker used by CI smoke runs; it also
+//!   enforces non-negative span durations and balanced flow pairs, and
+//!   [`validate_chrome_trace_stats`] returns the full [`TraceStats`]
+//!   tallies.
 //! - [`Profiler`] accumulates *wall-clock* scopes (compile, calibrate,
 //!   execute) for the `perf --profile` flag. Wall time is reported next
 //!   to — never mixed into — simulated cycles.
@@ -47,7 +52,7 @@ mod profile;
 mod recorder;
 mod registry;
 
-pub use chrome::validate_chrome_trace;
+pub use chrome::{validate_chrome_trace, validate_chrome_trace_stats, TraceStats};
 pub use profile::{Profiler, ScopeStats};
 pub use recorder::{Arg, EventKind, Recorder, TraceEvent, TrackId};
 pub use registry::{HistogramStats, Registry, Snapshot};
@@ -62,12 +67,30 @@ pub use registry::{HistogramStats, Registry, Snapshot};
 /// ask, never inherited from the machine.
 #[must_use]
 pub fn resolve_trace(explicit: Option<&str>) -> Option<String> {
+    resolve_output(explicit, "SCNN_TRACE")
+}
+
+/// Resolves a time-series destination: `explicit` (`--series-out`) if
+/// non-empty, else the `SCNN_SERIES` environment variable, else `None`.
+///
+/// Same ladder as [`resolve_trace`] — series export writes a file, so
+/// it is always an explicit ask, never inherited from the machine.
+#[must_use]
+pub fn resolve_series(explicit: Option<&str>) -> Option<String> {
+    resolve_output(explicit, "SCNN_SERIES")
+}
+
+/// Shared ladder behind [`resolve_trace`] / [`resolve_series`]:
+/// non-empty `explicit` wins, then a non-empty `env_var` value, then
+/// `None` (output disabled).
+#[must_use]
+pub fn resolve_output(explicit: Option<&str>, env_var: &str) -> Option<String> {
     if let Some(path) = explicit {
         if !path.is_empty() {
             return Some(path.to_owned());
         }
     }
-    match std::env::var("SCNN_TRACE") {
+    match std::env::var(env_var) {
         Ok(path) if !path.is_empty() => Some(path),
         _ => None,
     }
@@ -91,5 +114,17 @@ mod tests {
         std::env::set_var("SCNN_TRACE", "");
         assert_eq!(resolve_trace(None), None, "empty env is ignored");
         std::env::remove_var("SCNN_TRACE");
+    }
+
+    #[test]
+    fn series_resolves_through_the_same_ladder() {
+        // Single test owning the SCNN_SERIES variable (no races).
+        std::env::remove_var("SCNN_SERIES");
+        assert_eq!(resolve_series(Some("s.json")).as_deref(), Some("s.json"));
+        assert_eq!(resolve_series(None), None);
+        std::env::set_var("SCNN_SERIES", "env_series.csv");
+        assert_eq!(resolve_series(None).as_deref(), Some("env_series.csv"));
+        assert_eq!(resolve_series(Some("cli.csv")).as_deref(), Some("cli.csv"));
+        std::env::remove_var("SCNN_SERIES");
     }
 }

@@ -12,13 +12,19 @@ impl TrackId {
     }
 }
 
-/// Span or instant: the two Chrome Trace Event phases the recorder emits.
+/// The Chrome Trace Event phases the recorder emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A complete event (`"ph":"X"`) covering `[cycle, cycle + dur)`.
     Span,
     /// An instant event (`"ph":"i"`) at `cycle`.
     Instant,
+    /// A flow-start event (`"ph":"s"`): first hop of a causal chain.
+    FlowStart,
+    /// A flow-step event (`"ph":"t"`): intermediate hop of a chain.
+    FlowStep,
+    /// A flow-end event (`"ph":"f"`): last hop of a causal chain.
+    FlowEnd,
 }
 
 /// Typed argument value attached to an event (`args` in the export).
@@ -45,8 +51,11 @@ pub struct TraceEvent {
     pub track: TrackId,
     /// Recorder-global sequence number (tie-break within a cycle).
     pub seq: u64,
-    /// Event kind (span or instant).
+    /// Event kind (span, instant, or flow hop).
     pub kind: EventKind,
+    /// Flow id binding the hops of one causal chain together; `0` for
+    /// spans and instants (flow ids must be non-zero to stay distinct).
+    pub id: u64,
     /// Category string (`cat` in the export), e.g. `"serve"`.
     pub cat: &'static str,
     /// Event name.
@@ -108,7 +117,7 @@ impl Recorder {
     /// caller bug in a simulator invariant; the span is clamped to zero
     /// length rather than panicking so a bad row cannot take down a run.
     pub fn span(&mut self, track: TrackId, cat: &'static str, name: &str, start: u64, end: u64) {
-        self.push(track, cat, name, start, end.saturating_sub(start), EventKind::Span, &[]);
+        self.push(track, cat, name, start, end.saturating_sub(start), EventKind::Span, 0, &[]);
     }
 
     /// [`Recorder::span`] with named arguments.
@@ -121,12 +130,12 @@ impl Recorder {
         end: u64,
         args: &[(&'static str, Arg)],
     ) {
-        self.push(track, cat, name, start, end.saturating_sub(start), EventKind::Span, args);
+        self.push(track, cat, name, start, end.saturating_sub(start), EventKind::Span, 0, args);
     }
 
     /// Records an instant event at `cycle`.
     pub fn instant(&mut self, track: TrackId, cat: &'static str, name: &str, cycle: u64) {
-        self.push(track, cat, name, cycle, 0, EventKind::Instant, &[]);
+        self.push(track, cat, name, cycle, 0, EventKind::Instant, 0, &[]);
     }
 
     /// [`Recorder::instant`] with named arguments.
@@ -138,7 +147,44 @@ impl Recorder {
         cycle: u64,
         args: &[(&'static str, Arg)],
     ) {
-        self.push(track, cat, name, cycle, 0, EventKind::Instant, args);
+        self.push(track, cat, name, cycle, 0, EventKind::Instant, 0, args);
+    }
+
+    /// Records the first hop of a causal flow chain at `cycle`. `id`
+    /// must be non-zero and identical across the chain's hops; Perfetto
+    /// draws an arrow from this hop's enclosing slice to the next hop's.
+    pub fn flow_start(
+        &mut self,
+        track: TrackId,
+        cat: &'static str,
+        name: &str,
+        cycle: u64,
+        id: u64,
+    ) {
+        debug_assert!(id != 0, "flow ids must be non-zero");
+        self.push(track, cat, name, cycle, 0, EventKind::FlowStart, id, &[]);
+    }
+
+    /// Records an intermediate hop of the flow chain `id` at `cycle`.
+    pub fn flow_step(
+        &mut self,
+        track: TrackId,
+        cat: &'static str,
+        name: &str,
+        cycle: u64,
+        id: u64,
+    ) {
+        debug_assert!(id != 0, "flow ids must be non-zero");
+        self.push(track, cat, name, cycle, 0, EventKind::FlowStep, id, &[]);
+    }
+
+    /// Records the last hop of the flow chain `id` at `cycle`. Every
+    /// [`Recorder::flow_start`] must be balanced by exactly one
+    /// `flow_end` with the same id — `validate_chrome_trace` enforces
+    /// the pairing on the exported JSON.
+    pub fn flow_end(&mut self, track: TrackId, cat: &'static str, name: &str, cycle: u64, id: u64) {
+        debug_assert!(id != 0, "flow ids must be non-zero");
+        self.push(track, cat, name, cycle, 0, EventKind::FlowEnd, id, &[]);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -150,6 +196,7 @@ impl Recorder {
         cycle: u64,
         dur: u64,
         kind: EventKind,
+        id: u64,
         args: &[(&'static str, Arg)],
     ) {
         if !self.enabled {
@@ -163,6 +210,7 @@ impl Recorder {
             track,
             seq,
             kind,
+            id,
             cat,
             name: name.to_owned(),
             args: args.to_vec(),
@@ -238,6 +286,19 @@ mod tests {
         rec.instant(a, "c", "tie-second", 10);
         let names: Vec<&str> = rec.sorted_events().iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, ["early", "tie-second", "late"]);
+    }
+
+    #[test]
+    fn flow_hops_carry_their_id_and_kind() {
+        let mut rec = Recorder::enabled();
+        let a = rec.track("tenant");
+        let b = rec.track("device");
+        rec.flow_start(a, "req", "req3", 5, 3);
+        rec.flow_step(b, "req", "req3", 9, 3);
+        rec.flow_end(b, "req", "req3", 20, 3);
+        let kinds: Vec<EventKind> = rec.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, [EventKind::FlowStart, EventKind::FlowStep, EventKind::FlowEnd]);
+        assert!(rec.events().iter().all(|e| e.id == 3 && e.dur == 0));
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Locks for the streaming-observability layer (`scnn_obs` +
+//! `simulate_observed`):
+//!
+//! * **Heisenberg-freedom** — observing a serving run changes nothing:
+//!   the report is bit-identical to plain `simulate`, with or without a
+//!   recorder attached.
+//! * **Burn-rate alerting end to end** — a bursty arrival trace fires a
+//!   fast-window deadline alert during the burst and clears it after
+//!   recovery, with a bit-identical alert sequence on every run.
+//! * **Sketch fidelity** — merged per-window latency sketches bracket
+//!   the report's exact nearest-rank percentiles within the documented
+//!   1/32 relative bound.
+//! * **Export validity** — the series JSON parses, the CSV is
+//!   rectangular, and the trace carries one balanced flow per request
+//!   plus SLO evaluation events, all byte-stable.
+
+use scnn::runner::RunConfig;
+use scnn::scnn_model::{ConvLayer, DensityProfile, LayerDensity, Network};
+use scnn::scnn_tensor::ConvShape;
+use scnn_obs::LogHistogram;
+use scnn_serve::engine::Engine;
+use scnn_serve::sim::{simulate, simulate_observed, ServeConfig};
+use scnn_serve::trace::{generate, generate_phased, DeadlineClass, LoadPhase, TenantSpec, Trace};
+use scnn_serve::{digest_report, ObsConfig, ServeObservation, ServeReport};
+use scnn_telemetry::{validate_chrome_trace_stats, Recorder};
+
+/// The serving-tier test network: small enough for fast calibration,
+/// deep enough that latencies spread across sketch buckets.
+fn network() -> (Network, DensityProfile) {
+    let mut layers = Vec::new();
+    let mut densities = Vec::new();
+    for i in 0..6 {
+        let k = 12 + 4 * (i % 3);
+        layers.push(ConvLayer::new(
+            format!("conv{i}"),
+            ConvShape::new(k, 8 + 4 * (i % 2), 3, 3, 56, 56).with_pad(1),
+        ));
+        densities.push(LayerDensity::new(0.3 + 0.05 * i as f64, 0.8));
+    }
+    (Network::new("obs-net", layers), DensityProfile::from_layers(densities))
+}
+
+fn engine(threads: usize) -> Engine {
+    let (net, profile) = network();
+    let mut engine = Engine::new(RunConfig::default().with_threads(threads));
+    engine.register("syn", net, profile, "test");
+    engine
+}
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("t0", "syn", 40_000, DeadlineClass::Interactive),
+        TenantSpec::new("t1", "syn", 60_000, DeadlineClass::Standard),
+    ]
+}
+
+const HORIZON: u64 = 2_000_000;
+const WINDOW: u64 = 100_000;
+
+fn observed(
+    engine: &mut Engine,
+    trace: &Trace,
+    rec: &mut Recorder,
+) -> (ServeReport, ServeObservation) {
+    simulate_observed(engine, trace, &ServeConfig::default(), rec, &ObsConfig::standard(WINDOW))
+}
+
+#[test]
+fn observation_never_perturbs_the_report() {
+    let trace = generate(&tenants(), HORIZON, 23);
+    let plain = simulate(&mut engine(1), &trace, &ServeConfig::default());
+    assert!(plain.global.requests > 20, "trace should be non-trivial");
+
+    // Observed with no recorder, observed with a recorder: the report
+    // must be the bytes plain `simulate` returns, either way.
+    let (quiet, obs_a) = observed(&mut engine(1), &trace, &mut Recorder::disabled());
+    let (traced, obs_b) = observed(&mut engine(1), &trace, &mut Recorder::enabled());
+    assert_eq!(plain, quiet, "observation with no recorder perturbed the report");
+    assert_eq!(plain, traced, "observation with a recorder perturbed the report");
+    assert_eq!(digest_report(&plain), digest_report(&traced));
+    // And the observation itself is independent of the recorder.
+    assert_eq!(obs_a.digest(), obs_b.digest(), "recorder changed the observed series");
+}
+
+#[test]
+fn burst_fires_a_fast_window_alert_and_clears_after_recovery() {
+    // Load profile: comfortable steady state, a 6x arrival burst over
+    // [600K, 900K), then recovery headroom to the 2M horizon. The
+    // interactive deadline SLO must fire while the burst's backlog
+    // overwhelms the budget and clear once the queue drains — and the
+    // whole alert sequence must be bit-identical run to run.
+    let phases = [
+        LoadPhase { start: 600_000, rate_multiplier: 6.0 },
+        LoadPhase { start: 900_000, rate_multiplier: 1.0 },
+    ];
+    let trace = generate_phased(&tenants(), HORIZON, 23, &phases);
+    let run = || {
+        let (_, obs) = observed(&mut engine(1), &trace, &mut Recorder::disabled());
+        obs
+    };
+    let obs = run();
+    let slo = obs
+        .slo
+        .slos
+        .iter()
+        .find(|s| s.name == "deadline:interactive")
+        .expect("interactive SLO evaluated");
+    assert!(
+        slo.alerts.len() >= 2,
+        "expected fire + clear, got {:?}",
+        slo.alerts.iter().map(|a| (a.kind, a.window)).collect::<Vec<_>>()
+    );
+    let fire = &slo.alerts[0];
+    let clear = &slo.alerts[1];
+    assert_eq!(fire.kind, scnn_obs::AlertKind::Fire);
+    assert_eq!(clear.kind, scnn_obs::AlertKind::Clear);
+    // The fire lands in or right after the burst; the clear strictly
+    // after the burst has ended.
+    assert!(fire.window >= 600_000 / WINDOW, "fired before the burst: window {}", fire.window);
+    assert!(clear.window > 900_000 / WINDOW, "cleared during the burst: window {}", clear.window);
+    assert!(fire.burn_fast >= 4.0, "fire below the fast threshold: {}", fire.burn_fast);
+    assert!(clear.burn_fast <= 1.0, "clear above the clear threshold: {}", clear.burn_fast);
+    // Determinism: the full observation (series + alert stream) is
+    // bit-identical on a fresh run.
+    assert_eq!(obs.digest(), run().digest());
+    // The unbursted trace must raise no interactive alert at all —
+    // the alert is the burst's doing, not the baseline load's.
+    let calm = generate(&tenants(), HORIZON, 23);
+    let (_, calm_obs) = observed(&mut engine(1), &calm, &mut Recorder::disabled());
+    let calm_slo =
+        calm_obs.slo.slos.iter().find(|s| s.name == "deadline:interactive").expect("evaluated");
+    assert!(calm_slo.alerts.is_empty(), "steady load alerted: {:?}", calm_slo.alerts);
+}
+
+#[test]
+fn merged_window_sketches_bracket_the_exact_report_percentiles() {
+    let trace = generate(&tenants(), HORIZON, 23);
+    let (report, obs) = observed(&mut engine(1), &trace, &mut Recorder::disabled());
+    // Merge every window's e2e sketch back into one population — the
+    // merge is exact counter addition, so the result is the sketch of
+    // all end-to-end latencies — and compare against the report's
+    // exact nearest-rank summary.
+    let mut merged = LogHistogram::new();
+    for row in &obs.series.rows {
+        if let Some(s) = row.sketch("e2e") {
+            merged.merge(s);
+        }
+    }
+    assert_eq!(merged.count(), report.global.requests, "every request lands in some window");
+    for (pct, exact) in [
+        (50.0, report.global.e2e.p50),
+        (95.0, report.global.e2e.p95),
+        (99.0, report.global.e2e.p99),
+    ] {
+        let sketched = merged.quantile(pct);
+        assert!(sketched >= exact, "p{pct}: sketch {sketched} below exact {exact}");
+        assert!(
+            sketched - exact <= exact / 32 + 1,
+            "p{pct}: sketch {sketched} vs exact {exact} breaks the 1/32 bound"
+        );
+    }
+    assert_eq!(merged.max(), report.global.e2e.max, "max is tracked exactly");
+}
+
+#[test]
+fn exports_are_valid_and_byte_stable() {
+    let trace = generate(&tenants(), HORIZON, 23);
+    let mut rec = Recorder::enabled();
+    let (report, obs) = observed(&mut engine(1), &trace, &mut rec);
+
+    // The trace carries one balanced flow per request (arrival → batch
+    // seal → completion) and the SLO monitor's evaluation events.
+    let stats = validate_chrome_trace_stats(&rec.to_chrome_json()).expect("valid trace");
+    assert_eq!(
+        stats.bound_flows as u64, report.global.requests,
+        "one bound flow per served request"
+    );
+    assert_eq!(stats.flow_starts, stats.flow_ends, "flows balance");
+    assert!(stats.slo_events > 0, "SLO evaluations recorded");
+
+    // Series JSON parses under the workspace's strict JSON walker;
+    // CSV is rectangular with one row per window.
+    let json = obs.series.to_json();
+    let wrapped = format!("{{\"traceEvents\":[],\"series\":{json}}}");
+    scnn_telemetry::validate_chrome_trace(&wrapped).expect("series JSON must parse");
+    let csv = obs.series.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), obs.series.len() + 1, "header + one row per window");
+    let cols = lines[0].split(',').count();
+    for line in &lines {
+        assert_eq!(line.split(',').count(), cols, "ragged CSV row: {line}");
+    }
+    // The report's own machine-readable exports hold the same shape.
+    let report_json = obs.slo.to_json();
+    let wrapped = format!("{{\"traceEvents\":[],\"slo\":{report_json}}}");
+    scnn_telemetry::validate_chrome_trace(&wrapped).expect("SLO JSON must parse");
+
+    // Byte-stability: a re-run exports identical bytes everywhere.
+    let mut rec2 = Recorder::enabled();
+    let (_, obs2) = observed(&mut engine(1), &trace, &mut rec2);
+    assert_eq!(json, obs2.series.to_json());
+    assert_eq!(csv, obs2.series.to_csv());
+    assert_eq!(rec.to_chrome_json(), rec2.to_chrome_json());
+}

@@ -551,3 +551,67 @@ fn serve_event_loop_trace_is_bit_identical_and_does_not_perturb_the_report() {
     let plain = simulate(&mut engine, &trace, &ServeConfig::default());
     assert_eq!(digest_report(&report), digest_report(&plain));
 }
+
+#[test]
+fn windowed_series_and_slo_digests_are_invariant_across_parallelism_plan_and_backend() {
+    // The observation layer's output — windowed counters, sketches, and
+    // the SLO alert stream — is a pure function of the arrival trace
+    // and the model's simulated timings. Worker-thread count and PE
+    // fan-out must never leak into a single digest bit, for a plain
+    // SCNN pool, a planned multi-chip fabric, and a DCNN pool alike.
+    // Different configs, on the other hand, simulate different timings,
+    // so their digests must NOT alias.
+    use scnn_serve::engine::Engine;
+    use scnn_serve::sim::{simulate_observed, ServeConfig};
+    use scnn_serve::trace::{generate, DeadlineClass, TenantSpec};
+    use scnn_serve::ObsConfig;
+
+    let (net, profile) = synthetic_network();
+    let tenants = vec![
+        TenantSpec::new("t0", "syn", 40_000, DeadlineClass::Interactive),
+        TenantSpec::new("t1", "syn", 60_000, DeadlineClass::Relaxed),
+    ];
+    let observe = |threads: usize, pe_threads: usize, planned: bool, backend: BackendKind| {
+        let config = RunConfig::default().with_threads(threads).with_pe_threads(pe_threads);
+        let mut engine = Engine::new(config);
+        if planned {
+            engine = engine.with_planned_fabric(4, LinkConfig::default());
+        }
+        engine.register_with_backend("syn", net.clone(), profile.clone(), "test", backend);
+        let trace = generate(&tenants, 1_500_000, 17);
+        let cfg = ServeConfig { device_backends: vec![backend; 2], ..ServeConfig::default() };
+        let mut rec = Recorder::disabled();
+        let (report, obs) =
+            simulate_observed(&mut engine, &trace, &cfg, &mut rec, &ObsConfig::standard(75_000));
+        assert!(report.global.requests > 10, "trace should be non-trivial");
+        assert!(!obs.series.is_empty(), "windows should be materialized");
+        obs.digest()
+    };
+    let configs = [
+        ("scnn", false, BackendKind::Scnn),
+        ("planned-fabric", true, BackendKind::Scnn),
+        ("dcnn", false, BackendKind::Dcnn),
+    ];
+    let mut digests = Vec::new();
+    for (name, planned, backend) in configs {
+        let baseline = observe(1, 1, planned, backend);
+        for (threads, pe_threads) in [(2, 2), (4, 1), (1, 3)] {
+            assert_eq!(
+                baseline,
+                observe(threads, pe_threads, planned, backend),
+                "{name}: observation digest diverged at threads={threads} \
+                 pe_threads={pe_threads}"
+            );
+        }
+        digests.push((name, baseline));
+    }
+    for i in 0..digests.len() {
+        for j in i + 1..digests.len() {
+            assert_ne!(
+                digests[i].1, digests[j].1,
+                "{} and {} aliased — the digest is not separating configs",
+                digests[i].0, digests[j].0
+            );
+        }
+    }
+}
